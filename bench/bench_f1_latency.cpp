@@ -1,0 +1,116 @@
+// F1 — Decision latency (in message delays Δ) versus the number of crashed
+// processes, for every protocol at its own minimal cluster size (e=2, f=2):
+//
+//   paxos       n=5   fast only when the initial leader survives
+//   fast paxos  n=7   two-step under any k <= e crashes (Lamport's bound)
+//   task        n=6   two-step with one process fewer (Theorem 5)
+//   object      n=5   two-step with two processes fewer (Theorem 6)
+//
+// The latency is measured at the "witness" proxy (the highest-id process,
+// holding the maximum proposal with top delivery priority) in an E-faulty
+// synchronous run with E = {p0..p_{k-1}}.  A second table reports message
+// counts for the same runs.
+#include "bench_support.hpp"
+
+namespace {
+
+using namespace twostep;
+using consensus::ProcessId;
+using consensus::SyncScenario;
+using consensus::SystemConfig;
+using consensus::Value;
+
+constexpr sim::Tick kDelta = 100;
+constexpr int kE = 2;
+constexpr int kF = 2;
+
+struct RunResult {
+  double latency_delta = -1;  // decision latency at witness, in Δ units
+  std::size_t messages = 0;
+};
+
+template <typename Runner>
+RunResult measure(Runner& runner, int n, int crashes, bool lone_proposer) {
+  const ProcessId witness = static_cast<ProcessId>(n - 1);
+  SyncScenario s;
+  for (int k = 0; k < crashes; ++k) s.crashes.push_back(k);
+  if (lone_proposer) {
+    // Object semantics (the proxy model): one client command at a time,
+    // proposed by its proxy alone (Definition A.1, item 1).
+    s.proposals = {{witness, Value{1000}}};
+  } else {
+    s.proposals =
+        consensus::priority_order(twostep::bench::witness_config(n, witness), witness);
+  }
+  runner.run(s);
+  RunResult out;
+  out.messages = runner.cluster().network().messages_sent();
+  const auto t = runner.monitor().decision_time(witness);
+  if (t && runner.monitor().safe()) out.latency_delta = static_cast<double>(*t) / kDelta;
+  return out;
+}
+
+RunResult run_protocol(const std::string& name, int crashes) {
+  if (name == "paxos") {
+    const SystemConfig cfg{2 * kF + 1, kF, 0};
+    auto r = harness::make_paxos_runner(cfg, kDelta);
+    return measure(*r, cfg.n, crashes, false);
+  }
+  if (name == "fast paxos") {
+    const SystemConfig cfg{SystemConfig::min_processes_fast_paxos(kE, kF), kF, kE};
+    auto r = harness::make_fastpaxos_runner(cfg, kDelta);
+    return measure(*r, cfg.n, crashes, false);
+  }
+  if (name == "task") {
+    const SystemConfig cfg{SystemConfig::min_processes_task(kE, kF), kF, kE};
+    auto r = harness::make_core_runner(cfg, core::Mode::kTask, kDelta);
+    return measure(*r, cfg.n, crashes, false);
+  }
+  const SystemConfig cfg{SystemConfig::min_processes_object(kE, kF), kF, kE};
+  auto r = harness::make_core_runner(cfg, core::Mode::kObject, kDelta);
+  return measure(*r, cfg.n, crashes, true);
+}
+
+int protocol_n(const std::string& name) {
+  if (name == "paxos") return 2 * kF + 1;
+  if (name == "fast paxos") return SystemConfig::min_processes_fast_paxos(kE, kF);
+  if (name == "task") return SystemConfig::min_processes_task(kE, kF);
+  return SystemConfig::min_processes_object(kE, kF);
+}
+
+void print_tables() {
+  const std::vector<std::string> protocols = {"paxos", "fast paxos", "task", "object"};
+
+  util::Table t({"protocol", "n", "k=0 crashes", "k=1", "k=2"});
+  t.set_title("F1 — witness decision latency (in Δ) vs crashed processes (e=2, f=2)");
+  util::Table m({"protocol", "n", "k=0 msgs", "k=1", "k=2"});
+  m.set_title("F1b — messages sent in the same runs");
+
+  for (const auto& name : protocols) {
+    std::vector<std::string> lat_row = {name, std::to_string(protocol_n(name))};
+    std::vector<std::string> msg_row = lat_row;
+    for (int k = 0; k <= kE; ++k) {
+      const RunResult r = run_protocol(name, k);
+      lat_row.push_back(r.latency_delta < 0 ? "-" : util::Table::num(r.latency_delta, 0));
+      msg_row.push_back(std::to_string(r.messages));
+    }
+    t.add_row(lat_row);
+    m.add_row(msg_row);
+  }
+  twostep::bench::emit(t);
+  twostep::bench::emit(m);
+}
+
+void BM_ObjectFastPathRun(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_protocol("object", kE).latency_delta);
+}
+BENCHMARK(BM_ObjectFastPathRun)->Unit(benchmark::kMicrosecond);
+
+void BM_PaxosLeaderFailoverRun(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_protocol("paxos", 1).latency_delta);
+}
+BENCHMARK(BM_PaxosLeaderFailoverRun)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TWOSTEP_BENCH_MAIN(print_tables)

@@ -1,0 +1,103 @@
+// F2 — Wide-area deployment: the practical significance of the bounds.
+//
+// The paper's motivation: "contacting an additional process may incur a
+// cost of hundreds of milliseconds per command" in wide-area deployments.
+// At e=2, f=2 the object protocol runs in n=5 regions while Fast Paxos
+// needs n=7; both decide on a fast quorum of n-e acceptors, so Fast Paxos
+// must hear from 5 regions where the object protocol needs 3.  This bench
+// places replicas in public-cloud regions (one-way latency matrix) and
+// measures the commit latency at each proxy region for a lone proposal.
+#include "bench_support.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace twostep;
+using consensus::ProcessId;
+using consensus::SystemConfig;
+using consensus::Value;
+
+constexpr int kE = 2;
+constexpr int kF = 2;
+constexpr int kSeeds = 20;
+
+const char* kRegion[] = {"us-east", "us-west", "eu-west", "eu-central", "tokyo",
+                         "singapore", "mumbai", "sao-paulo", "sydney"};
+
+/// Commit latency (ms) at the proxy for a lone proposal, paper protocol.
+double object_latency(int n, ProcessId proxy, std::uint64_t seed) {
+  const SystemConfig cfg{n, kF, kE};
+  auto model = std::make_unique<net::WanMatrix>(
+      net::WanMatrix::nine_regions(2).restrict([n] {
+        std::vector<int> sites(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) sites[static_cast<std::size_t>(i)] = i;
+        return sites;
+      }()));
+  auto r = harness::make_core_runner_with_model(cfg, core::Mode::kObject, std::move(model),
+                                                seed);
+  consensus::SyncScenario s;
+  s.proposals = {{proxy, Value{7}}};
+  r->run(s);
+  const auto t = r->monitor().decision_time(proxy);
+  return t ? static_cast<double>(*t) : -1.0;
+}
+
+/// Commit latency (ms) at the proxy for a lone proposal, Fast Paxos.
+double fastpaxos_latency(int n, ProcessId proxy, std::uint64_t seed) {
+  const SystemConfig cfg{n, kF, kE};
+  auto model = std::make_unique<net::WanMatrix>(
+      net::WanMatrix::nine_regions(2).restrict([n] {
+        std::vector<int> sites(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) sites[static_cast<std::size_t>(i)] = i;
+        return sites;
+      }()));
+  auto r = harness::make_fastpaxos_runner_with_model(cfg, std::move(model), seed);
+  consensus::SyncScenario s;
+  s.proposals = {{proxy, Value{7}}};
+  r->run(s);
+  const auto t = r->monitor().decision_time(proxy);
+  return t ? static_cast<double>(*t) : -1.0;
+}
+
+void print_tables() {
+  const int n_object = SystemConfig::min_processes_object(kE, kF);      // 5
+  const int n_fast = SystemConfig::min_processes_fast_paxos(kE, kF);    // 7
+
+  util::Table t({"proxy region", "object n=5 (ms)", "fast paxos n=7 (ms)", "saving (ms)"});
+  t.set_title("F2 — WAN commit latency at the proxy, e=2 f=2 (lone proposal, mean over " +
+              std::to_string(kSeeds) + " jitter seeds)");
+
+  util::Summary all_object, all_fast;
+  for (ProcessId proxy = 0; proxy < n_object; ++proxy) {
+    util::Summary obj, fp;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      obj.add(object_latency(n_object, proxy, seed));
+      fp.add(fastpaxos_latency(n_fast, proxy, seed));
+      all_object.add(obj.max());
+      all_fast.add(fp.max());
+    }
+    t.add_row({kRegion[proxy], util::Table::num(obj.mean(), 0),
+               util::Table::num(fp.mean(), 0),
+               util::Table::num(fp.mean() - obj.mean(), 0)});
+  }
+  twostep::bench::emit(t);
+
+  util::Table s({"metric", "object n=5", "fast paxos n=7"});
+  s.set_title("F2b — aggregate over all proxy regions");
+  s.add_row({"mean (ms)", util::Table::num(all_object.mean(), 0),
+             util::Table::num(all_fast.mean(), 0)});
+  s.add_row({"p99 (ms)", util::Table::num(all_object.percentile(0.99), 0),
+             util::Table::num(all_fast.percentile(0.99), 0)});
+  twostep::bench::emit(s);
+}
+
+void BM_WanObjectCommit(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(object_latency(5, 0, seed++));
+}
+BENCHMARK(BM_WanObjectCommit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TWOSTEP_BENCH_MAIN(print_tables)

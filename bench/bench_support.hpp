@@ -1,0 +1,43 @@
+// Shared helpers for the benchmark harness binaries.  Every bench prints
+// the markdown rows of the table/figure it regenerates (collected into
+// EXPERIMENTS.md) and then runs its registered google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runners.hpp"
+#include "util/table.hpp"
+
+namespace twostep::bench {
+
+/// Prints a finished experiment table to stdout with a blank line around it.
+inline void emit(const util::Table& table) {
+  std::printf("\n%s\n", table.to_string().c_str());
+}
+
+/// Canonical all-distinct proposal layout: p proposes 100+p, except the
+/// designated witness, who proposes the maximum.
+inline std::map<consensus::ProcessId, consensus::Value> witness_config(
+    int n, consensus::ProcessId witness) {
+  std::map<consensus::ProcessId, consensus::Value> initial;
+  for (consensus::ProcessId p = 0; p < n; ++p) initial[p] = consensus::Value{100 + p};
+  initial[witness] = consensus::Value{1000};
+  return initial;
+}
+
+/// The standard bench entry point: print the experiment tables, then run
+/// benchmark timings.
+#define TWOSTEP_BENCH_MAIN(print_tables)                   \
+  int main(int argc, char** argv) {                        \
+    print_tables();                                        \
+    ::benchmark::Initialize(&argc, argv);                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                 \
+    ::benchmark::Shutdown();                               \
+    return 0;                                              \
+  }
+
+}  // namespace twostep::bench

@@ -1,0 +1,101 @@
+// T1 — Tight bounds table (Theorems 5 and 6 vs the classical bounds).
+//
+// For each (e, f) the table reports, per formulation, the theoretical
+// minimum number of processes and two empirical verdicts obtained from this
+// library:
+//   * "ok@n"    — at the bound every Definition 4 / A.1 obligation is met
+//                 over all crash sets and canonical initial configurations;
+//   * "broken@n-1" — one process below the bound, the Appendix B splicing
+//                 attack produces a concrete Agreement violation (where the
+//                 attack's side conditions apply).
+#include "bench_support.hpp"
+#include "consensus/twostep_eval.hpp"
+#include "lowerbound/scenarios.hpp"
+
+namespace {
+
+using namespace twostep;
+using consensus::SystemConfig;
+using consensus::TwoStepEvaluator;
+using harness::make_core_runner;
+using harness::make_fastpaxos_runner;
+
+bool task_ok_at(int e, int f, int n) {
+  const SystemConfig cfg{n, f, e};
+  TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
+      cfg, [&] { return make_core_runner(cfg, core::Mode::kTask); }};
+  return eval.check_task_item1().ok() && eval.check_task_item2().ok();
+}
+
+bool object_ok_at(int e, int f, int n) {
+  const SystemConfig cfg{n, f, e};
+  TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
+      cfg, [&] { return make_core_runner(cfg, core::Mode::kObject); }};
+  return eval.check_object_item1().ok() && eval.check_object_item2().ok();
+}
+
+bool fastpaxos_ok_at(int e, int f, int n) {
+  const SystemConfig cfg{n, f, e};
+  TwoStepEvaluator<fastpaxos::FastPaxosProcess, fastpaxos::Options> eval{
+      cfg, [&] { return make_fastpaxos_runner(cfg); }};
+  return eval.check_task_item1().ok() && eval.check_task_item2().ok();
+}
+
+std::string verdict(int bound, bool ok, bool attack_applies, bool attack_violates) {
+  std::string s = std::to_string(bound);
+  s += ok ? " ok" : " FAIL";
+  if (attack_applies) s += attack_violates ? ", n-1 broken" : ", n-1 SURVIVES?";
+  return s;
+}
+
+void print_tables() {
+  util::Table t({"e", "f", "task n=max{2e+f,2f+1}", "object n=max{2e+f-1,2f+1}",
+                 "fast paxos n=max{2e+f+1,2f+1}", "paxos n=2f+1 (e=0 only)"});
+  t.set_title("T1 — minimal processes for f-resilient e-two-step consensus");
+
+  for (int e = 1; e <= 3; ++e) {
+    for (int f = e; f <= 4; ++f) {
+      const int nt = SystemConfig::min_processes_task(e, f);
+      const int no = SystemConfig::min_processes_object(e, f);
+      const int nf = SystemConfig::min_processes_fast_paxos(e, f);
+      if (nf > 9) continue;  // keep exhaustive crash-set sweeps tractable
+
+      const bool task_attack = f >= 2 && 2 * e >= f + 2;
+      const bool object_attack = f >= 2 && 2 * e >= f + 3;
+      const bool task_broken =
+          task_attack && lowerbound::task_below_bound_violation(e, f).agreement_violated;
+      const bool object_broken =
+          object_attack && lowerbound::object_below_bound_violation(e, f).agreement_violated;
+      const bool fp_broken =
+          lowerbound::fastpaxos_below_bound_violation(e, f).agreement_violated;
+
+      t.add_row({std::to_string(e), std::to_string(f),
+                 verdict(nt, task_ok_at(e, f, nt), task_attack, task_broken),
+                 verdict(no, object_ok_at(e, f, no), object_attack, object_broken),
+                 verdict(nf, fastpaxos_ok_at(e, f, nf), true, fp_broken),
+                 std::to_string(2 * f + 1)});
+    }
+  }
+  twostep::bench::emit(t);
+}
+
+void BM_TaskObligationSweep(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  const int n = SystemConfig::min_processes_task(e, f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(task_ok_at(e, f, n));
+  }
+}
+BENCHMARK(BM_TaskObligationSweep)->Args({1, 1})->Args({2, 2})->Unit(benchmark::kMillisecond);
+
+void BM_SplicingAttack(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lowerbound::task_below_bound_violation(2, 2).agreement_violated);
+  }
+}
+BENCHMARK(BM_SplicingAttack)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TWOSTEP_BENCH_MAIN(print_tables)

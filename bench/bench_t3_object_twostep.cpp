@@ -1,0 +1,60 @@
+// T3 — Object two-step obligation matrix (Definition A.1 at the Theorem 6
+// bound), including the e=2, f=2 point where the object protocol runs with
+// one process fewer than the task protocol.
+#include "bench_support.hpp"
+#include "consensus/twostep_eval.hpp"
+
+namespace {
+
+using namespace twostep;
+using consensus::EvalVerdict;
+using consensus::SystemConfig;
+using consensus::TwoStepEvaluator;
+using harness::make_core_runner;
+
+EvalVerdict run_item(int e, int f, int n, int item) {
+  const SystemConfig cfg{n, f, e};
+  TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
+      cfg, [&] { return make_core_runner(cfg, core::Mode::kObject); }};
+  return item == 1 ? eval.check_object_item1() : eval.check_object_item2();
+}
+
+std::string cell(const EvalVerdict& v) {
+  return std::to_string(v.satisfied) + "/" + std::to_string(v.runs) +
+         (v.ok() ? "" : " FAIL");
+}
+
+void print_tables() {
+  util::Table t({"e", "f", "n=max{2e+f-1,2f+1}", "task would need",
+                 "item1 (lone proposer)", "item2 (same value)"});
+  t.set_title("T3 — Definition A.1 obligations for the object protocol");
+  const std::vector<std::pair<int, int>> configs = {{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 3}};
+  for (const auto& [e, f] : configs) {
+    const int n = SystemConfig::min_processes_object(e, f);
+    t.add_row({std::to_string(e), std::to_string(f), std::to_string(n),
+               std::to_string(SystemConfig::min_processes_task(e, f)),
+               cell(run_item(e, f, n, 1)), cell(run_item(e, f, n, 2))});
+  }
+  twostep::bench::emit(t);
+}
+
+void BM_ObjectItem1(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_item(2, 2, 5, 1).runs);
+}
+BENCHMARK(BM_ObjectItem1)->Unit(benchmark::kMillisecond);
+
+void BM_LoneProposerFastPath(benchmark::State& state) {
+  const SystemConfig cfg{5, 2, 2};
+  for (auto _ : state) {
+    auto r = make_core_runner(cfg, core::Mode::kObject);
+    consensus::SyncScenario s;
+    s.proposals = {{2, consensus::Value{7}}};
+    r->run(s);
+    benchmark::DoNotOptimize(r->monitor().decided_count());
+  }
+}
+BENCHMARK(BM_LoneProposerFastPath)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TWOSTEP_BENCH_MAIN(print_tables)

@@ -1,0 +1,52 @@
+// Quickstart: run one instance of the paper's two-step consensus object on
+// a simulated cluster and watch it decide in two message delays.
+//
+//   $ ./quickstart
+//
+// Five processes (the Theorem 6 bound for e=2, f=2), one proposer.  The
+// proposer decides at exactly 2Δ even though two processes are down.
+#include <cstdio>
+
+#include "harness/runners.hpp"
+
+using namespace twostep;
+using consensus::ProcessId;
+using consensus::SystemConfig;
+using consensus::Value;
+
+int main() {
+  // e = 2 crashes may not delay the fast path; f = 2 crashes are survivable.
+  // Theorem 6: an object needs only max{2e+f-1, 2f+1} = 5 processes.
+  const SystemConfig config{5, /*f=*/2, /*e=*/2};
+  const sim::Tick delta = 100;  // the known post-GST message delay bound
+
+  auto runner = harness::make_core_runner(config, core::Mode::kObject, delta);
+
+  // Crash two processes at time zero — the maximum the fast path tolerates.
+  runner->cluster().crash(3);
+  runner->cluster().crash(4);
+
+  // p0 is the proxy: it proposes value 42 on behalf of a client.
+  runner->cluster().start_all();
+  runner->cluster().propose(0, Value{42});
+  runner->cluster().run();
+
+  const auto& monitor = runner->monitor();
+  std::printf("cluster: n=%d f=%d e=%d, delta=%lld\n", config.n, config.f, config.e,
+              static_cast<long long>(delta));
+  for (ProcessId p = 0; p < config.n; ++p) {
+    if (runner->cluster().crashed(p)) {
+      std::printf("  p%d: crashed\n", p);
+      continue;
+    }
+    const auto v = monitor.decision(p);
+    const auto t = monitor.decision_time(p);
+    std::printf("  p%d: decided %s at t=%lld%s\n", p,
+                v ? v->to_string().c_str() : "nothing",
+                t ? static_cast<long long>(*t) : -1,
+                (t && *t <= 2 * delta) ? "  <-- two-step!" : "");
+  }
+  std::printf("safety: %s\n", monitor.safe() ? "ok" : monitor.violations().front().c_str());
+  std::printf("messages sent: %zu\n", runner->cluster().network().messages_sent());
+  return monitor.safe() ? 0 : 1;
+}

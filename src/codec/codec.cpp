@@ -1,0 +1,170 @@
+#include "codec/codec.hpp"
+
+namespace twostep::codec {
+
+using consensus::Value;
+
+namespace {
+
+constexpr std::uint8_t kTagPropose = 1;
+constexpr std::uint8_t kTagOneA = 2;
+constexpr std::uint8_t kTagOneB = 3;
+constexpr std::uint8_t kTagTwoA = 4;
+constexpr std::uint8_t kTagTwoB = 5;
+constexpr std::uint8_t kTagDecide = 6;
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+}  // namespace
+
+void Writer::put_i64(std::int64_t value) {
+  std::uint64_t u = zigzag(value);
+  while (u >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(u) | 0x80);
+    u >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(u));
+}
+
+void Writer::put_value(Value v) {
+  if (v.is_bottom()) {
+    put_u8(0);
+  } else {
+    put_u8(1);
+    put_i64(v.get());
+  }
+}
+
+std::uint8_t Reader::get_u8() {
+  if (!ok_ || pos_ >= data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::int64_t Reader::get_i64() {
+  std::uint64_t u = 0;
+  int shift = 0;
+  for (;;) {
+    if (!ok_ || pos_ >= data_.size() || shift > 63) {
+      ok_ = false;
+      return 0;
+    }
+    const std::uint8_t byte = data_[pos_++];
+    u |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return unzigzag(u);
+}
+
+Value Reader::get_value() {
+  const std::uint8_t present = get_u8();
+  if (!ok_) return Value::bottom();
+  if (present == 0) return Value::bottom();
+  if (present != 1) {
+    ok_ = false;
+    return Value::bottom();
+  }
+  return Value{get_i64()};
+}
+
+std::vector<std::uint8_t> encode(const core::Message& m) {
+  Writer w;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, core::ProposeMsg>) {
+          w.put_u8(kTagPropose);
+          w.put_value(msg.v);
+        } else if constexpr (std::is_same_v<T, core::OneAMsg>) {
+          w.put_u8(kTagOneA);
+          w.put_i64(msg.b);
+        } else if constexpr (std::is_same_v<T, core::OneBMsg>) {
+          w.put_u8(kTagOneB);
+          w.put_i64(msg.b);
+          w.put_i64(msg.vbal);
+          w.put_value(msg.val);
+          w.put_i64(msg.proposer);
+          w.put_value(msg.decided);
+          w.put_value(msg.initial);
+        } else if constexpr (std::is_same_v<T, core::TwoAMsg>) {
+          w.put_u8(kTagTwoA);
+          w.put_i64(msg.b);
+          w.put_value(msg.v);
+        } else if constexpr (std::is_same_v<T, core::TwoBMsg>) {
+          w.put_u8(kTagTwoB);
+          w.put_i64(msg.b);
+          w.put_value(msg.v);
+        } else {
+          w.put_u8(kTagDecide);
+          w.put_value(msg.v);
+        }
+      },
+      m);
+  return std::move(w).take();
+}
+
+std::optional<core::Message> decode(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const std::uint8_t tag = r.get_u8();
+  std::optional<core::Message> out;
+  switch (tag) {
+    case kTagPropose: {
+      core::ProposeMsg m;
+      m.v = r.get_value();
+      out = core::Message{m};
+      break;
+    }
+    case kTagOneA: {
+      core::OneAMsg m;
+      m.b = r.get_i64();
+      out = core::Message{m};
+      break;
+    }
+    case kTagOneB: {
+      core::OneBMsg m;
+      m.b = r.get_i64();
+      m.vbal = r.get_i64();
+      m.val = r.get_value();
+      m.proposer = static_cast<consensus::ProcessId>(r.get_i64());
+      m.decided = r.get_value();
+      m.initial = r.get_value();
+      out = core::Message{m};
+      break;
+    }
+    case kTagTwoA: {
+      core::TwoAMsg m;
+      m.b = r.get_i64();
+      m.v = r.get_value();
+      out = core::Message{m};
+      break;
+    }
+    case kTagTwoB: {
+      core::TwoBMsg m;
+      m.b = r.get_i64();
+      m.v = r.get_value();
+      out = core::Message{m};
+      break;
+    }
+    case kTagDecide: {
+      core::DecideMsg m;
+      m.v = r.get_value();
+      out = core::Message{m};
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace twostep::codec

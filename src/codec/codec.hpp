@@ -1,0 +1,66 @@
+// Compact binary wire codec for the core protocol's messages.
+//
+// In-process simulation passes messages by value, but a credible release
+// needs a wire format: the CLI tool uses it for trace dumps, and it is the
+// seam a real UDP/TCP transport would plug into.  The format is a 1-byte
+// message tag followed by the fields in declaration order; integers are
+// zigzag varints, Values are a presence byte + varint.  decode() is total:
+// any malformed input yields nullopt, never UB — fuzzed in the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "core/messages.hpp"
+
+namespace twostep::codec {
+
+/// Append-only byte sink with varint primitives.
+class Writer {
+ public:
+  void put_u8(std::uint8_t byte) { bytes_.push_back(byte); }
+
+  /// Zigzag + LEB128 varint; encodes any int64 in 1-10 bytes.
+  void put_i64(std::int64_t value);
+
+  /// Presence byte (0 = bottom) + payload varint.
+  void put_value(consensus::Value v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked cursor over an encoded buffer.  All getters return
+/// defaults once `ok()` turns false; callers check ok() at the end.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::int64_t get_i64();
+  consensus::Value get_value();
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True iff every byte has been consumed (trailing garbage is an error).
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serializes one core-protocol message.
+std::vector<std::uint8_t> encode(const core::Message& m);
+
+/// Parses one core-protocol message; nullopt on any malformed input
+/// (unknown tag, truncation, oversize varint, trailing bytes).
+std::optional<core::Message> decode(std::span<const std::uint8_t> data);
+
+}  // namespace twostep::codec

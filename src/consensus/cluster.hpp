@@ -1,0 +1,171 @@
+// Cluster<P>: the run harness gluing together a protocol type P, the
+// simulated network, the event loop, and the external monitors.
+//
+// Protocol requirements (duck-typed):
+//   using Message = ...;                 // the protocol's wire type
+//   void start();                        // arm timers; called once per process
+//   void propose(Value v);               // at-most-once per process
+//   void on_message(ProcessId, const Message&);
+//   void on_timer(TimerId);
+//   std::function<void(Value)> on_decide;  // set by the harness
+//
+// The harness also implements the Env each protocol instance talks to, with
+// crash-stop semantics: a crashed process's outbound sends are dropped by
+// the network and its timers never fire.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/env.hpp"
+#include "consensus/monitor.hpp"
+#include "consensus/types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace twostep::consensus {
+
+template <typename P>
+class Cluster {
+ public:
+  using Msg = typename P::Message;
+  using Factory = std::function<std::unique_ptr<P>(Env<Msg>&, ProcessId)>;
+
+  Cluster(SystemConfig config, std::unique_ptr<net::LatencyModel> model, Factory factory,
+          std::uint64_t seed = 1)
+      : config_(config),
+        network_(simulator_, std::move(model), config.n, seed) {
+    if (!factory) throw std::invalid_argument("Cluster: null protocol factory");
+    envs_.reserve(static_cast<std::size_t>(config_.n));
+    processes_.reserve(static_cast<std::size_t>(config_.n));
+    for (ProcessId p = 0; p < config_.n; ++p)
+      envs_.push_back(std::make_unique<ClusterEnv>(*this, p));
+    for (ProcessId p = 0; p < config_.n; ++p) {
+      processes_.push_back(factory(*envs_[static_cast<std::size_t>(p)], p));
+      auto& proto = *processes_.back();
+      proto.on_decide = [this, p](Value v) { monitor_.note_decision(p, v, simulator_.now()); };
+      network_.set_handler(p, [this, p](ProcessId from, const Msg& m) {
+        processes_[static_cast<std::size_t>(p)]->on_message(from, m);
+      });
+    }
+  }
+
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] net::Network<Msg>& network() noexcept { return network_; }
+  [[nodiscard]] ConsensusMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] P& process(ProcessId p) { return *processes_.at(static_cast<std::size_t>(p)); }
+  [[nodiscard]] sim::Tick delta() const { return network_.delta(); }
+  [[nodiscard]] sim::Tick now() const noexcept { return simulator_.now(); }
+
+  /// Calls start() on every non-crashed process (arming protocol timers).
+  void start_all() {
+    for (ProcessId p = 0; p < config_.n; ++p)
+      if (!network_.crashed(p)) process(p).start();
+  }
+
+  /// Records the proposal with the monitor and delivers it to the process.
+  /// Crashed processes record the proposal only (it is part of the initial
+  /// configuration) but take no step.
+  void propose(ProcessId p, Value v) {
+    monitor_.note_proposal(p, v, simulator_.now());
+    if (!network_.crashed(p)) process(p).propose(v);
+  }
+
+  /// Schedules propose(p, v) at absolute virtual time `when`.
+  void propose_at(sim::Tick when, ProcessId p, Value v) {
+    simulator_.schedule_at(when, [this, p, v] { propose(p, v); });
+  }
+
+  /// Crashes p now (crash-stop).
+  void crash(ProcessId p) {
+    network_.crash(p);
+    monitor_.note_crash(p, simulator_.now());
+  }
+
+  void crash_at(sim::Tick when, ProcessId p) {
+    simulator_.schedule_at(when, [this, p] { crash(p); });
+  }
+
+  [[nodiscard]] bool crashed(ProcessId p) const { return network_.crashed(p); }
+
+  /// Runs the event loop to quiescence (bounded by max_events).
+  std::size_t run(std::size_t max_events = sim::Simulator::kDefaultEventBudget) {
+    return simulator_.run(max_events);
+  }
+
+  /// Runs all events with timestamp <= deadline.
+  std::size_t run_until(sim::Tick deadline) { return simulator_.run_until(deadline); }
+
+  /// True iff every non-crashed process has decided.
+  [[nodiscard]] bool all_correct_decided() const {
+    for (ProcessId p = 0; p < config_.n; ++p)
+      if (!network_.crashed(p) && !monitor_.has_decided(p)) return false;
+    return true;
+  }
+
+  /// Runs until every correct process decided or the deadline/budget is hit.
+  /// Returns true on success.
+  bool run_until_all_decided(sim::Tick deadline,
+                             std::size_t max_events = sim::Simulator::kDefaultEventBudget) {
+    std::size_t used = 0;
+    while (!all_correct_decided() && simulator_.now() <= deadline && used < max_events) {
+      if (!simulator_.step()) break;
+      ++used;
+    }
+    return all_correct_decided();
+  }
+
+ private:
+  /// Env implementation bound to one process slot.
+  class ClusterEnv final : public Env<Msg> {
+   public:
+    ClusterEnv(Cluster& cluster, ProcessId self) : cluster_(cluster), self_(self) {}
+
+    [[nodiscard]] ProcessId self() const override { return self_; }
+    [[nodiscard]] int cluster_size() const override { return cluster_.config_.n; }
+    [[nodiscard]] sim::Tick now() const override { return cluster_.simulator_.now(); }
+
+    void send(ProcessId to, const Msg& msg) override {
+      cluster_.network_.send(self_, to, msg);
+    }
+
+    TimerId set_timer(sim::Tick delay) override {
+      const TimerId tid{cluster_.next_timer_++};
+      const ProcessId p = self_;
+      Cluster& cluster = cluster_;
+      const sim::EventId ev = cluster_.simulator_.schedule_after(delay, [&cluster, p, tid] {
+        cluster.timers_.erase(tid.value);
+        if (cluster.network_.crashed(p)) return;
+        cluster.process(p).on_timer(tid);
+      });
+      cluster_.timers_.emplace(tid.value, ev);
+      return tid;
+    }
+
+    void cancel_timer(TimerId id) override {
+      const auto it = cluster_.timers_.find(id.value);
+      if (it == cluster_.timers_.end()) return;
+      cluster_.simulator_.cancel(it->second);
+      cluster_.timers_.erase(it);
+    }
+
+   private:
+    Cluster& cluster_;
+    ProcessId self_;
+  };
+
+  SystemConfig config_;
+  sim::Simulator simulator_;
+  net::Network<Msg> network_;
+  ConsensusMonitor monitor_;
+  std::vector<std::unique_ptr<ClusterEnv>> envs_;
+  std::vector<std::unique_ptr<P>> processes_;
+  std::unordered_map<std::uint64_t, sim::EventId> timers_;
+  std::uint64_t next_timer_ = 1;
+};
+
+}  // namespace twostep::consensus

@@ -1,0 +1,66 @@
+// The environment interface protocols run against.
+//
+// Every protocol in this library is a pure event-driven state machine: it
+// reacts to messages and timer expirations and can only affect the world
+// through an Env.  This is what lets the same protocol code run under the
+// discrete-event simulator, the bounded model checker, the lower-bound
+// splicing harness, and direct-drive unit tests.
+#pragma once
+
+#include <cstdint>
+
+#include "consensus/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace twostep::consensus {
+
+/// Handle for a protocol timer.
+struct TimerId {
+  std::uint64_t value = 0;
+  friend bool operator==(TimerId a, TimerId b) { return a.value == b.value; }
+};
+
+/// Environment presented to one protocol instance.  `Msg` is the protocol's
+/// own message type (typically a std::variant over its wire messages).
+///
+/// Lifetime: the Env outlives the protocol instance bound to it.  All calls
+/// are made from the protocol's own event context (single-threaded).
+template <typename Msg>
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// This process's identifier in Π.
+  [[nodiscard]] virtual ProcessId self() const = 0;
+
+  /// Number of processes n = |Π|.
+  [[nodiscard]] virtual int cluster_size() const = 0;
+
+  /// Current virtual time.
+  [[nodiscard]] virtual sim::Tick now() const = 0;
+
+  /// Sends `msg` to `to` over a reliable link.  Sending to self is allowed
+  /// and delivered like any other message.
+  virtual void send(ProcessId to, const Msg& msg) = 0;
+
+  /// Arms a one-shot timer firing `delay` ticks from now; the protocol's
+  /// on_timer(TimerId) will be invoked unless cancelled first.
+  virtual TimerId set_timer(sim::Tick delay) = 0;
+
+  /// Cancels a pending timer.  Cancelling an already-fired or unknown timer
+  /// is a no-op.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Sends `msg` to every process other than self.
+  void broadcast_others(const Msg& msg) {
+    for (ProcessId p = 0; p < cluster_size(); ++p)
+      if (p != self()) send(p, msg);
+  }
+
+  /// Sends `msg` to every process including self.
+  void broadcast_all(const Msg& msg) {
+    for (ProcessId p = 0; p < cluster_size(); ++p) send(p, msg);
+  }
+};
+
+}  // namespace twostep::consensus

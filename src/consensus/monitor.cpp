@@ -1,0 +1,141 @@
+#include "consensus/monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace twostep::consensus {
+
+void ConsensusMonitor::violation(std::string what) {
+  violations_.push_back(std::move(what));
+}
+
+void ConsensusMonitor::note_proposal(ProcessId p, Value v, sim::Tick when) {
+  (void)when;
+  if (v.is_bottom()) {
+    violation("process " + std::to_string(p) + " proposed bottom");
+    return;
+  }
+  const auto [it, inserted] = proposals_.emplace(p, v);
+  if (!inserted && it->second != v) {
+    violation("process " + std::to_string(p) + " proposed twice with different values");
+  }
+}
+
+void ConsensusMonitor::note_decision(ProcessId p, Value v, sim::Tick when) {
+  // Integrity: a process decides at most once (re-deciding the same value,
+  // e.g. slow path after Decide, is benign and collapsed here).
+  const auto it = decisions_.find(p);
+  if (it != decisions_.end()) {
+    if (it->second.value != v) {
+      violation("integrity: process " + std::to_string(p) + " decided " +
+                it->second.value.to_string() + " then " + v.to_string());
+    }
+    return;
+  }
+  // Validity: every decision is the proposal of some process.
+  const bool proposed = std::any_of(proposals_.begin(), proposals_.end(),
+                                    [&](const auto& kv) { return kv.second == v; });
+  if (!proposed) {
+    violation("validity: process " + std::to_string(p) + " decided unproposed value " +
+              v.to_string());
+  }
+  // Agreement: no two decisions differ.
+  for (const auto& [q, d] : decisions_) {
+    if (d.value != v) {
+      std::ostringstream os;
+      os << "agreement: process " << p << " decided " << v << " but process " << q
+         << " decided " << d.value;
+      violation(os.str());
+      break;
+    }
+  }
+  decisions_.emplace(p, Decision{v, when});
+}
+
+void ConsensusMonitor::note_crash(ProcessId p, sim::Tick when) { crashes_[p] = when; }
+
+bool ConsensusMonitor::has_decided(ProcessId p) const { return decisions_.contains(p); }
+
+std::optional<Value> ConsensusMonitor::decision(ProcessId p) const {
+  const auto it = decisions_.find(p);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<sim::Tick> ConsensusMonitor::decision_time(ProcessId p) const {
+  const auto it = decisions_.find(p);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second.when;
+}
+
+std::optional<Value> ConsensusMonitor::any_decision() const {
+  if (decisions_.empty()) return std::nullopt;
+  return decisions_.begin()->second.value;
+}
+
+int ConsensusMonitor::decided_count() const { return static_cast<int>(decisions_.size()); }
+
+bool ConsensusMonitor::two_step_for(ProcessId p, sim::Tick delta) const {
+  const auto t = decision_time(p);
+  return t.has_value() && *t <= 2 * delta;
+}
+
+std::vector<ProcessId> ConsensusMonitor::undecided_correct(int n) const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < n; ++p)
+    if (!crashes_.contains(p) && !decisions_.contains(p)) out.push_back(p);
+  return out;
+}
+
+void ConsensusMonitor::reset() {
+  proposals_.clear();
+  decisions_.clear();
+  crashes_.clear();
+  violations_.clear();
+}
+
+void ObjectLinearizabilityChecker::note_invocation(ProcessId p, Value v, sim::Tick when) {
+  invocations_.push_back(Invocation{p, v, when});
+}
+
+void ObjectLinearizabilityChecker::note_response(ProcessId p, Value v, sim::Tick when) {
+  responses_.push_back(Response{p, v, when});
+}
+
+std::vector<std::string> ObjectLinearizabilityChecker::check() const {
+  std::vector<std::string> problems;
+  if (responses_.empty()) return problems;
+
+  const Value v = responses_.front().v;
+  for (const auto& r : responses_) {
+    if (r.v != v) {
+      problems.push_back("responses disagree: " + v.to_string() + " vs " + r.v.to_string());
+      break;
+    }
+  }
+
+  const auto first_response =
+      std::min_element(responses_.begin(), responses_.end(),
+                       [](const Response& a, const Response& b) { return a.when < b.when; });
+  const bool witnessed = std::any_of(
+      invocations_.begin(), invocations_.end(),
+      [&](const Invocation& i) { return i.v == v && i.when <= first_response->when; });
+  if (!witnessed) {
+    problems.push_back("decided value " + v.to_string() +
+                       " has no propose() invocation preceding the first response");
+  }
+
+  // Each response must correspond to an invocation by the same process.
+  for (const auto& r : responses_) {
+    const bool invoked =
+        std::any_of(invocations_.begin(), invocations_.end(),
+                    [&](const Invocation& i) { return i.p == r.p && i.when <= r.when; });
+    if (!invoked) {
+      problems.push_back("process " + std::to_string(r.p) +
+                         " got a response without a prior invocation");
+    }
+  }
+  return problems;
+}
+
+}  // namespace twostep::consensus

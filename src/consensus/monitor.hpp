@@ -1,0 +1,101 @@
+// External run monitors.
+//
+// Safety and liveness are checked from outside the protocols: a protocol
+// reports its proposals and decisions to a ConsensusMonitor, and tests /
+// benches query the monitor for property verdicts.  Keeping the checkers
+// external means a buggy protocol cannot accidentally vouch for itself.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace twostep::consensus {
+
+/// Records the observable history of one consensus instance and evaluates
+/// the task specification (Validity, Agreement, Integrity) plus the paper's
+/// two-step conditions (Definition 3: a run is two-step for p if p decides
+/// by time 2Δ).
+class ConsensusMonitor {
+ public:
+  /// Registers that `p` has an input value / called propose(v) at `when`.
+  void note_proposal(ProcessId p, Value v, sim::Tick when);
+
+  /// Registers that `p` decided `v` at `when`.
+  void note_decision(ProcessId p, Value v, sim::Tick when);
+
+  /// Marks `p` as crashed at `when`; crashed processes are exempt from
+  /// Termination.
+  void note_crash(ProcessId p, sim::Tick when);
+
+  [[nodiscard]] bool has_decided(ProcessId p) const;
+  [[nodiscard]] std::optional<Value> decision(ProcessId p) const;
+  [[nodiscard]] std::optional<sim::Tick> decision_time(ProcessId p) const;
+  [[nodiscard]] std::optional<Value> any_decision() const;
+  [[nodiscard]] int decided_count() const;
+
+  /// True iff p decided no later than 2Δ (Definition 3).
+  [[nodiscard]] bool two_step_for(ProcessId p, sim::Tick delta) const;
+
+  /// All property violations detected so far, in human-readable form.
+  /// Empty result means the recorded history satisfies Validity, Agreement
+  /// and Integrity.  (Termination is time-bounded and checked separately.)
+  [[nodiscard]] const std::vector<std::string>& violations() const { return violations_; }
+  [[nodiscard]] bool safe() const { return violations_.empty(); }
+
+  /// Termination check: every process that neither crashed nor decided is a
+  /// violation.  `n` is the cluster size.
+  [[nodiscard]] std::vector<ProcessId> undecided_correct(int n) const;
+
+  [[nodiscard]] const std::map<ProcessId, Value>& proposals() const { return proposals_; }
+
+  void reset();
+
+ private:
+  struct Decision {
+    Value value;
+    sim::Tick when;
+  };
+
+  void violation(std::string what);
+
+  std::map<ProcessId, Value> proposals_;
+  std::map<ProcessId, Decision> decisions_;
+  std::map<ProcessId, sim::Tick> crashes_;
+  std::vector<std::string> violations_;
+};
+
+/// Linearizability checker for the consensus *object* API.  Consensus has a
+/// single semantic decision point, so full history search is unnecessary:
+/// a history is linearizable iff (1) all responses return the same value v,
+/// and (2) some propose(v) invocation precedes (in real time) the first
+/// response.  Condition (2) generalizes Validity to concurrent histories.
+class ObjectLinearizabilityChecker {
+ public:
+  void note_invocation(ProcessId p, Value v, sim::Tick when);
+  void note_response(ProcessId p, Value v, sim::Tick when);
+
+  /// Empty result means the recorded history is linearizable.
+  [[nodiscard]] std::vector<std::string> check() const;
+
+ private:
+  struct Invocation {
+    ProcessId p;
+    Value v;
+    sim::Tick when;
+  };
+  struct Response {
+    ProcessId p;
+    Value v;
+    sim::Tick when;
+  };
+
+  std::vector<Invocation> invocations_;
+  std::vector<Response> responses_;
+};
+
+}  // namespace twostep::consensus

@@ -1,0 +1,125 @@
+// Shared vocabulary for all consensus protocols in this library: process
+// identifiers, proposal values with an explicit bottom element, ballots, and
+// the (n, f, e) system configuration with the quorum arithmetic and process
+// bounds from the paper.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace twostep::consensus {
+
+/// Process identifier: dense 0-based index into the system Π = {p_0 … p_{n-1}}.
+/// (The paper numbers processes from 1; a 0-based index is idiomatic C++ and
+/// only shifts the `i ≡ b (mod n)` ballot-ownership rule by a constant.)
+using ProcessId = std::int32_t;
+
+/// Sentinel for "no process" (e.g. the `proposer` field before any vote).
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Ballot number.  Ballot 0 is the fast ballot; all others are slow.
+using Ballot = std::int64_t;
+
+/// A proposal value, or ⊥ (bottom).  The paper requires a total order on
+/// values in which ⊥ is strictly below every proper value (the object
+/// protocol initializes initial_val to ⊥, "lower than any other value", and
+/// the fast path accepts only values >= one's own proposal).  Proper values
+/// are 64-bit integers; state-machine commands are mapped to values by the
+/// RSM layer.
+class Value {
+ public:
+  /// Constructs ⊥.
+  constexpr Value() noexcept = default;
+
+  /// Constructs a proper value.
+  constexpr explicit Value(std::int64_t v) noexcept : payload_(v) {}
+
+  /// The ⊥ element.
+  static constexpr Value bottom() noexcept { return Value{}; }
+
+  [[nodiscard]] constexpr bool is_bottom() const noexcept { return !payload_.has_value(); }
+
+  /// Underlying integer; throws if this is ⊥.
+  [[nodiscard]] constexpr std::int64_t get() const {
+    if (!payload_) throw std::logic_error("Value::get() on bottom");
+    return *payload_;
+  }
+
+  /// Total order with ⊥ below every proper value.
+  friend constexpr bool operator==(Value a, Value b) noexcept {
+    return a.payload_ == b.payload_;
+  }
+  friend constexpr bool operator<(Value a, Value b) noexcept {
+    if (!a.payload_) return b.payload_.has_value();
+    if (!b.payload_) return false;
+    return *a.payload_ < *b.payload_;
+  }
+  friend constexpr bool operator!=(Value a, Value b) noexcept { return !(a == b); }
+  friend constexpr bool operator>(Value a, Value b) noexcept { return b < a; }
+  friend constexpr bool operator<=(Value a, Value b) noexcept { return !(b < a); }
+  friend constexpr bool operator>=(Value a, Value b) noexcept { return !(a < b); }
+
+  [[nodiscard]] std::string to_string() const {
+    return payload_ ? std::to_string(*payload_) : std::string("\xe2\x8a\xa5");  // ⊥
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Value v) { return os << v.to_string(); }
+
+ private:
+  std::optional<std::int64_t> payload_;
+};
+
+/// System configuration: n processes, at most f crash failures for liveness,
+/// two-step decisions required under up to e failures (e <= f).
+struct SystemConfig {
+  int n = 0;  ///< total number of processes
+  int f = 0;  ///< resilience threshold (Definition 1)
+  int e = 0;  ///< two-step threshold (Definition 4)
+
+  constexpr SystemConfig() = default;
+  constexpr SystemConfig(int n_, int f_, int e_) : n(n_), f(f_), e(e_) {
+    if (n < 1 || f < 0 || e < 0 || e > f)
+      throw std::invalid_argument("SystemConfig: need n >= 1 and 0 <= e <= f");
+  }
+
+  /// Classic (slow-path) quorum size: n - f.
+  [[nodiscard]] constexpr int classic_quorum() const noexcept { return n - f; }
+
+  /// Fast-path quorum size: n - e (counting the proposer itself).
+  [[nodiscard]] constexpr int fast_quorum() const noexcept { return n - e; }
+
+  /// Minimal n for an f-resilient e-two-step consensus *task* (Theorem 5).
+  static constexpr int min_processes_task(int e, int f) noexcept {
+    return std::max(2 * e + f, 2 * f + 1);
+  }
+
+  /// Minimal n for an f-resilient e-two-step consensus *object* (Theorem 6).
+  static constexpr int min_processes_object(int e, int f) noexcept {
+    return std::max(2 * e + f - 1, 2 * f + 1);
+  }
+
+  /// Minimal n under Lamport's classical definition, matched by Fast Paxos.
+  static constexpr int min_processes_fast_paxos(int e, int f) noexcept {
+    return std::max(2 * e + f + 1, 2 * f + 1);
+  }
+
+  /// Minimal n for plain f-resilient consensus (Dwork-Lynch-Stockmeyer).
+  static constexpr int min_processes_paxos(int f) noexcept { return 2 * f + 1; }
+
+  friend constexpr bool operator==(const SystemConfig&, const SystemConfig&) = default;
+};
+
+}  // namespace twostep::consensus
+
+template <>
+struct std::hash<twostep::consensus::Value> {
+  std::size_t operator()(const twostep::consensus::Value& v) const noexcept {
+    return v.is_bottom() ? 0x9e3779b97f4a7c15ULL
+                         : std::hash<std::int64_t>{}(v.get()) * 0xff51afd7ed558ccdULL + 1;
+  }
+};

@@ -1,0 +1,31 @@
+#include "core/messages.hpp"
+
+#include <sstream>
+
+namespace twostep::core {
+
+std::string to_string(const Message& m) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, ProposeMsg>) {
+          os << "Propose(" << msg.v << ")";
+        } else if constexpr (std::is_same_v<T, OneAMsg>) {
+          os << "1A(" << msg.b << ")";
+        } else if constexpr (std::is_same_v<T, OneBMsg>) {
+          os << "1B(" << msg.b << ", vbal=" << msg.vbal << ", val=" << msg.val
+             << ", proposer=" << msg.proposer << ", decided=" << msg.decided << ")";
+        } else if constexpr (std::is_same_v<T, TwoAMsg>) {
+          os << "2A(" << msg.b << ", " << msg.v << ")";
+        } else if constexpr (std::is_same_v<T, TwoBMsg>) {
+          os << "2B(" << msg.b << ", " << msg.v << ")";
+        } else {
+          os << "Decide(" << msg.v << ")";
+        }
+      },
+      m);
+  return os.str();
+}
+
+}  // namespace twostep::core

@@ -1,0 +1,64 @@
+// Wire messages of the paper's protocol (Figure 1).
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "consensus/types.hpp"
+
+namespace twostep::core {
+
+/// 𝙿𝚛𝚘𝚙𝚘𝚜𝚎(v): fast-ballot proposal broadcast by a proposer (line 4).
+struct ProposeMsg {
+  consensus::Value v;
+  friend bool operator==(const ProposeMsg&, const ProposeMsg&) = default;
+};
+
+/// 𝟷𝙰(b): ask processes to join slow ballot b (line 1A handler).
+struct OneAMsg {
+  consensus::Ballot b = 0;
+  friend bool operator==(const OneAMsg&, const OneAMsg&) = default;
+};
+
+/// 𝟷𝙱(b, vbal, val, proposer, decided): a process's state snapshot sent to
+/// the ballot-b leader.  The `initial` field is a liveness completion not in
+/// the paper's figure (see select_value() docs): it lets a leader that never
+/// proposed recover proposals whose Propose broadcasts were refused
+/// everywhere, which is required for wait-freedom of the object.
+struct OneBMsg {
+  consensus::Ballot b = 0;
+  consensus::Ballot vbal = 0;
+  consensus::Value val;
+  consensus::ProcessId proposer = consensus::kNoProcess;
+  consensus::Value decided;
+  consensus::Value initial;
+  friend bool operator==(const OneBMsg&, const OneBMsg&) = default;
+};
+
+/// 𝟸𝙰(b, v): the ballot-b leader's proposal.
+struct TwoAMsg {
+  consensus::Ballot b = 0;
+  consensus::Value v;
+  friend bool operator==(const TwoAMsg&, const TwoAMsg&) = default;
+};
+
+/// 𝟸𝙱(b, v): a vote for v at ballot b, sent back to the proposer (b = 0) or
+/// ballot leader (b > 0).
+struct TwoBMsg {
+  consensus::Ballot b = 0;
+  consensus::Value v;
+  friend bool operator==(const TwoBMsg&, const TwoBMsg&) = default;
+};
+
+/// 𝙳𝚎𝚌𝚒𝚍𝚎(v): decision dissemination.
+struct DecideMsg {
+  consensus::Value v;
+  friend bool operator==(const DecideMsg&, const DecideMsg&) = default;
+};
+
+using Message = std::variant<ProposeMsg, OneAMsg, OneBMsg, TwoAMsg, TwoBMsg, DecideMsg>;
+
+/// Human-readable rendering for traces and test diagnostics.
+std::string to_string(const Message& m);
+
+}  // namespace twostep::core

@@ -1,0 +1,89 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace twostep::core {
+
+using consensus::Value;
+
+SelectionResult select_value(const SelectionInput& in) {
+  const auto& cfg = in.config;
+  const auto& peers = in.peers;
+
+  // Line 23: if some process has already decided, adopt its decision.
+  for (const PeerState& p : peers) {
+    if (!p.decided.is_bottom()) return {p.decided, SelectionBranch::kDecided};
+  }
+
+  // Line 24-25: votes at the highest slow ballot supersede everything else.
+  consensus::Ballot bmax = 0;
+  for (const PeerState& p : peers) bmax = std::max(bmax, p.vbal);
+  if (bmax > 0) {
+    for (const PeerState& p : peers) {
+      if (p.vbal == bmax && !p.val.is_bottom())
+        return {p.val, SelectionBranch::kHighestBallot};
+    }
+    // A vbal > 0 with val == ⊥ cannot happen (votes always carry a value);
+    // fall through defensively.
+  }
+
+  // bmax == 0: a value may have been decided on the fast path.
+  // Line 26: R = {q in Q | proposer_q not in Q}.
+  std::unordered_set<consensus::ProcessId> quorum_ids;
+  for (const PeerState& p : peers) quorum_ids.insert(p.q);
+
+  std::map<Value, int> votes;  // value -> #ballot-0 votes in R
+  for (const PeerState& p : peers) {
+    if (p.val.is_bottom() || p.vbal != 0) continue;
+    const bool in_r = in.policy == SelectionPolicy::kNoProposerExclusion ||
+                      !quorum_ids.contains(p.proposer);
+    if (in_r) ++votes[p.val];
+  }
+
+  // The thresholds are only meaningful when n - f - e >= 1; below the
+  // paper's bounds the = n-f-e condition degenerates (an empty S would
+  // "support" every value), so we guard it.
+  const int threshold = cfg.n - cfg.f - cfg.e;
+  if (threshold >= 1) {
+    // Line 27: a value with more than n-f-e votes (unique by Lemma 7/C.2).
+    for (const auto& [v, count] : votes) {
+      if (count > threshold) return {v, SelectionBranch::kAboveThreshold};
+    }
+    // Line 28-29: values with exactly n-f-e votes; take the maximum.
+    Value best = Value::bottom();
+    for (const auto& [v, count] : votes) {
+      if (count == threshold && v > best) best = v;
+    }
+    if (!best.is_bottom() && in.policy != SelectionPolicy::kNoThresholdBranch) {
+      if (in.policy == SelectionPolicy::kNoMaxTieBreak) {
+        // Ablation: deliberately pick the minimum candidate instead.
+        Value worst = Value::bottom();
+        for (const auto& [v, count] : votes) {
+          if (count == threshold && (worst.is_bottom() || v < worst)) worst = v;
+        }
+        return {worst, SelectionBranch::kAtThresholdMax};
+      }
+      return {best, SelectionBranch::kAtThresholdMax};
+    }
+  }
+
+  // Line 30-31: fall back to the leader's own proposal.
+  if (!in.own_initial.is_bottom()) return {in.own_initial, SelectionBranch::kOwnInitial};
+
+  // Liveness completion (see header): no decision at any ballot < b is
+  // possible at this point, so any value some process *proposed* — whether
+  // it survives as a vote or only as the proposer's own initial_val — is
+  // safe to re-propose.
+  Value fallback = Value::bottom();
+  for (const PeerState& p : peers) {
+    fallback = std::max(fallback, p.val);
+    fallback = std::max(fallback, p.initial);
+  }
+  if (!fallback.is_bottom()) return {fallback, SelectionBranch::kCompletion};
+
+  return {Value::bottom(), SelectionBranch::kNone};
+}
+
+}  // namespace twostep::core

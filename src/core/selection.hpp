@@ -1,0 +1,86 @@
+// The slow-ballot value-selection rule (Figure 1, lines 22-31).
+//
+// This is the heart of the paper's upper bound: when a new ballot leader
+// aggregates 1B snapshots from a quorum Q of n-f processes, it must select a
+// value that preserves any decision possibly taken on the fast path with
+// only n >= 2e+f (task) or n >= 2e+f-1 (object) processes — fewer than Fast
+// Paxos needs.  The novel ingredients relative to Fast Paxos recovery are:
+//
+//   * the exclusion set R = {q in Q : proposer_q not in Q}: votes whose
+//     proposer itself answered the 1B can be discarded, because that
+//     proposer provably did not and will never take the fast path;
+//   * the two-tier threshold: a value with  > n-f-e  votes in R is uniquely
+//     recoverable; at exactly  = n-f-e  votes several candidates may remain
+//     and the *maximum* one is selected (sound because the fast path only
+//     accepts proposals >= the acceptor's own proposal).
+//
+// The rule is a free function so the Lemma 7 / Lemma C.2 case analysis is
+// directly unit- and property-testable, and so the ablation benchmarks can
+// run deliberately broken variants.
+#pragma once
+
+#include <vector>
+
+#include "consensus/types.hpp"
+
+namespace twostep::core {
+
+/// One row of the 1B quorum: the state process `q` reported.
+struct PeerState {
+  consensus::ProcessId q = consensus::kNoProcess;
+  consensus::Ballot vbal = 0;
+  consensus::Value val;                                   ///< last vote (⊥ if none)
+  consensus::ProcessId proposer = consensus::kNoProcess;  ///< proposer of `val` at ballot 0
+  consensus::Value decided;                               ///< ⊥ unless q already decided
+  consensus::Value initial;                               ///< q's own proposal (⊥ if none)
+};
+
+/// Which rule produced the selection; used by tests and the ablation bench.
+enum class SelectionBranch {
+  kDecided,        ///< some process already decided (line 23)
+  kHighestBallot,  ///< bmax > 0: classic Paxos rule (line 25)
+  kAboveThreshold, ///< > n-f-e votes in R for a single value (line 27)
+  kAtThresholdMax, ///< exactly n-f-e votes; maximum such value (line 29)
+  kOwnInitial,     ///< leader's own proposal (line 31)
+  kCompletion,     ///< liveness completion: max vote seen (not in the paper;
+                   ///< see select_value docs)
+  kNone,           ///< nothing to propose: leader must wait for more 1Bs
+};
+
+/// Deliberately weakened variants for the A1 ablation experiment.
+enum class SelectionPolicy {
+  kPaper,               ///< the full rule from Figure 1
+  kNoProposerExclusion, ///< R := Q (drop the proposer-not-in-Q filter)
+  kNoMaxTieBreak,       ///< at threshold, pick the *minimum* candidate
+  kNoThresholdBranch,   ///< drop the = n-f-e branch entirely
+};
+
+struct SelectionInput {
+  consensus::SystemConfig config;
+  std::vector<PeerState> peers;    ///< the 1B quorum Q (|peers| >= n-f)
+  consensus::Value own_initial;    ///< the leader's initial_val (may be ⊥)
+  SelectionPolicy policy = SelectionPolicy::kPaper;
+};
+
+struct SelectionResult {
+  consensus::Value value;  ///< ⊥ iff branch == kNone
+  SelectionBranch branch = SelectionBranch::kNone;
+};
+
+/// Executes lines 22-31 of Figure 1 on the snapshot `in.peers`.
+///
+/// Deviation from the paper, documented in DESIGN.md: when every branch of
+/// the paper's rule yields ⊥ but some peer reported a non-⊥ vote or a non-⊥
+/// own proposal, we select the maximum such value (kCompletion).  This is
+/// safe: whenever the rule reaches this point, Lemma 7/C.2's contrapositive
+/// shows no value has been or can ever be decided at ballot 0 (any
+/// still-decidable value would have >= n-f-e votes inside R), and no slow
+/// ballot b'' < b can have decided either (its n-f voters would intersect Q
+/// and surface as vbal > 0).  Hence any *proposed* value may be chosen.
+/// Without the completion a leader that never proposed could stall a
+/// pending propose() whose broadcasts were refused everywhere, violating
+/// wait-freedom of the object (and Termination of the task when proposals
+/// race with pre-GST ballot churn).
+SelectionResult select_value(const SelectionInput& in);
+
+}  // namespace twostep::core

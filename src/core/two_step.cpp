@@ -1,0 +1,197 @@
+#include "core/two_step.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace twostep::core {
+
+using consensus::Ballot;
+using consensus::ProcessId;
+using consensus::TimerId;
+using consensus::Value;
+
+TwoStepProcess::TwoStepProcess(consensus::Env<Message>& env, consensus::SystemConfig config,
+                               Options options)
+    : env_(env), config_(config), options_(std::move(options)) {
+  if (options_.delta <= 0) throw std::invalid_argument("TwoStepProcess: delta must be > 0");
+}
+
+void TwoStepProcess::start() {
+  if (started_) return;
+  started_ = true;
+  // §C.1: the timer is initially set to 2Δ, giving the fast path just
+  // enough time; re-armed with 5Δ afterwards.
+  if (options_.enable_ballot_timer) env_.set_timer(2 * options_.delta);
+}
+
+void TwoStepProcess::propose(Value v) {
+  if (v.is_bottom()) throw std::invalid_argument("propose: value must not be bottom");
+  // Figure 1, line 2: only a process that has not yet voted adopts and
+  // broadcasts its own proposal.  (In object mode a process that already
+  // voted for someone else's value keeps initial_val = ⊥ and will learn the
+  // decision via Decide.)
+  if (!val_.is_bottom()) return;
+  if (!initial_val_.is_bottom()) return;  // propose is at-most-once
+  initial_val_ = v;
+  env_.broadcast_others(ProposeMsg{v});
+  maybe_decide_fast();  // n - e == 1 degenerate case decides immediately
+}
+
+consensus::ProcessId TwoStepProcess::omega_leader() const {
+  return options_.leader_of ? options_.leader_of() : ProcessId{0};
+}
+
+Ballot TwoStepProcess::next_owned_ballot() const {
+  const auto n = static_cast<Ballot>(config_.n);
+  const auto self = static_cast<Ballot>(env_.self());
+  const Ballot base = bal_ + 1;
+  const Ballot shift = ((self - base) % n + n) % n;
+  return base + shift;
+}
+
+void TwoStepProcess::on_timer(TimerId) {
+  if (has_decided()) return;
+  if (!options_.enable_ballot_timer) return;
+  env_.set_timer(5 * options_.delta);
+  if (omega_leader() != env_.self()) return;
+  const Ballot b = next_owned_ballot();
+  TWOSTEP_LOG(kDebug) << "p" << env_.self() << " starts ballot " << b;
+  // Broadcast to Π including self: our own 1A moves us to ballot b and our
+  // own 1B joins the quorum.
+  env_.broadcast_all(OneAMsg{b});
+}
+
+void TwoStepProcess::on_message(ProcessId from, const Message& m) {
+  std::visit([&](const auto& msg) { handle(from, msg); }, m);
+}
+
+void TwoStepProcess::handle(ProcessId from, const ProposeMsg& m) {
+  // Figure 1, line 7 precondition.
+  if (bal_ != 0 || !val_.is_bottom() || m.v < initial_val_) return;
+  // Red-line condition (object mode): a proposer only votes for a foreign
+  // proposal equal to its own.
+  if (options_.mode == Mode::kObject && !initial_val_.is_bottom() && m.v != initial_val_) return;
+  val_ = m.v;
+  proposer_ = from;
+  env_.send(from, TwoBMsg{0, m.v});
+}
+
+void TwoStepProcess::maybe_decide_fast() {
+  // Figure 1, line 8, first disjunct: bal = 0, |P ∪ {p_i}| >= n - e,
+  // val ∈ {⊥, v} where v is our own proposal.
+  if (has_decided() || bal_ != 0) return;
+  if (initial_val_.is_bottom()) return;
+  if (!val_.is_bottom() && val_ != initial_val_) return;
+  if (static_cast<int>(fast_voters_.size()) + 1 >= config_.fast_quorum())
+    decide(initial_val_, /*broadcast=*/true);
+}
+
+void TwoStepProcess::handle(ProcessId from, const TwoBMsg& m) {
+  if (m.b == 0) {
+    // A fast-path vote for our own proposal.
+    if (initial_val_.is_bottom() || m.v != initial_val_) return;
+    fast_voters_.insert(from);
+    maybe_decide_fast();
+    return;
+  }
+  // Slow-path vote for a ballot we lead (line 8, second disjunct).
+  const auto it = led_.find(m.b);
+  if (it == led_.end() || !it->second.sent_two_a || m.v != it->second.two_a_value) return;
+  it->second.twobs.insert(from);
+  if (static_cast<int>(it->second.twobs.size()) >= config_.classic_quorum())
+    decide(m.v, /*broadcast=*/true);
+}
+
+void TwoStepProcess::handle(ProcessId, const DecideMsg& m) {
+  decide(m.v, /*broadcast=*/false);
+}
+
+void TwoStepProcess::handle(ProcessId from, const OneAMsg& m) {
+  if (m.b <= bal_) return;
+  bal_ = m.b;
+  env_.send(from, OneBMsg{m.b, vbal_, val_, proposer_, decided_, initial_val_});
+}
+
+void TwoStepProcess::handle(ProcessId from, const OneBMsg& m) {
+  // Only the owner of ballot b aggregates its 1Bs.
+  if (m.b <= 0 || m.b % config_.n != static_cast<Ballot>(env_.self())) return;
+  auto& led = led_[m.b];
+  if (!led.onebs.contains(from)) {
+    led.onebs.emplace(from, m);
+    led.arrival.push_back(from);
+  }
+  maybe_send_two_a(m.b);
+}
+
+void TwoStepProcess::maybe_send_two_a(Ballot b) {
+  auto& led = led_[b];
+  if (led.sent_two_a) return;
+  const int quorum = config_.classic_quorum();
+  if (static_cast<int>(led.arrival.size()) < quorum) return;
+
+  SelectionInput in;
+  in.config = config_;
+  in.own_initial = initial_val_;
+  in.policy = options_.selection_policy;
+
+  if (!led.exhausted_fast_path) {
+    // The paper's rule is stated for |Q| = n - f exactly; the uniqueness
+    // argument of Lemma 7 / C.2 relies on it.  Use the first n - f arrivals.
+    in.peers.reserve(static_cast<std::size_t>(quorum));
+    for (int i = 0; i < quorum; ++i) {
+      const ProcessId q = led.arrival[static_cast<std::size_t>(i)];
+      const OneBMsg& ob = led.onebs.at(q);
+      in.peers.push_back(PeerState{q, ob.vbal, ob.val, ob.proposer, ob.decided, ob.initial});
+    }
+    const SelectionResult res = select_value(in);
+    if (res.branch != SelectionBranch::kNone) {
+      led.sent_two_a = true;
+      led.two_a_value = res.value;
+      TWOSTEP_LOG(kDebug) << "p" << env_.self() << " 2A(" << b << ", "
+                          << res.value.to_string() << ") branch "
+                          << static_cast<int>(res.branch);
+      env_.broadcast_all(TwoAMsg{b, res.value});
+      return;
+    }
+    // Nothing to propose: the exact quorum was entirely voteless (and we
+    // never proposed).  Since those n - f processes are now locked out of
+    // ballot 0 and of every ballot < b, no decision can exist or ever arise
+    // at a ballot < b; adopting *any* vote seen in later 1Bs is safe.  This
+    // keeps a leader that never proposed from stalling pending propose()
+    // invocations of processes outside the quorum (wait-freedom).
+    led.exhausted_fast_path = true;
+  }
+
+  // Completion: re-run the rule over everything received so far.
+  in.peers.clear();
+  in.peers.reserve(led.onebs.size());
+  for (const auto& [q, ob] : led.onebs)
+    in.peers.push_back(PeerState{q, ob.vbal, ob.val, ob.proposer, ob.decided, ob.initial});
+  const SelectionResult res = select_value(in);
+  if (res.branch == SelectionBranch::kNone) return;  // still nothing; keep waiting
+  led.sent_two_a = true;
+  led.two_a_value = res.value;
+  env_.broadcast_all(TwoAMsg{b, res.value});
+}
+
+void TwoStepProcess::handle(ProcessId from, const TwoAMsg& m) {
+  if (bal_ > m.b) return;  // precondition: bal <= b
+  val_ = m.v;
+  bal_ = m.b;
+  vbal_ = m.b;
+  env_.send(from, TwoBMsg{m.b, m.v});
+}
+
+void TwoStepProcess::decide(Value v, bool broadcast) {
+  if (decide_notified_) return;
+  val_ = v;
+  decided_ = v;
+  decide_notified_ = true;
+  TWOSTEP_LOG(kDebug) << "p" << env_.self() << " decides " << v.to_string();
+  if (broadcast) env_.broadcast_others(DecideMsg{v});
+  if (on_decide) on_decide(v);
+}
+
+}  // namespace twostep::core

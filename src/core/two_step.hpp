@@ -1,0 +1,143 @@
+// The paper's protocol (Figure 1): f-resilient e-two-step consensus with
+// the optimal number of processes.
+//
+//  * Task mode (red lines ignored):   works for n >= max{2e+f,   2f+1}.
+//  * Object mode (red lines active):  works for n >= max{2e+f-1, 2f+1}.
+//
+// Structure: ballot 0 is the *fast ballot* — every proposer broadcasts
+// Propose(v); a process votes for the first proposal it can accept (it must
+// be >= its own proposal, and in object mode equal to it if it proposed);
+// the proposer decides once n-e processes including itself voted for v.
+// Slow ballots are Paxos-like (1A/1B/2A/2B) with the novel value-selection
+// rule in select_value() that recovers possible fast-path decisions.
+// Decisions are disseminated with Decide messages.  New ballots are started
+// by the Ω-elected leader on a timer: 2Δ initially (just enough for the fast
+// path), 5Δ thereafter (§C.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "consensus/env.hpp"
+#include "consensus/types.hpp"
+#include "core/messages.hpp"
+#include "core/selection.hpp"
+
+namespace twostep::core {
+
+/// Task vs object formulation (Theorems 5 and 6).  The only code difference
+/// is the red-line conditions of Figure 1.
+enum class Mode { kTask, kObject };
+
+/// Tunables and dependencies of one protocol instance.
+struct Options {
+  Mode mode = Mode::kTask;
+
+  /// The network's Δ bound, used for the new-ballot timer.
+  sim::Tick delta = 1;
+
+  /// Ω output at this process (§C.1).  When it returns self(), the timer
+  /// handler starts a new ballot.  Defaults (empty) to "always p0".
+  std::function<consensus::ProcessId()> leader_of;
+
+  /// If false, the process never starts slow ballots (used by tests that
+  /// need pure fast-path traces).  It still *participates* in ballots others
+  /// start.
+  bool enable_ballot_timer = true;
+
+  /// Value-selection variant; anything but kPaper is for the ablation bench.
+  SelectionPolicy selection_policy = SelectionPolicy::kPaper;
+};
+
+/// One process of the protocol.  See Cluster<P> for the harness contract.
+class TwoStepProcess {
+ public:
+  using Message = core::Message;
+
+  TwoStepProcess(consensus::Env<Message>& env, consensus::SystemConfig config, Options options);
+
+  /// Arms the initial 2Δ new-ballot timer.  Call once at process start.
+  void start();
+
+  /// Task mode: the process's input value, invoked at startup.
+  /// Object mode: the propose(v) operation; the decision is delivered via
+  /// on_decide.  Per Figure 1 line 2, a process that has already voted for
+  /// another proposal does not send its own.
+  void propose(consensus::Value v);
+
+  void on_message(consensus::ProcessId from, const Message& m);
+  void on_timer(consensus::TimerId id);
+
+  /// Fired exactly once, when this process decides.
+  std::function<void(consensus::Value)> on_decide;
+
+  // --- observable state (for tests, monitors and 1B snapshots) ---
+  [[nodiscard]] bool has_decided() const noexcept { return !decided_.is_bottom(); }
+  [[nodiscard]] consensus::Value decided_value() const noexcept { return decided_; }
+  [[nodiscard]] consensus::Ballot ballot() const noexcept { return bal_; }
+  [[nodiscard]] consensus::Ballot vote_ballot() const noexcept { return vbal_; }
+  [[nodiscard]] consensus::Value vote_value() const noexcept { return val_; }
+  [[nodiscard]] consensus::Value initial_value() const noexcept { return initial_val_; }
+  [[nodiscard]] consensus::ProcessId vote_proposer() const noexcept { return proposer_; }
+
+ private:
+  void handle(consensus::ProcessId from, const ProposeMsg& m);
+  void handle(consensus::ProcessId from, const OneAMsg& m);
+  void handle(consensus::ProcessId from, const OneBMsg& m);
+  void handle(consensus::ProcessId from, const TwoAMsg& m);
+  void handle(consensus::ProcessId from, const TwoBMsg& m);
+  void handle(consensus::ProcessId from, const DecideMsg& m);
+
+  /// Line 8, fast disjunct: decide once |fast_voters_| + 1 >= n - e and our
+  /// own vote does not conflict with our proposal.
+  void maybe_decide_fast();
+
+  /// Runs the selection rule for ballot b (which we lead) and sends 2A if a
+  /// value is determined.  Called as 1Bs accumulate.
+  void maybe_send_two_a(consensus::Ballot b);
+
+  /// Records the decision, notifies on_decide, broadcasts Decide.
+  void decide(consensus::Value v, bool broadcast);
+
+  /// Smallest ballot > bal_ owned by this process (b mod n == self).
+  [[nodiscard]] consensus::Ballot next_owned_ballot() const;
+
+  [[nodiscard]] consensus::ProcessId omega_leader() const;
+
+  consensus::Env<Message>& env_;
+  consensus::SystemConfig config_;
+  Options options_;
+
+  // Figure 1 state.
+  consensus::Value initial_val_;                          // 𝗂𝗇𝗂𝗍𝗂𝖺𝗅_𝗏𝖺𝗅
+  consensus::Value val_;                                  // 𝗏𝖺𝗅
+  consensus::Value decided_;                              // 𝖽𝖾𝖼𝗂𝖽𝖾𝖽
+  consensus::Ballot bal_ = 0;                             // 𝖻𝖺𝗅
+  consensus::Ballot vbal_ = 0;                            // 𝗏𝖻𝖺𝗅
+  consensus::ProcessId proposer_ = consensus::kNoProcess; // 𝗉𝗋𝗈𝗉𝗈𝗌𝖾𝗋
+
+  // Fast-path bookkeeping: who voted for our proposal at ballot 0.
+  std::set<consensus::ProcessId> fast_voters_;
+
+  // Slow-path bookkeeping for ballots we lead.
+  struct LedBallot {
+    std::map<consensus::ProcessId, OneBMsg> onebs;  // arrival order irrelevant
+    std::vector<consensus::ProcessId> arrival;      // first n-f = the quorum Q
+    bool sent_two_a = false;
+    /// Set once the first exact-(n-f) evaluation returned "nothing to
+    /// propose": from then on no fast decision can ever occur (n-f voteless
+    /// processes are locked out of ballot 0), so any later-seen vote may be
+    /// adopted directly.
+    bool exhausted_fast_path = false;
+    consensus::Value two_a_value;
+    std::set<consensus::ProcessId> twobs;  // votes for (b, two_a_value)
+  };
+  std::map<consensus::Ballot, LedBallot> led_;
+
+  bool started_ = false;
+  bool decide_notified_ = false;
+};
+
+}  // namespace twostep::core

@@ -1,0 +1,63 @@
+#include "core/with_omega.hpp"
+
+namespace twostep::core {
+
+namespace {
+
+omega::HeartbeatOmega::Hooks make_hooks(consensus::Env<OmegaMessage>& env) {
+  omega::HeartbeatOmega::Hooks hooks;
+  hooks.send_heartbeat = [&env](consensus::ProcessId to) {
+    env.send(to, OmegaMessage{omega::Heartbeat{}});
+  };
+  hooks.set_timer = [&env](sim::Tick delay) { return env.set_timer(delay); };
+  hooks.now = [&env] { return env.now(); };
+  return hooks;
+}
+
+}  // namespace
+
+TwoStepWithOmega::TwoStepWithOmega(consensus::Env<Message>& env,
+                                   consensus::SystemConfig config, WithOmegaOptions options)
+    : env_(env),
+      inner_env_(*this),
+      detector_(config.n, env.self(),
+                options.heartbeat_period > 0 ? options.heartbeat_period : options.delta,
+                options.suspect_timeout > 0
+                    ? options.suspect_timeout
+                    : 2 * options.delta +
+                          (options.heartbeat_period > 0 ? options.heartbeat_period
+                                                        : options.delta),
+                make_hooks(env)) {
+  Options inner_options;
+  inner_options.mode = options.mode;
+  inner_options.delta = options.delta;
+  inner_options.selection_policy = options.selection_policy;
+  inner_options.leader_of = [this] { return detector_.leader(); };
+  inner_ = std::make_unique<TwoStepProcess>(inner_env_, config, std::move(inner_options));
+  // Forward decisions: on_decide may be (re)assigned by harnesses after
+  // construction, so indirect through the member.
+  inner_->on_decide = [this](consensus::Value v) {
+    if (on_decide) on_decide(v);
+  };
+}
+
+void TwoStepWithOmega::start() {
+  detector_.start();
+  inner_->start();
+}
+
+void TwoStepWithOmega::on_message(consensus::ProcessId from, const Message& m) {
+  if (const auto* heartbeat = std::get_if<omega::Heartbeat>(&m)) {
+    (void)heartbeat;
+    detector_.on_heartbeat(from);
+    return;
+  }
+  inner_->on_message(from, std::get<core::Message>(m));
+}
+
+void TwoStepWithOmega::on_timer(consensus::TimerId id) {
+  if (detector_.handle_timer(id)) return;
+  inner_->on_timer(id);
+}
+
+}  // namespace twostep::core

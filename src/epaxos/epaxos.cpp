@@ -1,0 +1,327 @@
+#include "epaxos/epaxos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace twostep::epaxos {
+
+using consensus::Ballot;
+using consensus::ProcessId;
+using consensus::TimerId;
+
+EPaxosReplica::EPaxosReplica(consensus::Env<Message>& env, consensus::SystemConfig config,
+                             Options options)
+    : env_(env), config_(config), options_(std::move(options)) {
+  if (options_.delta <= 0) throw std::invalid_argument("EPaxosReplica: delta must be > 0");
+  // Fast quorum f + floor((f+1)/2) incl. the leader; classic majority.
+  fast_quorum_ = config_.f + (config_.f + 1) / 2;
+  classic_quorum_ = config_.n / 2 + 1;
+  if (fast_quorum_ < classic_quorum_) fast_quorum_ = classic_quorum_;
+  if (fast_quorum_ > config_.n) fast_quorum_ = config_.n;
+}
+
+void EPaxosReplica::start() {
+  if (options_.recovery_timeout > 0) env_.set_timer(options_.recovery_timeout);
+}
+
+const EPaxosReplica::Instance* EPaxosReplica::find(InstanceId id) const {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+Status EPaxosReplica::status(InstanceId id) const {
+  const Instance* inst = find(id);
+  return inst ? inst->status : Status::kNone;
+}
+
+std::optional<Command> EPaxosReplica::committed_command(InstanceId id) const {
+  const Instance* inst = find(id);
+  if (!inst || inst->status < Status::kCommitted) return std::nullopt;
+  return inst->cmd;
+}
+
+DepSet EPaxosReplica::committed_deps(InstanceId id) const {
+  const Instance* inst = find(id);
+  if (!inst || inst->status < Status::kCommitted) return {};
+  return inst->deps;
+}
+
+int EPaxosReplica::committed_count() const { return committed_count_; }
+
+bool EPaxosReplica::used_fast_path(InstanceId id) const {
+  const Instance* inst = find(id);
+  return inst && inst->fast_committed;
+}
+
+void EPaxosReplica::assign_attributes(const Command& cmd, InstanceId self_id, DepSet& deps,
+                                      std::int64_t& seq) const {
+  seq = 1;
+  for (const auto& [id, inst] : instances_) {
+    if (id == self_id || inst.status == Status::kNone) continue;
+    if (!inst.cmd.interferes(cmd)) continue;
+    deps.insert(id);
+    seq = std::max(seq, inst.seq + 1);
+  }
+}
+
+InstanceId EPaxosReplica::submit(Command cmd) {
+  const InstanceId id{env_.self(), next_index_++};
+  Instance& inst = instance(id);
+  inst.cmd = cmd;
+  assign_attributes(cmd, id, inst.deps, inst.seq);
+  inst.status = Status::kPreAccepted;
+  inst.leading = true;
+  inst.merged_deps = inst.deps;
+  inst.merged_seq = inst.seq;
+  if (config_.n == 1) {
+    commit(id, inst.cmd, inst.deps, inst.seq, /*broadcast=*/false);
+    return id;
+  }
+  env_.broadcast_others(PreAcceptMsg{id, cmd, inst.deps, inst.seq});
+  return id;
+}
+
+void EPaxosReplica::on_message(ProcessId from, const Message& m) {
+  std::visit([&](const auto& msg) { handle(from, msg); }, m);
+}
+
+void EPaxosReplica::handle(ProcessId from, const PreAcceptMsg& m) {
+  Instance& inst = instance(m.instance);
+  // A later phase supersedes PreAccept.
+  if (inst.status >= Status::kAccepted || inst.ballot > 0) return;
+
+  DepSet deps = m.deps;
+  std::int64_t seq = m.seq;
+  DepSet local;
+  std::int64_t local_seq = 1;
+  assign_attributes(m.cmd, m.instance, local, local_seq);
+  deps.insert(local.begin(), local.end());
+  seq = std::max(seq, local_seq);
+  const bool changed = deps != m.deps || seq != m.seq;
+
+  inst.cmd = m.cmd;
+  inst.deps = deps;
+  inst.seq = seq;
+  inst.status = Status::kPreAccepted;
+  env_.send(from, PreAcceptReplyMsg{m.instance, deps, seq, changed});
+}
+
+void EPaxosReplica::handle(ProcessId, const PreAcceptReplyMsg& m) {
+  Instance& inst = instance(m.instance);
+  if (!inst.leading || inst.status != Status::kPreAccepted) return;
+  ++inst.preaccept_replies;
+  inst.merged_deps.insert(m.deps.begin(), m.deps.end());
+  inst.merged_seq = std::max(inst.merged_seq, m.seq);
+  if (m.changed) inst.fast_eligible = false;
+
+  if (inst.fast_eligible && inst.preaccept_replies >= fast_quorum_ - 1) {
+    // All fast-quorum replies agreed with our attributes: commit in two
+    // message delays.
+    inst.fast_committed = true;
+    commit(m.instance, inst.cmd, inst.deps, inst.seq, /*broadcast=*/true);
+    return;
+  }
+  if (!inst.fast_eligible && inst.preaccept_replies >= classic_quorum_ - 1) {
+    begin_accept_round(m.instance);
+  }
+}
+
+void EPaxosReplica::begin_accept_round(InstanceId id) {
+  Instance& inst = instance(id);
+  inst.status = Status::kAccepted;
+  inst.deps = inst.merged_deps;
+  inst.seq = inst.merged_seq;
+  inst.accept_replies = 0;
+  env_.broadcast_others(AcceptMsg{id, inst.ballot, inst.cmd, inst.deps, inst.seq});
+}
+
+void EPaxosReplica::handle(ProcessId from, const AcceptMsg& m) {
+  Instance& inst = instance(m.instance);
+  if (m.ballot < inst.ballot || inst.status >= Status::kCommitted) return;
+  inst.cmd = m.cmd;
+  inst.deps = m.deps;
+  inst.seq = m.seq;
+  inst.ballot = m.ballot;
+  inst.status = Status::kAccepted;
+  env_.send(from, AcceptReplyMsg{m.instance, m.ballot});
+}
+
+void EPaxosReplica::handle(ProcessId, const AcceptReplyMsg& m) {
+  Instance& inst = instance(m.instance);
+  if (inst.status != Status::kAccepted || m.ballot != inst.ballot) return;
+  if (!inst.leading && !inst.recovering) return;
+  ++inst.accept_replies;
+  if (inst.accept_replies >= classic_quorum_ - 1) {
+    commit(m.instance, inst.cmd, inst.deps, inst.seq, /*broadcast=*/true);
+  }
+}
+
+void EPaxosReplica::handle(ProcessId, const CommitMsg& m) {
+  commit(m.instance, m.cmd, m.deps, m.seq, /*broadcast=*/false);
+}
+
+void EPaxosReplica::commit(InstanceId id, const Command& cmd, const DepSet& deps,
+                           std::int64_t seq, bool broadcast) {
+  Instance& inst = instance(id);
+  if (inst.status >= Status::kCommitted) return;
+  inst.cmd = cmd;
+  inst.deps = deps;
+  inst.seq = seq;
+  inst.status = Status::kCommitted;
+  ++committed_count_;
+  if (broadcast) env_.broadcast_others(CommitMsg{id, cmd, deps, seq});
+  if (on_commit) on_commit(id, cmd);
+  if (id.replica == env_.self() && !own_commit_reported_ && on_decide) {
+    own_commit_reported_ = true;
+    on_decide(consensus::Value{cmd.payload});
+  }
+  try_execute();
+}
+
+// ---- explicit recovery ----
+
+void EPaxosReplica::recover(InstanceId id) {
+  Instance& inst = instance(id);
+  if (inst.status >= Status::kCommitted) return;
+  // Pick a ballot owned by this replica, above anything seen.
+  const auto n = static_cast<Ballot>(config_.n);
+  const auto self = static_cast<Ballot>(env_.self());
+  Ballot b = inst.ballot + 1;
+  b += ((self - b) % n + n) % n;
+  if (b == 0) b += n;  // ballot 0 belongs to the instance owner
+  inst.recovering = true;
+  inst.prepare_replies.clear();
+  inst.ballot = b;
+  env_.broadcast_all(PrepareMsg{id, b});
+}
+
+void EPaxosReplica::handle(ProcessId from, const PrepareMsg& m) {
+  Instance& inst = instance(m.instance);
+  if (m.ballot <= inst.ballot && !(m.ballot == inst.ballot && from == env_.self())) {
+    // Stale prepare; still answer committed state to speed the recoverer up.
+    if (inst.status >= Status::kCommitted) {
+      env_.send(from, PrepareReplyMsg{m.instance, m.ballot, inst.status, inst.cmd, inst.deps,
+                                      inst.seq});
+    }
+    return;
+  }
+  inst.ballot = m.ballot;
+  env_.send(from,
+            PrepareReplyMsg{m.instance, m.ballot, inst.status, inst.cmd, inst.deps, inst.seq});
+}
+
+void EPaxosReplica::handle(ProcessId, const PrepareReplyMsg& m) {
+  Instance& inst = instance(m.instance);
+  if (!inst.recovering || inst.status >= Status::kCommitted) return;
+  if (m.status >= Status::kCommitted) {
+    inst.recovering = false;
+    commit(m.instance, m.cmd, m.deps, m.seq, /*broadcast=*/true);
+    return;
+  }
+  inst.prepare_replies.push_back(m);
+  if (static_cast<int>(inst.prepare_replies.size()) < classic_quorum_) return;
+
+  // Quorum of answers without a commit: pick the strongest evidence.
+  const PrepareReplyMsg* accepted = nullptr;
+  const PrepareReplyMsg* preaccepted = nullptr;
+  for (const auto& reply : inst.prepare_replies) {
+    if (reply.status == Status::kAccepted &&
+        (!accepted || reply.ballot > accepted->ballot)) {
+      accepted = &reply;
+    }
+    if (reply.status == Status::kPreAccepted) {
+      if (!preaccepted) {
+        preaccepted = &reply;
+      } else {
+        // Conservative union of pre-accepted evidence (see header note).
+        inst.merged_deps.insert(reply.deps.begin(), reply.deps.end());
+        inst.merged_seq = std::max(inst.merged_seq, reply.seq);
+      }
+    }
+  }
+  inst.recovering = false;
+  if (accepted) {
+    inst.cmd = accepted->cmd;
+    inst.deps = accepted->deps;
+    inst.seq = accepted->seq;
+  } else if (preaccepted) {
+    inst.cmd = preaccepted->cmd;
+    inst.merged_deps.insert(preaccepted->deps.begin(), preaccepted->deps.end());
+    inst.merged_seq = std::max(inst.merged_seq, preaccepted->seq);
+    inst.deps = inst.merged_deps;
+    inst.seq = std::max(inst.seq, inst.merged_seq);
+  } else {
+    // Nobody saw the command: commit a no-op so dependent instances can
+    // execute.
+    inst.cmd = Command{/*key=*/0, /*payload=*/kNoOpPayload};
+    inst.deps.clear();
+    inst.seq = 0;
+  }
+  inst.status = Status::kAccepted;
+  inst.accept_replies = 0;
+  inst.recovering = true;  // keep counting AcceptReplies for this recovery
+  env_.broadcast_others(AcceptMsg{m.instance, inst.ballot, inst.cmd, inst.deps, inst.seq});
+}
+
+void EPaxosReplica::on_timer(TimerId) {
+  if (options_.recovery_timeout <= 0) return;
+  env_.set_timer(options_.recovery_timeout);
+  for (auto& [id, inst] : instances_) {
+    if (id.replica == env_.self()) continue;
+    if (inst.status == Status::kPreAccepted || inst.status == Status::kAccepted) {
+      if (!inst.recovering) recover(id);
+    }
+  }
+}
+
+// ---- execution ----
+
+void EPaxosReplica::try_execute() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [id, inst] : instances_) {
+      if (inst.status != Status::kCommitted) continue;
+      std::set<InstanceId> visiting;
+      if (execute_instance(id, visiting)) progress = true;
+    }
+  }
+}
+
+bool EPaxosReplica::execute_instance(InstanceId id, std::set<InstanceId>& visiting) {
+  Instance& inst = instance(id);
+  if (inst.status == Status::kExecuted) return false;
+  if (inst.status != Status::kCommitted) return false;
+  visiting.insert(id);
+  for (const InstanceId dep : inst.deps) {
+    const Instance* dep_inst = find(dep);
+    if (!dep_inst || dep_inst->status < Status::kCommitted) {
+      visiting.erase(id);
+      return false;  // dependency not committed yet
+    }
+    if (dep_inst->status == Status::kExecuted) continue;
+    if (visiting.contains(dep)) {
+      // Cycle (mutual interference): execute lower (seq, id) first; if the
+      // dependency is "greater", it waits for us instead.
+      if (std::pair(dep_inst->seq, dep) > std::pair(inst.seq, id)) continue;
+      visiting.erase(id);
+      return false;
+    }
+    if (!execute_instance(dep, visiting)) {
+      // The dependency could not execute; unless it is deferred to after us
+      // by the cycle rule, we cannot run yet.
+      if (find(dep)->status != Status::kExecuted &&
+          std::pair(dep_inst->seq, dep) <= std::pair(inst.seq, id)) {
+        visiting.erase(id);
+        return false;
+      }
+    }
+  }
+  visiting.erase(id);
+  inst.status = Status::kExecuted;
+  ++executed_count_;
+  if (on_execute) on_execute(id, inst.cmd);
+  return true;
+}
+
+}  // namespace twostep::epaxos

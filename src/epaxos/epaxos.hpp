@@ -1,0 +1,234 @@
+// Egalitarian Paxos (Moraru et al., SOSP 2013), single-key-space core — the
+// protocol whose two-step behaviour with only 2f+1 processes motivated the
+// paper ("what's going on?").
+//
+// Every replica is the command leader of its own instances.  Committing a
+// command takes two message delays on the fast path: the leader PreAccepts
+// the command with its current dependency set to a fast quorum of
+// f + floor((f+1)/2) replicas (itself included; n = 2f+1); if all replies
+// report the same dependencies, the command commits immediately.  This is
+// exactly the operating point e = ceil((f+1)/2), n = 2f+1 = 2e+f-1 from the
+// paper's introduction.  Interfering commands (same key) fall back to the
+// Accept round: the leader aggregates the union of reported dependencies
+// and runs a classic quorum round on (cmd, deps, seq) before committing —
+// two extra delays.
+//
+// Execution: committed instances are applied in dependency order, breaking
+// ties (and cycles, which interference can create) with (seq, instance id),
+// per the EPaxos execution algorithm.
+//
+// Simplification documented in DESIGN.md: explicit recovery of instances
+// whose leader crashed mid-protocol (EPaxos's ExplicitPrepare) is
+// implemented for the common cases (seen-as-PreAccepted / seen-as-Accepted /
+// not-seen => no-op) but does not implement the optimized-quorum
+// TryPreAccept corner; recovery therefore conservatively falls back to the
+// Accept round, which is always safe with the simple (non-thrifty) quorums
+// used here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "consensus/env.hpp"
+#include "consensus/types.hpp"
+
+namespace twostep::epaxos {
+
+/// Payload marker for the no-op committed by recovery when no replica has
+/// seen the original command.
+inline constexpr std::int64_t kNoOpPayload = std::numeric_limits<std::int64_t>::min();
+
+/// A state-machine command.  Two commands interfere iff they touch the same
+/// key; only interfering commands constrain each other's execution order.
+struct Command {
+  std::int64_t key = 0;
+  std::int64_t payload = 0;
+  friend bool operator==(const Command&, const Command&) = default;
+  friend auto operator<=>(const Command&, const Command&) = default;
+  [[nodiscard]] bool interferes(const Command& other) const { return key == other.key; }
+};
+
+/// Instance identifier: (owning replica, per-replica sequence number).
+struct InstanceId {
+  consensus::ProcessId replica = consensus::kNoProcess;
+  std::int32_t index = -1;
+  friend bool operator==(const InstanceId&, const InstanceId&) = default;
+  friend auto operator<=>(const InstanceId&, const InstanceId&) = default;
+  [[nodiscard]] bool valid() const { return replica >= 0 && index >= 0; }
+};
+
+using DepSet = std::set<InstanceId>;
+
+enum class Status : std::uint8_t {
+  kNone = 0,
+  kPreAccepted,
+  kAccepted,
+  kCommitted,
+  kExecuted,
+};
+
+// ---- wire messages ----
+
+struct PreAcceptMsg {
+  InstanceId instance;
+  Command cmd;
+  DepSet deps;
+  std::int64_t seq = 0;
+  friend bool operator==(const PreAcceptMsg&, const PreAcceptMsg&) = default;
+};
+struct PreAcceptReplyMsg {
+  InstanceId instance;
+  DepSet deps;          ///< possibly extended by the replier
+  std::int64_t seq = 0; ///< possibly increased by the replier
+  bool changed = false; ///< deps/seq differ from the leader's proposal
+  friend bool operator==(const PreAcceptReplyMsg&, const PreAcceptReplyMsg&) = default;
+};
+struct AcceptMsg {
+  InstanceId instance;
+  consensus::Ballot ballot = 0;
+  Command cmd;
+  DepSet deps;
+  std::int64_t seq = 0;
+  friend bool operator==(const AcceptMsg&, const AcceptMsg&) = default;
+};
+struct AcceptReplyMsg {
+  InstanceId instance;
+  consensus::Ballot ballot = 0;
+  friend bool operator==(const AcceptReplyMsg&, const AcceptReplyMsg&) = default;
+};
+struct CommitMsg {
+  InstanceId instance;
+  Command cmd;
+  DepSet deps;
+  std::int64_t seq = 0;
+  friend bool operator==(const CommitMsg&, const CommitMsg&) = default;
+};
+struct PrepareMsg {  // explicit recovery
+  InstanceId instance;
+  consensus::Ballot ballot = 0;
+  friend bool operator==(const PrepareMsg&, const PrepareMsg&) = default;
+};
+struct PrepareReplyMsg {
+  InstanceId instance;
+  consensus::Ballot ballot = 0;
+  Status status = Status::kNone;
+  Command cmd;
+  DepSet deps;
+  std::int64_t seq = 0;
+  friend bool operator==(const PrepareReplyMsg&, const PrepareReplyMsg&) = default;
+};
+
+using Message = std::variant<PreAcceptMsg, PreAcceptReplyMsg, AcceptMsg, AcceptReplyMsg,
+                             CommitMsg, PrepareMsg, PrepareReplyMsg>;
+
+struct Options {
+  sim::Tick delta = 1;
+  /// Recovery timeout for instances stuck without a commit (owner crashed).
+  /// 0 disables automatic recovery (tests drive it manually).
+  sim::Tick recovery_timeout = 0;
+};
+
+/// One EPaxos replica (command leader + acceptor + executor).
+class EPaxosReplica {
+ public:
+  using Message = epaxos::Message;
+
+  EPaxosReplica(consensus::Env<Message>& env, consensus::SystemConfig config, Options options);
+
+  void start();
+
+  /// Submits a command with this replica as command leader.  Returns its
+  /// instance id.  The commit is reported via on_commit; execution order via
+  /// on_execute.
+  InstanceId submit(Command cmd);
+
+  /// Cluster-harness adapter: proposes the value as a command on key 0
+  /// (every such command interferes with every other).
+  void propose(consensus::Value v) { submit(Command{0, v.get()}); }
+
+  void on_message(consensus::ProcessId from, const Message& m);
+  void on_timer(consensus::TimerId id);
+
+  /// Fired when an instance commits locally (leader or via Commit message).
+  std::function<void(InstanceId, const Command&)> on_commit;
+  /// Cluster-harness adapter: fired once, on our first own commit.
+  std::function<void(consensus::Value)> on_decide;
+  /// Fired when a command is executed (dependency order); the interesting
+  /// signal for linearizable reads.
+  std::function<void(InstanceId, const Command&)> on_execute;
+
+  // --- introspection for tests and benches ---
+  [[nodiscard]] Status status(InstanceId id) const;
+  [[nodiscard]] std::optional<Command> committed_command(InstanceId id) const;
+  [[nodiscard]] DepSet committed_deps(InstanceId id) const;
+  [[nodiscard]] int committed_count() const;
+  [[nodiscard]] int executed_count() const { return executed_count_; }
+  [[nodiscard]] bool used_fast_path(InstanceId id) const;
+  [[nodiscard]] int fast_quorum() const noexcept { return fast_quorum_; }
+
+  /// Starts explicit recovery of a (possibly foreign) instance.
+  void recover(InstanceId id);
+
+ private:
+  struct Instance {
+    Command cmd;
+    DepSet deps;
+    std::int64_t seq = 0;
+    Status status = Status::kNone;
+    consensus::Ballot ballot = 0;  ///< 0 = the owner's initial ballot
+
+    // Leader-side bookkeeping.
+    bool leading = false;
+    bool fast_eligible = true;  ///< no reply changed deps/seq so far
+    int preaccept_replies = 0;
+    int accept_replies = 0;
+    DepSet merged_deps;
+    std::int64_t merged_seq = 0;
+    bool fast_committed = false;
+
+    // Recovery bookkeeping.
+    std::vector<PrepareReplyMsg> prepare_replies;
+    bool recovering = false;
+  };
+
+  void handle(consensus::ProcessId from, const PreAcceptMsg& m);
+  void handle(consensus::ProcessId from, const PreAcceptReplyMsg& m);
+  void handle(consensus::ProcessId from, const AcceptMsg& m);
+  void handle(consensus::ProcessId from, const AcceptReplyMsg& m);
+  void handle(consensus::ProcessId from, const CommitMsg& m);
+  void handle(consensus::ProcessId from, const PrepareMsg& m);
+  void handle(consensus::ProcessId from, const PrepareReplyMsg& m);
+
+  /// Dependencies/seq this replica would assign to `cmd` in `instance`.
+  void assign_attributes(const Command& cmd, InstanceId self_id, DepSet& deps,
+                         std::int64_t& seq) const;
+
+  void begin_accept_round(InstanceId id);
+  void commit(InstanceId id, const Command& cmd, const DepSet& deps, std::int64_t seq,
+              bool broadcast);
+  void try_execute();
+  bool execute_instance(InstanceId id, std::set<InstanceId>& visiting);
+
+  Instance& instance(InstanceId id) { return instances_[id]; }
+  [[nodiscard]] const Instance* find(InstanceId id) const;
+
+  consensus::Env<Message>& env_;
+  consensus::SystemConfig config_;
+  Options options_;
+  int fast_quorum_;     ///< f + floor((f+1)/2), leader included
+  int classic_quorum_;  ///< floor(n/2) + 1
+
+  std::map<InstanceId, Instance> instances_;
+  std::int32_t next_index_ = 0;
+  int committed_count_ = 0;
+  int executed_count_ = 0;
+  bool own_commit_reported_ = false;
+};
+
+}  // namespace twostep::epaxos

@@ -1,0 +1,78 @@
+// Canned ScenarioRunner factories for every protocol in the library.
+// Shared by the test suites, the benchmark harness and the examples.
+#pragma once
+
+#include <memory>
+
+#include "consensus/scenario.hpp"
+#include "consensus/twostep_eval.hpp"
+#include "core/two_step.hpp"
+#include "fastpaxos/fast_paxos.hpp"
+#include "net/latency.hpp"
+#include "paxos/paxos.hpp"
+#include "rsm/rsm.hpp"
+
+namespace twostep::harness {
+
+using CoreRunner = consensus::ScenarioRunner<core::TwoStepProcess, core::Options>;
+using PaxosRunner = consensus::ScenarioRunner<paxos::PaxosProcess, paxos::Options>;
+using FastPaxosRunner = consensus::ScenarioRunner<fastpaxos::FastPaxosProcess, fastpaxos::Options>;
+using RsmRunner = consensus::ScenarioRunner<rsm::RsmProcess, rsm::Options>;
+
+/// The paper's protocol on Definition 2 synchronous rounds.
+inline std::unique_ptr<CoreRunner> make_core_runner(
+    consensus::SystemConfig config, core::Mode mode, sim::Tick delta = 100,
+    core::SelectionPolicy policy = core::SelectionPolicy::kPaper, std::uint64_t seed = 1) {
+  core::Options options;
+  options.mode = mode;
+  options.delta = delta;
+  options.selection_policy = policy;
+  return std::make_unique<CoreRunner>(
+      config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
+}
+
+/// The paper's protocol on an arbitrary latency model.
+inline std::unique_ptr<CoreRunner> make_core_runner_with_model(
+    consensus::SystemConfig config, core::Mode mode, std::unique_ptr<net::LatencyModel> model,
+    std::uint64_t seed = 1) {
+  core::Options options;
+  options.mode = mode;
+  options.delta = model->delta();
+  return std::make_unique<CoreRunner>(config, std::move(model), options, seed);
+}
+
+inline std::unique_ptr<PaxosRunner> make_paxos_runner(consensus::SystemConfig config,
+                                                      sim::Tick delta = 100,
+                                                      std::uint64_t seed = 1) {
+  paxos::Options options;
+  options.delta = delta;
+  return std::make_unique<PaxosRunner>(
+      config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
+}
+
+inline std::unique_ptr<FastPaxosRunner> make_fastpaxos_runner(consensus::SystemConfig config,
+                                                              sim::Tick delta = 100,
+                                                              std::uint64_t seed = 1) {
+  fastpaxos::Options options;
+  options.delta = delta;
+  return std::make_unique<FastPaxosRunner>(
+      config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
+}
+
+inline std::unique_ptr<FastPaxosRunner> make_fastpaxos_runner_with_model(
+    consensus::SystemConfig config, std::unique_ptr<net::LatencyModel> model,
+    std::uint64_t seed = 1) {
+  fastpaxos::Options options;
+  options.delta = model->delta();
+  return std::make_unique<FastPaxosRunner>(config, std::move(model), options, seed);
+}
+
+inline std::unique_ptr<RsmRunner> make_rsm_runner(consensus::SystemConfig config,
+                                                  std::unique_ptr<net::LatencyModel> model,
+                                                  std::uint64_t seed = 1) {
+  rsm::Options options;
+  options.delta = model->delta();
+  return std::make_unique<RsmRunner>(config, std::move(model), options, seed);
+}
+
+}  // namespace twostep::harness

@@ -1,0 +1,348 @@
+#include "lowerbound/scenarios.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/two_step.hpp"
+#include "fastpaxos/fast_paxos.hpp"
+#include "modelcheck/direct_drive.hpp"
+
+namespace twostep::lowerbound {
+
+namespace {
+
+using consensus::ProcessId;
+using consensus::SystemConfig;
+using consensus::Value;
+using modelcheck::DirectDrive;
+
+const Value kLow{10};
+const Value kHigh{20};
+
+template <typename M, typename Variant>
+bool holds(const Variant& v) {
+  return std::holds_alternative<M>(v);
+}
+
+DirectDrive<core::TwoStepProcess>::Factory core_factory(
+    SystemConfig cfg, core::Mode mode, ProcessId leader,
+    core::SelectionPolicy policy = core::SelectionPolicy::kPaper) {
+  return [cfg, mode, leader, policy](consensus::Env<core::Message>& env, ProcessId) {
+    core::Options options;
+    options.mode = mode;
+    options.delta = 100;
+    options.leader_of = [leader] { return leader; };
+    options.selection_policy = policy;
+    return std::make_unique<core::TwoStepProcess>(env, cfg, options);
+  };
+}
+
+DirectDrive<fastpaxos::FastPaxosProcess>::Factory fastpaxos_factory(SystemConfig cfg,
+                                                                    ProcessId leader) {
+  return [cfg, leader](consensus::Env<fastpaxos::Message>& env, ProcessId) {
+    fastpaxos::Options options;
+    options.delta = 100;
+    options.leader_of = [leader] { return leader; };
+    return std::make_unique<fastpaxos::FastPaxosProcess>(env, cfg, options);
+  };
+}
+
+void note(AttackOutcome& out, const std::string& line) { out.narrative.push_back(line); }
+
+std::string ids(const std::vector<ProcessId>& ps) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < ps.size(); ++i) os << (i ? "," : "") << "p" << ps[i];
+  os << "}";
+  return os.str();
+}
+
+/// Shared epilogue: run the leader-driven recovery to quiescence and collect
+/// the outcome from the monitor.
+template <typename P>
+void finish(DirectDrive<P>& drive, ProcessId leader, ProcessId fast_decider,
+            AttackOutcome& out) {
+  drive.fire_next_timer(leader);
+  drive.deliver_all();
+  out.fast_decision = drive.monitor().decision(fast_decider).value_or(Value::bottom());
+  out.late_decision = drive.monitor().decision(leader).value_or(Value::bottom());
+  out.agreement_violated = !drive.monitor().safe();
+  int crashes = 0;
+  for (ProcessId p = 0; p < drive.config().n; ++p) crashes += drive.crashed(p) ? 1 : 0;
+  out.crashes_used = crashes;
+  std::ostringstream os;
+  os << "recovery by p" << leader << " decided "
+     << out.late_decision.to_string() << " vs fast decision "
+     << out.fast_decision.to_string() << " => "
+     << (out.agreement_violated ? "AGREEMENT VIOLATED" : "agreement preserved");
+  note(out, os.str());
+}
+
+/// Common body for the B.1-style task attack.  `n` decides whether we are
+/// below the bound (2e+f-1) or at it (2e+f); `keep_bridge_alive` spares one
+/// bridge process so the crash budget f is respected at the bound.
+AttackOutcome run_task_attack(int e, int f, int n, bool keep_bridge_alive,
+                              core::SelectionPolicy policy = core::SelectionPolicy::kPaper) {
+  if (e < 1 || f < 2 || 2 * e < f + 2)
+    throw std::invalid_argument("task attack needs e >= 1, f >= 2, 2e >= f+2");
+  AttackOutcome out;
+  out.n = n;
+  const SystemConfig cfg{n, f, e};
+
+  // Roles: E0 = p0..p_{e-1} propose LOW; E1 = p_e..p_{2e-1} propose HIGH
+  // (c = p_e is the fast winner); bridges F0 = p_{2e}.. propose LOW
+  // (r = p_{2e} is the proposer E0's votes point at).
+  const ProcessId c = static_cast<ProcessId>(e);
+  const ProcessId r = static_cast<ProcessId>(2 * e);
+  const ProcessId leader = 0;
+  const int bridges = n - 2 * e;  // f-1 below the bound, f at it
+
+  std::vector<ProcessId> e0, e1_rest, f0;
+  for (ProcessId p = 0; p < e; ++p) e0.push_back(p);
+  for (ProcessId p = static_cast<ProcessId>(e + 1); p < 2 * e; ++p) e1_rest.push_back(p);
+  for (ProcessId p = static_cast<ProcessId>(2 * e); p < n; ++p) f0.push_back(p);
+
+  DirectDrive<core::TwoStepProcess> drive{
+      cfg, core_factory(cfg, core::Mode::kTask, leader, policy)};
+  drive.start_all();
+  for (const ProcessId p : e0) drive.propose(p, kLow);
+  drive.propose(c, kHigh);
+  for (const ProcessId p : e1_rest) drive.propose(p, kHigh);
+  for (const ProcessId p : f0) drive.propose(p, kLow);
+  note(out, "initial configuration: " + ids(e0) + " and bridges " + ids(f0) +
+                " propose LOW, " + ids({c}) + "+" + ids(e1_rest) + " propose HIGH");
+
+  // Round 2 of sigma': E0 vote LOW for bridge r's proposal.
+  auto propose_from_to = [&](ProcessId from, const std::vector<ProcessId>& tos) {
+    for (const ProcessId to : tos) {
+      drive.deliver_where(
+          [&](const auto& m) {
+            return m.from == from && m.to == to && holds<core::ProposeMsg>(m.msg);
+          },
+          1);
+    }
+  };
+  propose_from_to(r, e0);
+  note(out, "E0 " + ids(e0) + " vote LOW (proposer p" + std::to_string(r) + ")");
+
+  // Round 2 of sigma: E1\{c} and all bridges vote HIGH for c.
+  std::vector<ProcessId> c_voters = e1_rest;
+  c_voters.insert(c_voters.end(), f0.begin(), f0.end());
+  propose_from_to(c, c_voters);
+  note(out, "voters " + ids(c_voters) + " vote HIGH (proposer p" + std::to_string(c) + ")");
+
+  // c collects its fast quorum of n-e (incl. itself) and decides HIGH.
+  drive.deliver_where([&](const auto& m) { return m.to == c && holds<core::TwoBMsg>(m.msg); });
+  note(out, "p" + std::to_string(c) + " fast-decides HIGH with n-e votes");
+
+  // The decider crashes mid-step (its Decide broadcast is lost), together
+  // with the bridges (all below the bound; all but one at it).
+  drive.crash_suppressing_outbox(c);
+  std::vector<ProcessId> crashed_bridges = f0;
+  if (keep_bridge_alive) crashed_bridges.pop_back();
+  for (const ProcessId p : crashed_bridges) drive.crash(p);
+  note(out, "crash p" + std::to_string(c) + " (suppressing Decide) and bridges " +
+                ids(crashed_bridges) + " => " +
+                std::to_string(1 + static_cast<int>(crashed_bridges.size())) + " crashes (f=" +
+                std::to_string(f) + ", bridges available: " + std::to_string(bridges) + ")");
+
+  finish(drive, leader, c, out);
+  return out;
+}
+
+/// Common body for the B.2-style object attack.
+AttackOutcome run_object_attack(int e, int f, int n, bool keep_bridge_alive) {
+  if (e < 1 || f < 2 || 2 * e < f + 3)
+    throw std::invalid_argument("object attack needs e >= 1, f >= 2, 2e >= f+3");
+  AttackOutcome out;
+  out.n = n;
+  const SystemConfig cfg{n, f, e};
+
+  // Roles: p = p0 proposes HIGH alone on quorum E0; q = p1 proposes LOW
+  // alone on quorum E1; F = the quorum intersection (bridges); E0*, E1* the
+  // private parts that survive.
+  const ProcessId p = 0;
+  const ProcessId q = 1;
+  const int bridges = n - 2 * e;  // f-2 below the bound, f-1 at it
+  std::vector<ProcessId> f_set, e0_star, e1_star;
+  ProcessId next = 2;
+  for (int i = 0; i < bridges; ++i) f_set.push_back(next++);
+  for (int i = 0; i < e - 1; ++i) e0_star.push_back(next++);
+  for (int i = 0; i < e - 1; ++i) e1_star.push_back(next++);
+  const ProcessId leader = e0_star.front();
+
+  DirectDrive<core::TwoStepProcess> drive{cfg, core_factory(cfg, core::Mode::kObject, leader)};
+  drive.start_all();
+  drive.propose(p, kHigh);
+  drive.propose(q, kLow);
+  note(out, "object mode: only p0 proposes HIGH and p1 proposes LOW; bridges " + ids(f_set) +
+                ", E0* " + ids(e0_star) + ", E1* " + ids(e1_star));
+
+  auto deliver_propose = [&](ProcessId from, const std::vector<ProcessId>& tos) {
+    for (const ProcessId to : tos) {
+      drive.deliver_where(
+          [&](const auto& m) {
+            return m.from == from && m.to == to && holds<core::ProposeMsg>(m.msg);
+          },
+          1);
+    }
+  };
+  std::vector<ProcessId> p_voters = f_set;
+  p_voters.insert(p_voters.end(), e0_star.begin(), e0_star.end());
+  deliver_propose(p, p_voters);
+  deliver_propose(q, e1_star);
+  note(out, "E0-side " + ids(p_voters) + " vote HIGH; E1* " + ids(e1_star) + " vote LOW");
+
+  drive.deliver_where([&](const auto& m) { return m.to == p && holds<core::TwoBMsg>(m.msg); });
+  note(out, "p0 fast-decides HIGH with n-e votes (itself included)");
+
+  drive.crash_suppressing_outbox(p);
+  drive.crash(q);
+  std::vector<ProcessId> crashed_bridges = f_set;
+  if (keep_bridge_alive && !crashed_bridges.empty()) crashed_bridges.pop_back();
+  for (const ProcessId b : crashed_bridges) drive.crash(b);
+  note(out, "crash p0 (suppressing Decide), p1, and bridges " + ids(crashed_bridges) +
+                " => " + std::to_string(2 + static_cast<int>(crashed_bridges.size())) +
+                " crashes (f=" + std::to_string(f) + ")");
+
+  finish(drive, leader, p, out);
+  return out;
+}
+
+/// Common body for the Fast Paxos attack.
+AttackOutcome run_fastpaxos_attack(int e, int f, int n) {
+  if (e < 1 || f < 1) throw std::invalid_argument("fast paxos attack needs e, f >= 1");
+  AttackOutcome out;
+  out.n = n;
+  const SystemConfig cfg{n, f, e};
+
+  // pA = p0 proposes HIGH, pB = p1 proposes LOW.  A-voters: p0 plus the
+  // next n-e-1 processes; B-voters: p1 plus the rest.
+  const ProcessId pa = 0;
+  const ProcessId pb = 1;
+  const ProcessId leader = 0;
+  std::vector<ProcessId> a_voters{pa}, b_voters{pb};
+  for (ProcessId x = 2; x < n; ++x) {
+    if (static_cast<int>(a_voters.size()) < cfg.fast_quorum()) {
+      a_voters.push_back(x);
+    } else {
+      b_voters.push_back(x);
+    }
+  }
+  const ProcessId decider = a_voters.at(1);
+
+  DirectDrive<fastpaxos::FastPaxosProcess> drive{cfg, fastpaxos_factory(cfg, leader)};
+  drive.start_all();
+  drive.propose(pa, kHigh);
+  drive.propose(pb, kLow);
+  note(out, "A-voters " + ids(a_voters) + " get HIGH first; B-voters " + ids(b_voters) +
+                " get LOW first");
+
+  auto deliver_fast_propose = [&](ProcessId from, const std::vector<ProcessId>& tos) {
+    for (const ProcessId to : tos) {
+      drive.deliver_where(
+          [&](const auto& m) {
+            return m.from == from && m.to == to && holds<fastpaxos::FastProposeMsg>(m.msg);
+          },
+          1);
+    }
+  };
+  deliver_fast_propose(pa, a_voters);
+  deliver_fast_propose(pb, b_voters);
+
+  // The decider receives all n-e Accepted(0, HIGH) votes and decides.
+  drive.deliver_where([&](const auto& m) {
+    return m.to == decider && holds<fastpaxos::AcceptedMsg>(m.msg) &&
+           std::get<fastpaxos::AcceptedMsg>(m.msg).b == 0 &&
+           std::get<fastpaxos::AcceptedMsg>(m.msg).v == kHigh;
+  });
+  note(out, "p" + std::to_string(decider) + " observes a fast quorum and decides HIGH");
+
+  // Crash the decider and f-1 further A-voters mid-step, suppressing their
+  // still-undelivered Accepted broadcasts.
+  std::vector<ProcessId> crashed{decider};
+  for (std::size_t i = 2; i < a_voters.size() && static_cast<int>(crashed.size()) < f; ++i)
+    crashed.push_back(a_voters[i]);
+  for (const ProcessId x : crashed) drive.crash_suppressing_outbox(x);
+  note(out, "crash " + ids(crashed) + " mid-step (Accepted broadcasts suppressed)");
+
+  finish(drive, leader, decider, out);
+  return out;
+}
+
+}  // namespace
+
+AttackOutcome task_below_bound_violation(int e, int f) {
+  return run_task_attack(e, f, 2 * e + f - 1, /*keep_bridge_alive=*/false);
+}
+
+AttackOutcome task_at_bound_defense(int e, int f) {
+  return run_task_attack(e, f, 2 * e + f, /*keep_bridge_alive=*/true);
+}
+
+AttackOutcome object_below_bound_violation(int e, int f) {
+  return run_object_attack(e, f, 2 * e + f - 2, /*keep_bridge_alive=*/false);
+}
+
+AttackOutcome object_at_bound_defense(int e, int f) {
+  return run_object_attack(e, f, 2 * e + f - 1, /*keep_bridge_alive=*/true);
+}
+
+AttackOutcome fastpaxos_below_bound_violation(int e, int f) {
+  return run_fastpaxos_attack(e, f, 2 * e + f);
+}
+
+AttackOutcome fastpaxos_at_bound_defense(int e, int f) {
+  return run_fastpaxos_attack(e, f, 2 * e + f + 1);
+}
+
+AttackOutcome task_at_bound_with_policy(int e, int f, core::SelectionPolicy policy) {
+  return run_task_attack(e, f, 2 * e + f, /*keep_bridge_alive=*/true, policy);
+}
+
+AttackOutcome object_exclusion_ablation(core::SelectionPolicy policy) {
+  // n=5, e=2, f=2 (the object bound).  p0 fast-decides 10 with voters p3,
+  // p4; p1 and p2 both propose 20 and p1 votes for p2's copy.  After p0 and
+  // p4 crash, the 1B quorum {p1, p2, p3} sees one vote for 10 (proposer p0
+  // outside Q) and one for 20 — whose proposer p2 sits INSIDE Q.  The
+  // R-exclusion discards the 20-vote; without it both values tie at the
+  // threshold and the max tie-break resurrects 20.
+  const SystemConfig cfg{5, 2, 2};
+  AttackOutcome out;
+  out.n = cfg.n;
+  const ProcessId leader = 1;
+  DirectDrive<core::TwoStepProcess> drive{
+      cfg, core_factory(cfg, core::Mode::kObject, leader, policy)};
+  drive.start_all();
+  drive.propose(0, kLow);   // 10: will be fast-decided
+  drive.propose(1, kHigh);  // 20
+  drive.propose(2, kHigh);  // 20 (same value, second proposer)
+  note(out, "p0 proposes 10; p1 and p2 both propose 20 (object mode)");
+
+  for (const ProcessId to : {3, 4}) {
+    drive.deliver_where(
+        [&](const auto& m) {
+          return m.from == 0 && m.to == to && holds<core::ProposeMsg>(m.msg);
+        },
+        1);
+  }
+  drive.deliver_where(
+      [&](const auto& m) {
+        return m.from == 2 && m.to == 1 && holds<core::ProposeMsg>(m.msg);
+      },
+      1);
+  note(out, "p3, p4 vote 10 (proposer p0); p1 votes 20 (proposer p2, equal to its own)");
+
+  drive.deliver_where([&](const auto& m) { return m.to == 0 && holds<core::TwoBMsg>(m.msg); });
+  note(out, "p0 fast-decides 10 with votes from p3, p4 and itself (n-e = 3)");
+
+  drive.crash_suppressing_outbox(0);
+  drive.crash(4);
+  note(out, "crash p0 (suppressing Decide) and p4: 2 = f crashes");
+
+  finish(drive, leader, /*fast_decider=*/0, out);
+  return out;
+}
+
+}  // namespace twostep::lowerbound

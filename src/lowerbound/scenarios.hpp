@@ -1,0 +1,96 @@
+// Executable lower-bound constructions (Appendix B).
+//
+// The "only if" halves of Theorems 5 and 6 are indistinguishability proofs:
+// the adversary splices prefixes of two legal runs into one run in which two
+// processes decide differently.  This module mechanizes those constructions
+// against the concrete protocols in this library, instantiated BELOW their
+// bounds, and produces real Agreement violations; run with one more process
+// (at the bound) the very same attack is defeated — either the crash budget
+// f is exceeded, or the value-selection rule recovers the decided value.
+//
+// Constructions implemented (parameterized over e, f):
+//
+//  * task_below_bound_violation     — B.1 base case (k = 0) against the task
+//    protocol at n = 2e+f-1 (requires 2e >= f+2 so that n >= 2f+1).  Two
+//    proposal camps; the HIGH proposer fast-decides with n-e votes; it and
+//    the f-1 "bridge" processes crash; the survivor quorum sees e votes LOW
+//    vs e-1 votes HIGH and the recovery rule picks LOW.
+//
+//  * task_at_bound_defense          — same attack at n = 2e+f: crashing all
+//    bridges would need f+1 crashes, so one stays alive; the survivor
+//    quorum then ties LOW and HIGH at exactly n-f-e votes and the max-value
+//    tie-break (Figure 1 line 29) recovers HIGH.
+//
+//  * object_below_bound_violation   — B.2 against the object protocol at
+//    n = 2e+f-2 (requires 2e >= f+3): two lone proposers p (HIGH) and q
+//    (LOW) on overlapping quorums E0, E1; p fast-decides and crashes with
+//    the intersection F and q (exactly f crashes); the survivor quorum sees
+//    e-1 votes each and picks LOW.
+//
+//  * object_at_bound_defense        — same attack at n = 2e+f-1: |F∪{p,q}|
+//    = f+1 exceeds the budget; leaving one F member alive tips the count to
+//    e votes HIGH > threshold and recovery succeeds.
+//
+//  * fastpaxos_below_bound_violation — Fast Paxos one process below
+//    Lamport's bound (n = 2e+f): a fast decision with n-e votes leaves a
+//    recovery quorum in which two values tie at the O4 threshold n-e-f.
+//
+//  * fastpaxos_at_bound_defense     — at n = 2e+f+1 the same attack leaves
+//    the decided value strictly above the threshold and recovery succeeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "core/selection.hpp"
+
+namespace twostep::lowerbound {
+
+/// Outcome of one adversarial construction.
+struct AttackOutcome {
+  int n = 0;                       ///< processes the protocol ran with
+  int crashes_used = 0;            ///< crashes the attack needed
+  bool agreement_violated = false; ///< did two processes decide differently?
+  consensus::Value fast_decision;  ///< value decided on the fast path
+  consensus::Value late_decision;  ///< value decided after recovery
+  std::vector<std::string> narrative;  ///< round-by-round account
+};
+
+/// B.1 base case against the task protocol at n = 2e+f-1.
+/// Requires e >= 1, f >= 1, 2e >= f+2.
+AttackOutcome task_below_bound_violation(int e, int f);
+
+/// The same attack shape at n = 2e+f; the recovery rule defends.
+AttackOutcome task_at_bound_defense(int e, int f);
+
+/// B.2 against the object protocol at n = 2e+f-2.
+/// Requires e >= 1, f >= 2, 2e >= f+3.
+AttackOutcome object_below_bound_violation(int e, int f);
+
+/// The same attack shape at n = 2e+f-1; one bridge process survives and the
+/// above-threshold branch recovers the decided value.
+AttackOutcome object_at_bound_defense(int e, int f);
+
+/// Fast Paxos at n = 2e+f (one below Lamport's bound).
+AttackOutcome fastpaxos_below_bound_violation(int e, int f);
+
+/// Fast Paxos at n = 2e+f+1 (Lamport's bound): attack defeated.
+AttackOutcome fastpaxos_at_bound_defense(int e, int f);
+
+// ---- Ablations (experiment A1): are the novel selection-rule pieces
+// ---- load-bearing?  Each scenario is safe under the paper rule and
+// ---- violates Agreement under the corresponding weakened policy.
+
+/// The task defense scenario (tie at exactly n-f-e votes) run with an
+/// arbitrary selection policy.  kPaper recovers the decided value via the
+/// max-value tie-break; kNoMaxTieBreak decides the other candidate.
+AttackOutcome task_at_bound_with_policy(int e, int f, core::SelectionPolicy policy);
+
+/// A scenario where a value whose proposer sits inside the 1B quorum ties a
+/// genuinely fast-decided value at the threshold (object mode, e=2, f=2,
+/// n=5).  kPaper discards it via the R-exclusion; kNoProposerExclusion
+/// decides it and violates Agreement.
+AttackOutcome object_exclusion_ablation(core::SelectionPolicy policy);
+
+}  // namespace twostep::lowerbound

@@ -1,0 +1,218 @@
+// DirectDrive<P>: a fully adversary-controlled scheduler.
+//
+// Unlike the Cluster harness (which runs on virtual time through a latency
+// model), DirectDrive gives the caller complete control over the order in
+// which messages are delivered and timers fire — exactly the power the
+// lower-bound proofs of Appendix B give the adversary.  It is the engine
+// under the lowerbound/ run-splicing scenarios, the bounded model checker
+// and the schedule fuzzer.
+//
+// Crash semantics: crash(p) is crash-stop — p handles nothing further and
+// its future sends are dropped; messages p *already* handed to the network
+// stay deliverable (reliable links).  crash_suppressing_outbox(p)
+// additionally removes p's still-undelivered messages, modelling a crash in
+// the middle of a step (after the local transition, before the sends reach
+// the network) — the proofs' "decides and immediately fails" events need
+// this.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "consensus/env.hpp"
+#include "consensus/monitor.hpp"
+#include "consensus/types.hpp"
+
+namespace twostep::modelcheck {
+
+template <typename P>
+class DirectDrive {
+ public:
+  using Msg = typename P::Message;
+  using Factory =
+      std::function<std::unique_ptr<P>(consensus::Env<Msg>&, consensus::ProcessId)>;
+
+  struct Pending {
+    std::uint64_t seq = 0;
+    consensus::ProcessId from = consensus::kNoProcess;
+    consensus::ProcessId to = consensus::kNoProcess;
+    Msg msg{};
+  };
+
+  DirectDrive(consensus::SystemConfig config, Factory factory) : config_(config) {
+    if (!factory) throw std::invalid_argument("DirectDrive: null factory");
+    crashed_.assign(static_cast<std::size_t>(config_.n), false);
+    envs_.reserve(static_cast<std::size_t>(config_.n));
+    for (consensus::ProcessId p = 0; p < config_.n; ++p)
+      envs_.push_back(std::make_unique<DriveEnv>(*this, p));
+    for (consensus::ProcessId p = 0; p < config_.n; ++p) {
+      processes_.push_back(factory(*envs_[static_cast<std::size_t>(p)], p));
+      processes_.back()->on_decide = [this, p](consensus::Value v) {
+        monitor_.note_decision(p, v, step_);
+      };
+    }
+  }
+
+  [[nodiscard]] const consensus::SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] P& process(consensus::ProcessId p) {
+    return *processes_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] consensus::ConsensusMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] bool crashed(consensus::ProcessId p) const {
+    return crashed_.at(static_cast<std::size_t>(p));
+  }
+
+  /// Starts every non-crashed process (arming its timers).
+  void start_all() {
+    for (consensus::ProcessId p = 0; p < config_.n; ++p)
+      if (!crashed(p)) process(p).start();
+  }
+
+  void propose(consensus::ProcessId p, consensus::Value v) {
+    monitor_.note_proposal(p, v, step_);
+    if (!crashed(p)) process(p).propose(v);
+  }
+
+  void crash(consensus::ProcessId p) {
+    crashed_.at(static_cast<std::size_t>(p)) = true;
+    monitor_.note_crash(p, step_);
+  }
+
+  /// Crash p *mid-step*: additionally drops p's undelivered messages, as if
+  /// the crash hit between p's local transition and its sends.
+  void crash_suppressing_outbox(consensus::ProcessId p) {
+    crash(p);
+    std::erase_if(pool_, [&](const Pending& m) { return m.from == p; });
+  }
+
+  [[nodiscard]] const std::deque<Pending>& pool() const noexcept { return pool_; }
+
+  /// Delivers the i-th pending message (0-based) regardless of destination;
+  /// a message to a crashed process is consumed without effect.
+  void deliver_index(std::size_t i) {
+    if (i >= pool_.size()) throw std::out_of_range("DirectDrive: no such pending message");
+    const Pending m = pool_[i];
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++step_;
+    if (!crashed(m.to)) process(m.to).on_message(m.from, m.msg);
+  }
+
+  /// Delivers (in pool order) every pending message matching `pred`,
+  /// including messages generated while doing so.  Returns the number
+  /// delivered.  `limit` < 0 means unlimited.
+  template <typename Pred>
+  int deliver_where(Pred pred, int limit = -1) {
+    int delivered = 0;
+    bool progress = true;
+    while (progress && (limit < 0 || delivered < limit)) {
+      progress = false;
+      for (std::size_t i = 0; i < pool_.size(); ++i) {
+        if (!pred(pool_[i])) continue;
+        deliver_index(i);
+        ++delivered;
+        progress = true;
+        break;
+      }
+    }
+    return delivered;
+  }
+
+  /// Delivers everything (FIFO) until the pool drains or `max_steps` is hit.
+  int deliver_all(int max_steps = 1000000) {
+    int delivered = 0;
+    while (!pool_.empty() && delivered < max_steps) {
+      deliver_index(0);
+      ++delivered;
+    }
+    return delivered;
+  }
+
+  /// Drops pending messages matching `pred`.  Links are reliable, so this is
+  /// only legitimate for messages from crashed senders (mid-step crashes);
+  /// the splicing scenarios use crash_suppressing_outbox instead where
+  /// possible.
+  template <typename Pred>
+  int drop_where(Pred pred) {
+    const auto before = pool_.size();
+    std::erase_if(pool_, pred);
+    return static_cast<int>(before - pool_.size());
+  }
+
+  /// Number of armed timers at p.
+  [[nodiscard]] int armed_timers(consensus::ProcessId p) const {
+    int k = 0;
+    for (const auto& t : timers_)
+      if (t.owner == p) ++k;
+    return k;
+  }
+
+  /// Fires p's oldest armed timer.  Returns false if p has none or crashed.
+  bool fire_next_timer(consensus::ProcessId p) {
+    for (std::size_t i = 0; i < timers_.size(); ++i) {
+      if (timers_[i].owner != p) continue;
+      const consensus::TimerId id = timers_[i].id;
+      timers_.erase(timers_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++step_;
+      if (crashed(p)) return false;
+      process(p).on_timer(id);
+      return true;
+    }
+    return false;
+  }
+
+  /// Logical step counter (used as the monitor's clock).
+  [[nodiscard]] sim::Tick step() const noexcept { return step_; }
+
+ private:
+  struct ArmedTimer {
+    consensus::ProcessId owner;
+    consensus::TimerId id;
+  };
+
+  class DriveEnv final : public consensus::Env<Msg> {
+   public:
+    DriveEnv(DirectDrive& drive, consensus::ProcessId self) : drive_(drive), self_(self) {}
+
+    [[nodiscard]] consensus::ProcessId self() const override { return self_; }
+    [[nodiscard]] int cluster_size() const override { return drive_.config_.n; }
+    [[nodiscard]] sim::Tick now() const override { return drive_.step_; }
+
+    void send(consensus::ProcessId to, const Msg& msg) override {
+      if (to < 0 || to >= drive_.config_.n)
+        throw std::out_of_range("DirectDrive: bad destination");
+      if (drive_.crashed(self_)) return;
+      drive_.pool_.push_back(Pending{drive_.next_seq_++, self_, to, msg});
+    }
+
+    consensus::TimerId set_timer(sim::Tick) override {
+      const consensus::TimerId id{drive_.next_timer_++};
+      drive_.timers_.push_back(ArmedTimer{self_, id});
+      return id;
+    }
+
+    void cancel_timer(consensus::TimerId id) override {
+      std::erase_if(drive_.timers_, [&](const ArmedTimer& t) { return t.id == id; });
+    }
+
+   private:
+    DirectDrive& drive_;
+    consensus::ProcessId self_;
+  };
+
+  consensus::SystemConfig config_;
+  consensus::ConsensusMonitor monitor_;
+  std::vector<std::unique_ptr<DriveEnv>> envs_;
+  std::vector<std::unique_ptr<P>> processes_;
+  std::vector<bool> crashed_;
+  std::deque<Pending> pool_;
+  std::vector<ArmedTimer> timers_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_timer_ = 1;
+  sim::Tick step_ = 0;
+};
+
+}  // namespace twostep::modelcheck

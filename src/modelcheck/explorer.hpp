@@ -1,0 +1,207 @@
+// Bounded stateless model checking over DirectDrive schedules.
+//
+// A protocol state is a deterministic function of the *schedule*: the
+// sequence of adversary choices (deliver pending message i / fire a timer /
+// crash a process).  The explorer enumerates schedules depth-first by
+// replaying them from scratch (stateless model checking), checking the
+// safety monitors after every step; the fuzzer samples random schedules
+// instead, which scales to configurations the exhaustive search cannot
+// cover.  Both report the first Agreement/Validity/Integrity violation
+// found, together with the offending schedule, so failures are replayable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "modelcheck/direct_drive.hpp"
+#include "util/rng.hpp"
+
+namespace twostep::modelcheck {
+
+/// What the adversary is allowed to do, beyond ordering deliveries.
+template <typename P>
+struct Scenario {
+  consensus::SystemConfig config;
+  typename DirectDrive<P>::Factory factory;
+
+  /// Applied to every fresh drive: initial crashes, start_all, proposals.
+  std::function<void(DirectDrive<P>&)> setup;
+
+  /// Processes the explorer may additionally crash mid-run...
+  std::vector<consensus::ProcessId> may_crash;
+  /// ...up to this many of them (on top of crashes done by `setup`).
+  int crash_budget = 0;
+  /// Crashes drop the victim's undelivered messages (mid-step crash).
+  bool mid_step_crashes = true;
+
+  /// Whether timer-fire actions are explored (needed to reach slow paths).
+  bool explore_timers = true;
+
+  int max_depth = 48;
+};
+
+struct ExploreResult {
+  long traces = 0;        ///< complete schedules examined
+  long steps = 0;         ///< total actions executed across all replays
+  bool violation = false;
+  std::string what;              ///< first violation, human-readable
+  std::vector<int> schedule;     ///< the offending schedule (replayable)
+  bool exhausted = false;        ///< true iff the whole space fit in budget
+};
+
+template <typename P>
+class Explorer {
+ public:
+  using Drive = DirectDrive<P>;
+
+  /// Exhaustive DFS up to `max_traces` terminal schedules.
+  static ExploreResult explore(const Scenario<P>& scenario, long max_traces = 20000) {
+    ExploreResult result;
+    std::vector<std::vector<int>> stack;
+    stack.push_back({});
+    while (!stack.empty()) {
+      if (result.traces >= max_traces) return result;  // budget: not exhausted
+      const std::vector<int> schedule = std::move(stack.back());
+      stack.pop_back();
+
+      auto drive = make_drive(scenario);
+      const ReplayStatus status = replay(scenario, *drive, schedule, result);
+      if (status == ReplayStatus::kViolation) {
+        result.violation = true;
+        result.what = drive->monitor().violations().front();
+        result.schedule = schedule;
+        return result;
+      }
+
+      const int branching = enabled_actions(scenario, *drive);
+      if (branching == 0 || static_cast<int>(schedule.size()) >= scenario.max_depth) {
+        ++result.traces;
+        continue;
+      }
+      for (int a = branching - 1; a >= 0; --a) {
+        std::vector<int> next = schedule;
+        next.push_back(a);
+        stack.push_back(std::move(next));
+      }
+    }
+    result.exhausted = true;
+    return result;
+  }
+
+  /// Random schedule sampling: `traces` runs of up to `max_steps` actions.
+  static ExploreResult fuzz(const Scenario<P>& scenario, int traces, std::uint64_t seed,
+                            int max_steps = 400) {
+    ExploreResult result;
+    util::Rng rng{seed};
+    for (int t = 0; t < traces; ++t) {
+      auto drive = make_drive(scenario);
+      std::vector<int> schedule;
+      for (int s = 0; s < max_steps; ++s) {
+        const int branching = enabled_actions(scenario, *drive);
+        if (branching == 0) break;
+        const int a = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(branching)));
+        schedule.push_back(a);
+        apply(scenario, *drive, a);
+        ++result.steps;
+        if (!drive->monitor().safe()) {
+          result.violation = true;
+          result.what = drive->monitor().violations().front();
+          result.schedule = schedule;
+          result.traces = t + 1;
+          return result;
+        }
+      }
+      ++result.traces;
+    }
+    return result;
+  }
+
+  /// Replays a schedule on a fresh drive (for debugging found violations).
+  static std::unique_ptr<Drive> replay_schedule(const Scenario<P>& scenario,
+                                                const std::vector<int>& schedule) {
+    auto drive = make_drive(scenario);
+    ExploreResult scratch;
+    replay(scenario, *drive, schedule, scratch);
+    return drive;
+  }
+
+ private:
+  enum class ReplayStatus { kOk, kViolation };
+
+  static std::unique_ptr<Drive> make_drive(const Scenario<P>& scenario) {
+    auto drive = std::make_unique<Drive>(scenario.config, scenario.factory);
+    if (scenario.setup) scenario.setup(*drive);
+    return drive;
+  }
+
+  /// Action space at the current state:
+  ///   [0, pool)                     deliver pending message i
+  ///   [pool, pool+T)                fire the oldest timer of the j-th
+  ///                                 process that has armed timers
+  ///   [pool+T, pool+T+C)            crash the j-th eligible victim
+  static int enabled_actions(const Scenario<P>& scenario, Drive& drive) {
+    return static_cast<int>(drive.pool().size()) + timer_owners(scenario, drive).size() +
+           crash_victims(scenario, drive).size();
+  }
+
+  static std::vector<consensus::ProcessId> timer_owners(const Scenario<P>& scenario,
+                                                        Drive& drive) {
+    std::vector<consensus::ProcessId> owners;
+    if (!scenario.explore_timers) return owners;
+    for (consensus::ProcessId p = 0; p < drive.config().n; ++p)
+      if (!drive.crashed(p) && drive.armed_timers(p) > 0) owners.push_back(p);
+    return owners;
+  }
+
+  static std::vector<consensus::ProcessId> crash_victims(const Scenario<P>& scenario,
+                                                         Drive& drive) {
+    std::vector<consensus::ProcessId> victims;
+    int crashed_from_list = 0;
+    for (const consensus::ProcessId p : scenario.may_crash)
+      if (drive.crashed(p)) ++crashed_from_list;
+    if (crashed_from_list >= scenario.crash_budget) return victims;
+    for (const consensus::ProcessId p : scenario.may_crash)
+      if (!drive.crashed(p)) victims.push_back(p);
+    return victims;
+  }
+
+  static void apply(const Scenario<P>& scenario, Drive& drive, int action) {
+    const auto pool_size = static_cast<int>(drive.pool().size());
+    if (action < pool_size) {
+      drive.deliver_index(static_cast<std::size_t>(action));
+      return;
+    }
+    action -= pool_size;
+    const auto owners = timer_owners(scenario, drive);
+    if (action < static_cast<int>(owners.size())) {
+      drive.fire_next_timer(owners[static_cast<std::size_t>(action)]);
+      return;
+    }
+    action -= static_cast<int>(owners.size());
+    const auto victims = crash_victims(scenario, drive);
+    if (action < static_cast<int>(victims.size())) {
+      const consensus::ProcessId p = victims[static_cast<std::size_t>(action)];
+      if (scenario.mid_step_crashes) {
+        drive.crash_suppressing_outbox(p);
+      } else {
+        drive.crash(p);
+      }
+      return;
+    }
+    throw std::out_of_range("Explorer: stale action index");
+  }
+
+  static ReplayStatus replay(const Scenario<P>& scenario, Drive& drive,
+                             const std::vector<int>& schedule, ExploreResult& result) {
+    for (const int action : schedule) {
+      apply(scenario, drive, action);
+      ++result.steps;
+      if (!drive.monitor().safe()) return ReplayStatus::kViolation;
+    }
+    return ReplayStatus::kOk;
+  }
+};
+
+}  // namespace twostep::modelcheck

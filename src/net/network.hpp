@@ -1,0 +1,139 @@
+// Simulated message-passing network over reliable links.
+//
+// Network<Msg> connects n endpoints through a LatencyModel on top of the
+// discrete-event simulator.  It implements crash-stop failures (a crashed
+// process neither sends nor receives), full message tracing (used by the
+// lower-bound splicing harness), and an optional interception hook that lets
+// adversarial drivers override delivery times of individual messages while
+// keeping links reliable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "net/latency.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace twostep::net {
+
+/// One traced message.  `deliver_time < 0` means the message was addressed
+/// to (or sent by) a crashed process and never delivered.
+template <typename Msg>
+struct TraceEntry {
+  sim::Tick send_time = 0;
+  sim::Tick deliver_time = -1;
+  consensus::ProcessId from = consensus::kNoProcess;
+  consensus::ProcessId to = consensus::kNoProcess;
+  Msg payload{};
+};
+
+template <typename Msg>
+class Network {
+ public:
+  using Handler = std::function<void(consensus::ProcessId from, const Msg&)>;
+
+  /// Interception hook: given (now, from, to, msg) may return an absolute
+  /// delivery time overriding the latency model, or nullopt to defer to it.
+  using Interceptor = std::function<std::optional<sim::Tick>(
+      sim::Tick, consensus::ProcessId, consensus::ProcessId, const Msg&)>;
+
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> model, int n,
+          std::uint64_t seed = 1)
+      : simulator_(simulator),
+        model_(std::move(model)),
+        handlers_(static_cast<std::size_t>(n)),
+        crashed_(static_cast<std::size_t>(n), false),
+        rng_(seed) {
+    if (!model_) throw std::invalid_argument("Network: null latency model");
+    if (n < 1) throw std::invalid_argument("Network: need at least one process");
+  }
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(handlers_.size()); }
+  [[nodiscard]] sim::Tick delta() const { return model_->delta(); }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+
+  /// Installs the receive handler for process p.  Must be set before any
+  /// message destined to p is delivered.
+  void set_handler(consensus::ProcessId p, Handler h) { handlers_.at(index(p)) = std::move(h); }
+
+  void set_interceptor(Interceptor i) { interceptor_ = std::move(i); }
+
+  /// Enables/disables payload tracing (disabled by default: traces copy
+  /// every message).
+  void enable_trace(bool on = true) { tracing_ = on; }
+  [[nodiscard]] const std::vector<TraceEntry<Msg>>& trace() const { return trace_; }
+
+  /// Sends msg from -> to.  Sending from or to a crashed process silently
+  /// drops the message (crash-stop semantics).  Self-sends go through the
+  /// latency model like any other message: Definition 2 delivers ALL
+  /// messages sent in round k at the start of round k+1, and a protocol that
+  /// wants instant access to its own state reads it locally instead of
+  /// mailing itself (e.g. the fast path's |P ∪ {p_i}| counts self without a
+  /// message).
+  void send(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg) {
+    (void)index(to);  // validate eagerly, not at delivery time
+    ++sent_;
+    if (crashed_.at(index(from))) return;
+    std::optional<sim::Tick> forced;
+    if (interceptor_) forced = interceptor_(simulator_.now(), from, to, msg);
+    const sim::Tick when =
+        forced ? *forced : model_->delivery_time(simulator_.now(), from, to, rng_);
+    std::size_t trace_slot = 0;
+    if (tracing_) {
+      trace_.push_back(TraceEntry<Msg>{simulator_.now(), -1, from, to, msg});
+      trace_slot = trace_.size() - 1;
+    }
+    simulator_.schedule_at(when, [this, from, to, msg, trace_slot] {
+      if (crashed_.at(index(to))) return;
+      ++delivered_;
+      if (tracing_) trace_.at(trace_slot).deliver_time = simulator_.now();
+      auto& handler = handlers_.at(index(to));
+      if (handler) handler(from, msg);
+    });
+  }
+
+  /// Crashes p immediately: all undelivered messages to p are lost and p
+  /// sends nothing from now on.
+  void crash(consensus::ProcessId p) { crashed_.at(index(p)) = true; }
+
+  /// Schedules a crash of p at absolute time `when`.
+  void crash_at(sim::Tick when, consensus::ProcessId p) {
+    simulator_.schedule_at(when, [this, p] { crash(p); });
+  }
+
+  [[nodiscard]] bool crashed(consensus::ProcessId p) const { return crashed_.at(index(p)); }
+
+  [[nodiscard]] int crashed_count() const {
+    int k = 0;
+    for (const bool c : crashed_) k += c ? 1 : 0;
+    return k;
+  }
+
+  [[nodiscard]] std::size_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
+
+ private:
+  [[nodiscard]] std::size_t index(consensus::ProcessId p) const {
+    if (p < 0 || p >= size()) throw std::out_of_range("Network: bad process id");
+    return static_cast<std::size_t>(p);
+  }
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<LatencyModel> model_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  util::Rng rng_;
+  Interceptor interceptor_;
+  bool tracing_ = false;
+  std::vector<TraceEntry<Msg>> trace_;
+  std::size_t sent_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace twostep::net

@@ -1,0 +1,60 @@
+#include "omega/omega.hpp"
+
+namespace twostep::omega {
+
+using consensus::ProcessId;
+using consensus::TimerId;
+
+HeartbeatOmega::HeartbeatOmega(int n, ProcessId self, sim::Tick period, sim::Tick timeout,
+                               Hooks hooks)
+    : n_(n), self_(self), period_(period), timeout_(timeout), hooks_(std::move(hooks)) {
+  if (n < 1 || self < 0 || self >= n)
+    throw std::invalid_argument("HeartbeatOmega: bad process id");
+  if (period <= 0 || timeout < period)
+    throw std::invalid_argument("HeartbeatOmega: need 0 < period <= timeout");
+  if (!hooks_.send_heartbeat || !hooks_.set_timer || !hooks_.now)
+    throw std::invalid_argument("HeartbeatOmega: missing hooks");
+  last_heard_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void HeartbeatOmega::start() {
+  if (started_) return;
+  started_ = true;
+  // Give every peer the benefit of the doubt at startup: treat them as
+  // heard-from at time 0 so nobody is suspected before a full timeout.
+  const sim::Tick now = hooks_.now();
+  for (auto& t : last_heard_) t = now;
+  broadcast_heartbeats();
+  pending_timer_ = hooks_.set_timer(period_);
+}
+
+void HeartbeatOmega::broadcast_heartbeats() {
+  for (ProcessId p = 0; p < n_; ++p)
+    if (p != self_) hooks_.send_heartbeat(p);
+}
+
+void HeartbeatOmega::on_heartbeat(ProcessId from) {
+  if (from < 0 || from >= n_) return;
+  last_heard_[static_cast<std::size_t>(from)] = hooks_.now();
+}
+
+bool HeartbeatOmega::handle_timer(TimerId id) {
+  if (!(id == pending_timer_)) return false;
+  broadcast_heartbeats();
+  pending_timer_ = hooks_.set_timer(period_);
+  return true;
+}
+
+bool HeartbeatOmega::suspects(ProcessId p) const {
+  if (p == self_) return false;
+  if (p < 0 || p >= n_) return true;
+  return hooks_.now() - last_heard_[static_cast<std::size_t>(p)] > timeout_;
+}
+
+ProcessId HeartbeatOmega::leader() const {
+  for (ProcessId p = 0; p < n_; ++p)
+    if (!suspects(p)) return p;
+  return self_;  // unreachable: self is never suspected
+}
+
+}  // namespace twostep::omega

@@ -1,0 +1,107 @@
+// Ω leader election (§C.1 of the paper).
+//
+// The slow path of the protocol nominates a single process to run new
+// ballots.  Termination requires that eventually all correct processes agree
+// on the same correct leader — the Ω failure detector.  Two implementations
+// are provided:
+//
+//  * OmegaOracle — a simulation-level oracle that returns the lowest-id
+//    non-crashed process.  Trivially eventually accurate; used by tests that
+//    need deterministic, message-free leader election.
+//
+//  * HeartbeatOmega — the standard timeout-based implementation under
+//    partial synchrony (Chandra-Toueg style): every process periodically
+//    sends heartbeats; a process suspects peers it has not heard from within
+//    a timeout, and elects the lowest non-suspected id.  After GST, with
+//    timeout >= Δ + period, suspicions stabilize and all correct processes
+//    converge on the lowest correct id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/env.hpp"
+#include "consensus/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace twostep::omega {
+
+/// Oracle Ω: leader = lowest-id process the environment reports alive.
+/// `alive` must eventually stabilize (crash-stop guarantees it does).
+class OmegaOracle {
+ public:
+  explicit OmegaOracle(std::function<bool(consensus::ProcessId)> alive, int n)
+      : alive_(std::move(alive)), n_(n) {
+    if (!alive_ || n_ < 1) throw std::invalid_argument("OmegaOracle: bad arguments");
+  }
+
+  [[nodiscard]] consensus::ProcessId leader() const {
+    for (consensus::ProcessId p = 0; p < n_; ++p)
+      if (alive_(p)) return p;
+    return consensus::kNoProcess;
+  }
+
+ private:
+  std::function<bool(consensus::ProcessId)> alive_;
+  int n_;
+};
+
+/// Heartbeat wire message.  Hosts embedding HeartbeatOmega include this
+/// struct as an alternative in their own message variant and route it to
+/// on_heartbeat().
+struct Heartbeat {
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// Timeout-based Ω component designed to be embedded into a host protocol.
+/// The host supplies send/timer hooks (typically thin wrappers over its own
+/// Env) and routes Heartbeat messages and the component's timers back in.
+class HeartbeatOmega {
+ public:
+  struct Hooks {
+    /// Unicast a heartbeat to process `to`.
+    std::function<void(consensus::ProcessId to)> send_heartbeat;
+    /// Arm a one-shot timer; the host routes its expiry to handle_timer().
+    std::function<consensus::TimerId(sim::Tick delay)> set_timer;
+    /// Current virtual time.
+    std::function<sim::Tick()> now;
+  };
+
+  /// `period` is the heartbeat interval, `timeout` the suspicion threshold;
+  /// eventual accuracy needs timeout >= Δ + period.
+  HeartbeatOmega(int n, consensus::ProcessId self, sim::Tick period, sim::Tick timeout,
+                 Hooks hooks);
+
+  /// Sends the first round of heartbeats and arms the periodic timer.
+  void start();
+
+  /// The host routes received Heartbeat messages here.
+  void on_heartbeat(consensus::ProcessId from);
+
+  /// The host offers every timer expiry; returns true when the timer
+  /// belonged to this component (and was consumed).
+  bool handle_timer(consensus::TimerId id);
+
+  /// Current leader estimate: the lowest id that is self or not suspected.
+  [[nodiscard]] consensus::ProcessId leader() const;
+
+  /// True iff `p` is currently suspected.
+  [[nodiscard]] bool suspects(consensus::ProcessId p) const;
+
+ private:
+  void broadcast_heartbeats();
+
+  int n_;
+  consensus::ProcessId self_;
+  sim::Tick period_;
+  sim::Tick timeout_;
+  Hooks hooks_;
+  std::vector<sim::Tick> last_heard_;
+  consensus::TimerId pending_timer_{};
+  bool started_ = false;
+};
+
+}  // namespace twostep::omega

@@ -1,0 +1,153 @@
+#include "rsm/rsm.hpp"
+
+#include <stdexcept>
+
+namespace twostep::rsm {
+
+using consensus::ProcessId;
+using consensus::TimerId;
+using consensus::Value;
+
+/// Env adapter presented to one slot's consensus instance: tags outgoing
+/// messages with the slot and routes timers through the host.
+struct RsmProcess::SlotEnv final : consensus::Env<core::Message> {
+  SlotEnv(RsmProcess& host, std::int32_t slot) : host_(host), slot_(slot) {}
+
+  [[nodiscard]] ProcessId self() const override { return host_.env_.self(); }
+  [[nodiscard]] int cluster_size() const override { return host_.env_.cluster_size(); }
+  [[nodiscard]] sim::Tick now() const override { return host_.env_.now(); }
+
+  void send(ProcessId to, const core::Message& msg) override {
+    host_.env_.send(to, SlotMsg{slot_, msg});
+  }
+
+  TimerId set_timer(sim::Tick delay) override {
+    const TimerId id = host_.env_.set_timer(delay);
+    host_.timer_routes_[id.value] = {slot_, id};
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    host_.env_.cancel_timer(id);
+    host_.timer_routes_.erase(id.value);
+  }
+
+  RsmProcess& host_;
+  std::int32_t slot_;
+};
+
+RsmProcess::RsmProcess(consensus::Env<Message>& env, consensus::SystemConfig config,
+                       Options options)
+    : env_(env), config_(config), options_(std::move(options)) {
+  if (options_.delta <= 0) throw std::invalid_argument("RsmProcess: delta must be > 0");
+}
+
+RsmProcess::~RsmProcess() = default;
+
+RsmProcess::SlotState& RsmProcess::ensure_slot(std::int32_t slot) {
+  auto it = slots_.find(slot);
+  if (it != slots_.end()) return it->second;
+
+  SlotState state;
+  state.env = std::make_unique<SlotEnv>(*this, slot);
+  core::Options proto_options;
+  proto_options.mode = core::Mode::kObject;
+  proto_options.delta = options_.delta;
+  proto_options.leader_of = options_.leader_of;
+  proto_options.selection_policy = options_.selection_policy;
+  state.proc =
+      std::make_unique<core::TwoStepProcess>(*state.env, config_, std::move(proto_options));
+  state.proc->on_decide = [this, slot](Value v) { slot_decided(slot, v); };
+  state.proc->start();  // arms the slot's ballot timer
+  it = slots_.emplace(slot, std::move(state)).first;
+  return it->second;
+}
+
+std::int32_t RsmProcess::next_free_slot() const {
+  std::int32_t s = submit_cursor_;
+  while (decisions_.contains(s)) ++s;
+  return s;
+}
+
+Command RsmProcess::submit(std::int64_t payload) {
+  if (payload < 0 || payload >= (std::int64_t{1} << 40))
+    throw std::invalid_argument("RsmProcess::submit: payload must fit in 40 bits");
+  // Commands are (proxy, payload); the proxy tag makes commands from
+  // different proxies distinct.  Callers must not submit the same payload
+  // twice from the same proxy (the workload generators use sequence ids).
+  const Command cmd = (static_cast<std::int64_t>(env_.self()) << 40) | payload;
+  ++next_local_id_;
+  PendingCommand pending;
+  pending.cmd = cmd;
+  pending.submitted_at = env_.now();
+  pending_.push_back(pending);
+  propose_in_slot(pending_.back(), next_free_slot());
+  return cmd;
+}
+
+void RsmProcess::propose_in_slot(PendingCommand& pending, std::int32_t slot) {
+  pending.slot = slot;
+  submit_cursor_ = slot + 1;
+  ensure_slot(slot).proc->propose(Value{pending.cmd});
+}
+
+void RsmProcess::on_message(ProcessId from, const Message& m) {
+  ensure_slot(m.slot).proc->on_message(from, m.inner);
+}
+
+void RsmProcess::on_timer(TimerId id) {
+  const auto it = timer_routes_.find(id.value);
+  if (it == timer_routes_.end()) return;
+  const std::int32_t slot = it->second.first;
+  timer_routes_.erase(it);
+  ensure_slot(slot).proc->on_timer(id);
+}
+
+void RsmProcess::slot_decided(std::int32_t slot, Value v) {
+  if (decisions_.contains(slot)) return;
+  const Command decided = v.get();
+  decisions_[slot] = decided;
+  if (on_decide_slot) on_decide_slot(slot, decided);
+
+  // Settle our own commands: winners commit, losers move to a later slot.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->slot != slot) {
+      ++it;
+      continue;
+    }
+    if (it->cmd == decided) {
+      ++commits_;
+      if (on_commit) on_commit(it->cmd, it->submitted_at, slot);
+      if (!first_commit_reported_ && on_decide) {
+        first_commit_reported_ = true;
+        on_decide(Value{it->cmd});
+      }
+      it = pending_.erase(it);
+    } else {
+      PendingCommand retry = *it;
+      it = pending_.erase(it);
+      pending_.push_back(retry);
+      propose_in_slot(pending_.back(), next_free_slot());
+      // pending_ may have reallocated; restart the scan for this slot.
+      it = pending_.begin();
+    }
+  }
+  apply_contiguous();
+}
+
+std::optional<Command> RsmProcess::decision(std::int32_t slot) const {
+  const auto it = decisions_.find(slot);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RsmProcess::apply_contiguous() {
+  while (true) {
+    const auto it = decisions_.find(applied_);
+    if (it == decisions_.end()) return;
+    if (on_apply) on_apply(applied_, it->second);
+    ++applied_;
+  }
+}
+
+}  // namespace twostep::rsm

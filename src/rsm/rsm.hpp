@@ -1,0 +1,127 @@
+// State-machine replication over the paper's consensus object.
+//
+// This is the deployment model the paper's pragmatic definition targets
+// (Schneider's tutorial, as cited): a client submits a command to one of
+// the replicas — its *proxy* — which proposes the command and answers once
+// the command is decided.  The two-step condition matters exactly here: the
+// proxy should decide in two message delays; decision latency at the other
+// replicas is irrelevant to the client.
+//
+// The log is a sequence of independent single-shot instances of the
+// consensus *object* protocol (Figure 1 with red lines), one per slot.  A
+// proxy proposes its command in the lowest slot it has not used; if the
+// slot decides someone else's command, the proxy re-submits in a later
+// slot.  Commands are applied in slot order once decisions are contiguous.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "consensus/env.hpp"
+#include "consensus/types.hpp"
+#include "core/two_step.hpp"
+
+namespace twostep::rsm {
+
+/// A command is an opaque 64-bit payload; the RSM packs (proxy, local id)
+/// into it so every submitted command is globally unique.
+using Command = std::int64_t;
+
+/// Wire message: a slot-tagged message of the underlying consensus object.
+struct SlotMsg {
+  std::int32_t slot = 0;
+  core::Message inner;
+  friend bool operator==(const SlotMsg&, const SlotMsg&) = default;
+};
+
+struct Options {
+  sim::Tick delta = 1;
+  std::function<consensus::ProcessId()> leader_of;
+  core::SelectionPolicy selection_policy = core::SelectionPolicy::kPaper;
+};
+
+/// One replica: proxy + per-slot consensus participants + executor.
+class RsmProcess {
+ public:
+  using Message = SlotMsg;
+
+  RsmProcess(consensus::Env<Message>& env, consensus::SystemConfig config, Options options);
+  ~RsmProcess();  // out-of-line: SlotEnv is incomplete here
+
+  void start() {}
+
+  /// Proxy API: submit a client command.  Returns the globally unique
+  /// command actually enqueued (payload packed with the proxy id).
+  Command submit(std::int64_t payload);
+
+  /// Cluster-harness adapter: submits the value's payload as a command.
+  void propose(consensus::Value v) { submit(v.get()); }
+
+  void on_message(consensus::ProcessId from, const Message& m);
+  void on_timer(consensus::TimerId id);
+
+  /// Fired when a slot decision is learned, in arbitrary slot order.
+  std::function<void(std::int32_t slot, Command cmd)> on_decide_slot;
+  /// Fired for every command in log order (contiguous prefix application).
+  std::function<void(std::int32_t slot, Command cmd)> on_apply;
+  /// Fired when one of OUR commands commits: (command, submit time, slot).
+  std::function<void(Command cmd, sim::Tick submitted_at, std::int32_t slot)> on_commit;
+  /// Cluster-harness adapter: fired on our first committed command.
+  std::function<void(consensus::Value)> on_decide;
+
+  // --- introspection ---
+  [[nodiscard]] std::int32_t applied_prefix() const noexcept { return applied_; }
+  [[nodiscard]] int decided_slots() const noexcept { return static_cast<int>(decisions_.size()); }
+  [[nodiscard]] std::optional<Command> decision(std::int32_t slot) const;
+  [[nodiscard]] int pending_own_commands() const noexcept { return static_cast<int>(pending_.size()); }
+  [[nodiscard]] std::int64_t commits() const noexcept { return commits_; }
+
+  /// Unpacks the proxy id from a command.
+  static consensus::ProcessId command_proxy(Command cmd) {
+    return static_cast<consensus::ProcessId>(static_cast<std::uint64_t>(cmd) >> 40);
+  }
+  /// Unpacks the client payload (lower 40 bits).
+  static std::int64_t command_payload(Command cmd) {
+    return cmd & ((std::int64_t{1} << 40) - 1);
+  }
+
+ private:
+  struct SlotEnv;
+
+  struct SlotState {
+    std::unique_ptr<SlotEnv> env;
+    std::unique_ptr<core::TwoStepProcess> proc;
+  };
+
+  struct PendingCommand {
+    Command cmd = 0;
+    sim::Tick submitted_at = 0;
+    std::int32_t slot = -1;  ///< slot currently proposed in
+  };
+
+  SlotState& ensure_slot(std::int32_t slot);
+  void propose_in_slot(PendingCommand& pending, std::int32_t slot);
+  void slot_decided(std::int32_t slot, consensus::Value v);
+  void apply_contiguous();
+  [[nodiscard]] std::int32_t next_free_slot() const;
+
+  consensus::Env<Message>& env_;
+  consensus::SystemConfig config_;
+  Options options_;
+
+  std::map<std::int32_t, SlotState> slots_;
+  std::map<std::int32_t, Command> decisions_;
+  std::map<std::uint64_t, std::pair<std::int32_t, consensus::TimerId>> timer_routes_;
+  std::deque<PendingCommand> pending_;
+  std::int32_t applied_ = 0;        ///< number of applied (contiguous) slots
+  std::int32_t submit_cursor_ = 0;  ///< lowest slot we might still use
+  std::int64_t next_local_id_ = 1;
+  std::int64_t commits_ = 0;
+  std::uint64_t next_timer_key_ = 1;
+  bool first_commit_reported_ = false;
+};
+
+}  // namespace twostep::rsm

@@ -1,0 +1,107 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace twostep::sim {
+
+EventId Simulator::schedule_at(Tick when, Action action) {
+  if (when < now_) throw std::invalid_argument("Simulator: cannot schedule in the past");
+  if (!action) throw std::invalid_argument("Simulator: empty action");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, std::move(action)});
+  pending_ids_.insert(seq);
+  return EventId{seq};
+}
+
+EventId Simulator::schedule_after(Tick delay, Action action) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  // Only events still in the queue can be cancelled; fired or already
+  // cancelled events report failure.
+  if (pending_ids_.erase(id.value) == 0) return false;
+  // Lazy cancellation: remember the id and skip the entry when popped.
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // The action is moved out; Entry::action is mutable because
+    // priority_queue::top() returns a const reference.
+    out.when = queue_.top().when;
+    out.seq = queue_.top().seq;
+    out.action = std::move(queue_.top().action);
+    queue_.pop();
+    const auto it = cancelled_.find(out.seq);
+    if (it == cancelled_.end()) {
+      pending_ids_.erase(out.seq);
+      return true;
+    }
+    cancelled_.erase(it);
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (n < max_events && !stop_requested_ && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Tick deadline, std::size_t max_events) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (n < max_events && !stop_requested_) {
+    Entry entry;
+    // Peek: do not execute events beyond the deadline.
+    bool found = false;
+    while (!queue_.empty()) {
+      const auto& top = queue_.top();
+      const auto it = cancelled_.find(top.seq);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        queue_.pop();
+        continue;
+      }
+      found = true;
+      break;
+    }
+    if (!found || queue_.top().when > deadline) break;
+    entry.when = queue_.top().when;
+    entry.seq = queue_.top().seq;
+    entry.action = std::move(queue_.top().action);
+    queue_.pop();
+    pending_ids_.erase(entry.seq);
+    now_ = entry.when;
+    ++executed_;
+    ++n;
+    entry.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+Tick Simulator::next_event_time() const {
+  // Cancelled entries may sit at the top; we cannot drop them here without
+  // mutating state, so scan a copy-free approximation: the queue top is the
+  // next candidate, which is exact whenever it is not cancelled.  For the
+  // rare cancelled-top case the caller only loses precision, not safety.
+  if (queue_.empty()) return now_;
+  return queue_.top().when;
+}
+
+}  // namespace twostep::sim

@@ -1,0 +1,35 @@
+// Subset enumeration used to sweep crash sets E ⊆ Π with |E| = e.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace twostep::util {
+
+/// Invokes `fn` with every k-element subset of {0, …, n-1}, in lexicographic
+/// order.  k = 0 yields the empty subset once.
+inline void for_each_combination(int n, int k,
+                                 const std::function<void(const std::vector<int>&)>& fn) {
+  if (k < 0 || k > n) return;
+  std::vector<int> pick(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) pick[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    fn(pick);
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 && pick[static_cast<std::size_t>(i)] == i + n - k) --i;
+    if (i < 0) return;
+    ++pick[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j)
+      pick[static_cast<std::size_t>(j)] = pick[static_cast<std::size_t>(j - 1)] + 1;
+  }
+}
+
+/// Materialized variant of for_each_combination.
+inline std::vector<std::vector<int>> combinations(int n, int k) {
+  std::vector<std::vector<int>> out;
+  for_each_combination(n, k, [&](const std::vector<int>& c) { out.push_back(c); });
+  return out;
+}
+
+}  // namespace twostep::util

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace twostep::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+
+LogLevel set_log_level(LogLevel level) noexcept {
+  const LogLevel previous = g_level;
+  g_level = level;
+  return previous;
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace twostep::util

@@ -1,0 +1,63 @@
+// Minimal leveled logging.  Protocol and simulator code logs through this so
+// tests can raise the level to silence output and debugging sessions can
+// lower it to trace message flow.  Logging is process-global and not
+// thread-safe by design: the simulator is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace twostep::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the current global threshold; messages below it are discarded.
+LogLevel log_level() noexcept;
+
+/// Sets the global threshold.  Returns the previous value.
+LogLevel set_log_level(LogLevel level) noexcept;
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+/// RAII guard that restores the previous log level on scope exit; used by
+/// tests that need to assert on (or suppress) log behaviour.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(set_log_level(level)) {}
+  ~ScopedLogLevel() { set_log_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace twostep::util
+
+/// Streaming log macro: TWOSTEP_LOG(kDebug) << "x=" << x;
+/// The stream expression is only evaluated when the level is enabled.
+#define TWOSTEP_LOG(level_suffix)                                               \
+  for (bool twostep_log_once =                                                  \
+           ::twostep::util::LogLevel::level_suffix >= ::twostep::util::log_level(); \
+       twostep_log_once; twostep_log_once = false)                              \
+  ::twostep::util::LogStatement(::twostep::util::LogLevel::level_suffix).stream()
+
+namespace twostep::util {
+
+/// Helper that accumulates a streamed message and flushes it on destruction.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { log_line(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace twostep::util

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// Every stochastic component in the library (latency jitter, workload
+// generators, the schedule fuzzer) draws from an explicitly seeded Rng so a
+// run is a pure function of (configuration, seed).  We do not use
+// std::mt19937 because its state is large and its seeding is easy to get
+// wrong; xoshiro256** seeded via splitmix64 is small, fast, and has
+// well-understood statistical quality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace twostep::util {
+
+/// splitmix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro256** state.  Also usable directly as a hash/mixing function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic generator.  Satisfies the
+/// UniformRandomBitGenerator concept so it can be used with <random>
+/// distributions when needed, although the convenience members below cover
+/// all uses inside this library.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x2a5f3c1d9e8b7a60ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound == 0 is treated as the full range.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return (*this)();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Derive an independent child generator; used to give each simulated
+  /// process / workload source its own stream.
+  constexpr Rng fork() noexcept { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace twostep::util

@@ -1,0 +1,86 @@
+// Small statistics helpers used by the benchmark harness: running summaries
+// and exact percentiles over recorded samples.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace twostep::util {
+
+/// Accumulates samples and answers summary queries.  Percentiles are exact
+/// (the sample vector is kept); this is intended for benchmark-scale sample
+/// counts, not telemetry-scale streams.
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double sum() const {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+
+  [[nodiscard]] double mean() const {
+    return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// Exact percentile by linear interpolation between closest ranks.
+  /// q is in [0, 1]; e.g. percentile(0.99) is p99.
+  [[nodiscard]] double percentile(double q) {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    if (q <= 0) return samples_.front();
+    if (q >= 1) return samples_.back();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_[lo];
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+
+  [[nodiscard]] double median() { return percentile(0.5); }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace twostep::util

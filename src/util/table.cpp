@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace twostep::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "### " << title_ << '\n';
+  emit_row(out, header_);
+  out << "|";
+  for (std::size_t w : widths) out << std::string(w + 2, '-') << "|";
+  out << '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+}  // namespace twostep::util

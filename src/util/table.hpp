@@ -1,0 +1,37 @@
+// ASCII table formatting for the benchmark harness.  Every bench binary
+// prints the rows of the table/figure it regenerates in a uniform layout so
+// EXPERIMENTS.md can be assembled directly from bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace twostep::util {
+
+/// A simple column-aligned text table.  Cells are strings; numeric helpers
+/// format with fixed precision.  Rendering pads each column to its widest
+/// cell and separates the header with a rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded or truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table, including the title if set.
+  [[nodiscard]] std::string to_string() const;
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formats a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace twostep::util

@@ -1,0 +1,71 @@
+// A mock Env that records outbound messages and timers, letting tests drive
+// protocol handlers directly and assert on preconditions message by message.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "consensus/env.hpp"
+
+namespace twostep::testing {
+
+template <typename Msg>
+class MockEnv final : public consensus::Env<Msg> {
+ public:
+  MockEnv(consensus::ProcessId self, int n) : self_(self), n_(n) {}
+
+  [[nodiscard]] consensus::ProcessId self() const override { return self_; }
+  [[nodiscard]] int cluster_size() const override { return n_; }
+  [[nodiscard]] sim::Tick now() const override { return now_; }
+
+  void send(consensus::ProcessId to, const Msg& msg) override { sent_.emplace_back(to, msg); }
+
+  consensus::TimerId set_timer(sim::Tick delay) override {
+    const consensus::TimerId id{next_timer_++};
+    timers_.emplace_back(id, now_ + delay);
+    return id;
+  }
+
+  void cancel_timer(consensus::TimerId id) override {
+    std::erase_if(timers_, [&](const auto& t) { return t.first == id; });
+  }
+
+  // --- test controls ---
+  void advance(sim::Tick dt) { now_ += dt; }
+
+  [[nodiscard]] const std::vector<std::pair<consensus::ProcessId, Msg>>& sent() const {
+    return sent_;
+  }
+  void clear_sent() { sent_.clear(); }
+
+  /// Messages sent to a particular destination.
+  [[nodiscard]] std::vector<Msg> sent_to(consensus::ProcessId to) const {
+    std::vector<Msg> out;
+    for (const auto& [dst, m] : sent_)
+      if (dst == to) out.push_back(m);
+    return out;
+  }
+
+  /// Count of messages matching a predicate.
+  template <typename Pred>
+  [[nodiscard]] int count_sent(Pred pred) const {
+    int k = 0;
+    for (const auto& [dst, m] : sent_)
+      if (pred(dst, m)) ++k;
+    return k;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<consensus::TimerId, sim::Tick>>& timers() const {
+    return timers_;
+  }
+
+ private:
+  consensus::ProcessId self_;
+  int n_;
+  sim::Tick now_ = 0;
+  std::uint64_t next_timer_ = 1;
+  std::vector<std::pair<consensus::ProcessId, Msg>> sent_;
+  std::vector<std::pair<consensus::TimerId, sim::Tick>> timers_;
+};
+
+}  // namespace twostep::testing

@@ -1,0 +1,18 @@
+// Shared helpers for the test suites: re-exports the canned runner
+// factories from the harness module under the historical testing namespace.
+#pragma once
+
+#include "harness/runners.hpp"
+
+namespace twostep::testing {
+
+using harness::CoreRunner;
+using harness::FastPaxosRunner;
+using harness::PaxosRunner;
+
+using harness::make_core_runner;
+using harness::make_core_runner_with_model;
+using harness::make_fastpaxos_runner;
+using harness::make_paxos_runner;
+
+}  // namespace twostep::testing

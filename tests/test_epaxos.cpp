@@ -1,0 +1,218 @@
+// Tests for the EPaxos core: two-delay fast-path commits at the paper's
+// operating point (n = 2f+1, e = ceil((f+1)/2)), conflict handling via the
+// Accept round, dependency-ordered execution, and explicit recovery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "consensus/cluster.hpp"
+#include "epaxos/epaxos.hpp"
+#include "net/latency.hpp"
+
+namespace twostep::epaxos {
+namespace {
+
+using consensus::Cluster;
+using consensus::ProcessId;
+using consensus::SystemConfig;
+
+constexpr sim::Tick kDelta = 100;
+
+std::unique_ptr<Cluster<EPaxosReplica>> make_fleet(SystemConfig cfg, sim::Tick delta = kDelta,
+                                                   sim::Tick recovery_timeout = 0) {
+  Options options;
+  options.delta = delta;
+  options.recovery_timeout = recovery_timeout;
+  return std::make_unique<Cluster<EPaxosReplica>>(
+      cfg, std::make_unique<net::SynchronousRounds>(delta),
+      [cfg, options](consensus::Env<Message>& env, ProcessId) {
+        return std::make_unique<EPaxosReplica>(env, cfg, options);
+      });
+}
+
+TEST(EPaxos, QuorumArithmetic) {
+  auto c5 = make_fleet(SystemConfig{5, 2, 2});
+  EXPECT_EQ(c5->process(0).fast_quorum(), 3);  // f + floor((f+1)/2) = 2 + 1
+  auto c7 = make_fleet(SystemConfig{7, 3, 2});
+  EXPECT_EQ(c7->process(0).fast_quorum(), 5);  // 3 + 2
+}
+
+TEST(EPaxos, FastPathCommitsInTwoDelays) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  sim::Tick committed_at = -1;
+  fleet->process(0).on_commit = [&](InstanceId, const Command&) {
+    committed_at = fleet->simulator().now();
+  };
+  const InstanceId id = fleet->process(0).submit(Command{7, 100});
+  fleet->run();
+  EXPECT_EQ(committed_at, 2 * kDelta);
+  EXPECT_TRUE(fleet->process(0).used_fast_path(id));
+  // All replicas learn the commit and execute it.
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    EXPECT_EQ(fleet->process(p).status(id), Status::kExecuted) << "p" << p;
+    EXPECT_EQ(fleet->process(p).committed_command(id), (Command{7, 100}));
+  }
+}
+
+TEST(EPaxos, FastPathSurvivesEFailures) {
+  // The paper's headline operating point: n = 2f+1 commits in two message
+  // delays even with e = ceil((f+1)/2) replicas down.
+  const int f = 2;
+  const int e = (f + 2) / 2;
+  const SystemConfig cfg{2 * f + 1, f, e};
+  auto fleet = make_fleet(cfg);
+  fleet->crash(3);
+  fleet->crash(4);  // e = 2 crashes
+  sim::Tick committed_at = -1;
+  fleet->process(0).on_commit = [&](InstanceId, const Command&) {
+    committed_at = fleet->simulator().now();
+  };
+  const InstanceId id = fleet->process(0).submit(Command{1, 5});
+  fleet->run();
+  EXPECT_EQ(committed_at, 2 * kDelta);
+  EXPECT_TRUE(fleet->process(0).used_fast_path(id));
+}
+
+TEST(EPaxos, OneMoreCrashLosesTheFastPathButNotProgress) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  fleet->crash(2);
+  fleet->crash(3);
+  fleet->crash(4);  // e+1 = 3 > e crashes: the fast quorum is unreachable
+  const InstanceId id = fleet->process(0).submit(Command{1, 5});
+  fleet->run();
+  EXPECT_EQ(fleet->process(0).status(id), Status::kPreAccepted);
+  EXPECT_FALSE(fleet->process(0).used_fast_path(id));
+}
+
+TEST(EPaxos, NonInterferingCommandsBothFast) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  const InstanceId a = fleet->process(0).submit(Command{1, 10});
+  const InstanceId b = fleet->process(1).submit(Command{2, 20});  // different key
+  fleet->run();
+  EXPECT_TRUE(fleet->process(0).used_fast_path(a));
+  EXPECT_TRUE(fleet->process(1).used_fast_path(b));
+  // No dependency between them anywhere.
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    EXPECT_FALSE(fleet->process(p).committed_deps(a).contains(b));
+    EXPECT_FALSE(fleet->process(p).committed_deps(b).contains(a));
+  }
+}
+
+TEST(EPaxos, ConflictingCommandsCommitWithDependencies) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  const InstanceId a = fleet->process(0).submit(Command{7, 10});
+  const InstanceId b = fleet->process(1).submit(Command{7, 20});  // same key
+  fleet->run();
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    ASSERT_EQ(fleet->process(p).status(a), Status::kExecuted) << "p" << p;
+    ASSERT_EQ(fleet->process(p).status(b), Status::kExecuted) << "p" << p;
+    const bool a_dep_b = fleet->process(p).committed_deps(a).contains(b);
+    const bool b_dep_a = fleet->process(p).committed_deps(b).contains(a);
+    EXPECT_TRUE(a_dep_b || b_dep_a);
+  }
+}
+
+TEST(EPaxos, ExecutionOrderIsIdenticalEverywhere) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  std::vector<std::vector<std::int64_t>> orders(5);
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    fleet->process(p).on_execute = [&orders, p](InstanceId, const Command& c) {
+      orders[static_cast<std::size_t>(p)].push_back(c.payload);
+    };
+  }
+  // Three mutually interfering commands from three different leaders.
+  fleet->process(0).submit(Command{7, 1});
+  fleet->process(1).submit(Command{7, 2});
+  fleet->process(2).submit(Command{7, 3});
+  fleet->run();
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    ASSERT_EQ(orders[static_cast<std::size_t>(p)].size(), 3u) << "p" << p;
+    EXPECT_EQ(orders[static_cast<std::size_t>(p)], orders[0]) << "p" << p;
+  }
+}
+
+TEST(EPaxos, LaterCommandDependsOnEarlierCommitted) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  const InstanceId a = fleet->process(0).submit(Command{7, 1});
+  fleet->run();
+  const InstanceId b = fleet->process(1).submit(Command{7, 2});
+  fleet->run();
+  EXPECT_TRUE(fleet->process(1).committed_deps(b).contains(a));
+  EXPECT_TRUE(fleet->process(1).used_fast_path(b));  // deps equal everywhere
+}
+
+TEST(EPaxos, RecoveryAdoptsAcceptedCommand) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  // Two conflicting commands force p0's instance through the Accept round;
+  // crash p0 right after it broadcast Accept, then let p1 recover.
+  const InstanceId a = fleet->process(0).submit(Command{7, 10});
+  fleet->process(1).submit(Command{7, 20});
+  // Run until the PreAccept round finished and Accepts are in flight.
+  fleet->run_until(3 * kDelta);
+  fleet->crash(0);
+  fleet->run_until(8 * kDelta);
+  fleet->process(1).recover(a);
+  fleet->run();
+  for (ProcessId p = 1; p < cfg.n; ++p) {
+    EXPECT_GE(fleet->process(p).status(a), Status::kCommitted) << "p" << p;
+    EXPECT_EQ(fleet->process(p).committed_command(a), (Command{7, 10})) << "p" << p;
+  }
+}
+
+TEST(EPaxos, RecoveryOfUnseenInstanceCommitsNoOp) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  // p0 crashes before its PreAccept reaches anyone: with crash-stop
+  // semantics the network drops sends from a crashed process, so submitting
+  // after the crash models "crashed while sending".
+  fleet->crash(0);
+  const InstanceId a = fleet->process(0).submit(Command{7, 10});
+  fleet->process(1).recover(a);
+  fleet->run();
+  for (ProcessId p = 1; p < cfg.n; ++p) {
+    ASSERT_GE(fleet->process(p).status(a), Status::kCommitted) << "p" << p;
+    EXPECT_EQ(fleet->process(p).committed_command(a)->payload, kNoOpPayload);
+  }
+}
+
+TEST(EPaxos, AutomaticRecoveryViaTimeout) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(SystemConfig{5, 2, 2}, kDelta, /*recovery_timeout=*/10 * kDelta);
+  for (ProcessId p = 0; p < cfg.n; ++p) fleet->process(p).start();
+  const InstanceId a = fleet->process(0).submit(Command{7, 10});
+  fleet->process(1).submit(Command{7, 20});
+  fleet->run_until(3 * kDelta);
+  fleet->crash(0);
+  // No manual recover(): the timeout-driven scan must finish instance a.
+  fleet->run_until(60 * kDelta);
+  for (ProcessId p = 1; p < cfg.n; ++p)
+    EXPECT_GE(fleet->process(p).status(a), Status::kCommitted) << "p" << p;
+}
+
+TEST(EPaxos, MutualInterferenceCycleExecutesConsistently) {
+  const SystemConfig cfg{3, 1, 1};
+  auto fleet = make_fleet(cfg);
+  std::vector<std::vector<std::int64_t>> orders(3);
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    fleet->process(p).on_execute = [&orders, p](InstanceId, const Command& c) {
+      orders[static_cast<std::size_t>(p)].push_back(c.payload);
+    };
+  }
+  fleet->process(0).submit(Command{7, 1});
+  fleet->process(1).submit(Command{7, 2});
+  fleet->run();
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    ASSERT_EQ(orders[static_cast<std::size_t>(p)].size(), 2u) << "p" << p;
+    EXPECT_EQ(orders[static_cast<std::size_t>(p)], orders[0]);
+  }
+}
+
+}  // namespace
+}  // namespace twostep::epaxos

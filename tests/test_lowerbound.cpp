@@ -1,0 +1,166 @@
+// Tests for the executable Appendix B constructions: below each bound the
+// splicing attack produces a real Agreement violation; at the bound the very
+// same attack is defeated.
+#include <gtest/gtest.h>
+
+#include "consensus/types.hpp"
+#include "lowerbound/scenarios.hpp"
+
+namespace twostep::lowerbound {
+namespace {
+
+using consensus::SystemConfig;
+using consensus::Value;
+
+struct Params {
+  int e;
+  int f;
+};
+
+class TaskBound : public ::testing::TestWithParam<Params> {};
+
+TEST_P(TaskBound, ViolationBelowTheorem5Bound) {
+  const auto [e, f] = GetParam();
+  const AttackOutcome out = task_below_bound_violation(e, f);
+  EXPECT_EQ(out.n, SystemConfig::min_processes_task(e, f) - 1);
+  EXPECT_TRUE(out.agreement_violated) << out.narrative.back();
+  EXPECT_EQ(out.fast_decision, Value{20});
+  EXPECT_EQ(out.late_decision, Value{10});
+  EXPECT_LE(out.crashes_used, f);
+}
+
+TEST_P(TaskBound, DefendedAtTheorem5Bound) {
+  const auto [e, f] = GetParam();
+  const AttackOutcome out = task_at_bound_defense(e, f);
+  EXPECT_EQ(out.n, SystemConfig::min_processes_task(e, f));
+  EXPECT_FALSE(out.agreement_violated) << out.narrative.back();
+  EXPECT_EQ(out.fast_decision, Value{20});
+  EXPECT_EQ(out.late_decision, Value{20});  // recovery re-proposes the decided value
+  EXPECT_LE(out.crashes_used, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TaskBound,
+                         ::testing::Values(Params{2, 2}, Params{3, 3}, Params{3, 4},
+                                           Params{4, 4}),
+                         [](const ::testing::TestParamInfo<Params>& info) {
+                           return "e" + std::to_string(info.param.e) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+class ObjectBound : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ObjectBound, ViolationBelowTheorem6Bound) {
+  const auto [e, f] = GetParam();
+  const AttackOutcome out = object_below_bound_violation(e, f);
+  EXPECT_EQ(out.n, SystemConfig::min_processes_object(e, f) - 1);
+  EXPECT_TRUE(out.agreement_violated) << out.narrative.back();
+  EXPECT_EQ(out.fast_decision, Value{20});
+  EXPECT_EQ(out.late_decision, Value{10});
+  EXPECT_LE(out.crashes_used, f);
+}
+
+TEST_P(ObjectBound, DefendedAtTheorem6Bound) {
+  const auto [e, f] = GetParam();
+  const AttackOutcome out = object_at_bound_defense(e, f);
+  EXPECT_EQ(out.n, SystemConfig::min_processes_object(e, f));
+  EXPECT_FALSE(out.agreement_violated) << out.narrative.back();
+  EXPECT_EQ(out.late_decision, Value{20});
+  EXPECT_LE(out.crashes_used, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ObjectBound,
+                         ::testing::Values(Params{3, 3}, Params{4, 4}, Params{4, 5}),
+                         [](const ::testing::TestParamInfo<Params>& info) {
+                           return "e" + std::to_string(info.param.e) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+class FastPaxosBound : public ::testing::TestWithParam<Params> {};
+
+TEST_P(FastPaxosBound, ViolationBelowLamportBound) {
+  const auto [e, f] = GetParam();
+  const AttackOutcome out = fastpaxos_below_bound_violation(e, f);
+  EXPECT_EQ(out.n, 2 * e + f);
+  EXPECT_TRUE(out.agreement_violated) << out.narrative.back();
+  EXPECT_EQ(out.fast_decision, Value{20});
+  EXPECT_LE(out.crashes_used, f);
+}
+
+TEST_P(FastPaxosBound, DefendedAtLamportBound) {
+  const auto [e, f] = GetParam();
+  const AttackOutcome out = fastpaxos_at_bound_defense(e, f);
+  EXPECT_EQ(out.n, 2 * e + f + 1);
+  EXPECT_FALSE(out.agreement_violated) << out.narrative.back();
+  EXPECT_EQ(out.late_decision, Value{20});
+  EXPECT_LE(out.crashes_used, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, FastPaxosBound,
+                         ::testing::Values(Params{1, 1}, Params{1, 2}, Params{2, 2},
+                                           Params{2, 3}),
+                         [](const ::testing::TestParamInfo<Params>& info) {
+                           return "e" + std::to_string(info.param.e) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+TEST(LowerBoundSeparation, PaperProtocolSurvivesWhereFastPaxosBreaks) {
+  // The paper's headline: at the same (e, f) and n = 2e+f, Fast Paxos loses
+  // a fast decision under the splicing attack while the task protocol at
+  // that n (its tight bound) defends.
+  const int e = 2;
+  const int f = 2;
+  const AttackOutcome fp = fastpaxos_below_bound_violation(e, f);
+  const AttackOutcome task = task_at_bound_defense(e, f);
+  ASSERT_EQ(fp.n, task.n);  // same cluster size: 2e+f = 6
+  EXPECT_TRUE(fp.agreement_violated);
+  EXPECT_FALSE(task.agreement_violated);
+}
+
+TEST(LowerBoundArguments, RejectInvalidParameters) {
+  EXPECT_THROW(task_below_bound_violation(1, 1), std::invalid_argument);   // 2e < f+2
+  EXPECT_THROW(object_below_bound_violation(2, 2), std::invalid_argument); // 2e < f+3
+  EXPECT_THROW(fastpaxos_below_bound_violation(0, 1), std::invalid_argument);
+}
+
+TEST(Ablation, MaxTieBreakIsLoadBearing) {
+  // The same at-bound tie scenario: the paper rule recovers the fast
+  // decision; picking the minimum candidate instead violates Agreement.
+  const AttackOutcome paper =
+      task_at_bound_with_policy(2, 2, core::SelectionPolicy::kPaper);
+  EXPECT_FALSE(paper.agreement_violated);
+  EXPECT_EQ(paper.late_decision, Value{20});
+
+  const AttackOutcome mutant =
+      task_at_bound_with_policy(2, 2, core::SelectionPolicy::kNoMaxTieBreak);
+  EXPECT_TRUE(mutant.agreement_violated) << mutant.narrative.back();
+  EXPECT_EQ(mutant.late_decision, Value{10});
+}
+
+TEST(Ablation, ThresholdBranchIsLoadBearing) {
+  // Dropping the "= n-f-e votes" branch loses the decided value entirely:
+  // the leader proposes its own value instead.
+  const AttackOutcome mutant =
+      task_at_bound_with_policy(2, 2, core::SelectionPolicy::kNoThresholdBranch);
+  EXPECT_TRUE(mutant.agreement_violated) << mutant.narrative.back();
+}
+
+TEST(Ablation, ProposerExclusionIsLoadBearing) {
+  const AttackOutcome paper =
+      object_exclusion_ablation(core::SelectionPolicy::kPaper);
+  EXPECT_FALSE(paper.agreement_violated) << paper.narrative.back();
+  EXPECT_EQ(paper.late_decision, Value{10});
+
+  const AttackOutcome mutant =
+      object_exclusion_ablation(core::SelectionPolicy::kNoProposerExclusion);
+  EXPECT_TRUE(mutant.agreement_violated) << mutant.narrative.back();
+  EXPECT_EQ(mutant.late_decision, Value{20});
+}
+
+TEST(LowerBoundNarrative, ExplainsTheRun) {
+  const AttackOutcome out = task_below_bound_violation(2, 2);
+  ASSERT_GE(out.narrative.size(), 5u);
+  EXPECT_NE(out.narrative.back().find("AGREEMENT VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twostep::lowerbound

@@ -1,0 +1,150 @@
+// Unit tests for the external run monitors: the consensus task checker and
+// the object linearizability checker.
+#include <gtest/gtest.h>
+
+#include "consensus/monitor.hpp"
+
+namespace twostep::consensus {
+namespace {
+
+TEST(ConsensusMonitor, CleanRunIsSafe) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_proposal(1, Value{2}, 0);
+  m.note_decision(0, Value{2}, 200);
+  m.note_decision(1, Value{2}, 300);
+  EXPECT_TRUE(m.safe());
+  EXPECT_EQ(m.decided_count(), 2);
+  EXPECT_EQ(m.any_decision(), Value{2});
+}
+
+TEST(ConsensusMonitor, DetectsAgreementViolation) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_proposal(1, Value{2}, 0);
+  m.note_decision(0, Value{1}, 100);
+  m.note_decision(1, Value{2}, 100);
+  ASSERT_FALSE(m.safe());
+  EXPECT_NE(m.violations().front().find("agreement"), std::string::npos);
+}
+
+TEST(ConsensusMonitor, DetectsValidityViolation) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_decision(0, Value{99}, 100);
+  ASSERT_FALSE(m.safe());
+  EXPECT_NE(m.violations().front().find("validity"), std::string::npos);
+}
+
+TEST(ConsensusMonitor, DetectsIntegrityViolation) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_proposal(1, Value{2}, 0);
+  m.note_decision(0, Value{1}, 100);
+  m.note_decision(0, Value{2}, 150);
+  ASSERT_FALSE(m.safe());
+  EXPECT_NE(m.violations().front().find("integrity"), std::string::npos);
+}
+
+TEST(ConsensusMonitor, RedecidingSameValueIsBenign) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_decision(0, Value{1}, 100);
+  m.note_decision(0, Value{1}, 200);
+  EXPECT_TRUE(m.safe());
+  EXPECT_EQ(m.decision_time(0), 100);  // first decision time sticks
+}
+
+TEST(ConsensusMonitor, RejectsBottomProposal) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value::bottom(), 0);
+  EXPECT_FALSE(m.safe());
+}
+
+TEST(ConsensusMonitor, ConflictingReproposalFlagged) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_proposal(0, Value{2}, 10);
+  EXPECT_FALSE(m.safe());
+}
+
+TEST(ConsensusMonitor, TwoStepVerdictUsesTwoDelta) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_decision(0, Value{1}, 200);
+  EXPECT_TRUE(m.two_step_for(0, 100));   // 200 <= 2*100
+  EXPECT_FALSE(m.two_step_for(0, 99));   // 200 > 198
+  EXPECT_FALSE(m.two_step_for(1, 100));  // never decided
+}
+
+TEST(ConsensusMonitor, UndecidedCorrectExcludesCrashedAndDecided) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_decision(0, Value{1}, 100);
+  m.note_crash(2, 50);
+  const auto undecided = m.undecided_correct(3);
+  ASSERT_EQ(undecided.size(), 1u);
+  EXPECT_EQ(undecided.front(), 1);
+}
+
+TEST(ConsensusMonitor, ResetClearsEverything) {
+  ConsensusMonitor m;
+  m.note_proposal(0, Value{1}, 0);
+  m.note_decision(0, Value{9}, 100);  // validity violation
+  EXPECT_FALSE(m.safe());
+  m.reset();
+  EXPECT_TRUE(m.safe());
+  EXPECT_EQ(m.decided_count(), 0);
+}
+
+TEST(Linearizability, EmptyHistoryIsLinearizable) {
+  ObjectLinearizabilityChecker c;
+  EXPECT_TRUE(c.check().empty());
+}
+
+TEST(Linearizability, SingleProposerIsLinearizable) {
+  ObjectLinearizabilityChecker c;
+  c.note_invocation(0, Value{5}, 0);
+  c.note_response(0, Value{5}, 200);
+  EXPECT_TRUE(c.check().empty());
+}
+
+TEST(Linearizability, ConcurrentProposersOneWinner) {
+  ObjectLinearizabilityChecker c;
+  c.note_invocation(0, Value{5}, 0);
+  c.note_invocation(1, Value{6}, 0);
+  c.note_response(0, Value{6}, 200);
+  c.note_response(1, Value{6}, 250);
+  EXPECT_TRUE(c.check().empty());
+}
+
+TEST(Linearizability, DisagreeingResponsesFlagged) {
+  ObjectLinearizabilityChecker c;
+  c.note_invocation(0, Value{5}, 0);
+  c.note_invocation(1, Value{6}, 0);
+  c.note_response(0, Value{5}, 200);
+  c.note_response(1, Value{6}, 200);
+  EXPECT_FALSE(c.check().empty());
+}
+
+TEST(Linearizability, DecisionMustBeInvokedBeforeFirstResponse) {
+  ObjectLinearizabilityChecker c;
+  // Value 6 is only proposed AFTER process 0 already returned it: the
+  // returned value came out of thin air at response time.
+  c.note_invocation(0, Value{5}, 0);
+  c.note_response(0, Value{6}, 100);
+  c.note_invocation(1, Value{6}, 200);
+  c.note_response(1, Value{6}, 300);
+  EXPECT_FALSE(c.check().empty());
+}
+
+TEST(Linearizability, ResponseWithoutInvocationFlagged) {
+  ObjectLinearizabilityChecker c;
+  c.note_invocation(0, Value{5}, 0);
+  c.note_response(0, Value{5}, 100);
+  c.note_response(1, Value{5}, 150);  // p1 never invoked propose
+  EXPECT_FALSE(c.check().empty());
+}
+
+}  // namespace
+}  // namespace twostep::consensus

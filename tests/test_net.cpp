@@ -1,0 +1,247 @@
+// Unit tests for the simulated network: latency models (incl. the paper's
+// Definition 2 round synchrony and the DLS partial-synchrony bound), crash
+// semantics, tracing and interception.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace twostep::net {
+namespace {
+
+using consensus::ProcessId;
+
+TEST(SynchronousRounds, DeliversAtNextRoundBoundary) {
+  SynchronousRounds m{100};
+  util::Rng rng{1};
+  EXPECT_EQ(m.delivery_time(0, 0, 1, rng), 100);
+  EXPECT_EQ(m.delivery_time(99, 0, 1, rng), 100);
+  EXPECT_EQ(m.delivery_time(100, 0, 1, rng), 200);
+  EXPECT_EQ(m.delivery_time(150, 0, 1, rng), 200);
+  EXPECT_EQ(m.delta(), 100);
+}
+
+TEST(SynchronousRounds, RejectsNonPositiveDelta) {
+  EXPECT_THROW(SynchronousRounds{0}, std::invalid_argument);
+}
+
+TEST(FixedDelay, ConstantDelay) {
+  FixedDelay m{7};
+  util::Rng rng{1};
+  EXPECT_EQ(m.delivery_time(10, 0, 1, rng), 17);
+  EXPECT_EQ(m.delta(), 7);
+}
+
+TEST(FixedDelay, DelayAboveDeltaRejected) {
+  EXPECT_THROW(FixedDelay(10, 5), std::invalid_argument);
+}
+
+TEST(PartialSynchrony, RespectsDlsBound) {
+  // Every message sent at time t must arrive by max(t, GST) + delta.
+  PartialSynchrony m{/*gst=*/1000, /*delta=*/50, /*chaos_max=*/10000};
+  util::Rng rng{42};
+  for (sim::Tick t : {0, 100, 900, 999}) {
+    for (int i = 0; i < 200; ++i) {
+      const sim::Tick d = m.delivery_time(t, 0, 1, rng);
+      EXPECT_GT(d, t);
+      EXPECT_LE(d, 1000 + 50);
+    }
+  }
+}
+
+TEST(PartialSynchrony, FastAfterGst) {
+  PartialSynchrony m{1000, 50, 10000};
+  util::Rng rng{42};
+  for (int i = 0; i < 200; ++i) {
+    const sim::Tick d = m.delivery_time(2000, 0, 1, rng);
+    EXPECT_GT(d, 2000);
+    EXPECT_LE(d, 2050);
+  }
+}
+
+TEST(WanMatrix, NineRegionsIsConsistent) {
+  const WanMatrix m = WanMatrix::nine_regions(0);
+  EXPECT_EQ(m.sites(), 9);
+  util::Rng rng{1};
+  // us-east <-> us-west is ~35ms one way.
+  EXPECT_EQ(m.delivery_time(0, 0, 1, rng), 35);
+  // delta is the worst link.
+  EXPECT_GE(m.delta(), 160);
+}
+
+TEST(WanMatrix, JitterBounded) {
+  const WanMatrix m = WanMatrix::nine_regions(5);
+  util::Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    const sim::Tick d = m.delivery_time(0, 0, 1, rng);
+    EXPECT_GE(d, 35);
+    EXPECT_LE(d, 40);
+  }
+}
+
+TEST(WanMatrix, RestrictSelectsSubmatrix) {
+  const WanMatrix m = WanMatrix::nine_regions(0);
+  const WanMatrix sub = m.restrict({0, 2, 4});  // us-east, eu-west, tokyo
+  EXPECT_EQ(sub.sites(), 3);
+  util::Rng rng{1};
+  EXPECT_EQ(sub.delivery_time(0, 0, 1, rng), 38);   // use -> euw
+  EXPECT_EQ(sub.delivery_time(0, 1, 2, rng), 105);  // euw -> jpn
+}
+
+TEST(WanMatrix, RejectsBadMatrices) {
+  EXPECT_THROW(WanMatrix({}, 0), std::invalid_argument);
+  EXPECT_THROW(WanMatrix({{1, 2}}, 0), std::invalid_argument);        // not square
+  EXPECT_THROW(WanMatrix({{1, 0}, {1, 1}}, 0), std::invalid_argument);  // zero latency
+}
+
+// ---- Network ----
+
+using Net = Network<std::string>;
+
+std::unique_ptr<LatencyModel> fixed(sim::Tick d) { return std::make_unique<FixedDelay>(d); }
+
+TEST(Network, DeliversToHandler) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 3};
+  std::string got;
+  ProcessId got_from = -1;
+  net.set_handler(1, [&](ProcessId from, const std::string& m) {
+    got = m;
+    got_from = from;
+  });
+  net.send(0, 1, "hello");
+  sim.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(got_from, 0);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Network, SelfSendGoesThroughTheLatencyModel) {
+  // Definition 2 semantics: self-addressed messages are messages.
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  sim::Tick when = -1;
+  net.set_handler(0, [&](ProcessId, const std::string&) { when = sim.now(); });
+  net.send(0, 0, "x");
+  sim.run();
+  EXPECT_EQ(when, 10);
+}
+
+TEST(Network, CrashedSenderDropsMessage) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  bool delivered = false;
+  net.set_handler(1, [&](ProcessId, const std::string&) { delivered = true; });
+  net.crash(0);
+  net.send(0, 1, "x");
+  sim.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, CrashedReceiverDropsMessage) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  bool delivered = false;
+  net.set_handler(1, [&](ProcessId, const std::string&) { delivered = true; });
+  net.send(0, 1, "x");
+  net.crash(1);
+  sim.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, CrashAfterSendStillDelivers) {
+  // Reliable links: a message handed to the network before the sender's
+  // crash is delivered (the paper's runs rely on this: a process decides,
+  // sends, and crashes).
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  bool delivered = false;
+  net.set_handler(1, [&](ProcessId, const std::string&) { delivered = true; });
+  net.send(0, 1, "x");
+  net.crash(0);
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, CrashAtScheduledTime) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  int delivered = 0;
+  net.set_handler(1, [&](ProcessId, const std::string&) { ++delivered; });
+  net.crash_at(5, 1);
+  net.send(0, 1, "early");  // delivery at 10, after crash at 5
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(net.crashed(1));
+  EXPECT_EQ(net.crashed_count(), 1);
+}
+
+TEST(Network, CountsSentAndDelivered) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 3};
+  net.set_handler(1, [](ProcessId, const std::string&) {});
+  net.set_handler(2, [](ProcessId, const std::string&) {});
+  net.crash(2);
+  net.send(0, 1, "a");
+  net.send(0, 2, "b");
+  sim.run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(Network, TraceRecordsSendAndDelivery) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  net.enable_trace();
+  net.set_handler(1, [](ProcessId, const std::string&) {});
+  net.send(0, 1, "traced");
+  sim.run();
+  ASSERT_EQ(net.trace().size(), 1u);
+  const auto& entry = net.trace().front();
+  EXPECT_EQ(entry.send_time, 0);
+  EXPECT_EQ(entry.deliver_time, 10);
+  EXPECT_EQ(entry.payload, "traced");
+}
+
+TEST(Network, TraceMarksUndelivered) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  net.enable_trace();
+  net.set_handler(1, [](ProcessId, const std::string&) {});
+  net.send(0, 1, "lost");
+  net.crash(1);
+  sim.run();
+  ASSERT_EQ(net.trace().size(), 1u);
+  EXPECT_EQ(net.trace().front().deliver_time, -1);
+}
+
+TEST(Network, InterceptorOverridesDelivery) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  sim::Tick when = -1;
+  net.set_handler(1, [&](ProcessId, const std::string&) { when = sim.now(); });
+  net.set_interceptor([](sim::Tick, ProcessId, ProcessId, const std::string& m)
+                          -> std::optional<sim::Tick> {
+    if (m == "slow") return 500;
+    return std::nullopt;
+  });
+  net.send(0, 1, "slow");
+  sim.run();
+  EXPECT_EQ(when, 500);
+  net.send(0, 1, "normal");
+  sim.run();
+  EXPECT_EQ(when, 510);
+}
+
+TEST(Network, RejectsBadProcessIds) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2};
+  EXPECT_THROW(net.send(0, 5, "x"), std::out_of_range);
+  EXPECT_THROW(net.crash(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace twostep::net

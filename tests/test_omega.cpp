@@ -1,0 +1,148 @@
+// Tests for the Ω leader-election module: the oracle and the heartbeat
+// failure detector (eventual agreement on the lowest correct process under
+// partial synchrony, §C.1).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "omega/omega.hpp"
+#include "sim/simulator.hpp"
+
+namespace twostep::omega {
+namespace {
+
+using consensus::ProcessId;
+
+TEST(OmegaOracle, LeaderIsLowestAlive) {
+  std::vector<bool> alive = {true, true, true};
+  OmegaOracle o{[&](ProcessId p) { return alive[static_cast<std::size_t>(p)]; }, 3};
+  EXPECT_EQ(o.leader(), 0);
+  alive[0] = false;
+  EXPECT_EQ(o.leader(), 1);
+  alive[1] = false;
+  EXPECT_EQ(o.leader(), 2);
+}
+
+TEST(OmegaOracle, NoLeaderWhenAllDead) {
+  OmegaOracle o{[](ProcessId) { return false; }, 3};
+  EXPECT_EQ(o.leader(), consensus::kNoProcess);
+}
+
+TEST(OmegaOracle, RejectsBadArguments) {
+  EXPECT_THROW(OmegaOracle(nullptr, 3), std::invalid_argument);
+  EXPECT_THROW(OmegaOracle([](ProcessId) { return true; }, 0), std::invalid_argument);
+}
+
+/// Harness: n HeartbeatOmega instances over a simulated network.
+class HeartbeatFixture {
+ public:
+  HeartbeatFixture(int n, sim::Tick period, sim::Tick timeout,
+                   std::unique_ptr<net::LatencyModel> model, std::uint64_t seed = 1)
+      : net_(sim_, std::move(model), n, seed) {
+    timer_owner_.resize(1, -1);  // timer ids are global; index 0 unused
+    for (ProcessId p = 0; p < n; ++p) {
+      HeartbeatOmega::Hooks hooks;
+      hooks.send_heartbeat = [this, p](ProcessId to) { net_.send(p, to, Heartbeat{}); };
+      hooks.set_timer = [this, p](sim::Tick delay) {
+        const consensus::TimerId id{next_timer_++};
+        timer_owner_.push_back(p);
+        sim_.schedule_after(delay, [this, p, id] {
+          if (net_.crashed(p)) return;
+          detectors_[static_cast<std::size_t>(p)]->handle_timer(id);
+        });
+        return id;
+      };
+      hooks.now = [this] { return sim_.now(); };
+      detectors_.push_back(std::make_unique<HeartbeatOmega>(n, p, period, timeout, hooks));
+      net_.set_handler(p, [this, p](ProcessId from, const Heartbeat&) {
+        detectors_[static_cast<std::size_t>(p)]->on_heartbeat(from);
+      });
+    }
+  }
+
+  void start_all() {
+    for (auto& d : detectors_) d->start();
+  }
+
+  HeartbeatOmega& detector(ProcessId p) { return *detectors_[static_cast<std::size_t>(p)]; }
+  sim::Simulator& sim() { return sim_; }
+  net::Network<Heartbeat>& net() { return net_; }
+
+ private:
+  sim::Simulator sim_;
+  net::Network<Heartbeat> net_;
+  std::vector<std::unique_ptr<HeartbeatOmega>> detectors_;
+  std::uint64_t next_timer_ = 1;
+  std::vector<ProcessId> timer_owner_;
+};
+
+TEST(HeartbeatOmega, FailureFreeElectsP0) {
+  HeartbeatFixture f{4, /*period=*/50, /*timeout=*/200,
+                     std::make_unique<net::FixedDelay>(10)};
+  f.start_all();
+  f.sim().run_until(2000);
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(f.detector(p).leader(), 0) << "p" << p;
+}
+
+TEST(HeartbeatOmega, CrashedLeaderIsReplaced) {
+  HeartbeatFixture f{4, 50, 200, std::make_unique<net::FixedDelay>(10)};
+  f.start_all();
+  f.net().crash_at(500, 0);
+  f.sim().run_until(2000);
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_TRUE(f.detector(p).suspects(0)) << "p" << p;
+    EXPECT_EQ(f.detector(p).leader(), 1) << "p" << p;
+  }
+}
+
+TEST(HeartbeatOmega, CascadingCrashes) {
+  HeartbeatFixture f{5, 50, 200, std::make_unique<net::FixedDelay>(10)};
+  f.start_all();
+  f.net().crash_at(500, 0);
+  f.net().crash_at(1000, 1);
+  f.sim().run_until(3000);
+  for (ProcessId p = 2; p < 5; ++p) EXPECT_EQ(f.detector(p).leader(), 2) << "p" << p;
+}
+
+TEST(HeartbeatOmega, ConvergesAfterGst) {
+  // Chaotic delays before GST may cause false suspicions; after GST with
+  // timeout >= delta + period all correct processes re-agree on p0.
+  HeartbeatFixture f{4, 50, 200,
+                     std::make_unique<net::PartialSynchrony>(/*gst=*/2000, /*delta=*/100,
+                                                             /*chaos=*/1500),
+                     /*seed=*/7};
+  f.start_all();
+  f.sim().run_until(6000);
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(f.detector(p).leader(), 0) << "p" << p;
+}
+
+TEST(HeartbeatOmega, SelfIsNeverSuspected) {
+  HeartbeatFixture f{3, 50, 200, std::make_unique<net::FixedDelay>(10)};
+  f.start_all();
+  f.sim().run_until(1000);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_FALSE(f.detector(p).suspects(p));
+}
+
+TEST(HeartbeatOmega, ValidatesConstruction) {
+  HeartbeatOmega::Hooks hooks;
+  hooks.send_heartbeat = [](ProcessId) {};
+  hooks.set_timer = [](sim::Tick) { return consensus::TimerId{1}; };
+  hooks.now = [] { return sim::Tick{0}; };
+  EXPECT_THROW(HeartbeatOmega(0, 0, 50, 200, hooks), std::invalid_argument);
+  EXPECT_THROW(HeartbeatOmega(3, 5, 50, 200, hooks), std::invalid_argument);
+  EXPECT_THROW(HeartbeatOmega(3, 0, 0, 200, hooks), std::invalid_argument);
+  EXPECT_THROW(HeartbeatOmega(3, 0, 300, 200, hooks), std::invalid_argument);
+  EXPECT_THROW(HeartbeatOmega(3, 0, 50, 200, HeartbeatOmega::Hooks{}), std::invalid_argument);
+}
+
+TEST(HeartbeatOmega, HandleTimerRejectsForeignIds) {
+  HeartbeatFixture f{3, 50, 200, std::make_unique<net::FixedDelay>(10)};
+  f.start_all();
+  EXPECT_FALSE(f.detector(0).handle_timer(consensus::TimerId{9999}));
+}
+
+}  // namespace
+}  // namespace twostep::omega

@@ -1,0 +1,216 @@
+// Tests for the classical Paxos baseline: unit preconditions, the
+// 0-two-step behaviour with a correct initial leader, the > 2Δ latency once
+// the leader is in the crash set, and safety/liveness sweeps.
+#include <gtest/gtest.h>
+
+#include "mock_env.hpp"
+#include "paxos/paxos.hpp"
+#include "support.hpp"
+
+namespace twostep::paxos {
+namespace {
+
+using consensus::ProcessId;
+using consensus::SyncScenario;
+using consensus::SystemConfig;
+using consensus::Value;
+using testing::make_paxos_runner;
+using testing::MockEnv;
+
+constexpr sim::Tick kDelta = 100;
+
+struct Fixture {
+  explicit Fixture(SystemConfig cfg, ProcessId self = 0)
+      : env(self, cfg.n), proc(env, cfg, make_options()) {}
+
+  static Options make_options() {
+    Options o;
+    o.delta = kDelta;
+    o.enable_ballot_timer = false;
+    return o;
+  }
+
+  MockEnv<Message> env;
+  PaxosProcess proc;
+};
+
+TEST(PaxosUnit, InitialLeaderGoesStraightToPhase2) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/0};
+  f.proc.propose(Value{5});
+  EXPECT_EQ(f.env.count_sent([](ProcessId, const Message& m) {
+              return std::holds_alternative<AcceptMsg>(m) && std::get<AcceptMsg>(m).b == 0;
+            }),
+            3);  // broadcast to all, including self
+}
+
+TEST(PaxosUnit, NonLeaderDoesNotProposeDirectly) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/1};
+  f.proc.propose(Value{5});
+  EXPECT_TRUE(f.env.sent().empty());
+}
+
+TEST(PaxosUnit, AcceptorVotesAndBroadcastsAccepted) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/1};
+  f.proc.on_message(0, Message{AcceptMsg{0, Value{5}}});
+  EXPECT_EQ(f.env.count_sent([](ProcessId, const Message& m) {
+              return std::holds_alternative<AcceptedMsg>(m);
+            }),
+            3);
+}
+
+TEST(PaxosUnit, StaleAcceptIgnored) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/1};
+  f.proc.on_message(0, Message{PrepareMsg{4}});
+  f.env.clear_sent();
+  f.proc.on_message(0, Message{AcceptMsg{2, Value{5}}});  // 2 < bal = 4
+  EXPECT_TRUE(f.env.sent().empty());
+}
+
+TEST(PaxosUnit, PromiseCarriesLastVote) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/1};
+  f.proc.on_message(0, Message{AcceptMsg{0, Value{5}}});
+  f.env.clear_sent();
+  f.proc.on_message(2, Message{PrepareMsg{5}});
+  const auto to2 = f.env.sent_to(2);
+  ASSERT_EQ(to2.size(), 1u);
+  const auto& promise = std::get<PromiseMsg>(to2.front());
+  EXPECT_EQ(promise.vbal, 0);
+  EXPECT_EQ(promise.vval, Value{5});
+}
+
+TEST(PaxosUnit, StalePrepareIgnored) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/1};
+  f.proc.on_message(2, Message{PrepareMsg{5}});
+  f.env.clear_sent();
+  f.proc.on_message(2, Message{PrepareMsg{5}});
+  f.proc.on_message(2, Message{PrepareMsg{3}});
+  EXPECT_TRUE(f.env.sent().empty());
+}
+
+TEST(PaxosUnit, RecoveryAdoptsHighestVote) {
+  // p1 leads ballot 4 (4 mod 3 == 1); promises report votes at ballots 0
+  // and 2; the ballot-2 vote must win.
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/1};
+  f.proc.propose(Value{9});
+  f.proc.on_message(0, Message{PromiseMsg{4, 0, Value{5}}});
+  f.proc.on_message(2, Message{PromiseMsg{4, 2, Value{7}}});
+  EXPECT_EQ(f.env.count_sent([](ProcessId, const Message& m) {
+              return std::holds_alternative<AcceptMsg>(m) &&
+                     std::get<AcceptMsg>(m).v == Value{7};
+            }),
+            3);
+}
+
+TEST(PaxosUnit, RecoveryFallsBackToOwnValue) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/1};
+  f.proc.propose(Value{9});
+  f.proc.on_message(0, Message{PromiseMsg{4, -1, {}}});
+  f.proc.on_message(2, Message{PromiseMsg{4, -1, {}}});
+  EXPECT_EQ(f.env.count_sent([](ProcessId, const Message& m) {
+              return std::holds_alternative<AcceptMsg>(m) &&
+                     std::get<AcceptMsg>(m).v == Value{9};
+            }),
+            3);
+}
+
+TEST(PaxosUnit, DecidesOnClassicQuorumOfAccepted) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/2};
+  Value decided;
+  f.proc.on_decide = [&](Value v) { decided = v; };
+  f.proc.on_message(0, Message{AcceptedMsg{0, Value{5}}});
+  EXPECT_FALSE(f.proc.has_decided());
+  f.proc.on_message(1, Message{AcceptedMsg{0, Value{5}}});
+  EXPECT_TRUE(f.proc.has_decided());
+  EXPECT_EQ(decided, Value{5});
+}
+
+TEST(PaxosUnit, MixedBallotAcceptedDoNotCount) {
+  Fixture f{SystemConfig{3, 1, 0}, /*self=*/2};
+  f.proc.on_message(0, Message{AcceptedMsg{0, Value{5}}});
+  f.proc.on_message(1, Message{AcceptedMsg{4, Value{5}}});
+  EXPECT_FALSE(f.proc.has_decided());
+}
+
+// ---------- end-to-end ----------
+
+TEST(PaxosRun, FailureFreeEveryoneDecidesAtTwoDelta) {
+  // Paxos with a correct pre-established leader IS 0-two-step: Accepted is
+  // broadcast, so all processes decide at 2Δ.
+  const SystemConfig cfg{3, 1, 0};
+  auto r = make_paxos_runner(cfg, kDelta);
+  SyncScenario s;
+  s.proposals = {{0, Value{10}}, {1, Value{20}}, {2, Value{30}}};
+  r->run(s);
+  EXPECT_TRUE(r->monitor().safe());
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    EXPECT_TRUE(r->monitor().two_step_for(p, kDelta)) << "p" << p;
+    EXPECT_EQ(r->monitor().decision(p), Value{10});  // leader's value
+  }
+}
+
+TEST(PaxosRun, LeaderCrashMakesItSlow) {
+  // The paper's point: Paxos is not e-two-step for e > 0.  With the initial
+  // leader crashed, nobody can decide by 2Δ.
+  const SystemConfig cfg{3, 1, 1};
+  auto r = make_paxos_runner(cfg, kDelta);
+  SyncScenario s;
+  s.crashes = {0};
+  s.proposals = {{0, Value{10}}, {1, Value{20}}, {2, Value{30}}};
+  r->run(s);
+  EXPECT_TRUE(r->monitor().safe());
+  EXPECT_TRUE(r->monitor().undecided_correct(cfg.n).empty());
+  for (ProcessId p = 1; p < cfg.n; ++p)
+    EXPECT_FALSE(r->monitor().two_step_for(p, kDelta)) << "p" << p;
+}
+
+TEST(PaxosRun, RecoveredValueIsTheVotedOne) {
+  // Leader decides... no: leader's Accept reaches acceptors, leader crashes
+  // before Accepted quorum forms at others?  With broadcasts everyone still
+  // learns.  Instead crash the leader right after propose: its Accept(0,10)
+  // is still delivered (reliable links), acceptors vote 10, and recovery by
+  // p1 must re-propose 10.
+  const SystemConfig cfg{3, 1, 1};
+  auto r = make_paxos_runner(cfg, kDelta);
+  r->cluster().start_all();
+  r->cluster().propose(0, Value{10});
+  r->cluster().crash(0);
+  r->cluster().propose(1, Value{20});
+  r->cluster().propose(2, Value{30});
+  r->cluster().run();
+  EXPECT_TRUE(r->monitor().safe());
+  EXPECT_EQ(r->monitor().decision(1), Value{10});
+  EXPECT_EQ(r->monitor().decision(2), Value{10});
+}
+
+TEST(PaxosRun, SurvivesMaxCrashes) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_paxos_runner(cfg, kDelta);
+  SyncScenario s;
+  s.crashes = {0, 1};
+  s.proposals = {{0, Value{1}}, {1, Value{2}}, {2, Value{3}}, {3, Value{4}}, {4, Value{5}}};
+  r->run(s);
+  EXPECT_TRUE(r->monitor().safe());
+  EXPECT_TRUE(r->monitor().undecided_correct(cfg.n).empty());
+}
+
+class PaxosPartialSynchrony : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaxosPartialSynchrony, SafeAndLiveAcrossSeeds) {
+  const SystemConfig cfg{5, 2, 0};
+  paxos::Options options;
+  options.delta = kDelta;
+  auto r = std::make_unique<testing::PaxosRunner>(
+      cfg, std::make_unique<net::PartialSynchrony>(1500, kDelta, 1200), options, GetParam());
+  SyncScenario s;
+  s.proposals = {{0, Value{10}}, {1, Value{20}}, {2, Value{30}}, {3, Value{40}}, {4, Value{50}}};
+  r->cluster().crash_at(300, 1);
+  r->run(s);
+  EXPECT_TRUE(r->monitor().safe()) << r->monitor().violations().front();
+  EXPECT_TRUE(r->cluster().all_correct_decided());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosPartialSynchrony,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace twostep::paxos

@@ -1,0 +1,187 @@
+// Tests for the replicated state machine: proxy commits, contiguous
+// in-order application, slot contention between proxies, crash tolerance,
+// and identical logs under randomized partial synchrony.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "consensus/scenario.hpp"
+#include "net/latency.hpp"
+#include "rsm/rsm.hpp"
+
+namespace twostep::rsm {
+namespace {
+
+using consensus::ProcessId;
+using consensus::SystemConfig;
+
+constexpr sim::Tick kDelta = 100;
+
+using Runner = consensus::ScenarioRunner<RsmProcess, Options>;
+
+std::unique_ptr<Runner> make_rsm(SystemConfig cfg, std::unique_ptr<net::LatencyModel> model,
+                                 std::uint64_t seed = 1) {
+  Options options;
+  options.delta = model->delta();
+  return std::make_unique<Runner>(cfg, std::move(model), options, seed);
+}
+
+std::unique_ptr<Runner> make_sync_rsm(SystemConfig cfg) {
+  return make_rsm(cfg, std::make_unique<net::SynchronousRounds>(kDelta));
+}
+
+TEST(Rsm, SingleCommandCommitsAtProxyInTwoDelays) {
+  // The paper's motivation: the client's proxy decides fast.
+  const SystemConfig cfg{5, 2, 2};  // object bound for e=2, f=2
+  auto r = make_sync_rsm(cfg);
+  sim::Tick committed_at = -1;
+  std::int32_t committed_slot = -1;
+  r->cluster().process(0).on_commit = [&](Command, sim::Tick, std::int32_t slot) {
+    committed_at = r->cluster().now();
+    committed_slot = slot;
+  };
+  r->cluster().start_all();
+  r->cluster().process(0).submit(42);
+  r->cluster().run();
+  EXPECT_EQ(committed_at, 2 * kDelta);
+  EXPECT_EQ(committed_slot, 0);
+}
+
+TEST(Rsm, AllReplicasApplyTheCommand) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  r->cluster().start_all();
+  r->cluster().process(2).submit(7);
+  r->cluster().run();
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    EXPECT_EQ(r->cluster().process(p).applied_prefix(), 1) << "p" << p;
+    EXPECT_EQ(RsmProcess::command_payload(*r->cluster().process(p).decision(0)), 7);
+    EXPECT_EQ(RsmProcess::command_proxy(*r->cluster().process(p).decision(0)), 2);
+  }
+}
+
+TEST(Rsm, SameProxyCommandsApplyInSubmissionOrder) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  std::vector<std::int64_t> applied;
+  r->cluster().process(0).on_apply = [&](std::int32_t, Command cmd) {
+    applied.push_back(RsmProcess::command_payload(cmd));
+  };
+  r->cluster().start_all();
+  for (std::int64_t k = 1; k <= 5; ++k) r->cluster().process(0).submit(k);
+  r->cluster().run();
+  EXPECT_EQ(applied, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(r->cluster().process(0).pending_own_commands(), 0);
+}
+
+TEST(Rsm, ContendingProxiesLoserResubmits) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  r->cluster().start_all();
+  r->cluster().process(0).submit(100);
+  r->cluster().process(1).submit(200);  // same slot 0: one must lose
+  r->cluster().run();
+  // Both commands end up in the log, in the same order at every replica.
+  std::vector<std::vector<std::int64_t>> logs(static_cast<std::size_t>(cfg.n));
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    auto& proc = r->cluster().process(p);
+    EXPECT_GE(proc.applied_prefix(), 2) << "p" << p;
+    for (std::int32_t s = 0; s < proc.applied_prefix(); ++s)
+      logs[static_cast<std::size_t>(p)].push_back(
+          RsmProcess::command_payload(*proc.decision(s)));
+    EXPECT_EQ(logs[static_cast<std::size_t>(p)], logs[0]) << "p" << p;
+  }
+  // Exactly the two payloads, no duplicates (modulo proxy no-shows).
+  std::map<std::int64_t, int> counts;
+  for (std::int64_t v : logs[0]) ++counts[v];
+  EXPECT_EQ(counts[100], 1);
+  EXPECT_EQ(counts[200], 1);
+}
+
+TEST(Rsm, ProgressDespiteECrashes) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  r->cluster().crash(3);
+  r->cluster().crash(4);
+  r->cluster().start_all();
+  sim::Tick committed_at = -1;
+  r->cluster().process(0).on_commit = [&](Command, sim::Tick, std::int32_t) {
+    committed_at = r->cluster().now();
+  };
+  r->cluster().process(0).submit(9);
+  r->cluster().run();
+  // Still two-step at the proxy: the object protocol tolerates e = 2
+  // crashes on the fast path with only n = 5.
+  EXPECT_EQ(committed_at, 2 * kDelta);
+}
+
+TEST(Rsm, PipelineManyCommandsFromAllProxies) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  r->cluster().start_all();
+  int committed = 0;
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    r->cluster().process(p).on_commit = [&](Command, sim::Tick, std::int32_t) { ++committed; };
+  }
+  int next_payload = 1;
+  for (int round = 0; round < 4; ++round)
+    for (ProcessId p = 0; p < cfg.n; ++p)
+      r->cluster().process(p).submit(next_payload++);
+  r->cluster().run();
+  EXPECT_EQ(committed, 20);
+  // All replicas applied the same 20-command log.
+  const auto prefix = r->cluster().process(0).applied_prefix();
+  EXPECT_GE(prefix, 20);
+  for (ProcessId p = 1; p < cfg.n; ++p) {
+    ASSERT_EQ(r->cluster().process(p).applied_prefix(), prefix);
+    for (std::int32_t s = 0; s < prefix; ++s)
+      EXPECT_EQ(r->cluster().process(p).decision(s), r->cluster().process(0).decision(s));
+  }
+}
+
+class RsmPartialSynchrony : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RsmPartialSynchrony, LogsConvergeAcrossSeeds) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_rsm(cfg, std::make_unique<net::PartialSynchrony>(1500, kDelta, 1000),
+                    GetParam());
+  r->cluster().start_all();
+  int committed = 0;
+  for (ProcessId p = 0; p < cfg.n; ++p)
+    r->cluster().process(p).on_commit = [&](Command, sim::Tick, std::int32_t) { ++committed; };
+  std::int64_t payload = 1;
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    r->cluster().process(p).submit(payload++);
+    r->cluster().process(p).submit(payload++);
+  }
+  r->cluster().crash_at(400, 4);
+  r->cluster().run();
+  // p4's commands may be lost with it; every command from a correct proxy
+  // commits exactly once.
+  EXPECT_GE(committed, 8);
+  const auto prefix = r->cluster().process(0).applied_prefix();
+  for (ProcessId p = 1; p < 4; ++p) {
+    ASSERT_EQ(r->cluster().process(p).applied_prefix(), prefix) << "p" << p;
+    for (std::int32_t s = 0; s < prefix; ++s)
+      EXPECT_EQ(r->cluster().process(p).decision(s), r->cluster().process(0).decision(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsmPartialSynchrony, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Rsm, RejectsOversizedPayload) {
+  const SystemConfig cfg{3, 1, 1};
+  auto r = make_sync_rsm(cfg);
+  EXPECT_THROW(r->cluster().process(0).submit(std::int64_t{1} << 41), std::invalid_argument);
+  EXPECT_THROW(r->cluster().process(0).submit(-1), std::invalid_argument);
+}
+
+TEST(Rsm, CommandPackingRoundTrips) {
+  const Command cmd = (std::int64_t{3} << 40) | 12345;
+  EXPECT_EQ(RsmProcess::command_proxy(cmd), 3);
+  EXPECT_EQ(RsmProcess::command_payload(cmd), 12345);
+}
+
+}  // namespace
+}  // namespace twostep::rsm

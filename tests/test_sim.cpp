@@ -1,0 +1,175 @@
+// Unit tests for the discrete-event simulator: ordering, FIFO tie-breaking,
+// cancellation, bounded runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace twostep::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimestampOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, FifoWithinSameTimestamp) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator s;
+  Tick seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(5, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 105);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.step();
+  EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_after(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_at(20, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator s;
+  const EventId id = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFiringFails) {
+  Simulator s;
+  const EventId id = s.schedule_at(10, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdFails) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(EventId{999}));
+  EXPECT_FALSE(s.cancel(EventId{0}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 4);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  std::vector<Tick> fired;
+  for (Tick t : {5, 10, 15, 20}) s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  const std::size_t n = s.run_until(12);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<Tick>{5, 10}));
+  EXPECT_EQ(s.now(), 12);  // clock advanced to the deadline
+  s.run();
+  EXPECT_EQ(fired.back(), 20);
+}
+
+TEST(Simulator, RunUntilInclusiveOfDeadline) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(10, [&] { fired = true; });
+  s.run_until(10);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunRespectsEventBudget) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> loop = [&] {
+    ++count;
+    s.schedule_after(1, loop);
+  };
+  s.schedule_at(0, loop);
+  s.run(100);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Simulator, RequestStopBreaksRun) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(1, [&] {
+    ++count;
+    s.request_stop();
+  });
+  s.schedule_at(2, [&] { ++count; });
+  s.run();
+  EXPECT_EQ(count, 1);
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ExecutedCountsLifetime) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator s;
+  const EventId a = s.schedule_at(1, [] {});
+  s.schedule_at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(3, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, NextEventTime) {
+  Simulator s;
+  EXPECT_EQ(s.next_event_time(), 0);
+  s.schedule_at(42, [] {});
+  EXPECT_EQ(s.next_event_time(), 42);
+}
+
+}  // namespace
+}  // namespace twostep::sim

@@ -1,0 +1,117 @@
+// The Definition 4 / A.1 obligation matrices (experiments T2/T3 in test
+// form): the paper's protocol meets every two-step obligation at its tight
+// bound, Fast Paxos meets them at Lamport's bound, and Paxos fails them for
+// any e > 0.
+#include <gtest/gtest.h>
+
+#include "support.hpp"
+
+namespace twostep {
+namespace {
+
+using consensus::EvalVerdict;
+using consensus::SystemConfig;
+using consensus::TwoStepEvaluator;
+using core::Mode;
+
+constexpr sim::Tick kDelta = 100;
+
+template <typename V>
+void expect_all_satisfied(const V& verdict) {
+  EXPECT_TRUE(verdict.ok()) << verdict.failures.front();
+  EXPECT_EQ(verdict.satisfied, verdict.runs);
+  EXPECT_GT(verdict.runs, 0);
+}
+
+struct BoundCase {
+  int e;
+  int f;
+};
+
+class TaskMatrix : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(TaskMatrix, MeetsDefinition4AtTheorem5Bound) {
+  const auto [e, f] = GetParam();
+  const SystemConfig cfg{SystemConfig::min_processes_task(e, f), f, e};
+  TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
+      cfg, [&] { return testing::make_core_runner(cfg, Mode::kTask, kDelta); }};
+  expect_all_satisfied(eval.check_task_item1());
+  expect_all_satisfied(eval.check_task_item2());
+}
+
+TEST_P(TaskMatrix, AlsoMeetsItAboveTheBound) {
+  const auto [e, f] = GetParam();
+  const SystemConfig cfg{SystemConfig::min_processes_task(e, f) + 1, f, e};
+  TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
+      cfg, [&] { return testing::make_core_runner(cfg, Mode::kTask, kDelta); }};
+  expect_all_satisfied(eval.check_task_item1());
+  expect_all_satisfied(eval.check_task_item2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, TaskMatrix,
+                         ::testing::Values(BoundCase{1, 1}, BoundCase{1, 2}, BoundCase{2, 2}),
+                         [](const ::testing::TestParamInfo<BoundCase>& info) {
+                           return "e" + std::to_string(info.param.e) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+class ObjectMatrix : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(ObjectMatrix, MeetsDefinitionA1AtTheorem6Bound) {
+  const auto [e, f] = GetParam();
+  const SystemConfig cfg{SystemConfig::min_processes_object(e, f), f, e};
+  TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
+      cfg, [&] { return testing::make_core_runner(cfg, Mode::kObject, kDelta); }};
+  expect_all_satisfied(eval.check_object_item1());
+  expect_all_satisfied(eval.check_object_item2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ObjectMatrix,
+                         ::testing::Values(BoundCase{1, 1}, BoundCase{1, 2}, BoundCase{2, 2},
+                                           BoundCase{2, 3}),
+                         [](const ::testing::TestParamInfo<BoundCase>& info) {
+                           return "e" + std::to_string(info.param.e) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+TEST(ObjectMatrix, ObjectBoundIsBelowTaskBoundAtE2F2) {
+  // The separation the paper proves: at e=2, f=2 the object protocol runs
+  // with n=5 where the task needs n=6.
+  EXPECT_EQ(SystemConfig::min_processes_object(2, 2), 5);
+  EXPECT_EQ(SystemConfig::min_processes_task(2, 2), 6);
+}
+
+TEST(FastPaxosMatrix, MeetsDefinition4AtLamportBound) {
+  const int e = 1;
+  const int f = 1;
+  const SystemConfig cfg{SystemConfig::min_processes_fast_paxos(e, f), f, e};
+  TwoStepEvaluator<fastpaxos::FastPaxosProcess, fastpaxos::Options> eval{
+      cfg, [&] { return testing::make_fastpaxos_runner(cfg, kDelta); }};
+  expect_all_satisfied(eval.check_task_item1());
+  expect_all_satisfied(eval.check_task_item2());
+}
+
+TEST(PaxosMatrix, IsZeroTwoStep) {
+  const SystemConfig cfg{3, 1, 0};
+  TwoStepEvaluator<paxos::PaxosProcess, paxos::Options> eval{
+      cfg, [&] { return testing::make_paxos_runner(cfg, kDelta); }};
+  expect_all_satisfied(eval.check_task_item1());
+  expect_all_satisfied(eval.check_task_item2());
+}
+
+TEST(PaxosMatrix, FailsForAnyPositiveE) {
+  // Crashing the initial leader destroys the only 2Δ path Paxos has; the
+  // obligation "some process two-step for every crash set" fails.
+  const SystemConfig cfg{4, 1, 1};  // even one extra process does not help
+  TwoStepEvaluator<paxos::PaxosProcess, paxos::Options> eval{
+      cfg, [&] { return testing::make_paxos_runner(cfg, kDelta); }};
+  const EvalVerdict verdict = eval.check_task_item1();
+  EXPECT_FALSE(verdict.ok());
+  // Exactly the crash sets containing p0 fail: E={0} over canonical configs.
+  EXPECT_GT(verdict.satisfied, 0);
+  for (const auto& failure : verdict.failures)
+    EXPECT_NE(failure.find("E={0}"), std::string::npos) << failure;
+}
+
+}  // namespace
+}  // namespace twostep

@@ -1,0 +1,116 @@
+// Unit tests for the consensus vocabulary: Value ordering with bottom,
+// SystemConfig validation, quorum arithmetic, and the paper's bounds.
+#include <gtest/gtest.h>
+
+#include "consensus/types.hpp"
+
+namespace twostep::consensus {
+namespace {
+
+TEST(Value, DefaultIsBottom) {
+  Value v;
+  EXPECT_TRUE(v.is_bottom());
+  EXPECT_EQ(v, Value::bottom());
+  EXPECT_THROW((void)v.get(), std::logic_error);
+}
+
+TEST(Value, ProperValueRoundTrips) {
+  Value v{42};
+  EXPECT_FALSE(v.is_bottom());
+  EXPECT_EQ(v.get(), 42);
+}
+
+TEST(Value, BottomIsBelowEverything) {
+  const Value bottom;
+  EXPECT_LT(bottom, Value{-1000000});
+  EXPECT_LT(bottom, Value{0});
+  EXPECT_LE(bottom, bottom);
+  EXPECT_FALSE(bottom < bottom);
+}
+
+TEST(Value, TotalOrderOnPayload) {
+  EXPECT_LT(Value{1}, Value{2});
+  EXPECT_GT(Value{5}, Value{-5});
+  EXPECT_GE(Value{3}, Value{3});
+  EXPECT_EQ(Value{7}, Value{7});
+  EXPECT_NE(Value{7}, Value{8});
+  EXPECT_NE(Value{7}, Value::bottom());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value{12}.to_string(), "12");
+  EXPECT_EQ(Value::bottom().to_string(), "\xe2\x8a\xa5");
+}
+
+TEST(Value, HashDistinguishesBottom) {
+  const std::hash<Value> h;
+  EXPECT_NE(h(Value::bottom()), h(Value{0}));
+  EXPECT_EQ(h(Value{5}), h(Value{5}));
+}
+
+TEST(SystemConfig, ValidatesThresholds) {
+  EXPECT_NO_THROW(SystemConfig(3, 1, 1));
+  EXPECT_THROW(SystemConfig(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(SystemConfig(3, 1, 2), std::invalid_argument);  // e > f
+  EXPECT_THROW(SystemConfig(3, -1, 0), std::invalid_argument);
+}
+
+TEST(SystemConfig, QuorumSizes) {
+  const SystemConfig c{5, 2, 1};
+  EXPECT_EQ(c.classic_quorum(), 3);
+  EXPECT_EQ(c.fast_quorum(), 4);
+}
+
+TEST(SystemConfig, TaskBoundMatchesTheorem5) {
+  // n >= max{2e+f, 2f+1}
+  EXPECT_EQ(SystemConfig::min_processes_task(1, 1), 3);
+  EXPECT_EQ(SystemConfig::min_processes_task(1, 2), 5);
+  EXPECT_EQ(SystemConfig::min_processes_task(2, 2), 6);
+  EXPECT_EQ(SystemConfig::min_processes_task(2, 3), 7);
+  EXPECT_EQ(SystemConfig::min_processes_task(3, 3), 9);
+}
+
+TEST(SystemConfig, ObjectBoundMatchesTheorem6) {
+  // n >= max{2e+f-1, 2f+1}
+  EXPECT_EQ(SystemConfig::min_processes_object(1, 1), 3);
+  EXPECT_EQ(SystemConfig::min_processes_object(1, 2), 5);
+  EXPECT_EQ(SystemConfig::min_processes_object(2, 2), 5);
+  EXPECT_EQ(SystemConfig::min_processes_object(2, 3), 7);
+  EXPECT_EQ(SystemConfig::min_processes_object(3, 3), 8);
+}
+
+TEST(SystemConfig, FastPaxosBoundIsLamports) {
+  // n >= max{2e+f+1, 2f+1}
+  EXPECT_EQ(SystemConfig::min_processes_fast_paxos(1, 1), 4);
+  EXPECT_EQ(SystemConfig::min_processes_fast_paxos(1, 2), 5);
+  EXPECT_EQ(SystemConfig::min_processes_fast_paxos(2, 2), 7);
+  EXPECT_EQ(SystemConfig::min_processes_fast_paxos(3, 3), 10);
+}
+
+TEST(SystemConfig, PaperHeadlineExample) {
+  // The EPaxos operating point from the paper's introduction:
+  // e = ceil((f+1)/2) with 2f+1 = 2e+f-1, i.e. even f, so that an object
+  // protocol fits in 2f+1 processes...
+  const int f = 2;
+  const int e = (f + 2) / 2;  // ceil((f+1)/2) for even f
+  EXPECT_EQ(e, 2);
+  EXPECT_EQ(SystemConfig::min_processes_object(e, f), 2 * f + 1);
+  // ...while Lamport's bound would demand two more processes (2f+3).
+  EXPECT_EQ(SystemConfig::min_processes_fast_paxos(e, f), 2 * f + 3);
+}
+
+TEST(SystemConfig, BoundOrderingAlwaysObjectLeTaskLeFast) {
+  for (int f = 1; f <= 6; ++f) {
+    for (int e = 0; e <= f; ++e) {
+      const int object = SystemConfig::min_processes_object(e, f);
+      const int task = SystemConfig::min_processes_task(e, f);
+      const int fast = SystemConfig::min_processes_fast_paxos(e, f);
+      EXPECT_LE(object, task);
+      EXPECT_LE(task, fast);
+      EXPECT_GE(object, SystemConfig::min_processes_paxos(f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twostep::consensus

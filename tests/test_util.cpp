@@ -1,0 +1,194 @@
+// Unit tests for src/util: deterministic RNG, statistics, tables, subset
+// enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace twostep::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{12345};
+  Rng b{12345};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.next_below(17);
+    EXPECT_LT(x, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng{99};
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.next_in(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, NextInSingletonInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_in(42, 42), 42);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{5};
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy{5};
+  (void)parent_copy();  // skip the value consumed by fork()
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child() == parent_copy()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{21};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng{22};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Summary, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(Summary, MeanMinMax) {
+  Summary s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Summary, MedianOddAndEven) {
+  Summary odd;
+  for (double x : {5.0, 1.0, 3.0}) odd.add(x);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+  Summary even;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) even.add(x);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (int i = 0; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0.99), 99.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Summary, StddevKnownValue) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(Summary, AddAfterPercentileQuery) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "bb"});
+  t.add_row({"xxx", "y"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| xxx | y  |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_string().find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Combinations, CountsMatchBinomials) {
+  EXPECT_EQ(combinations(5, 2).size(), 10u);
+  EXPECT_EQ(combinations(6, 3).size(), 20u);
+  EXPECT_EQ(combinations(4, 0).size(), 1u);
+  EXPECT_EQ(combinations(4, 4).size(), 1u);
+}
+
+TEST(Combinations, OutOfRangeKYieldsNothing) {
+  EXPECT_TRUE(combinations(3, 4).empty());
+  EXPECT_TRUE(combinations(3, -1).empty());
+}
+
+TEST(Combinations, ElementsAreSortedAndUnique) {
+  for (const auto& c : combinations(6, 3)) {
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_LT(c[0], c[1]);
+    EXPECT_LT(c[1], c[2]);
+    EXPECT_GE(c[0], 0);
+    EXPECT_LT(c[2], 6);
+  }
+}
+
+TEST(Combinations, LexicographicOrder) {
+  const auto cs = combinations(4, 2);
+  const std::vector<std::vector<int>> expected = {{0, 1}, {0, 2}, {0, 3},
+                                                  {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(cs, expected);
+}
+
+}  // namespace
+}  // namespace twostep::util

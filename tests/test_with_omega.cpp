@@ -1,0 +1,106 @@
+// Integration tests for the fully self-contained composition: the paper's
+// protocol + heartbeat Ω on one network (no oracle).  This closes the §C.1
+// loop: Termination holds under partial synchrony with leader election
+// driven purely by messages.
+#include <gtest/gtest.h>
+
+#include "consensus/cluster.hpp"
+#include "core/with_omega.hpp"
+#include "net/latency.hpp"
+
+namespace twostep::core {
+namespace {
+
+using consensus::Cluster;
+using consensus::ProcessId;
+using consensus::SystemConfig;
+using consensus::Value;
+
+constexpr sim::Tick kDelta = 100;
+
+std::unique_ptr<Cluster<TwoStepWithOmega>> make_cluster(
+    SystemConfig cfg, std::unique_ptr<net::LatencyModel> model, Mode mode,
+    std::uint64_t seed = 1) {
+  WithOmegaOptions options;
+  options.mode = mode;
+  options.delta = kDelta;
+  return std::make_unique<Cluster<TwoStepWithOmega>>(
+      cfg, std::move(model),
+      [cfg, options](consensus::Env<OmegaMessage>& env, ProcessId) {
+        return std::make_unique<TwoStepWithOmega>(env, cfg, options);
+      },
+      seed);
+}
+
+TEST(WithOmega, FastPathUnaffectedByHeartbeats) {
+  const SystemConfig cfg{5, 2, 2};
+  auto c = make_cluster(cfg, std::make_unique<net::SynchronousRounds>(kDelta), Mode::kObject);
+  c->start_all();
+  c->propose(0, Value{42});
+  c->run_until(2 * kDelta);
+  EXPECT_TRUE(c->monitor().two_step_for(0, kDelta));
+  c->run_until(50 * kDelta);
+  EXPECT_TRUE(c->monitor().safe());
+  EXPECT_TRUE(c->all_correct_decided());
+}
+
+TEST(WithOmega, ElectsLowestAliveLeader) {
+  const SystemConfig cfg{4, 1, 1};
+  auto c = make_cluster(cfg, std::make_unique<net::FixedDelay>(kDelta), Mode::kTask);
+  c->start_all();
+  c->run_until(10 * kDelta);
+  for (ProcessId p = 0; p < cfg.n; ++p) EXPECT_EQ(c->process(p).current_leader(), 0);
+}
+
+TEST(WithOmega, LeaderCrashTriggersReelectionAndDecision) {
+  // Conflicting proposals kill the fast path; p0 (the initial leader)
+  // crashes; the detector elects p1, whose ballot finishes consensus.
+  const SystemConfig cfg{5, 2, 2};
+  auto c = make_cluster(cfg, std::make_unique<net::FixedDelay>(kDelta), Mode::kObject);
+  c->start_all();
+  c->propose(1, Value{10});
+  c->propose(2, Value{20});
+  c->crash_at(50, 0);
+  c->crash_at(60, 4);
+  const bool done = c->run_until_all_decided(/*deadline=*/400 * kDelta);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(c->monitor().safe()) << c->monitor().violations().front();
+  for (ProcessId p = 1; p < 4; ++p) EXPECT_EQ(c->process(p).current_leader(), 1) << "p" << p;
+}
+
+class WithOmegaPartialSynchrony : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WithOmegaPartialSynchrony, SafeAndLiveWithoutAnyOracle) {
+  const SystemConfig cfg{5, 2, 2};
+  auto c = make_cluster(cfg,
+                        std::make_unique<net::PartialSynchrony>(/*gst=*/1200, kDelta,
+                                                                /*chaos=*/900),
+                        Mode::kObject, GetParam());
+  c->start_all();
+  c->propose(0, Value{10});
+  c->propose(2, Value{30});
+  c->propose(4, Value{50});
+  c->crash_at(300, 1);
+  const bool done = c->run_until_all_decided(/*deadline=*/3000 * kDelta, 5'000'000);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(c->monitor().safe()) << c->monitor().violations().front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WithOmegaPartialSynchrony,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(WithOmega, DecideCallbackFiresOnce) {
+  const SystemConfig cfg{3, 1, 1};
+  auto c = make_cluster(cfg, std::make_unique<net::SynchronousRounds>(kDelta), Mode::kTask);
+  int fired = 0;
+  c->process(0).on_decide = [&](Value) { ++fired; };
+  c->start_all();
+  c->process(0).propose(Value{5});
+  c->process(1).propose(Value{6});
+  c->process(2).propose(Value{7});
+  c->run_until(50 * kDelta);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace twostep::core

@@ -1,0 +1,297 @@
+// twostep_cli — command-line front end to the library.
+//
+//   twostep_cli bounds
+//       Print the tight-bound table for e = 1..4, f = e..5.
+//
+//   twostep_cli run --protocol task|object|paxos|fastpaxos --e E --f F
+//              [--n N] [--model sync|ps|wan] [--seed S]
+//              [--crash P[,P...]] [--propose P=V[,P=V...]] [--trace]
+//       Execute one consensus instance on the simulator and report the
+//       per-process decisions, two-step verdicts and safety.
+//
+//   twostep_cli attack --target task|object|fastpaxos --e E --f F
+//       Replay the Appendix B lower-bound construction below the target's
+//       bound and print the round-by-round narrative.
+//
+//   twostep_cli fuzz --e E --f F [--mode task|object] [--n N]
+//              [--policy paper|noexcl|notie|nothresh]
+//              [--traces N] [--seed S]
+//       Hunt for Agreement violations with random schedules.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "harness/runners.hpp"
+#include "lowerbound/scenarios.hpp"
+#include "modelcheck/explorer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace twostep;
+using consensus::ProcessId;
+using consensus::SystemConfig;
+using consensus::Value;
+
+/// Minimal flag parser: --key value pairs plus bare flags.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    out.push_back(std::stoi(s.substr(pos, comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::pair<int, long>> parse_proposals(const std::string& s) {
+  std::vector<std::pair<int, long>> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string item = s.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos)
+      out.emplace_back(std::stoi(item.substr(0, eq)), std::stol(item.substr(eq + 1)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_bounds() {
+  util::Table t({"e", "f", "task", "object", "fast paxos", "paxos (e=0)"});
+  t.set_title("minimal processes for f-resilient e-two-step consensus");
+  for (int e = 1; e <= 4; ++e)
+    for (int f = e; f <= 5; ++f)
+      t.add_row({std::to_string(e), std::to_string(f),
+                 std::to_string(SystemConfig::min_processes_task(e, f)),
+                 std::to_string(SystemConfig::min_processes_object(e, f)),
+                 std::to_string(SystemConfig::min_processes_fast_paxos(e, f)),
+                 std::to_string(2 * f + 1)});
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+std::unique_ptr<net::LatencyModel> make_model(const std::string& name, int n) {
+  const sim::Tick delta = 100;
+  if (name == "ps") return std::make_unique<net::PartialSynchrony>(1500, delta, 1200);
+  if (name == "wan") {
+    std::vector<int> sites(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) sites[static_cast<std::size_t>(i)] = i % 9;
+    return std::make_unique<net::WanMatrix>(net::WanMatrix::nine_regions(2).restrict(sites));
+  }
+  return std::make_unique<net::SynchronousRounds>(delta);
+}
+
+template <typename Runner>
+int report_run(Runner& runner, const SystemConfig& cfg, const Args& args) {
+  auto& cluster = runner.cluster();
+  if (args.has("trace")) cluster.network().enable_trace();
+  for (const int p : parse_int_list(args.get("crash"))) cluster.crash(p);
+  cluster.start_all();
+  auto proposals = parse_proposals(args.get("propose"));
+  if (proposals.empty())
+    for (int p = 0; p < cfg.n; ++p) proposals.emplace_back(p, 100 + p);
+  for (const auto& [p, v] : proposals) cluster.propose(p, Value{v});
+  cluster.run(5'000'000);
+
+  const sim::Tick delta = cluster.delta();
+  util::Table t({"process", "decision", "time", "two-step"});
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    if (cluster.crashed(p)) {
+      t.add_row({"p" + std::to_string(p), "(crashed)", "-", "-"});
+      continue;
+    }
+    const auto v = runner.monitor().decision(p);
+    const auto at = runner.monitor().decision_time(p);
+    t.add_row({"p" + std::to_string(p), v ? v->to_string() : "-",
+               at ? std::to_string(*at) : "-",
+               at && *at <= 2 * delta ? "yes" : "no"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("safety: %s\n", runner.monitor().safe()
+                                  ? "ok"
+                                  : runner.monitor().violations().front().c_str());
+  std::printf("messages: %zu sent, %zu delivered\n", cluster.network().messages_sent(),
+              cluster.network().messages_delivered());
+  return runner.monitor().safe() ? 0 : 2;
+}
+
+int cmd_run(const Args& args) {
+  const int e = static_cast<int>(args.get_int("e", 1));
+  const int f = static_cast<int>(args.get_int("f", 1));
+  const std::string protocol = args.get("protocol", "object");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  int n;
+  if (protocol == "task") {
+    n = SystemConfig::min_processes_task(e, f);
+  } else if (protocol == "object") {
+    n = SystemConfig::min_processes_object(e, f);
+  } else if (protocol == "fastpaxos") {
+    n = SystemConfig::min_processes_fast_paxos(e, f);
+  } else {
+    n = 2 * f + 1;
+  }
+  n = static_cast<int>(args.get_int("n", n));
+  const SystemConfig cfg{n, f, e};
+  std::printf("protocol=%s n=%d e=%d f=%d model=%s seed=%llu\n\n", protocol.c_str(), n, e, f,
+              args.get("model", "sync").c_str(), static_cast<unsigned long long>(seed));
+
+  auto model = make_model(args.get("model", "sync"), n);
+  if (protocol == "task" || protocol == "object") {
+    const auto mode = protocol == "task" ? core::Mode::kTask : core::Mode::kObject;
+    auto runner = harness::make_core_runner_with_model(cfg, mode, std::move(model), seed);
+    return report_run(*runner, cfg, args);
+  }
+  if (protocol == "fastpaxos") {
+    auto runner = harness::make_fastpaxos_runner_with_model(cfg, std::move(model), seed);
+    return report_run(*runner, cfg, args);
+  }
+  if (protocol == "paxos") {
+    paxos::Options options;
+    options.delta = model->delta();
+    auto runner = std::make_unique<harness::PaxosRunner>(cfg, std::move(model), options, seed);
+    return report_run(*runner, cfg, args);
+  }
+  std::fprintf(stderr, "unknown protocol '%s'\n", protocol.c_str());
+  return 1;
+}
+
+int cmd_attack(const Args& args) {
+  const int e = static_cast<int>(args.get_int("e", 2));
+  const int f = static_cast<int>(args.get_int("f", 2));
+  const std::string target = args.get("target", "task");
+  try {
+    lowerbound::AttackOutcome below, at;
+    if (target == "task") {
+      below = lowerbound::task_below_bound_violation(e, f);
+      at = lowerbound::task_at_bound_defense(e, f);
+    } else if (target == "object") {
+      below = lowerbound::object_below_bound_violation(e, f);
+      at = lowerbound::object_at_bound_defense(e, f);
+    } else if (target == "fastpaxos") {
+      below = lowerbound::fastpaxos_below_bound_violation(e, f);
+      at = lowerbound::fastpaxos_at_bound_defense(e, f);
+    } else {
+      std::fprintf(stderr, "unknown target '%s'\n", target.c_str());
+      return 1;
+    }
+    std::printf("below the bound (n=%d):\n", below.n);
+    for (const auto& line : below.narrative) std::printf("  %s\n", line.c_str());
+    std::printf("\nat the bound (n=%d):\n", at.n);
+    for (const auto& line : at.narrative) std::printf("  %s\n", line.c_str());
+    return below.agreement_violated && !at.agreement_violated ? 0 : 2;
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "this (e, f) does not meet the construction's side conditions: %s\n",
+                 err.what());
+    return 1;
+  }
+}
+
+int cmd_fuzz(const Args& args) {
+  const int e = static_cast<int>(args.get_int("e", 2));
+  const int f = static_cast<int>(args.get_int("f", 2));
+  const std::string mode_name = args.get("mode", "task");
+  const core::Mode mode = mode_name == "object" ? core::Mode::kObject : core::Mode::kTask;
+  const int bound = mode == core::Mode::kTask ? SystemConfig::min_processes_task(e, f)
+                                              : SystemConfig::min_processes_object(e, f);
+  const int n = static_cast<int>(args.get_int("n", bound));
+  const SystemConfig cfg{n, f, e};
+
+  core::SelectionPolicy policy = core::SelectionPolicy::kPaper;
+  const std::string policy_name = args.get("policy", "paper");
+  if (policy_name == "noexcl") policy = core::SelectionPolicy::kNoProposerExclusion;
+  if (policy_name == "notie") policy = core::SelectionPolicy::kNoMaxTieBreak;
+  if (policy_name == "nothresh") policy = core::SelectionPolicy::kNoThresholdBranch;
+
+  modelcheck::Scenario<core::TwoStepProcess> scenario;
+  scenario.config = cfg;
+  scenario.factory = [cfg, mode, policy](consensus::Env<core::Message>& env, ProcessId) {
+    core::Options o;
+    o.mode = mode;
+    o.delta = 100;
+    o.selection_policy = policy;
+    o.leader_of = [] { return ProcessId{0}; };
+    return std::make_unique<core::TwoStepProcess>(env, cfg, o);
+  };
+  scenario.setup = [cfg, mode](modelcheck::DirectDrive<core::TwoStepProcess>& d) {
+    d.start_all();
+    const int proposers = mode == core::Mode::kObject ? std::max(2, cfg.n / 2) : cfg.n;
+    for (ProcessId p = 0; p < proposers; ++p) d.propose(p, Value{p + 1});
+  };
+  for (ProcessId p = 0; p < cfg.n; ++p) scenario.may_crash.push_back(p);
+  scenario.crash_budget = f;
+
+  const auto traces = static_cast<int>(args.get_int("traces", 20000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  std::printf("fuzzing %s protocol (policy=%s) at n=%d e=%d f=%d: %d traces...\n",
+              mode_name.c_str(), policy_name.c_str(), n, e, f, traces);
+  const auto result =
+      modelcheck::Explorer<core::TwoStepProcess>::fuzz(scenario, traces, seed, 250);
+  if (result.violation) {
+    std::printf("VIOLATION after %ld traces: %s\n", result.traces, result.what.c_str());
+    std::printf("schedule length: %zu adversary choices\n", result.schedule.size());
+    return 2;
+  }
+  std::printf("no violation in %ld traces (%ld total steps)\n", result.traces, result.steps);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: twostep_cli <bounds|run|attack|fuzz> [flags]\n"
+               "see the header of tools/twostep_cli.cpp for the full flag list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args{argc, argv};
+  if (cmd == "bounds") return cmd_bounds();
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "attack") return cmd_attack(args);
+  if (cmd == "fuzz") return cmd_fuzz(args);
+  usage();
+  return 1;
+}
