@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_wan.dir/bench_f2_wan.cpp.o"
+  "CMakeFiles/bench_f2_wan.dir/bench_f2_wan.cpp.o.d"
+  "bench_f2_wan"
+  "bench_f2_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_rsm.dir/bench_f4_rsm.cpp.o"
+  "CMakeFiles/bench_f4_rsm.dir/bench_f4_rsm.cpp.o.d"
+  "bench_f4_rsm"
+  "bench_f4_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

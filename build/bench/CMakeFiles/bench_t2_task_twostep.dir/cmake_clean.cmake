@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_task_twostep.dir/bench_t2_task_twostep.cpp.o"
+  "CMakeFiles/bench_t2_task_twostep.dir/bench_t2_task_twostep.cpp.o.d"
+  "bench_t2_task_twostep"
+  "bench_t2_task_twostep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_task_twostep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

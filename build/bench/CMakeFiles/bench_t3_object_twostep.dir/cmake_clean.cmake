@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_object_twostep.dir/bench_t3_object_twostep.cpp.o"
+  "CMakeFiles/bench_t3_object_twostep.dir/bench_t3_object_twostep.cpp.o.d"
+  "bench_t3_object_twostep"
+  "bench_t3_object_twostep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_object_twostep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

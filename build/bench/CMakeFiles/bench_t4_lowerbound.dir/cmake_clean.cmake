@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_lowerbound.dir/bench_t4_lowerbound.cpp.o"
+  "CMakeFiles/bench_t4_lowerbound.dir/bench_t4_lowerbound.cpp.o.d"
+  "bench_t4_lowerbound"
+  "bench_t4_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

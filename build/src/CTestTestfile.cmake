@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("consensus")
+subdirs("omega")
+subdirs("core")
+subdirs("paxos")
+subdirs("fastpaxos")
+subdirs("epaxos")
+subdirs("rsm")
+subdirs("lowerbound")
+subdirs("modelcheck")
+subdirs("harness")
+subdirs("codec")

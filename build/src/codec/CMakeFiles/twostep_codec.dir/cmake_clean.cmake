@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_codec.dir/codec.cpp.o"
+  "CMakeFiles/twostep_codec.dir/codec.cpp.o.d"
+  "libtwostep_codec.a"
+  "libtwostep_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_consensus.dir/monitor.cpp.o"
+  "CMakeFiles/twostep_consensus.dir/monitor.cpp.o.d"
+  "libtwostep_consensus.a"
+  "libtwostep_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/twostep_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/twostep_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/twostep_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/twostep_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/two_step.cpp" "src/core/CMakeFiles/twostep_core.dir/two_step.cpp.o" "gcc" "src/core/CMakeFiles/twostep_core.dir/two_step.cpp.o.d"
+  "/root/repo/src/core/with_omega.cpp" "src/core/CMakeFiles/twostep_core.dir/with_omega.cpp.o" "gcc" "src/core/CMakeFiles/twostep_core.dir/with_omega.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/twostep_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/twostep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/twostep_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twostep_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twostep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

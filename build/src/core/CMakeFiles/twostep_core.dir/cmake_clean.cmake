@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_core.dir/messages.cpp.o"
+  "CMakeFiles/twostep_core.dir/messages.cpp.o.d"
+  "CMakeFiles/twostep_core.dir/selection.cpp.o"
+  "CMakeFiles/twostep_core.dir/selection.cpp.o.d"
+  "CMakeFiles/twostep_core.dir/two_step.cpp.o"
+  "CMakeFiles/twostep_core.dir/two_step.cpp.o.d"
+  "CMakeFiles/twostep_core.dir/with_omega.cpp.o"
+  "CMakeFiles/twostep_core.dir/with_omega.cpp.o.d"
+  "libtwostep_core.a"
+  "libtwostep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

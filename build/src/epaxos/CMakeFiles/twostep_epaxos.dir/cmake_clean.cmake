@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_epaxos.dir/epaxos.cpp.o"
+  "CMakeFiles/twostep_epaxos.dir/epaxos.cpp.o.d"
+  "libtwostep_epaxos.a"
+  "libtwostep_epaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_epaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for twostep_epaxos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_fastpaxos.dir/fast_paxos.cpp.o"
+  "CMakeFiles/twostep_fastpaxos.dir/fast_paxos.cpp.o.d"
+  "libtwostep_fastpaxos.a"
+  "libtwostep_fastpaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_fastpaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_lowerbound.dir/scenarios.cpp.o"
+  "CMakeFiles/twostep_lowerbound.dir/scenarios.cpp.o.d"
+  "libtwostep_lowerbound.a"
+  "libtwostep_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

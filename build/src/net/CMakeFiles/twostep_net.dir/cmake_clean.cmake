@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_net.dir/latency.cpp.o"
+  "CMakeFiles/twostep_net.dir/latency.cpp.o.d"
+  "libtwostep_net.a"
+  "libtwostep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omega/omega.cpp" "src/omega/CMakeFiles/twostep_omega.dir/omega.cpp.o" "gcc" "src/omega/CMakeFiles/twostep_omega.dir/omega.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/twostep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/twostep_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twostep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

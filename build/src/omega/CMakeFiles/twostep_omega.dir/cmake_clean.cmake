@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_omega.dir/omega.cpp.o"
+  "CMakeFiles/twostep_omega.dir/omega.cpp.o.d"
+  "libtwostep_omega.a"
+  "libtwostep_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

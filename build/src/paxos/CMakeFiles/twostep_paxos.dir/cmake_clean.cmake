@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_paxos.dir/paxos.cpp.o"
+  "CMakeFiles/twostep_paxos.dir/paxos.cpp.o.d"
+  "libtwostep_paxos.a"
+  "libtwostep_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

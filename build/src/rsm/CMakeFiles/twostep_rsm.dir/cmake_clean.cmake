@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_rsm.dir/rsm.cpp.o"
+  "CMakeFiles/twostep_rsm.dir/rsm.cpp.o.d"
+  "libtwostep_rsm.a"
+  "libtwostep_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

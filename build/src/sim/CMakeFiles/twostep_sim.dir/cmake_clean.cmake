@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_sim.dir/simulator.cpp.o"
+  "CMakeFiles/twostep_sim.dir/simulator.cpp.o.d"
+  "libtwostep_sim.a"
+  "libtwostep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

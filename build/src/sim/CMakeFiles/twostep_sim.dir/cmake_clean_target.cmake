@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtwostep_sim.a"
+)

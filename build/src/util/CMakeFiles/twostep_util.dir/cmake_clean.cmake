@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_util.dir/log.cpp.o"
+  "CMakeFiles/twostep_util.dir/log.cpp.o.d"
+  "CMakeFiles/twostep_util.dir/table.cpp.o"
+  "CMakeFiles/twostep_util.dir/table.cpp.o.d"
+  "libtwostep_util.a"
+  "libtwostep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

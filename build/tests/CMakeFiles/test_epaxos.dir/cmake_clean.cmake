@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epaxos.dir/test_epaxos.cpp.o"
+  "CMakeFiles/test_epaxos.dir/test_epaxos.cpp.o.d"
+  "test_epaxos"
+  "test_epaxos.pdb"
+  "test_epaxos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastpaxos.dir/test_fastpaxos.cpp.o"
+  "CMakeFiles/test_fastpaxos.dir/test_fastpaxos.cpp.o.d"
+  "test_fastpaxos"
+  "test_fastpaxos.pdb"
+  "test_fastpaxos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastpaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

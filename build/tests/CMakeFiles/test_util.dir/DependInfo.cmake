@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/test_util.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/twostep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/twostep_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastpaxos/CMakeFiles/twostep_fastpaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/twostep_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/epaxos/CMakeFiles/twostep_epaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/twostep_rsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/twostep_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/twostep_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/twostep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/twostep_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twostep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twostep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

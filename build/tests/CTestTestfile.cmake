@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_types[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_core_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_paxos[1]_include.cmake")
+include("/root/repo/build/tests/test_fastpaxos[1]_include.cmake")
+include("/root/repo/build/tests/test_omega[1]_include.cmake")
+include("/root/repo/build/tests/test_twostep_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound[1]_include.cmake")
+include("/root/repo/build/tests/test_modelcheck[1]_include.cmake")
+include("/root/repo/build/tests/test_epaxos[1]_include.cmake")
+include("/root/repo/build/tests/test_rsm[1]_include.cmake")
+include("/root/repo/build/tests/test_with_omega[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")

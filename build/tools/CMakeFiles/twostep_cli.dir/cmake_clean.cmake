@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twostep_cli.dir/twostep_cli.cpp.o"
+  "CMakeFiles/twostep_cli.dir/twostep_cli.cpp.o.d"
+  "twostep_cli"
+  "twostep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twostep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_bounds "/root/repo/build/tools/twostep_cli" "bounds")
+set_tests_properties(cli_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_object "/root/repo/build/tools/twostep_cli" "run" "--protocol" "object" "--e" "2" "--f" "2" "--crash" "3,4" "--propose" "0=42")
+set_tests_properties(cli_run_object PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_paxos "/root/repo/build/tools/twostep_cli" "run" "--protocol" "paxos" "--f" "1" "--e" "0")
+set_tests_properties(cli_run_paxos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_attack "/root/repo/build/tools/twostep_cli" "attack" "--target" "task" "--e" "2" "--f" "2")
+set_tests_properties(cli_attack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fuzz "/root/repo/build/tools/twostep_cli" "fuzz" "--e" "1" "--f" "1" "--traces" "500")
+set_tests_properties(cli_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
