@@ -50,24 +50,28 @@ RunResult measure(Runner& runner, int n, int crashes, bool lone_proposer) {
   return out;
 }
 
-RunResult run_protocol(const std::string& name, int crashes) {
+RunResult run_protocol(const std::string& name, int crashes,
+                       obs::MetricsRegistry* metrics = nullptr) {
+  const obs::Probe probe{nullptr, metrics};
   if (name == "paxos") {
     const SystemConfig cfg{2 * kF + 1, kF, 0};
-    auto r = harness::make_paxos_runner(cfg, kDelta);
+    auto r = harness::make_paxos_runner(cfg, kDelta, 1, probe);
     return measure(*r, cfg.n, crashes, false);
   }
   if (name == "fast paxos") {
     const SystemConfig cfg{SystemConfig::min_processes_fast_paxos(kE, kF), kF, kE};
-    auto r = harness::make_fastpaxos_runner(cfg, kDelta);
+    auto r = harness::make_fastpaxos_runner(cfg, kDelta, 1, probe);
     return measure(*r, cfg.n, crashes, false);
   }
   if (name == "task") {
     const SystemConfig cfg{SystemConfig::min_processes_task(kE, kF), kF, kE};
-    auto r = harness::make_core_runner(cfg, core::Mode::kTask, kDelta);
+    auto r = harness::make_core_runner(cfg, core::Mode::kTask, kDelta,
+                                       core::SelectionPolicy::kPaper, 1, probe);
     return measure(*r, cfg.n, crashes, false);
   }
   const SystemConfig cfg{SystemConfig::min_processes_object(kE, kF), kF, kE};
-  auto r = harness::make_core_runner(cfg, core::Mode::kObject, kDelta);
+  auto r = harness::make_core_runner(cfg, core::Mode::kObject, kDelta,
+                                     core::SelectionPolicy::kPaper, 1, probe);
   return measure(*r, cfg.n, crashes, true);
 }
 
@@ -90,7 +94,11 @@ void print_tables() {
     std::vector<std::string> lat_row = {name, std::to_string(protocol_n(name))};
     std::vector<std::string> msg_row = lat_row;
     for (int k = 0; k <= kE; ++k) {
-      const RunResult r = run_protocol(name, k);
+      // Opt-in per-run metrics dump (TWOSTEP_BENCH_METRICS=1).
+      obs::MetricsRegistry registry;
+      const RunResult r = run_protocol(
+          name, k, twostep::bench::metrics_enabled() ? &registry : nullptr);
+      twostep::bench::emit_metrics(name + " k=" + std::to_string(k), registry);
       lat_row.push_back(r.latency_delta < 0 ? "-" : util::Table::num(r.latency_delta, 0));
       msg_row.push_back(std::to_string(r.messages));
     }

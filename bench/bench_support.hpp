@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "harness/runners.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace twostep::bench {
@@ -16,6 +18,21 @@ namespace twostep::bench {
 /// Prints a finished experiment table to stdout with a blank line around it.
 inline void emit(const util::Table& table) {
   std::printf("\n%s\n", table.to_string().c_str());
+}
+
+/// True when the TWOSTEP_BENCH_METRICS environment variable is set and
+/// non-empty: benches then attach a MetricsRegistry to their experiment runs
+/// and dump it via emit_metrics.  Off by default so timings stay clean.
+inline bool metrics_enabled() {
+  const char* v = std::getenv("TWOSTEP_BENCH_METRICS");
+  return v != nullptr && *v != '\0';
+}
+
+/// Opt-in metrics dump (no-op unless TWOSTEP_BENCH_METRICS is set): one
+/// line of JSON labelled with the experiment/run name.
+inline void emit_metrics(const std::string& name, const obs::MetricsRegistry& registry) {
+  if (!metrics_enabled()) return;
+  std::printf("metrics[%s] %s\n", name.c_str(), registry.to_json().c_str());
 }
 
 /// Canonical all-distinct proposal layout: p proposes 100+p, except the

@@ -24,6 +24,8 @@
 #include "consensus/monitor.hpp"
 #include "consensus/types.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace twostep::consensus {
@@ -61,6 +63,25 @@ class Cluster {
   [[nodiscard]] sim::Tick delta() const { return network_.delta(); }
   [[nodiscard]] sim::Tick now() const noexcept { return simulator_.now(); }
 
+  /// Wires run tracing and metrics through the whole harness: the network
+  /// (message events, per-type counters), the simulator (events-executed
+  /// counter) and the cluster itself (proposals, crashes, timer fires).
+  /// Protocol-internal events additionally flow through the probe carried
+  /// in each protocol's Options; ScenarioRunner forwards it to both places.
+  void set_probe(const obs::Probe& probe) {
+    probe_ = probe;
+    network_.set_probe(probe);
+    if (probe.metrics) {
+      proposals_counter_ = &probe.metrics->counter("proposals");
+      crashes_counter_ = &probe.metrics->counter("crashes");
+      timers_counter_ = &probe.metrics->counter("timers.fired");
+      simulator_.set_executed_cell(probe.metrics->counter("sim.events").cell());
+    } else {
+      proposals_counter_ = crashes_counter_ = timers_counter_ = nullptr;
+      simulator_.set_executed_cell(nullptr);
+    }
+  }
+
   /// Calls start() on every non-crashed process (arming protocol timers).
   void start_all() {
     for (ProcessId p = 0; p < config_.n; ++p)
@@ -72,6 +93,11 @@ class Cluster {
   /// configuration) but take no step.
   void propose(ProcessId p, Value v) {
     monitor_.note_proposal(p, v, simulator_.now());
+    if (proposals_counter_) proposals_counter_->add();
+    probe_.trace([&] {
+      return obs::TraceEvent{obs::EventKind::kProposal, simulator_.now(), p, kNoProcess, -1,
+                             v, "", 0};
+    });
     if (!network_.crashed(p)) process(p).propose(v);
   }
 
@@ -84,6 +110,11 @@ class Cluster {
   void crash(ProcessId p) {
     network_.crash(p);
     monitor_.note_crash(p, simulator_.now());
+    if (crashes_counter_) crashes_counter_->add();
+    probe_.trace([&] {
+      return obs::TraceEvent{obs::EventKind::kCrash, simulator_.now(), p, kNoProcess, -1,
+                             {}, "", 0};
+    });
   }
 
   void crash_at(sim::Tick when, ProcessId p) {
@@ -140,6 +171,12 @@ class Cluster {
       const sim::EventId ev = cluster_.simulator_.schedule_after(delay, [&cluster, p, tid] {
         cluster.timers_.erase(tid.value);
         if (cluster.network_.crashed(p)) return;
+        if (cluster.timers_counter_) cluster.timers_counter_->add();
+        cluster.probe_.trace([&] {
+          return obs::TraceEvent{obs::EventKind::kTimerFire, cluster.simulator_.now(), p,
+                                 kNoProcess, -1, {}, "",
+                                 static_cast<std::int64_t>(tid.value)};
+        });
         cluster.process(p).on_timer(tid);
       });
       cluster_.timers_.emplace(tid.value, ev);
@@ -162,6 +199,10 @@ class Cluster {
   sim::Simulator simulator_;
   net::Network<Msg> network_;
   ConsensusMonitor monitor_;
+  obs::Probe probe_;
+  obs::Counter* proposals_counter_ = nullptr;
+  obs::Counter* crashes_counter_ = nullptr;
+  obs::Counter* timers_counter_ = nullptr;
   std::vector<std::unique_ptr<ClusterEnv>> envs_;
   std::vector<std::unique_ptr<P>> processes_;
   std::unordered_map<std::uint64_t, sim::EventId> timers_;

@@ -55,8 +55,8 @@ std::vector<ScenarioProposal> inline priority_order(
 }
 
 /// Owns a Cluster<P> plus the Ω oracle its processes consult.  `Options`
-/// is the protocol's option struct; it must have `delta` and `leader_of`
-/// members (all protocols in this library do).
+/// is the protocol's option struct; it must have `delta`, `leader_of` and
+/// `probe` members (all protocols in this library do).
 template <typename P, typename Options>
 class ScenarioRunner {
  public:
@@ -65,11 +65,15 @@ class ScenarioRunner {
   ScenarioRunner(SystemConfig config, std::unique_ptr<net::LatencyModel> model,
                  Options base_options, std::uint64_t seed = 1)
       : oracle_(std::make_shared<Oracle>()),
+        probe_(base_options.probe),
         cluster_(config, std::move(model), make_factory(config, std::move(base_options)),
                  seed) {
     oracle_->n = config.n;
     Cluster<P>* cluster = &cluster_;
     oracle_->alive = [cluster](ProcessId p) { return !cluster->crashed(p); };
+    // The probe rides in twice: inside each protocol's Options (protocol
+    // events) and at the harness level (network/simulator/cluster events).
+    cluster_.set_probe(probe_);
   }
 
   ScenarioRunner(const ScenarioRunner&) = delete;
@@ -115,6 +119,7 @@ class ScenarioRunner {
   }
 
   std::shared_ptr<Oracle> oracle_;
+  obs::Probe probe_;
   Cluster<P> cluster_;
 };
 

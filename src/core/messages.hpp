@@ -61,4 +61,17 @@ using Message = std::variant<ProposeMsg, OneAMsg, OneBMsg, TwoAMsg, TwoBMsg, Dec
 /// Human-readable rendering for traces and test diagnostics.
 std::string to_string(const Message& m);
 
+/// Static message-type label, found by ADL from obs::message_label: powers
+/// the per-type network counters and trace event labels.
+[[nodiscard]] constexpr const char* message_name(const Message& m) noexcept {
+  switch (m.index()) {
+    case 0: return "Propose";
+    case 1: return "1A";
+    case 2: return "1B";
+    case 3: return "2A";
+    case 4: return "2B";
+    default: return "Decide";
+  }
+}
+
 }  // namespace twostep::core

@@ -86,4 +86,17 @@ SelectionResult select_value(const SelectionInput& in) {
   return {Value::bottom(), SelectionBranch::kNone};
 }
 
+const char* to_cstring(SelectionBranch branch) noexcept {
+  switch (branch) {
+    case SelectionBranch::kDecided: return "decided";
+    case SelectionBranch::kHighestBallot: return "highest_ballot";
+    case SelectionBranch::kAboveThreshold: return "above_threshold";
+    case SelectionBranch::kAtThresholdMax: return "at_threshold_max";
+    case SelectionBranch::kOwnInitial: return "own_initial";
+    case SelectionBranch::kCompletion: return "completion";
+    case SelectionBranch::kNone: return "none";
+  }
+  return "?";
+}
+
 }  // namespace twostep::core

@@ -47,6 +47,9 @@ enum class SelectionBranch {
   kNone,           ///< nothing to propose: leader must wait for more 1Bs
 };
 
+/// Stable lowercase name of a selection branch (metric keys, trace labels).
+[[nodiscard]] const char* to_cstring(SelectionBranch branch) noexcept;
+
 /// Deliberately weakened variants for the A1 ablation experiment.
 enum class SelectionPolicy {
   kPaper,               ///< the full rule from Figure 1

@@ -16,6 +16,18 @@ TwoStepProcess::TwoStepProcess(consensus::Env<Message>& env, consensus::SystemCo
                                Options options)
     : env_(env), config_(config), options_(std::move(options)) {
   if (options_.delta <= 0) throw std::invalid_argument("TwoStepProcess: delta must be > 0");
+  if (obs::MetricsRegistry* reg = options_.probe.metrics) {
+    stats_.decisions_fast = &reg->counter("decisions.fast");
+    stats_.decisions_slow = &reg->counter("decisions.slow");
+    stats_.decisions_learned = &reg->counter("decisions.learned");
+    stats_.ballots_started = &reg->counter("ballots.started");
+    for (int i = 0; i < 7; ++i) {
+      const auto branch = static_cast<SelectionBranch>(i);
+      stats_.selection[i] =
+          &reg->counter(std::string("selection.") + to_cstring(branch));
+    }
+    stats_.decision_latency = &reg->histogram("decision_latency");
+  }
 }
 
 void TwoStepProcess::start() {
@@ -58,6 +70,11 @@ void TwoStepProcess::on_timer(TimerId) {
   if (omega_leader() != env_.self()) return;
   const Ballot b = next_owned_ballot();
   TWOSTEP_LOG(kDebug) << "p" << env_.self() << " starts ballot " << b;
+  if (stats_.ballots_started) stats_.ballots_started->add();
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kBallotStart, .at = env_.now(),
+                           .process = env_.self(), .ballot = b};
+  });
   // Broadcast to Π including self: our own 1A moves us to ballot b and our
   // own 1B joins the quorum.
   env_.broadcast_all(OneAMsg{b});
@@ -75,6 +92,11 @@ void TwoStepProcess::handle(ProcessId from, const ProposeMsg& m) {
   if (options_.mode == Mode::kObject && !initial_val_.is_bottom() && m.v != initial_val_) return;
   val_ = m.v;
   proposer_ = from;
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kPhaseTransition, .at = env_.now(),
+                           .process = env_.self(), .peer = from, .ballot = 0,
+                           .value = m.v, .label = "fast_vote"};
+  });
   env_.send(from, TwoBMsg{0, m.v});
 }
 
@@ -85,7 +107,7 @@ void TwoStepProcess::maybe_decide_fast() {
   if (initial_val_.is_bottom()) return;
   if (!val_.is_bottom() && val_ != initial_val_) return;
   if (static_cast<int>(fast_voters_.size()) + 1 >= config_.fast_quorum())
-    decide(initial_val_, /*broadcast=*/true);
+    decide(initial_val_, DecideKind::kFast);
 }
 
 void TwoStepProcess::handle(ProcessId from, const TwoBMsg& m) {
@@ -101,16 +123,21 @@ void TwoStepProcess::handle(ProcessId from, const TwoBMsg& m) {
   if (it == led_.end() || !it->second.sent_two_a || m.v != it->second.two_a_value) return;
   it->second.twobs.insert(from);
   if (static_cast<int>(it->second.twobs.size()) >= config_.classic_quorum())
-    decide(m.v, /*broadcast=*/true);
+    decide(m.v, DecideKind::kSlow);
 }
 
 void TwoStepProcess::handle(ProcessId, const DecideMsg& m) {
-  decide(m.v, /*broadcast=*/false);
+  decide(m.v, DecideKind::kLearned);
 }
 
 void TwoStepProcess::handle(ProcessId from, const OneAMsg& m) {
   if (m.b <= bal_) return;
   bal_ = m.b;
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kPhaseTransition, .at = env_.now(),
+                           .process = env_.self(), .peer = from, .ballot = m.b,
+                           .label = "join_ballot"};
+  });
   env_.send(from, OneBMsg{m.b, vbal_, val_, proposer_, decided_, initial_val_});
 }
 
@@ -146,6 +173,7 @@ void TwoStepProcess::maybe_send_two_a(Ballot b) {
       in.peers.push_back(PeerState{q, ob.vbal, ob.val, ob.proposer, ob.decided, ob.initial});
     }
     const SelectionResult res = select_value(in);
+    note_selection(b, res);
     if (res.branch != SelectionBranch::kNone) {
       led.sent_two_a = true;
       led.two_a_value = res.value;
@@ -170,6 +198,7 @@ void TwoStepProcess::maybe_send_two_a(Ballot b) {
   for (const auto& [q, ob] : led.onebs)
     in.peers.push_back(PeerState{q, ob.vbal, ob.val, ob.proposer, ob.decided, ob.initial});
   const SelectionResult res = select_value(in);
+  note_selection(b, res);
   if (res.branch == SelectionBranch::kNone) return;  // still nothing; keep waiting
   led.sent_two_a = true;
   led.two_a_value = res.value;
@@ -181,16 +210,42 @@ void TwoStepProcess::handle(ProcessId from, const TwoAMsg& m) {
   val_ = m.v;
   bal_ = m.b;
   vbal_ = m.b;
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kPhaseTransition, .at = env_.now(),
+                           .process = env_.self(), .peer = from, .ballot = m.b,
+                           .value = m.v, .label = "accept"};
+  });
   env_.send(from, TwoBMsg{m.b, m.v});
 }
 
-void TwoStepProcess::decide(Value v, bool broadcast) {
+void TwoStepProcess::note_selection(Ballot b, const SelectionResult& res) {
+  if (obs::Counter* c = stats_.selection[static_cast<int>(res.branch)]) c->add();
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kSelectionVerdict, .at = env_.now(),
+                           .process = env_.self(), .ballot = b, .value = res.value,
+                           .label = to_cstring(res.branch)};
+  });
+}
+
+void TwoStepProcess::decide(Value v, DecideKind kind) {
   if (decide_notified_) return;
   val_ = v;
   decided_ = v;
   decide_notified_ = true;
   TWOSTEP_LOG(kDebug) << "p" << env_.self() << " decides " << v.to_string();
-  if (broadcast) env_.broadcast_others(DecideMsg{v});
+  const char* label = kind == DecideKind::kFast ? "fast"
+                      : kind == DecideKind::kSlow ? "slow" : "learned";
+  obs::Counter* counter = kind == DecideKind::kFast ? stats_.decisions_fast
+                          : kind == DecideKind::kSlow ? stats_.decisions_slow
+                                                      : stats_.decisions_learned;
+  if (counter) counter->add();
+  if (stats_.decision_latency) stats_.decision_latency->add(static_cast<double>(env_.now()));
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kDecision, .at = env_.now(),
+                           .process = env_.self(), .ballot = bal_, .value = v,
+                           .label = label};
+  });
+  if (kind != DecideKind::kLearned) env_.broadcast_others(DecideMsg{v});
   if (on_decide) on_decide(v);
 }
 

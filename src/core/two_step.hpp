@@ -24,6 +24,8 @@
 #include "consensus/types.hpp"
 #include "core/messages.hpp"
 #include "core/selection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace twostep::core {
 
@@ -49,6 +51,10 @@ struct Options {
 
   /// Value-selection variant; anything but kPaper is for the ablation bench.
   SelectionPolicy selection_policy = SelectionPolicy::kPaper;
+
+  /// Structured tracing + metrics (off by default; see obs/trace.hpp).
+  /// ScenarioRunner forwards the same probe to the harness layers.
+  obs::Probe probe;
 };
 
 /// One process of the protocol.  See Cluster<P> for the harness contract.
@@ -83,6 +89,14 @@ class TwoStepProcess {
   [[nodiscard]] consensus::ProcessId vote_proposer() const noexcept { return proposer_; }
 
  private:
+  /// How a decision was reached — the distinction the paper (and the
+  /// fast-path metrics) care about.
+  enum class DecideKind {
+    kFast,     ///< line 8, first disjunct: n-e fast votes at ballot 0
+    kSlow,     ///< 2B quorum in a ballot we led
+    kLearned,  ///< Decide message from another process
+  };
+
   void handle(consensus::ProcessId from, const ProposeMsg& m);
   void handle(consensus::ProcessId from, const OneAMsg& m);
   void handle(consensus::ProcessId from, const OneBMsg& m);
@@ -98,8 +112,12 @@ class TwoStepProcess {
   /// value is determined.  Called as 1Bs accumulate.
   void maybe_send_two_a(consensus::Ballot b);
 
-  /// Records the decision, notifies on_decide, broadcasts Decide.
-  void decide(consensus::Value v, bool broadcast);
+  /// Records the decision, notifies on_decide, broadcasts Decide (except
+  /// when merely learning one).
+  void decide(consensus::Value v, DecideKind kind);
+
+  /// Records a selection verdict with the probe (event + branch counter).
+  void note_selection(consensus::Ballot b, const SelectionResult& res);
 
   /// Smallest ballot > bal_ owned by this process (b mod n == self).
   [[nodiscard]] consensus::Ballot next_owned_ballot() const;
@@ -135,6 +153,17 @@ class TwoStepProcess {
     std::set<consensus::ProcessId> twobs;  // votes for (b, two_a_value)
   };
   std::map<consensus::Ballot, LedBallot> led_;
+
+  // Metric handles, resolved once at construction (null when metrics are
+  // off): the hot paths pay one pointer test, never a registry lookup.
+  struct {
+    obs::Counter* decisions_fast = nullptr;
+    obs::Counter* decisions_slow = nullptr;
+    obs::Counter* decisions_learned = nullptr;
+    obs::Counter* ballots_started = nullptr;
+    obs::Counter* selection[7] = {};  ///< indexed by SelectionBranch
+    util::Summary* decision_latency = nullptr;
+  } stats_;
 
   bool started_ = false;
   bool decide_notified_ = false;

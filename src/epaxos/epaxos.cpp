@@ -18,6 +18,12 @@ EPaxosReplica::EPaxosReplica(consensus::Env<Message>& env, consensus::SystemConf
   classic_quorum_ = config_.n / 2 + 1;
   if (fast_quorum_ < classic_quorum_) fast_quorum_ = classic_quorum_;
   if (fast_quorum_ > config_.n) fast_quorum_ = config_.n;
+  if (obs::MetricsRegistry* reg = options_.probe.metrics) {
+    stats_.commits_fast = &reg->counter("commits.fast");
+    stats_.commits_slow = &reg->counter("commits.slow");
+    stats_.commits_learned = &reg->counter("commits.learned");
+    stats_.executed = &reg->counter("commands.executed");
+  }
 }
 
 void EPaxosReplica::start() {
@@ -169,6 +175,17 @@ void EPaxosReplica::commit(InstanceId id, const Command& cmd, const DepSet& deps
   inst.seq = seq;
   inst.status = Status::kCommitted;
   ++committed_count_;
+  const char* label = !broadcast ? "learned" : inst.fast_committed ? "fast" : "slow";
+  obs::Counter* counter = !broadcast           ? stats_.commits_learned
+                          : inst.fast_committed ? stats_.commits_fast
+                                                : stats_.commits_slow;
+  if (counter) counter->add();
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kDecision, .at = env_.now(),
+                           .process = env_.self(), .peer = id.replica,
+                           .ballot = inst.ballot, .value = consensus::Value{cmd.payload},
+                           .label = label, .detail = id.index};
+  });
   if (broadcast) env_.broadcast_others(CommitMsg{id, cmd, deps, seq});
   if (on_commit) on_commit(id, cmd);
   if (id.replica == env_.self() && !own_commit_reported_ && on_decide) {
@@ -320,6 +337,7 @@ bool EPaxosReplica::execute_instance(InstanceId id, std::set<InstanceId>& visiti
   visiting.erase(id);
   inst.status = Status::kExecuted;
   ++executed_count_;
+  if (stats_.executed) stats_.executed->add();
   if (on_execute) on_execute(id, inst.cmd);
   return true;
 }

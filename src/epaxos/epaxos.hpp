@@ -37,6 +37,8 @@
 
 #include "consensus/env.hpp"
 #include "consensus/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace twostep::epaxos {
 
@@ -127,11 +129,25 @@ struct PrepareReplyMsg {
 using Message = std::variant<PreAcceptMsg, PreAcceptReplyMsg, AcceptMsg, AcceptReplyMsg,
                              CommitMsg, PrepareMsg, PrepareReplyMsg>;
 
+/// Static message-type label (ADL-found by obs::message_label).
+[[nodiscard]] constexpr const char* message_name(const Message& m) noexcept {
+  switch (m.index()) {
+    case 0: return "PreAccept";
+    case 1: return "PreAcceptReply";
+    case 2: return "Accept";
+    case 3: return "AcceptReply";
+    case 4: return "Commit";
+    case 5: return "Prepare";
+    default: return "PrepareReply";
+  }
+}
+
 struct Options {
   sim::Tick delta = 1;
   /// Recovery timeout for instances stuck without a commit (owner crashed).
   /// 0 disables automatic recovery (tests drive it manually).
   sim::Tick recovery_timeout = 0;
+  obs::Probe probe;  ///< tracing + metrics; off by default
 };
 
 /// One EPaxos replica (command leader + acceptor + executor).
@@ -223,6 +239,16 @@ class EPaxosReplica {
   Options options_;
   int fast_quorum_;     ///< f + floor((f+1)/2), leader included
   int classic_quorum_;  ///< floor(n/2) + 1
+
+  // Metric handles resolved once at construction (null when metrics off).
+  // Fast/slow count leader-side commits only (one per instance cluster-wide);
+  // learned counts commits via Commit messages.
+  struct {
+    obs::Counter* commits_fast = nullptr;
+    obs::Counter* commits_slow = nullptr;
+    obs::Counter* commits_learned = nullptr;
+    obs::Counter* executed = nullptr;
+  } stats_;
 
   std::map<InstanceId, Instance> instances_;
   std::int32_t next_index_ = 0;

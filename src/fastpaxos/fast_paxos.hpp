@@ -20,6 +20,8 @@
 
 #include "consensus/env.hpp"
 #include "consensus/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace twostep::fastpaxos {
 
@@ -55,10 +57,22 @@ struct AcceptedMsg {  // 2b, broadcast; b == 0 votes count toward fast quorums
 using Message =
     std::variant<FastProposeMsg, PrepareMsg, PromiseMsg, AcceptMsg, AcceptedMsg>;
 
+/// Static message-type label (ADL-found by obs::message_label).
+[[nodiscard]] constexpr const char* message_name(const Message& m) noexcept {
+  switch (m.index()) {
+    case 0: return "FastPropose";
+    case 1: return "Prepare";
+    case 2: return "Promise";
+    case 3: return "Accept";
+    default: return "Accepted";
+  }
+}
+
 struct Options {
   sim::Tick delta = 1;
   std::function<consensus::ProcessId()> leader_of;  ///< Ω; defaults to p0
   bool enable_ballot_timer = true;
+  obs::Probe probe;  ///< tracing + metrics; off by default
 };
 
 class FastPaxosProcess {
@@ -85,7 +99,7 @@ class FastPaxosProcess {
   void handle(consensus::ProcessId from, const PromiseMsg& m);
   void handle(consensus::ProcessId from, const AcceptMsg& m);
   void handle(consensus::ProcessId from, const AcceptedMsg& m);
-  void decide(consensus::Value v);
+  void decide(consensus::Ballot b, consensus::Value v);
   [[nodiscard]] consensus::Ballot next_owned_ballot() const;
   [[nodiscard]] consensus::ProcessId omega_leader() const;
 
@@ -107,6 +121,14 @@ class FastPaxosProcess {
 
   std::map<std::pair<consensus::Ballot, consensus::Value>, std::set<consensus::ProcessId>>
       accepted_;
+
+  // Metric handles resolved once at construction (null when metrics off).
+  struct {
+    obs::Counter* decisions_fast = nullptr;  ///< fast quorum at round 0
+    obs::Counter* decisions_slow = nullptr;
+    obs::Counter* ballots_started = nullptr;
+    util::Summary* decision_latency = nullptr;
+  } stats_;
 
   bool started_ = false;
   bool decide_notified_ = false;

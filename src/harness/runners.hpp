@@ -19,14 +19,18 @@ using PaxosRunner = consensus::ScenarioRunner<paxos::PaxosProcess, paxos::Option
 using FastPaxosRunner = consensus::ScenarioRunner<fastpaxos::FastPaxosProcess, fastpaxos::Options>;
 using RsmRunner = consensus::ScenarioRunner<rsm::RsmProcess, rsm::Options>;
 
-/// The paper's protocol on Definition 2 synchronous rounds.
+/// The paper's protocol on Definition 2 synchronous rounds.  Pass a probe
+/// to attach a RunTracer / MetricsRegistry to the whole stack (protocol,
+/// network, simulator); the default (null) probe keeps observability off.
 inline std::unique_ptr<CoreRunner> make_core_runner(
     consensus::SystemConfig config, core::Mode mode, sim::Tick delta = 100,
-    core::SelectionPolicy policy = core::SelectionPolicy::kPaper, std::uint64_t seed = 1) {
+    core::SelectionPolicy policy = core::SelectionPolicy::kPaper, std::uint64_t seed = 1,
+    obs::Probe probe = {}) {
   core::Options options;
   options.mode = mode;
   options.delta = delta;
   options.selection_policy = policy;
+  options.probe = probe;
   return std::make_unique<CoreRunner>(
       config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
 }
@@ -34,44 +38,52 @@ inline std::unique_ptr<CoreRunner> make_core_runner(
 /// The paper's protocol on an arbitrary latency model.
 inline std::unique_ptr<CoreRunner> make_core_runner_with_model(
     consensus::SystemConfig config, core::Mode mode, std::unique_ptr<net::LatencyModel> model,
-    std::uint64_t seed = 1) {
+    std::uint64_t seed = 1, obs::Probe probe = {}) {
   core::Options options;
   options.mode = mode;
   options.delta = model->delta();
+  options.probe = probe;
   return std::make_unique<CoreRunner>(config, std::move(model), options, seed);
 }
 
 inline std::unique_ptr<PaxosRunner> make_paxos_runner(consensus::SystemConfig config,
                                                       sim::Tick delta = 100,
-                                                      std::uint64_t seed = 1) {
+                                                      std::uint64_t seed = 1,
+                                                      obs::Probe probe = {}) {
   paxos::Options options;
   options.delta = delta;
+  options.probe = probe;
   return std::make_unique<PaxosRunner>(
       config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
 }
 
 inline std::unique_ptr<FastPaxosRunner> make_fastpaxos_runner(consensus::SystemConfig config,
                                                               sim::Tick delta = 100,
-                                                              std::uint64_t seed = 1) {
+                                                              std::uint64_t seed = 1,
+                                                              obs::Probe probe = {}) {
   fastpaxos::Options options;
   options.delta = delta;
+  options.probe = probe;
   return std::make_unique<FastPaxosRunner>(
       config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
 }
 
 inline std::unique_ptr<FastPaxosRunner> make_fastpaxos_runner_with_model(
     consensus::SystemConfig config, std::unique_ptr<net::LatencyModel> model,
-    std::uint64_t seed = 1) {
+    std::uint64_t seed = 1, obs::Probe probe = {}) {
   fastpaxos::Options options;
   options.delta = model->delta();
+  options.probe = probe;
   return std::make_unique<FastPaxosRunner>(config, std::move(model), options, seed);
 }
 
 inline std::unique_ptr<RsmRunner> make_rsm_runner(consensus::SystemConfig config,
                                                   std::unique_ptr<net::LatencyModel> model,
-                                                  std::uint64_t seed = 1) {
+                                                  std::uint64_t seed = 1,
+                                                  obs::Probe probe = {}) {
   rsm::Options options;
   options.delta = model->delta();
+  options.probe = probe;
   return std::make_unique<RsmRunner>(config, std::move(model), options, seed);
 }
 

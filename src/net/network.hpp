@@ -12,11 +12,15 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "consensus/types.hpp"
 #include "net/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -69,6 +73,15 @@ class Network {
   void enable_trace(bool on = true) { tracing_ = on; }
   [[nodiscard]] const std::vector<TraceEntry<Msg>>& trace() const { return trace_; }
 
+  /// Attaches structured observability: send/deliver/drop events go to the
+  /// probe's tracer, per-message-type counters (net.sent.<Type> etc.) to
+  /// its registry.  A default-constructed probe detaches; with no probe the
+  /// send path costs one pointer test and formats nothing.
+  void set_probe(obs::Probe probe) {
+    probe_ = probe;
+    type_counters_.clear();
+  }
+
   /// Sends msg from -> to.  Sending from or to a crashed process silently
   /// drops the message (crash-stop semantics).  Self-sends go through the
   /// latency model like any other message: Definition 2 delivers ALL
@@ -79,7 +92,28 @@ class Network {
   void send(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg) {
     (void)index(to);  // validate eagerly, not at delivery time
     ++sent_;
-    if (crashed_.at(index(from))) return;
+    const char* label = probe_.enabled() ? obs::message_label(msg) : nullptr;
+    std::uint64_t seq = 0;
+    if (label) {
+      seq = ++obs_seq_;
+      if (probe_.metrics) counters_for(label).sent->add();
+    }
+    if (crashed_.at(index(from))) {
+      if (label) {
+        if (probe_.metrics) counters_for(label).dropped->add();
+        probe_.trace([&] {
+          return obs::TraceEvent{obs::EventKind::kMessageDrop, simulator_.now(), from, to, -1,
+                                 {}, label, static_cast<std::int64_t>(seq)};
+        });
+      }
+      return;
+    }
+    if (label) {
+      probe_.trace([&] {
+        return obs::TraceEvent{obs::EventKind::kMessageSend, simulator_.now(), from, to, -1,
+                               {}, label, static_cast<std::int64_t>(seq)};
+      });
+    }
     std::optional<sim::Tick> forced;
     if (interceptor_) forced = interceptor_(simulator_.now(), from, to, msg);
     const sim::Tick when =
@@ -89,9 +123,28 @@ class Network {
       trace_.push_back(TraceEntry<Msg>{simulator_.now(), -1, from, to, msg});
       trace_slot = trace_.size() - 1;
     }
-    simulator_.schedule_at(when, [this, from, to, msg, trace_slot] {
-      if (crashed_.at(index(to))) return;
+    simulator_.schedule_at(when, [this, from, to, msg, trace_slot, seq] {
+      // Re-derive the label: the probe may have been (de)attached while the
+      // message was in flight.
+      const char* label = probe_.enabled() ? obs::message_label(msg) : nullptr;
+      if (crashed_.at(index(to))) {
+        if (label) {
+          if (probe_.metrics) counters_for(label).dropped->add();
+          probe_.trace([&] {
+            return obs::TraceEvent{obs::EventKind::kMessageDrop, simulator_.now(), to, from,
+                                   -1, {}, label, static_cast<std::int64_t>(seq)};
+          });
+        }
+        return;
+      }
       ++delivered_;
+      if (label) {
+        if (probe_.metrics) counters_for(label).delivered->add();
+        probe_.trace([&] {
+          return obs::TraceEvent{obs::EventKind::kMessageDeliver, simulator_.now(), to, from,
+                                 -1, {}, label, static_cast<std::int64_t>(seq)};
+        });
+      }
       if (tracing_) trace_.at(trace_slot).deliver_time = simulator_.now();
       auto& handler = handlers_.at(index(to));
       if (handler) handler(from, msg);
@@ -124,12 +177,33 @@ class Network {
     return static_cast<std::size_t>(p);
   }
 
+  /// Per-message-type counters, resolved once per (probe, type): the string
+  /// concatenation happens on the first message of each type only, keyed on
+  /// the label's (static) address afterwards.  Call only with metrics set.
+  struct TypeCounters {
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+  };
+  TypeCounters& counters_for(const char* label) {
+    const auto it = type_counters_.find(label);
+    if (it != type_counters_.end()) return it->second;
+    const std::string name(label);
+    TypeCounters c{&probe_.metrics->counter("net.sent." + name),
+                   &probe_.metrics->counter("net.delivered." + name),
+                   &probe_.metrics->counter("net.dropped." + name)};
+    return type_counters_.emplace(label, c).first->second;
+  }
+
   sim::Simulator& simulator_;
   std::unique_ptr<LatencyModel> model_;
   std::vector<Handler> handlers_;
   std::vector<bool> crashed_;
   util::Rng rng_;
   Interceptor interceptor_;
+  obs::Probe probe_;
+  std::unordered_map<const char*, TypeCounters> type_counters_;
+  std::uint64_t obs_seq_ = 0;  ///< per-message id linking send/deliver events
   bool tracing_ = false;
   std::vector<TraceEntry<Msg>> trace_;
   std::size_t sent_ = 0;

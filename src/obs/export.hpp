@@ -1,0 +1,33 @@
+// Exporters over a RunTracer's retained events.
+//
+// Two machine formats plus a human one:
+//   * JSONL — one JSON object per event, one event per line; the format for
+//     ad-hoc jq/pandas post-processing of runs.
+//   * Chrome trace-event JSON — loadable in Perfetto (ui.perfetto.dev) and
+//     chrome://tracing: each process is a track (tid), ballots render as
+//     spans (a ballot-start opens a span on its leader's track, closed by
+//     the leader's next ballot or the end of the trace), everything else as
+//     instant events.  Timestamps are the simulator's virtual ticks.
+//   * format_event — the single-line rendering used by `twostep_cli run
+//     --trace`.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace twostep::obs {
+
+/// One JSON object per line:
+///   {"at":200,"kind":"decision","process":2,"peer":null,"ballot":0,
+///    "value":102,"label":"fast","detail":0}
+void write_jsonl(const RunTracer& tracer, std::ostream& os);
+
+/// Chrome trace-event format (JSON Object Format, i.e. {"traceEvents":[..]}).
+void write_chrome_trace(const RunTracer& tracer, std::ostream& os);
+
+/// "[t=200] p2 decision fast v=102 (b=0)" — for terminal dumps.
+[[nodiscard]] std::string format_event(const TraceEvent& event);
+
+}  // namespace twostep::obs

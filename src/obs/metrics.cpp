@@ -1,0 +1,95 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace twostep::obs {
+
+namespace {
+
+/// JSON-safe rendering of a double: finite values with enough digits to
+/// round-trip, non-finite values (empty summaries never produce them, but
+/// belt and braces) as 0.
+std::string json_number(double x) {
+  if (!(x == x) || x > 1e308 || x < -1e308) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", x);
+  return buf;
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+util::Summary& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), util::Summary{}).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    write_escaped(os, name);
+    os << ": " << c.value();
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (auto& [name, h] : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    write_escaped(os, name);
+    os << ": {\"count\": " << h.count() << ", \"mean\": " << json_number(h.mean())
+       << ", \"min\": " << json_number(h.min()) << ", \"max\": " << json_number(h.max())
+       << ", \"p50\": " << json_number(h.percentile(0.5))
+       << ", \"p90\": " << json_number(h.percentile(0.9))
+       << ", \"p99\": " << json_number(h.percentile(0.99)) << "}";
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace twostep::obs

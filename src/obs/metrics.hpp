@@ -1,0 +1,78 @@
+// Named counters and histograms for simulated runs.
+//
+// A MetricsRegistry is the quantitative companion of the RunTracer: where
+// the tracer answers "what happened, in order", the registry answers "how
+// often and how long" — messages by type, fast- vs slow-path decisions,
+// ballots started, selection-rule branch frequencies, events executed, and
+// decision-latency distributions (reusing util::Summary for exact
+// percentiles).
+//
+// Hot-path discipline: counter() / histogram() do a string lookup and are
+// meant to be called ONCE, at wiring time; instrumented code caches the
+// returned reference (std::map nodes are stable) and pays a single add on
+// the hot path.  Counter::cell() additionally exposes the raw count cell so
+// the lowest layer (sim::Simulator) can be instrumented without depending
+// on this header.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/stats.hpp"
+
+namespace twostep::obs {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+  /// Raw cell for dependency-free instrumentation (see header comment).
+  [[nodiscard]] std::uint64_t* cell() noexcept { return &value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it at zero on
+  /// first use.  The reference stays valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+
+  /// Same contract for histograms.
+  util::Summary& histogram(std::string_view name);
+
+  /// Current value of a counter, 0 if it was never registered.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, util::Summary, std::less<>>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Serializes the registry as one JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "histograms": {name: {count, mean, min, max, p50, p90, p99}, ...}}
+  /// Keys are emitted in sorted order, so the output is deterministic.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+  void reset();
+
+ private:
+  // std::map: node-based, so references handed out by counter()/histogram()
+  // survive later registrations.  write_json is const but percentiles sort
+  // lazily, hence the mutable histogram map.
+  std::map<std::string, Counter, std::less<>> counters_;
+  mutable std::map<std::string, util::Summary, std::less<>> histograms_;
+};
+
+}  // namespace twostep::obs

@@ -13,6 +13,12 @@ PaxosProcess::PaxosProcess(consensus::Env<Message>& env, consensus::SystemConfig
                            Options options)
     : env_(env), config_(config), options_(std::move(options)) {
   if (options_.delta <= 0) throw std::invalid_argument("PaxosProcess: delta must be > 0");
+  if (obs::MetricsRegistry* reg = options_.probe.metrics) {
+    stats_.decisions_fast = &reg->counter("decisions.fast");
+    stats_.decisions_slow = &reg->counter("decisions.slow");
+    stats_.ballots_started = &reg->counter("ballots.started");
+    stats_.decision_latency = &reg->histogram("decision_latency");
+  }
 }
 
 void PaxosProcess::start() {
@@ -50,7 +56,13 @@ void PaxosProcess::on_timer(TimerId) {
   if (!options_.enable_ballot_timer) return;
   env_.set_timer(5 * options_.delta);
   if (omega_leader() != env_.self()) return;
-  env_.broadcast_all(PrepareMsg{next_owned_ballot()});
+  const Ballot b = next_owned_ballot();
+  if (stats_.ballots_started) stats_.ballots_started->add();
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kBallotStart, .at = env_.now(),
+                           .process = env_.self(), .ballot = b};
+  });
+  env_.broadcast_all(PrepareMsg{b});
 }
 
 void PaxosProcess::on_message(ProcessId from, const Message& m) {
@@ -97,13 +109,23 @@ void PaxosProcess::handle(ProcessId, const AcceptMsg& m) {
 void PaxosProcess::handle(ProcessId from, const AcceptedMsg& m) {
   auto& voters = accepted_[{m.b, m.v}];
   voters.insert(from);
-  if (static_cast<int>(voters.size()) >= config_.classic_quorum()) decide(m.v);
+  if (static_cast<int>(voters.size()) >= config_.classic_quorum()) decide(m.b, m.v);
 }
 
-void PaxosProcess::decide(Value v) {
+void PaxosProcess::decide(Ballot b, Value v) {
   if (decide_notified_) return;
   decided_ = v;
   decide_notified_ = true;
+  // Ballot 0 is the phase-1-free 2Δ path — the closest Paxos has to a fast
+  // path; anything later went through a timer-started ballot.
+  obs::Counter* counter = b == 0 ? stats_.decisions_fast : stats_.decisions_slow;
+  if (counter) counter->add();
+  if (stats_.decision_latency) stats_.decision_latency->add(static_cast<double>(env_.now()));
+  options_.probe.trace([&] {
+    return obs::TraceEvent{.kind = obs::EventKind::kDecision, .at = env_.now(),
+                           .process = env_.self(), .ballot = b, .value = v,
+                           .label = b == 0 ? "fast" : "slow"};
+  });
   if (on_decide) on_decide(v);
 }
 

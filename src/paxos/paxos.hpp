@@ -18,6 +18,8 @@
 
 #include "consensus/env.hpp"
 #include "consensus/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace twostep::paxos {
 
@@ -44,10 +46,21 @@ struct AcceptedMsg {  // phase 2b, broadcast to all so everyone learns
 
 using Message = std::variant<PrepareMsg, PromiseMsg, AcceptMsg, AcceptedMsg>;
 
+/// Static message-type label (ADL-found by obs::message_label).
+[[nodiscard]] constexpr const char* message_name(const Message& m) noexcept {
+  switch (m.index()) {
+    case 0: return "Prepare";
+    case 1: return "Promise";
+    case 2: return "Accept";
+    default: return "Accepted";
+  }
+}
+
 struct Options {
   sim::Tick delta = 1;
   std::function<consensus::ProcessId()> leader_of;  ///< Ω; defaults to p0
   bool enable_ballot_timer = true;
+  obs::Probe probe;  ///< tracing + metrics; off by default
 };
 
 /// One Paxos process (proposer + acceptor + learner roles fused, as usual
@@ -74,7 +87,7 @@ class PaxosProcess {
   void handle(consensus::ProcessId from, const PromiseMsg& m);
   void handle(consensus::ProcessId from, const AcceptMsg& m);
   void handle(consensus::ProcessId from, const AcceptedMsg& m);
-  void decide(consensus::Value v);
+  void decide(consensus::Ballot b, consensus::Value v);
   [[nodiscard]] consensus::Ballot next_owned_ballot() const;
   [[nodiscard]] consensus::ProcessId omega_leader() const;
 
@@ -97,6 +110,14 @@ class PaxosProcess {
   // (ballot, value) -> acceptors that voted; everyone learns this way.
   std::map<std::pair<consensus::Ballot, consensus::Value>, std::set<consensus::ProcessId>>
       accepted_;
+
+  // Metric handles resolved once at construction (null when metrics off).
+  struct {
+    obs::Counter* decisions_fast = nullptr;  ///< decided at ballot 0 (2Δ path)
+    obs::Counter* decisions_slow = nullptr;
+    obs::Counter* ballots_started = nullptr;
+    util::Summary* decision_latency = nullptr;
+  } stats_;
 
   bool started_ = false;
   bool decide_notified_ = false;

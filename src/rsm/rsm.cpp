@@ -55,6 +55,7 @@ RsmProcess::SlotState& RsmProcess::ensure_slot(std::int32_t slot) {
   proto_options.delta = options_.delta;
   proto_options.leader_of = options_.leader_of;
   proto_options.selection_policy = options_.selection_policy;
+  proto_options.probe = options_.probe;
   state.proc =
       std::make_unique<core::TwoStepProcess>(*state.env, config_, std::move(proto_options));
   state.proc->on_decide = [this, slot](Value v) { slot_decided(slot, v); };

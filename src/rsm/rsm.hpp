@@ -41,7 +41,13 @@ struct Options {
   sim::Tick delta = 1;
   std::function<consensus::ProcessId()> leader_of;
   core::SelectionPolicy selection_policy = core::SelectionPolicy::kPaper;
+  obs::Probe probe;  ///< forwarded into every slot's protocol instance
 };
+
+/// Static message-type label: delegates to the inner protocol message.
+[[nodiscard]] constexpr const char* message_name(const SlotMsg& m) noexcept {
+  return core::message_name(m.inner);
+}
 
 /// One replica: proxy + per-slot consensus participants + executor.
 class RsmProcess {

@@ -51,6 +51,7 @@ bool Simulator::step() {
   if (!pop_next(entry)) return false;
   now_ = entry.when;
   ++executed_;
+  if (executed_cell_) ++*executed_cell_;
   entry.action();
   return true;
 }
@@ -88,6 +89,7 @@ std::size_t Simulator::run_until(Tick deadline, std::size_t max_events) {
     pending_ids_.erase(entry.seq);
     now_ = entry.when;
     ++executed_;
+    if (executed_cell_) ++*executed_cell_;
     ++n;
     entry.action();
   }

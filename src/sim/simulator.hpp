@@ -65,6 +65,12 @@ class Simulator {
   /// Total events executed over the simulator's lifetime.
   [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
 
+  /// Observability hook: when set, *cell is incremented once per executed
+  /// event.  A raw count cell (rather than an obs:: type) keeps the
+  /// simulator free of upper-layer dependencies; obs::Counter::cell() hands
+  /// out exactly this pointer and the cluster harness wires it up.
+  void set_executed_cell(std::uint64_t* cell) noexcept { executed_cell_ = cell; }
+
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending() const noexcept { return pending_ids_.size(); }
 
@@ -97,6 +103,7 @@ class Simulator {
   Tick now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t executed_ = 0;
+  std::uint64_t* executed_cell_ = nullptr;
   bool stop_requested_ = false;
 };
 

@@ -6,6 +6,7 @@ namespace twostep::util {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogClock g_clock;  // NOLINT: intentionally process-global, like the level
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,8 +29,19 @@ LogLevel set_log_level(LogLevel level) noexcept {
   return previous;
 }
 
+LogClock set_log_clock(LogClock clock) {
+  LogClock previous = std::move(g_clock);
+  g_clock = std::move(clock);
+  return previous;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < g_level) return;
+  if (g_clock) {
+    std::fprintf(stderr, "[%s t=%lld] %s\n", level_name(level),
+                 static_cast<long long>(g_clock()), message.c_str());
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

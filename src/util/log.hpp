@@ -4,6 +4,8 @@
 // thread-safe by design: the simulator is single-threaded.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,6 +21,29 @@ LogLevel set_log_level(LogLevel level) noexcept;
 
 /// Emits one formatted line to stderr if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);
+
+/// Optional clock hook: when registered, every emitted line is prefixed
+/// with the clock's current reading ("[LEVEL t=1234] ...").  Intended for
+/// virtual time — a harness registers a lambda reading its simulator's
+/// sim::Tick so interleaved protocol logs line up with trace exports.
+/// With no hook registered the output format is unchanged.
+using LogClock = std::function<std::int64_t()>;
+
+/// Registers `clock` (empty to unregister).  Returns the previous hook.
+LogClock set_log_clock(LogClock clock);
+
+/// RAII guard pairing with ScopedLogLevel: installs a clock hook for a
+/// scope (typically one simulated run) and restores the previous one.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(LogClock clock) : previous_(set_log_clock(std::move(clock))) {}
+  ~ScopedLogClock() { set_log_clock(std::move(previous_)); }
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  LogClock previous_;
+};
 
 /// RAII guard that restores the previous log level on scope exit; used by
 /// tests that need to assert on (or suppress) log behaviour.

@@ -68,5 +68,46 @@ TEST(Log, LogLineRespectsThreshold) {
   log_line(LogLevel::kError, "emitted to stderr");
 }
 
+TEST(Log, ClockHookPrefixesVirtualTime) {
+  ScopedLogLevel level{LogLevel::kTrace};
+  ScopedLogClock clock{[] { return std::int64_t{1234}; }};
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "hello");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[INFO t=1234] hello\n");
+}
+
+TEST(Log, OutputUnchangedWithoutClockHook) {
+  ScopedLogLevel level{LogLevel::kTrace};
+  set_log_clock({});  // make sure no hook is registered
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kWarn, "plain");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[WARN] plain\n");
+}
+
+TEST(Log, SetClockReturnsPrevious) {
+  LogClock first = [] { return std::int64_t{1}; };
+  LogClock before = set_log_clock(first);
+  EXPECT_FALSE(before);  // no hook installed by default
+  LogClock previous = set_log_clock({});
+  ASSERT_TRUE(previous);
+  EXPECT_EQ(previous(), 1);
+}
+
+TEST(Log, ScopedClockRestoresOnExit) {
+  ScopedLogLevel level{LogLevel::kTrace};
+  ScopedLogClock outer{[] { return std::int64_t{7}; }};
+  {
+    ScopedLogClock inner{[] { return std::int64_t{99}; }};
+    testing::internal::CaptureStderr();
+    log_line(LogLevel::kInfo, "x");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "[INFO t=99] x\n");
+  }
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "x");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "[INFO t=7] x\n");
+}
+
 }  // namespace
 }  // namespace twostep::util

@@ -1,0 +1,499 @@
+// Tests for the observability subsystem: RunTracer ring semantics, probe
+// short-circuiting, MetricsRegistry counter/histogram behaviour, exporter
+// well-formedness (validated with a small JSON parser below), and an
+// end-to-end fast-path run of the paper's protocol with a probe attached.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "consensus/scenario.hpp"
+#include "harness/runners.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace twostep::obs {
+namespace {
+
+using consensus::Value;
+
+// ---- minimal JSON validator (no JSON library in the toolchain) ----
+//
+// Recursive-descent recognizer for RFC 8259 JSON; returns true iff the whole
+// string is one valid JSON value.  Enough to assert the exporters emit
+// parseable output without pulling in a dependency.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* c = word; *c; ++c) {
+      if (pos_ >= s_.size() || s_[pos_] != *c) return false;
+      ++pos_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& text) { return JsonValidator(text).valid(); }
+
+TraceEvent event_at(sim::Tick t, EventKind kind = EventKind::kTimerFire) {
+  TraceEvent e;
+  e.kind = kind;
+  e.at = t;
+  e.process = 0;
+  return e;
+}
+
+// ---- RunTracer ----
+
+TEST(RunTracer, RetainsEventsInOrder) {
+  RunTracer tracer(8);
+  for (int i = 0; i < 5; ++i) tracer.record(event_at(i));
+  EXPECT_EQ(tracer.size(), 5u);
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.evicted(), 0u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].at, i);
+}
+
+TEST(RunTracer, RingEvictsOldestBeyondCapacity) {
+  RunTracer tracer(4);
+  for (int i = 0; i < 10; ++i) tracer.record(event_at(i));
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.evicted(), 6u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest 4, still chronological.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].at, 6 + i);
+}
+
+TEST(RunTracer, ClearEmptiesTheRing) {
+  RunTracer tracer(4);
+  tracer.record(event_at(1));
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+class CollectingSink : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { seen.push_back(event); }
+  std::vector<TraceEvent> seen;
+};
+
+TEST(RunTracer, SinkSeesEveryEventIncludingEvicted) {
+  RunTracer tracer(2);
+  CollectingSink sink;
+  tracer.set_sink(&sink);
+  for (int i = 0; i < 7; ++i) tracer.record(event_at(i));
+  ASSERT_EQ(sink.seen.size(), 7u);  // ring kept only 2, the sink got all 7
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(sink.seen[static_cast<std::size_t>(i)].at, i);
+}
+
+// ---- Probe ----
+
+TEST(Probe, NullProbeNeverInvokesTheEventBuilder) {
+  Probe probe;  // both pointers null
+  EXPECT_FALSE(probe.enabled());
+  int builds = 0;
+  probe.trace([&] {
+    ++builds;
+    return TraceEvent{};
+  });
+  // The zero-overhead contract: with no tracer installed the build lambda —
+  // and hence any formatting/allocation inside it — must not run.
+  EXPECT_EQ(builds, 0);
+}
+
+TEST(Probe, MetricsOnlyProbeStillSkipsTraceBuilders) {
+  MetricsRegistry registry;
+  Probe probe{nullptr, &registry};
+  EXPECT_TRUE(probe.enabled());
+  EXPECT_FALSE(probe.tracing());
+  int builds = 0;
+  probe.trace([&] {
+    ++builds;
+    return TraceEvent{};
+  });
+  EXPECT_EQ(builds, 0);
+}
+
+TEST(Probe, TracingProbeRecordsBuiltEvents) {
+  RunTracer tracer;
+  Probe probe{&tracer, nullptr};
+  probe.trace([] { return TraceEvent{.kind = EventKind::kCrash, .at = 5, .process = 2}; });
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.events()[0].kind, EventKind::kCrash);
+  EXPECT_EQ(tracer.events()[0].process, 2);
+}
+
+// ---- message_label fallback ----
+
+struct PlainPayload {
+  int x = 0;
+};
+
+TEST(MessageLabel, FallsBackForUnnamedTypes) {
+  EXPECT_STREQ(message_label(PlainPayload{}), "msg");
+  EXPECT_STREQ(message_label(core::Message{core::ProposeMsg{Value{1}}}), "Propose");
+  EXPECT_STREQ(message_label(core::Message{core::OneBMsg{}}), "1B");
+}
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsRegistry, CountersStartAtZeroAndAccumulate) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("x");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(registry.counter_value("x"), 42u);
+  EXPECT_EQ(registry.counter_value("never-registered"), 0u);
+}
+
+TEST(MetricsRegistry, CounterReferencesStayStableAcrossRegistrations) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("a");
+  a.add();
+  for (int i = 0; i < 100; ++i) registry.counter("other-" + std::to_string(i));
+  a.add();  // must still point at live storage
+  EXPECT_EQ(registry.counter_value("a"), 2u);
+  EXPECT_EQ(&a, &registry.counter("a"));
+}
+
+TEST(MetricsRegistry, CounterCellWritesAreVisible) {
+  MetricsRegistry registry;
+  std::uint64_t* cell = registry.counter("raw").cell();
+  *cell += 7;
+  EXPECT_EQ(registry.counter_value("raw"), 7u);
+}
+
+TEST(MetricsRegistry, HistogramsRecordSamples) {
+  MetricsRegistry registry;
+  util::Summary& h = registry.histogram("lat");
+  for (double x : {1.0, 2.0, 3.0, 4.0}) h.add(x);
+  EXPECT_EQ(registry.histograms().at("lat").count(), 4u);
+  EXPECT_DOUBLE_EQ(registry.histogram("lat").mean(), 2.5);
+}
+
+TEST(MetricsRegistry, ResetClearsEverything) {
+  MetricsRegistry registry;
+  registry.counter("c").add(3);
+  registry.histogram("h").add(1.0);
+  registry.reset();
+  EXPECT_EQ(registry.counter_value("c"), 0u);
+  EXPECT_EQ(registry.histogram("h").count(), 0u);
+}
+
+TEST(MetricsRegistry, JsonOutputIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("net.sent.Propose").add(6);
+  registry.counter("decisions.fast").add();
+  registry.histogram("decision_latency").add(200.0);
+  registry.histogram("decision_latency").add(300.0);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"net.sent.Propose\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("decision_latency"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyRegistryJsonIsWellFormed) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(is_valid_json(registry.to_json())) << registry.to_json();
+}
+
+// ---- exporters ----
+
+RunTracer make_sample_trace() {
+  RunTracer tracer;
+  tracer.record({EventKind::kProposal, 0, 0, consensus::kNoProcess, -1, Value{100}, "", 0});
+  tracer.record({EventKind::kMessageSend, 0, 0, 1, -1, {}, "Propose", 1});
+  tracer.record({EventKind::kMessageDeliver, 100, 1, 0, -1, {}, "Propose", 1});
+  tracer.record({EventKind::kBallotStart, 200, 1, consensus::kNoProcess, 4, {}, "", 0});
+  tracer.record({EventKind::kSelectionVerdict, 300, 1, consensus::kNoProcess, 4, Value{100},
+                 "own_initial", 0});
+  tracer.record({EventKind::kBallotStart, 500, 1, consensus::kNoProcess, 7, {}, "", 0});
+  tracer.record({EventKind::kDecision, 600, 1, consensus::kNoProcess, 7, Value{100}, "slow", 0});
+  return tracer;
+}
+
+TEST(Export, JsonlEveryLineParses) {
+  const RunTracer tracer = make_sample_trace();
+  std::ostringstream os;
+  write_jsonl(tracer, os);
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    EXPECT_TRUE(is_valid_json(line)) << line;
+  }
+  EXPECT_EQ(lines, 7);
+}
+
+TEST(Export, ChromeTraceIsOneValidJsonObject) {
+  const RunTracer tracer = make_sample_trace();
+  std::ostringstream os;
+  write_chrome_trace(tracer, os);
+  const std::string json = os.str();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Ballot spans: ballot 4 opens with "B" and is closed (by ballot 7 or the
+  // trace end), so both phase kinds must appear.
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  // Process metadata names the tracks.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+TEST(Export, FormatEventIsHumanReadable) {
+  TraceEvent e{EventKind::kDecision, 200, 2, consensus::kNoProcess, 0, Value{102}, "fast", 0};
+  const std::string line = format_event(e);
+  EXPECT_NE(line.find("t=200"), std::string::npos) << line;
+  EXPECT_NE(line.find("p2"), std::string::npos);
+  EXPECT_NE(line.find("decision"), std::string::npos);
+  EXPECT_NE(line.find("fast"), std::string::npos);
+  EXPECT_NE(line.find("102"), std::string::npos);
+}
+
+// ---- end-to-end: probe through a simulated run ----
+
+TEST(ObsEndToEnd, FastPathRunEmitsExpectedEventsAndMetrics) {
+  RunTracer tracer;
+  MetricsRegistry metrics;
+  const Probe probe{&tracer, &metrics};
+
+  // Task mode at the bound n = 3 (e = 1, f = 1), failure-free, proposals
+  // 100+p with p2's maximal value delivered first: p2 decides on the fast
+  // path at 2Δ, everyone else learns.
+  const consensus::SystemConfig cfg{3, 1, 1};
+  auto runner = harness::make_core_runner(cfg, core::Mode::kTask, 100,
+                                          core::SelectionPolicy::kPaper, 1, probe);
+  consensus::SyncScenario s;
+  for (int p = 2; p >= 0; --p) s.proposals.push_back({p, Value{100 + p}});
+  runner->run(s);
+  ASSERT_TRUE(runner->monitor().safe());
+
+  // Metrics: one fast decision (p2), two learned (p0, p1), no slow ones.
+  EXPECT_EQ(metrics.counter_value("decisions.fast"), 1u);
+  EXPECT_EQ(metrics.counter_value("decisions.learned"), 2u);
+  EXPECT_EQ(metrics.counter_value("decisions.slow"), 0u);
+  EXPECT_EQ(metrics.counter_value("proposals"), 3u);
+  // Every proposer broadcasts Propose to the other two.
+  EXPECT_EQ(metrics.counter_value("net.sent.Propose"), 6u);
+  EXPECT_EQ(metrics.counter_value("net.sent.Decide"), 2u);
+  EXPECT_GT(metrics.counter_value("sim.events"), 0u);
+  EXPECT_EQ(metrics.histograms().at("decision_latency").count(), 3u);
+
+  // Event stream: the first decision is p2's fast one, and a fast_vote
+  // transition precedes it (someone voted for p2's proposal).
+  const auto events = tracer.events();
+  ASSERT_FALSE(events.empty());
+  const TraceEvent* first_decision = nullptr;
+  bool saw_fast_vote_before_decision = false;
+  for (const auto& e : events) {
+    if (!first_decision && e.kind == EventKind::kPhaseTransition &&
+        std::string(e.label) == "fast_vote")
+      saw_fast_vote_before_decision = true;
+    if (e.kind == EventKind::kDecision && !first_decision) first_decision = &e;
+  }
+  ASSERT_NE(first_decision, nullptr);
+  EXPECT_STREQ(first_decision->label, "fast");
+  EXPECT_EQ(first_decision->process, 2);
+  EXPECT_EQ(first_decision->value, Value{102});
+  EXPECT_EQ(first_decision->at, 200);  // 2Δ
+  EXPECT_TRUE(saw_fast_vote_before_decision);
+
+  // Proposals are traced for every process.
+  int proposals = 0;
+  for (const auto& e : events)
+    if (e.kind == EventKind::kProposal) ++proposals;
+  EXPECT_EQ(proposals, 3);
+
+  // Chronological ordering of the retained stream.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].at, events[i].at);
+
+  // The whole run exports to valid JSON in both formats.
+  std::ostringstream chrome;
+  write_chrome_trace(tracer, chrome);
+  EXPECT_TRUE(is_valid_json(chrome.str()));
+  std::ostringstream jsonl;
+  write_jsonl(tracer, jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  while (std::getline(lines, line)) EXPECT_TRUE(is_valid_json(line)) << line;
+}
+
+TEST(ObsEndToEnd, SlowPathRunCountsBallotsAndSelectionBranches) {
+  RunTracer tracer;
+  MetricsRegistry metrics;
+  const Probe probe{&tracer, &metrics};
+
+  // Crash the would-be fast proposer's voters: with p0 crashed and only p0
+  // proposing... instead: crash p2 and give only p0 a proposal in object
+  // mode at n = 4 (e = 1, f = 1) — wait, keep it simple: task mode with the
+  // only proposal held by a crashed process forces ballot recovery.
+  const consensus::SystemConfig cfg{3, 1, 1};
+  auto runner = harness::make_core_runner(cfg, core::Mode::kTask, 100,
+                                          core::SelectionPolicy::kPaper, 1, probe);
+  consensus::SyncScenario s;
+  s.crashes = {2};
+  s.proposals = {{0, Value{100}}, {1, Value{101}}};
+  runner->run(s);
+  ASSERT_TRUE(runner->monitor().safe());
+
+  EXPECT_GT(metrics.counter_value("ballots.started"), 0u);
+  EXPECT_GT(metrics.counter_value("crashes"), 0u);
+  EXPECT_GT(metrics.counter_value("timers.fired"), 0u);
+  // Some selection branch fired for every 2A the recovery leader sent.
+  std::uint64_t selections = 0;
+  for (const auto& [name, counter] : metrics.counters())
+    if (name.rfind("selection.", 0) == 0) selections += counter.value();
+  EXPECT_GT(selections, 0u);
+
+  bool saw_ballot_start = false;
+  bool saw_selection = false;
+  for (const auto& e : tracer.events()) {
+    saw_ballot_start |= e.kind == EventKind::kBallotStart;
+    saw_selection |= e.kind == EventKind::kSelectionVerdict;
+  }
+  EXPECT_TRUE(saw_ballot_start);
+  EXPECT_TRUE(saw_selection);
+}
+
+TEST(ObsEndToEnd, DisabledProbeProducesNoMetricsOrEvents) {
+  // A run with a default probe must leave a registry untouched (it is not
+  // attached) and record nothing — the configuration every tier-1 test and
+  // benchmark runs in.
+  const consensus::SystemConfig cfg{3, 1, 1};
+  auto runner = harness::make_core_runner(cfg, core::Mode::kTask, 100);
+  consensus::SyncScenario s;
+  for (int p = 0; p < 3; ++p) s.proposals.push_back({p, Value{100 + p}});
+  runner->run(s);
+  EXPECT_TRUE(runner->monitor().safe());
+}
+
+}  // namespace
+}  // namespace twostep::obs

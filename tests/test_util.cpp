@@ -133,6 +133,29 @@ TEST(Summary, StddevKnownValue) {
   EXPECT_NEAR(s.stddev(), 2.138, 0.001);
 }
 
+TEST(Summary, SingleSamplePercentiles) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, PercentileClampsOutOfRangeQuantiles) {
+  Summary s;
+  for (double x : {5.0, 1.0, 3.0}) s.add(x);
+  // q <= 0 returns the minimum, q >= 1 the maximum — even beyond [0, 1].
+  EXPECT_DOUBLE_EQ(s.percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(2.0), 5.0);
+}
+
 TEST(Summary, AddAfterPercentileQuery) {
   Summary s;
   s.add(1.0);

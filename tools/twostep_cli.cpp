@@ -5,9 +5,18 @@
 //
 //   twostep_cli run --protocol task|object|paxos|fastpaxos --e E --f F
 //              [--n N] [--model sync|ps|wan] [--seed S]
-//              [--crash P[,P...]] [--propose P=V[,P=V...]] [--trace]
+//              [--crash P[,P...]] [--propose P=V[,P=V...]]
+//              [--trace] [--trace-out FILE] [--metrics-out FILE]
 //       Execute one consensus instance on the simulator and report the
 //       per-process decisions, two-step verdicts and safety.
+//       --trace        print the structured event stream (obs::RunTracer)
+//                      after the run, one "[t=..] p.. ..." line per event.
+//       --trace-out F  write the same events as Chrome trace-event JSON;
+//                      load F in ui.perfetto.dev or chrome://tracing to see
+//                      each process as a track and ballots as spans.
+//       --metrics-out F  write the run's MetricsRegistry (message counts by
+//                      type, fast/slow decisions, ballots, selection-branch
+//                      frequencies, decision-latency percentiles) as JSON.
 //
 //   twostep_cli attack --target task|object|fastpaxos --e E --f F
 //       Replay the Appendix B lower-bound construction below the target's
@@ -19,6 +28,7 @@
 //       Hunt for Agreement violations with random schedules.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,6 +37,10 @@
 #include "harness/runners.hpp"
 #include "lowerbound/scenarios.hpp"
 #include "modelcheck/explorer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -118,10 +132,24 @@ std::unique_ptr<net::LatencyModel> make_model(const std::string& name, int n) {
   return std::make_unique<net::SynchronousRounds>(delta);
 }
 
+/// Writes `body(os)` to `path`; reports and returns false on I/O failure.
+template <typename Body>
+bool write_file(const std::string& path, Body&& body) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  body(os);
+  return os.good();
+}
+
 template <typename Runner>
-int report_run(Runner& runner, const SystemConfig& cfg, const Args& args) {
+int report_run(Runner& runner, const SystemConfig& cfg, const Args& args,
+               obs::RunTracer* tracer, obs::MetricsRegistry* metrics) {
   auto& cluster = runner.cluster();
-  if (args.has("trace")) cluster.network().enable_trace();
+  // Prefix any TWOSTEP_LOG output produced during the run with virtual time.
+  util::ScopedLogClock log_clock([&cluster] { return cluster.now(); });
   for (const int p : parse_int_list(args.get("crash"))) cluster.crash(p);
   cluster.start_all();
   auto proposals = parse_proposals(args.get("propose"));
@@ -149,6 +177,24 @@ int report_run(Runner& runner, const SystemConfig& cfg, const Args& args) {
                                   : runner.monitor().violations().front().c_str());
   std::printf("messages: %zu sent, %zu delivered\n", cluster.network().messages_sent(),
               cluster.network().messages_delivered());
+
+  if (tracer && args.has("trace")) {
+    std::printf("\ntrace (%llu events recorded, %zu retained):\n",
+                static_cast<unsigned long long>(tracer->recorded()), tracer->size());
+    for (const auto& event : tracer->events())
+      std::printf("%s\n", obs::format_event(event).c_str());
+  }
+  if (tracer && args.has("trace-out")) {
+    const std::string path = args.get("trace-out");
+    if (!write_file(path, [&](std::ostream& os) { obs::write_chrome_trace(*tracer, os); }))
+      return 1;
+    std::printf("trace written to %s (load in ui.perfetto.dev)\n", path.c_str());
+  }
+  if (metrics && args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out");
+    if (!write_file(path, [&](std::ostream& os) { metrics->write_json(os); })) return 1;
+    std::printf("metrics written to %s\n", path.c_str());
+  }
   return runner.monitor().safe() ? 0 : 2;
 }
 
@@ -173,21 +219,36 @@ int cmd_run(const Args& args) {
   std::printf("protocol=%s n=%d e=%d f=%d model=%s seed=%llu\n\n", protocol.c_str(), n, e, f,
               args.get("model", "sync").c_str(), static_cast<unsigned long long>(seed));
 
+  // Observability: a tracer when any trace output is requested, a registry
+  // when metrics are; with neither flag the probe stays null and the run is
+  // uninstrumented.
+  obs::RunTracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::Probe probe;
+  const bool want_trace = args.has("trace") || args.has("trace-out");
+  const bool want_metrics = args.has("metrics-out");
+  if (want_trace) probe.tracer = &tracer;
+  if (want_metrics) probe.metrics = &metrics;
+
   auto model = make_model(args.get("model", "sync"), n);
+  obs::RunTracer* tracer_out = want_trace ? &tracer : nullptr;
+  obs::MetricsRegistry* metrics_out = want_metrics ? &metrics : nullptr;
   if (protocol == "task" || protocol == "object") {
     const auto mode = protocol == "task" ? core::Mode::kTask : core::Mode::kObject;
-    auto runner = harness::make_core_runner_with_model(cfg, mode, std::move(model), seed);
-    return report_run(*runner, cfg, args);
+    auto runner =
+        harness::make_core_runner_with_model(cfg, mode, std::move(model), seed, probe);
+    return report_run(*runner, cfg, args, tracer_out, metrics_out);
   }
   if (protocol == "fastpaxos") {
-    auto runner = harness::make_fastpaxos_runner_with_model(cfg, std::move(model), seed);
-    return report_run(*runner, cfg, args);
+    auto runner = harness::make_fastpaxos_runner_with_model(cfg, std::move(model), seed, probe);
+    return report_run(*runner, cfg, args, tracer_out, metrics_out);
   }
   if (protocol == "paxos") {
     paxos::Options options;
     options.delta = model->delta();
+    options.probe = probe;
     auto runner = std::make_unique<harness::PaxosRunner>(cfg, std::move(model), options, seed);
-    return report_run(*runner, cfg, args);
+    return report_run(*runner, cfg, args, tracer_out, metrics_out);
   }
   std::fprintf(stderr, "unknown protocol '%s'\n", protocol.c_str());
   return 1;
