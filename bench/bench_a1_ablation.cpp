@@ -5,6 +5,10 @@
 // scenarios that target each ingredient and (b) the schedule fuzzer at the
 // protocol's tight bound.  The paper rule survives everything; every mutant
 // is caught.
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "lowerbound/scenarios.hpp"
 #include "modelcheck/direct_drive.hpp"
@@ -57,19 +61,26 @@ void print_tables() {
                  "exclusion scenario (object n=5)", "fuzzer @ bound"});
   t.set_title("A1 — selection-rule ablation: scripted scenarios + fuzzing");
 
-  const SelectionPolicy policies[] = {
+  const std::vector<SelectionPolicy> policies = {
       SelectionPolicy::kPaper, SelectionPolicy::kNoProposerExclusion,
       SelectionPolicy::kNoMaxTieBreak, SelectionPolicy::kNoThresholdBranch};
-  for (const SelectionPolicy policy : policies) {
-    const auto tie = lowerbound::task_at_bound_with_policy(2, 2, policy);
-    const auto excl = lowerbound::object_exclusion_ablation(policy);
-    const long fuzz_traces = fuzz_policy(policy, 8000);
-    t.add_row({policy_name(policy),
-               tie.agreement_violated ? "VIOLATED" : "safe",
-               excl.agreement_violated ? "VIOLATED" : "safe",
-               fuzz_traces == 0 ? std::string("no violation")
-                                : "violated after " + std::to_string(fuzz_traces) + " traces"});
-  }
+  // One task per policy (the outer parallelism); the fuzz inside each task
+  // stays single-threaded so worker counts do not multiply.
+  const auto rows = twostep::bench::sweep_rows<std::vector<std::string>>(
+      policies.size(), [&policies](std::size_t i) {
+        const SelectionPolicy policy = policies[i];
+        const auto tie = lowerbound::task_at_bound_with_policy(2, 2, policy);
+        const auto excl = lowerbound::object_exclusion_ablation(policy);
+        const long fuzz_traces = fuzz_policy(policy, 8000);
+        return std::vector<std::string>{
+            policy_name(policy),
+            tie.agreement_violated ? "VIOLATED" : "safe",
+            excl.agreement_violated ? "VIOLATED" : "safe",
+            fuzz_traces == 0
+                ? std::string("no violation")
+                : "violated after " + std::to_string(fuzz_traces) + " traces"};
+      });
+  for (const auto& row : rows) t.add_row(row);
   twostep::bench::emit(t);
 }
 

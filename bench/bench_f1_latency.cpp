@@ -10,6 +10,9 @@
 // holding the maximum proposal with top delivery priority) in an E-faulty
 // synchronous run with E = {p0..p_{k-1}}.  A second table reports message
 // counts for the same runs.
+#include <string>
+#include <vector>
+
 #include "bench_support.hpp"
 
 namespace {
@@ -90,20 +93,36 @@ void print_tables() {
   util::Table m({"protocol", "n", "k=0 msgs", "k=1", "k=2"});
   m.set_title("F1b — messages sent in the same runs");
 
-  for (const auto& name : protocols) {
-    std::vector<std::string> lat_row = {name, std::to_string(protocol_n(name))};
-    std::vector<std::string> msg_row = lat_row;
-    for (int k = 0; k <= kE; ++k) {
-      // Opt-in per-run metrics dump (TWOSTEP_BENCH_METRICS=1).
-      obs::MetricsRegistry registry;
-      const RunResult r = run_protocol(
-          name, k, twostep::bench::metrics_enabled() ? &registry : nullptr);
-      twostep::bench::emit_metrics(name + " k=" + std::to_string(k), registry);
-      lat_row.push_back(r.latency_delta < 0 ? "-" : util::Table::num(r.latency_delta, 0));
-      msg_row.push_back(std::to_string(r.messages));
-    }
-    t.add_row(lat_row);
-    m.add_row(msg_row);
+  // One task per protocol; each task owns a private MetricsRegistry, and
+  // the registries are merged/emitted after the join so stdout stays
+  // deterministic under any TWOSTEP_BENCH_JOBS.
+  struct ProtocolRows {
+    std::vector<std::string> lat_row, msg_row;
+    obs::MetricsRegistry merged;
+  };
+  const auto results = twostep::bench::sweep_rows<ProtocolRows>(
+      protocols.size(), [&protocols](std::size_t i) {
+        const std::string& name = protocols[i];
+        ProtocolRows out;
+        out.lat_row = {name, std::to_string(protocol_n(name))};
+        out.msg_row = out.lat_row;
+        for (int k = 0; k <= kE; ++k) {
+          // Opt-in per-run metrics dump (TWOSTEP_BENCH_METRICS=1).
+          obs::MetricsRegistry registry;
+          const RunResult r = run_protocol(
+              name, k, twostep::bench::metrics_enabled() ? &registry : nullptr);
+          out.merged.merge(registry);
+          out.lat_row.push_back(r.latency_delta < 0 ? "-"
+                                                    : util::Table::num(r.latency_delta, 0));
+          out.msg_row.push_back(std::to_string(r.messages));
+        }
+        return out;
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    twostep::bench::emit_metrics(protocols[i] + " k<=" + std::to_string(kE),
+                                 results[i].merged);
+    t.add_row(results[i].lat_row);
+    m.add_row(results[i].msg_row);
   }
   twostep::bench::emit(t);
   twostep::bench::emit(m);

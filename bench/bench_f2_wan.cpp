@@ -7,6 +7,10 @@
 // must hear from 5 regions where the object protocol needs 3.  This bench
 // places replicas in public-cloud regions (one-way latency matrix) and
 // measures the commit latency at each proxy region for a lone proposal.
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "util/stats.hpp"
 
@@ -67,18 +71,34 @@ void print_tables() {
   t.set_title("F2 — WAN commit latency at the proxy, e=2 f=2 (lone proposal, mean over " +
               std::to_string(kSeeds) + " jitter seeds)");
 
+  // One task per proxy region: each returns its own summaries plus its
+  // contribution to the aggregate, merged after the join in proxy order so
+  // the printed statistics match a sequential run exactly.
+  struct ProxyResult {
+    std::vector<std::string> row;
+    util::Summary all_object, all_fast;
+  };
+  const auto results = twostep::bench::sweep_rows<ProxyResult>(
+      static_cast<std::size_t>(n_object), [n_object, n_fast](std::size_t i) {
+        const auto proxy = static_cast<ProcessId>(i);
+        ProxyResult out;
+        util::Summary obj, fp;
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+          obj.add(object_latency(n_object, proxy, seed));
+          fp.add(fastpaxos_latency(n_fast, proxy, seed));
+          out.all_object.add(obj.max());
+          out.all_fast.add(fp.max());
+        }
+        out.row = {kRegion[proxy], util::Table::num(obj.mean(), 0),
+                   util::Table::num(fp.mean(), 0),
+                   util::Table::num(fp.mean() - obj.mean(), 0)};
+        return out;
+      });
   util::Summary all_object, all_fast;
-  for (ProcessId proxy = 0; proxy < n_object; ++proxy) {
-    util::Summary obj, fp;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      obj.add(object_latency(n_object, proxy, seed));
-      fp.add(fastpaxos_latency(n_fast, proxy, seed));
-      all_object.add(obj.max());
-      all_fast.add(fp.max());
-    }
-    t.add_row({kRegion[proxy], util::Table::num(obj.mean(), 0),
-               util::Table::num(fp.mean(), 0),
-               util::Table::num(fp.mean() - obj.mean(), 0)});
+  for (const ProxyResult& r : results) {
+    t.add_row(r.row);
+    all_object.merge(r.all_object);
+    all_fast.merge(r.all_fast);
   }
   twostep::bench::emit(t);
 

@@ -9,6 +9,11 @@
 //   decide-then-crash  the proposer decides and crashes mid-Decide: the
 //                      survivors re-derive the decided value
 // The reported latency is the survivors' decision time in Δ (fast path = 2).
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "lowerbound/scenarios.hpp"
 

@@ -9,6 +9,10 @@
 // Table 2: EPaxos at its classical operating point (n=5 = 2f+1): two-delay
 // fast-path ratio and commit latency as the fraction of interfering
 // commands grows — the crossover that motivates leaderless designs.
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "consensus/cluster.hpp"
 #include "epaxos/epaxos.hpp"

@@ -5,10 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "consensus/types.hpp"
+#include "exec/parallel_sweep.hpp"
 #include "harness/runners.hpp"
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
@@ -33,6 +39,25 @@ inline bool metrics_enabled() {
 inline void emit_metrics(const std::string& name, const obs::MetricsRegistry& registry) {
   if (!metrics_enabled()) return;
   std::printf("metrics[%s] %s\n", name.c_str(), registry.to_json().c_str());
+}
+
+/// Worker threads for table generation: the TWOSTEP_BENCH_JOBS environment
+/// variable, defaulting to 0 (= all hardware threads).  Tables are
+/// byte-identical for any value — see exec::parallel_sweep.
+inline int bench_jobs() {
+  const char* v = std::getenv("TWOSTEP_BENCH_JOBS");
+  return v != nullptr && *v != '\0' ? std::atoi(v) : 0;
+}
+
+/// Computes `count` independent results (typically table rows) across
+/// bench_jobs() workers and returns them in index order, so emitted tables
+/// do not depend on thread count or scheduling.
+template <typename Result, typename Fn>
+inline std::vector<Result> sweep_rows(std::size_t count, Fn&& fn) {
+  exec::SweepOptions options;
+  options.jobs = bench_jobs();
+  return exec::parallel_sweep<Result>(
+      count, [&fn](const exec::SweepTask& task) { return fn(task.index); }, options);
 }
 
 /// Canonical all-distinct proposal layout: p proposes 100+p, except the

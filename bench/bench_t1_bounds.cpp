@@ -8,6 +8,10 @@
 //   * "broken@n-1" — one process below the bound, the Appendix B splicing
 //                 attack produces a concrete Agreement violation (where the
 //                 attack's side conditions apply).
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "consensus/twostep_eval.hpp"
 #include "lowerbound/scenarios.hpp"
@@ -53,29 +57,39 @@ void print_tables() {
                  "fast paxos n=max{2e+f+1,2f+1}", "paxos n=2f+1 (e=0 only)"});
   t.set_title("T1 — minimal processes for f-resilient e-two-step consensus");
 
-  for (int e = 1; e <= 3; ++e) {
-    for (int f = e; f <= 4; ++f) {
-      const int nt = SystemConfig::min_processes_task(e, f);
-      const int no = SystemConfig::min_processes_object(e, f);
-      const int nf = SystemConfig::min_processes_fast_paxos(e, f);
-      if (nf > 9) continue;  // keep exhaustive crash-set sweeps tractable
+  std::vector<std::pair<int, int>> configs;
+  for (int e = 1; e <= 3; ++e)
+    for (int f = e; f <= 4; ++f)
+      if (SystemConfig::min_processes_fast_paxos(e, f) <= 9)  // keep sweeps tractable
+        configs.emplace_back(e, f);
 
-      const bool task_attack = f >= 2 && 2 * e >= f + 2;
-      const bool object_attack = f >= 2 && 2 * e >= f + 3;
-      const bool task_broken =
-          task_attack && lowerbound::task_below_bound_violation(e, f).agreement_violated;
-      const bool object_broken =
-          object_attack && lowerbound::object_below_bound_violation(e, f).agreement_violated;
-      const bool fp_broken =
-          lowerbound::fastpaxos_below_bound_violation(e, f).agreement_violated;
+  // Every (e, f) point is independent: compute the rows across
+  // TWOSTEP_BENCH_JOBS workers, emit in deterministic order.
+  const auto rows = twostep::bench::sweep_rows<std::vector<std::string>>(
+      configs.size(), [&configs](std::size_t i) {
+        const auto [e, f] = configs[i];
+        const int nt = SystemConfig::min_processes_task(e, f);
+        const int no = SystemConfig::min_processes_object(e, f);
+        const int nf = SystemConfig::min_processes_fast_paxos(e, f);
 
-      t.add_row({std::to_string(e), std::to_string(f),
-                 verdict(nt, task_ok_at(e, f, nt), task_attack, task_broken),
-                 verdict(no, object_ok_at(e, f, no), object_attack, object_broken),
-                 verdict(nf, fastpaxos_ok_at(e, f, nf), true, fp_broken),
-                 std::to_string(2 * f + 1)});
-    }
-  }
+        const bool task_attack = f >= 2 && 2 * e >= f + 2;
+        const bool object_attack = f >= 2 && 2 * e >= f + 3;
+        const bool task_broken =
+            task_attack && lowerbound::task_below_bound_violation(e, f).agreement_violated;
+        const bool object_broken =
+            object_attack &&
+            lowerbound::object_below_bound_violation(e, f).agreement_violated;
+        const bool fp_broken =
+            lowerbound::fastpaxos_below_bound_violation(e, f).agreement_violated;
+
+        return std::vector<std::string>{
+            std::to_string(e), std::to_string(f),
+            verdict(nt, task_ok_at(e, f, nt), task_attack, task_broken),
+            verdict(no, object_ok_at(e, f, no), object_attack, object_broken),
+            verdict(nf, fastpaxos_ok_at(e, f, nf), true, fp_broken),
+            std::to_string(2 * f + 1)};
+      });
+  for (const auto& row : rows) t.add_row(row);
   twostep::bench::emit(t);
 }
 

@@ -5,6 +5,10 @@
 // runs the same sweep one process below the bound: the obligations still
 // hold there — the lower bound manifests as a safety violation under
 // asynchrony (see T4), which is the paper's key subtlety.
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "consensus/twostep_eval.hpp"
 
@@ -33,12 +37,16 @@ void print_tables() {
                  "item1 @ n-1", "item2 @ n-1"});
   t.set_title("T2 — Definition 4 obligations for the task protocol");
   const std::vector<std::pair<int, int>> configs = {{1, 1}, {1, 2}, {2, 2}, {1, 3}, {2, 3}};
-  for (const auto& [e, f] : configs) {
-    const int n = SystemConfig::min_processes_task(e, f);
-    t.add_row({std::to_string(e), std::to_string(f), std::to_string(n),
-               cell(run_item(e, f, n, 1)), cell(run_item(e, f, n, 2)),
-               cell(run_item(e, f, n - 1, 1)), cell(run_item(e, f, n - 1, 2))});
-  }
+  const auto rows = twostep::bench::sweep_rows<std::vector<std::string>>(
+      configs.size(), [&configs](std::size_t i) {
+        const auto [e, f] = configs[i];
+        const int n = SystemConfig::min_processes_task(e, f);
+        return std::vector<std::string>{
+            std::to_string(e), std::to_string(f), std::to_string(n),
+            cell(run_item(e, f, n, 1)), cell(run_item(e, f, n, 2)),
+            cell(run_item(e, f, n - 1, 1)), cell(run_item(e, f, n - 1, 2))};
+      });
+  for (const auto& row : rows) t.add_row(row);
   twostep::bench::emit(t);
 }
 

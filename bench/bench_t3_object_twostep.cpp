@@ -1,6 +1,10 @@
 // T3 — Object two-step obligation matrix (Definition A.1 at the Theorem 6
 // bound), including the e=2, f=2 point where the object protocol runs with
 // one process fewer than the task protocol.
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "consensus/twostep_eval.hpp"
 
@@ -29,12 +33,16 @@ void print_tables() {
                  "item1 (lone proposer)", "item2 (same value)"});
   t.set_title("T3 — Definition A.1 obligations for the object protocol");
   const std::vector<std::pair<int, int>> configs = {{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 3}};
-  for (const auto& [e, f] : configs) {
-    const int n = SystemConfig::min_processes_object(e, f);
-    t.add_row({std::to_string(e), std::to_string(f), std::to_string(n),
-               std::to_string(SystemConfig::min_processes_task(e, f)),
-               cell(run_item(e, f, n, 1)), cell(run_item(e, f, n, 2))});
-  }
+  const auto rows = twostep::bench::sweep_rows<std::vector<std::string>>(
+      configs.size(), [&configs](std::size_t i) {
+        const auto [e, f] = configs[i];
+        const int n = SystemConfig::min_processes_object(e, f);
+        return std::vector<std::string>{
+            std::to_string(e), std::to_string(f), std::to_string(n),
+            std::to_string(SystemConfig::min_processes_task(e, f)),
+            cell(run_item(e, f, n, 1)), cell(run_item(e, f, n, 2))};
+      });
+  for (const auto& row : rows) t.add_row(row);
   twostep::bench::emit(t);
 }
 

@@ -1,0 +1,108 @@
+// Deterministic parallel execution of independent experiment tasks.
+//
+// parallel_sweep(count, fn) evaluates fn for task indices 0..count-1 across
+// a thread pool and returns the results in task-index order.  Determinism
+// contract: each task receives a private seed derived as
+// splitmix64(base_seed, index) — never a share of one sequential RNG stream
+// — so the result vector is byte-identical for ANY number of jobs,
+// including 1 (which runs inline, without threads).  Exceptions thrown by
+// tasks are captured and rethrown after the join, lowest index first.
+//
+// FirstHit supports "first violation wins" early stopping (the fuzzer): the
+// winner is the LOWEST task index that records a hit, not the first in wall
+// time.  A task may abandon work only when a STRICTLY LOWER index has
+// already hit (obsolete()); tasks below the eventual winner therefore always
+// run to completion and the reduced result stays independent of thread
+// count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace twostep::exec {
+
+struct SweepOptions {
+  int jobs = 0;                 ///< worker threads; <= 0 = all hardware threads
+  std::uint64_t base_seed = 1;  ///< root of every task's derived seed
+};
+
+/// What a sweep task gets handed: its index (== slot in the result vector)
+/// and its private deterministic seed.
+struct SweepTask {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Lowest-index winner for early-stopping sweeps.  All operations are
+/// lock-free and safe to call from any task.
+class FirstHit {
+ public:
+  /// Records a hit at `index`; keeps the minimum across all calls.
+  void record(std::size_t index) noexcept {
+    std::size_t cur = best_.load(std::memory_order_acquire);
+    while (index < cur &&
+           !best_.compare_exchange_weak(cur, index, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// True when a STRICTLY lower index has hit — this task's result can no
+  /// longer be the winner and it may stop early.
+  [[nodiscard]] bool obsolete(std::size_t index) const noexcept {
+    return best_.load(std::memory_order_acquire) < index;
+  }
+
+  [[nodiscard]] std::optional<std::size_t> index() const noexcept {
+    const std::size_t v = best_.load(std::memory_order_acquire);
+    return v == kNone ? std::nullopt : std::optional<std::size_t>{v};
+  }
+
+ private:
+  static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::atomic<std::size_t> best_{kNone};
+};
+
+/// Runs `fn(SweepTask) -> Result` for indices [0, count) and returns the
+/// results in index order.  See the header comment for the determinism
+/// contract.
+template <typename Result, typename Fn>
+std::vector<Result> parallel_sweep(std::size_t count, Fn&& fn,
+                                   const SweepOptions& options = {}) {
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+
+  auto task_for = [&options](std::size_t i) {
+    return SweepTask{i, util::splitmix64(options.base_seed, static_cast<std::uint64_t>(i))};
+  };
+
+  const int jobs = resolve_jobs(options.jobs);
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(task_for(i));
+    return results;
+  }
+
+  std::vector<std::exception_ptr> errors(count);
+  ThreadPool pool{static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), count))};
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      try {
+        results[i] = fn(task_for(i));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
+
+}  // namespace twostep::exec

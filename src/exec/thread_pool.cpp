@@ -1,0 +1,100 @@
+#include "exec/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace twostep::exec {
+
+int resolve_jobs(int requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_jobs(threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  if (!task) throw std::invalid_argument("ThreadPool: empty task");
+  const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(workers_[slot]->mu);
+    workers_[slot]->queue.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // Own queue first (front: FIFO order for locally submitted work) ...
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.queue.empty()) {
+      out = std::move(w.queue.front());
+      w.queue.pop_front();
+      return true;
+    }
+  }
+  // ... then steal from the back of a sibling, scanning from the right
+  // neighbour so contention spreads instead of piling on worker 0.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& w = *workers_[(self + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.queue.empty()) {
+      out = std::move(w.queue.back());
+      w.queue.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Task task;
+    if (try_pop(self, task)) {
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      task = nullptr;  // destroy captured state before reporting idle
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace twostep::exec

@@ -1,0 +1,82 @@
+// A small work-stealing thread pool for independent experiment tasks.
+//
+// Every large workload in this repository — bound-table sweeps, the
+// schedule fuzzer, the lower-bound scenario grid — decomposes into many
+// independent tasks (one per table row / trace chunk / (e, f) point).  The
+// pool exists to run those across cores; it deliberately does NOT try to be
+// a general-purpose scheduler: tasks may not block on each other, and
+// determinism of results is the caller's responsibility (see
+// parallel_sweep.hpp, which derives a private RNG seed per task and reduces
+// results in task-index order so output is byte-identical for any thread
+// count).
+//
+// Design: one deque per worker.  submit() distributes round-robin; a worker
+// pops its own deque from the front (FIFO, cache-friendly for chains of
+// related rows) and steals from the back of a sibling's deque when its own
+// runs dry.  All deques are mutex-protected — task granularity here is
+// whole simulated runs (microseconds to seconds), so lock-free deques would
+// buy nothing measurable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace twostep::exec {
+
+/// Resolves a user-facing `--jobs` value: <= 0 means "all hardware
+/// threads" (at least 1).
+int resolve_jobs(int requested) noexcept;
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Starts `threads` workers; <= 0 uses resolve_jobs(0).
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains remaining queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task.  Tasks must not wait on other tasks; exceptions must
+  /// be captured by the task itself (see parallel_sweep).
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing.  The pool is
+  /// reusable afterwards.
+  void wait_idle();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> queue;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Task& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;  ///< workers sleep here when queues are dry
+  std::condition_variable idle_cv_;  ///< wait_idle sleeps here
+
+  std::atomic<std::size_t> queued_{0};     ///< tasks sitting in some deque
+  std::atomic<std::size_t> in_flight_{0};  ///< queued + currently executing
+  std::atomic<std::size_t> next_{0};       ///< round-robin submit cursor
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace twostep::exec

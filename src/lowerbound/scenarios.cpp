@@ -3,10 +3,13 @@
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/two_step.hpp"
+#include "exec/parallel_sweep.hpp"
 #include "fastpaxos/fast_paxos.hpp"
 #include "modelcheck/direct_drive.hpp"
+#include "obs/metrics.hpp"
 
 namespace twostep::lowerbound {
 
@@ -343,6 +346,70 @@ AttackOutcome object_exclusion_ablation(core::SelectionPolicy policy) {
 
   finish(drive, leader, /*fast_decider=*/0, out);
   return out;
+}
+
+std::vector<BoundSweepRow> sweep_bounds(int e_max, int f_max, int jobs,
+                                        obs::MetricsRegistry* metrics) {
+  struct Spec {
+    const char* construction;
+    int e, f;
+    AttackOutcome (*below)(int, int);
+    AttackOutcome (*at)(int, int);
+  };
+  // Enumerate (e, f, construction)-lexicographically; the side conditions
+  // mirror the constructions' documented requirements, so no task throws.
+  // Fast Paxos is additionally gated on 2e >= f: its attack runs at
+  // n = 2e+f and its defense at n = 2e+f+1, which is Lamport's bound only
+  // when that term (not 2f+1) is binding.
+  std::vector<Spec> specs;
+  for (int e = 1; e <= e_max; ++e) {
+    for (int f = e; f <= f_max; ++f) {
+      if (f >= 2 && 2 * e >= f + 2)
+        specs.push_back({"task B.1", e, f, &task_below_bound_violation,
+                         &task_at_bound_defense});
+      if (f >= 2 && 2 * e >= f + 3)
+        specs.push_back({"object B.2", e, f, &object_below_bound_violation,
+                         &object_at_bound_defense});
+      if (2 * e >= f)
+        specs.push_back({"fast paxos", e, f, &fastpaxos_below_bound_violation,
+                         &fastpaxos_at_bound_defense});
+    }
+  }
+
+  struct Partial {
+    BoundSweepRow row;
+    obs::MetricsRegistry metrics;
+  };
+  exec::SweepOptions options;
+  options.jobs = jobs;
+  auto partials = exec::parallel_sweep<Partial>(
+      specs.size(),
+      [&specs](const exec::SweepTask& task) {
+        const Spec& spec = specs[task.index];
+        Partial out;
+        out.row.construction = spec.construction;
+        out.row.e = spec.e;
+        out.row.f = spec.f;
+        out.row.below = spec.below(spec.e, spec.f);
+        out.row.at = spec.at(spec.e, spec.f);
+        out.metrics.counter("lowerbound.attacks").add(1);
+        if (out.row.below.agreement_violated)
+          out.metrics.counter("lowerbound.violations_below").add(1);
+        if (!out.row.at.agreement_violated)
+          out.metrics.counter("lowerbound.defenses_held").add(1);
+        out.metrics.histogram("lowerbound.crashes_used")
+            .add(static_cast<double>(out.row.below.crashes_used));
+        return out;
+      },
+      options);
+
+  std::vector<BoundSweepRow> rows;
+  rows.reserve(partials.size());
+  for (Partial& part : partials) {
+    if (metrics != nullptr) metrics->merge(part.metrics);
+    rows.push_back(std::move(part.row));
+  }
+  return rows;
 }
 
 }  // namespace twostep::lowerbound

@@ -45,6 +45,10 @@
 #include "consensus/types.hpp"
 #include "core/selection.hpp"
 
+namespace twostep::obs {
+class MetricsRegistry;
+}
+
 namespace twostep::lowerbound {
 
 /// Outcome of one adversarial construction.
@@ -77,6 +81,33 @@ AttackOutcome fastpaxos_below_bound_violation(int e, int f);
 
 /// Fast Paxos at n = 2e+f+1 (Lamport's bound): attack defeated.
 AttackOutcome fastpaxos_at_bound_defense(int e, int f);
+
+// ---- Parallel (e, f) grid sweep ----
+
+/// One row of the grid sweep: a construction run both below its bound (the
+/// attack must violate Agreement) and at the bound (the defense must hold).
+struct BoundSweepRow {
+  std::string construction;  ///< "task B.1", "object B.2", "fast paxos"
+  int e = 0;
+  int f = 0;
+  AttackOutcome below;  ///< one process below the bound
+  AttackOutcome at;     ///< at the bound
+  /// True iff the attack violated Agreement below the bound AND the same
+  /// attack shape was defeated at the bound — the paper's "iff" in action.
+  [[nodiscard]] bool as_predicted() const {
+    return below.agreement_violated && !at.agreement_violated;
+  }
+};
+
+/// Runs every applicable Appendix B construction over the grid
+/// 1 <= e <= e_max, e <= f <= f_max across `jobs` worker threads (<= 0: all
+/// hardware threads).  Row order is deterministic and independent of
+/// `jobs`: rows are enumerated (e, f, construction)-lexicographically and
+/// reduced in task-index order.  When `metrics` is non-null each task
+/// records into a private obs::MetricsRegistry (attack counts, crash usage)
+/// and the registries are merged into *metrics after the join.
+std::vector<BoundSweepRow> sweep_bounds(int e_max, int f_max, int jobs = 1,
+                                        obs::MetricsRegistry* metrics = nullptr);
 
 // ---- Ablations (experiment A1): are the novel selection-rule pieces
 // ---- load-bearing?  Each scenario is safe under the paper rule and

@@ -8,13 +8,23 @@
 // instead, which scales to configurations the exhaustive search cannot
 // cover.  Both report the first Agreement/Validity/Integrity violation
 // found, together with the offending schedule, so failures are replayable.
+//
+// The fuzzer shards its trace budget into fixed-size chunks and runs the
+// chunks on an exec::ThreadPool.  Each chunk draws from a private RNG
+// seeded by splitmix64(seed, chunk_index), chunks strictly before the first
+// violating chunk always run to completion, and results are reduced in
+// chunk-index order — so the returned ExploreResult (including the
+// violating schedule) is byte-identical for any `jobs` value.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exec/parallel_sweep.hpp"
 #include "modelcheck/direct_drive.hpp"
 #include "util/rng.hpp"
 
@@ -43,7 +53,10 @@ struct Scenario {
 };
 
 struct ExploreResult {
-  long traces = 0;        ///< complete schedules examined
+  /// Complete schedules examined.  Convention (shared by explore and fuzz):
+  /// a schedule that exhibits a violation IS counted — it was examined, and
+  /// "traces until violation" reads naturally as a 1-based count.
+  long traces = 0;
   long steps = 0;         ///< total actions executed across all replays
   bool violation = false;
   std::string what;              ///< first violation, human-readable
@@ -67,15 +80,17 @@ class Explorer {
       stack.pop_back();
 
       auto drive = make_drive(scenario);
-      const ReplayStatus status = replay(scenario, *drive, schedule, result);
+      const int baseline = setup_crashes(scenario, *drive);
+      const ReplayStatus status = replay(scenario, *drive, baseline, schedule, result);
       if (status == ReplayStatus::kViolation) {
+        ++result.traces;  // the violating schedule counts as examined
         result.violation = true;
         result.what = drive->monitor().violations().front();
         result.schedule = schedule;
         return result;
       }
 
-      const int branching = enabled_actions(scenario, *drive);
+      const int branching = enabled_actions(scenario, *drive, baseline);
       if (branching == 0 || static_cast<int>(schedule.size()) >= scenario.max_depth) {
         ++result.traces;
         continue;
@@ -90,30 +105,47 @@ class Explorer {
     return result;
   }
 
-  /// Random schedule sampling: `traces` runs of up to `max_steps` actions.
+  /// Traces per fuzz shard.  Small enough that `jobs` workers load-balance
+  /// even on short runs, big enough to amortize the submit overhead.
+  static constexpr int kFuzzChunkTraces = 32;
+
+  /// Random schedule sampling: `traces` runs of up to `max_steps` actions,
+  /// sharded across `jobs` worker threads (<= 0: all hardware threads).
+  /// Deterministic for a fixed seed regardless of `jobs` — the reported
+  /// violation is always the one in the lowest-index shard, even when a
+  /// later shard hits first in wall time.
   static ExploreResult fuzz(const Scenario<P>& scenario, int traces, std::uint64_t seed,
-                            int max_steps = 400) {
+                            int max_steps = 400, int jobs = 1) {
     ExploreResult result;
-    util::Rng rng{seed};
-    for (int t = 0; t < traces; ++t) {
-      auto drive = make_drive(scenario);
-      std::vector<int> schedule;
-      for (int s = 0; s < max_steps; ++s) {
-        const int branching = enabled_actions(scenario, *drive);
-        if (branching == 0) break;
-        const int a = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(branching)));
-        schedule.push_back(a);
-        apply(scenario, *drive, a);
-        ++result.steps;
-        if (!drive->monitor().safe()) {
-          result.violation = true;
-          result.what = drive->monitor().violations().front();
-          result.schedule = schedule;
-          result.traces = t + 1;
-          return result;
-        }
+    if (traces <= 0) return result;
+    const std::size_t chunks =
+        (static_cast<std::size_t>(traces) + kFuzzChunkTraces - 1) / kFuzzChunkTraces;
+
+    exec::FirstHit hit;
+    exec::SweepOptions options;
+    options.jobs = jobs;
+    options.base_seed = seed;
+    auto partials = exec::parallel_sweep<ExploreResult>(
+        chunks,
+        [&](const exec::SweepTask& task) {
+          const int begin = static_cast<int>(task.index) * kFuzzChunkTraces;
+          const int count = std::min(kFuzzChunkTraces, traces - begin);
+          return fuzz_chunk(scenario, count, task.seed, max_steps, task.index, hit);
+        },
+        options);
+
+    // Reduce in shard order, stopping at the first violating shard: shards
+    // after it may have been cancelled at thread-count-dependent points, so
+    // their partial counts must not leak into the result.
+    for (ExploreResult& part : partials) {
+      result.traces += part.traces;
+      result.steps += part.steps;
+      if (part.violation) {
+        result.violation = true;
+        result.what = std::move(part.what);
+        result.schedule = std::move(part.schedule);
+        break;
       }
-      ++result.traces;
     }
     return result;
   }
@@ -122,8 +154,9 @@ class Explorer {
   static std::unique_ptr<Drive> replay_schedule(const Scenario<P>& scenario,
                                                 const std::vector<int>& schedule) {
     auto drive = make_drive(scenario);
+    const int baseline = setup_crashes(scenario, *drive);
     ExploreResult scratch;
-    replay(scenario, *drive, schedule, scratch);
+    replay(scenario, *drive, baseline, schedule, scratch);
     return drive;
   }
 
@@ -136,14 +169,57 @@ class Explorer {
     return drive;
   }
 
+  /// Members of may_crash that `setup` already crashed.  The crash budget is
+  /// "on top of crashes done by setup", so this baseline is subtracted when
+  /// deciding whether the explorer may crash further processes.
+  static int setup_crashes(const Scenario<P>& scenario, Drive& drive) {
+    int crashed = 0;
+    for (const consensus::ProcessId p : scenario.may_crash)
+      if (drive.crashed(p)) ++crashed;
+    return crashed;
+  }
+
+  /// One fuzz shard: `count` random traces from a private seed.  Abandons
+  /// remaining traces only when a strictly lower shard has already found a
+  /// violation (its own partial result is then discarded by the reducer).
+  static ExploreResult fuzz_chunk(const Scenario<P>& scenario, int count, std::uint64_t seed,
+                                  int max_steps, std::size_t index, exec::FirstHit& hit) {
+    ExploreResult result;
+    util::Rng rng{seed};
+    for (int t = 0; t < count; ++t) {
+      if (hit.obsolete(index)) return result;
+      auto drive = make_drive(scenario);
+      const int baseline = setup_crashes(scenario, *drive);
+      std::vector<int> schedule;
+      for (int s = 0; s < max_steps; ++s) {
+        const int branching = enabled_actions(scenario, *drive, baseline);
+        if (branching == 0) break;
+        const int a = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(branching)));
+        schedule.push_back(a);
+        apply(scenario, *drive, baseline, a);
+        ++result.steps;
+        if (!drive->monitor().safe()) {
+          result.violation = true;
+          result.what = drive->monitor().violations().front();
+          result.schedule = schedule;
+          ++result.traces;
+          hit.record(index);
+          return result;
+        }
+      }
+      ++result.traces;
+    }
+    return result;
+  }
+
   /// Action space at the current state:
   ///   [0, pool)                     deliver pending message i
   ///   [pool, pool+T)                fire the oldest timer of the j-th
   ///                                 process that has armed timers
   ///   [pool+T, pool+T+C)            crash the j-th eligible victim
-  static int enabled_actions(const Scenario<P>& scenario, Drive& drive) {
+  static int enabled_actions(const Scenario<P>& scenario, Drive& drive, int setup_crashed) {
     return static_cast<int>(drive.pool().size()) + timer_owners(scenario, drive).size() +
-           crash_victims(scenario, drive).size();
+           crash_victims(scenario, drive, setup_crashed).size();
   }
 
   static std::vector<consensus::ProcessId> timer_owners(const Scenario<P>& scenario,
@@ -156,18 +232,20 @@ class Explorer {
   }
 
   static std::vector<consensus::ProcessId> crash_victims(const Scenario<P>& scenario,
-                                                         Drive& drive) {
+                                                         Drive& drive, int setup_crashed) {
     std::vector<consensus::ProcessId> victims;
     int crashed_from_list = 0;
     for (const consensus::ProcessId p : scenario.may_crash)
       if (drive.crashed(p)) ++crashed_from_list;
-    if (crashed_from_list >= scenario.crash_budget) return victims;
+    // Only crashes the explorer itself performed count against the budget;
+    // processes already down after `setup` are the scenario's premise.
+    if (crashed_from_list - setup_crashed >= scenario.crash_budget) return victims;
     for (const consensus::ProcessId p : scenario.may_crash)
       if (!drive.crashed(p)) victims.push_back(p);
     return victims;
   }
 
-  static void apply(const Scenario<P>& scenario, Drive& drive, int action) {
+  static void apply(const Scenario<P>& scenario, Drive& drive, int setup_crashed, int action) {
     const auto pool_size = static_cast<int>(drive.pool().size());
     if (action < pool_size) {
       drive.deliver_index(static_cast<std::size_t>(action));
@@ -180,7 +258,7 @@ class Explorer {
       return;
     }
     action -= static_cast<int>(owners.size());
-    const auto victims = crash_victims(scenario, drive);
+    const auto victims = crash_victims(scenario, drive, setup_crashed);
     if (action < static_cast<int>(victims.size())) {
       const consensus::ProcessId p = victims[static_cast<std::size_t>(action)];
       if (scenario.mid_step_crashes) {
@@ -193,10 +271,10 @@ class Explorer {
     throw std::out_of_range("Explorer: stale action index");
   }
 
-  static ReplayStatus replay(const Scenario<P>& scenario, Drive& drive,
+  static ReplayStatus replay(const Scenario<P>& scenario, Drive& drive, int setup_crashed,
                              const std::vector<int>& schedule, ExploreResult& result) {
     for (const int action : schedule) {
-      apply(scenario, drive, action);
+      apply(scenario, drive, setup_crashed, action);
       ++result.steps;
       if (!drive.monitor().safe()) return ReplayStatus::kViolation;
     }

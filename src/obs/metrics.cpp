@@ -87,6 +87,11 @@ std::string MetricsRegistry::to_json() const {
   return os.str();
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+}
+
 void MetricsRegistry::reset() {
   counters_.clear();
   histograms_.clear();

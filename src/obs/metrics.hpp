@@ -65,6 +65,12 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
 
+  /// Adds every counter and histogram of `other` into this registry
+  /// (creating names on first sight).  Parallel sweeps give each task its
+  /// own registry and merge them after the join, in task-index order, so
+  /// the aggregate is identical to what a single-threaded run would record.
+  void merge(const MetricsRegistry& other);
+
   void reset();
 
  private:

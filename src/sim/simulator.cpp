@@ -28,22 +28,26 @@ bool Simulator::cancel(EventId id) {
   return true;
 }
 
-bool Simulator::pop_next(Entry& out) {
+void Simulator::drain_cancelled_top() const {
   while (!queue_.empty()) {
-    // The action is moved out; Entry::action is mutable because
-    // priority_queue::top() returns a const reference.
-    out.when = queue_.top().when;
-    out.seq = queue_.top().seq;
-    out.action = std::move(queue_.top().action);
-    queue_.pop();
-    const auto it = cancelled_.find(out.seq);
-    if (it == cancelled_.end()) {
-      pending_ids_.erase(out.seq);
-      return true;
-    }
+    const auto it = cancelled_.find(queue_.top().seq);
+    if (it == cancelled_.end()) return;
     cancelled_.erase(it);
+    queue_.pop();
   }
-  return false;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  drain_cancelled_top();
+  if (queue_.empty()) return false;
+  // The action is moved out; Entry::action is mutable because
+  // priority_queue::top() returns a const reference.
+  out.when = queue_.top().when;
+  out.seq = queue_.top().seq;
+  out.action = std::move(queue_.top().action);
+  queue_.pop();
+  pending_ids_.erase(out.seq);
+  return true;
 }
 
 bool Simulator::step() {
@@ -69,19 +73,8 @@ std::size_t Simulator::run_until(Tick deadline, std::size_t max_events) {
   while (n < max_events && !stop_requested_) {
     Entry entry;
     // Peek: do not execute events beyond the deadline.
-    bool found = false;
-    while (!queue_.empty()) {
-      const auto& top = queue_.top();
-      const auto it = cancelled_.find(top.seq);
-      if (it != cancelled_.end()) {
-        cancelled_.erase(it);
-        queue_.pop();
-        continue;
-      }
-      found = true;
-      break;
-    }
-    if (!found || queue_.top().when > deadline) break;
+    drain_cancelled_top();
+    if (queue_.empty() || queue_.top().when > deadline) break;
     entry.when = queue_.top().when;
     entry.seq = queue_.top().seq;
     entry.action = std::move(queue_.top().action);
@@ -98,10 +91,9 @@ std::size_t Simulator::run_until(Tick deadline, std::size_t max_events) {
 }
 
 Tick Simulator::next_event_time() const {
-  // Cancelled entries may sit at the top; we cannot drop them here without
-  // mutating state, so scan a copy-free approximation: the queue top is the
-  // next candidate, which is exact whenever it is not cancelled.  For the
-  // rare cancelled-top case the caller only loses precision, not safety.
+  // Lazily-cancelled entries may sit at the top; drop them first so the
+  // reported time is exactly the next event that will actually execute.
+  drain_cancelled_top();
   if (queue_.empty()) return now_;
   return queue_.top().when;
 }

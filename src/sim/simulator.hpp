@@ -97,8 +97,13 @@ class Simulator {
 
   bool pop_next(Entry& out);
 
-  std::priority_queue<Entry> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Pops lazily-cancelled entries off the queue top.  Shared by pop_next,
+  /// run_until's deadline peek, and next_event_time; logically const (a
+  /// cancelled entry is unobservable), hence the mutable members below.
+  void drain_cancelled_top() const;
+
+  mutable std::priority_queue<Entry> queue_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
   std::unordered_set<std::uint64_t> pending_ids_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 1;

@@ -23,6 +23,18 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Pure two-argument form: hashes (base, index) into an independent 64-bit
+/// seed.  This is how parallel sweeps derive a private Rng per task — the
+/// derived stream depends only on (base, index), never on which worker ran
+/// the task or in what order, which is what makes sharded experiment output
+/// byte-identical for any thread count.
+constexpr std::uint64_t splitmix64(std::uint64_t base, std::uint64_t index) noexcept {
+  std::uint64_t state = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  std::uint64_t mixed = splitmix64(state);
+  // A second round decorrelates adjacent indices of adjacent bases.
+  return splitmix64(mixed);
+}
+
 /// xoshiro256** deterministic generator.  Satisfies the
 /// UniformRandomBitGenerator concept so it can be used with <random>
 /// distributions when needed, although the convenience members below cover

@@ -66,6 +66,14 @@ class Summary {
 
   [[nodiscard]] double median() { return percentile(0.5); }
 
+  /// Absorbs all of `other`'s samples.  Summary queries are order-blind, so
+  /// merging per-worker partials in task-index order yields exactly the
+  /// statistics a sequential run would have produced.
+  void merge(const Summary& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
   void clear() {
     samples_.clear();
     sorted_ = false;

@@ -1,0 +1,199 @@
+// Tests for the exec subsystem: the work-stealing thread pool and the
+// deterministic parallel_sweep harness.  The load-bearing property is the
+// determinism contract — results (including early-stopped sweeps) must be
+// byte-identical for any jobs count — so most tests compare a parallel run
+// against the jobs=1 inline reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/parallel_sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace twostep::exec {
+namespace {
+
+TEST(ThreadPool, ResolveJobsClampsToHardware) {
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_GE(resolve_jobs(-3), 1);
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool{2};
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool{2};
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }  // ~ThreadPool joins after draining
+  EXPECT_EQ(ran.load(), 100);
+}
+
+// ---------- splitmix64 seed derivation ----------
+
+TEST(ParallelSweep, DerivedSeedsAreStableAndDistinct) {
+  // The per-task seed is a pure function of (base, index) — the whole
+  // determinism story rests on this.
+  EXPECT_EQ(util::splitmix64(1, 0), util::splitmix64(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 1; base <= 4; ++base)
+    for (std::uint64_t i = 0; i < 64; ++i) seen.insert(util::splitmix64(base, i));
+  EXPECT_EQ(seen.size(), 4u * 64u);  // no collisions across adjacent indices/bases
+}
+
+// ---------- FirstHit ----------
+
+TEST(FirstHit, KeepsTheLowestRecordedIndex) {
+  FirstHit hit;
+  EXPECT_FALSE(hit.index().has_value());
+  hit.record(7);
+  hit.record(3);
+  hit.record(5);
+  ASSERT_TRUE(hit.index().has_value());
+  EXPECT_EQ(*hit.index(), 3u);
+}
+
+TEST(FirstHit, ObsoleteRequiresStrictlyLowerHit) {
+  FirstHit hit;
+  EXPECT_FALSE(hit.obsolete(0));
+  hit.record(3);
+  EXPECT_FALSE(hit.obsolete(2));  // lower shards keep running...
+  EXPECT_FALSE(hit.obsolete(3));  // ...and so does the winner itself
+  EXPECT_TRUE(hit.obsolete(4));   // only strictly higher shards may stop
+}
+
+// ---------- parallel_sweep ----------
+
+TEST(ParallelSweep, ReturnsResultsInIndexOrder) {
+  SweepOptions options;
+  options.jobs = 4;
+  const auto results = parallel_sweep<std::size_t>(
+      100, [](const SweepTask& task) { return task.index * 2; }, options);
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * 2);
+}
+
+TEST(ParallelSweep, EmptySweepReturnsEmpty) {
+  EXPECT_TRUE(parallel_sweep<int>(0, [](const SweepTask&) { return 1; }).empty());
+}
+
+TEST(ParallelSweep, SeedsMatchTheInlineReference) {
+  // Each task consumes its private RNG; the drawn values must not depend on
+  // the jobs count.
+  auto draw = [](int jobs) {
+    SweepOptions options;
+    options.jobs = jobs;
+    options.base_seed = 42;
+    return parallel_sweep<std::uint64_t>(
+        64,
+        [](const SweepTask& task) {
+          util::Rng rng{task.seed};
+          std::uint64_t acc = 0;
+          for (int i = 0; i < 100; ++i) acc ^= rng();
+          return acc;
+        },
+        options);
+  };
+  EXPECT_EQ(draw(1), draw(8));
+}
+
+TEST(ParallelSweep, RethrowsLowestIndexExceptionAfterJoin) {
+  SweepOptions options;
+  options.jobs = 4;
+  try {
+    parallel_sweep<int>(
+        32,
+        [](const SweepTask& task) {
+          if (task.index == 9 || task.index == 20)
+            throw std::runtime_error("task " + std::to_string(task.index));
+          return 0;
+        },
+        options);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "task 9");  // lowest index wins deterministically
+  }
+}
+
+TEST(ParallelSweep, EarlyStopViaFirstHitStaysDeterministic) {
+  // Simulates the fuzzer's shape: every task can "hit"; the winner must be
+  // the lowest hitting index for any jobs count, and tasks below the winner
+  // must have run to completion.
+  auto run = [](int jobs) {
+    FirstHit hit;
+    SweepOptions options;
+    options.jobs = jobs;
+    struct Part {
+      bool hit = false;
+      int work = 0;
+    };
+    auto parts = parallel_sweep<Part>(
+        40,
+        [&hit](const SweepTask& task) {
+          Part part;
+          for (int step = 0; step < 50; ++step) {
+            if (hit.obsolete(task.index)) return part;
+            ++part.work;
+            if (step == 49 && task.index % 5 == 2) {  // indices 2, 7, 12, ... hit
+              part.hit = true;
+              hit.record(task.index);
+              return part;
+            }
+          }
+          return part;
+        },
+        options);
+    // Reduce exactly as the fuzzer does: stop at the first hitting shard.
+    int total_work = 0;
+    std::size_t winner = parts.size();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      total_work += parts[i].work;
+      if (parts[i].hit) {
+        winner = i;
+        break;
+      }
+    }
+    return std::pair<std::size_t, int>{winner, total_work};
+  };
+  const auto inline_run = run(1);
+  EXPECT_EQ(inline_run.first, 2u);
+  EXPECT_EQ(run(8), inline_run);
+  EXPECT_EQ(run(3), inline_run);
+}
+
+}  // namespace
+}  // namespace twostep::exec

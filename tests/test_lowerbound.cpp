@@ -5,6 +5,7 @@
 
 #include "consensus/types.hpp"
 #include "lowerbound/scenarios.hpp"
+#include "obs/metrics.hpp"
 
 namespace twostep::lowerbound {
 namespace {
@@ -160,6 +161,33 @@ TEST(LowerBoundNarrative, ExplainsTheRun) {
   const AttackOutcome out = task_below_bound_violation(2, 2);
   ASSERT_GE(out.narrative.size(), 5u);
   EXPECT_NE(out.narrative.back().find("AGREEMENT VIOLATED"), std::string::npos);
+}
+
+TEST(BoundSweep, EveryGridPointBehavesAsPredicted) {
+  const auto rows = sweep_bounds(3, 4);
+  EXPECT_FALSE(rows.empty());
+  for (const auto& row : rows)
+    EXPECT_TRUE(row.as_predicted())
+        << row.construction << " e=" << row.e << " f=" << row.f;
+}
+
+TEST(BoundSweep, ParallelSweepMatchesSequential) {
+  obs::MetricsRegistry seq_metrics, par_metrics;
+  const auto seq = sweep_bounds(3, 4, 1, &seq_metrics);
+  const auto par = sweep_bounds(3, 4, 8, &par_metrics);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].construction, par[i].construction);
+    EXPECT_EQ(seq[i].e, par[i].e);
+    EXPECT_EQ(seq[i].f, par[i].f);
+    EXPECT_EQ(seq[i].below.n, par[i].below.n);
+    EXPECT_EQ(seq[i].below.agreement_violated, par[i].below.agreement_violated);
+    EXPECT_EQ(seq[i].below.narrative, par[i].below.narrative);
+    EXPECT_EQ(seq[i].at.agreement_violated, par[i].at.agreement_violated);
+  }
+  // Merged metrics must be order-blind: the two registries render the same.
+  EXPECT_EQ(seq_metrics.to_json(), par_metrics.to_json());
+  EXPECT_EQ(seq_metrics.counter_value("lowerbound.attacks"), seq.size());
 }
 
 }  // namespace

