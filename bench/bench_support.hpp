@@ -46,7 +46,17 @@ inline void emit_metrics(const std::string& name, const obs::MetricsRegistry& re
 /// byte-identical for any value — see exec::parallel_sweep.
 inline int bench_jobs() {
   const char* v = std::getenv("TWOSTEP_BENCH_JOBS");
-  return v != nullptr && *v != '\0' ? std::atoi(v) : 0;
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0 || parsed > 4096) {
+    std::fprintf(stderr,
+                 "bench: ignoring malformed TWOSTEP_BENCH_JOBS=%s "
+                 "(using all hardware threads)\n",
+                 v);
+    return 0;
+  }
+  return static_cast<int>(parsed);
 }
 
 /// Computes `count` independent results (typically table rows) across

@@ -38,7 +38,14 @@ void ThreadPool::submit(Task task) {
     std::lock_guard<std::mutex> lock(workers_[slot]->mu);
     workers_[slot]->queue.push_back(std::move(task));
   }
-  queued_.fetch_add(1, std::memory_order_release);
+  // queued_ is part of wake_cv_'s wait predicate: increment it under
+  // wake_mu_ (mirroring the destructor's stop_ handling) so the update
+  // cannot land between a worker's predicate check and its block in
+  // wait(), which would lose the wakeup.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
   wake_cv_.notify_one();
 }
 

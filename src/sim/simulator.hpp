@@ -74,7 +74,10 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending() const noexcept { return pending_ids_.size(); }
 
-  /// Timestamp of the next pending event; `now()` if none.
+  /// Timestamp of the next pending event; `now()` if none.  Although const,
+  /// this may drain lazily-cancelled queue tops via the mutable members, so
+  /// concurrent calls on a shared Simulator are NOT safe; each thread must
+  /// own its Simulator (as the parallel sweep tasks do).
   [[nodiscard]] Tick next_event_time() const;
 
   static constexpr std::size_t kDefaultEventBudget = 10'000'000;
@@ -100,6 +103,8 @@ class Simulator {
   /// Pops lazily-cancelled entries off the queue top.  Shared by pop_next,
   /// run_until's deadline peek, and next_event_time; logically const (a
   /// cancelled entry is unobservable), hence the mutable members below.
+  /// Because it mutates queue_/cancelled_, const methods that call it are
+  /// not safe for concurrent use on a shared instance.
   void drain_cancelled_top() const;
 
   mutable std::priority_queue<Entry> queue_;
