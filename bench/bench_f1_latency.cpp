@@ -58,23 +58,21 @@ RunResult run_protocol(const std::string& name, int crashes,
   const obs::Probe probe{nullptr, metrics};
   if (name == "paxos") {
     const SystemConfig cfg{2 * kF + 1, kF, 0};
-    auto r = harness::make_paxos_runner(cfg, kDelta, 1, probe);
+    auto r = harness::RunSpec(cfg).delta(kDelta).probe(probe).paxos();
     return measure(*r, cfg.n, crashes, false);
   }
   if (name == "fast paxos") {
     const SystemConfig cfg{SystemConfig::min_processes_fast_paxos(kE, kF), kF, kE};
-    auto r = harness::make_fastpaxos_runner(cfg, kDelta, 1, probe);
+    auto r = harness::RunSpec(cfg).delta(kDelta).probe(probe).fastpaxos();
     return measure(*r, cfg.n, crashes, false);
   }
   if (name == "task") {
     const SystemConfig cfg{SystemConfig::min_processes_task(kE, kF), kF, kE};
-    auto r = harness::make_core_runner(cfg, core::Mode::kTask, kDelta,
-                                       core::SelectionPolicy::kPaper, 1, probe);
+    auto r = harness::RunSpec(cfg).delta(kDelta).probe(probe).core(core::Mode::kTask);
     return measure(*r, cfg.n, crashes, false);
   }
   const SystemConfig cfg{SystemConfig::min_processes_object(kE, kF), kF, kE};
-  auto r = harness::make_core_runner(cfg, core::Mode::kObject, kDelta,
-                                     core::SelectionPolicy::kPaper, 1, probe);
+  auto r = harness::RunSpec(cfg).delta(kDelta).probe(probe).core(core::Mode::kObject);
   return measure(*r, cfg.n, crashes, true);
 }
 

@@ -37,8 +37,7 @@ double object_latency(int n, ProcessId proxy, std::uint64_t seed) {
         for (int i = 0; i < n; ++i) sites[static_cast<std::size_t>(i)] = i;
         return sites;
       }()));
-  auto r = harness::make_core_runner_with_model(cfg, core::Mode::kObject, std::move(model),
-                                                seed);
+  auto r = harness::RunSpec(cfg).model(std::move(model)).seed(seed).core(core::Mode::kObject);
   consensus::SyncScenario s;
   s.proposals = {{proxy, Value{7}}};
   r->run(s);
@@ -55,7 +54,7 @@ double fastpaxos_latency(int n, ProcessId proxy, std::uint64_t seed) {
         for (int i = 0; i < n; ++i) sites[static_cast<std::size_t>(i)] = i;
         return sites;
       }()));
-  auto r = harness::make_fastpaxos_runner_with_model(cfg, std::move(model), seed);
+  auto r = harness::RunSpec(cfg).model(std::move(model)).seed(seed).fastpaxos();
   consensus::SyncScenario s;
   s.proposals = {{proxy, Value{7}}};
   r->run(s);

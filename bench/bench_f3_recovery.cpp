@@ -35,7 +35,7 @@ struct Outcome {
 
 Outcome crashed_proposer(int e, int f) {
   const SystemConfig cfg{SystemConfig::min_processes_task(e, f), f, e};
-  auto r = harness::make_core_runner(cfg, core::Mode::kTask, kDelta);
+  auto r = harness::RunSpec(cfg).delta(kDelta).core(core::Mode::kTask);
   const ProcessId proposer = static_cast<ProcessId>(cfg.n - 1);
   r->cluster().start_all();
   r->cluster().propose(proposer, Value{1000});
@@ -55,7 +55,7 @@ Outcome crashed_proposer(int e, int f) {
 
 Outcome contended(int e, int f) {
   const SystemConfig cfg{SystemConfig::min_processes_object(e, f), f, e};
-  auto r = harness::make_core_runner(cfg, core::Mode::kObject, kDelta);
+  auto r = harness::RunSpec(cfg).delta(kDelta).core(core::Mode::kObject);
   SyncScenario s;
   // Crash the highest e processes; two surviving proposers conflict.
   for (int k = 0; k < e; ++k) s.crashes.push_back(cfg.n - 1 - k);

@@ -36,8 +36,7 @@ struct RsmResult {
 
 RsmResult run_rsm_burst(int burst_per_proxy, std::uint64_t seed, int active_proxies = 5) {
   const SystemConfig cfg{5, 2, 2};
-  auto r = harness::make_rsm_runner(cfg, std::make_unique<net::SynchronousRounds>(kDelta),
-                                    seed);
+  auto r = harness::RunSpec(cfg).delta(kDelta).seed(seed).rsm();
   util::Summary latency;
   int committed = 0;
   for (ProcessId p = 0; p < cfg.n; ++p) {

@@ -15,7 +15,7 @@
 
 #include "consensus/types.hpp"
 #include "exec/parallel_sweep.hpp"
-#include "harness/runners.hpp"
+#include "harness/run_spec.hpp"
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
 

@@ -21,27 +21,26 @@ namespace {
 using namespace twostep;
 using consensus::SystemConfig;
 using consensus::TwoStepEvaluator;
-using harness::make_core_runner;
-using harness::make_fastpaxos_runner;
+using harness::RunSpec;
 
 bool task_ok_at(int e, int f, int n) {
   const SystemConfig cfg{n, f, e};
   TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
-      cfg, [&] { return make_core_runner(cfg, core::Mode::kTask); }};
+      cfg, [&] { return RunSpec(cfg).core(core::Mode::kTask); }};
   return eval.check_task_item1().ok() && eval.check_task_item2().ok();
 }
 
 bool object_ok_at(int e, int f, int n) {
   const SystemConfig cfg{n, f, e};
   TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
-      cfg, [&] { return make_core_runner(cfg, core::Mode::kObject); }};
+      cfg, [&] { return RunSpec(cfg).core(core::Mode::kObject); }};
   return eval.check_object_item1().ok() && eval.check_object_item2().ok();
 }
 
 bool fastpaxos_ok_at(int e, int f, int n) {
   const SystemConfig cfg{n, f, e};
   TwoStepEvaluator<fastpaxos::FastPaxosProcess, fastpaxos::Options> eval{
-      cfg, [&] { return make_fastpaxos_runner(cfg); }};
+      cfg, [&] { return RunSpec(cfg).fastpaxos(); }};
   return eval.check_task_item1().ok() && eval.check_task_item2().ok();
 }
 

@@ -18,12 +18,12 @@ using namespace twostep;
 using consensus::EvalVerdict;
 using consensus::SystemConfig;
 using consensus::TwoStepEvaluator;
-using harness::make_core_runner;
+using harness::RunSpec;
 
 EvalVerdict run_item(int e, int f, int n, int item) {
   const SystemConfig cfg{n, f, e};
   TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
-      cfg, [&] { return make_core_runner(cfg, core::Mode::kTask); }};
+      cfg, [&] { return RunSpec(cfg).core(core::Mode::kTask); }};
   return item == 1 ? eval.check_task_item1() : eval.check_task_item2();
 }
 
@@ -58,7 +58,7 @@ BENCHMARK(BM_Item1Sweep)->Unit(benchmark::kMillisecond);
 void BM_SingleSynchronousRun(benchmark::State& state) {
   const SystemConfig cfg{6, 2, 2};
   for (auto _ : state) {
-    auto r = make_core_runner(cfg, core::Mode::kTask);
+    auto r = RunSpec(cfg).core(core::Mode::kTask);
     consensus::SyncScenario s;
     s.proposals = consensus::priority_order(twostep::bench::witness_config(6, 5), 5);
     r->run(s);

@@ -14,12 +14,12 @@ using namespace twostep;
 using consensus::EvalVerdict;
 using consensus::SystemConfig;
 using consensus::TwoStepEvaluator;
-using harness::make_core_runner;
+using harness::RunSpec;
 
 EvalVerdict run_item(int e, int f, int n, int item) {
   const SystemConfig cfg{n, f, e};
   TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
-      cfg, [&] { return make_core_runner(cfg, core::Mode::kObject); }};
+      cfg, [&] { return RunSpec(cfg).core(core::Mode::kObject); }};
   return item == 1 ? eval.check_object_item1() : eval.check_object_item2();
 }
 
@@ -54,7 +54,7 @@ BENCHMARK(BM_ObjectItem1)->Unit(benchmark::kMillisecond);
 void BM_LoneProposerFastPath(benchmark::State& state) {
   const SystemConfig cfg{5, 2, 2};
   for (auto _ : state) {
-    auto r = make_core_runner(cfg, core::Mode::kObject);
+    auto r = RunSpec(cfg).core(core::Mode::kObject);
     consensus::SyncScenario s;
     s.proposals = {{2, consensus::Value{7}}};
     r->run(s);

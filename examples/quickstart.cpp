@@ -7,7 +7,7 @@
 // proposer decides at exactly 2Δ even though two processes are down.
 #include <cstdio>
 
-#include "harness/runners.hpp"
+#include "harness/run_spec.hpp"
 
 using namespace twostep;
 using consensus::ProcessId;
@@ -20,7 +20,7 @@ int main() {
   const SystemConfig config{5, /*f=*/2, /*e=*/2};
   const sim::Tick delta = 100;  // the known post-GST message delay bound
 
-  auto runner = harness::make_core_runner(config, core::Mode::kObject, delta);
+  auto runner = harness::RunSpec(config).delta(delta).core(core::Mode::kObject);
 
   // Crash two processes at time zero — the maximum the fast path tolerates.
   runner->cluster().crash(3);

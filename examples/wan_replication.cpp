@@ -10,7 +10,7 @@
 // (run bench_f2_wan for the full comparison).
 #include <cstdio>
 
-#include "harness/runners.hpp"
+#include "harness/run_spec.hpp"
 #include "util/stats.hpp"
 
 using namespace twostep;
@@ -24,7 +24,7 @@ int main() {
   auto model = std::make_unique<net::WanMatrix>(
       net::WanMatrix::nine_regions(2).restrict({0, 1, 2, 3, 4}));
   const sim::Tick delta = model->delta();
-  auto runner = harness::make_rsm_runner(config, std::move(model), /*seed=*/2026);
+  auto runner = harness::RunSpec(config).model(std::move(model)).seed(2026).rsm();
 
   // Each proxy records its own commit latencies.
   std::vector<util::Summary> latency(5);

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -23,12 +24,33 @@
 #include "consensus/env.hpp"
 #include "consensus/monitor.hpp"
 #include "consensus/types.hpp"
+#include "faults/fault_plan.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace twostep::consensus {
+
+/// Everything about a run that is not the protocol or the topology: seed,
+/// observability, and the chaos configuration.  Passed by value through the
+/// harness layers (Cluster, ScenarioRunner, harness::RunSpec).
+struct RunOptions {
+  std::uint64_t seed = 1;
+  obs::Probe probe{};
+  bool trace = false;  ///< payload-level network tracing (TraceEntry log)
+
+  /// Fault-injection stage; null keeps links reliable.  The plan's
+  /// crash/restart schedule is applied by the cluster (through its monitor
+  /// and probe), its message rules by the network send path.
+  std::shared_ptr<faults::FaultPlan> faults;
+
+  /// Engage a ReliableChannel between the protocols and the (lossy)
+  /// network.  A config with seed 0 derives the jitter stream from `seed`.
+  std::optional<net::ReliableConfig> reliable;
+};
 
 template <typename P>
 class Cluster {
@@ -38,9 +60,20 @@ class Cluster {
 
   Cluster(SystemConfig config, std::unique_ptr<net::LatencyModel> model, Factory factory,
           std::uint64_t seed = 1)
+      : Cluster(config, std::move(model), std::move(factory), RunOptions{seed, {}, false, {}, {}}) {}
+
+  Cluster(SystemConfig config, std::unique_ptr<net::LatencyModel> model, Factory factory,
+          RunOptions run)
       : config_(config),
-        network_(simulator_, std::move(model), config.n, seed) {
+        network_(simulator_, std::move(model), config.n, run.seed,
+                 net::NetworkConfig{run.faults, run.probe, run.trace}) {
     if (!factory) throw std::invalid_argument("Cluster: null protocol factory");
+    if (run.reliable) {
+      net::ReliableConfig rc = *run.reliable;
+      // Distinct stream from the network's latency rng and any fault plan.
+      if (rc.seed == 0) rc.seed = util::splitmix64(run.seed, 0x7e11ab1e);
+      channel_ = std::make_unique<net::ReliableChannel<Msg>>(network_, rc);
+    }
     envs_.reserve(static_cast<std::size_t>(config_.n));
     processes_.reserve(static_cast<std::size_t>(config_.n));
     for (ProcessId p = 0; p < config_.n; ++p)
@@ -49,15 +82,34 @@ class Cluster {
       processes_.push_back(factory(*envs_[static_cast<std::size_t>(p)], p));
       auto& proto = *processes_.back();
       proto.on_decide = [this, p](Value v) { monitor_.note_decision(p, v, simulator_.now()); };
-      network_.set_handler(p, [this, p](ProcessId from, const Msg& m) {
+      typename net::Network<Msg>::Handler handler = [this, p](ProcessId from, const Msg& m) {
         processes_[static_cast<std::size_t>(p)]->on_message(from, m);
-      });
+      };
+      if (channel_) {
+        channel_->set_handler(p, std::move(handler));
+      } else {
+        network_.set_handler(p, std::move(handler));
+      }
+    }
+    set_probe(run.probe);
+    if (run.faults) {
+      for (const faults::FaultPlan::CrashEvent ev : run.faults->crash_schedule()) {
+        simulator_.schedule_at(ev.when, [this, ev] {
+          if (ev.restart) {
+            restart(ev.p);
+          } else {
+            crash(ev.p);
+          }
+        });
+      }
     }
   }
 
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
   [[nodiscard]] net::Network<Msg>& network() noexcept { return network_; }
+  /// Null unless RunOptions::reliable engaged the retransmission layer.
+  [[nodiscard]] net::ReliableChannel<Msg>* reliable_channel() noexcept { return channel_.get(); }
   [[nodiscard]] ConsensusMonitor& monitor() noexcept { return monitor_; }
   [[nodiscard]] P& process(ProcessId p) { return *processes_.at(static_cast<std::size_t>(p)); }
   [[nodiscard]] sim::Tick delta() const { return network_.delta(); }
@@ -70,7 +122,7 @@ class Cluster {
   /// in each protocol's Options; ScenarioRunner forwards it to both places.
   void set_probe(const obs::Probe& probe) {
     probe_ = probe;
-    network_.set_probe(probe);
+    network_.reattach_probe(probe);
     if (probe.metrics) {
       proposals_counter_ = &probe.metrics->counter("proposals");
       crashes_counter_ = &probe.metrics->counter("crashes");
@@ -121,6 +173,22 @@ class Cluster {
     simulator_.schedule_at(when, [this, p] { crash(p); });
   }
 
+  /// Restarts a crashed p (crash-recovery with durable state): the protocol
+  /// instance resumes with its pre-crash state and the network accepts its
+  /// traffic again.  Messages lost while p was down stay lost unless a
+  /// ReliableChannel retransmits them.
+  void restart(ProcessId p) {
+    network_.restart(p);
+    probe_.trace([&] {
+      return obs::TraceEvent{obs::EventKind::kRestart, simulator_.now(), p, kNoProcess, -1,
+                             {}, "", 0};
+    });
+  }
+
+  void restart_at(sim::Tick when, ProcessId p) {
+    simulator_.schedule_at(when, [this, p] { restart(p); });
+  }
+
   [[nodiscard]] bool crashed(ProcessId p) const { return network_.crashed(p); }
 
   /// Runs the event loop to quiescence (bounded by max_events).
@@ -161,7 +229,11 @@ class Cluster {
     [[nodiscard]] sim::Tick now() const override { return cluster_.simulator_.now(); }
 
     void send(ProcessId to, const Msg& msg) override {
-      cluster_.network_.send(self_, to, msg);
+      if (cluster_.channel_) {
+        cluster_.channel_->send(self_, to, msg);
+      } else {
+        cluster_.network_.send(self_, to, msg);
+      }
     }
 
     TimerId set_timer(sim::Tick delay) override {
@@ -198,6 +270,7 @@ class Cluster {
   SystemConfig config_;
   sim::Simulator simulator_;
   net::Network<Msg> network_;
+  std::unique_ptr<net::ReliableChannel<Msg>> channel_;
   ConsensusMonitor monitor_;
   obs::Probe probe_;
   obs::Counter* proposals_counter_ = nullptr;

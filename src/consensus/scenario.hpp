@@ -64,16 +64,23 @@ class ScenarioRunner {
 
   ScenarioRunner(SystemConfig config, std::unique_ptr<net::LatencyModel> model,
                  Options base_options, std::uint64_t seed = 1)
+      : ScenarioRunner(config, std::move(model), base_options,
+                       RunOptions{seed, base_options.probe, false, {}, {}}) {}
+
+  /// Full-control constructor: the RunOptions carry seed, probe, tracing and
+  /// the chaos configuration (fault plan, reliable channel).  The probe
+  /// rides in twice: inside each protocol's Options (protocol events) and at
+  /// the harness level via RunOptions (network/simulator/cluster events);
+  /// when base_options.probe is unset it inherits the RunOptions probe.
+  ScenarioRunner(SystemConfig config, std::unique_ptr<net::LatencyModel> model,
+                 Options base_options, RunOptions run)
       : oracle_(std::make_shared<Oracle>()),
-        probe_(base_options.probe),
-        cluster_(config, std::move(model), make_factory(config, std::move(base_options)),
-                 seed) {
+        probe_(run.probe),
+        cluster_(config, std::move(model),
+                 make_factory(config, with_probe(std::move(base_options), run.probe)), run) {
     oracle_->n = config.n;
     Cluster<P>* cluster = &cluster_;
     oracle_->alive = [cluster](ProcessId p) { return !cluster->crashed(p); };
-    // The probe rides in twice: inside each protocol's Options (protocol
-    // events) and at the harness level (network/simulator/cluster events).
-    cluster_.set_probe(probe_);
   }
 
   ScenarioRunner(const ScenarioRunner&) = delete;
@@ -108,6 +115,11 @@ class ScenarioRunner {
       return kNoProcess;
     }
   };
+
+  static Options with_probe(Options base, const obs::Probe& probe) {
+    if (!base.probe.enabled()) base.probe = probe;
+    return base;
+  }
 
   typename Cluster<P>::Factory make_factory(SystemConfig config, Options base) {
     auto oracle = oracle_;

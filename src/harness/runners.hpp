@@ -1,90 +1,65 @@
-// Canned ScenarioRunner factories for every protocol in the library.
-// Shared by the test suites, the benchmark harness and the examples.
+// Deprecated canned runner factories.
+//
+// Superseded by the harness::RunSpec builder (run_spec.hpp), which replaces
+// the six positional-default factories with named setters and adds the
+// chaos knobs (fault plan, reliable channel, payload tracing).  These shims
+// remain for one release:
+//
+//   make_core_runner(cfg, mode, delta, policy, seed, probe)
+//     -> RunSpec(cfg).delta(delta).selection(policy).seed(seed).probe(probe)
+//            .core(mode)
 #pragma once
 
 #include <memory>
 
-#include "consensus/scenario.hpp"
-#include "consensus/twostep_eval.hpp"
-#include "core/two_step.hpp"
-#include "fastpaxos/fast_paxos.hpp"
-#include "net/latency.hpp"
-#include "paxos/paxos.hpp"
-#include "rsm/rsm.hpp"
+#include "harness/run_spec.hpp"
 
 namespace twostep::harness {
 
-using CoreRunner = consensus::ScenarioRunner<core::TwoStepProcess, core::Options>;
-using PaxosRunner = consensus::ScenarioRunner<paxos::PaxosProcess, paxos::Options>;
-using FastPaxosRunner = consensus::ScenarioRunner<fastpaxos::FastPaxosProcess, fastpaxos::Options>;
-using RsmRunner = consensus::ScenarioRunner<rsm::RsmProcess, rsm::Options>;
-
-/// The paper's protocol on Definition 2 synchronous rounds.  Pass a probe
-/// to attach a RunTracer / MetricsRegistry to the whole stack (protocol,
-/// network, simulator); the default (null) probe keeps observability off.
+[[deprecated("use harness::RunSpec(config)...core(mode)")]]
 inline std::unique_ptr<CoreRunner> make_core_runner(
     consensus::SystemConfig config, core::Mode mode, sim::Tick delta = 100,
     core::SelectionPolicy policy = core::SelectionPolicy::kPaper, std::uint64_t seed = 1,
     obs::Probe probe = {}) {
-  core::Options options;
-  options.mode = mode;
-  options.delta = delta;
-  options.selection_policy = policy;
-  options.probe = probe;
-  return std::make_unique<CoreRunner>(
-      config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
+  return RunSpec(config).delta(delta).selection(policy).seed(seed).probe(probe).core(mode);
 }
 
-/// The paper's protocol on an arbitrary latency model.
+[[deprecated("use harness::RunSpec(config).model(...).core(mode)")]]
 inline std::unique_ptr<CoreRunner> make_core_runner_with_model(
     consensus::SystemConfig config, core::Mode mode, std::unique_ptr<net::LatencyModel> model,
     std::uint64_t seed = 1, obs::Probe probe = {}) {
-  core::Options options;
-  options.mode = mode;
-  options.delta = model->delta();
-  options.probe = probe;
-  return std::make_unique<CoreRunner>(config, std::move(model), options, seed);
+  return RunSpec(config).model(std::move(model)).seed(seed).probe(probe).core(mode);
 }
 
+[[deprecated("use harness::RunSpec(config)...paxos()")]]
 inline std::unique_ptr<PaxosRunner> make_paxos_runner(consensus::SystemConfig config,
                                                       sim::Tick delta = 100,
                                                       std::uint64_t seed = 1,
                                                       obs::Probe probe = {}) {
-  paxos::Options options;
-  options.delta = delta;
-  options.probe = probe;
-  return std::make_unique<PaxosRunner>(
-      config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
+  return RunSpec(config).delta(delta).seed(seed).probe(probe).paxos();
 }
 
+[[deprecated("use harness::RunSpec(config)...fastpaxos()")]]
 inline std::unique_ptr<FastPaxosRunner> make_fastpaxos_runner(consensus::SystemConfig config,
                                                               sim::Tick delta = 100,
                                                               std::uint64_t seed = 1,
                                                               obs::Probe probe = {}) {
-  fastpaxos::Options options;
-  options.delta = delta;
-  options.probe = probe;
-  return std::make_unique<FastPaxosRunner>(
-      config, std::make_unique<net::SynchronousRounds>(delta), options, seed);
+  return RunSpec(config).delta(delta).seed(seed).probe(probe).fastpaxos();
 }
 
+[[deprecated("use harness::RunSpec(config).model(...).fastpaxos()")]]
 inline std::unique_ptr<FastPaxosRunner> make_fastpaxos_runner_with_model(
     consensus::SystemConfig config, std::unique_ptr<net::LatencyModel> model,
     std::uint64_t seed = 1, obs::Probe probe = {}) {
-  fastpaxos::Options options;
-  options.delta = model->delta();
-  options.probe = probe;
-  return std::make_unique<FastPaxosRunner>(config, std::move(model), options, seed);
+  return RunSpec(config).model(std::move(model)).seed(seed).probe(probe).fastpaxos();
 }
 
+[[deprecated("use harness::RunSpec(config).model(...).rsm()")]]
 inline std::unique_ptr<RsmRunner> make_rsm_runner(consensus::SystemConfig config,
                                                   std::unique_ptr<net::LatencyModel> model,
                                                   std::uint64_t seed = 1,
                                                   obs::Probe probe = {}) {
-  rsm::Options options;
-  options.delta = model->delta();
-  options.probe = probe;
-  return std::make_unique<RsmRunner>(config, std::move(model), options, seed);
+  return RunSpec(config).model(std::move(model)).seed(seed).probe(probe).rsm();
 }
 
 }  // namespace twostep::harness

@@ -142,6 +142,46 @@ class DirectDrive {
     return static_cast<int>(before - pool_.size());
   }
 
+  // ---- explicit fault actions (chaos exploration) ----
+  //
+  // The explorer's fault budgets surface these as schedule actions, so a
+  // violating schedule that injects faults replays exactly: the fault
+  // decisions live in the action indices, not in hidden rng draws.
+
+  /// Drops the i-th pending message (an injected link fault).
+  void drop_index(std::size_t i) {
+    if (i >= pool_.size()) throw std::out_of_range("DirectDrive: no such pending message");
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++step_;
+    ++injected_drops_;
+  }
+
+  /// Duplicates the i-th pending message: the copy lands at the back of the
+  /// pool with a fresh sequence number, as an independently deliverable
+  /// (and droppable) message.
+  void duplicate_index(std::size_t i) {
+    if (i >= pool_.size()) throw std::out_of_range("DirectDrive: no such pending message");
+    Pending copy = pool_[i];
+    copy.seq = next_seq_++;
+    pool_.push_back(std::move(copy));
+    ++step_;
+    ++injected_dups_;
+  }
+
+  /// Momentary partition of p: every pending message to or from p is lost.
+  /// Returns the number dropped.
+  int drop_all_for(consensus::ProcessId p) {
+    const auto before = pool_.size();
+    std::erase_if(pool_, [&](const Pending& m) { return m.from == p || m.to == p; });
+    ++step_;
+    ++injected_partitions_;
+    return static_cast<int>(before - pool_.size());
+  }
+
+  [[nodiscard]] int injected_drops() const noexcept { return injected_drops_; }
+  [[nodiscard]] int injected_duplicates() const noexcept { return injected_dups_; }
+  [[nodiscard]] int injected_partitions() const noexcept { return injected_partitions_; }
+
   /// Number of armed timers at p.
   [[nodiscard]] int armed_timers(consensus::ProcessId p) const {
     int k = 0;
@@ -213,6 +253,9 @@ class DirectDrive {
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_timer_ = 1;
   sim::Tick step_ = 0;
+  int injected_drops_ = 0;
+  int injected_dups_ = 0;
+  int injected_partitions_ = 0;
 };
 
 }  // namespace twostep::modelcheck

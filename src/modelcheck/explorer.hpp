@@ -49,6 +49,18 @@ struct Scenario {
   /// Whether timer-fire actions are explored (needed to reach slow paths).
   bool explore_timers = true;
 
+  /// Link-fault actions the adversary may additionally take.  Faults are
+  /// explicit schedule actions (not hidden rng draws), so a violating
+  /// schedule that injects faults replays exactly and fuzzing stays
+  /// byte-identical for any `jobs` value.  All-zero budgets (the default)
+  /// leave the action space untouched.
+  struct FaultBudget {
+    int drops = 0;       ///< injected message drops
+    int duplicates = 0;  ///< injected message duplications
+    int partitions = 0;  ///< momentary partitions (all traffic of one process)
+  };
+  FaultBudget faults;
+
   int max_depth = 48;
 };
 
@@ -217,9 +229,16 @@ class Explorer {
   ///   [pool, pool+T)                fire the oldest timer of the j-th
   ///                                 process that has armed timers
   ///   [pool+T, pool+T+C)            crash the j-th eligible victim
+  ///   [.., +D)                      drop pending message i    (fault budget)
+  ///   [.., +U)                      duplicate pending message i
+  ///   [.., +Q)                      momentary partition of the j-th
+  ///                                 non-crashed process
   static int enabled_actions(const Scenario<P>& scenario, Drive& drive, int setup_crashed) {
     return static_cast<int>(drive.pool().size()) + timer_owners(scenario, drive).size() +
-           crash_victims(scenario, drive, setup_crashed).size();
+           crash_victims(scenario, drive, setup_crashed).size() +
+           static_cast<std::size_t>(drop_slots(scenario, drive)) +
+           static_cast<std::size_t>(dup_slots(scenario, drive)) +
+           partition_victims(scenario, drive).size();
   }
 
   static std::vector<consensus::ProcessId> timer_owners(const Scenario<P>& scenario,
@@ -245,6 +264,27 @@ class Explorer {
     return victims;
   }
 
+  /// Remaining drop actions: one per pending message while budget lasts.
+  static int drop_slots(const Scenario<P>& scenario, Drive& drive) {
+    if (drive.injected_drops() >= scenario.faults.drops) return 0;
+    return static_cast<int>(drive.pool().size());
+  }
+
+  static int dup_slots(const Scenario<P>& scenario, Drive& drive) {
+    if (drive.injected_duplicates() >= scenario.faults.duplicates) return 0;
+    return static_cast<int>(drive.pool().size());
+  }
+
+  static std::vector<consensus::ProcessId> partition_victims(const Scenario<P>& scenario,
+                                                             Drive& drive) {
+    std::vector<consensus::ProcessId> victims;
+    if (drive.injected_partitions() >= scenario.faults.partitions) return victims;
+    if (drive.pool().empty()) return victims;  // partitioning nothing is a no-op
+    for (consensus::ProcessId p = 0; p < drive.config().n; ++p)
+      if (!drive.crashed(p)) victims.push_back(p);
+    return victims;
+  }
+
   static void apply(const Scenario<P>& scenario, Drive& drive, int setup_crashed, int action) {
     const auto pool_size = static_cast<int>(drive.pool().size());
     if (action < pool_size) {
@@ -266,6 +306,24 @@ class Explorer {
       } else {
         drive.crash(p);
       }
+      return;
+    }
+    action -= static_cast<int>(victims.size());
+    const int drops = drop_slots(scenario, drive);
+    if (action < drops) {
+      drive.drop_index(static_cast<std::size_t>(action));
+      return;
+    }
+    action -= drops;
+    const int dups = dup_slots(scenario, drive);
+    if (action < dups) {
+      drive.duplicate_index(static_cast<std::size_t>(action));
+      return;
+    }
+    action -= dups;
+    const auto islands = partition_victims(scenario, drive);
+    if (action < static_cast<int>(islands.size())) {
+      drive.drop_all_for(islands[static_cast<std::size_t>(action)]);
       return;
     }
     throw std::out_of_range("Explorer: stale action index");

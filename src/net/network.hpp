@@ -1,15 +1,24 @@
-// Simulated message-passing network over reliable links.
+// Simulated message-passing network.
 //
 // Network<Msg> connects n endpoints through a LatencyModel on top of the
 // discrete-event simulator.  It implements crash-stop failures (a crashed
-// process neither sends nor receives), full message tracing (used by the
-// lower-bound splicing harness), and an optional interception hook that lets
-// adversarial drivers override delivery times of individual messages while
-// keeping links reliable.
+// process neither sends nor receives) with optional restarts, full message
+// tracing (used by the lower-bound splicing harness), and a first-class
+// fault-injection stage: a faults::FaultPlan attached at construction sees
+// every message before it is scheduled and may drop it, duplicate it, delay
+// it past later messages, or sever it with a partition.  Links are reliable
+// exactly when no plan is attached (the paper's Definition 2 regime); under
+// a lossy plan, net::ReliableChannel restores the reliable-link abstraction
+// via retransmission (see net/reliable.hpp).
+//
+// Configuration is passed at construction via NetworkConfig; the historical
+// post-construction setters (set_interceptor / enable_trace / set_probe)
+// remain as deprecated thin wrappers for one release.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,6 +27,7 @@
 #include <vector>
 
 #include "consensus/types.hpp"
+#include "faults/fault_plan.hpp"
 #include "net/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -26,15 +36,36 @@
 
 namespace twostep::net {
 
-/// One traced message.  `deliver_time < 0` means the message was addressed
-/// to (or sent by) a crashed process and never delivered.
+/// One traced message.  `deliver_time < 0` with `drop == kNone` means the
+/// message was still in flight when the run ended; `drop` otherwise records
+/// why it was lost (recipient crash, injected drop, partition).  Messages
+/// whose *sender* was already crashed are not traced at all (they never
+/// reached the network).
 template <typename Msg>
 struct TraceEntry {
   sim::Tick send_time = 0;
   sim::Tick deliver_time = -1;
   consensus::ProcessId from = consensus::kNoProcess;
   consensus::ProcessId to = consensus::kNoProcess;
+  faults::DropReason drop = faults::DropReason::kNone;
   Msg payload{};
+};
+
+/// Construction-time network configuration.  Replaces the historical
+/// set_interceptor / enable_trace / set_probe post-construction setters.
+struct NetworkConfig {
+  /// Fault-injection stage; null keeps links reliable and costs one pointer
+  /// test per send.  Shared so the caller can keep a handle for statistics
+  /// and scheduled partitions.
+  std::shared_ptr<faults::FaultPlan> faults;
+
+  /// Structured observability: send/deliver/drop events to the probe's
+  /// tracer, per-message-type counters (net.sent.<Type> etc.) to its
+  /// registry.  Default (null) probe keeps observability off.
+  obs::Probe probe{};
+
+  /// Payload tracing (off by default: traces copy every message).
+  bool trace = false;
 };
 
 template <typename Msg>
@@ -42,18 +73,29 @@ class Network {
  public:
   using Handler = std::function<void(consensus::ProcessId from, const Msg&)>;
 
-  /// Interception hook: given (now, from, to, msg) may return an absolute
-  /// delivery time overriding the latency model, or nullopt to defer to it.
+  /// Legacy interception hook: given (now, from, to, msg) may return an
+  /// absolute delivery time overriding the latency model, or nullopt to
+  /// defer to it.  Superseded by faults::FaultPlan delay rules.
   using Interceptor = std::function<std::optional<sim::Tick>(
       sim::Tick, consensus::ProcessId, consensus::ProcessId, const Msg&)>;
 
+  /// Observer for tagged sends (the reliable channel's data path): invoked
+  /// at delivery time instead of the per-process handler, with the opaque
+  /// tag the sender attached.
+  using DeliveryTap =
+      std::function<void(consensus::ProcessId from, consensus::ProcessId to, const Msg&,
+                         std::uint64_t tag)>;
+
   Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> model, int n,
-          std::uint64_t seed = 1)
+          std::uint64_t seed = 1, NetworkConfig config = {})
       : simulator_(simulator),
         model_(std::move(model)),
         handlers_(static_cast<std::size_t>(n)),
         crashed_(static_cast<std::size_t>(n), false),
-        rng_(seed) {
+        rng_(seed),
+        faults_(std::move(config.faults)),
+        probe_(config.probe),
+        tracing_(config.trace) {
     if (!model_) throw std::invalid_argument("Network: null latency model");
     if (n < 1) throw std::invalid_argument("Network: need at least one process");
   }
@@ -61,23 +103,41 @@ class Network {
   [[nodiscard]] int size() const noexcept { return static_cast<int>(handlers_.size()); }
   [[nodiscard]] sim::Tick delta() const { return model_->delta(); }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] const obs::Probe& probe() const noexcept { return probe_; }
+  [[nodiscard]] faults::FaultPlan* fault_plan() const noexcept { return faults_.get(); }
 
   /// Installs the receive handler for process p.  Must be set before any
   /// message destined to p is delivered.
   void set_handler(consensus::ProcessId p, Handler h) { handlers_.at(index(p)) = std::move(h); }
 
-  void set_interceptor(Interceptor i) { interceptor_ = std::move(i); }
+  /// Installs the tagged-delivery observer (see send_tagged).
+  void set_delivery_tap(DeliveryTap tap) { tap_ = std::move(tap); }
 
-  /// Enables/disables payload tracing (disabled by default: traces copy
-  /// every message).
-  void enable_trace(bool on = true) { tracing_ = on; }
+  /// Deprecated: configure a faults::FaultPlan instead (NetworkConfig::
+  /// faults).  Wraps the typed interceptor into a single-rule plan so
+  /// existing adversarial drivers keep working for one release.
+  [[deprecated("configure a faults::FaultPlan delay rule via NetworkConfig")]]
+  void set_interceptor(Interceptor i) {
+    if (!faults_) faults_ = std::make_shared<faults::FaultPlan>();
+    faults_->delay_rule(faults::typed_delay_rule<Msg>(std::move(i)));
+  }
+
+  /// Deprecated: set NetworkConfig::trace at construction.
+  [[deprecated("set NetworkConfig::trace at construction")]]
+  void enable_trace(bool on = true) {
+    tracing_ = on;
+  }
   [[nodiscard]] const std::vector<TraceEntry<Msg>>& trace() const { return trace_; }
 
-  /// Attaches structured observability: send/deliver/drop events go to the
-  /// probe's tracer, per-message-type counters (net.sent.<Type> etc.) to
-  /// its registry.  A default-constructed probe detaches; with no probe the
-  /// send path costs one pointer test and formats nothing.
+  /// Deprecated construction-time alias: pass the probe in NetworkConfig.
+  /// Dynamic (re)attachment mid-run remains supported via reattach_probe.
+  [[deprecated("pass the probe in NetworkConfig; use reattach_probe for dynamic swaps")]]
   void set_probe(obs::Probe probe) {
+    reattach_probe(probe);
+  }
+
+  /// Swaps the probe mid-run (a default-constructed probe detaches).
+  void reattach_probe(obs::Probe probe) {
     probe_ = probe;
     type_counters_.clear();
   }
@@ -90,6 +150,70 @@ class Network {
   /// mailing itself (e.g. the fast path's |P ∪ {p_i}| counts self without a
   /// message).
   void send(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg) {
+    dispatch(from, to, msg, 0, /*tagged=*/false);
+  }
+
+  /// Like send(), but delivered copies invoke the delivery tap with `tag`
+  /// instead of the per-process handler.  The reliable channel uses this to
+  /// correlate deliveries with its sequence numbers; tags are opaque here.
+  void send_tagged(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg,
+                   std::uint64_t tag) {
+    dispatch(from, to, msg, tag, /*tagged=*/true);
+  }
+
+  /// Fault-adjusted delivery time for an internal control signal (the
+  /// reliable channel's acks): applies the plan's partitions, drop rules
+  /// and reordering plus the latency model, without counting or tracing a
+  /// message.  nullopt when the signal is lost (fault or crashed endpoint).
+  [[nodiscard]] std::optional<sim::Tick> control_delivery_time(consensus::ProcessId from,
+                                                               consensus::ProcessId to) {
+    if (crashed_.at(index(from)) || crashed_.at(index(to))) return std::nullopt;
+    sim::Tick extra = 0;
+    if (faults_) {
+      const auto d = faults_->on_send(simulator_.now(), from, to, nullptr);
+      if (d.dropped()) return std::nullopt;
+      if (d.forced_time) return *d.forced_time;
+      extra = d.extra_delay;
+    }
+    return model_->delivery_time(simulator_.now(), from, to, rng_) + extra;
+  }
+
+  /// Crashes p immediately: all undelivered messages to p are lost and p
+  /// sends nothing from now on.
+  void crash(consensus::ProcessId p) { crashed_.at(index(p)) = true; }
+
+  /// Schedules a crash of p at absolute time `when`.
+  void crash_at(sim::Tick when, consensus::ProcessId p) {
+    simulator_.schedule_at(when, [this, p] { crash(p); });
+  }
+
+  /// Restarts a crashed p: it receives and sends again from now on.  The
+  /// simulated process resumes with its retained state (crash-recovery with
+  /// durable state); messages addressed to p while it was down stay lost
+  /// unless a ReliableChannel retransmits them.
+  void restart(consensus::ProcessId p) { crashed_.at(index(p)) = false; }
+
+  [[nodiscard]] bool crashed(consensus::ProcessId p) const { return crashed_.at(index(p)); }
+
+  [[nodiscard]] int crashed_count() const {
+    int k = 0;
+    for (const bool c : crashed_) k += c ? 1 : 0;
+    return k;
+  }
+
+  [[nodiscard]] std::size_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
+
+ private:
+  static constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+  [[nodiscard]] std::size_t index(consensus::ProcessId p) const {
+    if (p < 0 || p >= size()) throw std::out_of_range("Network: bad process id");
+    return static_cast<std::size_t>(p);
+  }
+
+  void dispatch(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg,
+                std::uint64_t tag, bool tagged) {
     (void)index(to);  // validate eagerly, not at delivery time
     ++sent_;
     const char* label = probe_.enabled() ? obs::message_label(msg) : nullptr;
@@ -114,67 +238,82 @@ class Network {
                                {}, label, static_cast<std::int64_t>(seq)};
       });
     }
-    std::optional<sim::Tick> forced;
-    if (interceptor_) forced = interceptor_(simulator_.now(), from, to, msg);
-    const sim::Tick when =
-        forced ? *forced : model_->delivery_time(simulator_.now(), from, to, rng_);
-    std::size_t trace_slot = 0;
-    if (tracing_) {
-      trace_.push_back(TraceEntry<Msg>{simulator_.now(), -1, from, to, msg});
-      trace_slot = trace_.size() - 1;
-    }
-    simulator_.schedule_at(when, [this, from, to, msg, trace_slot, seq] {
-      // Re-derive the label: the probe may have been (de)attached while the
-      // message was in flight.
-      const char* label = probe_.enabled() ? obs::message_label(msg) : nullptr;
-      if (crashed_.at(index(to))) {
-        if (label) {
-          if (probe_.metrics) counters_for(label).dropped->add();
-          probe_.trace([&] {
-            return obs::TraceEvent{obs::EventKind::kMessageDrop, simulator_.now(), to, from,
-                                   -1, {}, label, static_cast<std::int64_t>(seq)};
-          });
-        }
-        return;
+    // Fault-injection stage: one pointer test when no plan is attached.
+    faults::FaultPlan::Decision fate;
+    if (faults_) fate = faults_->on_send(simulator_.now(), from, to, &msg);
+    if (fate.dropped()) {
+      if (tracing_) {
+        TraceEntry<Msg> entry{simulator_.now(), -1, from, to, fate.drop, msg};
+        trace_.push_back(std::move(entry));
       }
-      ++delivered_;
       if (label) {
-        if (probe_.metrics) counters_for(label).delivered->add();
+        if (probe_.metrics) {
+          counters_for(label).dropped->add();
+          probe_.metrics->counter("faults.drops").add();
+        }
         probe_.trace([&] {
-          return obs::TraceEvent{obs::EventKind::kMessageDeliver, simulator_.now(), to, from,
+          return obs::TraceEvent{obs::EventKind::kMessageDrop, simulator_.now(), from, to, -1,
+                                 {}, faults::drop_event_label(fate.drop),
+                                 static_cast<std::int64_t>(seq)};
+        });
+      }
+      return;
+    }
+    for (int copy = 0; copy < fate.copies; ++copy) {
+      if (copy > 0 && label) {
+        if (probe_.metrics) probe_.metrics->counter("faults.duplicates").add();
+        probe_.trace([&] {
+          return obs::TraceEvent{obs::EventKind::kMessageDuplicate, simulator_.now(), from, to,
                                  -1, {}, label, static_cast<std::int64_t>(seq)};
         });
       }
-      if (tracing_) trace_.at(trace_slot).deliver_time = simulator_.now();
-      auto& handler = handlers_.at(index(to));
-      if (handler) handler(from, msg);
-    });
+      const sim::Tick when =
+          fate.forced_time
+              ? *fate.forced_time
+              : model_->delivery_time(simulator_.now(), from, to, rng_) + fate.extra_delay;
+      std::size_t trace_slot = kNoSlot;
+      if (tracing_) {
+        trace_.push_back(TraceEntry<Msg>{simulator_.now(), -1, from, to,
+                                         faults::DropReason::kNone, msg});
+        trace_slot = trace_.size() - 1;
+      }
+      simulator_.schedule_at(when, [this, from, to, msg, trace_slot, seq, tag, tagged] {
+        deliver(from, to, msg, trace_slot, seq, tag, tagged);
+      });
+    }
   }
 
-  /// Crashes p immediately: all undelivered messages to p are lost and p
-  /// sends nothing from now on.
-  void crash(consensus::ProcessId p) { crashed_.at(index(p)) = true; }
-
-  /// Schedules a crash of p at absolute time `when`.
-  void crash_at(sim::Tick when, consensus::ProcessId p) {
-    simulator_.schedule_at(when, [this, p] { crash(p); });
-  }
-
-  [[nodiscard]] bool crashed(consensus::ProcessId p) const { return crashed_.at(index(p)); }
-
-  [[nodiscard]] int crashed_count() const {
-    int k = 0;
-    for (const bool c : crashed_) k += c ? 1 : 0;
-    return k;
-  }
-
-  [[nodiscard]] std::size_t messages_sent() const noexcept { return sent_; }
-  [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
-
- private:
-  [[nodiscard]] std::size_t index(consensus::ProcessId p) const {
-    if (p < 0 || p >= size()) throw std::out_of_range("Network: bad process id");
-    return static_cast<std::size_t>(p);
+  void deliver(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg,
+               std::size_t trace_slot, std::uint64_t seq, std::uint64_t tag, bool tagged) {
+    // Re-derive the label: the probe may have been (de)attached while the
+    // message was in flight.
+    const char* label = probe_.enabled() ? obs::message_label(msg) : nullptr;
+    if (crashed_.at(index(to))) {
+      if (trace_slot != kNoSlot) trace_.at(trace_slot).drop = faults::DropReason::kCrashed;
+      if (label) {
+        if (probe_.metrics) counters_for(label).dropped->add();
+        probe_.trace([&] {
+          return obs::TraceEvent{obs::EventKind::kMessageDrop, simulator_.now(), to, from, -1,
+                                 {}, label, static_cast<std::int64_t>(seq)};
+        });
+      }
+      return;
+    }
+    ++delivered_;
+    if (label) {
+      if (probe_.metrics) counters_for(label).delivered->add();
+      probe_.trace([&] {
+        return obs::TraceEvent{obs::EventKind::kMessageDeliver, simulator_.now(), to, from, -1,
+                               {}, label, static_cast<std::int64_t>(seq)};
+      });
+    }
+    if (trace_slot != kNoSlot) trace_.at(trace_slot).deliver_time = simulator_.now();
+    if (tagged && tap_) {
+      tap_(from, to, msg, tag);
+      return;
+    }
+    auto& handler = handlers_.at(index(to));
+    if (handler) handler(from, msg);
   }
 
   /// Per-message-type counters, resolved once per (probe, type): the string
@@ -200,8 +339,9 @@ class Network {
   std::vector<Handler> handlers_;
   std::vector<bool> crashed_;
   util::Rng rng_;
-  Interceptor interceptor_;
+  std::shared_ptr<faults::FaultPlan> faults_;
   obs::Probe probe_;
+  DeliveryTap tap_;
   std::unordered_map<const char*, TypeCounters> type_counters_;
   std::uint64_t obs_seq_ = 0;  ///< per-message id linking send/deliver events
   bool tracing_ = false;

@@ -1,0 +1,172 @@
+// Reliable-link abstraction over a lossy simulated network.
+//
+// The paper's protocols assume Definition 2's reliable links; a
+// faults::FaultPlan deliberately violates that assumption.  ReliableChannel
+// restores it with the standard machinery real systems use: positive acks,
+// retransmission on timeout with exponential backoff (plus deterministic
+// jitter from its own seeded Rng, so synchronized senders do not stay in
+// lock-step), and receiver-side duplicate suppression keyed on per-message
+// sequence numbers — so every protocol runs unmodified under chaos.
+//
+// The channel wraps a Network<Msg> from the outside: data messages travel
+// through Network::send_tagged (the identical fault/trace/latency pipeline,
+// tagged with the channel's sequence number) and are handed back via the
+// network's delivery tap.  Acks are simulator-internal control signals: they
+// carry no payload, but their timing and their loss are governed by the same
+// fault plan and latency model via Network::control_delivery_time, so an ack
+// lost to a drop or partition triggers a (suppressed-as-duplicate)
+// retransmission exactly as it would on a real link.
+//
+// Determinism: backoff jitter is the only randomness and comes from the
+// channel's own Rng, seeded from the run seed — runs remain pure functions
+// of (config, seed) with the channel engaged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace twostep::net {
+
+/// Retransmission tuning.  Zero values are resolved against the network's
+/// latency bound at construction, so the defaults adapt to the model.
+struct ReliableConfig {
+  sim::Tick rto = 0;        ///< initial retransmission timeout; 0 -> 2 * delta
+  double backoff = 2.0;     ///< multiplier applied per retry
+  sim::Tick rto_max = 0;    ///< backoff ceiling; 0 -> 16 * rto
+  sim::Tick jitter = -1;    ///< max extra ticks per arm; -1 -> rto / 8, 0 -> none
+  int max_retries = 12;     ///< give up (and count) after this many retransmits
+  std::uint64_t seed = 0;   ///< jitter stream; 0 -> derived from the run seed
+};
+
+template <typename Msg>
+class ReliableChannel {
+ public:
+  using Handler = typename Network<Msg>::Handler;
+
+  ReliableChannel(Network<Msg>& net, ReliableConfig config = {})
+      : net_(net),
+        handlers_(static_cast<std::size_t>(net.size())),
+        config_(config),
+        rng_(config.seed == 0 ? 1 : config.seed) {
+    if (config_.rto <= 0) config_.rto = 2 * net_.delta();
+    if (config_.rto_max <= 0) config_.rto_max = 16 * config_.rto;
+    if (config_.jitter < 0) config_.jitter = config_.rto / 8;
+    if (config_.backoff < 1.0) throw std::invalid_argument("ReliableChannel: backoff must be >= 1");
+    if (config_.max_retries < 0)
+      throw std::invalid_argument("ReliableChannel: max_retries must be >= 0");
+    net_.set_delivery_tap([this](consensus::ProcessId from, consensus::ProcessId to,
+                                 const Msg& msg, std::uint64_t tag) {
+      on_data(from, to, msg, tag);
+    });
+  }
+
+  /// Installs the receive handler for process p.  Also forwards to the
+  /// underlying network so untagged (raw) sends keep working side by side.
+  void set_handler(consensus::ProcessId p, Handler h) {
+    handlers_.at(static_cast<std::size_t>(p)) = h;
+    net_.set_handler(p, std::move(h));
+  }
+
+  /// Sends msg from -> to with at-least-once retransmission and
+  /// exactly-once delivery to the receiver's handler.
+  void send(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg) {
+    const std::uint64_t seq = ++next_seq_;
+    auto [it, fresh] = outstanding_.emplace(seq, Pending{from, to, msg, config_.rto, 0});
+    (void)fresh;
+    net_.send_tagged(from, to, msg, seq);
+    arm(seq, it->second.rto);
+  }
+
+  [[nodiscard]] const ReliableConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
+  [[nodiscard]] std::uint64_t acks_delivered() const noexcept { return acks_; }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const noexcept { return dup_suppressed_; }
+  /// Messages abandoned after max_retries (receiver crashed or unreachable).
+  [[nodiscard]] std::uint64_t gave_up() const noexcept { return gave_up_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return outstanding_.size(); }
+
+ private:
+  struct Pending {
+    consensus::ProcessId from;
+    consensus::ProcessId to;
+    Msg msg;
+    sim::Tick rto;
+    int retries;
+  };
+
+  void arm(std::uint64_t seq, sim::Tick rto) {
+    const sim::Tick extra = config_.jitter > 0 ? rng_.next_in(0, config_.jitter) : 0;
+    net_.simulator().schedule_after(rto + extra, [this, seq] { on_timeout(seq); });
+  }
+
+  void on_timeout(std::uint64_t seq) {
+    const auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // acked while the timer was armed
+    Pending& p = it->second;
+    if (net_.crashed(p.from) || p.retries >= config_.max_retries) {
+      ++gave_up_;
+      if (net_.probe().metrics) net_.probe().metrics->counter("reliable.gave_up").add();
+      outstanding_.erase(it);
+      return;
+    }
+    ++p.retries;
+    ++retransmits_;
+    const obs::Probe& probe = net_.probe();
+    if (probe.metrics) probe.metrics->counter("reliable.retransmits").add();
+    probe.trace([&] {
+      return obs::TraceEvent{obs::EventKind::kRetransmit, net_.simulator().now(), p.from, p.to,
+                             -1,       {},       obs::message_label(p.msg),
+                             static_cast<std::int64_t>(p.retries)};
+    });
+    net_.send_tagged(p.from, p.to, p.msg, seq);
+    p.rto = std::min(config_.rto_max,
+                     static_cast<sim::Tick>(static_cast<double>(p.rto) * config_.backoff));
+    arm(seq, p.rto);
+  }
+
+  /// Delivery tap: runs at the receiver for every arriving (possibly
+  /// duplicated, possibly retransmitted) copy.  Always acks — the sender may
+  /// have missed an earlier ack — but hands only the first copy to the
+  /// application handler.
+  void on_data(consensus::ProcessId from, consensus::ProcessId to, const Msg& msg,
+               std::uint64_t seq) {
+    const bool fresh = seen_.insert(seq).second;
+    if (!fresh) {
+      ++dup_suppressed_;
+      if (net_.probe().metrics) net_.probe().metrics->counter("reliable.dup_suppressed").add();
+    }
+    // Ack travels the reverse path under the same faults and latency.
+    if (const auto when = net_.control_delivery_time(to, from)) {
+      net_.simulator().schedule_at(*when, [this, seq] {
+        if (outstanding_.erase(seq) > 0) {
+          ++acks_;
+          if (net_.probe().metrics) net_.probe().metrics->counter("reliable.acks").add();
+        }
+      });
+    }
+    if (fresh) {
+      auto& handler = handlers_.at(static_cast<std::size_t>(to));
+      if (handler) handler(from, msg);
+    }
+  }
+
+  Network<Msg>& net_;
+  std::vector<Handler> handlers_;
+  ReliableConfig config_;
+  util::Rng rng_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, Pending> outstanding_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t acks_ = 0;
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t gave_up_ = 0;
+};
+
+}  // namespace twostep::net

@@ -45,7 +45,10 @@ std::string display_name(const TraceEvent& e) {
     case EventKind::kMessageSend: name = "send "; break;
     case EventKind::kMessageDeliver: name = "recv "; break;
     case EventKind::kMessageDrop: name = "drop "; break;
+    case EventKind::kMessageDuplicate: name = "dup "; break;
+    case EventKind::kRetransmit: name = "retx "; break;
     case EventKind::kCrash: return "crash";
+    case EventKind::kRestart: return "restart";
     case EventKind::kTimerFire: return "timer";
     case EventKind::kBallotStart: return "ballot " + std::to_string(e.ballot);
     case EventKind::kPhaseTransition: name = ""; break;
@@ -60,8 +63,11 @@ const char* category(EventKind kind) {
   switch (kind) {
     case EventKind::kMessageSend:
     case EventKind::kMessageDeliver:
-    case EventKind::kMessageDrop: return "net";
-    case EventKind::kCrash: return "fault";
+    case EventKind::kMessageDrop:
+    case EventKind::kMessageDuplicate:
+    case EventKind::kRetransmit: return "net";
+    case EventKind::kCrash:
+    case EventKind::kRestart: return "fault";
     case EventKind::kTimerFire: return "timer";
     case EventKind::kBallotStart:
     case EventKind::kPhaseTransition:

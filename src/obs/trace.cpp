@@ -9,7 +9,10 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::kMessageSend: return "message_send";
     case EventKind::kMessageDeliver: return "message_deliver";
     case EventKind::kMessageDrop: return "message_drop";
+    case EventKind::kMessageDuplicate: return "message_duplicate";
+    case EventKind::kRetransmit: return "retransmit";
     case EventKind::kCrash: return "crash";
+    case EventKind::kRestart: return "restart";
     case EventKind::kTimerFire: return "timer_fire";
     case EventKind::kBallotStart: return "ballot_start";
     case EventKind::kPhaseTransition: return "phase_transition";

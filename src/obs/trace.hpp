@@ -39,8 +39,11 @@ class MetricsRegistry;
 enum class EventKind : std::uint8_t {
   kMessageSend,       ///< process -> peer, label = message type
   kMessageDeliver,    ///< process received from peer
-  kMessageDrop,       ///< lost to a crash (sender or receiver side)
+  kMessageDrop,       ///< lost: crash, injected drop or partition (see label)
+  kMessageDuplicate,  ///< fault plan scheduled an extra copy
+  kRetransmit,        ///< reliable channel re-sent an unacked message
   kCrash,             ///< process crashed (crash-stop)
+  kRestart,           ///< crashed process restarted (crash-recovery)
   kTimerFire,         ///< a protocol timer fired at process; detail = timer id
   kBallotStart,       ///< process starts leading `ballot`
   kPhaseTransition,   ///< label names the phase edge (join_ballot, accept, ...)

@@ -1,18 +1,16 @@
-// Shared helpers for the test suites: re-exports the canned runner
-// factories from the harness module under the historical testing namespace.
+// Shared helpers for the test suites: re-exports the RunSpec builder and
+// the runner aliases from the harness module under the historical testing
+// namespace.  (The deprecated make_*_runner factories are exercised only by
+// the dedicated compat test.)
 #pragma once
 
-#include "harness/runners.hpp"
+#include "harness/run_spec.hpp"
 
 namespace twostep::testing {
 
 using harness::CoreRunner;
 using harness::FastPaxosRunner;
 using harness::PaxosRunner;
-
-using harness::make_core_runner;
-using harness::make_core_runner_with_model;
-using harness::make_fastpaxos_runner;
-using harness::make_paxos_runner;
+using harness::RunSpec;
 
 }  // namespace twostep::testing

@@ -9,7 +9,7 @@ namespace {
 
 using core::Mode;
 using core::TwoStepProcess;
-using testing::make_core_runner;
+using testing::RunSpec;
 
 constexpr sim::Tick kDelta = 100;
 
@@ -17,8 +17,7 @@ TEST(Cluster, TimersDoNotFireForCrashedProcesses) {
   // A crashed process's armed ballot timer must not start ballots: after a
   // crash at time 0, the network shows zero messages from it.
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
-  r->cluster().network().enable_trace();
+  auto r = RunSpec(cfg).delta(kDelta).trace().core(Mode::kTask);
   r->cluster().start_all();  // everyone arms the 2Δ timer
   r->cluster().crash(0);     // p0 would be the Ω leader
   r->cluster().propose(1, Value{1});
@@ -32,7 +31,7 @@ TEST(Cluster, TimersDoNotFireForCrashedProcesses) {
 
 TEST(Cluster, ProposeAtSchedulesInVirtualTime) {
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_core_runner(cfg, Mode::kObject, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kObject);
   r->cluster().start_all();
   // Mid-round proposal, still before the 2Δ new-ballot timer: the Propose
   // lands at the next round boundary and the fast path completes at 2Δ.
@@ -45,7 +44,7 @@ TEST(Cluster, ProposeAtSchedulesInVirtualTime) {
 
 TEST(Cluster, RunUntilAllDecidedStopsEarly) {
   const SystemConfig cfg{5, 2, 1};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kTask);
   r->cluster().start_all();
   for (ProcessId p = 0; p < cfg.n; ++p) r->cluster().propose(p, Value{p + 1});
   EXPECT_TRUE(r->cluster().run_until_all_decided(100 * kDelta));
@@ -56,8 +55,7 @@ TEST(Cluster, CrashIsVisibleToOmegaOracle) {
   // After p0 crashes, the ScenarioRunner's oracle elects p1, and p1's
   // ballot appears in the trace (1A messages from p1).
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_core_runner(cfg, Mode::kObject, kDelta);
-  r->cluster().network().enable_trace();
+  auto r = RunSpec(cfg).delta(kDelta).trace().core(Mode::kObject);
   r->cluster().crash(0);
   r->cluster().start_all();
   r->cluster().propose(1, Value{5});
@@ -74,8 +72,7 @@ TEST(Cluster, MonitorRecordsProposalsOfCrashedProcesses) {
   // Crashed processes' inputs belong to the initial configuration even
   // though they take no step (Definition 2).
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
-  r->cluster().network().enable_trace();
+  auto r = RunSpec(cfg).delta(kDelta).trace().core(Mode::kTask);
   r->cluster().crash(2);
   r->cluster().propose(2, Value{9});
   EXPECT_EQ(r->monitor().proposals().at(2), Value{9});
@@ -100,7 +97,7 @@ TEST(PriorityOrder, WitnessWithoutProposalIsSkipped) {
 
 TEST(ScenarioRunner, HorizonLimitsTheRun) {
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kTask);
   SyncScenario s;
   s.proposals = {{2, Value{9}}, {0, Value{1}}, {1, Value{2}}};
   s.horizon = 2 * kDelta;

@@ -17,8 +17,7 @@ using consensus::ProcessId;
 using consensus::SyncScenario;
 using consensus::SystemConfig;
 using consensus::Value;
-using testing::make_core_runner;
-using testing::make_core_runner_with_model;
+using testing::RunSpec;
 using testing::MockEnv;
 
 constexpr sim::Tick kDelta = 100;
@@ -282,7 +281,7 @@ TEST(TwoStepUnit, OnDecideFiresExactlyOnce) {
 
 TEST(TwoStepRun, FailureFreeFastPathDecidesAtTwoDelta) {
   const SystemConfig cfg{5, 2, 1};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kTask);
   SyncScenario s;
   s.proposals = {{4, Value{40}}, {0, Value{10}}, {1, Value{20}}, {2, Value{30}}, {3, Value{35}}};
   r->run(s);
@@ -298,7 +297,7 @@ TEST(TwoStepRun, FailureFreeFastPathDecidesAtTwoDelta) {
 TEST(TwoStepRun, ECrashesStillTwoStepAtTaskBound) {
   // e=2, f=2: task bound n = max{2e+f, 2f+1} = 6.
   const SystemConfig cfg{6, 2, 2};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kTask);
   SyncScenario s;
   s.crashes = {0, 1};
   s.proposals = {{5, Value{50}}, {0, Value{99}}, {1, Value{98}},
@@ -313,7 +312,7 @@ TEST(TwoStepRun, ECrashesStillTwoStepAtTaskBound) {
 TEST(TwoStepRun, SameValueEveryProcessCanBeTwoStep) {
   const SystemConfig cfg{5, 2, 1};
   for (ProcessId p = 0; p < cfg.n; ++p) {
-    auto r = make_core_runner(cfg, Mode::kTask, kDelta);
+    auto r = RunSpec(cfg).delta(kDelta).core(Mode::kTask);
     std::map<ProcessId, Value> initial;
     for (ProcessId q = 0; q < cfg.n; ++q) initial[q] = Value{42};
     SyncScenario s;
@@ -329,7 +328,7 @@ TEST(TwoStepRun, CrashedFastProposerValueRecoveredBySlowPath) {
   // others voted for 9, so the ballot-recovery (threshold branch) must
   // re-propose 9 and everyone decides it.
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kTask);
   r->cluster().start_all();
   r->cluster().propose(2, Value{9});
   r->cluster().crash(2);  // after broadcasting, at time 0
@@ -347,7 +346,7 @@ TEST(TwoStepRun, ObjectModeSlowPathAfterConflict) {
   // Object bound for e=2, f=2 is n = 5.  Two proposers conflict; two
   // processes crash; no fast quorum forms and the slow path must finish.
   const SystemConfig cfg{5, 2, 2};
-  auto r = make_core_runner(cfg, Mode::kObject, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kObject);
   SyncScenario s;
   s.crashes = {3, 4};
   s.proposals = {{0, Value{10}}, {1, Value{20}}};
@@ -361,7 +360,7 @@ TEST(TwoStepRun, ObjectModeSlowPathAfterConflict) {
 
 TEST(TwoStepRun, NonProposersLearnTheDecisionInObjectMode) {
   const SystemConfig cfg{5, 2, 2};
-  auto r = make_core_runner(cfg, Mode::kObject, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kObject);
   SyncScenario s;
   s.proposals = {{2, Value{77}}};  // only p2 proposes
   r->run(s);
@@ -372,7 +371,7 @@ TEST(TwoStepRun, NonProposersLearnTheDecisionInObjectMode) {
 TEST(TwoStepRun, LeaderCrashFailoverViaOmega) {
   // p0 (initial Ω leader) is crashed; p1 must take over ballots.
   const SystemConfig cfg{5, 2, 2};
-  auto r = make_core_runner(cfg, Mode::kObject, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kObject);
   SyncScenario s;
   s.crashes = {0, 3};
   s.proposals = {{1, Value{10}}, {2, Value{20}}};
@@ -385,7 +384,7 @@ TEST(TwoStepRun, QuiescenceAfterDecision) {
   // After everyone decides, timers unwind and the simulation reaches
   // quiescence (no livelock of ballot timers).
   const SystemConfig cfg{5, 2, 1};
-  auto r = make_core_runner(cfg, Mode::kTask, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).core(Mode::kTask);
   SyncScenario s;
   s.proposals = {{0, Value{1}}, {1, Value{2}}, {2, Value{3}}, {3, Value{4}}, {4, Value{5}}};
   r->run(s);
@@ -401,7 +400,7 @@ TEST_P(TwoStepPartialSynchrony, TaskSafeAndLiveAcrossSeeds) {
   const std::uint64_t seed = GetParam();
   auto model = std::make_unique<net::PartialSynchrony>(/*gst=*/1500, /*delta=*/kDelta,
                                                        /*chaos=*/1200);
-  auto r = make_core_runner_with_model(cfg, Mode::kTask, std::move(model), seed);
+  auto r = RunSpec(cfg).model(std::move(model)).seed(seed).core(Mode::kTask);
   SyncScenario s;
   // Crash one process mid-flight for extra adversity.
   s.proposals = {{0, Value{10}}, {1, Value{20}}, {2, Value{30}},
@@ -416,7 +415,7 @@ TEST_P(TwoStepPartialSynchrony, ObjectSafeAndLiveAcrossSeeds) {
   const SystemConfig cfg{5, 2, 2};
   const std::uint64_t seed = GetParam();
   auto model = std::make_unique<net::PartialSynchrony>(1500, kDelta, 1200);
-  auto r = make_core_runner_with_model(cfg, Mode::kObject, std::move(model), seed);
+  auto r = RunSpec(cfg).model(std::move(model)).seed(seed).core(Mode::kObject);
   SyncScenario s;
   s.proposals = {{0, Value{10}}, {2, Value{30}}, {4, Value{50}}};
   r->cluster().crash_at(180, 0);

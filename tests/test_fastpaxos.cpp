@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fastpaxos/fast_paxos.hpp"
+#include "faults/fault_plan.hpp"
 #include "mock_env.hpp"
 #include "support.hpp"
 
@@ -14,7 +15,7 @@ using consensus::ProcessId;
 using consensus::SyncScenario;
 using consensus::SystemConfig;
 using consensus::Value;
-using testing::make_fastpaxos_runner;
+using testing::RunSpec;
 using testing::MockEnv;
 
 constexpr sim::Tick kDelta = 100;
@@ -137,7 +138,7 @@ TEST(FastPaxosRun, SingleProposerEveryoneTwoStepAtLamportBound) {
   const int f = 1;
   const SystemConfig cfg{SystemConfig::min_processes_fast_paxos(e, f), f, e};
   ASSERT_EQ(cfg.n, 4);
-  auto r = make_fastpaxos_runner(cfg, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).fastpaxos();
   SyncScenario s;
   s.crashes = {3};
   s.proposals = {{0, Value{10}}};
@@ -154,7 +155,7 @@ TEST(FastPaxosRun, BelowLamportBoundFastPathUnsoundOrSlow) {
   // n-e-f = 1... the run here shows the *latency* half: with one crash the
   // fast path may still fire, but contended proposals need the slow path.
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_fastpaxos_runner(cfg, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).fastpaxos();
   SyncScenario s;
   s.crashes = {2};
   s.proposals = {{0, Value{10}}, {1, Value{20}}};
@@ -171,18 +172,19 @@ TEST(FastPaxosRun, ContendedProposalsFallBackToSlowPath) {
   // Split votes: two proposals race; no value reaches the fast quorum and
   // the coordinator recovers on a slow ballot.
   const SystemConfig cfg{4, 1, 1};
-  auto r = make_fastpaxos_runner(cfg, kDelta);
   // Interleave deliveries so the votes split 2-2: p0's proposal reaches
   // p0, p1 first; p3's proposal reaches p2, p3 first.
-  auto& net = r->cluster().network();
-  net.set_interceptor([](sim::Tick now, ProcessId from, ProcessId to,
-                         const Message& m) -> std::optional<sim::Tick> {
-    if (!std::holds_alternative<FastProposeMsg>(m)) return std::nullopt;
-    const bool lowhalf = to <= 1;
-    const sim::Tick round = (now / kDelta + 1) * kDelta;
-    if (from == 0) return lowhalf ? round : round + 1;
-    return lowhalf ? round + 1 : round;
-  });
+  auto plan = std::make_shared<faults::FaultPlan>();
+  plan->delay_rule(faults::typed_delay_rule<Message>(
+      [](sim::Tick now, ProcessId from, ProcessId to,
+         const Message& m) -> std::optional<sim::Tick> {
+        if (!std::holds_alternative<FastProposeMsg>(m)) return std::nullopt;
+        const bool lowhalf = to <= 1;
+        const sim::Tick round = (now / kDelta + 1) * kDelta;
+        if (from == 0) return lowhalf ? round : round + 1;
+        return lowhalf ? round + 1 : round;
+      }));
+  auto r = RunSpec(cfg).delta(kDelta).fault_plan(plan).fastpaxos();
   r->cluster().start_all();
   r->cluster().propose(0, Value{10});
   r->cluster().propose(3, Value{20});
@@ -199,7 +201,7 @@ TEST(FastPaxosRun, NeedsOneMoreProcessThanPaperObjectProtocol) {
   EXPECT_EQ(SystemConfig::min_processes_fast_paxos(2, 2), 7);
   EXPECT_EQ(SystemConfig::min_processes_object(2, 2), 5);
   const SystemConfig cfg{7, 2, 2};
-  auto r = make_fastpaxos_runner(cfg, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).fastpaxos();
   SyncScenario s;
   s.crashes = {5, 6};
   s.proposals = {{0, Value{10}}};

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "faults/fault_plan.hpp"
 #include "net/latency.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -192,10 +193,15 @@ TEST(Network, CountsSentAndDelivered) {
   EXPECT_EQ(net.messages_delivered(), 1u);
 }
 
+NetworkConfig traced_config() {
+  NetworkConfig config;
+  config.trace = true;
+  return config;
+}
+
 TEST(Network, TraceRecordsSendAndDelivery) {
   sim::Simulator sim;
-  Net net{sim, fixed(10), 2};
-  net.enable_trace();
+  Net net{sim, fixed(10), 2, 1, traced_config()};
   net.set_handler(1, [](ProcessId, const std::string&) {});
   net.send(0, 1, "traced");
   sim.run();
@@ -206,19 +212,35 @@ TEST(Network, TraceRecordsSendAndDelivery) {
   EXPECT_EQ(entry.payload, "traced");
 }
 
-TEST(Network, TraceMarksUndelivered) {
+TEST(Network, TraceMarksUndeliveredWithDropReason) {
   sim::Simulator sim;
-  Net net{sim, fixed(10), 2};
-  net.enable_trace();
+  Net net{sim, fixed(10), 2, 1, traced_config()};
   net.set_handler(1, [](ProcessId, const std::string&) {});
   net.send(0, 1, "lost");
   net.crash(1);
   sim.run();
   ASSERT_EQ(net.trace().size(), 1u);
   EXPECT_EQ(net.trace().front().deliver_time, -1);
+  // The recipient crashed: no longer conflated with "still in flight".
+  EXPECT_EQ(net.trace().front().drop, faults::DropReason::kCrashed);
 }
 
-TEST(Network, InterceptorOverridesDelivery) {
+TEST(Network, TraceMarksInFlightDistinctFromCrashed) {
+  sim::Simulator sim;
+  Net net{sim, fixed(10), 2, 1, traced_config()};
+  net.set_handler(1, [](ProcessId, const std::string&) {});
+  net.send(0, 1, "in-flight");
+  // Run no events: the message is sent but the run ends before delivery.
+  ASSERT_EQ(net.trace().size(), 1u);
+  EXPECT_EQ(net.trace().front().deliver_time, -1);
+  EXPECT_EQ(net.trace().front().drop, faults::DropReason::kNone);
+}
+
+// The deprecated Interceptor hook must keep working (as a wrapper over a
+// single-rule FaultPlan) for one release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Network, DeprecatedInterceptorOverridesDelivery) {
   sim::Simulator sim;
   Net net{sim, fixed(10), 2};
   sim::Tick when = -1;
@@ -235,6 +257,7 @@ TEST(Network, InterceptorOverridesDelivery) {
   sim.run();
   EXPECT_EQ(when, 510);
 }
+#pragma GCC diagnostic pop
 
 TEST(Network, RejectsBadProcessIds) {
   sim::Simulator sim;

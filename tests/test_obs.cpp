@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "consensus/scenario.hpp"
-#include "harness/runners.hpp"
+#include "harness/run_spec.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -408,8 +408,7 @@ TEST(ObsEndToEnd, FastPathRunEmitsExpectedEventsAndMetrics) {
   // 100+p with p2's maximal value delivered first: p2 decides on the fast
   // path at 2Δ, everyone else learns.
   const consensus::SystemConfig cfg{3, 1, 1};
-  auto runner = harness::make_core_runner(cfg, core::Mode::kTask, 100,
-                                          core::SelectionPolicy::kPaper, 1, probe);
+  auto runner = harness::RunSpec(cfg).delta(100).probe(probe).core(core::Mode::kTask);
   consensus::SyncScenario s;
   for (int p = 2; p >= 0; --p) s.proposals.push_back({p, Value{100 + p}});
   runner->run(s);
@@ -476,8 +475,7 @@ TEST(ObsEndToEnd, SlowPathRunCountsBallotsAndSelectionBranches) {
   // mode at n = 4 (e = 1, f = 1) — wait, keep it simple: task mode with the
   // only proposal held by a crashed process forces ballot recovery.
   const consensus::SystemConfig cfg{3, 1, 1};
-  auto runner = harness::make_core_runner(cfg, core::Mode::kTask, 100,
-                                          core::SelectionPolicy::kPaper, 1, probe);
+  auto runner = harness::RunSpec(cfg).delta(100).probe(probe).core(core::Mode::kTask);
   consensus::SyncScenario s;
   s.crashes = {2};
   s.proposals = {{0, Value{100}}, {1, Value{101}}};
@@ -508,7 +506,7 @@ TEST(ObsEndToEnd, DisabledProbeProducesNoMetricsOrEvents) {
   // attached) and record nothing — the configuration every tier-1 test and
   // benchmark runs in.
   const consensus::SystemConfig cfg{3, 1, 1};
-  auto runner = harness::make_core_runner(cfg, core::Mode::kTask, 100);
+  auto runner = harness::RunSpec(cfg).delta(100).core(core::Mode::kTask);
   consensus::SyncScenario s;
   for (int p = 0; p < 3; ++p) s.proposals.push_back({p, Value{100 + p}});
   runner->run(s);

@@ -14,7 +14,7 @@ using consensus::ProcessId;
 using consensus::SyncScenario;
 using consensus::SystemConfig;
 using consensus::Value;
-using testing::make_paxos_runner;
+using testing::RunSpec;
 using testing::MockEnv;
 
 constexpr sim::Tick kDelta = 100;
@@ -137,7 +137,7 @@ TEST(PaxosRun, FailureFreeEveryoneDecidesAtTwoDelta) {
   // Paxos with a correct pre-established leader IS 0-two-step: Accepted is
   // broadcast, so all processes decide at 2Δ.
   const SystemConfig cfg{3, 1, 0};
-  auto r = make_paxos_runner(cfg, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).paxos();
   SyncScenario s;
   s.proposals = {{0, Value{10}}, {1, Value{20}}, {2, Value{30}}};
   r->run(s);
@@ -152,7 +152,7 @@ TEST(PaxosRun, LeaderCrashMakesItSlow) {
   // The paper's point: Paxos is not e-two-step for e > 0.  With the initial
   // leader crashed, nobody can decide by 2Δ.
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_paxos_runner(cfg, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).paxos();
   SyncScenario s;
   s.crashes = {0};
   s.proposals = {{0, Value{10}}, {1, Value{20}}, {2, Value{30}}};
@@ -170,7 +170,7 @@ TEST(PaxosRun, RecoveredValueIsTheVotedOne) {
   // is still delivered (reliable links), acceptors vote 10, and recovery by
   // p1 must re-propose 10.
   const SystemConfig cfg{3, 1, 1};
-  auto r = make_paxos_runner(cfg, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).paxos();
   r->cluster().start_all();
   r->cluster().propose(0, Value{10});
   r->cluster().crash(0);
@@ -184,7 +184,7 @@ TEST(PaxosRun, RecoveredValueIsTheVotedOne) {
 
 TEST(PaxosRun, SurvivesMaxCrashes) {
   const SystemConfig cfg{5, 2, 2};
-  auto r = make_paxos_runner(cfg, kDelta);
+  auto r = RunSpec(cfg).delta(kDelta).paxos();
   SyncScenario s;
   s.crashes = {0, 1};
   s.proposals = {{0, Value{1}}, {1, Value{2}}, {2, Value{3}}, {3, Value{4}}, {4, Value{5}}};

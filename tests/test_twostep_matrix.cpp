@@ -34,7 +34,7 @@ TEST_P(TaskMatrix, MeetsDefinition4AtTheorem5Bound) {
   const auto [e, f] = GetParam();
   const SystemConfig cfg{SystemConfig::min_processes_task(e, f), f, e};
   TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
-      cfg, [&] { return testing::make_core_runner(cfg, Mode::kTask, kDelta); }};
+      cfg, [&] { return testing::RunSpec(cfg).delta(kDelta).core(Mode::kTask); }};
   expect_all_satisfied(eval.check_task_item1());
   expect_all_satisfied(eval.check_task_item2());
 }
@@ -43,7 +43,7 @@ TEST_P(TaskMatrix, AlsoMeetsItAboveTheBound) {
   const auto [e, f] = GetParam();
   const SystemConfig cfg{SystemConfig::min_processes_task(e, f) + 1, f, e};
   TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
-      cfg, [&] { return testing::make_core_runner(cfg, Mode::kTask, kDelta); }};
+      cfg, [&] { return testing::RunSpec(cfg).delta(kDelta).core(Mode::kTask); }};
   expect_all_satisfied(eval.check_task_item1());
   expect_all_satisfied(eval.check_task_item2());
 }
@@ -61,7 +61,7 @@ TEST_P(ObjectMatrix, MeetsDefinitionA1AtTheorem6Bound) {
   const auto [e, f] = GetParam();
   const SystemConfig cfg{SystemConfig::min_processes_object(e, f), f, e};
   TwoStepEvaluator<core::TwoStepProcess, core::Options> eval{
-      cfg, [&] { return testing::make_core_runner(cfg, Mode::kObject, kDelta); }};
+      cfg, [&] { return testing::RunSpec(cfg).delta(kDelta).core(Mode::kObject); }};
   expect_all_satisfied(eval.check_object_item1());
   expect_all_satisfied(eval.check_object_item2());
 }
@@ -86,7 +86,7 @@ TEST(FastPaxosMatrix, MeetsDefinition4AtLamportBound) {
   const int f = 1;
   const SystemConfig cfg{SystemConfig::min_processes_fast_paxos(e, f), f, e};
   TwoStepEvaluator<fastpaxos::FastPaxosProcess, fastpaxos::Options> eval{
-      cfg, [&] { return testing::make_fastpaxos_runner(cfg, kDelta); }};
+      cfg, [&] { return testing::RunSpec(cfg).delta(kDelta).fastpaxos(); }};
   expect_all_satisfied(eval.check_task_item1());
   expect_all_satisfied(eval.check_task_item2());
 }
@@ -94,7 +94,7 @@ TEST(FastPaxosMatrix, MeetsDefinition4AtLamportBound) {
 TEST(PaxosMatrix, IsZeroTwoStep) {
   const SystemConfig cfg{3, 1, 0};
   TwoStepEvaluator<paxos::PaxosProcess, paxos::Options> eval{
-      cfg, [&] { return testing::make_paxos_runner(cfg, kDelta); }};
+      cfg, [&] { return testing::RunSpec(cfg).delta(kDelta).paxos(); }};
   expect_all_satisfied(eval.check_task_item1());
   expect_all_satisfied(eval.check_task_item2());
 }
@@ -104,7 +104,7 @@ TEST(PaxosMatrix, FailsForAnyPositiveE) {
   // obligation "some process two-step for every crash set" fails.
   const SystemConfig cfg{4, 1, 1};  // even one extra process does not help
   TwoStepEvaluator<paxos::PaxosProcess, paxos::Options> eval{
-      cfg, [&] { return testing::make_paxos_runner(cfg, kDelta); }};
+      cfg, [&] { return testing::RunSpec(cfg).delta(kDelta).paxos(); }};
   const EvalVerdict verdict = eval.check_task_item1();
   EXPECT_FALSE(verdict.ok());
   // Exactly the crash sets containing p0 fail: E={0} over canonical configs.

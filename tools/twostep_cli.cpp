@@ -25,11 +25,30 @@
 //   twostep_cli fuzz --e E --f F [--mode task|object] [--n N]
 //              [--policy paper|noexcl|notie|nothresh]
 //              [--traces N] [--seed S] [--jobs N]
+//              [--drop K] [--dup K] [--partition K]
 //       Hunt for Agreement violations with random schedules.
 //       --jobs N       shard the traces across N worker threads (0 = all
 //                      hardware threads).  Results are deterministic: the
 //                      reported counts and violating schedule are identical
 //                      for every N.
+//       --drop/--dup/--partition K   give the adversary a budget of up to K
+//                      injected message drops / duplications / momentary
+//                      one-process partitions per trace, explored as
+//                      explicit schedule actions (replayable, jobs-stable).
+//
+//   twostep_cli chaos --protocol task|object|paxos|fastpaxos --e E --f F
+//              [--n N] [--model sync|ps|wan] [--runs N] [--seed S]
+//              [--drop R] [--dup R] [--reorder R] [--partition T1-T2]
+//              [--raw]
+//       Run N seeded consensus instances under a deterministic FaultPlan
+//       (drop/duplicate each message with probability R, delay-reorder with
+//       probability R, partition the lower half of the cluster during
+//       [T1, T2)) with a ReliableChannel restoring reliable links, and
+//       report decision/fast-path rates, latency and retransmission stats.
+//       --raw disables the ReliableChannel (protocols face the lossy link
+//       directly; safety must still hold, liveness may not).
+//       Exit status 2 if any run violates safety.  Runs are byte-identical
+//       for a fixed --seed.
 //
 //   twostep_cli sweep [--emax E] [--fmax F] [--jobs N] [--metrics-out FILE]
 //       Run every applicable Appendix B construction over the (e, f) grid,
@@ -46,13 +65,15 @@
 
 #include "core/messages.hpp"
 #include "exec/thread_pool.hpp"
-#include "harness/runners.hpp"
+#include "faults/fault_plan.hpp"
+#include "harness/run_spec.hpp"
 #include "lowerbound/scenarios.hpp"
 #include "modelcheck/explorer.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -245,21 +266,18 @@ int cmd_run(const Args& args) {
   auto model = make_model(args.get("model", "sync"), n);
   obs::RunTracer* tracer_out = want_trace ? &tracer : nullptr;
   obs::MetricsRegistry* metrics_out = want_metrics ? &metrics : nullptr;
+  harness::RunSpec spec(cfg);
+  spec.model(std::move(model)).seed(seed).probe(probe);
   if (protocol == "task" || protocol == "object") {
-    const auto mode = protocol == "task" ? core::Mode::kTask : core::Mode::kObject;
-    auto runner =
-        harness::make_core_runner_with_model(cfg, mode, std::move(model), seed, probe);
+    auto runner = spec.core(protocol == "task" ? core::Mode::kTask : core::Mode::kObject);
     return report_run(*runner, cfg, args, tracer_out, metrics_out);
   }
   if (protocol == "fastpaxos") {
-    auto runner = harness::make_fastpaxos_runner_with_model(cfg, std::move(model), seed, probe);
+    auto runner = spec.fastpaxos();
     return report_run(*runner, cfg, args, tracer_out, metrics_out);
   }
   if (protocol == "paxos") {
-    paxos::Options options;
-    options.delta = model->delta();
-    options.probe = probe;
-    auto runner = std::make_unique<harness::PaxosRunner>(cfg, std::move(model), options, seed);
+    auto runner = spec.paxos();
     return report_run(*runner, cfg, args, tracer_out, metrics_out);
   }
   std::fprintf(stderr, "unknown protocol '%s'\n", protocol.c_str());
@@ -330,12 +348,19 @@ int cmd_fuzz(const Args& args) {
   };
   for (ProcessId p = 0; p < cfg.n; ++p) scenario.may_crash.push_back(p);
   scenario.crash_budget = f;
+  scenario.faults.drops = static_cast<int>(args.get_int("drop", 0));
+  scenario.faults.duplicates = static_cast<int>(args.get_int("dup", 0));
+  scenario.faults.partitions = static_cast<int>(args.get_int("partition", 0));
 
   const auto traces = static_cast<int>(args.get_int("traces", 20000));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   const int jobs = exec::resolve_jobs(static_cast<int>(args.get_int("jobs", 1)));
-  std::printf("fuzzing %s protocol (policy=%s) at n=%d e=%d f=%d: %d traces, %d job(s)...\n",
+  std::printf("fuzzing %s protocol (policy=%s) at n=%d e=%d f=%d: %d traces, %d job(s)",
               mode_name.c_str(), policy_name.c_str(), n, e, f, traces, jobs);
+  if (scenario.faults.drops || scenario.faults.duplicates || scenario.faults.partitions)
+    std::printf(", fault budget drop=%d dup=%d partition=%d", scenario.faults.drops,
+                scenario.faults.duplicates, scenario.faults.partitions);
+  std::printf("...\n");
   const auto result =
       modelcheck::Explorer<core::TwoStepProcess>::fuzz(scenario, traces, seed, 250, jobs);
   if (result.violation) {
@@ -345,6 +370,150 @@ int cmd_fuzz(const Args& args) {
   }
   std::printf("no violation in %ld traces (%ld total steps)\n", result.traces, result.steps);
   return 0;
+}
+
+/// Per-run outcome accumulator for `chaos`.
+struct ChaosTally {
+  int runs = 0;
+  int decided = 0;     ///< runs where every correct process decided
+  int violations = 0;  ///< runs with a safety violation
+  int fast = 0;        ///< per-process decisions within 2 * delta
+  long latency_sum = 0;
+  int latency_samples = 0;
+  unsigned long long drops = 0;
+  unsigned long long dups = 0;
+  unsigned long long retransmits = 0;
+  unsigned long long gave_up = 0;
+};
+
+/// Executes one seeded chaos run on an already-built runner: everyone
+/// proposes, the cluster runs to quiescence, outcomes land in the tally.
+template <typename Runner>
+void chaos_run(Runner& runner, const SystemConfig& cfg, ChaosTally& tally) {
+  auto& cluster = runner.cluster();
+  cluster.start_all();
+  for (ProcessId p = 0; p < cfg.n; ++p) cluster.propose(p, Value{100 + p});
+  cluster.run(2'000'000);
+
+  const sim::Tick delta = cluster.delta();
+  ++tally.runs;
+  bool all_decided = true;
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    if (cluster.crashed(p)) continue;
+    const auto at = runner.monitor().decision_time(p);
+    if (!at) {
+      all_decided = false;
+      continue;
+    }
+    tally.latency_sum += *at;
+    ++tally.latency_samples;
+    if (*at <= 2 * delta) ++tally.fast;
+  }
+  if (all_decided) ++tally.decided;
+  if (!runner.monitor().safe()) ++tally.violations;
+  if (const auto* plan = cluster.network().fault_plan()) {
+    tally.drops += plan->injected_drops();
+    tally.dups += plan->injected_duplicates();
+  }
+  if (const auto* channel = cluster.reliable_channel()) {
+    tally.retransmits += channel->retransmits();
+    tally.gave_up += channel->gave_up();
+  }
+}
+
+int cmd_chaos(const Args& args) {
+  const int e = static_cast<int>(args.get_int("e", 2));
+  const int f = static_cast<int>(args.get_int("f", 2));
+  const std::string protocol = args.get("protocol", "object");
+  int n;
+  if (protocol == "task") {
+    n = SystemConfig::min_processes_task(e, f);
+  } else if (protocol == "object") {
+    n = SystemConfig::min_processes_object(e, f);
+  } else if (protocol == "fastpaxos") {
+    n = SystemConfig::min_processes_fast_paxos(e, f);
+  } else if (protocol == "paxos") {
+    n = 2 * f + 1;
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n", protocol.c_str());
+    return 1;
+  }
+  n = static_cast<int>(args.get_int("n", n));
+  const SystemConfig cfg{n, f, e};
+
+  const double drop = std::stod(args.get("drop", "0"));
+  const double dup = std::stod(args.get("dup", "0"));
+  const double reorder = std::stod(args.get("reorder", "0"));
+  const int runs = static_cast<int>(args.get_int("runs", 20));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool reliable = !args.has("raw");
+
+  // --partition T1-T2: sever the lower half of the cluster during [T1, T2).
+  sim::Tick part_since = -1, part_heal = -1;
+  if (args.has("partition")) {
+    const std::string spec = args.get("partition");
+    const std::size_t dash = spec.find('-');
+    part_since = std::stol(spec.substr(0, dash));
+    if (dash != std::string::npos) part_heal = std::stol(spec.substr(dash + 1));
+  }
+
+  std::printf(
+      "chaos: protocol=%s n=%d e=%d f=%d model=%s runs=%d seed=%llu "
+      "drop=%.2f dup=%.2f reorder=%.2f partition=%s reliable=%s\n\n",
+      protocol.c_str(), n, e, f, args.get("model", "sync").c_str(), runs,
+      static_cast<unsigned long long>(seed), drop, dup, reorder,
+      args.has("partition") ? args.get("partition").c_str() : "none", reliable ? "on" : "off");
+
+  ChaosTally tally;
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t run_seed = util::splitmix64(seed, static_cast<std::uint64_t>(i));
+    auto model = make_model(args.get("model", "sync"), n);
+    const sim::Tick delta = model->delta();
+    auto plan = std::make_shared<faults::FaultPlan>(run_seed);
+    if (drop > 0) plan->drop(drop);
+    if (dup > 0) plan->duplicate(dup);
+    if (reorder > 0) plan->reorder(reorder, 2 * delta);
+    if (part_since >= 0) {
+      std::vector<ProcessId> island;
+      for (ProcessId p = 0; p < n / 2; ++p) island.push_back(p);
+      plan->partition_cut(std::move(island), part_since, part_heal);
+    }
+    harness::RunSpec spec(cfg);
+    spec.model(std::move(model)).seed(run_seed).fault_plan(plan);
+    if (reliable) spec.reliable();
+    if (protocol == "task" || protocol == "object") {
+      auto runner = spec.core(protocol == "task" ? core::Mode::kTask : core::Mode::kObject);
+      chaos_run(*runner, cfg, tally);
+    } else if (protocol == "fastpaxos") {
+      auto runner = spec.fastpaxos();
+      chaos_run(*runner, cfg, tally);
+    } else {
+      auto runner = spec.paxos();
+      chaos_run(*runner, cfg, tally);
+    }
+  }
+
+  util::Table t({"metric", "value"});
+  t.set_title("chaos summary (" + std::to_string(tally.runs) + " runs)");
+  const auto pct = [](int num, int den) {
+    return den == 0 ? std::string("-")
+                    : std::to_string(num * 100 / den) + "% (" + std::to_string(num) + "/" +
+                          std::to_string(den) + ")";
+  };
+  t.add_row({"all correct decided", pct(tally.decided, tally.runs)});
+  t.add_row({"fast-path decisions", pct(tally.fast, tally.latency_samples)});
+  t.add_row({"mean decision latency",
+             tally.latency_samples == 0
+                 ? "-"
+                 : std::to_string(tally.latency_sum / tally.latency_samples) + " ticks"});
+  t.add_row({"safety violations", std::to_string(tally.violations)});
+  t.add_row({"injected drops", std::to_string(tally.drops)});
+  t.add_row({"injected duplicates", std::to_string(tally.dups)});
+  t.add_row({"retransmissions", std::to_string(tally.retransmits)});
+  t.add_row({"retransmit give-ups", std::to_string(tally.gave_up)});
+  std::printf("%s", t.to_string().c_str());
+  std::printf("safety: %s\n", tally.violations == 0 ? "ok" : "VIOLATED");
+  return tally.violations == 0 ? 0 : 2;
 }
 
 int cmd_sweep(const Args& args) {
@@ -382,7 +551,7 @@ int cmd_sweep(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: twostep_cli <bounds|run|attack|fuzz|sweep> [flags]\n"
+               "usage: twostep_cli <bounds|run|attack|fuzz|chaos|sweep> [flags]\n"
                "see the header of tools/twostep_cli.cpp for the full flag list\n");
 }
 
@@ -399,6 +568,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "attack") return cmd_attack(args);
   if (cmd == "fuzz") return cmd_fuzz(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "sweep") return cmd_sweep(args);
   usage();
   return 1;
