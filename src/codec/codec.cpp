@@ -1,5 +1,7 @@
 #include "codec/codec.hpp"
 
+#include <limits>
+
 namespace twostep::codec {
 
 using consensus::Value;
@@ -165,6 +167,159 @@ std::optional<core::Message> decode(std::span<const std::uint8_t> data) {
   }
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return out;
+}
+
+std::vector<std::uint8_t> encode(const rsm::SlotMsg& m) {
+  Writer w;
+  w.put_i64(m.slot);
+  std::vector<std::uint8_t> out = std::move(w).take();
+  const std::vector<std::uint8_t> inner = encode(m.inner);
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+std::optional<rsm::SlotMsg> decode_slot(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const std::int64_t slot = r.get_i64();
+  if (!r.ok()) return std::nullopt;
+  if (slot < std::numeric_limits<std::int32_t>::min() ||
+      slot > std::numeric_limits<std::int32_t>::max())
+    return std::nullopt;
+  // The inner decoder consumes the remainder and enforces exhaustion.
+  auto inner = decode(data.subspan(r.position()));
+  if (!inner) return std::nullopt;
+  return rsm::SlotMsg{static_cast<std::int32_t>(slot), std::move(*inner)};
+}
+
+namespace {
+
+// Fast Paxos tag space (independent of the core protocol's).
+constexpr std::uint8_t kTagFastPropose = 1;
+constexpr std::uint8_t kTagPrepare = 2;
+constexpr std::uint8_t kTagPromise = 3;
+constexpr std::uint8_t kTagAccept = 4;
+constexpr std::uint8_t kTagAccepted = 5;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const fastpaxos::Message& m) {
+  Writer w;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, fastpaxos::FastProposeMsg>) {
+          w.put_u8(kTagFastPropose);
+          w.put_value(msg.v);
+        } else if constexpr (std::is_same_v<T, fastpaxos::PrepareMsg>) {
+          w.put_u8(kTagPrepare);
+          w.put_i64(msg.b);
+        } else if constexpr (std::is_same_v<T, fastpaxos::PromiseMsg>) {
+          w.put_u8(kTagPromise);
+          w.put_i64(msg.b);
+          w.put_i64(msg.vbal);
+          w.put_value(msg.vval);
+          w.put_value(msg.initial);
+        } else if constexpr (std::is_same_v<T, fastpaxos::AcceptMsg>) {
+          w.put_u8(kTagAccept);
+          w.put_i64(msg.b);
+          w.put_value(msg.v);
+        } else {
+          w.put_u8(kTagAccepted);
+          w.put_i64(msg.b);
+          w.put_value(msg.v);
+        }
+      },
+      m);
+  return std::move(w).take();
+}
+
+std::optional<fastpaxos::Message> decode_fastpaxos(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const std::uint8_t tag = r.get_u8();
+  std::optional<fastpaxos::Message> out;
+  switch (tag) {
+    case kTagFastPropose: {
+      fastpaxos::FastProposeMsg m;
+      m.v = r.get_value();
+      out = fastpaxos::Message{m};
+      break;
+    }
+    case kTagPrepare: {
+      fastpaxos::PrepareMsg m;
+      m.b = r.get_i64();
+      out = fastpaxos::Message{m};
+      break;
+    }
+    case kTagPromise: {
+      fastpaxos::PromiseMsg m;
+      m.b = r.get_i64();
+      m.vbal = r.get_i64();
+      m.vval = r.get_value();
+      m.initial = r.get_value();
+      out = fastpaxos::Message{m};
+      break;
+    }
+    case kTagAccept: {
+      fastpaxos::AcceptMsg m;
+      m.b = r.get_i64();
+      m.v = r.get_value();
+      out = fastpaxos::Message{m};
+      break;
+    }
+    case kTagAccepted: {
+      fastpaxos::AcceptedMsg m;
+      m.b = r.get_i64();
+      m.v = r.get_value();
+      out = fastpaxos::Message{m};
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const ClientRequest& m) {
+  Writer w;
+  w.put_i64(m.id);
+  w.put_i64(m.payload);
+  return std::move(w).take();
+}
+
+std::optional<ClientRequest> decode_client_request(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  ClientRequest m;
+  m.id = r.get_i64();
+  m.payload = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ClientReply& m) {
+  Writer w;
+  w.put_i64(m.id);
+  w.put_i64(m.value);
+  w.put_i64(m.slot);
+  w.put_u8(m.ok ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<ClientReply> decode_client_reply(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  ClientReply m;
+  m.id = r.get_i64();
+  m.value = r.get_i64();
+  const std::int64_t slot = r.get_i64();
+  const std::uint8_t ok_byte = r.get_u8();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (slot < std::numeric_limits<std::int32_t>::min() ||
+      slot > std::numeric_limits<std::int32_t>::max())
+    return std::nullopt;
+  if (ok_byte > 1) return std::nullopt;
+  m.slot = static_cast<std::int32_t>(slot);
+  m.ok = ok_byte == 1;
+  return m;
 }
 
 }  // namespace twostep::codec

@@ -1,11 +1,13 @@
-// Compact binary wire codec for the core protocol's messages.
+// Compact binary wire codec for every message that crosses the wire.
 //
-// In-process simulation passes messages by value, but a credible release
-// needs a wire format: the CLI tool uses it for trace dumps, and it is the
-// seam a real UDP/TCP transport would plug into.  The format is a 1-byte
-// message tag followed by the fields in declaration order; integers are
-// zigzag varints, Values are a presence byte + varint.  decode() is total:
-// any malformed input yields nullopt, never UB — fuzzed in the tests.
+// In-process simulation passes messages by value, but the live TCP transport
+// (src/transport, src/node) serializes through here: the core protocol's
+// messages, the RSM's slot-tagged messages, Fast Paxos's messages, and the
+// client request/reply frames.  The format is a 1-byte message tag followed
+// by the fields in declaration order; integers are zigzag varints, Values
+// are a presence byte + varint.  Every decoder is total: any malformed
+// input (unknown tag, truncation, oversize varint, trailing bytes) yields
+// nullopt, never UB — fuzzed in the tests and exercised under ASan.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,8 @@
 
 #include "consensus/types.hpp"
 #include "core/messages.hpp"
+#include "fastpaxos/fast_paxos.hpp"
+#include "rsm/rsm.hpp"
 
 namespace twostep::codec {
 
@@ -49,6 +53,9 @@ class Reader {
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   /// True iff every byte has been consumed (trailing garbage is an error).
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+  /// Bytes consumed so far — lets composite decoders (SlotMsg) hand the
+  /// remainder of the buffer to a nested decoder.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
 
  private:
   std::span<const std::uint8_t> data_;
@@ -62,5 +69,45 @@ std::vector<std::uint8_t> encode(const core::Message& m);
 /// Parses one core-protocol message; nullopt on any malformed input
 /// (unknown tag, truncation, oversize varint, trailing bytes).
 std::optional<core::Message> decode(std::span<const std::uint8_t> data);
+
+/// Serializes one slot-tagged RSM message: slot varint + inner encoding.
+std::vector<std::uint8_t> encode(const rsm::SlotMsg& m);
+
+/// Parses one slot-tagged RSM message; nullopt on malformed input.
+std::optional<rsm::SlotMsg> decode_slot(std::span<const std::uint8_t> data);
+
+/// Serializes one Fast Paxos message (its own 1-byte tag space).
+std::vector<std::uint8_t> encode(const fastpaxos::Message& m);
+
+/// Parses one Fast Paxos message; nullopt on malformed input.
+std::optional<fastpaxos::Message> decode_fastpaxos(std::span<const std::uint8_t> data);
+
+// ---- client frames (the request/reply path of the live node runtime) ----
+
+/// A client command: `id` correlates the reply, `payload` is the proposed
+/// value (single-shot protocols) or the RSM command payload (< 2^40).
+struct ClientRequest {
+  std::int64_t id = 0;
+  std::int64_t payload = 0;
+  friend bool operator==(const ClientRequest&, const ClientRequest&) = default;
+};
+
+/// The server's answer: `value` is the decided value (single-shot) or the
+/// committed command (RSM), `slot` the RSM log position (-1 for single-shot
+/// consensus), `ok` false when the request was rejected (e.g. an RSM
+/// payload outside the 40-bit command range).
+struct ClientReply {
+  std::int64_t id = 0;
+  std::int64_t value = 0;
+  std::int32_t slot = -1;
+  bool ok = true;
+  friend bool operator==(const ClientReply&, const ClientReply&) = default;
+};
+
+std::vector<std::uint8_t> encode(const ClientRequest& m);
+std::optional<ClientRequest> decode_client_request(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode(const ClientReply& m);
+std::optional<ClientReply> decode_client_reply(std::span<const std::uint8_t> data);
 
 }  // namespace twostep::codec

@@ -112,8 +112,8 @@ class FaultPlan {
   FaultPlan& restart_at(sim::Tick when, ProcessId p);
 
   /// Installs the delivery-time override (at most one; replaces any
-  /// previous rule).  net::Network's deprecated set_interceptor wraps the
-  /// legacy typed interceptor into exactly this rule.
+  /// previous rule).  typed_delay_rule() adapts a typed
+  /// (now, from, to, msg) -> optional<Tick> callable into this shape.
   FaultPlan& delay_rule(DelayRule rule);
 
   /// Replaces the plan's random stream (e.g. with a per-task sweep seed).

@@ -1,7 +1,7 @@
 // RunSpec: one named-setter builder for every protocol runner.
 //
-// Replaces the six positional-default make_*_runner factories (still
-// available as deprecated shims in runners.hpp).  A spec accumulates the
+// Replaces the historical positional-default make_*_runner factories
+// (removed after their deprecation release).  A spec accumulates the
 // run's knobs — latency model, delta, seed, selection policy, probe,
 // payload tracing, fault plan, reliable channel — and a terminal method
 // (core / paxos / fastpaxos / rsm) consumes it into a ScenarioRunner:

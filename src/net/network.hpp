@@ -11,9 +11,9 @@
 // a lossy plan, net::ReliableChannel restores the reliable-link abstraction
 // via retransmission (see net/reliable.hpp).
 //
-// Configuration is passed at construction via NetworkConfig; the historical
-// post-construction setters (set_interceptor / enable_trace / set_probe)
-// remain as deprecated thin wrappers for one release.
+// Configuration is passed at construction via NetworkConfig; the only
+// supported post-construction mutation is reattach_probe (dynamic probe
+// swaps mid-run).
 #pragma once
 
 #include <cstddef>
@@ -51,8 +51,7 @@ struct TraceEntry {
   Msg payload{};
 };
 
-/// Construction-time network configuration.  Replaces the historical
-/// set_interceptor / enable_trace / set_probe post-construction setters.
+/// Construction-time network configuration.
 struct NetworkConfig {
   /// Fault-injection stage; null keeps links reliable and costs one pointer
   /// test per send.  Shared so the caller can keep a handle for statistics
@@ -72,12 +71,6 @@ template <typename Msg>
 class Network {
  public:
   using Handler = std::function<void(consensus::ProcessId from, const Msg&)>;
-
-  /// Legacy interception hook: given (now, from, to, msg) may return an
-  /// absolute delivery time overriding the latency model, or nullopt to
-  /// defer to it.  Superseded by faults::FaultPlan delay rules.
-  using Interceptor = std::function<std::optional<sim::Tick>(
-      sim::Tick, consensus::ProcessId, consensus::ProcessId, const Msg&)>;
 
   /// Observer for tagged sends (the reliable channel's data path): invoked
   /// at delivery time instead of the per-process handler, with the opaque
@@ -113,28 +106,7 @@ class Network {
   /// Installs the tagged-delivery observer (see send_tagged).
   void set_delivery_tap(DeliveryTap tap) { tap_ = std::move(tap); }
 
-  /// Deprecated: configure a faults::FaultPlan instead (NetworkConfig::
-  /// faults).  Wraps the typed interceptor into a single-rule plan so
-  /// existing adversarial drivers keep working for one release.
-  [[deprecated("configure a faults::FaultPlan delay rule via NetworkConfig")]]
-  void set_interceptor(Interceptor i) {
-    if (!faults_) faults_ = std::make_shared<faults::FaultPlan>();
-    faults_->delay_rule(faults::typed_delay_rule<Msg>(std::move(i)));
-  }
-
-  /// Deprecated: set NetworkConfig::trace at construction.
-  [[deprecated("set NetworkConfig::trace at construction")]]
-  void enable_trace(bool on = true) {
-    tracing_ = on;
-  }
   [[nodiscard]] const std::vector<TraceEntry<Msg>>& trace() const { return trace_; }
-
-  /// Deprecated construction-time alias: pass the probe in NetworkConfig.
-  /// Dynamic (re)attachment mid-run remains supported via reattach_probe.
-  [[deprecated("pass the probe in NetworkConfig; use reattach_probe for dynamic swaps")]]
-  void set_probe(obs::Probe probe) {
-    reattach_probe(probe);
-  }
 
   /// Swaps the probe mid-run (a default-constructed probe detaches).
   void reattach_probe(obs::Probe probe) {

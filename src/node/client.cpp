@@ -1,0 +1,149 @@
+#include "node/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace twostep::node {
+
+namespace {
+
+std::int64_t monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 + ts.tv_nsec / 1000;
+}
+
+}  // namespace
+
+ClientSession::ClientSession(transport::Endpoint server, obs::MetricsRegistry* metrics,
+                             Options options)
+    : server_(std::move(server)), options_(options), metrics_(metrics) {
+  if (metrics_) rtt_us_ = &metrics_->histogram("client.rtt_us");
+}
+
+ClientSession::~ClientSession() { close(); }
+
+std::int64_t ClientSession::now_us() const { return monotonic_us(); }
+
+void ClientSession::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ClientSession::connect() {
+  const std::int64_t deadline = now_us() + options_.connect_timeout_ms * 1000;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_.port);
+  if (::inet_pton(AF_INET, server_.host.c_str(), &addr.sin_addr) != 1) return false;
+  // Retry in a tight-ish loop: replicas may still be binding when a client
+  // process races them at cluster start.
+  do {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return false;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      return true;
+    }
+    ::close(fd);
+    ::usleep(10'000);
+  } while (now_us() < deadline);
+  return false;
+}
+
+std::optional<codec::ClientReply> ClientSession::call(std::int64_t payload) {
+  if (fd_ < 0) return std::nullopt;
+  const std::int64_t id = next_id_++;
+  const std::int64_t start = now_us();
+  const std::int64_t deadline = start + options_.request_timeout_ms * 1000;
+  if (metrics_) metrics_->counter("client.requests").add(1);
+
+  const std::vector<std::uint8_t> frame = transport::make_frame(
+      transport::FrameKind::kClientRequest, codec::encode(codec::ClientRequest{id, payload}));
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close();
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::uint8_t buf[65536];
+  for (;;) {
+    // Drain buffered frames before blocking again.
+    while (auto f = parser_.next()) {
+      if (f->kind != transport::FrameKind::kClientReply) continue;
+      const auto reply = codec::decode_client_reply(f->payload);
+      if (!reply || reply->id != id) continue;  // stale reply from a timed-out call
+      if (rtt_us_) rtt_us_->add(static_cast<double>(now_us() - start));
+      if (metrics_) metrics_->counter(reply->ok ? "client.replies" : "client.rejections").add(1);
+      return reply;
+    }
+    if (parser_.failed()) {
+      close();
+      return std::nullopt;
+    }
+    const std::int64_t remaining_ms = (deadline - now_us()) / 1000;
+    if (remaining_ms <= 0) {
+      if (metrics_) metrics_->counter("client.timeouts").add(1);
+      return std::nullopt;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      if (ready == 0) {
+        if (metrics_) metrics_->counter("client.timeouts").add(1);
+        return std::nullopt;
+      }
+      close();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close();
+      return std::nullopt;
+    }
+    if (!parser_.feed({buf, static_cast<std::size_t>(n)})) {
+      close();
+      return std::nullopt;
+    }
+  }
+}
+
+ClientSession::WorkloadResult ClientSession::run_closed_loop(
+    std::int64_t count, const std::function<std::int64_t(std::int64_t)>& payload_of) {
+  WorkloadResult result;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t payload = payload_of ? payload_of(i) : i;
+    const auto reply = call(payload);
+    if (!reply) {
+      ++result.lost;
+      if (!connected()) break;
+      continue;
+    }
+    if (reply->ok)
+      ++result.ok;
+    else
+      ++result.rejected;
+  }
+  return result;
+}
+
+}  // namespace twostep::node

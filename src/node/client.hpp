@@ -1,0 +1,74 @@
+// Blocking client session for the live node runtime.
+//
+// A deliberately simple counterpart to the server side: one blocking TCP
+// socket to one replica (the client's *proxy*, in the RSM deployment
+// model), a synchronous request/reply call, and a closed-loop workload
+// driver that issues the next command only after the previous one
+// committed — the shape under which the paper's two-step bound translates
+// directly into client-observed latency.  Per-request RTTs land in an
+// obs::MetricsRegistry histogram ("client.rtt_us") next to counters for
+// requests, replies and failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "codec/codec.hpp"
+#include "obs/metrics.hpp"
+#include "transport/tcp.hpp"
+#include "transport/wire.hpp"
+
+namespace twostep::node {
+
+struct ClientOptions {
+  std::int64_t connect_timeout_ms = 5'000;  ///< total budget incl. retries
+  std::int64_t request_timeout_ms = 10'000;
+};
+
+class ClientSession {
+ public:
+  using Options = ClientOptions;
+
+  /// `metrics` may be null (no recording).  Does not connect yet.
+  ClientSession(transport::Endpoint server, obs::MetricsRegistry* metrics,
+                Options options = {});
+  ~ClientSession();
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Dials the server, retrying until the connect timeout.  False on failure.
+  bool connect();
+
+  /// Sends one request and blocks for the matching reply.  nullopt on
+  /// timeout or connection loss (the session is dead afterwards).
+  std::optional<codec::ClientReply> call(std::int64_t payload);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  struct WorkloadResult {
+    std::int64_t ok = 0;
+    std::int64_t rejected = 0;  ///< replies with ok == false
+    std::int64_t lost = 0;      ///< timeouts / connection loss
+  };
+
+  /// Closed-loop driver: `count` sequential calls; `payload_of(i)` supplies
+  /// the i-th command (defaults to the identity).  Stops early on
+  /// connection loss.
+  WorkloadResult run_closed_loop(std::int64_t count,
+                                 const std::function<std::int64_t(std::int64_t)>& payload_of = {});
+
+ private:
+  void close();
+  [[nodiscard]] std::int64_t now_us() const;
+
+  transport::Endpoint server_;
+  Options options_;
+  obs::MetricsRegistry* metrics_;
+  util::Summary* rtt_us_ = nullptr;
+  int fd_ = -1;
+  transport::FrameParser parser_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace twostep::node

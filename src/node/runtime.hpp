@@ -1,0 +1,381 @@
+// Live node runtime: hosts one protocol instance behind the same
+// consensus::Env the simulator uses, backed by real sockets.
+//
+// Runtime<P> owns an EventLoop thread, a listening socket, one outbound
+// PeerLink per peer and the inbound connections peers and clients open to
+// us.  The protocol instance never learns which world it is in: its Env
+// calls turn into framed TCP sends, epoll timers and the monotonic clock
+// (1 tick = 1 µs here, 1 abstract round unit in the simulator).
+//
+// Threading model (what keeps the conformance suite TSan-clean):
+//   - the protocol, the links and all connections are touched ONLY on the
+//     loop thread; external entry points (propose) hop through post(),
+//   - cross-thread reads go through a mutex-guarded snapshot (decisions,
+//     applied log) or relaxed atomics (TransportStats, PeerLink::connected),
+//   - the per-runtime MetricsRegistry is written on the loop thread and
+//     read only after stop() joins.
+//
+// Start discipline: the protocol's start() is deferred to the first
+// proposal or message delivery.  In the simulator, start_all() and the
+// scheduled proposals happen at the same virtual instant; a live replica
+// may sit idle for wall-clock seconds before the first request, and
+// running the new-ballot timer during that idle stretch would drive the
+// ballot past 0 and permanently close the fast path.  Deferring start()
+// reproduces the simulator's "time begins with the run" semantics.
+#pragma once
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "consensus/env.hpp"
+#include "consensus/types.hpp"
+#include "node/wire_traits.hpp"
+#include "obs/metrics.hpp"
+#include "transport/event_loop.hpp"
+#include "transport/tcp.hpp"
+#include "transport/wire.hpp"
+
+namespace twostep::node {
+
+/// True when P is a proxy-style replicated state machine (client commands
+/// go through submit/on_commit) rather than single-shot consensus.
+template <typename P>
+concept RsmLike = requires(P p) {
+  p.submit(std::int64_t{});
+  p.on_commit;
+  p.on_apply;
+};
+
+template <typename P>
+class Runtime {
+ public:
+  using Message = typename P::Message;
+  /// Builds the protocol instance against the runtime's Env and metrics
+  /// registry (wire options.probe.metrics at the registry to get per-node
+  /// protocol metrics).  Called once, from the constructor, before the
+  /// loop thread exists.
+  using Factory =
+      std::function<std::unique_ptr<P>(consensus::Env<Message>&, obs::MetricsRegistry&)>;
+
+  /// Binds the listener immediately (`listen.port == 0` picks an ephemeral
+  /// port, readable via endpoint() right away); I/O starts with start().
+  Runtime(consensus::ProcessId self, int cluster_size, transport::Endpoint listen,
+          Factory factory)
+      : self_(self), n_(cluster_size), listen_ep_(std::move(listen)), env_(*this) {
+    listen_fd_ = transport::bind_listener(listen_ep_);
+    loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+    serve_us_ = &metrics_.histogram("node.serve_us");
+    proc_ = factory(env_, metrics_);
+    wire_callbacks();
+  }
+
+  ~Runtime() { stop(); }
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] const transport::Endpoint& endpoint() const noexcept { return listen_ep_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return listen_ep_.port; }
+  [[nodiscard]] consensus::ProcessId self() const noexcept { return self_; }
+
+  /// Dials every peer and spawns the loop thread.  `peers[i]` is replica
+  /// i's listen endpoint; `peers[self]` is ignored.
+  void start(std::vector<transport::Endpoint> peers) {
+    peers_ = std::move(peers);
+    links_.resize(static_cast<std::size_t>(n_));
+    for (consensus::ProcessId p = 0; p < n_; ++p) {
+      if (p == self_) continue;
+      links_[static_cast<std::size_t>(p)] = std::make_unique<transport::PeerLink>(
+          loop_, self_, p, peers_[static_cast<std::size_t>(p)], &stats_);
+      links_[static_cast<std::size_t>(p)]->start();
+    }
+    thread_ = std::thread([this] { loop_.run(); });
+  }
+
+  /// Stops the loop, joins the thread and folds the transport counters
+  /// into the metrics registry.  Idempotent.
+  void stop() {
+    if (thread_.joinable()) {
+      loop_.request_stop();
+      thread_.join();
+      export_transport_metrics();
+    }
+    // Tear connections down after the join: loop-thread objects are only
+    // safe to touch once the loop thread is gone.
+    for (auto& link : links_)
+      if (link) link->shutdown();
+    inbound_.clear();
+    inbound_peer_.clear();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  /// Injects a local proposal, as the simulator's proposal schedule would.
+  /// Thread-safe (hops onto the loop thread).
+  void propose(consensus::Value v) {
+    loop_.post([this, v] {
+      ensure_started();
+      if constexpr (RsmLike<P>) {
+        proc_->submit(v.get());
+      } else {
+        if (proposed_) return;  // one proposal per process, as in the task model
+        proposed_ = true;
+        proc_->propose(v);
+      }
+    });
+  }
+
+  // --- cross-thread snapshots ---
+
+  [[nodiscard]] bool has_decided() const {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    return !decided_.is_bottom();
+  }
+  [[nodiscard]] consensus::Value decided_value() const {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    return decided_;
+  }
+  /// RSM only: (slot, command) pairs applied so far, in log order.
+  [[nodiscard]] std::vector<std::pair<std::int32_t, std::int64_t>> applied_log() const {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    return applied_;
+  }
+  /// Number of peers our outbound links currently reach.
+  [[nodiscard]] int connected_out() const {
+    int count = 0;
+    for (const auto& link : links_)
+      if (link && link->connected()) ++count;
+    return count;
+  }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const transport::TransportStats& stats() const noexcept { return stats_; }
+
+  /// The hosted protocol.  Only safe before start() or after stop().
+  [[nodiscard]] P& unsafe_process() noexcept { return *proc_; }
+
+ private:
+  /// The Env implementation protocols see.  Loop-thread only.
+  class LiveEnv final : public consensus::Env<Message> {
+   public:
+    explicit LiveEnv(Runtime& rt) : rt_(rt) {}
+    [[nodiscard]] consensus::ProcessId self() const override { return rt_.self_; }
+    [[nodiscard]] int cluster_size() const override { return rt_.n_; }
+    [[nodiscard]] sim::Tick now() const override { return rt_.loop_.now_us(); }
+    void send(consensus::ProcessId to, const Message& msg) override { rt_.send_msg(to, msg); }
+    consensus::TimerId set_timer(sim::Tick delay) override {
+      const std::uint64_t env_id = rt_.next_env_timer_++;
+      const std::uint64_t loop_id = rt_.loop_.schedule_after(delay, [this, env_id] {
+        rt_.env_timers_.erase(env_id);
+        rt_.proc_->on_timer(consensus::TimerId{env_id});
+      });
+      rt_.env_timers_.emplace(env_id, loop_id);
+      return consensus::TimerId{env_id};
+    }
+    void cancel_timer(consensus::TimerId id) override {
+      const auto it = rt_.env_timers_.find(id.value);
+      if (it == rt_.env_timers_.end()) return;
+      rt_.loop_.cancel_timer(it->second);
+      rt_.env_timers_.erase(it);
+    }
+
+   private:
+    Runtime& rt_;
+  };
+
+  struct OutstandingRequest {
+    std::weak_ptr<transport::Connection> conn;
+    std::int64_t request_id = 0;
+    std::int64_t received_us = 0;
+  };
+
+  void wire_callbacks() {
+    if constexpr (RsmLike<P>) {
+      proc_->on_apply = [this](std::int32_t slot, std::int64_t cmd) {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        applied_.emplace_back(slot, cmd);
+      };
+      proc_->on_commit = [this](std::int64_t cmd, sim::Tick submitted_at, std::int32_t slot) {
+        const auto it = outstanding_rsm_.find(cmd);
+        if (it == outstanding_rsm_.end()) return;
+        reply(it->second, codec::ClientReply{it->second.request_id, cmd, slot, true});
+        outstanding_rsm_.erase(it);
+        (void)submitted_at;
+      };
+    } else {
+      proc_->on_decide = [this](consensus::Value v) {
+        {
+          const std::lock_guard<std::mutex> lock(state_mu_);
+          decided_ = v;
+        }
+        for (OutstandingRequest& req : outstanding_)
+          reply(req, codec::ClientReply{req.request_id, v.get(), -1, true});
+        outstanding_.clear();
+      };
+    }
+  }
+
+  void ensure_started() {
+    if (proto_started_) return;
+    proto_started_ = true;
+    proc_->start();
+  }
+
+  void send_msg(consensus::ProcessId to, const Message& msg) {
+    if (to == self_) {
+      // Queue through the loop so self-delivery is never reentrant — the
+      // simulator likewise delivers self-sends as later events.
+      loop_.post([this, msg] { deliver(self_, msg); });
+      return;
+    }
+    if (to < 0 || to >= n_) return;
+    auto& link = links_[static_cast<std::size_t>(to)];
+    if (link) link->send_frame(WireTraits<Message>::kKind, WireTraits<Message>::encode(msg));
+  }
+
+  void deliver(consensus::ProcessId from, const Message& msg) {
+    ensure_started();
+    proc_->on_message(from, msg);
+  }
+
+  void on_accept() {
+    for (;;) {
+      const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (cfd < 0) return;  // EAGAIN or transient error; epoll re-notifies
+      auto conn = std::make_shared<transport::Connection>(loop_, cfd, &stats_);
+      inbound_.insert(conn);
+      std::weak_ptr<transport::Connection> weak = conn;
+      conn->start(
+          [this, weak](transport::Frame&& frame) {
+            if (auto c = weak.lock()) on_inbound_frame(c, std::move(frame));
+          },
+          [this, weak] {
+            if (auto c = weak.lock()) {
+              inbound_peer_.erase(c.get());
+              inbound_.erase(c);
+            }
+          });
+    }
+  }
+
+  void on_inbound_frame(const std::shared_ptr<transport::Connection>& conn,
+                        transport::Frame&& frame) {
+    switch (frame.kind) {
+      case transport::FrameKind::kHello: {
+        const auto peer = transport::decode_hello(frame.payload);
+        if (!peer || *peer < 0 || *peer >= n_) {
+          conn->close();
+          inbound_peer_.erase(conn.get());
+          inbound_.erase(conn);
+          return;
+        }
+        inbound_peer_[conn.get()] = *peer;
+        return;
+      }
+      case transport::FrameKind::kClientRequest: {
+        const auto req = codec::decode_client_request(frame.payload);
+        if (req) handle_client_request(conn, *req);
+        return;
+      }
+      default:
+        break;
+    }
+    if (frame.kind != WireTraits<Message>::kKind) return;  // not ours; drop
+    const auto it = inbound_peer_.find(conn.get());
+    if (it == inbound_peer_.end()) return;  // protocol frame before Hello
+    auto msg = WireTraits<Message>::decode(frame.payload);
+    if (!msg) return;  // malformed payload inside a well-formed frame
+    deliver(it->second, *msg);
+  }
+
+  void handle_client_request(const std::shared_ptr<transport::Connection>& conn,
+                             const codec::ClientRequest& req) {
+    OutstandingRequest out{conn, req.id, loop_.now_us()};
+    if constexpr (RsmLike<P>) {
+      if (req.payload < 0 || req.payload >= (std::int64_t{1} << 40)) {
+        reply(out, codec::ClientReply{req.id, req.payload, -1, false});
+        return;
+      }
+      ensure_started();
+      const std::int64_t cmd = proc_->submit(req.payload);
+      outstanding_rsm_.emplace(cmd, std::move(out));
+    } else {
+      ensure_started();
+      {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        if (!decided_.is_bottom()) {
+          reply(out, codec::ClientReply{req.id, decided_.get(), -1, true});
+          return;
+        }
+      }
+      outstanding_.push_back(std::move(out));
+      if (!proposed_) {
+        proposed_ = true;
+        proc_->propose(consensus::Value{req.payload});
+      }
+    }
+  }
+
+  void reply(const OutstandingRequest& req, const codec::ClientReply& msg) {
+    const auto conn = req.conn.lock();
+    if (!conn || conn->closed()) return;
+    serve_us_->add(static_cast<double>(loop_.now_us() - req.received_us));
+    conn->send_frame(transport::FrameKind::kClientReply, codec::encode(msg));
+  }
+
+  void export_transport_metrics() {
+    metrics_.counter("transport.bytes_sent").add(stats_.bytes_sent.load());
+    metrics_.counter("transport.bytes_received").add(stats_.bytes_received.load());
+    metrics_.counter("transport.frames_sent").add(stats_.frames_sent.load());
+    metrics_.counter("transport.frames_received").add(stats_.frames_received.load());
+    metrics_.counter("transport.reconnects").add(stats_.reconnects.load());
+    metrics_.counter("transport.frames_dropped").add(stats_.frames_dropped.load());
+  }
+
+  consensus::ProcessId self_;
+  int n_;
+  transport::Endpoint listen_ep_;
+  transport::EventLoop loop_;
+  LiveEnv env_;
+  transport::TransportStats stats_;
+  obs::MetricsRegistry metrics_;
+  util::Summary* serve_us_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::vector<transport::Endpoint> peers_;
+  std::vector<std::unique_ptr<transport::PeerLink>> links_;
+  std::unordered_set<std::shared_ptr<transport::Connection>> inbound_;
+  std::unordered_map<transport::Connection*, consensus::ProcessId> inbound_peer_;
+
+  std::unique_ptr<P> proc_;
+  bool proto_started_ = false;
+  bool proposed_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> env_timers_;  ///< env id -> loop id
+  std::uint64_t next_env_timer_ = 1;
+
+  std::vector<OutstandingRequest> outstanding_;                      ///< single-shot
+  std::unordered_map<std::int64_t, OutstandingRequest> outstanding_rsm_;  ///< cmd -> client
+
+  mutable std::mutex state_mu_;
+  consensus::Value decided_;
+  std::vector<std::pair<std::int32_t, std::int64_t>> applied_;
+
+  std::thread thread_;
+};
+
+}  // namespace twostep::node

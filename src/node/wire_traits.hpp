@@ -1,0 +1,51 @@
+// Compile-time mapping from a protocol's message type to its wire form.
+//
+// node::Runtime<P> is generic over the protocol; this trait is the one
+// place that knows which FrameKind carries `P::Message` and which codec
+// functions serialize it.  Adding a protocol to the live runtime means
+// adding a codec encoding and one specialization here — the runtime and
+// transport stay untouched.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "transport/wire.hpp"
+
+namespace twostep::node {
+
+template <typename Msg>
+struct WireTraits;  // unspecialized: protocol not wired for live deployment
+
+template <>
+struct WireTraits<core::Message> {
+  static constexpr transport::FrameKind kKind = transport::FrameKind::kCore;
+  static std::vector<std::uint8_t> encode(const core::Message& m) { return codec::encode(m); }
+  static std::optional<core::Message> decode(std::span<const std::uint8_t> data) {
+    return codec::decode(data);
+  }
+};
+
+template <>
+struct WireTraits<rsm::SlotMsg> {
+  static constexpr transport::FrameKind kKind = transport::FrameKind::kSlot;
+  static std::vector<std::uint8_t> encode(const rsm::SlotMsg& m) { return codec::encode(m); }
+  static std::optional<rsm::SlotMsg> decode(std::span<const std::uint8_t> data) {
+    return codec::decode_slot(data);
+  }
+};
+
+template <>
+struct WireTraits<fastpaxos::Message> {
+  static constexpr transport::FrameKind kKind = transport::FrameKind::kFastPaxos;
+  static std::vector<std::uint8_t> encode(const fastpaxos::Message& m) {
+    return codec::encode(m);
+  }
+  static std::optional<fastpaxos::Message> decode(std::span<const std::uint8_t> data) {
+    return codec::decode_fastpaxos(data);
+  }
+};
+
+}  // namespace twostep::node

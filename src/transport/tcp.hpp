@@ -1,0 +1,154 @@
+// Framed non-blocking TCP on top of the EventLoop.
+//
+// Three pieces:
+//   - free helpers to bind a listener / start a non-blocking connect,
+//   - Connection: one established socket speaking the wire.hpp framing,
+//     with buffered non-blocking writes (EPOLLOUT armed only while a
+//     backlog exists) and incremental reads through a FrameParser,
+//   - PeerLink: the replica-to-replica edge.  It owns the *outbound*
+//     connection to one peer, redialling forever with exponential backoff
+//     (10 ms doubling to 1 s) and queueing a bounded number of frames
+//     while disconnected.  Inbound connections from peers are accepted
+//     separately by the node runtime and used only for receiving, so each
+//     ordered stream has exactly one writer.
+//
+// Everything here is loop-thread-only except TransportStats, whose relaxed
+// atomics may be read from any thread (the CLI prints them live).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "transport/event_loop.hpp"
+#include "transport/wire.hpp"
+
+namespace twostep::transport {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const { return host + ":" + std::to_string(port); }
+};
+
+/// Binds a non-blocking listening socket (SO_REUSEADDR, backlog 128).
+/// Port 0 picks an ephemeral port; the actual port is written back into
+/// `ep.port`.  Throws std::system_error on failure.
+int bind_listener(Endpoint& ep);
+
+/// Starts a non-blocking connect to `ep`.  Returns the fd; the connection
+/// is usually still in progress (EINPROGRESS) — wait for EPOLLOUT and check
+/// SO_ERROR.  Throws std::system_error only on immediate local failure.
+int dial_nonblocking(const Endpoint& ep);
+
+/// Relaxed-atomic transport counters, safe to read from any thread.
+struct TransportStats {
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> frames_dropped{0};  ///< overflow of a disconnected PeerLink queue
+};
+
+/// One established socket speaking the framed protocol.  Loop-thread only.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  using FrameHandler = std::function<void(Frame&&)>;
+  using CloseHandler = std::function<void()>;
+
+  Connection(EventLoop& loop, int fd, TransportStats* stats);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers with the loop and starts dispatching.  `on_frame` fires per
+  /// complete frame; `on_close` fires exactly once, on EOF, I/O error, or
+  /// framing violation (not on an explicit local close()).
+  void start(FrameHandler on_frame, CloseHandler on_close);
+
+  /// Queues one frame; flushes as much as the socket accepts immediately
+  /// and arms EPOLLOUT for the rest.  No-op after close.
+  void send_frame(FrameKind kind, std::span<const std::uint8_t> payload);
+
+  /// Deregisters and closes the socket.  Does NOT invoke on_close.
+  void close();
+
+  [[nodiscard]] bool closed() const noexcept { return fd_ < 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  void handle_events(std::uint32_t events);
+  void handle_readable();
+  /// Writes the backlog; returns false if the connection died.
+  bool flush();
+  void update_interest();
+  void fail();  ///< close + fire on_close once
+
+  EventLoop& loop_;
+  int fd_;
+  TransportStats* stats_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  FrameParser parser_;
+  std::vector<std::uint8_t> outbox_;     ///< unsent bytes
+  std::size_t outbox_sent_ = 0;          ///< prefix of outbox_ already written
+  bool want_write_ = false;              ///< EPOLLOUT currently armed
+};
+
+/// Self-healing outbound link to one peer replica.  Loop-thread only.
+class PeerLink {
+ public:
+  /// `self` is announced in the Hello frame after every (re)connect.
+  PeerLink(EventLoop& loop, consensus::ProcessId self, consensus::ProcessId peer,
+           Endpoint target, TransportStats* stats);
+
+  /// Starts the first connection attempt.
+  void start();
+
+  /// Sends when connected; otherwise queues up to kMaxPending frames
+  /// (oldest dropped first — consensus protocols tolerate loss, and
+  /// retransmission is the ballot timer's job, not the transport's).
+  void send_frame(FrameKind kind, std::vector<std::uint8_t> payload);
+
+  /// Stops reconnecting and closes any live connection.
+  void shutdown();
+
+  /// Whether the outbound connection is currently established.  The only
+  /// PeerLink member safe to read off the loop thread (relaxed atomic) —
+  /// tests and the CLI use it to wait for the mesh to form.
+  [[nodiscard]] bool connected() const noexcept { return up_.load(std::memory_order_relaxed); }
+  [[nodiscard]] consensus::ProcessId peer() const noexcept { return peer_; }
+
+  static constexpr std::size_t kMaxPending = 1024;
+  static constexpr std::int64_t kBackoffMinUs = 10'000;     ///< 10 ms
+  static constexpr std::int64_t kBackoffMaxUs = 1'000'000;  ///< 1 s
+
+ private:
+  void attempt_connect();
+  void on_dial_result(int fd, std::uint32_t events);
+  void established(int fd);
+  void schedule_retry();
+
+  EventLoop& loop_;
+  consensus::ProcessId self_;
+  consensus::ProcessId peer_;
+  Endpoint target_;
+  TransportStats* stats_;
+  std::shared_ptr<Connection> conn_;
+  std::deque<std::pair<FrameKind, std::vector<std::uint8_t>>> pending_;
+  std::int64_t backoff_us_ = kBackoffMinUs;
+  int dial_fd_ = -1;        ///< connect in progress
+  std::uint64_t retry_timer_ = 0;
+  std::atomic<bool> up_{false};
+  bool stopped_ = false;
+  bool ever_connected_ = false;
+};
+
+}  // namespace twostep::transport

@@ -1,0 +1,111 @@
+#include "transport/wire.hpp"
+
+#include <limits>
+
+#include "codec/codec.hpp"
+
+namespace twostep::transport {
+
+bool frame_kind_valid(std::uint8_t kind) noexcept {
+  return kind >= static_cast<std::uint8_t>(FrameKind::kHello) &&
+         kind <= static_cast<std::uint8_t>(FrameKind::kClientReply);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameKind kind,
+                  std::span<const std::uint8_t> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> make_frame(FrameKind kind, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, kind, payload);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_hello(consensus::ProcessId id) {
+  codec::Writer w;
+  w.put_i64(id);
+  return std::move(w).take();
+}
+
+std::optional<consensus::ProcessId> decode_hello(std::span<const std::uint8_t> payload) {
+  codec::Reader r{payload};
+  const std::int64_t id = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (id < 0 || id > std::numeric_limits<consensus::ProcessId>::max()) return std::nullopt;
+  return static_cast<consensus::ProcessId>(id);
+}
+
+bool FrameParser::feed(std::span<const std::uint8_t> data) {
+  if (failed_) return false;
+  // Compact once the consumed prefix dominates, so the buffer stays small
+  // on long-lived connections.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  return check_header();
+}
+
+bool FrameParser::check_header() {
+  if (failed_) return false;
+  if (buf_.size() - consumed_ < kHeaderSize) return true;
+  const std::uint8_t* h = buf_.data() + consumed_;
+  if (h[0] != kMagic0 || h[1] != kMagic1) {
+    failed_ = true;
+    error_ = "bad frame magic";
+    return false;
+  }
+  if (h[2] != kWireVersion) {
+    failed_ = true;
+    error_ = "unsupported wire version " + std::to_string(int{h[2]});
+    return false;
+  }
+  if (!frame_kind_valid(h[3])) {
+    failed_ = true;
+    error_ = "unknown frame kind " + std::to_string(int{h[3]});
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(h[4]) |
+                            (static_cast<std::uint32_t>(h[5]) << 8) |
+                            (static_cast<std::uint32_t>(h[6]) << 16) |
+                            (static_cast<std::uint32_t>(h[7]) << 24);
+  if (len > kMaxPayload) {
+    failed_ = true;
+    error_ = "frame payload " + std::to_string(len) + " exceeds cap";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Frame> FrameParser::next() {
+  if (failed_) return std::nullopt;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kHeaderSize) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + consumed_;
+  const std::uint32_t len = static_cast<std::uint32_t>(h[4]) |
+                            (static_cast<std::uint32_t>(h[5]) << 8) |
+                            (static_cast<std::uint32_t>(h[6]) << 16) |
+                            (static_cast<std::uint32_t>(h[7]) << 24);
+  if (avail < kHeaderSize + len) return std::nullopt;
+  Frame f;
+  f.kind = static_cast<FrameKind>(h[3]);
+  f.payload.assign(h + kHeaderSize, h + kHeaderSize + len);
+  consumed_ += kHeaderSize + len;
+  // Validate the header that is now at the front (sticky failure on junk).
+  check_header();
+  return f;
+}
+
+}  // namespace twostep::transport

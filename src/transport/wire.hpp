@@ -1,0 +1,91 @@
+// Versioned length-prefixed framing for the TCP transport.
+//
+// Every frame on the wire is an 8-byte header followed by a payload:
+//
+//   offset  size  field
+//   0       2     magic "TS"
+//   2       1     protocol version (currently 1)
+//   3       1     frame kind (FrameKind)
+//   4       4     payload length, u32 little-endian (<= kMaxPayload)
+//
+// The payload body of kCore/kSlot/kFastPaxos/kClientRequest/kClientReply
+// frames is the corresponding codec encoding; kHello carries the sender's
+// process id as a codec varint and is the first frame on every peer
+// connection (it is how an accepting replica learns who dialled in).
+//
+// FrameParser is an incremental push parser: feed it whatever recv()
+// returned and it emits zero or more complete frames.  Any violation
+// (bad magic, unknown version, oversize length) is sticky — the caller
+// must drop the connection, because stream framing cannot resync.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "consensus/types.hpp"
+
+namespace twostep::transport {
+
+inline constexpr std::uint8_t kMagic0 = 'T';
+inline constexpr std::uint8_t kMagic1 = 'S';
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 8;
+inline constexpr std::size_t kMaxPayload = 1 << 20;  ///< 1 MiB frame cap
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,          ///< peer identification: varint process id
+  kCore = 2,           ///< codec::encode(core::Message)
+  kSlot = 3,           ///< codec::encode(rsm::SlotMsg)
+  kFastPaxos = 4,      ///< codec::encode(fastpaxos::Message)
+  kClientRequest = 5,  ///< codec::encode(codec::ClientRequest)
+  kClientReply = 6,    ///< codec::encode(codec::ClientReply)
+};
+
+/// True iff `kind` is one of the FrameKind enumerators.
+[[nodiscard]] bool frame_kind_valid(std::uint8_t kind) noexcept;
+
+/// One parsed frame: kind + owning payload bytes.
+struct Frame {
+  FrameKind kind{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends header + payload for one frame to `out` (scatter-free sends).
+void append_frame(std::vector<std::uint8_t>& out, FrameKind kind,
+                  std::span<const std::uint8_t> payload);
+
+/// Convenience: a freshly allocated single frame.
+[[nodiscard]] std::vector<std::uint8_t> make_frame(FrameKind kind,
+                                                   std::span<const std::uint8_t> payload);
+
+/// Body of a kHello frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(consensus::ProcessId id);
+[[nodiscard]] std::optional<consensus::ProcessId> decode_hello(
+    std::span<const std::uint8_t> payload);
+
+/// Incremental frame parser over a byte stream (one per connection).
+class FrameParser {
+ public:
+  /// Appends raw stream bytes.  Returns false once the stream is corrupt
+  /// (error() explains why); further feeds are ignored.
+  bool feed(std::span<const std::uint8_t> data);
+
+  /// Pops the next complete frame, if any.
+  std::optional<Frame> next();
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool check_header();
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  ///< bytes of buf_ already handed out
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace twostep::transport

@@ -15,7 +15,6 @@
 #include "core/two_step.hpp"
 #include "faults/fault_plan.hpp"
 #include "modelcheck/explorer.hpp"
-#include "harness/runners.hpp"
 #include "net/latency.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -412,20 +411,17 @@ TEST(ExplorerChaosFuzz, ResultIsIdenticalForAnyJobCount) {
   EXPECT_EQ(serial, fingerprint(8));
 }
 
-// ---- deprecated factory shims still work (one release of compat) ----
+// ---- the RunSpec builder covers the old canned-factory defaults ----
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedRunners, FactoryShimsStillWork) {
+TEST(RunSpecBuilder, DefaultCoreRunSucceeds) {
   const SystemConfig cfg{3, 1, 1};
-  auto r = harness::make_core_runner(cfg, core::Mode::kTask, 100);
+  auto r = harness::RunSpec(cfg).delta(100).core(core::Mode::kTask);
   consensus::SyncScenario s;
   for (int p = 0; p < cfg.n; ++p) s.proposals.push_back({p, Value{100 + p}});
   r->run(s);
   EXPECT_TRUE(r->monitor().safe());
   EXPECT_TRUE(r->monitor().undecided_correct(cfg.n).empty());
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace twostep

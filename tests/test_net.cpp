@@ -236,20 +236,21 @@ TEST(Network, TraceMarksInFlightDistinctFromCrashed) {
   EXPECT_EQ(net.trace().front().drop, faults::DropReason::kNone);
 }
 
-// The deprecated Interceptor hook must keep working (as a wrapper over a
-// single-rule FaultPlan) for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Network, DeprecatedInterceptorOverridesDelivery) {
+// A FaultPlan delay rule can pin an absolute delivery time per message,
+// overriding the latency model (the adversarial-scheduling hook).
+TEST(Network, DelayRuleOverridesDelivery) {
   sim::Simulator sim;
-  Net net{sim, fixed(10), 2};
+  auto plan = std::make_shared<faults::FaultPlan>();
+  plan->delay_rule(faults::typed_delay_rule<std::string>(
+      [](sim::Tick, ProcessId, ProcessId, const std::string& m) -> std::optional<sim::Tick> {
+        if (m == "slow") return 500;
+        return std::nullopt;
+      }));
+  net::NetworkConfig config;
+  config.faults = std::move(plan);
+  Net net{sim, fixed(10), 2, 1, std::move(config)};
   sim::Tick when = -1;
   net.set_handler(1, [&](ProcessId, const std::string&) { when = sim.now(); });
-  net.set_interceptor([](sim::Tick, ProcessId, ProcessId, const std::string& m)
-                          -> std::optional<sim::Tick> {
-    if (m == "slow") return 500;
-    return std::nullopt;
-  });
   net.send(0, 1, "slow");
   sim.run();
   EXPECT_EQ(when, 500);
@@ -257,7 +258,6 @@ TEST(Network, DeprecatedInterceptorOverridesDelivery) {
   sim.run();
   EXPECT_EQ(when, 510);
 }
-#pragma GCC diagnostic pop
 
 TEST(Network, RejectsBadProcessIds) {
   sim::Simulator sim;

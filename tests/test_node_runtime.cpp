@@ -1,0 +1,295 @@
+// Live-vs-simulated conformance for node::Runtime.
+//
+// The table-driven suite runs the same seeded proposal schedule twice —
+// once through harness::RunSpec (discrete-event simulator) and once on a
+// real loopback TCP cluster — and asserts the worlds agree.  Rows whose
+// outcome is schedule-independent (lone proposer, unanimous proposals)
+// must produce *identical* decisions; racy rows (distinct values arriving
+// in wall-clock order) must satisfy agreement + validity in both worlds.
+//
+// Everything here also runs under TSan in CI: it is the check that the
+// runtime's threading discipline (loop-thread-only protocol access,
+// mutex-guarded snapshots) actually holds.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "core/two_step.hpp"
+#include "harness/run_spec.hpp"
+#include "node/client.hpp"
+#include "node/local_cluster.hpp"
+#include "node/runtime.hpp"
+#include "rsm/rsm.hpp"
+
+namespace twostep {
+namespace {
+
+using consensus::Value;
+
+/// Live clusters run with a generous Δ so the fast path has comfortably
+/// more than one round-trip of slack before a slow ballot could start.
+constexpr sim::Tick kLiveDeltaUs = 100'000;  // 100 ms
+
+struct Proposal {
+  consensus::ProcessId p;
+  std::int64_t v;
+};
+
+std::vector<std::int64_t> run_sim_core(consensus::SystemConfig config, core::Mode mode,
+                                       const std::vector<Proposal>& proposals) {
+  auto runner = harness::RunSpec(config).delta(100).seed(1).core(mode);
+  consensus::SyncScenario scenario;
+  for (const Proposal& prop : proposals) scenario.proposals.push_back({prop.p, Value{prop.v}});
+  runner->run(scenario);
+  std::vector<std::int64_t> decided;
+  for (consensus::ProcessId p = 0; p < config.n; ++p)
+    decided.push_back(runner->cluster().process(p).decided_value().get());
+  return decided;
+}
+
+std::vector<std::int64_t> run_live_core(consensus::SystemConfig config, core::Mode mode,
+                                        const std::vector<Proposal>& proposals) {
+  node::LocalCluster<core::TwoStepProcess> cluster(
+      config.n, [&](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId /*self*/) {
+        core::Options options;
+        options.mode = mode;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };  // Ω, no crashes
+        options.probe.metrics = &reg;
+        return std::make_unique<core::TwoStepProcess>(env, config, options);
+      });
+  EXPECT_TRUE(cluster.wait_for_mesh());
+  for (const Proposal& prop : proposals) cluster.node(prop.p).propose(Value{prop.v});
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    bool all = true;
+    for (int p = 0; p < config.n; ++p)
+      if (!cluster.node(p).has_decided()) all = false;
+    if (all) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ADD_FAILURE() << "live cluster did not decide in time";
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::vector<std::int64_t> decided;
+  for (int p = 0; p < config.n; ++p) {
+    const Value v = cluster.node(p).decided_value();
+    decided.push_back(v.is_bottom() ? -1 : v.get());
+  }
+  cluster.stop();
+  return decided;
+}
+
+struct ConformanceRow {
+  const char* name;
+  consensus::SystemConfig config;
+  core::Mode mode;
+  std::vector<Proposal> proposals;
+  /// Exact live == sim equality (schedule-independent outcome) vs
+  /// agreement + validity in each world separately.
+  bool deterministic;
+};
+
+std::vector<ConformanceRow> conformance_rows() {
+  return {
+      {"task_lone_proposer_n4", consensus::SystemConfig(4, 1, 1), core::Mode::kTask,
+       {{0, 7}}, true},
+      {"object_lone_proposer_n3", consensus::SystemConfig(3, 1, 1), core::Mode::kObject,
+       {{0, 11}}, true},
+      {"task_unanimous_n5", consensus::SystemConfig(5, 2, 1), core::Mode::kTask,
+       {{0, 42}, {1, 42}, {2, 42}, {3, 42}, {4, 42}}, true},
+      {"object_unanimous_n3", consensus::SystemConfig(3, 1, 1), core::Mode::kObject,
+       {{0, 5}, {1, 5}, {2, 5}}, true},
+      {"task_conflicting_n4", consensus::SystemConfig(4, 1, 1), core::Mode::kTask,
+       {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, false},
+      {"object_conflicting_n5", consensus::SystemConfig(5, 1, 1), core::Mode::kObject,
+       {{0, 9}, {2, 8}}, false},
+  };
+}
+
+TEST(LiveConformance, LiveAndSimulatedEnvsAgreeOnTheSameSchedule) {
+  for (const ConformanceRow& row : conformance_rows()) {
+    SCOPED_TRACE(row.name);
+    const auto sim_decided = run_sim_core(row.config, row.mode, row.proposals);
+    const auto live_decided = run_live_core(row.config, row.mode, row.proposals);
+    ASSERT_EQ(sim_decided.size(), live_decided.size());
+
+    std::set<std::int64_t> proposed;
+    for (const Proposal& prop : row.proposals) proposed.insert(prop.v);
+
+    // Agreement + validity hold in both worlds, always.
+    for (std::size_t p = 1; p < sim_decided.size(); ++p) {
+      EXPECT_EQ(sim_decided[p], sim_decided[0]);
+      EXPECT_EQ(live_decided[p], live_decided[0]);
+    }
+    EXPECT_TRUE(proposed.contains(sim_decided[0]));
+    EXPECT_TRUE(proposed.contains(live_decided[0]));
+
+    // Schedule-independent rows: the two worlds decide identically.
+    if (row.deterministic) {
+      EXPECT_EQ(live_decided, sim_decided);
+    }
+  }
+}
+
+TEST(LiveConformance, FastPathSurvivesTheRealNetwork) {
+  // Unanimous proposals on a 5-replica loopback cluster must produce at
+  // least one genuine fast (two-step) decision — the acceptance criterion
+  // that the paper's fast path is observable over real sockets, not just
+  // under the simulator's lockstep rounds.
+  const consensus::SystemConfig config(5, 1, 1);
+  node::LocalCluster<core::TwoStepProcess> cluster(
+      config.n, [&](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId) {
+        core::Options options;
+        options.mode = core::Mode::kTask;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<core::TwoStepProcess>(env, config, options);
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+  for (int p = 0; p < config.n; ++p) cluster.node(p).propose(Value{99});
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    bool all = true;
+    for (int p = 0; p < config.n; ++p)
+      if (!cluster.node(p).has_decided()) all = false;
+    if (all) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  cluster.stop();
+
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  EXPECT_GE(merged.counter_value("decisions.fast"), 1u);
+  EXPECT_EQ(merged.counter_value("decisions.fast") + merged.counter_value("decisions.slow") +
+                merged.counter_value("decisions.learned"),
+            static_cast<std::uint64_t>(config.n));
+  // The mesh sent real bytes.
+  EXPECT_GT(merged.counter_value("transport.bytes_sent"), 0u);
+}
+
+TEST(LiveConformance, RsmAppliedLogMatchesSimulatorForSameCommandSequence) {
+  const consensus::SystemConfig config(3, 1, 1);
+  const std::vector<std::int64_t> payloads = {5, 17, 3, 29, 11, 2, 23, 8};
+
+  // Simulated: replica 0 submits the same payloads at t=0, in order.
+  auto runner = harness::RunSpec(config).delta(100).seed(1).rsm();
+  consensus::SyncScenario scenario;
+  for (const std::int64_t payload : payloads) scenario.proposals.push_back({0, Value{payload}});
+  runner->run(scenario);
+  std::vector<std::pair<std::int32_t, std::int64_t>> sim_log;
+  auto& sim_proc = runner->cluster().process(0);
+  for (std::int32_t slot = 0; slot < sim_proc.applied_prefix(); ++slot)
+    sim_log.emplace_back(slot, *sim_proc.decision(slot));
+
+  // Live: a closed-loop client drives replica 0 (its proxy) with the same
+  // sequence over a real socket.
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n, [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  obs::MetricsRegistry client_metrics;
+  node::ClientSession client(cluster.endpoints()[0], &client_metrics);
+  ASSERT_TRUE(client.connect());
+  for (const std::int64_t payload : payloads) {
+    const auto reply = client.call(payload);
+    ASSERT_TRUE(reply.has_value()) << "command " << payload << " got no reply";
+    EXPECT_TRUE(reply->ok);
+    EXPECT_EQ(rsm::RsmProcess::command_payload(reply->value), payload);
+  }
+
+  // Wait for every replica to apply the full log.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    bool all = true;
+    for (int p = 0; p < config.n; ++p)
+      if (cluster.node(p).applied_log().size() < payloads.size()) all = false;
+    if (all) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto live_log0 = cluster.node(0).applied_log();
+  // All replicas applied the same log (the RSM safety property)...
+  for (int p = 1; p < config.n; ++p) EXPECT_EQ(cluster.node(p).applied_log(), live_log0);
+  cluster.stop();
+
+  // ...and it is exactly the simulator's log: a sequential proxy yields a
+  // deterministic slot assignment, and commands pack (proxy 0, local id)
+  // identically in both worlds.
+  EXPECT_EQ(live_log0, sim_log);
+
+  // Per-request latency was captured.
+  EXPECT_EQ(client_metrics.counter_value("client.requests"), payloads.size());
+  EXPECT_EQ(client_metrics.histograms().at("client.rtt_us").count(), payloads.size());
+}
+
+TEST(LiveRuntime, SingleShotClientGetsTheDecidedValue) {
+  const consensus::SystemConfig config(3, 1, 1);
+  node::LocalCluster<core::TwoStepProcess> cluster(
+      config.n, [&](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId) {
+        core::Options options;
+        options.mode = core::Mode::kObject;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<core::TwoStepProcess>(env, config, options);
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  node::ClientSession client(cluster.endpoints()[0], nullptr);
+  ASSERT_TRUE(client.connect());
+  const auto reply = client.call(1234);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+  EXPECT_EQ(reply->value, 1234);
+  EXPECT_EQ(reply->slot, -1);
+
+  // A second request against the decided instance answers immediately with
+  // the same value, whatever payload it carries.
+  const auto second = client.call(777);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->value, 1234);
+  cluster.stop();
+}
+
+TEST(LiveRuntime, RejectsRsmPayloadOutsideCommandRange) {
+  const consensus::SystemConfig config(3, 1, 1);
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n, [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+  node::ClientSession client(cluster.endpoints()[1], nullptr);
+  ASSERT_TRUE(client.connect());
+  const auto reply = client.call(std::int64_t{1} << 41);  // outside the 40-bit range
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->ok);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace twostep

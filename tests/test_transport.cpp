@@ -1,0 +1,282 @@
+// Transport layer: wire framing, the epoll event loop, and framed TCP
+// connections with reconnect over loopback.
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "transport/event_loop.hpp"
+#include "transport/tcp.hpp"
+#include "transport/wire.hpp"
+
+namespace twostep {
+namespace {
+
+using transport::Frame;
+using transport::FrameKind;
+using transport::FrameParser;
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> out;
+  for (int x : xs) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+// ---- framing --------------------------------------------------------------
+
+TEST(TransportWire, RoundTripsSingleFrame) {
+  const auto payload = bytes({1, 2, 3, 4, 5});
+  const auto frame = transport::make_frame(FrameKind::kCore, payload);
+  ASSERT_EQ(frame.size(), transport::kHeaderSize + payload.size());
+
+  FrameParser parser;
+  ASSERT_TRUE(parser.feed(frame));
+  const auto parsed = parser.next();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, FrameKind::kCore);
+  EXPECT_EQ(parsed->payload, payload);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.failed());
+}
+
+TEST(TransportWire, ReassemblesFromSingleByteFeeds) {
+  std::vector<std::uint8_t> stream;
+  transport::append_frame(stream, FrameKind::kHello, transport::encode_hello(3));
+  transport::append_frame(stream, FrameKind::kClientRequest, bytes({42}));
+  transport::append_frame(stream, FrameKind::kClientReply, {});  // empty payload
+
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (const std::uint8_t b : stream) {
+    ASSERT_TRUE(parser.feed({&b, 1}));
+    while (auto f = parser.next()) frames.push_back(std::move(*f));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].kind, FrameKind::kHello);
+  EXPECT_EQ(transport::decode_hello(frames[0].payload), 3);
+  EXPECT_EQ(frames[1].kind, FrameKind::kClientRequest);
+  EXPECT_EQ(frames[1].payload, bytes({42}));
+  EXPECT_EQ(frames[2].kind, FrameKind::kClientReply);
+  EXPECT_TRUE(frames[2].payload.empty());
+}
+
+TEST(TransportWire, RejectsBadMagic) {
+  auto frame = transport::make_frame(FrameKind::kCore, bytes({1}));
+  frame[0] = 'X';
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(frame));
+  EXPECT_TRUE(parser.failed());
+  EXPECT_FALSE(parser.next().has_value());
+  // Sticky: even valid follow-up data is refused.
+  EXPECT_FALSE(parser.feed(transport::make_frame(FrameKind::kCore, bytes({1}))));
+}
+
+TEST(TransportWire, RejectsUnknownVersion) {
+  auto frame = transport::make_frame(FrameKind::kCore, bytes({1}));
+  frame[2] = 9;
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(frame));
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(TransportWire, RejectsUnknownFrameKind) {
+  auto frame = transport::make_frame(FrameKind::kCore, bytes({1}));
+  frame[3] = 0x7F;
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(frame));
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(TransportWire, RejectsOversizePayloadLength) {
+  std::vector<std::uint8_t> header = {'T', 'S', transport::kWireVersion,
+                                      static_cast<std::uint8_t>(FrameKind::kCore),
+                                      0xFF, 0xFF, 0xFF, 0x7F};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(header));
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(TransportWire, DetectsGarbageBetweenFrames) {
+  std::vector<std::uint8_t> stream;
+  transport::append_frame(stream, FrameKind::kCore, bytes({1}));
+  stream.push_back(0xEE);  // junk where the next header should start
+  stream.push_back(0xEE);
+  for (std::size_t i = 0; i < transport::kHeaderSize; ++i) stream.push_back(0);
+
+  FrameParser parser;
+  parser.feed(stream);
+  const auto first = parser.next();
+  ASSERT_TRUE(first.has_value());  // the valid frame still comes out
+  EXPECT_TRUE(parser.failed());    // then the stream is poisoned
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(TransportWire, HelloRejectsMalformedPayloads) {
+  EXPECT_FALSE(transport::decode_hello(bytes({})).has_value());
+  EXPECT_FALSE(transport::decode_hello(bytes({0x80})).has_value());  // truncated varint
+  EXPECT_FALSE(transport::decode_hello(bytes({2, 7})).has_value());  // trailing byte
+  // Negative ids are not valid process ids.
+  EXPECT_FALSE(transport::decode_hello(transport::encode_hello(-1)).has_value());
+  EXPECT_EQ(transport::decode_hello(transport::encode_hello(0)), 0);
+  EXPECT_EQ(transport::decode_hello(transport::encode_hello(41)), 41);
+}
+
+// ---- event loop -----------------------------------------------------------
+
+TEST(TransportLoop, RunsTimersInDeadlineOrder) {
+  transport::EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(3'000, [&] { order.push_back(3); });
+  loop.schedule_after(1'000, [&] { order.push_back(1); });
+  const std::uint64_t cancelled = loop.schedule_after(2'000, [&] { order.push_back(2); });
+  loop.schedule_after(4'000, [&] {
+    order.push_back(4);
+    loop.request_stop();
+  });
+  EXPECT_TRUE(loop.cancel_timer(cancelled));
+  EXPECT_FALSE(loop.cancel_timer(cancelled));  // already cancelled
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(TransportLoop, PostFromAnotherThreadWakesTheLoop) {
+  transport::EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread poster([&] {
+    for (int i = 0; i < 100; ++i)
+      loop.post([&] {
+        if (ran.fetch_add(1) + 1 == 100) loop.request_stop();
+      });
+  });
+  loop.run();
+  poster.join();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TransportLoop, TimerScheduledFromTimerFires) {
+  transport::EventLoop loop;
+  int fired = 0;
+  loop.schedule_after(0, [&] {
+    ++fired;
+    loop.schedule_after(0, [&] {
+      ++fired;
+      loop.request_stop();
+    });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---- TCP over loopback ----------------------------------------------------
+
+/// Accepts one inbound connection on `loop` and records its frames.
+struct FrameSink {
+  explicit FrameSink(transport::EventLoop& loop, transport::Endpoint at = {"127.0.0.1", 0})
+      : loop(loop), ep(std::move(at)) {
+    listen_fd = transport::bind_listener(ep);
+    loop.add_fd(listen_fd, EPOLLIN, [this](std::uint32_t) { accept_one(); });
+  }
+  ~FrameSink() {
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  void accept_one() {
+    const int cfd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) return;
+    conn = std::make_shared<transport::Connection>(loop, cfd, nullptr);
+    conn->start([this](Frame&& f) { frames.push_back(std::move(f)); },
+                [this] { closed = true; });
+  }
+
+  transport::EventLoop& loop;
+  transport::Endpoint ep;
+  int listen_fd = -1;
+  std::shared_ptr<transport::Connection> conn;
+  std::vector<Frame> frames;  // loop-thread only
+  bool closed = false;
+};
+
+TEST(TransportTcp, PeerLinkDeliversHelloThenFrames) {
+  transport::EventLoop loop;
+  FrameSink sink(loop);
+  transport::TransportStats stats;
+  transport::PeerLink link(loop, /*self=*/7, /*peer=*/0, sink.ep, &stats);
+  link.start();
+  link.send_frame(FrameKind::kCore, bytes({10, 11}));
+  link.send_frame(FrameKind::kCore, bytes({12}));
+
+  loop.schedule_after(2'000'000, [&] { loop.request_stop(); });  // safety net
+  // Poll from inside the loop until all three frames arrived.
+  auto check = std::make_shared<std::function<void()>>();
+  *check = [&, check] {
+    if (sink.frames.size() >= 3)
+      loop.request_stop();
+    else
+      loop.schedule_after(1'000, *check);
+  };
+  loop.post(*check);
+  loop.run();
+  *check = nullptr;  // break the self-referencing capture cycle
+
+  ASSERT_EQ(sink.frames.size(), 3u);
+  EXPECT_EQ(sink.frames[0].kind, FrameKind::kHello);
+  EXPECT_EQ(transport::decode_hello(sink.frames[0].payload), 7);
+  EXPECT_EQ(sink.frames[1].payload, bytes({10, 11}));
+  EXPECT_EQ(sink.frames[2].payload, bytes({12}));
+  EXPECT_TRUE(link.connected());
+  link.shutdown();
+  EXPECT_FALSE(link.connected());
+  EXPECT_GE(stats.frames_sent.load(), 3u);
+  EXPECT_EQ(stats.reconnects.load(), 0u);
+}
+
+TEST(TransportTcp, PeerLinkQueuesWhileServerIsDownThenReconnects) {
+  transport::EventLoop loop;
+  transport::TransportStats stats;
+
+  // Reserve a port, then close the listener: the link must back off and
+  // queue its frames until a server appears on that port.
+  transport::Endpoint ep{"127.0.0.1", 0};
+  const int tmp_fd = transport::bind_listener(ep);
+  ::close(tmp_fd);
+
+  transport::PeerLink link(loop, /*self=*/1, /*peer=*/0, ep, &stats);
+  link.start();
+  link.send_frame(FrameKind::kCore, bytes({1}));
+  link.send_frame(FrameKind::kCore, bytes({2}));
+
+  std::unique_ptr<FrameSink> sink;
+  // Bring the server up after the link has failed at least once.
+  loop.schedule_after(50'000, [&] { sink = std::make_unique<FrameSink>(loop, ep); });
+  loop.schedule_after(5'000'000, [&] { loop.request_stop(); });  // safety net
+  auto check = std::make_shared<std::function<void()>>();
+  *check = [&, check] {
+    if (sink && sink->frames.size() >= 3)
+      loop.request_stop();
+    else
+      loop.schedule_after(5'000, *check);
+  };
+  loop.post(*check);
+  loop.run();
+  *check = nullptr;  // break the self-referencing capture cycle
+
+  ASSERT_TRUE(sink);
+  ASSERT_EQ(sink->frames.size(), 3u);
+  EXPECT_EQ(sink->frames[0].kind, FrameKind::kHello);
+  EXPECT_EQ(transport::decode_hello(sink->frames[0].payload), 1);
+  EXPECT_EQ(sink->frames[1].payload, bytes({1}));
+  EXPECT_EQ(sink->frames[2].payload, bytes({2}));
+  link.shutdown();
+}
+
+}  // namespace
+}  // namespace twostep

@@ -56,22 +56,61 @@
 //       Exit status 2 if any row deviates from the paper's prediction
 //       (violation below the bound, defense at it).  --jobs parallelizes
 //       the grid with deterministic, order-stable output.
+//
+//   twostep_cli localcluster [-n N] [-e E] [-f F]
+//              [--protocol rsm|task|object|fastpaxos] [--commands K]
+//              [--delta-us D] [--value V] [--metrics-out FILE]
+//       Spawn an n-replica live cluster on loopback (real TCP, one event
+//       loop thread per replica — the same node::Runtime a multi-process
+//       deployment uses), drive it with a client workload and check
+//       safety.  For rsm (the default) a closed-loop client issues K
+//       commands (default 1000) to replica 0 and every replica's applied
+//       log must be prefix-consistent; for the single-shot protocols one
+//       client per replica proposes the same --value and all replies must
+//       agree.  Prints client-observed latency percentiles and the
+//       fast/slow decision split.  Exit status 2 on a safety violation,
+//       1 if commands were lost or the mesh never formed.
+//
+//   twostep_cli serve --id I --peers H:P,H:P,... [--protocol ...]
+//              [--e E] [--f F] [--delta-us D] [--metrics-out FILE]
+//       Host replica I of a real multi-process cluster.  --peers lists
+//       every replica's listen endpoint in id order (entry I is ours).
+//       Runs until SIGINT/SIGTERM, then shuts down cleanly and optionally
+//       writes the node's metrics.
+//
+//   twostep_cli client --connect H:P [--commands K] [--value V]
+//       Closed-loop client against a running replica: K sequential
+//       commands, RTT percentiles on exit.  Non-zero if any command was
+//       rejected or lost.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/messages.hpp"
+#include "core/two_step.hpp"
 #include "exec/thread_pool.hpp"
+#include "fastpaxos/fast_paxos.hpp"
 #include "faults/fault_plan.hpp"
 #include "harness/run_spec.hpp"
 #include "lowerbound/scenarios.hpp"
 #include "modelcheck/explorer.hpp"
+#include "node/client.hpp"
+#include "node/local_cluster.hpp"
+#include "node/runtime.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rsm/rsm.hpp"
+#include "transport/tcp.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -83,15 +122,16 @@ using consensus::ProcessId;
 using consensus::SystemConfig;
 using consensus::Value;
 
-/// Minimal flag parser: --key value pairs plus bare flags.
+/// Minimal flag parser: `--key value` / `-key value` pairs plus bare flags
+/// (single- and double-dash spellings are equivalent: `-n 5` == `--n 5`).
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) continue;
-      key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (key.empty() || key[0] != '-') continue;
+      key = key.substr(key.rfind("--", 0) == 0 ? 2 : 1);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";
@@ -549,9 +589,345 @@ int cmd_sweep(const Args& args) {
   return all_predicted ? 0 : 2;
 }
 
+// ---- live cluster commands ------------------------------------------------
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+std::optional<transport::Endpoint> parse_endpoint(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) return std::nullopt;
+  const int port = std::stoi(s.substr(colon + 1));
+  if (port < 0 || port > 65535) return std::nullopt;
+  return transport::Endpoint{s.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+std::vector<transport::Endpoint> parse_endpoint_list(const std::string& s) {
+  std::vector<transport::Endpoint> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    if (auto ep = parse_endpoint(s.substr(pos, comma - pos))) out.push_back(std::move(*ep));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// The paper's bound for `protocol` at (e, f); the RSM runs the
+/// object-mode core per slot, so it inherits the object bound.
+int default_cluster_size(const std::string& protocol, int e, int f) {
+  if (protocol == "task") return SystemConfig::min_processes_task(e, f);
+  if (protocol == "fastpaxos") return SystemConfig::min_processes_fast_paxos(e, f);
+  return SystemConfig::min_processes_object(e, f);
+}
+
+std::string format_us(double v) {
+  return std::to_string(static_cast<long>(v)) + " us";
+}
+
+/// Shared tail of the localcluster report: decision split, client RTT and
+/// transport traffic out of the merged per-node + client registries.
+void add_live_rows(util::Table& t, obs::MetricsRegistry& merged) {
+  t.add_row({"fast decisions", std::to_string(merged.counter_value("decisions.fast"))});
+  t.add_row({"slow decisions", std::to_string(merged.counter_value("decisions.slow"))});
+  t.add_row({"learned decisions", std::to_string(merged.counter_value("decisions.learned"))});
+  auto& rtt = merged.histogram("client.rtt_us");
+  if (rtt.count() > 0) {
+    t.add_row({"client rtt p50", format_us(rtt.percentile(0.5))});
+    t.add_row({"client rtt p95", format_us(rtt.percentile(0.95))});
+    t.add_row({"client rtt max", format_us(rtt.percentile(1.0))});
+  }
+  t.add_row({"transport bytes sent", std::to_string(merged.counter_value("transport.bytes_sent"))});
+  t.add_row({"transport reconnects", std::to_string(merged.counter_value("transport.reconnects"))});
+}
+
+bool write_metrics_if_requested(const Args& args, obs::MetricsRegistry& metrics) {
+  if (!args.has("metrics-out")) return true;
+  const std::string path = args.get("metrics-out");
+  if (!write_file(path, [&](std::ostream& os) { metrics.write_json(os); })) return false;
+  std::printf("metrics written to %s\n", path.c_str());
+  return true;
+}
+
+/// RSM workload: one closed-loop client against replica 0 (its proxy).
+/// Safety = every replica's applied log is prefix-consistent.
+int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Args& args) {
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n, [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = delta;
+        options.leader_of = [] { return ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      });
+  if (!cluster.wait_for_mesh()) {
+    std::fprintf(stderr, "localcluster: mesh did not form\n");
+    return 1;
+  }
+  obs::MetricsRegistry client_metrics;
+  node::ClientSession client(cluster.endpoints()[0], &client_metrics);
+  if (!client.connect()) {
+    std::fprintf(stderr, "localcluster: client could not connect\n");
+    return 1;
+  }
+  const auto result = client.run_closed_loop(commands);
+
+  // Give the other replicas a bounded window to apply what the proxy
+  // committed, then snapshot every log.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  const std::size_t target = static_cast<std::size_t>(result.ok);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (int p = 0; p < config.n; ++p)
+      if (cluster.node(p).applied_log().size() < target) all = false;
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> logs;
+  std::size_t applied_min = target;
+  for (int p = 0; p < config.n; ++p) {
+    logs.push_back(cluster.node(p).applied_log());
+    applied_min = std::min(applied_min, logs.back().size());
+  }
+  cluster.stop();
+
+  bool safe = true;
+  for (int p = 1; p < config.n; ++p) {
+    const std::size_t m = std::min(logs[0].size(), logs[static_cast<std::size_t>(p)].size());
+    if (!std::equal(logs[0].begin(), logs[0].begin() + static_cast<std::ptrdiff_t>(m),
+                    logs[static_cast<std::size_t>(p)].begin()))
+      safe = false;
+  }
+
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  merged.merge(client_metrics);
+  util::Table t({"metric", "value"});
+  t.set_title("localcluster rsm: n=" + std::to_string(config.n) + " e=" +
+              std::to_string(config.e) + " f=" + std::to_string(config.f) + ", loopback TCP");
+  t.add_row({"commands ok", std::to_string(result.ok)});
+  t.add_row({"commands rejected", std::to_string(result.rejected)});
+  t.add_row({"commands lost", std::to_string(result.lost)});
+  t.add_row({"applied everywhere", std::to_string(applied_min) + "/" + std::to_string(target)});
+  add_live_rows(t, merged);
+  std::printf("%s", t.to_string().c_str());
+  std::printf("safety: %s\n", safe ? "ok (applied logs prefix-consistent)" : "VIOLATED");
+  if (!write_metrics_if_requested(args, merged)) return 1;
+  if (!safe) return 2;
+  return (result.lost == 0 && result.rejected == 0 && applied_min == target) ? 0 : 1;
+}
+
+/// Single-shot workload: one client per replica, all proposing the same
+/// value — the unanimous pattern the fast path must carry.  Safety =
+/// agreement + validity over the observed replies.
+template <typename P, typename MakeProc>
+int run_local_singleshot(const std::string& protocol, SystemConfig config, MakeProc make,
+                         const Args& args) {
+  node::LocalCluster<P> cluster(config.n, std::move(make));
+  if (!cluster.wait_for_mesh()) {
+    std::fprintf(stderr, "localcluster: mesh did not form\n");
+    return 1;
+  }
+  const std::int64_t value = args.get_int("value", 42);
+  obs::MetricsRegistry client_metrics;
+  long ok = 0, rejected = 0, lost = 0;
+  std::vector<std::int64_t> observed;
+  for (int p = 0; p < config.n; ++p) {
+    node::ClientSession client(cluster.endpoints()[static_cast<std::size_t>(p)],
+                               &client_metrics);
+    if (!client.connect()) {
+      ++lost;
+      continue;
+    }
+    const auto reply = client.call(value);
+    if (!reply) {
+      ++lost;
+    } else if (!reply->ok) {
+      ++rejected;
+    } else {
+      ++ok;
+      observed.push_back(reply->value);
+    }
+  }
+  cluster.stop();
+
+  bool safe = !observed.empty();
+  for (const std::int64_t v : observed)
+    if (v != observed.front()) safe = false;            // agreement
+  if (safe && observed.front() != value) safe = false;  // validity (only `value` was proposed)
+
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  merged.merge(client_metrics);
+  util::Table t({"metric", "value"});
+  t.set_title("localcluster " + protocol + ": n=" + std::to_string(config.n) + " e=" +
+              std::to_string(config.e) + " f=" + std::to_string(config.f) + ", loopback TCP");
+  t.add_row({"clients ok", std::to_string(ok)});
+  t.add_row({"clients rejected", std::to_string(rejected)});
+  t.add_row({"clients lost", std::to_string(lost)});
+  t.add_row({"decided value", observed.empty() ? "-" : std::to_string(observed.front())});
+  add_live_rows(t, merged);
+  std::printf("%s", t.to_string().c_str());
+  std::printf("safety: %s\n", safe ? "ok (agreement + validity)" : "VIOLATED");
+  if (!write_metrics_if_requested(args, merged)) return 1;
+  if (!safe) return 2;
+  return (lost == 0 && rejected == 0) ? 0 : 1;
+}
+
+int cmd_localcluster(const Args& args) {
+  const std::string protocol = args.get("protocol", "rsm");
+  const int e = static_cast<int>(args.get_int("e", 1));
+  const int f = static_cast<int>(args.get_int("f", 1));
+  const int n = static_cast<int>(args.get_int("n", default_cluster_size(protocol, e, f)));
+  const long commands = args.get_int("commands", 1000);
+  const sim::Tick delta = args.get_int("delta-us", 100'000);
+  if (n < default_cluster_size(protocol, e, f))
+    std::fprintf(stderr, "warning: n=%d is below the %s bound for e=%d f=%d (%d)\n", n,
+                 protocol.c_str(), e, f, default_cluster_size(protocol, e, f));
+  const SystemConfig config(n, f, e);
+  std::printf("spawning %d %s replicas on loopback (delta = %lld us)\n", n, protocol.c_str(),
+              static_cast<long long>(delta));
+
+  if (protocol == "rsm") return run_local_rsm(config, commands, delta, args);
+  if (protocol == "task" || protocol == "object") {
+    const core::Mode mode = protocol == "task" ? core::Mode::kTask : core::Mode::kObject;
+    return run_local_singleshot<core::TwoStepProcess>(
+        protocol, config,
+        [=](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg, ProcessId) {
+          core::Options options;
+          options.mode = mode;
+          options.delta = delta;
+          options.leader_of = [] { return ProcessId{0}; };
+          options.probe.metrics = &reg;
+          return std::make_unique<core::TwoStepProcess>(env, config, options);
+        },
+        args);
+  }
+  if (protocol == "fastpaxos") {
+    return run_local_singleshot<fastpaxos::FastPaxosProcess>(
+        protocol, config,
+        [=](consensus::Env<fastpaxos::Message>& env, obs::MetricsRegistry& reg, ProcessId) {
+          fastpaxos::Options options;
+          options.delta = delta;
+          options.leader_of = [] { return ProcessId{0}; };
+          options.probe.metrics = &reg;
+          return std::make_unique<fastpaxos::FastPaxosProcess>(env, config, options);
+        },
+        args);
+  }
+  std::fprintf(stderr, "localcluster: unknown --protocol '%s'\n", protocol.c_str());
+  return 1;
+}
+
+template <typename P, typename MakeProc>
+int serve_until_signal(ProcessId id, const std::vector<transport::Endpoint>& peers,
+                       MakeProc make, const Args& args) {
+  node::Runtime<P> runtime(id, static_cast<int>(peers.size()),
+                           peers[static_cast<std::size_t>(id)], std::move(make));
+  runtime.start(peers);
+  std::printf("replica %d serving on %s, %zu-replica cluster (SIGINT to stop)\n", id,
+              runtime.endpoint().to_string().c_str(), peers.size());
+  std::signal(SIGINT, [](int) { g_stop_requested = 1; });
+  std::signal(SIGTERM, [](int) { g_stop_requested = 1; });
+  while (!g_stop_requested) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  runtime.stop();
+  if (!write_metrics_if_requested(args, runtime.metrics())) return 1;
+  std::printf("replica %d: clean shutdown\n", id);
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const auto peers = parse_endpoint_list(args.get("peers"));
+  const int id = static_cast<int>(args.get_int("id", 0));
+  if (peers.size() < 2 || id < 0 || id >= static_cast<int>(peers.size())) {
+    std::fprintf(stderr,
+                 "serve: need --peers H:P,H:P,... (>= 2 endpoints, in replica-id order) "
+                 "and --id I within it\n");
+    return 1;
+  }
+  const std::string protocol = args.get("protocol", "rsm");
+  const int e = static_cast<int>(args.get_int("e", 1));
+  const int f = static_cast<int>(args.get_int("f", 1));
+  const sim::Tick delta = args.get_int("delta-us", 100'000);
+  const SystemConfig config(static_cast<int>(peers.size()), f, e);
+
+  if (protocol == "rsm") {
+    return serve_until_signal<rsm::RsmProcess>(
+        id, peers,
+        [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg) {
+          rsm::Options options;
+          options.delta = delta;
+          options.leader_of = [] { return ProcessId{0}; };
+          options.probe.metrics = &reg;
+          return std::make_unique<rsm::RsmProcess>(env, config, options);
+        },
+        args);
+  }
+  if (protocol == "task" || protocol == "object") {
+    const core::Mode mode = protocol == "task" ? core::Mode::kTask : core::Mode::kObject;
+    return serve_until_signal<core::TwoStepProcess>(
+        id, peers,
+        [&](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg) {
+          core::Options options;
+          options.mode = mode;
+          options.delta = delta;
+          options.leader_of = [] { return ProcessId{0}; };
+          options.probe.metrics = &reg;
+          return std::make_unique<core::TwoStepProcess>(env, config, options);
+        },
+        args);
+  }
+  if (protocol == "fastpaxos") {
+    return serve_until_signal<fastpaxos::FastPaxosProcess>(
+        id, peers,
+        [&](consensus::Env<fastpaxos::Message>& env, obs::MetricsRegistry& reg) {
+          fastpaxos::Options options;
+          options.delta = delta;
+          options.leader_of = [] { return ProcessId{0}; };
+          options.probe.metrics = &reg;
+          return std::make_unique<fastpaxos::FastPaxosProcess>(env, config, options);
+        },
+        args);
+  }
+  std::fprintf(stderr, "serve: unknown --protocol '%s'\n", protocol.c_str());
+  return 1;
+}
+
+int cmd_client(const Args& args) {
+  const auto ep = parse_endpoint(args.get("connect"));
+  if (!ep) {
+    std::fprintf(stderr, "client: --connect host:port is required\n");
+    return 1;
+  }
+  obs::MetricsRegistry metrics;
+  node::ClientSession client(*ep, &metrics);
+  if (!client.connect()) {
+    std::fprintf(stderr, "client: could not connect to %s\n", ep->to_string().c_str());
+    return 1;
+  }
+  const long commands = args.get_int("commands", 100);
+  const auto result = client.run_closed_loop(
+      commands, [&](std::int64_t i) { return args.get_int("value", i); });
+
+  util::Table t({"metric", "value"});
+  t.set_title("closed-loop client against " + ep->to_string());
+  t.add_row({"commands ok", std::to_string(result.ok)});
+  t.add_row({"commands rejected", std::to_string(result.rejected)});
+  t.add_row({"commands lost", std::to_string(result.lost)});
+  auto& rtt = metrics.histogram("client.rtt_us");
+  if (rtt.count() > 0) {
+    t.add_row({"rtt mean", format_us(rtt.mean())});
+    t.add_row({"rtt p50", format_us(rtt.percentile(0.5))});
+    t.add_row({"rtt p95", format_us(rtt.percentile(0.95))});
+    t.add_row({"rtt p99", format_us(rtt.percentile(0.99))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return (result.lost == 0 && result.rejected == 0) ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: twostep_cli <bounds|run|attack|fuzz|chaos|sweep> [flags]\n"
+               "usage: twostep_cli <bounds|run|attack|fuzz|chaos|sweep|localcluster|serve|client>"
+               " [flags]\n"
                "see the header of tools/twostep_cli.cpp for the full flag list\n");
 }
 
@@ -570,6 +946,9 @@ int main(int argc, char** argv) {
   if (cmd == "fuzz") return cmd_fuzz(args);
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "localcluster") return cmd_localcluster(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "client") return cmd_client(args);
   usage();
   return 1;
 }
