@@ -284,6 +284,7 @@ std::vector<std::uint8_t> encode(const ClientRequest& m) {
   Writer w;
   w.put_i64(m.id);
   w.put_i64(m.payload);
+  w.put_i64(m.client_id);
   return std::move(w).take();
 }
 
@@ -292,6 +293,7 @@ std::optional<ClientRequest> decode_client_request(std::span<const std::uint8_t>
   ClientRequest m;
   m.id = r.get_i64();
   m.payload = r.get_i64();
+  m.client_id = r.get_i64();
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }

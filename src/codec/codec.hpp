@@ -86,9 +86,14 @@ std::optional<fastpaxos::Message> decode_fastpaxos(std::span<const std::uint8_t>
 
 /// A client command: `id` correlates the reply, `payload` is the proposed
 /// value (single-shot protocols) or the RSM command payload (< 2^40).
+/// `client_id` names the session across reconnects: a failover client
+/// resends under the same (client_id, id) pair, and the server's dedup
+/// table uses it to answer retries idempotently.  0 means "no session"
+/// (no dedup; the pre-failover behavior).
 struct ClientRequest {
   std::int64_t id = 0;
   std::int64_t payload = 0;
+  std::int64_t client_id = 0;
   friend bool operator==(const ClientRequest&, const ClientRequest&) = default;
 };
 

@@ -38,6 +38,19 @@ void TwoStepProcess::start() {
   if (options_.enable_ballot_timer) env_.set_timer(2 * options_.delta);
 }
 
+void TwoStepProcess::restore(const AcceptorState& s) {
+  bal_ = s.bal;
+  vbal_ = s.vbal;
+  val_ = s.val;
+  proposer_ = s.proposer;
+  initial_val_ = s.initial;
+  decided_ = s.decided;
+  // A restored decision must stay silent: it was notified and broadcast in
+  // the pre-crash incarnation (or the broadcast is covered by the durable
+  // votes of the deciding quorum).
+  decide_notified_ = !decided_.is_bottom();
+}
+
 void TwoStepProcess::propose(Value v) {
   if (v.is_bottom()) throw std::invalid_argument("propose: value must not be bottom");
   // Figure 1, line 2: only a process that has not yet voted adopts and

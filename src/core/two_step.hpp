@@ -79,6 +79,41 @@ class TwoStepProcess {
   /// Fired exactly once, when this process decides.
   std::function<void(consensus::Value)> on_decide;
 
+  /// The acceptor-critical slice of Figure 1's state: everything a 1B
+  /// snapshot or a fast-path vote reveals to other processes.  This is what
+  /// must survive a crash — the quorum-intersection arguments (Lemma 7 /
+  /// Lemma C.2) assume a restarted acceptor still holds its promises and
+  /// votes.  Leader-side bookkeeping (led_, fast_voters_) is deliberately
+  /// excluded: losing it only costs liveness, never safety.
+  struct AcceptorState {
+    consensus::Ballot bal = 0;
+    consensus::Ballot vbal = 0;
+    consensus::Value val;
+    consensus::ProcessId proposer = consensus::kNoProcess;
+    consensus::Value initial;
+    consensus::Value decided;
+    friend bool operator==(const AcceptorState&, const AcceptorState&) = default;
+  };
+  [[nodiscard]] AcceptorState acceptor_state() const noexcept {
+    return {bal_, vbal_, val_, proposer_, initial_val_, decided_};
+  }
+  /// Crash recovery: reinstates a previously captured state.  Must be called
+  /// before any message or proposal is processed.  A restored decision is
+  /// marked already-notified — on_decide does not re-fire and no Decide
+  /// broadcast is sent (peers either decided long ago or will learn via the
+  /// normal dissemination paths).
+  void restore(const AcceptorState& s);
+
+  /// The Decide retransmission set: one DecideMsg when decided, empty
+  /// otherwise.  The live runtime resends these whenever a peer link
+  /// (re)establishes, so a replica that missed the original broadcast
+  /// (crashed, partitioned, queue overflow) still learns the decision —
+  /// pure retransmission, no acceptor-state change.
+  [[nodiscard]] std::vector<Message> decide_messages() const {
+    if (decided_.is_bottom()) return {};
+    return {Message{DecideMsg{decided_}}};
+  }
+
   // --- observable state (for tests, monitors and 1B snapshots) ---
   [[nodiscard]] bool has_decided() const noexcept { return !decided_.is_bottom(); }
   [[nodiscard]] consensus::Value decided_value() const noexcept { return decided_; }

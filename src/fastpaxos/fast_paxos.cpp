@@ -27,6 +27,15 @@ void FastPaxosProcess::start() {
   if (options_.enable_ballot_timer) env_.set_timer(2 * options_.delta);
 }
 
+void FastPaxosProcess::restore(const AcceptorState& s) {
+  bal_ = s.bal;
+  vbal_ = s.vbal;
+  vval_ = s.vval;
+  my_value_ = s.my_value;
+  decided_ = s.decided;
+  decide_notified_ = !decided_.is_bottom();
+}
+
 void FastPaxosProcess::propose(Value v) {
   if (v.is_bottom()) throw std::invalid_argument("propose: value must not be bottom");
   if (!my_value_.is_bottom()) return;

@@ -89,6 +89,26 @@ class FastPaxosProcess {
 
   std::function<void(consensus::Value)> on_decide;
 
+  /// Acceptor-critical durable state: the promise (bal), the last vote
+  /// (vbal, vval), our own proposal (a restarted proposer must not propose a
+  /// different value under the same identity) and the decision.  The
+  /// accepted_ vote tallies are leader-side bookkeeping and recoverable
+  /// from the network, so they are not part of it.
+  struct AcceptorState {
+    consensus::Ballot bal = 0;
+    consensus::Ballot vbal = -1;
+    consensus::Value vval;
+    consensus::Value my_value;
+    consensus::Value decided;
+    friend bool operator==(const AcceptorState&, const AcceptorState&) = default;
+  };
+  [[nodiscard]] AcceptorState acceptor_state() const noexcept {
+    return {bal_, vbal_, vval_, my_value_, decided_};
+  }
+  /// Crash recovery: reinstates a captured state.  Call before any message;
+  /// a restored decision does not re-fire on_decide.
+  void restore(const AcceptorState& s);
+
   [[nodiscard]] bool has_decided() const noexcept { return !decided_.is_bottom(); }
   [[nodiscard]] consensus::Value decided_value() const noexcept { return decided_; }
   [[nodiscard]] consensus::Ballot ballot() const noexcept { return bal_; }

@@ -8,8 +8,11 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 namespace twostep::node {
 
@@ -21,13 +24,37 @@ std::int64_t monotonic_us() {
   return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 + ts.tv_nsec / 1000;
 }
 
+/// Process-unique, nonzero session id.  Mixes the clock, the pid and a
+/// process-local counter so two clients created in the same microsecond —
+/// or in different processes talking to the same cluster — never collide.
+std::int64_t make_client_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const std::uint64_t base =
+      (static_cast<std::uint64_t>(ts.tv_sec) << 20) ^ static_cast<std::uint64_t>(ts.tv_nsec) ^
+      (static_cast<std::uint64_t>(::getpid()) << 40);
+  const std::uint64_t mixed =
+      util::splitmix64(base, counter.fetch_add(1, std::memory_order_relaxed));
+  const auto id = static_cast<std::int64_t>(mixed >> 1);  // keep it positive
+  return id == 0 ? 1 : id;
+}
+
 }  // namespace
+
+ClientSession::ClientSession(std::vector<transport::Endpoint> servers,
+                             obs::MetricsRegistry* metrics, Options options)
+    : servers_(std::move(servers)),
+      options_(options),
+      metrics_(metrics),
+      client_id_(options.client_id != 0 ? options.client_id : make_client_id()),
+      rng_(util::splitmix64(options.seed, static_cast<std::uint64_t>(client_id_))) {
+  if (metrics_) rtt_us_ = &metrics_->histogram("client.rtt_us");
+}
 
 ClientSession::ClientSession(transport::Endpoint server, obs::MetricsRegistry* metrics,
                              Options options)
-    : server_(std::move(server)), options_(options), metrics_(metrics) {
-  if (metrics_) rtt_us_ = &metrics_->histogram("client.rtt_us");
-}
+    : ClientSession(std::vector<transport::Endpoint>{std::move(server)}, metrics, options) {}
 
 ClientSession::~ClientSession() { close(); }
 
@@ -40,49 +67,77 @@ void ClientSession::close() {
   }
 }
 
-bool ClientSession::connect() {
-  const std::int64_t deadline = now_us() + options_.connect_timeout_ms * 1000;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(server_.port);
-  if (::inet_pton(AF_INET, server_.host.c_str(), &addr.sin_addr) != 1) return false;
-  // Retry in a tight-ish loop: replicas may still be binding when a client
-  // process races them at cluster start.
-  do {
-    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) return false;
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      fd_ = fd;
-      return true;
-    }
-    ::close(fd);
-    ::usleep(10'000);
-  } while (now_us() < deadline);
-  return false;
+void ClientSession::count(const char* name, std::int64_t& local) {
+  ++local;
+  if (metrics_) metrics_->counter(name).add(1);
 }
 
-std::optional<codec::ClientReply> ClientSession::call(std::int64_t payload) {
-  if (fd_ < 0) return std::nullopt;
-  const std::int64_t id = next_id_++;
-  const std::int64_t start = now_us();
-  const std::int64_t deadline = start + options_.request_timeout_ms * 1000;
-  if (metrics_) metrics_->counter("client.requests").add(1);
+void ClientSession::fail_over() {
+  close();
+  parser_ = transport::FrameParser{};
+  current_ = (current_ + 1) % servers_.size();
+  count("client.failovers", failovers_);
+}
 
-  const std::vector<std::uint8_t> frame = transport::make_frame(
-      transport::FrameKind::kClientRequest, codec::encode(codec::ClientRequest{id, payload}));
-  std::size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      close();
-      return std::nullopt;
+bool ClientSession::dial_current() {
+  const transport::Endpoint& ep = servers_[current_];
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  parser_ = transport::FrameParser{};
+  return true;
+}
+
+bool ClientSession::reconnect(std::int64_t deadline) {
+  std::int64_t backoff_us = options_.backoff_min_ms * 1000;
+  for (;;) {
+    // One pass over the replica list per backoff round: a crashed proxy
+    // costs one refused connect, then the next replica answers.
+    for (std::size_t tried = 0; tried < servers_.size(); ++tried) {
+      if (dial_current()) return true;
+      current_ = (current_ + 1) % servers_.size();
     }
+    if (now_us() >= deadline) return false;
+    // Whole cluster unreachable right now — back off with jitter so a herd
+    // of clients does not redial in lockstep.
+    const std::int64_t low = backoff_us / 2;
+    std::int64_t sleep_us =
+        low + static_cast<std::int64_t>(
+                  rng_.next_below(static_cast<std::uint64_t>(backoff_us - low + 1)));
+    sleep_us = std::min(sleep_us, deadline - now_us());
+    if (sleep_us > 0) ::usleep(static_cast<useconds_t>(sleep_us));
+    backoff_us = std::min(backoff_us * 2, options_.backoff_max_ms * 1000);
+  }
+}
+
+bool ClientSession::connect() {
+  if (fd_ >= 0) return true;
+  return reconnect(now_us() + options_.connect_timeout_ms * 1000);
+}
+
+bool ClientSession::send_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
+  return true;
+}
 
+ClientSession::Wait ClientSession::await_reply(std::int64_t id, std::int64_t deadline,
+                                              codec::ClientReply& out) {
   std::uint8_t buf[65536];
   for (;;) {
     // Drain buffered frames before blocking again.
@@ -90,52 +145,78 @@ std::optional<codec::ClientReply> ClientSession::call(std::int64_t payload) {
       if (f->kind != transport::FrameKind::kClientReply) continue;
       const auto reply = codec::decode_client_reply(f->payload);
       if (!reply || reply->id != id) continue;  // stale reply from a timed-out call
-      if (rtt_us_) rtt_us_->add(static_cast<double>(now_us() - start));
-      if (metrics_) metrics_->counter(reply->ok ? "client.replies" : "client.rejections").add(1);
-      return reply;
+      out = *reply;
+      return Wait::kGot;
     }
-    if (parser_.failed()) {
-      close();
-      return std::nullopt;
-    }
+    if (parser_.failed()) return Wait::kConnLost;
     const std::int64_t remaining_ms = (deadline - now_us()) / 1000;
-    if (remaining_ms <= 0) {
-      if (metrics_) metrics_->counter("client.timeouts").add(1);
-      return std::nullopt;
-    }
+    if (remaining_ms <= 0) return Wait::kTimeout;
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
     if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0) {
-      if (ready == 0) {
-        if (metrics_) metrics_->counter("client.timeouts").add(1);
-        return std::nullopt;
-      }
-      close();
-      return std::nullopt;
-    }
+    if (ready == 0) return Wait::kTimeout;
+    if (ready < 0) return Wait::kConnLost;
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      close();
-      return std::nullopt;
+    if (n <= 0) return Wait::kConnLost;
+    if (!parser_.feed({buf, static_cast<std::size_t>(n)})) return Wait::kConnLost;
+  }
+}
+
+std::optional<codec::ClientReply> ClientSession::call(std::int64_t payload) {
+  const std::int64_t id = next_id_++;
+  const std::int64_t start = now_us();
+  const std::int64_t deadline = start + options_.request_timeout_ms * 1000;
+  if (metrics_) metrics_->counter("client.requests").add(1);
+  // Same bytes on every attempt: the retry carries the same
+  // (client_id, id), which is what lets the server deduplicate it.
+  const std::vector<std::uint8_t> frame = transport::make_frame(
+      transport::FrameKind::kClientRequest,
+      codec::encode(codec::ClientRequest{id, payload, client_id_}));
+
+  for (;;) {
+    if (fd_ < 0 && !reconnect(deadline)) return std::nullopt;
+    if (!send_all(frame)) {
+      count("client.conn_lost", conn_lost_);
+      fail_over();
+      if (now_us() >= deadline) return std::nullopt;
+      continue;
     }
-    if (!parser_.feed({buf, static_cast<std::size_t>(n)})) {
-      close();
-      return std::nullopt;
+    const std::int64_t attempt_deadline =
+        std::min(deadline, now_us() + options_.attempt_timeout_ms * 1000);
+    codec::ClientReply reply;
+    switch (await_reply(id, attempt_deadline, reply)) {
+      case Wait::kGot:
+        if (rtt_us_) rtt_us_->add(static_cast<double>(now_us() - start));
+        if (metrics_)
+          metrics_->counter(reply.ok ? "client.replies" : "client.rejections").add(1);
+        return reply;
+      case Wait::kConnLost:
+        count("client.conn_lost", conn_lost_);
+        fail_over();
+        break;
+      case Wait::kTimeout:
+        count("client.timeouts", timeouts_);
+        if (attempt_deadline >= deadline) return std::nullopt;  // budget exhausted
+        fail_over();  // this proxy is not answering; try another replica
+        break;
     }
+    if (now_us() >= deadline) return std::nullopt;
   }
 }
 
 ClientSession::WorkloadResult ClientSession::run_closed_loop(
     std::int64_t count, const std::function<std::int64_t(std::int64_t)>& payload_of) {
   WorkloadResult result;
+  const std::int64_t timeouts0 = timeouts_;
+  const std::int64_t conn_lost0 = conn_lost_;
+  const std::int64_t failovers0 = failovers_;
   for (std::int64_t i = 0; i < count; ++i) {
     const std::int64_t payload = payload_of ? payload_of(i) : i;
     const auto reply = call(payload);
     if (!reply) {
       ++result.lost;
-      if (!connected()) break;
+      if (!connected()) break;  // cluster unreachable even after failover
       continue;
     }
     if (reply->ok)
@@ -143,6 +224,9 @@ ClientSession::WorkloadResult ClientSession::run_closed_loop(
     else
       ++result.rejected;
   }
+  result.timeouts = timeouts_ - timeouts0;
+  result.conn_lost = conn_lost_ - conn_lost0;
+  result.failovers = failovers_ - failovers0;
   return result;
 }
 

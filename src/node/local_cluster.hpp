@@ -7,17 +7,82 @@
 // the conformance tests — and deliberately the same code path a real
 // multi-process deployment would use, just with n threads instead of n
 // processes.
+//
+// Crash-recovery: kill(i) tears replica i down abruptly (its sockets die;
+// peers see resets and redial) and restart(i) brings it back on the SAME
+// port with the SAME WAL directory, so a restarted node re-enters the
+// mesh with its pre-crash promises and votes replayed from disk.  The
+// CrashSchedule helper turns a seed into a reproducible kill/restart
+// timeline with at most f replicas down at once — the fault envelope the
+// protocol's quorum arguments tolerate.
 #pragma once
 
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "node/runtime.hpp"
+#include "util/rng.hpp"
 
 namespace twostep::node {
+
+/// Cluster-wide knobs, applied per replica at construction and restart.
+struct ClusterOptions {
+  /// Non-empty: every replica logs to `<storage_dir>/r<i>` and recovers
+  /// from it on restart.  Empty: no persistence (kill loses all state).
+  std::string storage_dir;
+  bool fsync = true;  ///< fdatasync per logged transition
+  /// Chaos stage on every replica's outbound links (seeded per node
+  /// inside the runtime).
+  transport::ChaosConfig chaos;
+};
+
+/// One round of a crash timeline: at `at_ms` kill `replicas`, keep them
+/// down for `down_ms`, then restart them all.
+struct CrashRound {
+  std::int64_t at_ms = 0;
+  std::vector<int> replicas;
+  std::int64_t down_ms = 0;
+};
+
+/// Seeded, reproducible kill/restart timeline.  Rounds never overlap, so a
+/// sequential driver (kill all, sleep, restart all) keeps the number of
+/// concurrently-down replicas at |round.replicas| <= f at all times.
+struct CrashSchedule {
+  std::vector<CrashRound> rounds;
+
+  static CrashSchedule generate(std::uint64_t seed, int n, int f, std::int64_t duration_ms,
+                                std::int64_t period_ms, std::int64_t down_ms) {
+    CrashSchedule out;
+    if (n <= 0 || f <= 0 || period_ms <= 0 || down_ms <= 0) return out;
+    util::Rng rng{util::splitmix64(seed, 0xC2A5C2A5ULL)};
+    for (std::int64_t t = period_ms; t + down_ms < duration_ms; t += period_ms) {
+      CrashRound round;
+      // Jitter the kill instant, but keep the whole round inside its period
+      // so rounds cannot overlap (the <= f invariant depends on it).
+      const std::int64_t slack = period_ms - down_ms;
+      round.at_ms = t + (slack > 1 ? static_cast<std::int64_t>(
+                                         rng.next_below(static_cast<std::uint64_t>(slack / 2)))
+                                   : 0);
+      round.down_ms = down_ms;
+      const int kills = 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(f)));
+      std::vector<int> pool(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+      for (int k = 0; k < kills && !pool.empty(); ++k) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(pool.size())));
+        round.replicas.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      out.rounds.push_back(std::move(round));
+    }
+    return out;
+  }
+};
 
 template <typename P>
 class LocalCluster {
@@ -28,14 +93,11 @@ class LocalCluster {
       consensus::Env<typename P::Message>&, obs::MetricsRegistry&, consensus::ProcessId self)>;
 
   /// Binds n loopback listeners and starts all runtimes.
-  LocalCluster(int n, Factory factory) {
+  explicit LocalCluster(int n, Factory factory, ClusterOptions options = {})
+      : factory_(std::move(factory)), options_(std::move(options)) {
     nodes_.reserve(static_cast<std::size_t>(n));
     for (consensus::ProcessId p = 0; p < n; ++p) {
-      nodes_.push_back(std::make_unique<Runtime<P>>(
-          p, n, transport::Endpoint{"127.0.0.1", 0},
-          [&factory, p](consensus::Env<typename P::Message>& env, obs::MetricsRegistry& reg) {
-            return factory(env, reg, p);
-          }));
+      nodes_.push_back(build_node(p, n, transport::Endpoint{"127.0.0.1", 0}));
       endpoints_.push_back(nodes_.back()->endpoint());
     }
     for (auto& node : nodes_) node->start(endpoints_);
@@ -43,21 +105,62 @@ class LocalCluster {
 
   ~LocalCluster() { stop(); }
 
-  [[nodiscard]] int size() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(endpoints_.size()); }
+  /// The replica's runtime.  Not synchronized against kill()/restart() from
+  /// other threads — callers coordinate (the crash driver owns the node's
+  /// lifetime while a round is in flight).
   [[nodiscard]] Runtime<P>& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] bool alive(int i) const {
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
+    return nodes_[static_cast<std::size_t>(i)] != nullptr;
+  }
   [[nodiscard]] const std::vector<transport::Endpoint>& endpoints() const noexcept {
     return endpoints_;
   }
 
-  /// Blocks until every replica's outbound links reach all n-1 peers, or
-  /// the timeout expires.  Returns whether the mesh formed.
+  /// Abruptly stops replica i and destroys its runtime.  Its metrics are
+  /// folded into a graveyard registry first, so merged_metrics() never
+  /// loses a dead node's counters.  No-op if already dead.
+  void kill(int i) {
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
+    auto& node = nodes_[static_cast<std::size_t>(i)];
+    if (!node) return;
+    node->stop();
+    graveyard_.merge(node->metrics());
+    node.reset();
+  }
+
+  /// Rebuilds replica i on its ORIGINAL port, recovering from its WAL
+  /// directory when the cluster has storage.  No-op if alive.
+  void restart(int i) {
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
+    auto& node = nodes_[static_cast<std::size_t>(i)];
+    if (node) return;
+    node = build_node(i, size(), endpoints_[static_cast<std::size_t>(i)]);
+    node->start(endpoints_);
+  }
+
+  /// Blocks until every live replica's outbound links reach all live peers
+  /// AND every live replica has an identified inbound connection from each
+  /// of them, or the timeout expires.  Returns whether the mesh formed.
+  /// Checking both directions matters: our dials may succeed while the
+  /// peers' dials to us are still down, and a half-open mesh stalls every
+  /// quorum that needs the missing direction.
   bool wait_for_mesh(std::int64_t timeout_ms = 5'000) {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
     for (;;) {
+      int live = 0;
       bool full = true;
-      for (auto& node : nodes_)
-        if (node->connected_out() != size() - 1) full = false;
+      {
+        const std::lock_guard<std::mutex> lock(nodes_mu_);
+        for (const auto& node : nodes_)
+          if (node) ++live;
+        for (const auto& node : nodes_) {
+          if (!node) continue;
+          if (node->connected_out() < live - 1 || node->connected_in() < live - 1) full = false;
+        }
+      }
       if (full) return true;
       if (std::chrono::steady_clock::now() >= deadline) return false;
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -65,19 +168,45 @@ class LocalCluster {
   }
 
   void stop() {
-    for (auto& node : nodes_) node->stop();
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
+    for (auto& node : nodes_)
+      if (node) node->stop();
   }
 
-  /// Merges every node's registry, in replica order (call after stop()).
+  /// Merges every node's registry — including replicas that died and were
+  /// restarted — in replica order (call after stop()).
   [[nodiscard]] obs::MetricsRegistry merged_metrics() {
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
     obs::MetricsRegistry merged;
-    for (auto& node : nodes_) merged.merge(node->metrics());
+    merged.merge(graveyard_);
+    for (auto& node : nodes_)
+      if (node) merged.merge(node->metrics());
     return merged;
   }
 
  private:
+  std::unique_ptr<Runtime<P>> build_node(consensus::ProcessId p, int n,
+                                         transport::Endpoint listen) {
+    RuntimeOptions rt_options;
+    if (!options_.storage_dir.empty())
+      rt_options.storage =
+          StorageOptions{options_.storage_dir + "/r" + std::to_string(p), options_.fsync};
+    rt_options.chaos = options_.chaos;
+    Factory& factory = factory_;
+    return std::make_unique<Runtime<P>>(
+        p, n, std::move(listen),
+        [&factory, p](consensus::Env<typename P::Message>& env, obs::MetricsRegistry& reg) {
+          return factory(env, reg, p);
+        },
+        std::move(rt_options));
+  }
+
+  Factory factory_;
+  ClusterOptions options_;
+  mutable std::mutex nodes_mu_;  ///< guards nodes_ slots + graveyard_
   std::vector<std::unique_ptr<Runtime<P>>> nodes_;
   std::vector<transport::Endpoint> endpoints_;
+  obs::MetricsRegistry graveyard_;
 };
 
 }  // namespace twostep::node

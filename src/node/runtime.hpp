@@ -30,12 +30,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -45,11 +49,31 @@
 #include "consensus/types.hpp"
 #include "node/wire_traits.hpp"
 #include "obs/metrics.hpp"
+#include "storage/durable.hpp"
+#include "storage/wal.hpp"
+#include "transport/chaos.hpp"
 #include "transport/event_loop.hpp"
 #include "transport/tcp.hpp"
 #include "transport/wire.hpp"
 
 namespace twostep::node {
+
+/// Durable acceptor state: the runtime write-ahead-logs every protocol
+/// state transition into `dir` *before* the messages revealing it leave the
+/// node, and rebuilds the protocol from the log on construction — the
+/// crash-recovery discipline the quorum-intersection arguments assume.
+struct StorageOptions {
+  std::string dir;    ///< WAL directory, created if absent
+  bool fsync = true;  ///< fdatasync per logged transition (off: bench/tests)
+};
+
+struct RuntimeOptions {
+  /// Persist + recover acceptor state (protocols with storage::Durable
+  /// support only; rejected at construction otherwise).
+  std::optional<StorageOptions> storage;
+  /// Chaos stage on every outbound peer link (seeded per node).
+  transport::ChaosConfig chaos;
+};
 
 /// True when P is a proxy-style replicated state machine (client commands
 /// go through submit/on_commit) rather than single-shot consensus.
@@ -58,6 +82,15 @@ concept RsmLike = requires(P p) {
   p.submit(std::int64_t{});
   p.on_commit;
   p.on_apply;
+};
+
+/// True when P can enumerate Decide retransmissions for anti-entropy: the
+/// runtime resends them whenever an outbound link (re)establishes, so a
+/// peer that missed the original broadcasts (crash, long outage past the
+/// transport's bounded queue) still converges.
+template <typename P>
+concept HasDecideResend = requires(const P p) {
+  { p.decide_messages() } -> std::same_as<std::vector<typename P::Message>>;
 };
 
 template <typename P>
@@ -73,14 +106,23 @@ class Runtime {
 
   /// Binds the listener immediately (`listen.port == 0` picks an ephemeral
   /// port, readable via endpoint() right away); I/O starts with start().
+  /// With options.storage set, any WAL found in the directory is replayed
+  /// into the freshly built protocol before this constructor returns, so
+  /// the node rejoins with its pre-crash promises and votes.
   Runtime(consensus::ProcessId self, int cluster_size, transport::Endpoint listen,
-          Factory factory)
-      : self_(self), n_(cluster_size), listen_ep_(std::move(listen)), env_(*this) {
+          Factory factory, RuntimeOptions options = {})
+      : self_(self),
+        n_(cluster_size),
+        listen_ep_(std::move(listen)),
+        options_(std::move(options)),
+        env_(*this) {
     listen_fd_ = transport::bind_listener(listen_ep_);
     loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
     serve_us_ = &metrics_.histogram("node.serve_us");
     proc_ = factory(env_, metrics_);
     wire_callbacks();
+    init_storage();
+    if (options_.chaos.enabled()) chaos_.emplace(options_.chaos, self_);
   }
 
   ~Runtime() { stop(); }
@@ -100,6 +142,10 @@ class Runtime {
       if (p == self_) continue;
       links_[static_cast<std::size_t>(p)] = std::make_unique<transport::PeerLink>(
           loop_, self_, p, peers_[static_cast<std::size_t>(p)], &stats_);
+      if (chaos_) links_[static_cast<std::size_t>(p)]->set_chaos(&*chaos_);
+      if constexpr (HasDecideResend<P>)
+        links_[static_cast<std::size_t>(p)]->set_on_connected(
+            [this, p] { resend_decided_to(p); });
       links_[static_cast<std::size_t>(p)]->start();
     }
     thread_ = std::thread([this] { loop_.run(); });
@@ -129,14 +175,16 @@ class Runtime {
   /// Thread-safe (hops onto the loop thread).
   void propose(consensus::Value v) {
     loop_.post([this, v] {
-      ensure_started();
-      if constexpr (RsmLike<P>) {
-        proc_->submit(v.get());
-      } else {
-        if (proposed_) return;  // one proposal per process, as in the task model
-        proposed_ = true;
-        proc_->propose(v);
-      }
+      with_wal([&] {
+        ensure_started();
+        if constexpr (RsmLike<P>) {
+          proc_->submit(v.get());
+        } else {
+          if (proposed_) return;  // one proposal per process, as in the task model
+          proposed_ = true;
+          proc_->propose(v);
+        }
+      });
     });
   }
 
@@ -162,6 +210,12 @@ class Runtime {
       if (link && link->connected()) ++count;
     return count;
   }
+  /// Number of distinct peers with an inbound (Hello-identified) connection
+  /// to us.  A mesh is only usable when both directions are up: our dials
+  /// may succeed while the peers' dials to us are still blackholed.
+  [[nodiscard]] int connected_in() const noexcept {
+    return inbound_count_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const transport::TransportStats& stats() const noexcept { return stats_; }
@@ -182,7 +236,7 @@ class Runtime {
       const std::uint64_t env_id = rt_.next_env_timer_++;
       const std::uint64_t loop_id = rt_.loop_.schedule_after(delay, [this, env_id] {
         rt_.env_timers_.erase(env_id);
-        rt_.proc_->on_timer(consensus::TimerId{env_id});
+        rt_.with_wal([&] { rt_.proc_->on_timer(consensus::TimerId{env_id}); });
       });
       rt_.env_timers_.emplace(env_id, loop_id);
       return consensus::TimerId{env_id};
@@ -202,6 +256,21 @@ class Runtime {
     std::weak_ptr<transport::Connection> conn;
     std::int64_t request_id = 0;
     std::int64_t received_us = 0;
+    std::int64_t client_id = 0;
+  };
+
+  /// Per-client idempotency record: a failover client resends its current
+  /// request under the same (client_id, request_id); answering from here —
+  /// or re-attaching the new connection to the in-flight command — keeps
+  /// retries from being executed twice by THIS node.  The table is
+  /// volatile: a proxy that crashes mid-request may re-execute the retry,
+  /// so cross-restart client semantics are at-least-once (the RSM log can
+  /// hold a command twice; agreement and prefix consistency still hold).
+  struct ClientDedup {
+    std::int64_t last_id = 0;  ///< highest request id seen from this client
+    std::int64_t cmd = 0;      ///< RSM: in-flight command of last_id
+    bool done = false;
+    codec::ClientReply reply;  ///< cached answer, valid when done
   };
 
   void wire_callbacks() {
@@ -213,7 +282,15 @@ class Runtime {
       proc_->on_commit = [this](std::int64_t cmd, sim::Tick submitted_at, std::int32_t slot) {
         const auto it = outstanding_rsm_.find(cmd);
         if (it == outstanding_rsm_.end()) return;
-        reply(it->second, codec::ClientReply{it->second.request_id, cmd, slot, true});
+        const codec::ClientReply answer{it->second.request_id, cmd, slot, true};
+        if (it->second.client_id != 0) {
+          ClientDedup& d = dedup_[it->second.client_id];
+          if (d.last_id == it->second.request_id) {
+            d.done = true;
+            d.reply = answer;
+          }
+        }
+        reply(it->second, answer);
         outstanding_rsm_.erase(it);
         (void)submitted_at;
       };
@@ -223,8 +300,17 @@ class Runtime {
           const std::lock_guard<std::mutex> lock(state_mu_);
           decided_ = v;
         }
-        for (OutstandingRequest& req : outstanding_)
-          reply(req, codec::ClientReply{req.request_id, v.get(), -1, true});
+        for (OutstandingRequest& req : outstanding_) {
+          const codec::ClientReply answer{req.request_id, v.get(), -1, true};
+          if (req.client_id != 0) {
+            ClientDedup& d = dedup_[req.client_id];
+            if (d.last_id == req.request_id) {
+              d.done = true;
+              d.reply = answer;
+            }
+          }
+          reply(req, answer);
+        }
         outstanding_.clear();
       };
     }
@@ -236,21 +322,81 @@ class Runtime {
     proc_->start();
   }
 
+  /// Opens and replays the WAL.  Runs in the constructor, after the
+  /// protocol is built and its callbacks are wired (so a replayed apply
+  /// rebuilds the cross-thread log snapshot) but before any I/O exists —
+  /// recovery completes without a single message.
+  void init_storage() {
+    if (!options_.storage) return;
+    if constexpr (!storage::kHasDurable<P>)
+      throw std::invalid_argument("Runtime: protocol has no storage::Durable support");
+    std::filesystem::create_directories(options_.storage->dir);
+    wal_.emplace(options_.storage->dir + "/replica-" + std::to_string(self_) + ".wal",
+                 storage::WalOptions{options_.storage->fsync});
+    if (wal_->recovered().empty()) return;
+    for (const auto& record : wal_->recovered()) durable_.replay(*proc_, record);
+    durable_.note_recovery(*proc_, metrics_);
+    metrics_.counter("wal.recovered_records").add(wal_->recovered().size());
+    metrics_.counter("wal.truncated_bytes").add(wal_->truncated_bytes());
+    if constexpr (!RsmLike<P>) {
+      if (proc_->has_decided()) {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        decided_ = proc_->decided_value();
+      }
+    }
+    // Resume liveness: re-arm the ballot timers for whatever is undecided.
+    // (Timer scheduling pre-thread is safe — the loop is not running yet.)
+    ensure_started();
+  }
+
+  /// Wraps one protocol entry point under the write-ahead discipline:
+  /// outgoing messages are buffered while `fn` runs, the changed acceptor
+  /// state is appended + synced, and only then do the messages go out.  A
+  /// crash between the state change and the sync thus loses state *nobody
+  /// has seen* — the torn tail the WAL truncates on restart.  Client
+  /// replies bypass the buffer deliberately: a reply reports a decision,
+  /// and decisions rest on the already-durable votes of a quorum, not on
+  /// this node's volatile memory.
+  template <typename Fn>
+  void with_wal(Fn&& fn) {
+    if (!wal_ || entry_active_) {
+      fn();
+      return;
+    }
+    entry_active_ = true;
+    fn();
+    if (durable_.capture(*proc_, *wal_)) wal_->sync();
+    entry_active_ = false;
+    std::vector<std::pair<consensus::ProcessId, Message>> out;
+    out.swap(buffered_sends_);
+    for (auto& [to, msg] : out) raw_send(to, msg);
+  }
+
   void send_msg(consensus::ProcessId to, const Message& msg) {
+    if (entry_active_) {
+      buffered_sends_.emplace_back(to, msg);
+      return;
+    }
+    raw_send(to, msg);
+  }
+
+  void raw_send(consensus::ProcessId to, const Message& msg) {
     if (to == self_) {
       // Queue through the loop so self-delivery is never reentrant — the
       // simulator likewise delivers self-sends as later events.
       loop_.post([this, msg] { deliver(self_, msg); });
       return;
     }
-    if (to < 0 || to >= n_) return;
+    if (to < 0 || to >= n_ || links_.empty()) return;
     auto& link = links_[static_cast<std::size_t>(to)];
     if (link) link->send_frame(WireTraits<Message>::kKind, WireTraits<Message>::encode(msg));
   }
 
   void deliver(consensus::ProcessId from, const Message& msg) {
-    ensure_started();
-    proc_->on_message(from, msg);
+    with_wal([&] {
+      ensure_started();
+      proc_->on_message(from, msg);
+    });
   }
 
   void on_accept() {
@@ -268,6 +414,7 @@ class Runtime {
             if (auto c = weak.lock()) {
               inbound_peer_.erase(c.get());
               inbound_.erase(c);
+              refresh_inbound_count();
             }
           });
     }
@@ -282,9 +429,11 @@ class Runtime {
           conn->close();
           inbound_peer_.erase(conn.get());
           inbound_.erase(conn);
+          refresh_inbound_count();
           return;
         }
         inbound_peer_[conn.get()] = *peer;
+        refresh_inbound_count();
         return;
       }
       case transport::FrameKind::kClientRequest: {
@@ -305,30 +454,64 @@ class Runtime {
 
   void handle_client_request(const std::shared_ptr<transport::Connection>& conn,
                              const codec::ClientRequest& req) {
-    OutstandingRequest out{conn, req.id, loop_.now_us()};
-    if constexpr (RsmLike<P>) {
-      if (req.payload < 0 || req.payload >= (std::int64_t{1} << 40)) {
-        reply(out, codec::ClientReply{req.id, req.payload, -1, false});
-        return;
-      }
-      ensure_started();
-      const std::int64_t cmd = proc_->submit(req.payload);
-      outstanding_rsm_.emplace(cmd, std::move(out));
-    } else {
-      ensure_started();
-      {
-        const std::lock_guard<std::mutex> lock(state_mu_);
-        if (!decided_.is_bottom()) {
-          reply(out, codec::ClientReply{req.id, decided_.get(), -1, true});
+    OutstandingRequest out{conn, req.id, loop_.now_us(), req.client_id};
+    // Failover dedup: a client that lost its connection resends the same
+    // (client_id, id).  Answer completed requests from the cache, re-attach
+    // the new connection to a still-in-flight one, and drop stale ids —
+    // never submit the same request twice.
+    if (req.client_id != 0) {
+      const auto it = dedup_.find(req.client_id);
+      if (it != dedup_.end()) {
+        ClientDedup& d = it->second;
+        if (req.id < d.last_id) return;  // stale retry of an old request
+        if (req.id == d.last_id) {
+          if (d.done) {
+            codec::ClientReply cached = d.reply;
+            cached.id = req.id;
+            reply(out, cached);
+            return;
+          }
+          metrics_.counter("node.dedup_reattach").add();
+          if constexpr (RsmLike<P>) {
+            const auto in_flight = outstanding_rsm_.find(d.cmd);
+            if (in_flight != outstanding_rsm_.end()) in_flight->second = std::move(out);
+          } else {
+            for (OutstandingRequest& r : outstanding_)
+              if (r.client_id == req.client_id && r.request_id == req.id) r = std::move(out);
+          }
           return;
         }
       }
-      outstanding_.push_back(std::move(out));
-      if (!proposed_) {
-        proposed_ = true;
-        proc_->propose(consensus::Value{req.payload});
-      }
+      ClientDedup& d = dedup_[req.client_id];
+      d.last_id = req.id;
+      d.done = false;
     }
+    with_wal([&] {
+      if constexpr (RsmLike<P>) {
+        if (req.payload < 0 || req.payload >= (std::int64_t{1} << 40)) {
+          reply(out, codec::ClientReply{req.id, req.payload, -1, false});
+          return;
+        }
+        ensure_started();
+        const std::int64_t cmd = proc_->submit(req.payload);
+        if (req.client_id != 0) dedup_[req.client_id].cmd = cmd;
+        outstanding_rsm_.insert_or_assign(cmd, std::move(out));
+      } else {
+        ensure_started();
+        {
+          const std::lock_guard<std::mutex> lock(state_mu_);
+          if (!decided_.is_bottom()) {
+            reply(out, codec::ClientReply{req.id, decided_.get(), -1, true});
+            return;
+          }
+        }
+        outstanding_.push_back(std::move(out));
+        if (!proposed_) {
+          proposed_ = true;
+          proc_->propose(consensus::Value{req.payload});
+        }
+      }
+    });
   }
 
   void reply(const OutstandingRequest& req, const codec::ClientReply& msg) {
@@ -338,6 +521,29 @@ class Runtime {
     conn->send_frame(transport::FrameKind::kClientReply, codec::encode(msg));
   }
 
+  /// Decide anti-entropy, invoked by the peer link each time its outbound
+  /// connection (re)establishes: a peer that was unreachable may have
+  /// missed Decide broadcasts for good (the disconnected queue is bounded,
+  /// and a non-leader's ballot timers cannot recover a slot whose leader
+  /// already decided), so resend everything we know to be decided.  Pure
+  /// retransmission of existing protocol messages — receivers that already
+  /// decided ignore them.  Runs on the loop thread.
+  void resend_decided_to(consensus::ProcessId peer) {
+    if constexpr (HasDecideResend<P>) {
+      const auto msgs = proc_->decide_messages();
+      for (const auto& m : msgs) send_msg(peer, m);
+      if (!msgs.empty()) metrics_.counter("node.decide_resent").add(msgs.size());
+    }
+  }
+
+  /// Recomputes the number of distinct peers with a Hello-identified
+  /// inbound connection.  Loop-thread only; the atomic is for readers.
+  void refresh_inbound_count() {
+    std::unordered_set<consensus::ProcessId> peers;
+    for (const auto& [conn, peer] : inbound_peer_) peers.insert(peer);
+    inbound_count_.store(static_cast<int>(peers.size()), std::memory_order_relaxed);
+  }
+
   void export_transport_metrics() {
     metrics_.counter("transport.bytes_sent").add(stats_.bytes_sent.load());
     metrics_.counter("transport.bytes_received").add(stats_.bytes_received.load());
@@ -345,11 +551,20 @@ class Runtime {
     metrics_.counter("transport.frames_received").add(stats_.frames_received.load());
     metrics_.counter("transport.reconnects").add(stats_.reconnects.load());
     metrics_.counter("transport.frames_dropped").add(stats_.frames_dropped.load());
+    metrics_.counter("transport.connect_timeouts").add(stats_.connect_timeouts.load());
+    metrics_.counter("transport.chaos_dropped").add(stats_.chaos_dropped.load());
+    metrics_.counter("transport.chaos_duplicated").add(stats_.chaos_duplicated.load());
+    metrics_.counter("transport.chaos_delayed").add(stats_.chaos_delayed.load());
+    if (wal_) {
+      metrics_.counter("wal.appends").add(wal_->appends());
+      metrics_.counter("wal.syncs").add(wal_->syncs());
+    }
   }
 
   consensus::ProcessId self_;
   int n_;
   transport::Endpoint listen_ep_;
+  RuntimeOptions options_;
   transport::EventLoop loop_;
   LiveEnv env_;
   transport::TransportStats stats_;
@@ -370,6 +585,15 @@ class Runtime {
 
   std::vector<OutstandingRequest> outstanding_;                      ///< single-shot
   std::unordered_map<std::int64_t, OutstandingRequest> outstanding_rsm_;  ///< cmd -> client
+  std::unordered_map<std::int64_t, ClientDedup> dedup_;  ///< client_id -> idempotency record
+
+  // --- durability + chaos (loop-thread only, except the atomic) ---
+  std::optional<storage::Wal> wal_;
+  std::conditional_t<storage::kHasDurable<P>, storage::Durable<P>, storage::NullDurable> durable_;
+  std::optional<transport::ChaosInjector> chaos_;
+  bool entry_active_ = false;  ///< inside with_wal: sends are being buffered
+  std::vector<std::pair<consensus::ProcessId, Message>> buffered_sends_;
+  std::atomic<int> inbound_count_{0};
 
   mutable std::mutex state_mu_;
   consensus::Value decided_;

@@ -89,10 +89,12 @@ Command RsmProcess::submit(std::int64_t payload) {
 void RsmProcess::propose_in_slot(PendingCommand& pending, std::int32_t slot) {
   pending.slot = slot;
   submit_cursor_ = slot + 1;
+  dirty_slots_.insert(slot);
   ensure_slot(slot).proc->propose(Value{pending.cmd});
 }
 
 void RsmProcess::on_message(ProcessId from, const Message& m) {
+  dirty_slots_.insert(m.slot);
   ensure_slot(m.slot).proc->on_message(from, m.inner);
 }
 
@@ -101,7 +103,28 @@ void RsmProcess::on_timer(TimerId id) {
   if (it == timer_routes_.end()) return;
   const std::int32_t slot = it->second.first;
   timer_routes_.erase(it);
+  dirty_slots_.insert(slot);
   ensure_slot(slot).proc->on_timer(id);
+}
+
+std::vector<std::int32_t> RsmProcess::drain_dirty_slots() {
+  std::vector<std::int32_t> slots(dirty_slots_.begin(), dirty_slots_.end());
+  dirty_slots_.clear();
+  return slots;
+}
+
+const core::TwoStepProcess* RsmProcess::slot_process(std::int32_t slot) const {
+  const auto it = slots_.find(slot);
+  return it == slots_.end() ? nullptr : it->second.proc.get();
+}
+
+void RsmProcess::restore_slot(std::int32_t slot, const core::TwoStepProcess::AcceptorState& s) {
+  ensure_slot(slot).proc->restore(s);
+  if (!s.decided.is_bottom() && !decisions_.contains(slot)) {
+    decisions_[slot] = s.decided.get();
+    if (on_decide_slot) on_decide_slot(slot, s.decided.get());
+    apply_contiguous();
+  }
 }
 
 void RsmProcess::slot_decided(std::int32_t slot, Value v) {
@@ -140,6 +163,14 @@ std::optional<Command> RsmProcess::decision(std::int32_t slot) const {
   const auto it = decisions_.find(slot);
   if (it == decisions_.end()) return std::nullopt;
   return it->second;
+}
+
+std::vector<SlotMsg> RsmProcess::decide_messages() const {
+  std::vector<SlotMsg> out;
+  out.reserve(decisions_.size());
+  for (const auto& [slot, cmd] : decisions_)
+    out.push_back(Message{slot, core::Message{core::DecideMsg{consensus::Value{cmd}}}});
+  return out;
 }
 
 void RsmProcess::apply_contiguous() {

@@ -19,6 +19,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <vector>
 
 #include "consensus/env.hpp"
 #include "consensus/types.hpp"
@@ -78,6 +80,30 @@ class RsmProcess {
   /// Cluster-harness adapter: fired on our first committed command.
   std::function<void(consensus::Value)> on_decide;
 
+  // --- crash recovery (consumed by storage::Durable<RsmProcess>) ---
+
+  /// Slots whose inner acceptor state may have changed since the last
+  /// drain.  Cleared by the call; the set is maintained by every entry
+  /// point that can touch a slot (message, timer, submit).
+  [[nodiscard]] std::vector<std::int32_t> drain_dirty_slots();
+
+  /// The consensus instance of one slot, or null if the slot was never
+  /// touched locally.
+  [[nodiscard]] const core::TwoStepProcess* slot_process(std::int32_t slot) const;
+
+  /// Reinstates one slot from its durable record: restores the inner
+  /// acceptor state, re-registers a restored decision and re-applies the
+  /// contiguous prefix (on_apply fires in log order during replay).
+  void restore_slot(std::int32_t slot, const core::TwoStepProcess::AcceptorState& s);
+
+  /// The Decide retransmission set: one slot-wrapped DecideMsg per decided
+  /// slot, in slot order.  Resent by the live runtime whenever a peer link
+  /// (re)establishes — the transport's disconnected queue is bounded, so a
+  /// replica that was down through many decisions needs this anti-entropy
+  /// pass to fill its log gaps (its own ballot timers cannot: only the Ω
+  /// leader starts ballots, and a decided leader has nothing left to run).
+  [[nodiscard]] std::vector<Message> decide_messages() const;
+
   // --- introspection ---
   [[nodiscard]] std::int32_t applied_prefix() const noexcept { return applied_; }
   [[nodiscard]] int decided_slots() const noexcept { return static_cast<int>(decisions_.size()); }
@@ -119,6 +145,7 @@ class RsmProcess {
   Options options_;
 
   std::map<std::int32_t, SlotState> slots_;
+  std::set<std::int32_t> dirty_slots_;
   std::map<std::int32_t, Command> decisions_;
   std::map<std::uint64_t, std::pair<std::int32_t, consensus::TimerId>> timer_routes_;
   std::deque<PendingCommand> pending_;

@@ -1,0 +1,150 @@
+#include "storage/durable.hpp"
+
+#include <algorithm>
+
+#include "codec/codec.hpp"
+
+namespace twostep::storage {
+
+namespace {
+
+using consensus::Ballot;
+using consensus::ProcessId;
+using consensus::Value;
+
+std::vector<std::uint8_t> encode_core_state(const core::TwoStepProcess::AcceptorState& s) {
+  codec::Writer w;
+  w.put_i64(s.bal);
+  w.put_i64(s.vbal);
+  w.put_value(s.val);
+  w.put_i64(s.proposer);
+  w.put_value(s.initial);
+  w.put_value(s.decided);
+  return std::move(w).take();
+}
+
+bool decode_core_state(codec::Reader& r, core::TwoStepProcess::AcceptorState& out) {
+  out.bal = r.get_i64();
+  out.vbal = r.get_i64();
+  out.val = r.get_value();
+  out.proposer = static_cast<ProcessId>(r.get_i64());
+  out.initial = r.get_value();
+  out.decided = r.get_value();
+  return r.ok();
+}
+
+}  // namespace
+
+// ---- core::TwoStepProcess -------------------------------------------------
+
+bool Durable<core::TwoStepProcess>::capture(core::TwoStepProcess& p, Wal& wal) {
+  std::vector<std::uint8_t> record = encode_core_state(p.acceptor_state());
+  if (record == last_) return false;
+  wal.append(record);
+  last_ = std::move(record);
+  return true;
+}
+
+void Durable<core::TwoStepProcess>::replay(core::TwoStepProcess& p,
+                                           std::span<const std::uint8_t> record) {
+  codec::Reader r{record};
+  core::TwoStepProcess::AcceptorState s;
+  if (!decode_core_state(r, s) || !r.exhausted()) return;
+  p.restore(s);
+  last_.assign(record.begin(), record.end());
+}
+
+void Durable<core::TwoStepProcess>::note_recovery(const core::TwoStepProcess& p,
+                                                  obs::MetricsRegistry& reg) {
+  reg.counter("recover.ballot").add(static_cast<std::uint64_t>(std::max<Ballot>(0, p.ballot())));
+  reg.counter("recover.vote_ballot")
+      .add(static_cast<std::uint64_t>(std::max<Ballot>(0, p.vote_ballot())));
+  if (!p.vote_value().is_bottom()) reg.counter("recover.voted").add();
+  if (p.has_decided()) reg.counter("recover.decided").add();
+}
+
+// ---- fastpaxos::FastPaxosProcess ------------------------------------------
+
+bool Durable<fastpaxos::FastPaxosProcess>::capture(fastpaxos::FastPaxosProcess& p, Wal& wal) {
+  const auto s = p.acceptor_state();
+  codec::Writer w;
+  w.put_i64(s.bal);
+  w.put_i64(s.vbal);
+  w.put_value(s.vval);
+  w.put_value(s.my_value);
+  w.put_value(s.decided);
+  std::vector<std::uint8_t> record = std::move(w).take();
+  if (record == last_) return false;
+  wal.append(record);
+  last_ = std::move(record);
+  return true;
+}
+
+void Durable<fastpaxos::FastPaxosProcess>::replay(fastpaxos::FastPaxosProcess& p,
+                                                  std::span<const std::uint8_t> record) {
+  codec::Reader r{record};
+  fastpaxos::FastPaxosProcess::AcceptorState s;
+  s.bal = r.get_i64();
+  s.vbal = r.get_i64();
+  s.vval = r.get_value();
+  s.my_value = r.get_value();
+  s.decided = r.get_value();
+  if (!r.ok() || !r.exhausted()) return;
+  p.restore(s);
+  last_.assign(record.begin(), record.end());
+}
+
+void Durable<fastpaxos::FastPaxosProcess>::note_recovery(const fastpaxos::FastPaxosProcess& p,
+                                                         obs::MetricsRegistry& reg) {
+  reg.counter("recover.ballot").add(static_cast<std::uint64_t>(std::max<Ballot>(0, p.ballot())));
+  if (p.has_decided()) reg.counter("recover.decided").add();
+}
+
+// ---- rsm::RsmProcess ------------------------------------------------------
+
+bool Durable<rsm::RsmProcess>::capture(rsm::RsmProcess& p, Wal& wal) {
+  bool appended = false;
+  for (const std::int32_t slot : p.drain_dirty_slots()) {
+    const core::TwoStepProcess* proc = p.slot_process(slot);
+    if (proc == nullptr) continue;
+    codec::Writer w;
+    w.put_i64(slot);
+    std::vector<std::uint8_t> state = encode_core_state(proc->acceptor_state());
+    for (const std::uint8_t byte : state) w.put_u8(byte);
+    std::vector<std::uint8_t> record = std::move(w).take();
+    auto& cell = last_[slot];
+    if (record == cell) continue;
+    wal.append(record);
+    cell = std::move(record);
+    appended = true;
+  }
+  return appended;
+}
+
+void Durable<rsm::RsmProcess>::replay(rsm::RsmProcess& p, std::span<const std::uint8_t> record) {
+  codec::Reader r{record};
+  const std::int64_t slot = r.get_i64();
+  core::TwoStepProcess::AcceptorState s;
+  if (!decode_core_state(r, s) || !r.exhausted()) return;
+  if (!r.ok() || slot < 0 || slot > INT32_MAX) return;
+  p.restore_slot(static_cast<std::int32_t>(slot), s);
+  auto& cell = last_[static_cast<std::int32_t>(slot)];
+  const bool fresh = cell.empty();
+  cell.assign(record.begin(), record.end());
+  if (fresh) ++replayed_slots_;
+}
+
+void Durable<rsm::RsmProcess>::note_recovery(const rsm::RsmProcess& p,
+                                             obs::MetricsRegistry& reg) {
+  reg.counter("recover.slots").add(replayed_slots_);
+  reg.counter("recover.decided").add(static_cast<std::uint64_t>(p.decided_slots()));
+  reg.counter("recover.applied").add(static_cast<std::uint64_t>(p.applied_prefix()));
+  Ballot max_bal = 0;
+  for (const auto& [slot, bytes] : last_) {
+    const core::TwoStepProcess* proc = p.slot_process(slot);
+    if (proc != nullptr) max_bal = std::max(max_bal, proc->ballot());
+  }
+  reg.counter("recover.max_ballot").add(static_cast<std::uint64_t>(max_bal));
+}
+
+}  // namespace twostep::storage

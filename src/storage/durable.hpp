@@ -1,0 +1,109 @@
+// Per-protocol durability traits over the WAL.
+//
+// storage::Durable<P> is the bridge between a protocol instance and its
+// write-ahead log: capture() appends a record when (and only when) the
+// acceptor-critical state changed since the last capture, and replay()
+// applies one recovered record back onto a fresh instance (also seeding the
+// change detector, so unchanged state is never re-logged after recovery).
+// The records are codec-encoded (zigzag varints, Value presence bytes) —
+// the same primitives as the wire format, so a WAL record is as compact as
+// the message that revealed the state it protects.
+//
+// What is durable per protocol, and why it suffices for safety:
+//   - TwoStepProcess (task and object mode): the full Figure-1 acceptor
+//     tuple (bal, vbal, val, proposer, initial_val, decided).  A 1B reply
+//     and a fast vote expose exactly these fields; Lemma 7 / Lemma C.2
+//     intersect quorums over them.
+//   - FastPaxosProcess: (bal, vbal, vval, my_value, decided) — the classic
+//     Paxos promise/vote pair plus the own proposal (a restarted proposer
+//     must not re-propose a different value under the same identity).
+//   - RsmProcess: one record per touched slot, carrying the slot's inner
+//     object-mode acceptor tuple.  Decisions ride in the same record (the
+//     `decided` field); the applied prefix is recomputed from the decisions
+//     on replay, so it needs no record of its own.
+// Leader-side vote tallies (who promised/voted to *us*) are deliberately
+// volatile: losing them delays recovery by one ballot but cannot break
+// agreement, and logging them would double the write volume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/two_step.hpp"
+#include "fastpaxos/fast_paxos.hpp"
+#include "obs/metrics.hpp"
+#include "rsm/rsm.hpp"
+#include "storage/wal.hpp"
+
+namespace twostep::storage {
+
+/// Specialized for every protocol the node runtime can persist.
+template <typename P>
+struct Durable;
+
+/// True when Durable<P> exists; Runtime uses it to reject StorageOptions
+/// for protocols without durability support at construction time.
+template <typename P>
+inline constexpr bool kHasDurable = false;
+template <>
+inline constexpr bool kHasDurable<core::TwoStepProcess> = true;
+template <>
+inline constexpr bool kHasDurable<fastpaxos::FastPaxosProcess> = true;
+template <>
+inline constexpr bool kHasDurable<rsm::RsmProcess> = true;
+
+/// Stand-in for protocols without durability support, so Runtime<P> still
+/// compiles for them (storage is rejected at runtime before it is reached).
+struct NullDurable {
+  template <typename P>
+  bool capture(P&, Wal&) {
+    return false;
+  }
+  template <typename P>
+  void replay(P&, std::span<const std::uint8_t>) {}
+  template <typename P>
+  void note_recovery(const P&, obs::MetricsRegistry&) {}
+};
+
+template <>
+struct Durable<core::TwoStepProcess> {
+  /// Appends a record iff the acceptor state changed since the last
+  /// capture/replay; returns whether anything was appended (i.e. whether
+  /// the caller owes a sync before releasing the buffered messages).
+  bool capture(core::TwoStepProcess& p, Wal& wal);
+  /// Applies one recovered record; malformed records are ignored (they can
+  /// only come from a foreign or future file — CRC already screened rot).
+  void replay(core::TwoStepProcess& p, std::span<const std::uint8_t> record);
+  /// Publishes what was recovered ("recover.*" counters) so a rejoin from
+  /// the WAL — rather than from scratch — is observable in metrics.
+  void note_recovery(const core::TwoStepProcess& p, obs::MetricsRegistry& reg);
+
+ private:
+  std::vector<std::uint8_t> last_;
+};
+
+template <>
+struct Durable<fastpaxos::FastPaxosProcess> {
+  bool capture(fastpaxos::FastPaxosProcess& p, Wal& wal);
+  void replay(fastpaxos::FastPaxosProcess& p, std::span<const std::uint8_t> record);
+  void note_recovery(const fastpaxos::FastPaxosProcess& p, obs::MetricsRegistry& reg);
+
+ private:
+  std::vector<std::uint8_t> last_;
+};
+
+template <>
+struct Durable<rsm::RsmProcess> {
+  /// One record per dirty slot whose encoded state actually changed.
+  bool capture(rsm::RsmProcess& p, Wal& wal);
+  void replay(rsm::RsmProcess& p, std::span<const std::uint8_t> record);
+  void note_recovery(const rsm::RsmProcess& p, obs::MetricsRegistry& reg);
+
+ private:
+  std::map<std::int32_t, std::vector<std::uint8_t>> last_;  ///< slot -> encoded record
+  std::uint64_t replayed_slots_ = 0;
+};
+
+}  // namespace twostep::storage

@@ -1,0 +1,133 @@
+#include "storage/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace twostep::storage {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t read_u32_le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("wal write");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Wal::Wal(std::string path, WalOptions options) : path_(std::move(path)), options_(options) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("wal open " + path_);
+  scan_and_truncate();
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    // Best effort: anything appended but never synced was not promised.
+    if (!buffer_.empty()) {
+      try {
+        sync();
+      } catch (const std::system_error&) {
+      }
+    }
+    ::close(fd_);
+  }
+}
+
+void Wal::scan_and_truncate() {
+  struct stat st{};
+  if (::fstat(fd_, &st) < 0) throw_errno("wal fstat " + path_);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::pread(fd_, bytes.data() + got, bytes.size() - got,
+                              static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("wal read " + path_);
+    }
+    if (n == 0) break;  // racing truncation; treat the shortfall as torn
+    got += static_cast<std::size_t>(n);
+  }
+
+  std::size_t pos = 0;
+  while (got - pos >= 8) {
+    const std::uint32_t len = read_u32_le(bytes.data() + pos);
+    const std::uint32_t crc = read_u32_le(bytes.data() + pos + 4);
+    if (len > kMaxRecordBytes || got - pos - 8 < len) break;
+    const std::span<const std::uint8_t> payload{bytes.data() + pos + 8, len};
+    if (crc32(payload) != crc) break;
+    recovered_.emplace_back(payload.begin(), payload.end());
+    pos += 8 + len;
+  }
+
+  if (pos != got) {
+    truncated_bytes_ = got - pos;
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) < 0) throw_errno("wal ftruncate " + path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(pos), SEEK_SET) < 0) throw_errno("wal lseek " + path_);
+}
+
+void Wal::append(std::span<const std::uint8_t> record) {
+  put_u32_le(buffer_, static_cast<std::uint32_t>(record.size()));
+  put_u32_le(buffer_, crc32(record));
+  buffer_.insert(buffer_.end(), record.begin(), record.end());
+  ++appends_;
+}
+
+void Wal::sync() {
+  if (!buffer_.empty()) {
+    write_all(fd_, buffer_.data(), buffer_.size());
+    buffer_.clear();
+  }
+  if (options_.fsync && ::fdatasync(fd_) < 0) throw_errno("wal fdatasync " + path_);
+  ++syncs_;
+}
+
+}  // namespace twostep::storage

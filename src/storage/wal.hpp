@@ -1,0 +1,89 @@
+// Append-only write-ahead log for the live node runtime.
+//
+// The durability layer under crash recovery: a Runtime with StorageOptions
+// appends one record per acceptor-state transition *before* the messages
+// revealing that state go on the wire, and replays the surviving records on
+// construction.  The file format is deliberately minimal — a stream of
+//
+//   u32 length (LE) | u32 CRC-32 of payload (LE) | payload bytes
+//
+// records, where the payload is an opaque codec-encoded blob owned by the
+// per-protocol storage::Durable traits.  Opening scans the file from the
+// start and truncates the *torn tail*: the first record whose header does
+// not fit, whose length is implausible, whose payload is short, or whose
+// CRC mismatches ends the scan, and the file is cut back to the last intact
+// record.  Everything after a bad record is discarded even if it frames
+// correctly — a WAL cannot trust bytes beyond the first corruption.
+//
+// Writes are buffered; sync() flushes the buffer and (by default) issues
+// fdatasync, so a caller batching several appends per state transition pays
+// one disk barrier per transition, not per record.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace twostep::storage {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+/// Exposed for the corruption tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+struct WalOptions {
+  /// If false, sync() flushes to the OS but skips the fdatasync barrier —
+  /// for benchmarks measuring the protocol cost of logging without the
+  /// device cost, and for tests on throwaway data.
+  bool fsync = true;
+};
+
+class Wal {
+ public:
+  /// Largest accepted record payload; a scanned length beyond this is
+  /// treated as corruption (matches the transport's frame-size sanity cap).
+  static constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
+
+  /// Opens (or creates) the log at `path`, scans and validates the existing
+  /// records, and truncates any torn tail.  Throws std::system_error on
+  /// I/O failure.
+  explicit Wal(std::string path, WalOptions options = {});
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// The records that survived the open-time scan, in append order.
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& recovered() const noexcept {
+    return recovered_;
+  }
+
+  /// Bytes cut off the tail at open (0 for a clean file).
+  [[nodiscard]] std::uint64_t truncated_bytes() const noexcept { return truncated_bytes_; }
+
+  /// Buffers one record.  Not durable until sync() returns.
+  void append(std::span<const std::uint8_t> record);
+
+  /// Writes all buffered records and issues the durability barrier
+  /// (fdatasync, unless options.fsync is off).  Throws std::system_error
+  /// on I/O failure — a WAL that cannot persist must not ack.
+  void sync();
+
+  // --- lifetime statistics ---
+  [[nodiscard]] std::uint64_t appends() const noexcept { return appends_; }
+  [[nodiscard]] std::uint64_t syncs() const noexcept { return syncs_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void scan_and_truncate();
+
+  std::string path_;
+  WalOptions options_;
+  int fd_ = -1;
+  std::vector<std::uint8_t> buffer_;  ///< appended but not yet written
+  std::vector<std::vector<std::uint8_t>> recovered_;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace twostep::storage

@@ -1,0 +1,22 @@
+#include "transport/chaos.hpp"
+
+#include "util/rng.hpp"
+
+namespace twostep::transport {
+
+ChaosInjector::ChaosInjector(const ChaosConfig& config, consensus::ProcessId self)
+    : plan_(util::splitmix64(config.seed, static_cast<std::uint64_t>(self))), self_(self) {
+  if (config.drop_rate > 0) plan_.drop(config.drop_rate);
+  if (config.duplicate_rate > 0) plan_.duplicate(config.duplicate_rate);
+  if (config.delay_rate > 0 && config.delay_max_us > 0)
+    plan_.reorder(config.delay_rate, config.delay_max_us);
+  for (const ChaosConfig::Partition& p : config.partitions)
+    plan_.partition_cut(p.island, p.since_us, p.heal_us);
+}
+
+faults::FaultPlan::Decision ChaosInjector::decide(std::int64_t now_us,
+                                                  consensus::ProcessId to) {
+  return plan_.on_send(now_us, self_, to, nullptr);
+}
+
+}  // namespace twostep::transport

@@ -1,0 +1,71 @@
+// Chaos injection for real TCP links.
+//
+// The simulator's fault vocabulary (faults::FaultPlan: seeded drop /
+// duplicate / delay rates and timed partitions) applied verbatim to the
+// live transport: every outbound protocol frame on a PeerLink is submitted
+// to a per-node ChaosInjector before it reaches the socket, and the plan's
+// Decision is executed with real means — a drop never writes, a duplicate
+// writes extra copies, a delay parks the frame on the event-loop timer
+// heap.  Times are loop microseconds (sim::Tick at 1 tick = 1 µs), so a
+// partition window written for the simulator reads identically here.
+//
+// Only the *sender* side of each directed link injects (the inbound
+// connection applies no chaos), so a drop rate r yields per-link loss r,
+// not 1-(1-r)^2, and the numbers line up with the simulated R1 chaos runs.
+// Hello frames are exempt: chaos models a lossy network, not a broken
+// handshake — dropping the peer-id announcement would silently blind the
+// receiving node to an otherwise healthy connection.
+//
+// Loop-thread only, like everything else on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace twostep::transport {
+
+/// Declarative chaos parameters, shared by every node of a cluster; each
+/// node derives its own deterministic stream with splitmix64(seed, self).
+struct ChaosConfig {
+  double drop_rate = 0;       ///< P(frame never sent)
+  double duplicate_rate = 0;  ///< P(frame sent twice)
+  double delay_rate = 0;      ///< P(frame delayed by uniform [1, delay_max_us])
+  std::int64_t delay_max_us = 0;
+
+  /// Timed cut partition: frames between `island` and its complement are
+  /// dropped during [since_us, heal_us) of the sender's loop clock;
+  /// heal_us < 0 never heals.
+  struct Partition {
+    std::vector<consensus::ProcessId> island;
+    std::int64_t since_us = 0;
+    std::int64_t heal_us = -1;
+  };
+  std::vector<Partition> partitions;
+
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_rate > 0 || duplicate_rate > 0 || delay_rate > 0 || !partitions.empty();
+  }
+};
+
+/// One node's chaos decision stream: a seeded faults::FaultPlan consulted
+/// by every outbound PeerLink of that node.  Loop-thread only.
+class ChaosInjector {
+ public:
+  /// `self` salts the seed so each node draws an independent stream from
+  /// the same ChaosConfig.
+  ChaosInjector(const ChaosConfig& config, consensus::ProcessId self);
+
+  /// The fate of one frame sent now from `self` to `to`.
+  faults::FaultPlan::Decision decide(std::int64_t now_us, consensus::ProcessId to);
+
+ private:
+  faults::FaultPlan plan_;
+  consensus::ProcessId self_;
+};
+
+}  // namespace twostep::transport

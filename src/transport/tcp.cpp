@@ -215,11 +215,46 @@ void Connection::update_interest() {
 
 PeerLink::PeerLink(EventLoop& loop, consensus::ProcessId self, consensus::ProcessId peer,
                    Endpoint target, TransportStats* stats)
-    : loop_(loop), self_(self), peer_(peer), target_(std::move(target)), stats_(stats) {}
+    : loop_(loop),
+      self_(self),
+      peer_(peer),
+      target_(std::move(target)),
+      stats_(stats),
+      rng_(util::splitmix64(static_cast<std::uint64_t>(self) + 1,
+                            static_cast<std::uint64_t>(peer) + 1)) {}
 
 void PeerLink::start() { attempt_connect(); }
 
 void PeerLink::send_frame(FrameKind kind, std::vector<std::uint8_t> payload) {
+  if (stopped_) return;
+  if (chaos_ != nullptr) {
+    const faults::FaultPlan::Decision d = chaos_->decide(loop_.now_us(), peer_);
+    if (d.dropped()) {
+      if (stats_) stats_->chaos_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (int copy = 1; copy < d.copies; ++copy) {
+      if (stats_) stats_->chaos_duplicated.fetch_add(1, std::memory_order_relaxed);
+      enqueue_frame(kind, payload);
+    }
+    if (d.extra_delay > 0) {
+      if (stats_) stats_->chaos_delayed.fetch_add(1, std::memory_order_relaxed);
+      // Park the frame on the timer heap; it re-enters the normal pipeline
+      // (connected send or bounded queue) when the delay elapses.  The
+      // lambda may outlive the link's *connection* but never the link: a
+      // Runtime joins the loop thread before tearing links down, and
+      // enqueue_frame checks stopped_ for the post-shutdown case.
+      loop_.schedule_after(d.extra_delay,
+                           [this, kind, frame = std::move(payload)]() mutable {
+                             enqueue_frame(kind, std::move(frame));
+                           });
+      return;
+    }
+  }
+  enqueue_frame(kind, std::move(payload));
+}
+
+void PeerLink::enqueue_frame(FrameKind kind, std::vector<std::uint8_t> payload) {
   if (stopped_) return;
   if (conn_ && !conn_->closed()) {
     conn_->send_frame(kind, payload);
@@ -240,6 +275,7 @@ void PeerLink::shutdown() {
     loop_.cancel_timer(retry_timer_);
     retry_timer_ = 0;
   }
+  cancel_connect_timer();
   if (dial_fd_ >= 0) {
     loop_.del_fd(dial_fd_);
     ::close(dial_fd_);
@@ -263,9 +299,29 @@ void PeerLink::attempt_connect() {
   }
   dial_fd_ = fd;
   loop_.add_fd(fd, EPOLLOUT, [this, fd](std::uint32_t events) { on_dial_result(fd, events); });
+  // A SYN into a blackhole (chaos partition, dead routing) would otherwise
+  // sit in EINPROGRESS for the kernel's multi-minute default.
+  connect_timer_ = loop_.schedule_after(kConnectTimeoutUs, [this] { on_dial_timeout(); });
+}
+
+void PeerLink::cancel_connect_timer() {
+  if (connect_timer_ == 0) return;
+  loop_.cancel_timer(connect_timer_);
+  connect_timer_ = 0;
+}
+
+void PeerLink::on_dial_timeout() {
+  connect_timer_ = 0;
+  if (dial_fd_ < 0) return;
+  loop_.del_fd(dial_fd_);
+  ::close(dial_fd_);
+  dial_fd_ = -1;
+  if (stats_) stats_->connect_timeouts.fetch_add(1, std::memory_order_relaxed);
+  schedule_retry();
 }
 
 void PeerLink::on_dial_result(int fd, std::uint32_t /*events*/) {
+  cancel_connect_timer();
   loop_.del_fd(fd);
   dial_fd_ = -1;
   int err = 0;
@@ -300,11 +356,19 @@ void PeerLink::established(int fd) {
     pending_.pop_front();
     conn_->send_frame(kind, payload);
   }
+  if (on_connected_ && conn_ && !conn_->closed()) on_connected_();
 }
 
 void PeerLink::schedule_retry() {
   if (stopped_ || retry_timer_ != 0) return;
-  retry_timer_ = loop_.schedule_after(backoff_us_, [this] { attempt_connect(); });
+  // Jittered exponential backoff, uniform in [backoff/2, backoff]: after a
+  // restarted node comes back, its n-1 peers redial spread out instead of
+  // in lockstep (they all observed the disconnect at the same instant).
+  const std::int64_t low = backoff_us_ / 2;
+  const std::int64_t delay =
+      low + static_cast<std::int64_t>(
+                rng_.next_below(static_cast<std::uint64_t>(backoff_us_ - low) + 1));
+  retry_timer_ = loop_.schedule_after(delay, [this] { attempt_connect(); });
   backoff_us_ = std::min(backoff_us_ * 2, kBackoffMaxUs);
 }
 

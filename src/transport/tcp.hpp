@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "consensus/types.hpp"
+#include "transport/chaos.hpp"
 #include "transport/event_loop.hpp"
 #include "transport/wire.hpp"
+#include "util/rng.hpp"
 
 namespace twostep::transport {
 
@@ -55,6 +57,10 @@ struct TransportStats {
   std::atomic<std::uint64_t> frames_received{0};
   std::atomic<std::uint64_t> reconnects{0};
   std::atomic<std::uint64_t> frames_dropped{0};  ///< overflow of a disconnected PeerLink queue
+  std::atomic<std::uint64_t> connect_timeouts{0};  ///< dial attempts cut off by the timer
+  std::atomic<std::uint64_t> chaos_dropped{0};     ///< frames eaten by the ChaosInjector
+  std::atomic<std::uint64_t> chaos_duplicated{0};  ///< extra copies it sent
+  std::atomic<std::uint64_t> chaos_delayed{0};     ///< frames it parked on a timer
 };
 
 /// One established socket speaking the framed protocol.  Loop-thread only.
@@ -112,9 +118,25 @@ class PeerLink {
   /// Starts the first connection attempt.
   void start();
 
+  /// Installs the chaos stage consulted by send_frame (null to disable).
+  /// The injector must outlive the link.  Hello frames are not affected:
+  /// they are sent by the link itself, below this entry point.
+  void set_chaos(ChaosInjector* chaos) noexcept { chaos_ = chaos; }
+
+  /// Invoked on the loop thread each time the outbound connection
+  /// (re)establishes, after the queued frames have been flushed.  The
+  /// disconnected-side queue is bounded, so anything broadcast during a
+  /// long outage may be gone — this hook is where the owner resends state
+  /// the peer must not miss (the runtime's Decide anti-entropy).
+  void set_on_connected(std::function<void()> on_connected) {
+    on_connected_ = std::move(on_connected);
+  }
+
   /// Sends when connected; otherwise queues up to kMaxPending frames
   /// (oldest dropped first — consensus protocols tolerate loss, and
   /// retransmission is the ballot timer's job, not the transport's).
+  /// With a ChaosInjector installed the frame may instead be dropped,
+  /// duplicated, or parked on a timer before entering that pipeline.
   void send_frame(FrameKind kind, std::vector<std::uint8_t> payload);
 
   /// Stops reconnecting and closes any live connection.
@@ -129,23 +151,32 @@ class PeerLink {
   static constexpr std::size_t kMaxPending = 1024;
   static constexpr std::int64_t kBackoffMinUs = 10'000;     ///< 10 ms
   static constexpr std::int64_t kBackoffMaxUs = 1'000'000;  ///< 1 s
+  static constexpr std::int64_t kConnectTimeoutUs = 1'000'000;  ///< per dial attempt
 
  private:
   void attempt_connect();
   void on_dial_result(int fd, std::uint32_t events);
+  void on_dial_timeout();
   void established(int fd);
   void schedule_retry();
+  void cancel_connect_timer();
+  /// The post-chaos pipeline: send on the live connection or queue.
+  void enqueue_frame(FrameKind kind, std::vector<std::uint8_t> payload);
 
   EventLoop& loop_;
   consensus::ProcessId self_;
   consensus::ProcessId peer_;
   Endpoint target_;
   TransportStats* stats_;
+  ChaosInjector* chaos_ = nullptr;
   std::shared_ptr<Connection> conn_;
   std::deque<std::pair<FrameKind, std::vector<std::uint8_t>>> pending_;
   std::int64_t backoff_us_ = kBackoffMinUs;
   int dial_fd_ = -1;        ///< connect in progress
   std::uint64_t retry_timer_ = 0;
+  std::uint64_t connect_timer_ = 0;  ///< per-attempt dial timeout
+  util::Rng rng_;  ///< backoff jitter; seeded from (self, peer)
+  std::function<void()> on_connected_;
   std::atomic<bool> up_{false};
   bool stopped_ = false;
   bool ever_connected_ = false;

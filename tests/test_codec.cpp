@@ -144,7 +144,11 @@ std::vector<fastpaxos::Message> sample_fastpaxos_messages() {
 }
 
 std::vector<ClientRequest> sample_client_requests() {
-  return {{0, 0}, {1, 42}, {999, -7}, {std::numeric_limits<std::int64_t>::max(), 1}};
+  return {{0, 0, 0},
+          {1, 42, 0},
+          {999, -7, 1},
+          {3, 5, std::numeric_limits<std::int64_t>::max()},
+          {std::numeric_limits<std::int64_t>::max(), 1, -12345}};
 }
 
 std::vector<ClientReply> sample_client_replies() {

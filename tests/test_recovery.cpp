@@ -1,0 +1,318 @@
+// Crash-recovery conformance for the live node runtime.
+//
+// These tests kill real replicas (sockets die, peers see resets), restart
+// them on the same port against the same write-ahead log, and assert the
+// cluster's observable behavior matches the no-crash simulator oracle:
+// same applied log, agreement everywhere, recovered state visible in the
+// recover.* metrics.  The Live* suite names keep this file in the TSan CI
+// shard — kill/restart while a workload is in flight is exactly where a
+// threading bug in the runtime would surface.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "core/two_step.hpp"
+#include "harness/run_spec.hpp"
+#include "node/client.hpp"
+#include "node/local_cluster.hpp"
+#include "node/runtime.hpp"
+#include "rsm/rsm.hpp"
+
+namespace twostep {
+namespace {
+
+using consensus::Value;
+
+constexpr sim::Tick kLiveDeltaUs = 100'000;  // 100 ms
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "twostep-recovery-XXXXXX").string();
+    dir_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+node::ClusterOptions storage_options(const TempDir& tmp) {
+  node::ClusterOptions options;
+  options.storage_dir = tmp.path();
+  options.fsync = false;  // throwaway data; the discipline, not the device
+  return options;
+}
+
+rsm::Options rsm_options(obs::MetricsRegistry& reg) {
+  rsm::Options options;
+  options.delta = kLiveDeltaUs;
+  options.leader_of = [] { return consensus::ProcessId{0}; };
+  options.probe.metrics = &reg;
+  return options;
+}
+
+template <typename Cluster>
+void wait_all_applied(Cluster& cluster, int n, std::size_t target) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    bool all = true;
+    for (int p = 0; p < n; ++p)
+      if (!cluster.alive(p) || cluster.node(p).applied_log().size() < target) all = false;
+    if (all) return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "replicas did not apply " << target << " commands in time";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(LiveRecovery, RestartedReplicaRecoversDecisionFromWalAlone) {
+  TempDir tmp;
+  const consensus::SystemConfig config(3, 1, 1);
+  const auto make = [&](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg,
+                        consensus::ProcessId) {
+    core::Options options;
+    options.mode = core::Mode::kObject;
+    options.delta = kLiveDeltaUs;
+    options.leader_of = [] { return consensus::ProcessId{0}; };
+    options.probe.metrics = &reg;
+    return std::make_unique<core::TwoStepProcess>(env, config, options);
+  };
+  {
+    node::LocalCluster<core::TwoStepProcess> cluster(config.n, make, storage_options(tmp));
+    ASSERT_TRUE(cluster.wait_for_mesh());
+    node::ClientSession client(cluster.endpoints()[0], nullptr);
+    ASSERT_TRUE(client.connect());
+    const auto reply = client.call(1234);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->value, 1234);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+      bool all = true;
+      for (int p = 0; p < config.n; ++p)
+        if (!cluster.node(p).has_decided()) all = false;
+      if (all) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    cluster.stop();
+  }
+  // Rebuild replica 0 from its WAL with NO network started and NO messages
+  // delivered: the decision must come back from disk alone, and the
+  // recovery must be observable in the metrics.
+  node::RuntimeOptions options;
+  options.storage = node::StorageOptions{tmp.path() + "/r0", false};
+  node::Runtime<core::TwoStepProcess> reborn(
+      0, config.n, transport::Endpoint{"127.0.0.1", 0},
+      [&](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg) {
+        return make(env, reg, 0);
+      },
+      options);
+  EXPECT_TRUE(reborn.has_decided());
+  EXPECT_EQ(reborn.decided_value(), Value{1234});
+  EXPECT_EQ(reborn.metrics().counter_value("recover.decided"), 1u);
+  EXPECT_GT(reborn.metrics().counter_value("wal.recovered_records"), 0u);
+}
+
+TEST(LiveRecovery, KillRestartConformsToSimulatorOracle) {
+  // A replica crashes mid-stream and recovers from its WAL; the surviving
+  // pair keeps committing through the outage (n=3, f=1).  Afterwards every
+  // replica — including the reborn one — must hold exactly the log the
+  // no-crash simulator oracle produces for the same command sequence.
+  const consensus::SystemConfig config(3, 1, 1);
+  const std::vector<std::int64_t> payloads = {5, 17, 3, 29, 11, 2, 23, 8, 31, 13, 7, 19};
+
+  auto runner = harness::RunSpec(config).delta(100).seed(1).rsm();
+  consensus::SyncScenario scenario;
+  for (const std::int64_t payload : payloads) scenario.proposals.push_back({0, Value{payload}});
+  runner->run(scenario);
+  std::vector<std::pair<std::int32_t, std::int64_t>> oracle;
+  auto& sim_proc = runner->cluster().process(0);
+  for (std::int32_t slot = 0; slot < sim_proc.applied_prefix(); ++slot)
+    oracle.emplace_back(slot, *sim_proc.decision(slot));
+  ASSERT_EQ(oracle.size(), payloads.size());
+
+  TempDir tmp;
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n,
+      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        return std::make_unique<rsm::RsmProcess>(env, config, rsm_options(reg));
+      },
+      storage_options(tmp));
+  ASSERT_TRUE(cluster.wait_for_mesh());
+  node::ClientSession client(cluster.endpoints()[0], nullptr);
+  ASSERT_TRUE(client.connect());
+
+  // Phase 1: a third of the stream with everyone up.
+  std::size_t i = 0;
+  for (; i < payloads.size() / 3; ++i) ASSERT_TRUE(client.call(payloads[i]).has_value());
+  // Phase 2: replica 1 is dead; the {0, 2} majority keeps committing.
+  cluster.kill(1);
+  ASSERT_FALSE(cluster.alive(1));
+  for (; i < 2 * payloads.size() / 3; ++i) ASSERT_TRUE(client.call(payloads[i]).has_value());
+  // Phase 3: replica 1 is reborn from its WAL on the same port and must
+  // catch up on what it missed.
+  cluster.restart(1);
+  ASSERT_TRUE(cluster.alive(1));
+  for (; i < payloads.size(); ++i) ASSERT_TRUE(client.call(payloads[i]).has_value());
+
+  wait_all_applied(cluster, config.n, payloads.size());
+  const auto log0 = cluster.node(0).applied_log();
+  const auto log1 = cluster.node(1).applied_log();
+  const auto log2 = cluster.node(2).applied_log();
+  cluster.stop();
+
+  EXPECT_EQ(log0, oracle);
+  EXPECT_EQ(log1, oracle);
+  EXPECT_EQ(log2, oracle);
+
+  // The reborn replica provably recovered state from disk rather than
+  // starting cold.
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  EXPECT_GT(merged.counter_value("recover.slots"), 0u);
+  EXPECT_GT(merged.counter_value("wal.recovered_records"), 0u);
+}
+
+TEST(LiveRecovery, ClientFailsOverWhenItsProxyIsKilled) {
+  // The client's own proxy dies under an in-flight workload; the session
+  // must redial another replica and finish the stream without losing a
+  // command.  Runs under TSan in CI: a kill tears down one runtime's loop
+  // thread while two others and the client thread keep going.
+  const consensus::SystemConfig config(3, 1, 1);
+  TempDir tmp;
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n,
+      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        return std::make_unique<rsm::RsmProcess>(env, config, rsm_options(reg));
+      },
+      storage_options(tmp));
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  obs::MetricsRegistry client_metrics;
+  node::ClientSession client(cluster.endpoints(), &client_metrics);
+  ASSERT_TRUE(client.connect());
+
+  constexpr std::int64_t kCommands = 60;
+  std::int64_t ok = 0;
+  std::set<std::int64_t> acked;
+  for (std::int64_t c = 0; c < kCommands; ++c) {
+    if (c == 20) cluster.kill(0);     // the proxy (and fixed leader) dies...
+    if (c == 40) cluster.restart(0);  // ...and later rejoins from its WAL
+    const auto reply = client.call(c);
+    ASSERT_TRUE(reply.has_value()) << "command " << c << " lost";
+    if (reply->ok) {
+      ++ok;
+      acked.insert(c);
+    }
+  }
+  EXPECT_EQ(ok, kCommands);
+  EXPECT_GE(client_metrics.counter_value("client.failovers"), 1u);
+
+  // Every replica converges on one log that contains every acked command
+  // (duplicates after a failover retry are legal; divergence is not).
+  wait_all_applied(cluster, config.n, acked.size());
+  const auto log0 = cluster.node(0).applied_log();
+  for (int p = 1; p < config.n; ++p) {
+    const auto log = cluster.node(p).applied_log();
+    const std::size_t m = std::min(log0.size(), log.size());
+    for (std::size_t k = 0; k < m; ++k)
+      ASSERT_EQ(log0[k], log[k]) << "divergence at applied index " << k;
+  }
+  std::set<std::int64_t> applied_payloads;
+  for (const auto& [slot, cmd] : log0)
+    applied_payloads.insert(rsm::RsmProcess::command_payload(cmd));
+  for (const std::int64_t c : acked) EXPECT_TRUE(applied_payloads.contains(c));
+  cluster.stop();
+}
+
+TEST(LiveRecovery, ServerDeduplicatesRetriedRequestAcrossReconnects) {
+  // Two sessions with the SAME client_id simulate a client that reconnects
+  // and retries request id 1: the server must answer from its dedup cache
+  // with the ORIGINAL command instead of executing the retry's payload.
+  const consensus::SystemConfig config(3, 1, 1);
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n,
+      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        return std::make_unique<rsm::RsmProcess>(env, config, rsm_options(reg));
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  node::ClientOptions options;
+  options.client_id = 77;
+  std::int64_t first_value = 0;
+  {
+    node::ClientSession original(cluster.endpoints()[0], nullptr, options);
+    ASSERT_TRUE(original.connect());
+    const auto reply = original.call(5);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_TRUE(reply->ok);
+    EXPECT_EQ(rsm::RsmProcess::command_payload(reply->value), 5);
+    first_value = reply->value;
+  }
+  node::ClientSession retry(cluster.endpoints()[0], nullptr, options);
+  ASSERT_TRUE(retry.connect());
+  const auto replayed = retry.call(9);  // same (client_id=77, id=1), new payload
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_TRUE(replayed->ok);
+  EXPECT_EQ(replayed->value, first_value) << "retry was re-executed, not deduplicated";
+  cluster.stop();
+}
+
+TEST(CrashScheduleTest, IsSeededBoundedAndNonOverlapping) {
+  const auto a = node::CrashSchedule::generate(42, 5, 2, 10'000, 400, 150);
+  const auto b = node::CrashSchedule::generate(42, 5, 2, 10'000, 400, 150);
+  const auto c = node::CrashSchedule::generate(43, 5, 2, 10'000, 400, 150);
+  ASSERT_FALSE(a.rounds.empty());
+  // Same seed, same timeline; a different seed diverges somewhere.
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  bool all_equal = a.rounds.size() == c.rounds.size();
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].at_ms, b.rounds[i].at_ms);
+    EXPECT_EQ(a.rounds[i].replicas, b.rounds[i].replicas);
+    if (all_equal && (a.rounds[i].at_ms != c.rounds[i].at_ms ||
+                      a.rounds[i].replicas != c.rounds[i].replicas))
+      all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+
+  std::int64_t prev_end = -1;
+  for (const node::CrashRound& round : a.rounds) {
+    // At most f distinct replicas per round, all valid ids.
+    EXPECT_GE(round.replicas.size(), 1u);
+    EXPECT_LE(round.replicas.size(), 2u);
+    std::set<int> distinct(round.replicas.begin(), round.replicas.end());
+    EXPECT_EQ(distinct.size(), round.replicas.size());
+    for (const int r : round.replicas) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, 5);
+    }
+    // Rounds are ordered and never overlap (the <= f concurrency bound).
+    EXPECT_GT(round.at_ms, prev_end);
+    prev_end = round.at_ms + round.down_ms;
+    EXPECT_LT(prev_end, 10'000);
+  }
+}
+
+TEST(CrashScheduleTest, DegenerateInputsYieldEmptySchedules) {
+  EXPECT_TRUE(node::CrashSchedule::generate(1, 0, 1, 1000, 100, 50).rounds.empty());
+  EXPECT_TRUE(node::CrashSchedule::generate(1, 3, 0, 1000, 100, 50).rounds.empty());
+  EXPECT_TRUE(node::CrashSchedule::generate(1, 3, 1, 100, 200, 50).rounds.empty());
+}
+
+}  // namespace
+}  // namespace twostep

@@ -1,0 +1,288 @@
+// WAL framing, torn-tail recovery and the per-protocol Durable traits.
+//
+// The corruption tests write real bytes through the real file API and then
+// damage the file the way a crash (torn tail) or bit rot (CRC mismatch)
+// would, asserting the open-time scan keeps exactly the trustworthy prefix.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/two_step.hpp"
+#include "fastpaxos/fast_paxos.hpp"
+#include "mock_env.hpp"
+#include "obs/metrics.hpp"
+#include "storage/durable.hpp"
+#include "storage/wal.hpp"
+
+namespace twostep {
+namespace {
+
+using storage::Wal;
+using storage::WalOptions;
+
+/// Fresh file path in a per-test temp directory, cleaned up on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() / "twostep-wal-XXXXXX").string();
+    dir_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const { return dir_ + "/" + name; }
+
+ private:
+  std::string dir_;
+};
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (const int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+void append_raw(const std::string& path, const std::vector<std::uint8_t>& tail) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, tail.data(), tail.size()), static_cast<ssize_t>(tail.size()));
+  ::close(fd);
+}
+
+void flip_byte(const std::string& path, off_t offset) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  std::uint8_t b = 0;
+  ASSERT_EQ(::pread(fd, &b, 1, offset), 1);
+  b ^= 0xFF;
+  ASSERT_EQ(::pwrite(fd, &b, 1, offset), 1);
+  ::close(fd);
+}
+
+TEST(WalTest, RoundTripsRecordsAcrossReopen) {
+  TempDir tmp;
+  const std::string path = tmp.file("a.wal");
+  const std::vector<std::vector<std::uint8_t>> records = {
+      bytes({1, 2, 3}), bytes({}), bytes({0xFF, 0x00, 0x80, 0x7F}), bytes({42})};
+  {
+    Wal wal(path, WalOptions{false});
+    EXPECT_TRUE(wal.recovered().empty());
+    for (const auto& r : records) wal.append(r);
+    wal.sync();
+    EXPECT_EQ(wal.appends(), records.size());
+    EXPECT_EQ(wal.syncs(), 1u);
+  }
+  Wal reopened(path, WalOptions{false});
+  EXPECT_EQ(reopened.recovered(), records);
+  EXPECT_EQ(reopened.truncated_bytes(), 0u);
+}
+
+TEST(WalTest, UnsyncedBufferIsFlushedByTheDestructor) {
+  TempDir tmp;
+  const std::string path = tmp.file("a.wal");
+  {
+    Wal wal(path, WalOptions{false});
+    wal.append(bytes({9, 9, 9}));
+    // No explicit sync: the destructor writes best-effort.
+  }
+  Wal reopened(path, WalOptions{false});
+  ASSERT_EQ(reopened.recovered().size(), 1u);
+  EXPECT_EQ(reopened.recovered()[0], bytes({9, 9, 9}));
+}
+
+TEST(WalTest, TornTailIsTruncatedOnOpen) {
+  TempDir tmp;
+  const std::string path = tmp.file("a.wal");
+  {
+    Wal wal(path, WalOptions{false});
+    wal.append(bytes({1, 2, 3}));
+    wal.append(bytes({4, 5}));
+    wal.sync();
+  }
+  // A crash mid-write leaves a partial record: a header promising 100
+  // payload bytes with only 3 present.
+  append_raw(path, bytes({100, 0, 0, 0, 0xAA, 0xBB, 0xCC, 0xDD, 7, 7, 7}));
+  const auto torn_size = std::filesystem::file_size(path);
+
+  Wal reopened(path, WalOptions{false});
+  ASSERT_EQ(reopened.recovered().size(), 2u);
+  EXPECT_EQ(reopened.recovered()[0], bytes({1, 2, 3}));
+  EXPECT_EQ(reopened.recovered()[1], bytes({4, 5}));
+  EXPECT_EQ(reopened.truncated_bytes(), 11u);
+  // The file itself was cut back, so the next open is clean.
+  EXPECT_EQ(std::filesystem::file_size(path), torn_size - 11);
+  // And the log keeps working after recovery.
+  reopened.append(bytes({6}));
+  reopened.sync();
+  Wal again(path, WalOptions{false});
+  ASSERT_EQ(again.recovered().size(), 3u);
+  EXPECT_EQ(again.recovered()[2], bytes({6}));
+  EXPECT_EQ(again.truncated_bytes(), 0u);
+}
+
+TEST(WalTest, CrcCorruptionDiscardsTheRecordAndEverythingAfterIt) {
+  TempDir tmp;
+  const std::string path = tmp.file("a.wal");
+  {
+    Wal wal(path, WalOptions{false});
+    wal.append(bytes({1, 1, 1, 1}));  // record 0: offset 0, 8-byte header
+    wal.append(bytes({2, 2, 2, 2}));  // record 1: offset 12
+    wal.append(bytes({3, 3, 3, 3}));  // record 2: offset 24
+    wal.sync();
+  }
+  // Rot one payload byte of record 1.  Record 2 still frames correctly,
+  // but nothing after the first corruption can be trusted.
+  flip_byte(path, 12 + 8);
+
+  Wal reopened(path, WalOptions{false});
+  ASSERT_EQ(reopened.recovered().size(), 1u);
+  EXPECT_EQ(reopened.recovered()[0], bytes({1, 1, 1, 1}));
+  EXPECT_EQ(reopened.truncated_bytes(), 24u);  // records 1 and 2
+}
+
+TEST(WalTest, ImplausibleLengthIsTreatedAsCorruption) {
+  TempDir tmp;
+  const std::string path = tmp.file("a.wal");
+  {
+    Wal wal(path, WalOptions{false});
+    wal.append(bytes({5}));
+    wal.sync();
+  }
+  // A "record" whose length exceeds kMaxRecordBytes, followed by plenty of
+  // bytes: the scan must refuse to allocate/accept it.
+  std::vector<std::uint8_t> evil = {0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0};
+  evil.resize(evil.size() + 64, 0xEE);
+  append_raw(path, evil);
+
+  Wal reopened(path, WalOptions{false});
+  ASSERT_EQ(reopened.recovered().size(), 1u);
+  EXPECT_EQ(reopened.truncated_bytes(), 72u);
+}
+
+TEST(WalTest, Crc32MatchesKnownVector) {
+  // IEEE CRC-32 of "123456789" is 0xCBF43926 — pins the polynomial and
+  // reflection so the on-disk format never silently changes.
+  const std::string s = "123456789";
+  EXPECT_EQ(storage::crc32({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}),
+            0xCBF43926u);
+}
+
+// ---- Durable traits ----
+
+core::Options core_options() {
+  core::Options options;
+  options.mode = core::Mode::kObject;
+  options.delta = 100;
+  options.leader_of = [] { return consensus::ProcessId{0}; };
+  return options;
+}
+
+TEST(DurableTest, CaptureOnlyAppendsWhenAcceptorStateChanged) {
+  TempDir tmp;
+  Wal wal(tmp.file("a.wal"), WalOptions{false});
+  const consensus::SystemConfig config(3, 1, 1);
+  testing::MockEnv<core::Message> env(1, config.n);
+  core::TwoStepProcess proc(env, config, core_options());
+  storage::Durable<core::TwoStepProcess> durable;
+
+  proc.start();
+  ASSERT_TRUE(durable.capture(proc, wal));  // initial state is new to the log
+  EXPECT_FALSE(durable.capture(proc, wal));  // unchanged: no append
+  const std::uint64_t before = wal.appends();
+
+  // A fast vote changes (val, proposer): must be captured.
+  proc.on_message(0, core::Message{core::ProposeMsg{consensus::Value{7}}});
+  EXPECT_TRUE(durable.capture(proc, wal));
+  EXPECT_EQ(wal.appends(), before + 1);
+  EXPECT_FALSE(durable.capture(proc, wal));
+}
+
+TEST(DurableTest, ReplayRebuildsTheAcceptorTuple) {
+  TempDir tmp;
+  const consensus::SystemConfig config(3, 1, 1);
+  const std::string path = tmp.file("a.wal");
+  core::TwoStepProcess::AcceptorState expected;
+  {
+    Wal wal(path, WalOptions{false});
+    testing::MockEnv<core::Message> env(1, config.n);
+    core::TwoStepProcess proc(env, config, core_options());
+    storage::Durable<core::TwoStepProcess> durable;
+    proc.start();
+    proc.on_message(0, core::Message{core::ProposeMsg{consensus::Value{7}}});
+    proc.on_message(0, core::Message{core::OneAMsg{3}});
+    durable.capture(proc, wal);
+    wal.sync();
+    expected = proc.acceptor_state();
+  }
+  Wal wal(path, WalOptions{false});
+  testing::MockEnv<core::Message> env(1, config.n);
+  core::TwoStepProcess proc(env, config, core_options());
+  storage::Durable<core::TwoStepProcess> durable;
+  for (const auto& record : wal.recovered()) durable.replay(proc, record);
+  EXPECT_EQ(proc.acceptor_state(), expected);
+  // Replay primed the change detector: the restored state is not re-logged.
+  EXPECT_FALSE(durable.capture(proc, wal));
+  // Recovery counters reflect what came back: the promise from OneA(3) and
+  // the fast vote from the Propose.
+  obs::MetricsRegistry reg;
+  durable.note_recovery(proc, reg);
+  EXPECT_EQ(reg.counter_value("recover.ballot"), 3u);
+  EXPECT_EQ(reg.counter_value("recover.voted"), 1u);
+}
+
+TEST(DurableTest, FastPaxosRoundTripsPromiseAndVote) {
+  TempDir tmp;
+  const consensus::SystemConfig config(4, 1, 1);
+  const std::string path = tmp.file("a.wal");
+  fastpaxos::FastPaxosProcess::AcceptorState expected;
+  {
+    Wal wal(path, WalOptions{false});
+    testing::MockEnv<fastpaxos::Message> env(2, config.n);
+    fastpaxos::Options options;
+    options.delta = 100;
+    options.leader_of = [] { return consensus::ProcessId{0}; };
+    fastpaxos::FastPaxosProcess proc(env, config, options);
+    storage::Durable<fastpaxos::FastPaxosProcess> durable;
+    proc.start();
+    proc.on_message(0, fastpaxos::Message{fastpaxos::PrepareMsg{2}});
+    proc.on_message(0, fastpaxos::Message{fastpaxos::AcceptMsg{2, consensus::Value{9}}});
+    ASSERT_TRUE(durable.capture(proc, wal));
+    wal.sync();
+    expected = proc.acceptor_state();
+  }
+  EXPECT_EQ(expected.bal, 2);
+  EXPECT_EQ(expected.vbal, 2);
+  Wal wal(path, WalOptions{false});
+  testing::MockEnv<fastpaxos::Message> env(2, config.n);
+  fastpaxos::Options options;
+  options.delta = 100;
+  options.leader_of = [] { return consensus::ProcessId{0}; };
+  fastpaxos::FastPaxosProcess proc(env, config, options);
+  storage::Durable<fastpaxos::FastPaxosProcess> durable;
+  for (const auto& record : wal.recovered()) durable.replay(proc, record);
+  EXPECT_EQ(proc.acceptor_state(), expected);
+  EXPECT_FALSE(durable.capture(proc, wal));
+}
+
+TEST(DurableTest, ReplayIgnoresMalformedRecords) {
+  TempDir tmp;
+  Wal wal(tmp.file("a.wal"), WalOptions{false});
+  const consensus::SystemConfig config(3, 1, 1);
+  testing::MockEnv<core::Message> env(0, config.n);
+  core::TwoStepProcess proc(env, config, core_options());
+  storage::Durable<core::TwoStepProcess> durable;
+  const auto before = proc.acceptor_state();
+  durable.replay(proc, bytes({0xFF, 0xFF, 0xFF}));  // truncated varint soup
+  durable.replay(proc, bytes({}));
+  EXPECT_EQ(proc.acceptor_state(), before);
+}
+
+}  // namespace
+}  // namespace twostep

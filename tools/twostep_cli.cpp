@@ -71,6 +71,29 @@
 //       fast/slow decision split.  Exit status 2 on a safety violation,
 //       1 if commands were lost or the mesh never formed.
 //
+//   twostep_cli chaossoak [-n N] [-e E] [-f F] [--commands K] [--seed S]
+//              [--kill-period-ms P] [--down-ms D] [--soak-ms T] [--think-us T]
+//              [--drop R] [--dup R] [--delay R] [--delay-max-us U]
+//              [--delta-us D] [--storage-dir DIR] [--no-fsync]
+//              [--metrics-out FILE]
+//       Crash-recovery soak: an n-replica RSM cluster with per-replica
+//       write-ahead logs, a failover client driving K closed-loop commands
+//       across the whole replica list, a seeded crash schedule killing and
+//       restarting up to f replicas at a time (same port, same WAL — every
+//       restart recovers its promises and votes from disk), and an optional
+//       chaos stage on every peer link (seeded drop/duplicate/delay).
+//       After the workload the run checks the live-cluster invariants:
+//       pairwise applied-log prefix consistency (agreement), every applied
+//       command drawn from the submitted set (validity), and every
+//       acknowledged command present in the longest applied log
+//       (durability — the WAL discipline is what makes this hold across
+//       kills).  Client semantics are at-least-once across a proxy crash,
+//       so duplicate commands in the log are tolerated; divergence is not.
+//       Prints throughput, failover/timeout counts and the recover.*
+//       counters proving restarted replicas rejoined from their WAL.
+//       Exit status 2 on any invariant violation, 1 on lost/rejected
+//       commands or a mesh failure.
+//
 //   twostep_cli serve --id I --peers H:P,H:P,... [--protocol ...]
 //              [--e E] [--f F] [--delta-us D] [--metrics-out FILE]
 //       Host replica I of a real multi-process cluster.  --peers lists
@@ -86,13 +109,16 @@
 #include <cstdio>
 #include <cstring>
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/messages.hpp"
@@ -818,6 +844,225 @@ int cmd_localcluster(const Args& args) {
   return 1;
 }
 
+/// Crash-recovery soak: RSM cluster with WALs + failover client + seeded
+/// kill/restart schedule + optional link chaos.  See the header comment.
+int cmd_chaossoak(const Args& args) {
+  const int e = static_cast<int>(args.get_int("e", 1));
+  const int f = static_cast<int>(args.get_int("f", 1));
+  const int n = static_cast<int>(args.get_int("n", default_cluster_size("rsm", e, f)));
+  const long commands = args.get_int("commands", 1000);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const sim::Tick delta = args.get_int("delta-us", 100'000);
+  const long period_ms = args.get_int("kill-period-ms", 500);
+  const long down_ms = args.get_int("down-ms", 150);
+  const long soak_ms = args.get_int("soak-ms", 60'000);
+  // Per-command client think time: loopback commands finish in ~100 us, so
+  // an unpaced workload can outrun the first crash round entirely; pacing
+  // stretches the run across the schedule.
+  const long think_us = args.get_int("think-us", 0);
+  const SystemConfig config(n, f, e);
+
+  // Storage: per-replica WAL directories under --storage-dir, or a
+  // throwaway temp directory (removed on a clean exit, kept on failure so
+  // the logs can be inspected).
+  std::string storage_dir = args.get("storage-dir");
+  bool temp_storage = false;
+  if (storage_dir.empty()) {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "twostep-chaossoak-XXXXXX").string();
+    if (!::mkdtemp(tmpl.data())) {
+      std::fprintf(stderr, "chaossoak: mkdtemp failed\n");
+      return 1;
+    }
+    storage_dir = tmpl;
+    temp_storage = true;
+  }
+
+  node::ClusterOptions cluster_options;
+  cluster_options.storage_dir = storage_dir;
+  cluster_options.fsync = !args.has("no-fsync");
+  cluster_options.chaos.drop_rate = std::stod(args.get("drop", "0"));
+  cluster_options.chaos.duplicate_rate = std::stod(args.get("dup", "0"));
+  cluster_options.chaos.delay_rate = std::stod(args.get("delay", "0"));
+  cluster_options.chaos.delay_max_us = args.get_int("delay-max-us", 20'000);
+  cluster_options.chaos.seed = seed;
+
+  const node::CrashSchedule schedule =
+      node::CrashSchedule::generate(seed, n, f, soak_ms, period_ms, down_ms);
+  std::printf(
+      "chaossoak: n=%d e=%d f=%d, %ld commands, %zu crash rounds "
+      "(period %ld ms, down %ld ms), chaos drop=%.2f dup=%.2f delay=%.2f, wal dir %s\n",
+      n, e, f, commands, schedule.rounds.size(), period_ms, down_ms,
+      cluster_options.chaos.drop_rate, cluster_options.chaos.duplicate_rate,
+      cluster_options.chaos.delay_rate, storage_dir.c_str());
+
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      n,
+      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = delta;
+        options.leader_of = [] { return ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      },
+      cluster_options);
+  if (!cluster.wait_for_mesh()) {
+    std::fprintf(stderr, "chaossoak: mesh did not form\n");
+    return 1;
+  }
+
+  // Crash driver: replays the schedule (kill → down window → restart)
+  // until the workload finishes.  Rounds never overlap, so at most
+  // round.replicas.size() <= f replicas are down at any instant.
+  std::atomic<bool> done{false};
+  std::int64_t kills = 0;
+  std::size_t rounds_run = 0;
+  std::thread driver([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sleep_until = [&](std::chrono::steady_clock::time_point when) {
+      while (!done.load(std::memory_order_relaxed) &&
+             std::chrono::steady_clock::now() < when)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return !done.load(std::memory_order_relaxed);
+    };
+    for (const node::CrashRound& round : schedule.rounds) {
+      if (!sleep_until(t0 + std::chrono::milliseconds(round.at_ms))) break;
+      for (const int r : round.replicas) cluster.kill(r);
+      kills += static_cast<std::int64_t>(round.replicas.size());
+      ++rounds_run;
+      // Always restart what we killed, even when the workload finished
+      // mid-window — the invariant sweep needs every replica back up.
+      sleep_until(t0 + std::chrono::milliseconds(round.at_ms + round.down_ms));
+      for (const int r : round.replicas) cluster.restart(r);
+    }
+  });
+
+  // Closed-loop failover workload over the full replica list, recording
+  // which payloads were acknowledged (the durability invariant's input).
+  obs::MetricsRegistry client_metrics;
+  node::ClientOptions client_options;
+  client_options.seed = seed;
+  node::ClientSession client(cluster.endpoints(), &client_metrics, client_options);
+  if (!client.connect()) {
+    done.store(true);
+    driver.join();
+    std::fprintf(stderr, "chaossoak: client could not connect\n");
+    return 1;
+  }
+  long ok = 0, rejected = 0, lost = 0;
+  std::vector<std::int64_t> acked;
+  for (long i = 0; i < commands; ++i) {
+    if (think_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(think_us));
+    const auto reply = client.call(i);
+    if (!reply) {
+      ++lost;
+      if (!client.connected()) break;
+    } else if (!reply->ok) {
+      ++rejected;
+    } else {
+      ++ok;
+      acked.push_back(i);
+    }
+  }
+  done.store(true);
+  driver.join();
+
+  // Let the trailing Decides propagate, then snapshot every applied log.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  const std::size_t target = static_cast<std::size_t>(ok);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (int p = 0; p < n; ++p)
+      if (!cluster.alive(p) || cluster.node(p).applied_log().size() < target) all = false;
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> logs;
+  for (int p = 0; p < n; ++p)
+    logs.push_back(cluster.alive(p)
+                       ? cluster.node(p).applied_log()
+                       : std::vector<std::pair<std::int32_t, std::int64_t>>{});
+  cluster.stop();
+
+  // Invariants.  Duplicates are legal (at-least-once across a proxy
+  // crash); divergence, foreign commands and lost acked commands are not.
+  constexpr std::int64_t kPayloadMask = (std::int64_t{1} << 40) - 1;
+  std::vector<std::string> violations;
+  std::size_t longest = 0;
+  for (std::size_t p = 1; p < logs.size(); ++p) {
+    if (logs[p].size() > logs[longest].size()) longest = p;
+    const std::size_t m = std::min(logs[0].size(), logs[p].size());
+    for (std::size_t i = 0; i < m; ++i)
+      if (logs[0][i] != logs[p][i]) {
+        violations.push_back("agreement: replica " + std::to_string(p) +
+                             " diverges from replica 0 at applied index " + std::to_string(i));
+        break;
+      }
+  }
+  for (std::size_t p = 0; p < logs.size(); ++p)
+    for (const auto& [slot, cmd] : logs[p]) {
+      const std::int64_t payload = cmd & kPayloadMask;
+      if (payload < 0 || payload >= commands) {
+        violations.push_back("validity: replica " + std::to_string(p) + " applied slot " +
+                             std::to_string(slot) + " with un-submitted payload " +
+                             std::to_string(payload));
+        break;
+      }
+    }
+  std::unordered_set<std::int64_t> applied_payloads;
+  for (const auto& [slot, cmd] : logs[longest]) applied_payloads.insert(cmd & kPayloadMask);
+  std::int64_t lost_acked = 0;
+  for (const std::int64_t payload : acked)
+    if (!applied_payloads.contains(payload)) ++lost_acked;
+  if (lost_acked > 0)
+    violations.push_back("durability: " + std::to_string(lost_acked) +
+                         " acknowledged command(s) missing from the longest applied log");
+
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  merged.merge(client_metrics);
+  util::Table t({"metric", "value"});
+  t.set_title("chaossoak rsm: n=" + std::to_string(n) + " e=" + std::to_string(e) + " f=" +
+              std::to_string(f) + ", loopback TCP + WAL + crash schedule");
+  t.add_row({"commands ok", std::to_string(ok)});
+  t.add_row({"commands rejected", std::to_string(rejected)});
+  t.add_row({"commands lost", std::to_string(lost)});
+  t.add_row({"crash rounds run", std::to_string(rounds_run) + "/" +
+                                     std::to_string(schedule.rounds.size())});
+  t.add_row({"replica kills", std::to_string(kills)});
+  t.add_row({"client failovers", std::to_string(merged.counter_value("client.failovers"))});
+  t.add_row({"client timeouts", std::to_string(merged.counter_value("client.timeouts"))});
+  t.add_row({"client conn lost", std::to_string(merged.counter_value("client.conn_lost"))});
+  t.add_row({"wal appends", std::to_string(merged.counter_value("wal.appends"))});
+  t.add_row({"wal syncs", std::to_string(merged.counter_value("wal.syncs"))});
+  t.add_row({"wal recovered records",
+             std::to_string(merged.counter_value("wal.recovered_records"))});
+  t.add_row({"recovered slots", std::to_string(merged.counter_value("recover.slots"))});
+  t.add_row(
+      {"recovered decided slots", std::to_string(merged.counter_value("recover.decided"))});
+  t.add_row(
+      {"recovered applied prefix", std::to_string(merged.counter_value("recover.applied"))});
+  t.add_row({"chaos dropped", std::to_string(merged.counter_value("transport.chaos_dropped"))});
+  t.add_row(
+      {"chaos duplicated", std::to_string(merged.counter_value("transport.chaos_duplicated"))});
+  t.add_row({"chaos delayed", std::to_string(merged.counter_value("transport.chaos_delayed"))});
+  auto& rtt = merged.histogram("client.rtt_us");
+  if (rtt.count() > 0) {
+    t.add_row({"client rtt p50", format_us(rtt.percentile(0.5))});
+    t.add_row({"client rtt p95", format_us(rtt.percentile(0.95))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  for (const std::string& v : violations) std::printf("VIOLATION: %s\n", v.c_str());
+  std::printf("invariants: %s\n",
+              violations.empty() ? "ok (agreement + validity + durability)" : "VIOLATED");
+  if (!write_metrics_if_requested(args, merged)) return 1;
+  if (!violations.empty()) return 2;  // keep the WAL dir for inspection
+  if (temp_storage) {
+    std::error_code ec;
+    std::filesystem::remove_all(storage_dir, ec);
+  }
+  return (lost == 0 && rejected == 0) ? 0 : 1;
+}
+
 template <typename P, typename MakeProc>
 int serve_until_signal(ProcessId id, const std::vector<transport::Endpoint>& peers,
                        MakeProc make, const Args& args) {
@@ -926,7 +1171,8 @@ int cmd_client(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: twostep_cli <bounds|run|attack|fuzz|chaos|sweep|localcluster|serve|client>"
+               "usage: twostep_cli "
+               "<bounds|run|attack|fuzz|chaos|sweep|localcluster|chaossoak|serve|client>"
                " [flags]\n"
                "see the header of tools/twostep_cli.cpp for the full flag list\n");
 }
@@ -947,6 +1193,7 @@ int main(int argc, char** argv) {
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "localcluster") return cmd_localcluster(args);
+  if (cmd == "chaossoak") return cmd_chaossoak(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "client") return cmd_client(args);
   usage();
