@@ -96,6 +96,7 @@ void print_tables() {
   // deterministic under any TWOSTEP_BENCH_JOBS.
   struct ProtocolRows {
     std::vector<std::string> lat_row, msg_row;
+    std::vector<RunResult> runs;  ///< per crash count k = 0..kE
     obs::MetricsRegistry merged;
   };
   const auto results = twostep::bench::sweep_rows<ProtocolRows>(
@@ -110,20 +111,30 @@ void print_tables() {
           const RunResult r = run_protocol(
               name, k, twostep::bench::metrics_enabled() ? &registry : nullptr);
           out.merged.merge(registry);
+          out.runs.push_back(r);
           out.lat_row.push_back(r.latency_delta < 0 ? "-"
                                                     : util::Table::num(r.latency_delta, 0));
           out.msg_row.push_back(std::to_string(r.messages));
         }
         return out;
       });
+  twostep::bench::BenchArtifact artifact("f1_latency");
   for (std::size_t i = 0; i < results.size(); ++i) {
     twostep::bench::emit_metrics(protocols[i] + " k<=" + std::to_string(kE),
                                  results[i].merged);
     t.add_row(results[i].lat_row);
     m.add_row(results[i].msg_row);
+    for (std::size_t k = 0; k < results[i].runs.size(); ++k)
+      artifact.add_row()
+          .str("protocol", protocols[i])
+          .num("n", protocol_n(protocols[i]))
+          .num("crashes", static_cast<int>(k))
+          .num("latency_delta", results[i].runs[k].latency_delta)
+          .num("messages", static_cast<std::uint64_t>(results[i].runs[k].messages));
   }
   twostep::bench::emit(t);
   twostep::bench::emit(m);
+  artifact.write();
 }
 
 void BM_ObjectFastPathRun(benchmark::State& state) {

@@ -27,7 +27,6 @@
 #include "node/client.hpp"
 #include "node/local_cluster.hpp"
 #include "rsm/rsm.hpp"
-#include "util/stats.hpp"
 
 namespace {
 
@@ -47,9 +46,9 @@ constexpr int kOneShotReps = 15;
 constexpr std::int64_t kRsmCommands = 200;
 
 struct LiveResult {
-  util::Summary rtt_us;     ///< client-observed request RTTs
-  std::uint64_t fast = 0;   ///< decisions taken on the two-step path
-  std::uint64_t voted = 0;  ///< fast + slow (learned decisions excluded)
+  obs::HistogramSnapshot rtt;  ///< client-observed request RTTs (µs)
+  std::uint64_t fast = 0;      ///< decisions taken on the two-step path
+  std::uint64_t voted = 0;     ///< fast + slow (learned decisions excluded)
   bool ok = true;
 };
 
@@ -60,9 +59,9 @@ void fold_decisions(LiveResult& out, obs::MetricsRegistry& merged) {
 }
 
 /// One live one-shot repetition: fresh cluster, one client request against
-/// replica 0, the reply RTT is the sample.
+/// replica 0, the reply RTT is the sample (recorded into `rtt`).
 template <typename P, typename MakeProc>
-void live_one_shot_rep(int n, const MakeProc& make, LiveResult& out) {
+void live_one_shot_rep(int n, const MakeProc& make, obs::LogHistogram& rtt, LiveResult& out) {
   node::LocalCluster<P> cluster(n, make);
   if (!cluster.wait_for_mesh()) {
     out.ok = false;
@@ -79,13 +78,17 @@ void live_one_shot_rep(int n, const MakeProc& make, LiveResult& out) {
   cluster.stop();
   obs::MetricsRegistry merged = cluster.merged_metrics();
   fold_decisions(out, merged);
-  out.rtt_us.add(client_metrics.histogram("client.rtt_us").mean());  // one sample
+  // Exactly one call landed in the client's histogram; max is that sample.
+  const auto sample = client_metrics.log_histogram_snapshot("client.rtt_us");
+  if (sample.count > 0) rtt.record(static_cast<std::int64_t>(sample.max));
 }
 
 template <typename P, typename MakeProc>
 LiveResult live_one_shot(int n, const MakeProc& make) {
   LiveResult out;
-  for (int rep = 0; rep < kOneShotReps; ++rep) live_one_shot_rep<P>(n, make, out);
+  obs::LogHistogram rtt;
+  for (int rep = 0; rep < kOneShotReps; ++rep) live_one_shot_rep<P>(n, make, rtt, out);
+  out.rtt = rtt.snapshot();
   return out;
 }
 
@@ -115,7 +118,7 @@ LiveResult live_rsm(int n) {
   cluster.stop();
   obs::MetricsRegistry merged = cluster.merged_metrics();
   fold_decisions(out, merged);
-  out.rtt_us = client_metrics.histogram("client.rtt_us");
+  out.rtt = result.rtt;  // the closed-loop window's histogram snapshot
   return out;
 }
 
@@ -170,31 +173,37 @@ LiveResult live_protocol(const std::string& name, int n) {
 
 void print_tables() {
   const std::vector<std::string> protocols = {"task", "object", "fast paxos", "rsm"};
-  util::Table t({"protocol", "n", "samples", "sim fast path (delta)", "live p50", "live p95",
+  util::Table t({"protocol", "n", "samples", "sim fast path (delta)", "live p50", "live p99",
                  "fast fraction"});
   t.set_title("N1 — client-observed latency: loopback TCP cluster vs simulator (e=1, f=1)");
+  bench::BenchArtifact artifact("n1_live");
   // Live runs spawn n event-loop threads each; keep them sequential so the
   // samples never contend with a sibling cluster for cores.
   for (const std::string& name : protocols) {
     const int n = protocol_n(name);
     const double sim_delta = sim_latency_delta(name, n);
     LiveResult live = live_protocol(name, n);
-    const std::string frac =
-        live.voted == 0
-            ? "-"
-            : util::Table::num(
-                  static_cast<double>(live.fast) / static_cast<double>(live.voted), 2);
-    t.add_row(
-        {name + (live.ok ? "" : " (INCOMPLETE)"), std::to_string(n),
-         std::to_string(live.rtt_us.count()),
-         sim_delta < 0 ? "-" : util::Table::num(sim_delta, 0),
-         live.rtt_us.count() == 0 ? "-"
-                                  : util::Table::num(live.rtt_us.percentile(0.5), 0) + " us",
-         live.rtt_us.count() == 0 ? "-"
-                                  : util::Table::num(live.rtt_us.percentile(0.95), 0) + " us",
-         frac});
+    const double frac = live.voted == 0
+                            ? 0
+                            : static_cast<double>(live.fast) / static_cast<double>(live.voted);
+    t.add_row({name + (live.ok ? "" : " (INCOMPLETE)"), std::to_string(n),
+               std::to_string(live.rtt.count), sim_delta < 0 ? "-" : util::Table::num(sim_delta, 0),
+               live.rtt.count == 0 ? "-" : util::Table::num(live.rtt.p50, 0) + " us",
+               live.rtt.count == 0 ? "-" : util::Table::num(live.rtt.p99, 0) + " us",
+               live.voted == 0 ? "-" : util::Table::num(frac, 2)});
+    artifact.add_row()
+        .str("protocol", name)
+        .num("n", n)
+        .num("samples", live.rtt.count)
+        .num("sim_fast_path_delta", sim_delta)
+        .num("rtt_p50_us", live.rtt.p50)
+        .num("rtt_p99_us", live.rtt.p99)
+        .hist("rtt_us", live.rtt)
+        .num("fast_fraction", frac)
+        .flag("ok", live.ok);
   }
   twostep::bench::emit(t);
+  artifact.write();
 }
 
 void BM_LiveObjectOneShotDecision(benchmark::State& state) {
@@ -209,9 +218,10 @@ void BM_LiveObjectOneShotDecision(benchmark::State& state) {
     options.probe.metrics = &reg;
     return std::make_unique<core::TwoStepProcess>(env, config, options);
   };
+  obs::LogHistogram rtt;
   for (auto _ : state) {
     LiveResult out;
-    live_one_shot_rep<core::TwoStepProcess>(n, make, out);
+    live_one_shot_rep<core::TwoStepProcess>(n, make, rtt, out);
     benchmark::DoNotOptimize(out.voted);
   }
 }

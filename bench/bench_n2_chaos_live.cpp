@@ -60,7 +60,7 @@ struct Row {
   std::int64_t ok = 0;
   std::int64_t lost = 0;
   double elapsed_s = 0;
-  util::Summary rtt_us;
+  obs::HistogramSnapshot rtt;  ///< client-observed RTTs (µs)
   std::uint64_t failovers = 0;
   std::uint64_t kills = 0;
   std::uint64_t recovered_slots = 0;
@@ -199,7 +199,7 @@ Row run_config(const Config& config) {
 
   cluster.stop();
   obs::MetricsRegistry merged = cluster.merged_metrics();
-  row.rtt_us = client_metrics.histogram("client.rtt_us");
+  row.rtt = client_metrics.log_histogram_snapshot("client.rtt_us");
   row.failovers = client_metrics.counter_value("client.failovers");
   row.kills = kill_count.load(std::memory_order_relaxed);
   row.recovered_slots = merged.counter_value("recover.slots");
@@ -222,10 +222,11 @@ void print_tables() {
       {"kills+chaos", true, true, chaos},
   };
 
-  util::Table t({"config", "acked", "lost", "cmds/s", "rtt p50", "rtt p95", "failovers",
+  util::Table t({"config", "acked", "lost", "cmds/s", "rtt p50", "rtt p99", "failovers",
                  "kills", "recovered slots", "wal syncs", "violations"});
   t.set_title("N2 — live RSM under crash-recovery chaos: loopback TCP, n=3, e=1, f=1, " +
               std::to_string(kCommands) + " closed-loop commands");
+  bench::BenchArtifact artifact("n2_chaos_live");
   // Sequential on purpose: each run spawns n event-loop threads plus a crash
   // driver, and the RTT samples must not contend with a sibling cluster.
   for (const Config& config : configs) {
@@ -233,13 +234,27 @@ void print_tables() {
     const double rate = row.elapsed_s > 0 ? static_cast<double>(row.ok) / row.elapsed_s : 0;
     t.add_row({row.name, std::to_string(row.ok), std::to_string(row.lost),
                util::Table::num(rate, 0),
-               row.rtt_us.count() == 0 ? "-" : util::Table::num(row.rtt_us.percentile(0.5), 0) + " us",
-               row.rtt_us.count() == 0 ? "-" : util::Table::num(row.rtt_us.percentile(0.95), 0) + " us",
+               row.rtt.count == 0 ? "-" : util::Table::num(row.rtt.p50, 0) + " us",
+               row.rtt.count == 0 ? "-" : util::Table::num(row.rtt.p99, 0) + " us",
                std::to_string(row.failovers), std::to_string(row.kills),
                std::to_string(row.recovered_slots), std::to_string(row.wal_syncs),
                std::to_string(row.violations)});
+    artifact.add_row()
+        .str("config", row.name)
+        .num("acked", row.ok)
+        .num("lost", row.lost)
+        .num("cmds_per_s", rate)
+        .num("rtt_p50_us", row.rtt.p50)
+        .num("rtt_p99_us", row.rtt.p99)
+        .hist("rtt_us", row.rtt)
+        .num("failovers", row.failovers)
+        .num("kills", row.kills)
+        .num("recovered_slots", row.recovered_slots)
+        .num("wal_syncs", row.wal_syncs)
+        .num("violations", row.violations);
   }
   bench::emit(t);
+  artifact.write();
 }
 
 /// Raw WAL cost: one append+sync per iteration (fsync off — the protocol

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI validator for the observability artifacts (PR 6).
+
+Two sub-commands, both exiting non-zero with a diagnostic on any
+malformed artifact:
+
+  check_obs_artifacts.py trace MERGED.json [--min-processes N]
+      Validates a `twostep tracemerge` Chrome-trace: well-formed JSON,
+      process-name metadata, complete ("X") span events from at least
+      N distinct processes, every non-root parent id resolving to a
+      recorded span, at least one cross-process causal flow arrow, and
+      a WAL-fsync span (the acceptance criterion for wire-propagated
+      tracing).
+
+  check_obs_artifacts.py bench FILE.json [--require FIELD ...]
+      Validates a BENCH_*.json artifact against the twostep-bench/1
+      schema documented in EXPERIMENTS.md: schema tag, bench name,
+      non-empty `rows` of flat objects, and (optionally) required row
+      fields such as rtt_p50_us / rtt_p99_us.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_obs_artifacts: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_trace(path: str, min_processes: int) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty traceEvents")
+
+    named_pids = set()
+    span_pids = {}  # span id -> pid
+    parents = {}  # span id -> parent id
+    names = set()
+    flow_starts = flow_finishes = 0
+    for ev in events:
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(f"{path}: event without a phase: {ev!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev["pid"])
+        elif ph == "X":
+            args = ev.get("args", {})
+            if "dur" not in ev or "ts" not in ev:
+                fail(f"{path}: X event without ts/dur: {ev!r}")
+            span = args.get("span")
+            if not isinstance(span, str):
+                fail(f"{path}: X event span id must be a decimal string: {ev!r}")
+            span_pids[span] = ev["pid"]
+            parents[span] = args.get("parent", "0")
+            names.add(ev.get("name"))
+        elif ph == "s":
+            flow_starts += 1
+        elif ph == "f":
+            flow_finishes += 1
+
+    if len(named_pids) < min_processes:
+        fail(f"{path}: only {len(named_pids)} named processes, need {min_processes}")
+    pids_with_spans = set(span_pids.values())
+    if len(pids_with_spans) < min_processes:
+        fail(f"{path}: spans from only {len(pids_with_spans)} processes, need {min_processes}")
+    if "wal.fsync" not in names:
+        fail(f"{path}: no wal.fsync span (storage tracing is broken)")
+    dangling = [s for s, p in parents.items() if p != "0" and p not in span_pids]
+    if dangling:
+        fail(f"{path}: spans with dangling parents: {dangling[:5]}")
+    cross = [s for s, p in parents.items() if p != "0" and span_pids[p] != span_pids[s]]
+    if not cross:
+        fail(f"{path}: no cross-process parent link — trace contexts did not propagate")
+    if flow_starts == 0 or flow_starts != flow_finishes:
+        fail(f"{path}: unbalanced causal flow arrows ({flow_starts} s / {flow_finishes} f)")
+    print(
+        f"{path}: OK — {len(span_pids)} spans, {len(pids_with_spans)} processes, "
+        f"{len(cross)} cross-process links, {flow_starts} flow arrows"
+    )
+
+
+def check_bench(path: str, required: list) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != "twostep-bench/1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected 'twostep-bench/1'")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(f"{path}: missing bench name")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: missing or empty rows")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(f"{path}: row {i} is not an object")
+        for field in required:
+            if field not in row:
+                fail(f"{path}: row {i} is missing required field {field!r}")
+            if isinstance(row[field], str):
+                fail(f"{path}: row {i} field {field!r} should be numeric, got a string")
+    print(f"{path}: OK — bench {doc['bench']!r}, {len(rows)} rows")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    t = sub.add_parser("trace", help="validate a merged Chrome trace")
+    t.add_argument("file")
+    t.add_argument("--min-processes", type=int, default=3)
+    b = sub.add_parser("bench", help="validate a BENCH_*.json artifact")
+    b.add_argument("file")
+    b.add_argument("--require", nargs="*", default=[])
+    args = parser.parse_args()
+    if args.cmd == "trace":
+        check_trace(args.file, args.min_processes)
+    else:
+        check_bench(args.file, args.require)
+
+
+if __name__ == "__main__":
+    main()

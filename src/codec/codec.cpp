@@ -43,6 +43,11 @@ void Writer::put_value(Value v) {
   }
 }
 
+void Writer::put_string(std::string_view s) {
+  put_i64(static_cast<std::int64_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
 std::uint8_t Reader::get_u8() {
   if (!ok_ || pos_ >= data_.size()) {
     ok_ = false;
@@ -65,6 +70,18 @@ std::int64_t Reader::get_i64() {
     shift += 7;
   }
   return unzigzag(u);
+}
+
+std::string Reader::get_string() {
+  const std::int64_t len = get_i64();
+  if (!ok_ || len < 0 || static_cast<std::uint64_t>(len) > data_.size() - pos_) {
+    ok_ = false;
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return out;
 }
 
 Value Reader::get_value() {
@@ -285,6 +302,12 @@ std::vector<std::uint8_t> encode(const ClientRequest& m) {
   w.put_i64(m.id);
   w.put_i64(m.payload);
   w.put_i64(m.client_id);
+  if (m.trace.active()) {
+    w.put_u8(1);
+    put_trace(w, m.trace);
+  } else {
+    w.put_u8(0);
+  }
   return std::move(w).take();
 }
 
@@ -294,6 +317,12 @@ std::optional<ClientRequest> decode_client_request(std::span<const std::uint8_t>
   m.id = r.get_i64();
   m.payload = r.get_i64();
   m.client_id = r.get_i64();
+  const std::uint8_t traced = r.get_u8();
+  if (traced > 1) return std::nullopt;
+  if (traced == 1) {
+    m.trace = get_trace(r);
+    if (!m.trace.active()) return std::nullopt;  // present-but-inactive: malformed
+  }
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }
@@ -321,6 +350,73 @@ std::optional<ClientReply> decode_client_reply(std::span<const std::uint8_t> dat
   if (ok_byte > 1) return std::nullopt;
   m.slot = static_cast<std::int32_t>(slot);
   m.ok = ok_byte == 1;
+  return m;
+}
+
+void put_trace(Writer& w, const obs::TraceContext& t) {
+  w.put_i64(static_cast<std::int64_t>(t.trace_id));
+  w.put_i64(static_cast<std::int64_t>(t.parent_span));
+  w.put_i64(t.origin_us);
+}
+
+obs::TraceContext get_trace(Reader& r) {
+  obs::TraceContext t;
+  t.trace_id = static_cast<std::uint64_t>(r.get_i64());
+  t.parent_span = static_cast<std::uint64_t>(r.get_i64());
+  t.origin_us = r.get_i64();
+  if (!r.ok()) return obs::TraceContext{};
+  return t;
+}
+
+std::vector<std::uint8_t> encode(const TracedFrame& m) {
+  Writer w;
+  w.put_u8(m.inner_kind);
+  put_trace(w, m.trace);
+  std::vector<std::uint8_t> out = std::move(w).take();
+  out.insert(out.end(), m.inner.begin(), m.inner.end());
+  return out;
+}
+
+std::optional<TracedFrame> decode_traced(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  TracedFrame m;
+  m.inner_kind = r.get_u8();
+  m.trace = get_trace(r);
+  if (!r.ok()) return std::nullopt;
+  if (m.inner_kind == 0 || !m.trace.active()) return std::nullopt;
+  // The inner payload is the remainder; its own decoder enforces exhaustion.
+  const auto rest = data.subspan(r.position());
+  m.inner.assign(rest.begin(), rest.end());
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const StatsRequest& m) {
+  Writer w;
+  w.put_i64(m.id);
+  return std::move(w).take();
+}
+
+std::optional<StatsRequest> decode_stats_request(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  StatsRequest m;
+  m.id = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const StatsReply& m) {
+  Writer w;
+  w.put_i64(m.id);
+  w.put_string(m.json);
+  return std::move(w).take();
+}
+
+std::optional<StatsReply> decode_stats_reply(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  StatsReply m;
+  m.id = r.get_i64();
+  m.json = r.get_string();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }
 

@@ -13,11 +13,14 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "consensus/types.hpp"
 #include "core/messages.hpp"
 #include "fastpaxos/fast_paxos.hpp"
+#include "obs/flight.hpp"
 #include "rsm/rsm.hpp"
 
 namespace twostep::codec {
@@ -32,6 +35,9 @@ class Writer {
 
   /// Presence byte (0 = bottom) + payload varint.
   void put_value(consensus::Value v);
+
+  /// Length-prefixed byte string: varint length + raw bytes.
+  void put_string(std::string_view s);
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
@@ -49,6 +55,9 @@ class Reader {
   std::uint8_t get_u8();
   std::int64_t get_i64();
   consensus::Value get_value();
+  /// Length-prefixed byte string; fails on a length that overruns the
+  /// buffer (so truncation can never allocate unbounded memory).
+  std::string get_string();
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   /// True iff every byte has been consumed (trailing garbage is an error).
@@ -90,10 +99,14 @@ std::optional<fastpaxos::Message> decode_fastpaxos(std::span<const std::uint8_t>
 /// resends under the same (client_id, id) pair, and the server's dedup
 /// table uses it to answer retries idempotently.  0 means "no session"
 /// (no dedup; the pre-failover behavior).
+/// `trace` is the optional flight-recorder context (see obs/flight.hpp):
+/// trace_id == 0 (the default) encodes as a single absent byte, so
+/// untraced requests pay one byte and no trace machinery.
 struct ClientRequest {
   std::int64_t id = 0;
   std::int64_t payload = 0;
   std::int64_t client_id = 0;
+  obs::TraceContext trace;
   friend bool operator==(const ClientRequest&, const ClientRequest&) = default;
 };
 
@@ -114,5 +127,49 @@ std::optional<ClientRequest> decode_client_request(std::span<const std::uint8_t>
 
 std::vector<std::uint8_t> encode(const ClientReply& m);
 std::optional<ClientReply> decode_client_reply(std::span<const std::uint8_t> data);
+
+// ---- trace-context propagation (the flight recorder's wire format) ----
+
+/// Appends a TraceContext (3 varints).  Paired with get_trace.
+void put_trace(Writer& w, const obs::TraceContext& t);
+
+/// Reads a TraceContext; on malformed input the reader's ok() turns false
+/// and a default context is returned.
+obs::TraceContext get_trace(Reader& r);
+
+/// A protocol frame with a trace context attached: the runtime wraps its
+/// regular frame payload (`inner`, whose FrameKind is `inner_kind`) rather
+/// than extending every protocol codec.  Decoding requires an active
+/// context (trace_id != 0) — an inactive one would never be sent wrapped.
+struct TracedFrame {
+  std::uint8_t inner_kind = 0;
+  obs::TraceContext trace;
+  std::vector<std::uint8_t> inner;
+  friend bool operator==(const TracedFrame&, const TracedFrame&) = default;
+};
+
+std::vector<std::uint8_t> encode(const TracedFrame& m);
+std::optional<TracedFrame> decode_traced(std::span<const std::uint8_t> data);
+
+// ---- stats scrape frames (`twostep stats <endpoint>`) ----
+
+/// Asks a running node for a metrics snapshot; `id` correlates the reply.
+struct StatsRequest {
+  std::int64_t id = 0;
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+/// The node's answer: the JSON snapshot produced on its loop thread.
+struct StatsReply {
+  std::int64_t id = 0;
+  std::string json;
+  friend bool operator==(const StatsReply&, const StatsReply&) = default;
+};
+
+std::vector<std::uint8_t> encode(const StatsRequest& m);
+std::optional<StatsRequest> decode_stats_request(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode(const StatsReply& m);
+std::optional<StatsReply> decode_stats_reply(std::span<const std::uint8_t> data);
 
 }  // namespace twostep::codec

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
 namespace twostep::node {
@@ -49,7 +50,10 @@ ClientSession::ClientSession(std::vector<transport::Endpoint> servers,
       metrics_(metrics),
       client_id_(options.client_id != 0 ? options.client_id : make_client_id()),
       rng_(util::splitmix64(options.seed, static_cast<std::uint64_t>(client_id_))) {
-  if (metrics_) rtt_us_ = &metrics_->histogram("client.rtt_us");
+  if (metrics_) {
+    rtt_us_ = &metrics_->log_histogram("client.rtt_us");
+    failover_rtt_us_ = &metrics_->log_histogram("client.failover_rtt_us");
+  }
 }
 
 ClientSession::ClientSession(transport::Endpoint server, obs::MetricsRegistry* metrics,
@@ -167,12 +171,25 @@ std::optional<codec::ClientReply> ClientSession::call(std::int64_t payload) {
   const std::int64_t id = next_id_++;
   const std::int64_t start = now_us();
   const std::int64_t deadline = start + options_.request_timeout_ms * 1000;
+  const std::int64_t failovers_at_start = failovers_;
   if (metrics_) metrics_->counter("client.requests").add(1);
+  // With a flight recorder installed the request carries a fresh trace:
+  // (client, id)-derived trace id, the call's root span as parent, and the
+  // shared raw monotonic clock as origin (now_us() reads that same clock).
+  obs::TraceContext trace;
+  std::uint64_t call_span = 0;
+  if (options_.flight) {
+    call_span = options_.flight->next_span_id();
+    trace = obs::TraceContext{
+        util::splitmix64(static_cast<std::uint64_t>(client_id_), static_cast<std::uint64_t>(id)) |
+            1,
+        call_span, start};
+  }
   // Same bytes on every attempt: the retry carries the same
   // (client_id, id), which is what lets the server deduplicate it.
   const std::vector<std::uint8_t> frame = transport::make_frame(
       transport::FrameKind::kClientRequest,
-      codec::encode(codec::ClientRequest{id, payload, client_id_}));
+      codec::encode(codec::ClientRequest{id, payload, client_id_, trace}));
 
   for (;;) {
     if (fd_ < 0 && !reconnect(deadline)) return std::nullopt;
@@ -186,11 +203,17 @@ std::optional<codec::ClientReply> ClientSession::call(std::int64_t payload) {
         std::min(deadline, now_us() + options_.attempt_timeout_ms * 1000);
     codec::ClientReply reply;
     switch (await_reply(id, attempt_deadline, reply)) {
-      case Wait::kGot:
-        if (rtt_us_) rtt_us_->add(static_cast<double>(now_us() - start));
+      case Wait::kGot: {
+        const std::int64_t rtt = now_us() - start;
+        if (rtt_us_) rtt_us_->record(rtt);
+        if (failover_rtt_us_ && failovers_ != failovers_at_start) failover_rtt_us_->record(rtt);
+        window_rtt_.record(rtt);
+        if (options_.flight)
+          options_.flight->record({trace.trace_id, call_span, 0, "client.call", start, rtt, id});
         if (metrics_)
           metrics_->counter(reply.ok ? "client.replies" : "client.rejections").add(1);
         return reply;
+      }
       case Wait::kConnLost:
         count("client.conn_lost", conn_lost_);
         fail_over();
@@ -208,6 +231,7 @@ std::optional<codec::ClientReply> ClientSession::call(std::int64_t payload) {
 ClientSession::WorkloadResult ClientSession::run_closed_loop(
     std::int64_t count, const std::function<std::int64_t(std::int64_t)>& payload_of) {
   WorkloadResult result;
+  window_rtt_.reset();
   const std::int64_t timeouts0 = timeouts_;
   const std::int64_t conn_lost0 = conn_lost_;
   const std::int64_t failovers0 = failovers_;
@@ -227,7 +251,18 @@ ClientSession::WorkloadResult ClientSession::run_closed_loop(
   result.timeouts = timeouts_ - timeouts0;
   result.conn_lost = conn_lost_ - conn_lost0;
   result.failovers = failovers_ - failovers0;
+  result.rtt = window_rtt_.snapshot();
   return result;
+}
+
+std::string ClientSession::WorkloadResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"ok\":" << ok << ",\"rejected\":" << rejected << ",\"lost\":" << lost
+     << ",\"timeouts\":" << timeouts << ",\"conn_lost\":" << conn_lost
+     << ",\"failovers\":" << failovers << ",\"rtt_us\":";
+  obs::write_json(os, rtt);
+  os << "}";
+  return os.str();
 }
 
 }  // namespace twostep::node

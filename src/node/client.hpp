@@ -24,9 +24,12 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "obs/flight.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "transport/tcp.hpp"
 #include "transport/wire.hpp"
@@ -48,6 +51,11 @@ struct ClientOptions {
   /// request id are idempotent at any single server.
   std::int64_t client_id = 0;
   std::uint64_t seed = 1;  ///< backoff jitter stream (mixed with client_id)
+  /// Span sink enabling wire-propagated tracing: every call() stamps a
+  /// fresh trace id + origin timestamp into the request and records a root
+  /// "client.call" span, so the servers' spans hang off this session's.
+  /// Null (the default) sends untraced requests.  Must outlive the session.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class ClientSession {
@@ -90,6 +98,12 @@ class ClientSession {
     std::int64_t timeouts = 0;   ///< per-attempt reply timeouts (incl. the final one)
     std::int64_t conn_lost = 0;  ///< sockets that died under an in-flight request
     std::int64_t failovers = 0;  ///< times the session switched replica
+    /// RTT distribution of this window's answered calls (count/mean/min/
+    /// max and p50..p999), from the session's log-bucketed histogram.
+    obs::HistogramSnapshot rtt;
+
+    /// One machine-readable line: the counters plus the rtt quantiles.
+    [[nodiscard]] std::string to_json() const;
   };
 
   /// Closed-loop driver: `count` sequential calls; `payload_of(i)` supplies
@@ -118,7 +132,9 @@ class ClientSession {
   std::size_t current_ = 0;
   Options options_;
   obs::MetricsRegistry* metrics_;
-  util::Summary* rtt_us_ = nullptr;
+  obs::LogHistogram* rtt_us_ = nullptr;           ///< all answered calls
+  obs::LogHistogram* failover_rtt_us_ = nullptr;  ///< calls that failed over mid-flight
+  obs::LogHistogram window_rtt_;  ///< reset per run_closed_loop window
   int fd_ = -1;
   transport::FrameParser parser_;
   std::int64_t next_id_ = 1;

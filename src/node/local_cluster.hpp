@@ -39,6 +39,13 @@ struct ClusterOptions {
   /// Chaos stage on every replica's outbound links (seeded per node
   /// inside the runtime).
   transport::ChaosConfig chaos;
+  /// Give every replica a flight recorder ("node-<i>", salt i+1) so traced
+  /// client requests produce per-node span streams (see flight(i)).  The
+  /// recorders survive kill/restart — a replica's span history spans its
+  /// incarnations.
+  bool trace = false;
+  /// Forwarded to RuntimeOptions::stats_interval_ms on every replica.
+  int stats_interval_ms = 0;
 };
 
 /// One round of a crash timeline: at `at_ms` kill `replicas`, keep them
@@ -95,6 +102,12 @@ class LocalCluster {
   /// Binds n loopback listeners and starts all runtimes.
   explicit LocalCluster(int n, Factory factory, ClusterOptions options = {})
       : factory_(std::move(factory)), options_(std::move(options)) {
+    if (options_.trace) {
+      recorders_.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        recorders_.push_back(std::make_unique<obs::FlightRecorder>(
+            "node-" + std::to_string(i), static_cast<std::uint64_t>(i) + 1));
+    }
     nodes_.reserve(static_cast<std::size_t>(n));
     for (consensus::ProcessId p = 0; p < n; ++p) {
       nodes_.push_back(build_node(p, n, transport::Endpoint{"127.0.0.1", 0}));
@@ -116,6 +129,12 @@ class LocalCluster {
   }
   [[nodiscard]] const std::vector<transport::Endpoint>& endpoints() const noexcept {
     return endpoints_;
+  }
+  /// Replica i's flight recorder; null unless ClusterOptions::trace.
+  /// Safe to read while the cluster runs (the recorder synchronises) and
+  /// across kill/restart (the cluster owns it, not the runtime).
+  [[nodiscard]] obs::FlightRecorder* flight(int i) {
+    return options_.trace ? recorders_[static_cast<std::size_t>(i)].get() : nullptr;
   }
 
   /// Abruptly stops replica i and destroys its runtime.  Its metrics are
@@ -192,6 +211,8 @@ class LocalCluster {
       rt_options.storage =
           StorageOptions{options_.storage_dir + "/r" + std::to_string(p), options_.fsync};
     rt_options.chaos = options_.chaos;
+    if (options_.trace) rt_options.flight = recorders_[static_cast<std::size_t>(p)].get();
+    rt_options.stats_interval_ms = options_.stats_interval_ms;
     Factory& factory = factory_;
     return std::make_unique<Runtime<P>>(
         p, n, std::move(listen),
@@ -203,6 +224,10 @@ class LocalCluster {
 
   Factory factory_;
   ClusterOptions options_;
+  /// Per-replica span sinks (ClusterOptions::trace); built before the
+  /// runtimes and never destroyed until the cluster is, so restart() can
+  /// hand the same recorder to a replica's next incarnation.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
   mutable std::mutex nodes_mu_;  ///< guards nodes_ slots + graveyard_
   std::vector<std::unique_ptr<Runtime<P>>> nodes_;
   std::vector<transport::Endpoint> endpoints_;

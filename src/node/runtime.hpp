@@ -11,9 +11,12 @@
 //   - the protocol, the links and all connections are touched ONLY on the
 //     loop thread; external entry points (propose) hop through post(),
 //   - cross-thread reads go through a mutex-guarded snapshot (decisions,
-//     applied log) or relaxed atomics (TransportStats, PeerLink::connected),
-//   - the per-runtime MetricsRegistry is written on the loop thread and
-//     read only after stop() joins.
+//     applied log, latest_stats) or relaxed atomics (TransportStats,
+//     PeerLink::connected),
+//   - the per-runtime MetricsRegistry is written on the loop thread; its
+//     counters and log-histograms are internally thread-safe, so live
+//     scrapes (kStatsRequest, the periodic snapshotter) read them without
+//     waiting for stop().
 //
 // Start discipline: the protocol's start() is deferred to the first
 // proposal or message delivery.  In the simulator, start_all() and the
@@ -36,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -45,10 +49,14 @@
 #include <utility>
 #include <vector>
 
+#include "codec/codec.hpp"
 #include "consensus/env.hpp"
 #include "consensus/types.hpp"
 #include "node/wire_traits.hpp"
+#include "obs/flight.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/durable.hpp"
 #include "storage/wal.hpp"
 #include "transport/chaos.hpp"
@@ -73,6 +81,14 @@ struct RuntimeOptions {
   std::optional<StorageOptions> storage;
   /// Chaos stage on every outbound peer link (seeded per node).
   transport::ChaosConfig chaos;
+  /// Span sink for wire-propagated request tracing (null = tracing off:
+  /// traced client requests are served, their context just isn't recorded
+  /// or forwarded).  Must outlive the runtime; internally synchronised.
+  obs::FlightRecorder* flight = nullptr;
+  /// > 0: the loop thread re-snapshots the node's stats JSON on this
+  /// period so latest_stats() always has a recent view.  The kStatsRequest
+  /// wire scrape works regardless.
+  int stats_interval_ms = 0;
 };
 
 /// True when P is a proxy-style replicated state machine (client commands
@@ -118,7 +134,18 @@ class Runtime {
         env_(*this) {
     listen_fd_ = transport::bind_listener(listen_ep_);
     loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
-    serve_us_ = &metrics_.histogram("node.serve_us");
+    serve_us_ = &metrics_.log_histogram("node.serve_us");
+    deliver_us_ = &metrics_.log_histogram("node.deliver_us");
+    wal_sync_us_ = &metrics_.log_histogram("wal.sync_us");
+    request_hop_us_ = &metrics_.log_histogram("node.request_hop_us");
+    stats_.outbox_bytes = &metrics_.log_histogram("link.outbox_bytes");
+    stats_.pending_frames = &metrics_.log_histogram("link.pending_frames");
+    loop_.set_probe(transport::LoopProbe{
+        .poll_us = &metrics_.log_histogram("loop.poll_us"),
+        .work_us = &metrics_.log_histogram("loop.work_us"),
+        .timer_depth = &metrics_.log_histogram("loop.timer_depth"),
+        .posted_depth = &metrics_.log_histogram("loop.posted_depth")});
+    flight_ = options_.flight;
     proc_ = factory(env_, metrics_);
     wire_callbacks();
     init_storage();
@@ -148,6 +175,7 @@ class Runtime {
             [this, p] { resend_decided_to(p); });
       links_[static_cast<std::size_t>(p)]->start();
     }
+    arm_stats_timer();  // pre-thread timer scheduling is safe: loop not running yet
     thread_ = std::thread([this] { loop_.run(); });
   }
 
@@ -220,6 +248,13 @@ class Runtime {
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const transport::TransportStats& stats() const noexcept { return stats_; }
 
+  /// Last periodic stats document (see RuntimeOptions::stats_interval_ms);
+  /// empty before the first snapshot timer fires.  Thread-safe.
+  [[nodiscard]] std::string latest_stats() const {
+    const std::lock_guard<std::mutex> lock(stats_json_mu_);
+    return latest_stats_json_;
+  }
+
   /// The hosted protocol.  Only safe before start() or after stop().
   [[nodiscard]] P& unsafe_process() noexcept { return *proc_; }
 
@@ -257,6 +292,9 @@ class Runtime {
     std::int64_t request_id = 0;
     std::int64_t received_us = 0;
     std::int64_t client_id = 0;
+    obs::TraceContext trace;          ///< client's wire context (inactive = untraced)
+    std::uint64_t serve_span = 0;     ///< open "serve" span, closed by reply()
+    std::int64_t serve_start_us = 0;  ///< raw-clock timestamp that span opened at
   };
 
   /// Per-client idempotency record: a failover client resends its current
@@ -365,7 +403,15 @@ class Runtime {
     }
     entry_active_ = true;
     fn();
-    if (durable_.capture(*proc_, *wal_)) wal_->sync();
+    const std::int64_t sync_start_us = obs::FlightRecorder::now_us();
+    if (durable_.capture(*proc_, *wal_)) {
+      wal_->sync();
+      const std::int64_t sync_end_us = obs::FlightRecorder::now_us();
+      wal_sync_us_->record(sync_end_us - sync_start_us);
+      if (flight_ && out_ctx_.active())
+        flight_->record({out_ctx_.trace_id, flight_->next_span_id(), out_ctx_.parent_span,
+                         "wal.fsync", sync_start_us, sync_end_us - sync_start_us, 0});
+    }
     entry_active_ = false;
     std::vector<std::pair<consensus::ProcessId, Message>> out;
     out.swap(buffered_sends_);
@@ -383,20 +429,52 @@ class Runtime {
   void raw_send(consensus::ProcessId to, const Message& msg) {
     if (to == self_) {
       // Queue through the loop so self-delivery is never reentrant — the
-      // simulator likewise delivers self-sends as later events.
-      loop_.post([this, msg] { deliver(self_, msg); });
+      // simulator likewise delivers self-sends as later events.  The trace
+      // context rides the lambda so the causal chain survives the hop.
+      loop_.post([this, msg, ctx = out_ctx_] { deliver(self_, msg, ctx); });
       return;
     }
     if (to < 0 || to >= n_ || links_.empty()) return;
     auto& link = links_[static_cast<std::size_t>(to)];
-    if (link) link->send_frame(WireTraits<Message>::kKind, WireTraits<Message>::encode(msg));
+    if (!link) return;
+    if (out_ctx_.active()) {
+      // Wrap the protocol frame so the receiver can parent its handling
+      // span on ours; untraced sends keep the bare frame (and its cost).
+      const codec::TracedFrame traced{static_cast<std::uint8_t>(WireTraits<Message>::kKind),
+                                      out_ctx_, WireTraits<Message>::encode(msg)};
+      link->send_frame(transport::FrameKind::kTraced, codec::encode(traced));
+    } else {
+      link->send_frame(WireTraits<Message>::kKind, WireTraits<Message>::encode(msg));
+    }
   }
 
-  void deliver(consensus::ProcessId from, const Message& msg) {
+  /// Runs the protocol's message handler under the WAL discipline.  With an
+  /// active trace context the handling becomes a span (named after the
+  /// message type, parented on the sender's span) and every send it causes
+  /// — immediate or WAL-buffered — carries that span as the new parent.
+  void deliver(consensus::ProcessId from, const Message& msg,
+               const obs::TraceContext& ctx = {}) {
+    const obs::TraceContext saved_ctx = out_ctx_;
+    std::uint64_t span = 0;
+    std::int64_t span_start_us = 0;
+    if (flight_ && ctx.active()) {
+      span = flight_->next_span_id();
+      span_start_us = obs::FlightRecorder::now_us();
+      out_ctx_ = obs::TraceContext{ctx.trace_id, span, ctx.origin_us};
+    } else {
+      out_ctx_ = {};
+    }
+    const std::int64_t t0 = loop_.now_us();
     with_wal([&] {
       ensure_started();
       proc_->on_message(from, msg);
     });
+    deliver_us_->record(loop_.now_us() - t0);
+    if (span != 0)
+      flight_->record({ctx.trace_id, span, ctx.parent_span, obs::message_label(msg),
+                       span_start_us, obs::FlightRecorder::now_us() - span_start_us,
+                       static_cast<std::int64_t>(from)});
+    out_ctx_ = saved_ctx;
   }
 
   void on_accept() {
@@ -441,6 +519,27 @@ class Runtime {
         if (req) handle_client_request(conn, *req);
         return;
       }
+      case transport::FrameKind::kStatsRequest: {
+        // Observability scrape: no Hello needed (clients and tools ask),
+        // read-only, answered synchronously on the loop thread.
+        const auto scrape = codec::decode_stats_request(frame.payload);
+        if (!scrape) return;
+        conn->send_frame(transport::FrameKind::kStatsReply,
+                         codec::encode(codec::StatsReply{scrape->id, build_stats_json()}));
+        return;
+      }
+      case transport::FrameKind::kTraced: {
+        const auto traced = codec::decode_traced(frame.payload);
+        if (!traced) return;
+        if (traced->inner_kind != static_cast<std::uint8_t>(WireTraits<Message>::kKind))
+          return;  // traced frame for a protocol we don't host
+        const auto sender = inbound_peer_.find(conn.get());
+        if (sender == inbound_peer_.end()) return;  // same Hello gate as bare frames
+        auto inner = WireTraits<Message>::decode(traced->inner);
+        if (!inner) return;
+        deliver(sender->second, *inner, traced->trace);
+        return;
+      }
       default:
         break;
     }
@@ -454,7 +553,23 @@ class Runtime {
 
   void handle_client_request(const std::shared_ptr<transport::Connection>& conn,
                              const codec::ClientRequest& req) {
-    OutstandingRequest out{conn, req.id, loop_.now_us(), req.client_id};
+    OutstandingRequest out;
+    out.conn = conn;
+    out.request_id = req.id;
+    out.received_us = loop_.now_us();
+    out.client_id = req.client_id;
+    if (req.trace.active()) {
+      const std::int64_t arrival_us = obs::FlightRecorder::now_us();
+      // The client stamped origin_us from the same raw monotonic clock (all
+      // processes share one machine), so the difference is the wire hop.
+      const std::int64_t hop_us = arrival_us - req.trace.origin_us;
+      if (hop_us >= 0) request_hop_us_->record(hop_us);
+      if (flight_) {
+        out.trace = req.trace;
+        out.serve_span = flight_->next_span_id();
+        out.serve_start_us = arrival_us;
+      }
+    }
     // Failover dedup: a client that lost its connection resends the same
     // (client_id, id).  Answer completed requests from the cache, re-attach
     // the new connection to a still-in-flight one, and drop stale ids —
@@ -486,6 +601,13 @@ class Runtime {
       d.last_id = req.id;
       d.done = false;
     }
+    // Everything the protocol does on behalf of this request — including
+    // the WAL-buffered sends flushed by with_wal — is parented on the
+    // serve span.  Read the span fields now: `out` is moved below.
+    const obs::TraceContext saved_ctx = out_ctx_;
+    out_ctx_ = out.serve_span != 0
+                   ? obs::TraceContext{out.trace.trace_id, out.serve_span, out.trace.origin_us}
+                   : obs::TraceContext{};
     with_wal([&] {
       if constexpr (RsmLike<P>) {
         if (req.payload < 0 || req.payload >= (std::int64_t{1} << 40)) {
@@ -512,12 +634,17 @@ class Runtime {
         }
       }
     });
+    out_ctx_ = saved_ctx;
   }
 
   void reply(const OutstandingRequest& req, const codec::ClientReply& msg) {
     const auto conn = req.conn.lock();
     if (!conn || conn->closed()) return;
-    serve_us_->add(static_cast<double>(loop_.now_us() - req.received_us));
+    serve_us_->record(loop_.now_us() - req.received_us);
+    if (req.serve_span != 0)  // nonzero only when flight_ is installed
+      flight_->record({req.trace.trace_id, req.serve_span, req.trace.parent_span, "serve",
+                       req.serve_start_us,
+                       obs::FlightRecorder::now_us() - req.serve_start_us, req.request_id});
     conn->send_frame(transport::FrameKind::kClientReply, codec::encode(msg));
   }
 
@@ -542,6 +669,40 @@ class Runtime {
     std::unordered_set<consensus::ProcessId> peers;
     for (const auto& [conn, peer] : inbound_peer_) peers.insert(peer);
     inbound_count_.store(static_cast<int>(peers.size()), std::memory_order_relaxed);
+  }
+
+  /// One machine-readable status document (schema twostep-stats/1): node
+  /// identity, live connectivity, the raw transport counters and the full
+  /// metrics registry (counters + histogram quantiles).  Built on the loop
+  /// thread, for kStatsRequest scrapes and the periodic snapshot timer.
+  [[nodiscard]] std::string build_stats_json() {
+    std::ostringstream os;
+    os << "{\"schema\":\"twostep-stats/1\",\"node\":" << self_
+       << ",\"now_us\":" << loop_.now_us() << ",\"connected_out\":" << connected_out()
+       << ",\"connected_in\":" << connected_in()
+       << ",\"transport\":{\"bytes_sent\":" << stats_.bytes_sent.load(std::memory_order_relaxed)
+       << ",\"bytes_received\":" << stats_.bytes_received.load(std::memory_order_relaxed)
+       << ",\"frames_sent\":" << stats_.frames_sent.load(std::memory_order_relaxed)
+       << ",\"frames_received\":" << stats_.frames_received.load(std::memory_order_relaxed)
+       << ",\"reconnects\":" << stats_.reconnects.load(std::memory_order_relaxed)
+       << ",\"frames_dropped\":" << stats_.frames_dropped.load(std::memory_order_relaxed)
+       << "},\"metrics\":";
+    metrics_.write_json(os);
+    os << "}";
+    return os.str();
+  }
+
+  /// Self-rearming periodic snapshot (loop thread -> latest_stats()).
+  void arm_stats_timer() {
+    if (options_.stats_interval_ms <= 0) return;
+    loop_.schedule_after(std::int64_t{options_.stats_interval_ms} * 1000, [this] {
+      std::string snapshot = build_stats_json();
+      {
+        const std::lock_guard<std::mutex> lock(stats_json_mu_);
+        latest_stats_json_ = std::move(snapshot);
+      }
+      arm_stats_timer();
+    });
   }
 
   void export_transport_metrics() {
@@ -569,7 +730,12 @@ class Runtime {
   LiveEnv env_;
   transport::TransportStats stats_;
   obs::MetricsRegistry metrics_;
-  util::Summary* serve_us_ = nullptr;
+  obs::LogHistogram* serve_us_ = nullptr;        ///< client request -> reply latency
+  obs::LogHistogram* deliver_us_ = nullptr;      ///< per-message protocol dispatch time
+  obs::LogHistogram* wal_sync_us_ = nullptr;     ///< capture+fsync per logged transition
+  obs::LogHistogram* request_hop_us_ = nullptr;  ///< client -> node wire hop
+  obs::FlightRecorder* flight_ = nullptr;        ///< null = tracing off
+  obs::TraceContext out_ctx_;  ///< context of the entry scope running (loop thread)
 
   int listen_fd_ = -1;
   std::vector<transport::Endpoint> peers_;
@@ -598,6 +764,9 @@ class Runtime {
   mutable std::mutex state_mu_;
   consensus::Value decided_;
   std::vector<std::pair<std::int32_t, std::int64_t>> applied_;
+
+  mutable std::mutex stats_json_mu_;
+  std::string latest_stats_json_;  ///< written by the snapshot timer
 
   std::thread thread_;
 };

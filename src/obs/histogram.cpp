@@ -1,0 +1,97 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace twostep::obs {
+
+void write_json(std::ostream& os, const HistogramSnapshot& s) {
+  os << "{\"count\": " << s.count << ", \"mean\": " << json_number(s.mean)
+     << ", \"min\": " << json_number(s.min) << ", \"max\": " << json_number(s.max)
+     << ", \"p50\": " << json_number(s.p50) << ", \"p90\": " << json_number(s.p90)
+     << ", \"p99\": " << json_number(s.p99) << ", \"p999\": " << json_number(s.p999) << "}";
+}
+
+double LogHistogram::mean() const noexcept {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) / static_cast<double>(n);
+}
+
+std::int64_t LogHistogram::min() const noexcept {
+  const std::int64_t v = min_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<std::int64_t>::max() ? 0 : v;
+}
+
+std::int64_t LogHistogram::max() const noexcept {
+  const std::int64_t v = max_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<std::int64_t>::min() ? 0 : v;
+}
+
+double LogHistogram::percentile(double q) const noexcept {
+  // Copy the counts once so the walk sees one consistent-enough shape even
+  // while writers are active.
+  std::uint64_t counts[kBucketCount];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Closest-rank: the smallest bucket whose cumulative count covers the
+  // target rank (0-based, so q == 0 is the first sample, q == 1 the last).
+  const auto target =
+      static_cast<std::uint64_t>(std::llround(q * static_cast<double>(total - 1)));
+  std::uint64_t cum = 0;
+  int index = kBucketCount - 1;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cum += counts[i];
+    if (cum > target) {
+      index = i;
+      break;
+    }
+  }
+  const double v = static_cast<double>(bucket_value(index));
+  // The exact extremes are tracked: clamping makes single-sample and
+  // tail quantiles exact instead of bucket-midpoint approximations.
+  return std::clamp(v, static_cast<double>(min()), static_cast<double>(max()));
+}
+
+HistogramSnapshot LogHistogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  s.count = count();
+  s.mean = mean();
+  s.min = static_cast<double>(min());
+  s.max = static_cast<double>(max());
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  s.p999 = percentile(0.999);
+  return s;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = other.count_.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  update_min(other.min());
+  update_max(other.max());
+}
+
+void LogHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(), std::memory_order_relaxed);
+  max_.store(std::numeric_limits<std::int64_t>::min(), std::memory_order_relaxed);
+}
+
+}  // namespace twostep::obs

@@ -1,0 +1,138 @@
+// Fixed-memory log-bucketed latency histogram for live telemetry.
+//
+// util::Summary keeps every sample and answers exact percentiles — right
+// for benchmark-scale data reduced after a run, wrong for a hot path that
+// must absorb one sample per message forever.  LogHistogram is the
+// telemetry-scale counterpart: a fixed array of relaxed-atomic bucket
+// counters, wait-free to record into from any thread, with approximate
+// quantiles (p50/p90/p99/p999) read out of the bucket shape.
+//
+// Bucket layout (HdrHistogram-style log-linear):
+//   - values 0..31 get one bucket each (exact),
+//   - every octave [2^k, 2^(k+1)) above that is split into 32 sub-buckets,
+//     so the relative quantization error is bounded by 1/32 (~3%),
+//   - values >= 2^kMaxTrackedBits land in one saturating overflow bucket
+//     (the count is never lost; the quantile reports the tracked maximum).
+// With microsecond samples the tracked range 0 .. 2^40 µs covers ~12 days;
+// the whole histogram is ~9 KiB.
+//
+// Thread-safety: record() and merge() use relaxed atomics — safe against
+// concurrent recorders and against a concurrent snapshot()/percentile()
+// reader.  A snapshot taken while writers are active may be torn by a few
+// in-flight samples (counts and sums read at slightly different instants);
+// that is the usual, acceptable imprecision of live telemetry counters.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace twostep::obs {
+
+/// Point-in-time reduction of one histogram: everything an exporter or a
+/// bench table needs, copyable and free of atomics.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+/// Serializes one snapshot as a JSON object
+/// {"count": .., "mean": .., "min": .., "max": .., "p50": .., ... "p999": ..}.
+void write_json(std::ostream& os, const HistogramSnapshot& s);
+
+class LogHistogram {
+ public:
+  static constexpr int kLinearBuckets = 32;    ///< one bucket per value 0..31
+  static constexpr int kSubBuckets = 32;       ///< buckets per octave above that
+  static constexpr int kMaxTrackedBits = 40;   ///< values < 2^40 are bucketed
+  static constexpr int kOctaves = kMaxTrackedBits - 5;  ///< octaves [2^5, 2^40)
+  static constexpr int kBucketCount = kLinearBuckets + kOctaves * kSubBuckets + 1;
+  /// Quantile reported for samples in the saturating overflow bucket.
+  static constexpr std::int64_t kOverflowValue = std::int64_t{1} << kMaxTrackedBits;
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Records one sample.  Wait-free; safe from any thread.  Negative
+  /// samples clamp to 0 (clock skew should not corrupt the layout).
+  void record(std::int64_t v) noexcept {
+    if (v < 0) v = 0;
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<std::uint64_t>(v), std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::int64_t min() const noexcept;
+  [[nodiscard]] std::int64_t max() const noexcept;
+
+  /// Approximate quantile (q in [0,1]) by closest-rank walk over the bucket
+  /// counts; the result is clamped into [min, max], so single-sample and
+  /// extreme quantiles are exact.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+  /// Adds every bucket of `other` into this histogram (relaxed reads —
+  /// merging a live histogram folds in whatever it holds at that instant).
+  void merge(const LogHistogram& other) noexcept;
+
+  /// Forgets every sample.  Not atomic with respect to concurrent
+  /// recorders; callers quiesce writers first (workload drivers reset
+  /// between runs, not mid-run).
+  void reset() noexcept;
+
+  /// Bucket index for a sample (exposed for the bucket-math tests).
+  [[nodiscard]] static constexpr int bucket_index(std::int64_t v) noexcept {
+    if (v < kLinearBuckets) return static_cast<int>(v);
+    if (v >= kOverflowValue) return kBucketCount - 1;
+    const int exp = 64 - std::countl_zero(static_cast<std::uint64_t>(v)) - 6;
+    const auto sub = static_cast<int>((static_cast<std::uint64_t>(v) >> exp) - kSubBuckets);
+    return kLinearBuckets + exp * kSubBuckets + sub;
+  }
+
+  /// Midpoint value the quantile walk reports for a bucket.
+  [[nodiscard]] static constexpr std::int64_t bucket_value(int index) noexcept {
+    if (index < kLinearBuckets) return index;
+    if (index >= kBucketCount - 1) return kOverflowValue;
+    const int exp = (index - kLinearBuckets) / kSubBuckets;
+    const int sub = (index - kLinearBuckets) % kSubBuckets;
+    const std::int64_t lower = static_cast<std::int64_t>(kSubBuckets + sub) << exp;
+    return lower + ((std::int64_t{1} << exp) >> 1);
+  }
+
+ private:
+  void update_min(std::int64_t v) noexcept {
+    std::int64_t seen = min_.load(std::memory_order_relaxed);
+    while (v < seen && !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+}  // namespace twostep::obs

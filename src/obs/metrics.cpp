@@ -2,14 +2,11 @@
 
 #include <cstdio>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace twostep::obs {
 
-namespace {
-
-/// JSON-safe rendering of a double: finite values with enough digits to
-/// round-trip, non-finite values (empty summaries never produce them, but
-/// belt and braces) as 0.
 std::string json_number(double x) {
   if (!(x == x) || x > 1e308 || x < -1e308) return "0";
   char buf[32];
@@ -17,7 +14,7 @@ std::string json_number(double x) {
   return buf;
 }
 
-void write_escaped(std::ostream& os, const std::string& s) {
+void write_json_escaped(std::ostream& os, std::string_view s) {
   os << '"';
   for (const char c : s) {
     switch (c) {
@@ -38,45 +35,92 @@ void write_escaped(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-}  // namespace
+MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
+  const std::lock_guard<std::mutex> lock(other.mu_);
+  counters_ = std::move(other.counters_);
+  histograms_ = std::move(other.histograms_);
+  log_histograms_ = std::move(other.log_histograms_);
+}
+
+MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
+  if (this == &other) return *this;
+  const std::scoped_lock lock(mu_, other.mu_);
+  counters_ = std::move(other.counters_);
+  histograms_ = std::move(other.histograms_);
+  log_histograms_ = std::move(other.log_histograms_);
+  return *this;
+}
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  return counters_[std::string(name)];
 }
 
 util::Summary& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(std::string(name), util::Summary{}).first->second;
 }
 
+LogHistogram& MetricsRegistry::log_histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = log_histograms_.find(name);
+  if (it != log_histograms_.end()) return it->second;
+  return log_histograms_[std::string(name)];
+}
+
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
+HistogramSnapshot MetricsRegistry::log_histogram_snapshot(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = log_histograms_.find(name);
+  return it == log_histograms_.end() ? HistogramSnapshot{} : it->second.snapshot();
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   os << "{\"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     if (!first) os << ", ";
     first = false;
-    write_escaped(os, name);
+    write_json_escaped(os, name);
     os << ": " << c.value();
   }
   os << "}, \"histograms\": {";
+  // Summary and LogHistogram entries share one sorted key space so readers
+  // see a single deterministic "histograms" object.
   first = true;
-  for (auto& [name, h] : histograms_) {
+  auto sit = histograms_.begin();
+  auto lit = log_histograms_.begin();
+  const auto emit = [&](const std::string& name, const HistogramSnapshot& s) {
     if (!first) os << ", ";
     first = false;
-    write_escaped(os, name);
-    os << ": {\"count\": " << h.count() << ", \"mean\": " << json_number(h.mean())
-       << ", \"min\": " << json_number(h.min()) << ", \"max\": " << json_number(h.max())
-       << ", \"p50\": " << json_number(h.percentile(0.5))
-       << ", \"p90\": " << json_number(h.percentile(0.9))
-       << ", \"p99\": " << json_number(h.percentile(0.99)) << "}";
+    write_json_escaped(os, name);
+    os << ": ";
+    obs::write_json(os, s);  // namespace-qualified: the member name shadows
+  };
+  const auto summary_snapshot = [](util::Summary& h) {
+    return HistogramSnapshot{h.count(), h.mean(),           h.min(),
+                             h.max(),   h.percentile(0.5),  h.percentile(0.9),
+                             h.percentile(0.99), h.percentile(0.999)};
+  };
+  while (sit != histograms_.end() || lit != log_histograms_.end()) {
+    if (lit == log_histograms_.end() ||
+        (sit != histograms_.end() && sit->first <= lit->first)) {
+      emit(sit->first, summary_snapshot(sit->second));
+      ++sit;
+    } else {
+      emit(lit->first, lit->second.snapshot());
+      ++lit;
+    }
   }
   os << "}}";
 }
@@ -88,13 +132,31 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
-  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
-  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+  // Snapshot the other registry's nodes under its lock, then fold without
+  // holding both locks at once (merge is not re-entrant on one registry).
+  std::vector<std::pair<std::string, std::uint64_t>> counts;
+  std::vector<const std::pair<const std::string, LogHistogram>*> logs;
+  std::vector<std::pair<std::string, util::Summary>> sums;
+  {
+    const std::lock_guard<std::mutex> lock(other.mu_);
+    counts.reserve(other.counters_.size());
+    for (const auto& [name, c] : other.counters_) counts.emplace_back(name, c.value());
+    // Map nodes are stable and never erased mid-run, so the pointers stay
+    // valid once the structure snapshot is taken.
+    for (const auto& node : other.log_histograms_) logs.push_back(&node);
+    sums.reserve(other.histograms_.size());
+    for (const auto& [name, h] : other.histograms_) sums.emplace_back(name, h);
+  }
+  for (const auto& [name, v] : counts) counter(name).add(v);
+  for (const auto* node : logs) log_histogram(node->first).merge(node->second);
+  for (const auto& [name, h] : sums) histogram(name).merge(h);
 }
 
 void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   histograms_.clear();
+  log_histograms_.clear();
 }
 
 }  // namespace twostep::obs

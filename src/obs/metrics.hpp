@@ -1,55 +1,101 @@
-// Named counters and histograms for simulated runs.
+// Named counters and histograms for simulated and live runs.
 //
 // A MetricsRegistry is the quantitative companion of the RunTracer: where
 // the tracer answers "what happened, in order", the registry answers "how
 // often and how long" — messages by type, fast- vs slow-path decisions,
 // ballots started, selection-rule branch frequencies, events executed, and
-// decision-latency distributions (reusing util::Summary for exact
-// percentiles).
+// decision-latency distributions.
 //
-// Hot-path discipline: counter() / histogram() do a string lookup and are
-// meant to be called ONCE, at wiring time; instrumented code caches the
-// returned reference (std::map nodes are stable) and pays a single add on
-// the hot path.  Counter::cell() additionally exposes the raw count cell so
-// the lowest layer (sim::Simulator) can be instrumented without depending
-// on this header.
+// Two histogram flavors with different contracts:
+//   - util::Summary (histogram()): exact percentiles over retained samples.
+//     NOT thread-safe — single-threaded simulation or loop-thread-only use,
+//     reduced after the run.
+//   - obs::LogHistogram (log_histogram()): fixed-memory bucketed quantiles,
+//     wait-free relaxed-atomic recording.  The live runtime's hot paths
+//     write these from the event-loop thread while a scraper snapshots them
+//     from anywhere.
+//
+// Thread-safety of the registry itself: counters are relaxed atomics and
+// name registration is mutex-guarded, so concurrent add()s, registrations
+// and write_json() calls are safe under TSan — with one carve-out: Summary
+// histograms are only serialized/merged safely while nothing is add()ing
+// to them (the live runtime confines Summary writes to the loop thread and
+// scrapes on that same thread; cross-thread scrapes read the cached
+// snapshot instead).
+//
+// Hot-path discipline: counter() / histogram() / log_histogram() do a
+// string lookup and are meant to be called ONCE, at wiring time;
+// instrumented code caches the returned reference (std::map nodes are
+// stable) and pays a single relaxed add on the hot path.  Counter::cell()
+// additionally exposes the raw atomic so the lowest layer (sim::Simulator)
+// can be instrumented without depending on this header.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace twostep::obs {
 
-/// Monotonic counter.
+/// JSON-safe rendering of a double: finite values with enough digits to
+/// round-trip, non-finite values as 0.  Shared by every JSON emitter in
+/// the observability stack.
+[[nodiscard]] std::string json_number(double x);
+
+/// Writes `s` as a quoted JSON string with control characters escaped.
+void write_json_escaped(std::ostream& os, std::string_view s);
+
+/// Monotonic counter.  add() is a relaxed atomic increment — safe from any
+/// thread, and on the null-probe path never reached at all.
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
   /// Raw cell for dependency-free instrumentation (see header comment).
-  [[nodiscard]] std::uint64_t* cell() noexcept { return &value_; }
+  [[nodiscard]] std::atomic<std::uint64_t>* cell() noexcept { return &value_; }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(MetricsRegistry&& other) noexcept;
+  MetricsRegistry& operator=(MetricsRegistry&& other) noexcept;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   /// Returns the counter registered under `name`, creating it at zero on
   /// first use.  The reference stays valid for the registry's lifetime.
   Counter& counter(std::string_view name);
 
-  /// Same contract for histograms.
+  /// Same contract for exact-percentile summaries (see the thread-safety
+  /// carve-out in the header comment).
   util::Summary& histogram(std::string_view name);
+
+  /// Same contract for fixed-memory bucketed histograms (thread-safe
+  /// recording; the live runtime's flavor).
+  LogHistogram& log_histogram(std::string_view name);
 
   /// Current value of a counter, 0 if it was never registered.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
 
+  /// Raw map views for post-run inspection.  The references bypass the
+  /// registration mutex: only use them while no other thread registers
+  /// new names (after a run joins, in tests).
   [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const noexcept {
     return counters_;
   }
@@ -57,11 +103,20 @@ class MetricsRegistry {
       const noexcept {
     return histograms_;
   }
+  [[nodiscard]] const std::map<std::string, LogHistogram, std::less<>>& log_histograms()
+      const noexcept {
+    return log_histograms_;
+  }
+
+  /// Snapshot of a log histogram, all-zero if it was never registered.
+  [[nodiscard]] HistogramSnapshot log_histogram_snapshot(std::string_view name) const;
 
   /// Serializes the registry as one JSON object:
   ///   {"counters": {name: value, ...},
-  ///    "histograms": {name: {count, mean, min, max, p50, p90, p99}, ...}}
-  /// Keys are emitted in sorted order, so the output is deterministic.
+  ///    "histograms": {name: {count, mean, min, max, p50, p90, p99, p999}, ...}}
+  /// Summary and LogHistogram entries share the "histograms" namespace and
+  /// emit the same fields.  Keys are emitted in sorted order, so the output
+  /// is deterministic.
   void write_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
 
@@ -74,11 +129,15 @@ class MetricsRegistry {
   void reset();
 
  private:
-  // std::map: node-based, so references handed out by counter()/histogram()
-  // survive later registrations.  write_json is const but percentiles sort
-  // lazily, hence the mutable histogram map.
+  // std::map: node-based, so references handed out by the accessors
+  // survive later registrations.  mu_ guards the map *structure* (lookup +
+  // insert + iteration); the values themselves are either atomic (Counter,
+  // LogHistogram) or covered by the Summary carve-out.  write_json is
+  // const but Summary percentiles sort lazily, hence the mutable map.
+  mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
   mutable std::map<std::string, util::Summary, std::less<>> histograms_;
+  std::map<std::string, LogHistogram, std::less<>> log_histograms_;
 };
 
 }  // namespace twostep::obs

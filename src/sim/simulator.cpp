@@ -55,7 +55,7 @@ bool Simulator::step() {
   if (!pop_next(entry)) return false;
   now_ = entry.when;
   ++executed_;
-  if (executed_cell_) ++*executed_cell_;
+  if (executed_cell_) executed_cell_->fetch_add(1, std::memory_order_relaxed);
   entry.action();
   return true;
 }
@@ -82,7 +82,7 @@ std::size_t Simulator::run_until(Tick deadline, std::size_t max_events) {
     pending_ids_.erase(entry.seq);
     now_ = entry.when;
     ++executed_;
-    if (executed_cell_) ++*executed_cell_;
+    if (executed_cell_) executed_cell_->fetch_add(1, std::memory_order_relaxed);
     ++n;
     entry.action();
   }

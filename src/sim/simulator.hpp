@@ -8,6 +8,7 @@
 // E-faulty synchronous runs (Definition 2, item 4).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -68,8 +69,11 @@ class Simulator {
   /// Observability hook: when set, *cell is incremented once per executed
   /// event.  A raw count cell (rather than an obs:: type) keeps the
   /// simulator free of upper-layer dependencies; obs::Counter::cell() hands
-  /// out exactly this pointer and the cluster harness wires it up.
-  void set_executed_cell(std::uint64_t* cell) noexcept { executed_cell_ = cell; }
+  /// out exactly this pointer and the cluster harness wires it up.  The
+  /// cell is atomic only because the counters it aliases are shared with
+  /// cross-thread scrapers; the simulator itself is single-threaded and
+  /// increments relaxed.
+  void set_executed_cell(std::atomic<std::uint64_t>* cell) noexcept { executed_cell_ = cell; }
 
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending() const noexcept { return pending_ids_.size(); }
@@ -113,7 +117,7 @@ class Simulator {
   Tick now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t executed_ = 0;
-  std::uint64_t* executed_cell_ = nullptr;
+  std::atomic<std::uint64_t>* executed_cell_ = nullptr;
   bool stop_requested_ = false;
 };
 

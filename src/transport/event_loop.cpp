@@ -111,6 +111,7 @@ void EventLoop::run_posted() {
     const std::lock_guard<std::mutex> lock(post_mu_);
     batch.swap(posted_);
   }
+  if (probe_.posted_depth) probe_.posted_depth->record(static_cast<std::int64_t>(batch.size()));
   for (Task& task : batch) task();
 }
 
@@ -140,12 +141,26 @@ int EventLoop::next_timeout_ms() {
 void EventLoop::run() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
+  // Timing is only measured when the probe asks for it: the unprobed loop
+  // reads no clocks beyond what dispatch itself needs.
+  const bool timed = probe_.poll_us != nullptr || probe_.work_us != nullptr;
+  std::int64_t work_start_us = timed ? now_us() : 0;
   while (!stop_.load(std::memory_order_relaxed)) {
     run_posted();
     fire_due_timers();
+    if (probe_.timer_depth) probe_.timer_depth->record(static_cast<std::int64_t>(timers_.size()));
     if (stop_.load(std::memory_order_relaxed)) break;
     const int timeout = next_timeout_ms();
+    std::int64_t poll_start_us = 0;
+    if (timed) {
+      poll_start_us = now_us();
+      if (probe_.work_us) probe_.work_us->record(poll_start_us - work_start_us);
+    }
     const int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (timed) {
+      work_start_us = now_us();
+      if (probe_.poll_us) probe_.poll_us->record(work_start_us - poll_start_us);
+    }
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw std::system_error(errno, std::generic_category(), "epoll_wait");

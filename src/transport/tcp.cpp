@@ -108,6 +108,8 @@ void Connection::send_frame(FrameKind kind, std::span<const std::uint8_t> payloa
     fail();
     return;
   }
+  if (stats_ && stats_->outbox_bytes)
+    stats_->outbox_bytes->record(static_cast<std::int64_t>(outbox_.size() - outbox_sent_));
   update_interest();
 }
 
@@ -267,6 +269,8 @@ void PeerLink::enqueue_frame(FrameKind kind, std::vector<std::uint8_t> payload) 
     pending_.pop_front();
     if (stats_) stats_->frames_dropped.fetch_add(1, std::memory_order_relaxed);
   }
+  if (stats_ && stats_->pending_frames)
+    stats_->pending_frames->record(static_cast<std::int64_t>(pending_.size()));
 }
 
 void PeerLink::shutdown() {

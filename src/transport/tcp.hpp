@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "consensus/types.hpp"
+#include "obs/histogram.hpp"
 #include "transport/chaos.hpp"
 #include "transport/event_loop.hpp"
 #include "transport/wire.hpp"
@@ -61,6 +62,13 @@ struct TransportStats {
   std::atomic<std::uint64_t> chaos_dropped{0};     ///< frames eaten by the ChaosInjector
   std::atomic<std::uint64_t> chaos_duplicated{0};  ///< extra copies it sent
   std::atomic<std::uint64_t> chaos_delayed{0};     ///< frames it parked on a timer
+
+  /// Optional occupancy probes (see obs/histogram.hpp; install before the
+  /// loop runs, null = off).  Every queued frame samples the connection's
+  /// unsent write-buffer bytes / the PeerLink's disconnected-queue depth,
+  /// so a scrape can see backpressure building, not just throughput.
+  obs::LogHistogram* outbox_bytes = nullptr;
+  obs::LogHistogram* pending_frames = nullptr;
 };
 
 /// One established socket speaking the framed protocol.  Loop-thread only.

@@ -42,6 +42,9 @@ enum class FrameKind : std::uint8_t {
   kFastPaxos = 4,      ///< codec::encode(fastpaxos::Message)
   kClientRequest = 5,  ///< codec::encode(codec::ClientRequest)
   kClientReply = 6,    ///< codec::encode(codec::ClientReply)
+  kTraced = 7,         ///< codec::encode(codec::TracedFrame): trace-wrapped protocol frame
+  kStatsRequest = 8,   ///< codec::encode(codec::StatsRequest): metrics scrape
+  kStatsReply = 9,     ///< codec::encode(codec::StatsReply)
 };
 
 /// True iff `kind` is one of the FrameKind enumerators.

@@ -244,6 +244,146 @@ TEST(Codec, ClientFrameDecodersRejectTruncationAndGarbage) {
   }
 }
 
+// ---- trace-context propagation and stats scrape frames (PR 6) ----
+
+std::vector<obs::TraceContext> sample_traces() {
+  return {{1, 0, 0},
+          {42, 7, 1'000'000},
+          {(std::uint64_t{1000} << 40) | 3, (std::uint64_t{2} << 40) | 1, 123'456'789},
+          {std::numeric_limits<std::uint64_t>::max(),
+           std::numeric_limits<std::uint64_t>::max(),
+           std::numeric_limits<std::int64_t>::max()}};
+}
+
+std::vector<TracedFrame> sample_traced_frames() {
+  std::vector<TracedFrame> out;
+  for (const auto& trace : sample_traces()) {
+    out.push_back({4, trace, encode(rsm::SlotMsg{3, core::Message{core::TwoBMsg{0, Value{8}}}})});
+    out.push_back({5, trace, encode(ClientRequest{1, 42, 0, trace})});
+    out.push_back({9, trace, {}});  // empty inner payload is legal
+  }
+  return out;
+}
+
+TEST(Codec, TraceContextRoundTrips) {
+  // Both the inactive default and every active sample, back to back in one
+  // buffer (the runtime appends a trace after regular fields).
+  Writer w;
+  put_trace(w, obs::TraceContext{});
+  for (const auto& t : sample_traces()) put_trace(w, t);
+  Reader r{w.bytes()};
+  EXPECT_FALSE(get_trace(r).active());
+  for (const auto& t : sample_traces()) {
+    const obs::TraceContext back = get_trace(r);
+    EXPECT_EQ(back.trace_id, t.trace_id);
+    EXPECT_EQ(back.parent_span, t.parent_span);
+    EXPECT_EQ(back.origin_us, t.origin_us);
+  }
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, UntracedClientRequestPaysOneByte) {
+  // The documented null-overhead guarantee: an inactive context is a
+  // single absent byte; {9, 8, 7} costs exactly three more varint bytes.
+  const ClientRequest untraced{1, 42, 0, {}};
+  ClientRequest traced = untraced;
+  traced.trace = {9, 8, 7};
+  EXPECT_EQ(encode(traced).size(), encode(untraced).size() + 3);
+  const auto back = decode_client_request(encode(traced));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, traced);
+}
+
+TEST(Codec, ClientRequestRejectsBadTraceFlagAndPresentButInactiveTrace) {
+  // Flag byte outside {0, 1}.
+  auto bytes = encode(ClientRequest{1, 42, 0, {}});
+  bytes.back() = 2;
+  EXPECT_FALSE(decode_client_request(bytes).has_value());
+  // Flag says "trace follows" but the context is the inactive default.
+  Writer w;
+  w.put_i64(1);
+  w.put_i64(42);
+  w.put_i64(0);
+  w.put_u8(1);
+  put_trace(w, obs::TraceContext{});
+  EXPECT_FALSE(decode_client_request(std::move(w).take()).has_value());
+}
+
+TEST(Codec, TracedFramesRoundTrip) {
+  for (const auto& m : sample_traced_frames()) {
+    const auto back = decode_traced(encode(m));
+    ASSERT_TRUE(back.has_value()) << "inner_kind=" << int(m.inner_kind);
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, TracedFrameRejectsInactiveContextAndTruncatedHeaders) {
+  // A wrapped frame with no active trace would never be sent — reject it.
+  EXPECT_FALSE(decode_traced(encode(TracedFrame{4, obs::TraceContext{}, {1, 2, 3}})).has_value());
+  // So would inner kind 0 (no such FrameKind).
+  EXPECT_FALSE(decode_traced(encode(TracedFrame{0, {1, 2, 3}, {9}})).has_value());
+  // An empty-inner frame is pure header, so every strict prefix truncates
+  // the kind byte or a trace varint and must fail.
+  for (const auto& trace : sample_traces()) {
+    const auto bytes = encode(TracedFrame{4, trace, {}});
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_traced({bytes.data(), cut}).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, TracedFrameTreatsTheRemainderAsTheInnerPayload) {
+  // decode_traced does not parse the inner payload — the nested decoder
+  // enforces exhaustion — so appended bytes simply extend `inner`.
+  const TracedFrame m{4, {1, 2, 3}, {7, 8}};
+  auto bytes = encode(m);
+  bytes.push_back(0x00);
+  const auto back = decode_traced(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->inner, (std::vector<std::uint8_t>{7, 8, 0x00}));
+}
+
+TEST(Codec, StatsFramesRoundTrip) {
+  for (const std::int64_t id : {std::int64_t{0}, std::int64_t{7},
+                                std::numeric_limits<std::int64_t>::max()}) {
+    const auto req = decode_stats_request(encode(StatsRequest{id}));
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(*req, (StatsRequest{id}));
+  }
+  const std::vector<StatsReply> replies = {
+      {0, ""},
+      {1, "{\"schema\": \"twostep-stats/1\"}"},
+      {7, std::string(4096, 'x') + "\"\\\n"},  // embedded quotes/escapes survive
+  };
+  for (const auto& m : replies) {
+    const auto back = decode_stats_reply(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, StatsDecodersRejectTruncationAndGarbage) {
+  {
+    auto bytes = encode(StatsRequest{12345});
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_stats_request({bytes.data(), cut}).has_value());
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_stats_request(bytes).has_value());
+  }
+  {
+    auto bytes = encode(StatsReply{1, "{\"node\": 0}"});
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_stats_reply({bytes.data(), cut}).has_value()) << "cut=" << cut;
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_stats_reply(bytes).has_value());
+    // A string length pointing past the buffer must fail cleanly.
+    Writer w;
+    w.put_i64(1);
+    w.put_i64(1'000'000);
+    EXPECT_FALSE(decode_stats_reply(std::move(w).take()).has_value());
+  }
+}
+
 TEST(Codec, AllDecodersSurviveTheSameFuzzStream) {
   // Malformed input must yield nullopt for every decoder, never UB; anything
   // accepted must round-trip through its own encoder (run under ASan/UBSan

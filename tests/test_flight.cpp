@@ -1,0 +1,223 @@
+// Tests for the live flight recorder: span-id salting, ring eviction, the
+// JSONL export/parse round trip (including malformed-input rejection), and
+// the multi-process Chrome-trace merge `twostep tracemerge` performs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.hpp"
+
+namespace twostep::obs {
+namespace {
+
+SpanRecord span(std::uint64_t trace, std::uint64_t id, std::uint64_t parent, const char* name,
+                std::int64_t start, std::int64_t dur, std::int64_t detail = 0) {
+  return SpanRecord{trace, id, parent, name, start, dur, detail};
+}
+
+// ---- FlightRecorder ----
+
+TEST(FlightRecorder, SpanIdsCarryTheSaltAndNeverRepeat) {
+  FlightRecorder a("node-0", 1), b("node-1", 2);
+  const std::uint64_t a1 = a.next_span_id();
+  const std::uint64_t a2 = a.next_span_id();
+  const std::uint64_t b1 = b.next_span_id();
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(a1 >> 40, 1u);  // salt in the high bits...
+  EXPECT_EQ(b1 >> 40, 2u);
+  EXPECT_NE(a1 & ((std::uint64_t{1} << 40) - 1), 0u);  // ...counter never zero
+  EXPECT_NE(a1, b1);  // different salts can never mint the same id
+}
+
+TEST(FlightRecorder, RingEvictsOldestBeyondCapacity) {
+  FlightRecorder rec("p", 1, 4);
+  for (std::int64_t i = 0; i < 10; ++i)
+    rec.record(span(1, static_cast<std::uint64_t>(i + 1), 0, "s", i, 1));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // The newest four, still in recording order.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(spans[i].start_us, static_cast<std::int64_t>(6 + i));
+}
+
+TEST(FlightRecorder, ClearEmptiesAndStaysUsable) {
+  FlightRecorder rec("p", 1, 8);
+  rec.record(span(1, 1, 0, "s", 0, 1));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.record(span(1, 2, 0, "s", 5, 1));
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].span_id, 2u);
+}
+
+TEST(FlightRecorder, NowUsIsMonotonic) {
+  const std::int64_t t1 = FlightRecorder::now_us();
+  const std::int64_t t2 = FlightRecorder::now_us();
+  EXPECT_GE(t2, t1);
+  EXPECT_GT(t1, 0);
+}
+
+TEST(FlightRecorderLive, ConcurrentRecordersKeepEveryCount) {
+  // The recorder is shared between a runtime's loop thread and whatever
+  // thread exports it; record() must be safe under TSan from any thread.
+  FlightRecorder rec("p", 1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.record({1, rec.next_span_id(), 0, "s", FlightRecorder::now_us(), 1, 0});
+        (void)rec.size();
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.size() + rec.dropped(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+// ---- JSONL round trip ----
+
+TEST(FlightJsonl, WriteParseRoundTripPreservesEveryField) {
+  FlightRecorder rec("node-3", 9);
+  // High-bit ids: they must survive as decimal strings, not doubles.
+  const std::uint64_t big = (std::uint64_t{0x7FFFFF} << 40) | 12345;
+  rec.record(span(big, big - 1, big - 2, "serve", 1'000'000, 250, 42));
+  rec.record(span(7, 8, 0, "wal.fsync", 2'000'000, 75, -3));
+
+  std::ostringstream os;
+  write_spans_jsonl(rec, os);
+  std::istringstream is(os.str());
+  std::vector<MergedSpan> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_spans_jsonl(is, parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0],
+            (MergedSpan{"node-3", big, big - 1, big - 2, "serve", 1'000'000, 250, 42}));
+  EXPECT_EQ(parsed[1], (MergedSpan{"node-3", 7, 8, 0, "wal.fsync", 2'000'000, 75, -3}));
+}
+
+TEST(FlightJsonl, BlankLinesAndConcatenatedFilesParse) {
+  FlightRecorder a("client", 1), b("node-0", 2);
+  a.record(span(1, 1, 0, "client.call", 0, 100));
+  b.record(span(1, 2, 1, "serve", 10, 50));
+  std::ostringstream os;
+  write_spans_jsonl(a, os);
+  os << "\n   \n";  // blank/whitespace lines between files are skipped
+  write_spans_jsonl(b, os);
+  std::istringstream is(os.str());
+  std::vector<MergedSpan> parsed;
+  ASSERT_TRUE(parse_spans_jsonl(is, parsed, nullptr));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].process, "client");
+  EXPECT_EQ(parsed[1].process, "node-0");
+}
+
+TEST(FlightJsonl, MalformedLinesAreRejectedWithALineNumber) {
+  const std::vector<std::string> bad = {
+      "not json at all",
+      "{\"process\": \"p\"",                          // truncated object
+      "{\"process\": \"p\", \"bogus_key\": 1}",       // unknown key
+      "{\"process\": \"p\", \"trace\": 17}",          // id as a bare number
+      "{\"process\": \"p\", \"start_us\": \"x\"}",    // non-numeric int field
+      "{\"process\": \"p\",, \"trace\": \"1\"}",      // stray comma
+      "{\"process\": \"p\"} trailing",                // trailing garbage
+  };
+  for (const std::string& line : bad) {
+    std::istringstream is(line);
+    std::vector<MergedSpan> parsed;
+    std::string error;
+    EXPECT_FALSE(parse_spans_jsonl(is, parsed, &error)) << line;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  }
+}
+
+TEST(FlightJsonl, ErrorNamesTheOffendingLine) {
+  std::istringstream is(
+      "{\"process\": \"p\", \"trace\": \"1\", \"span\": \"2\", \"parent\": \"0\", "
+      "\"name\": \"s\", \"start_us\": 1, \"dur_us\": 2, \"detail\": 0}\n"
+      "garbage\n");
+  std::vector<MergedSpan> parsed;
+  std::string error;
+  EXPECT_FALSE(parse_spans_jsonl(is, parsed, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+// ---- Chrome-trace merge ----
+
+TEST(FlightChromeMerge, CrossProcessParentEdgesBecomeFlowArrows) {
+  // client.call on "client" parents serve on "node-0", which parents a
+  // wal.fsync on the same node (same-process edge: no arrow) and a 2B on
+  // "node-1" (cross-process: arrow).
+  const std::vector<MergedSpan> spans = {
+      {"client", 5, 100, 0, "client.call", 1'000, 400, 1},
+      {"node-0", 5, 200, 100, "serve", 1'100, 200, 1},
+      {"node-0", 5, 201, 200, "wal.fsync", 1'150, 50, 0},
+      {"node-1", 5, 300, 200, "2B", 1'250, 60, 1},
+  };
+  std::ostringstream os;
+  write_chrome_spans(spans, os);
+  const std::string json = os.str();
+
+  // One pid per process, named.
+  EXPECT_NE(json.find("\"name\": \"client\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"node-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"node-1\""), std::string::npos);
+  // All four spans as complete events, timestamps shifted so t0 = 0.
+  EXPECT_NE(json.find("\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"wal.fsync\""), std::string::npos);
+  // Exactly two flow arrows (client->serve and serve->2B; fsync is local).
+  std::size_t starts = 0, finishes = 0;
+  for (std::size_t at = json.find("\"ph\": \"s\""); at != std::string::npos;
+       at = json.find("\"ph\": \"s\"", at + 1))
+    ++starts;
+  for (std::size_t at = json.find("\"ph\": \"f\""); at != std::string::npos;
+       at = json.find("\"ph\": \"f\"", at + 1))
+    ++finishes;
+  EXPECT_EQ(starts, 2u);
+  EXPECT_EQ(finishes, 2u);
+  // Ids ride along as strings for the span tree.
+  EXPECT_NE(json.find("\"span\": \"200\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": \"100\""), std::string::npos);
+}
+
+TEST(FlightChromeMerge, EmptyInputIsStillAValidDocument) {
+  std::ostringstream os;
+  write_chrome_spans({}, os);
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(FlightChromeMerge, JsonlToChromePipelineMatchesDirectMerge) {
+  // The exact pipeline the CLI runs: record on two recorders, dump JSONL,
+  // parse both files, merge.  The merged output must contain spans from
+  // both processes regardless of file order.
+  FlightRecorder client("client", 100), node("node-0", 1);
+  const std::uint64_t root = client.next_span_id();
+  client.record({77, root, 0, "client.call", 500, 300, 1});
+  node.record({77, node.next_span_id(), root, "serve", 600, 100, 1});
+
+  std::ostringstream f1, f2;
+  write_spans_jsonl(client, f1);
+  write_spans_jsonl(node, f2);
+  std::vector<MergedSpan> merged;
+  std::istringstream i2(f2.str()), i1(f1.str());
+  ASSERT_TRUE(parse_spans_jsonl(i2, merged, nullptr));  // node file first
+  ASSERT_TRUE(parse_spans_jsonl(i1, merged, nullptr));
+  ASSERT_EQ(merged.size(), 2u);
+
+  std::ostringstream os;
+  write_chrome_spans(merged, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("client.call"), std::string::npos);
+  EXPECT_NE(json.find("serve"), std::string::npos);
+  // The cross-process parent edge survived the files round trip.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace twostep::obs

@@ -12,19 +12,32 @@
 // mutex-guarded snapshots) actually holds.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "codec/codec.hpp"
 #include "consensus/types.hpp"
 #include "core/two_step.hpp"
 #include "harness/run_spec.hpp"
 #include "node/client.hpp"
 #include "node/local_cluster.hpp"
 #include "node/runtime.hpp"
+#include "obs/flight.hpp"
 #include "rsm/rsm.hpp"
+#include "transport/wire.hpp"
 
 namespace twostep {
 namespace {
@@ -236,9 +249,9 @@ TEST(LiveConformance, RsmAppliedLogMatchesSimulatorForSameCommandSequence) {
   // identically in both worlds.
   EXPECT_EQ(live_log0, sim_log);
 
-  // Per-request latency was captured.
+  // Per-request latency was captured (in the client's log histogram).
   EXPECT_EQ(client_metrics.counter_value("client.requests"), payloads.size());
-  EXPECT_EQ(client_metrics.histograms().at("client.rtt_us").count(), payloads.size());
+  EXPECT_EQ(client_metrics.log_histogram_snapshot("client.rtt_us").count, payloads.size());
 }
 
 TEST(LiveRuntime, SingleShotClientGetsTheDecidedValue) {
@@ -288,6 +301,147 @@ TEST(LiveRuntime, RejectsRsmPayloadOutsideCommandRange) {
   const auto reply = client.call(std::int64_t{1} << 41);  // outside the 40-bit range
   ASSERT_TRUE(reply.has_value());
   EXPECT_FALSE(reply->ok);
+  cluster.stop();
+}
+
+// ---- PR 6: the flight recorder end to end over real sockets --------------
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() / "twostep-trace-XXXXXX").string();
+    dir_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+TEST(LiveTrace, OneClientCommandYieldsACausallyLinkedTreeAcrossProcesses) {
+  // The tentpole acceptance criterion: a single traced client command on a
+  // storage-backed 3-replica cluster produces spans from >= 3 processes,
+  // every span's parent resolves inside the trace, and a WAL-fsync span is
+  // among them.
+  const consensus::SystemConfig config(3, 1, 1);
+  TempDir tmp;
+  node::ClusterOptions cluster_options;
+  cluster_options.trace = true;
+  cluster_options.storage_dir = tmp.path();
+  cluster_options.fsync = false;  // throwaway data; the span, not the device
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n,
+      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      },
+      cluster_options);
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  obs::FlightRecorder client_flight("client", 1000);
+  node::ClientOptions client_options;
+  client_options.flight = &client_flight;
+  node::ClientSession client(cluster.endpoints()[0], nullptr, client_options);
+  ASSERT_TRUE(client.connect());
+  const auto reply = client.call(7);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+  cluster.stop();  // joins every loop thread: all spans are recorded
+
+  const auto client_spans = client_flight.spans();
+  ASSERT_EQ(client_spans.size(), 1u);
+  const obs::SpanRecord root = client_spans.front();
+  EXPECT_STREQ(root.name, "client.call");
+  EXPECT_EQ(root.parent_span, 0u);
+  ASSERT_NE(root.trace_id, 0u);
+
+  // Pool every span of this trace, tagged with its process.
+  std::vector<std::pair<std::string, obs::SpanRecord>> spans = {{"client", root}};
+  for (int p = 0; p < config.n; ++p) {
+    obs::FlightRecorder* rec = cluster.flight(p);
+    ASSERT_NE(rec, nullptr);
+    for (const obs::SpanRecord& s : rec->spans())
+      if (s.trace_id == root.trace_id) spans.emplace_back("node-" + std::to_string(p), s);
+  }
+
+  std::set<std::string> processes;
+  std::set<std::uint64_t> ids;
+  bool saw_fsync = false, saw_child_of_root = false;
+  for (const auto& [process, s] : spans) {
+    processes.insert(process);
+    ids.insert(s.span_id);
+    if (std::strcmp(s.name, "wal.fsync") == 0) saw_fsync = true;
+    if (s.parent_span == root.span_id) saw_child_of_root = true;
+  }
+  EXPECT_GE(processes.size(), 3u) << "spans from too few processes";
+  EXPECT_TRUE(saw_fsync);
+  EXPECT_TRUE(saw_child_of_root) << "no server span hangs off the client's root";
+  // Causal linkage: every non-root parent resolves to a recorded span.
+  for (const auto& [process, s] : spans) {
+    if (s.parent_span == 0) continue;
+    EXPECT_TRUE(ids.contains(s.parent_span))
+        << process << "/" << s.name << " has a dangling parent";
+  }
+}
+
+TEST(LiveStats, StatsRequestFrameScrapesARunningNode) {
+  // `twostep stats` in miniature: a bare kStatsRequest (no Hello handshake)
+  // against any replica returns its metrics snapshot as JSON.
+  const consensus::SystemConfig config(3, 1, 1);
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n,
+      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  const transport::Endpoint& target = cluster.endpoints()[1];
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(target.port);
+  ASSERT_EQ(::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const auto frame = transport::make_frame(transport::FrameKind::kStatsRequest,
+                                           codec::encode(codec::StatsRequest{42}));
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0), static_cast<ssize_t>(frame.size()));
+
+  transport::FrameParser parser;
+  std::optional<codec::StatsReply> reply;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!reply && std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    std::uint8_t buf[4096];
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(got, 0) << "node closed the connection";
+    ASSERT_TRUE(parser.feed({buf, static_cast<std::size_t>(got)})) << parser.error();
+    while (auto f = parser.next()) {
+      ASSERT_EQ(f->kind, transport::FrameKind::kStatsReply);
+      reply = codec::decode_stats_reply(f->payload);
+      ASSERT_TRUE(reply.has_value()) << "malformed stats reply payload";
+    }
+  }
+  ::close(fd);
+  ASSERT_TRUE(reply.has_value()) << "no stats reply within the deadline";
+  EXPECT_EQ(reply->id, 42);
+  EXPECT_NE(reply->json.find("\"schema\":\"twostep-stats/1\""), std::string::npos)
+      << reply->json;
+  EXPECT_NE(reply->json.find("\"node\":1"), std::string::npos) << reply->json;
+  EXPECT_NE(reply->json.find("\"metrics\""), std::string::npos) << reply->json;
   cluster.stop();
 }
 

@@ -4,9 +4,13 @@
 // end-to-end fast-path run of the paper's protocol with a probe attached.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "consensus/scenario.hpp"
@@ -284,8 +288,8 @@ TEST(MetricsRegistry, CounterReferencesStayStableAcrossRegistrations) {
 
 TEST(MetricsRegistry, CounterCellWritesAreVisible) {
   MetricsRegistry registry;
-  std::uint64_t* cell = registry.counter("raw").cell();
-  *cell += 7;
+  std::atomic<std::uint64_t>* cell = registry.counter("raw").cell();
+  cell->fetch_add(7, std::memory_order_relaxed);
   EXPECT_EQ(registry.counter_value("raw"), 7u);
 }
 
@@ -341,6 +345,190 @@ TEST(MetricsRegistry, MergeAddsCountersAndHistograms) {
   EXPECT_EQ(a.histogram("only_b_lat").count(), 1u);
   a.merge(MetricsRegistry{});  // empty merge is a no-op
   EXPECT_EQ(a.counter_value("shared"), 7u);
+}
+
+// ---- LogHistogram ----
+
+TEST(LogHistogram, EmptyHistogramSnapshotsToZeros) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p999, 0.0);
+}
+
+TEST(LogHistogram, SingleSampleIsExactAtEveryQuantile) {
+  // The quantile walk lands on a bucket midpoint, but the clamp into
+  // [min, max] makes a one-sample histogram exact everywhere.
+  LogHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  EXPECT_DOUBLE_EQ(h.mean(), 12345.0);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_DOUBLE_EQ(h.percentile(q), 12345.0) << "q=" << q;
+}
+
+TEST(LogHistogram, SmallValuesGetExactBuckets) {
+  // Values 0..31 have one bucket each, so quantiles below 32 are exact.
+  LogHistogram h;
+  for (std::int64_t v = 0; v < 32; ++v) h.record(v);
+  for (std::int64_t v = 0; v < 32; ++v) EXPECT_EQ(LogHistogram::bucket_index(v), v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 31.0);
+  // Closest-rank p50 of 0..31 is the 16th sample, value 15.
+  EXPECT_NEAR(h.percentile(0.5), 15.0, 1.0);
+}
+
+TEST(LogHistogram, BucketMathRoundTripsAcrossTheTrackedRange) {
+  // For every probed value: the bucket index is monotone in v, and the
+  // bucket's reported midpoint is within one sub-bucket (1/32 relative
+  // error) of the sample.
+  int prev = -1;
+  for (std::int64_t v = 0; v < LogHistogram::kOverflowValue; v = v * 2 + 1) {
+    const int idx = LogHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    prev = idx;
+    EXPECT_LT(idx, LogHistogram::kBucketCount - 1) << "v=" << v;
+    const double mid = static_cast<double>(LogHistogram::bucket_value(idx));
+    const double tolerance = std::max(1.0, static_cast<double>(v) / 32.0);
+    EXPECT_NEAR(mid, static_cast<double>(v), tolerance) << "v=" << v << " idx=" << idx;
+  }
+}
+
+TEST(LogHistogram, QuantileErrorIsBoundedByBucketResolution) {
+  LogHistogram h;
+  constexpr std::int64_t kN = 100'000;
+  for (std::int64_t v = 1; v <= kN; ++v) h.record(v);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kN));
+  EXPECT_NEAR(h.mean(), static_cast<double>(kN + 1) / 2.0, 0.5);
+  // Uniform 1..N: the q-quantile is q*N, and the log-linear buckets bound
+  // the relative error by 1/32 (~3.2%).
+  for (const double q : {0.5, 0.9, 0.99, 0.999})
+    EXPECT_NEAR(h.percentile(q), q * static_cast<double>(kN),
+                q * static_cast<double>(kN) / 32.0 + 1.0)
+        << "q=" << q;
+}
+
+TEST(LogHistogram, NegativeSamplesClampToZero) {
+  LogHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(LogHistogram, OverflowSamplesSaturateWithoutLosingTheCount) {
+  LogHistogram h;
+  const std::int64_t huge = LogHistogram::kOverflowValue * 4;
+  h.record(10);
+  h.record(huge);
+  EXPECT_EQ(h.count(), 2u);              // the sample is counted...
+  EXPECT_EQ(h.max(), huge);              // ...and min/max stay exact.
+  EXPECT_EQ(LogHistogram::bucket_index(huge), LogHistogram::kBucketCount - 1);
+  // The top quantile reports at least the tracked maximum (the clamp may
+  // raise it to the observed max, never below the overflow marker).
+  EXPECT_GE(h.percentile(1.0), static_cast<double>(LogHistogram::kOverflowValue));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+}
+
+TEST(LogHistogram, MergeMatchesSequentialRecording) {
+  LogHistogram evens, odds, all;
+  for (std::int64_t v = 0; v < 2'000; ++v) {
+    ((v % 2 == 0) ? evens : odds).record(v * 7);
+    all.record(v * 7);
+  }
+  evens.merge(odds);
+  EXPECT_EQ(evens.count(), all.count());
+  EXPECT_DOUBLE_EQ(evens.mean(), all.mean());
+  EXPECT_EQ(evens.min(), all.min());
+  EXPECT_EQ(evens.max(), all.max());
+  for (const double q : {0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(evens.percentile(q), all.percentile(q)) << "q=" << q;
+}
+
+TEST(LogHistogram, ResetForgetsEverySample) {
+  LogHistogram h;
+  h.record(100);
+  h.record(LogHistogram::kOverflowValue * 2);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  h.record(7);  // still usable after reset
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.0);
+}
+
+TEST(LogHistogram, SnapshotAgreesWithAccessors) {
+  LogHistogram h;
+  for (const std::int64_t v : {3, 1000, 250, 42}) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_DOUBLE_EQ(s.mean, h.mean());
+  EXPECT_DOUBLE_EQ(s.min, static_cast<double>(h.min()));
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(h.max()));
+  EXPECT_DOUBLE_EQ(s.p50, h.percentile(0.5));
+  EXPECT_DOUBLE_EQ(s.p999, h.percentile(0.999));
+}
+
+TEST(MetricsRegistry, LogHistogramsShareTheHistogramJsonNamespace) {
+  MetricsRegistry registry;
+  registry.log_histogram("live.lat_us").record(500);
+  registry.histogram("sim.lat").add(2.0);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"live.lat_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sim.lat\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, MergeAddsLogHistograms) {
+  MetricsRegistry a, b;
+  a.log_histogram("lat").record(10);
+  b.log_histogram("lat").record(30);
+  b.log_histogram("only_b").record(5);
+  a.merge(b);
+  EXPECT_EQ(a.log_histogram_snapshot("lat").count, 2u);
+  EXPECT_DOUBLE_EQ(a.log_histogram_snapshot("lat").mean, 20.0);
+  EXPECT_EQ(a.log_histogram_snapshot("only_b").count, 1u);
+  EXPECT_EQ(a.log_histogram_snapshot("never").count, 0u);
+}
+
+TEST(LogHistogramLive, ConcurrentRecordersAndSnapshotsAreRaceFree) {
+  // The live-runtime contract: event-loop threads record while a scraper
+  // snapshots from another thread.  Runs under TSan in CI (the 'Live'
+  // filter) — the assertion here is the absence of data races plus exact
+  // final totals once the writers join.
+  MetricsRegistry registry;
+  LogHistogram& h = registry.log_histogram("live.rtt_us");
+  constexpr int kWriters = 4;
+  constexpr std::int64_t kPerWriter = 20'000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const HistogramSnapshot s = h.snapshot();
+      EXPECT_LE(s.count, static_cast<std::uint64_t>(kWriters * kPerWriter));
+      (void)registry.to_json();  // registration map + JSON under writers
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&h, w] {
+      for (std::int64_t i = 0; i < kPerWriter; ++i) h.record(i + w);
+    });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kWriters * kPerWriter));
 }
 
 // ---- exporters ----

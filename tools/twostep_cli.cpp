@@ -60,6 +60,8 @@
 //   twostep_cli localcluster [-n N] [-e E] [-f F]
 //              [--protocol rsm|task|object|fastpaxos] [--commands K]
 //              [--delta-us D] [--value V] [--metrics-out FILE]
+//              [--trace-dir DIR] [--stats-interval-ms T]
+//              [--storage-dir DIR] [--no-fsync]
 //       Spawn an n-replica live cluster on loopback (real TCP, one event
 //       loop thread per replica — the same node::Runtime a multi-process
 //       deployment uses), drive it with a client workload and check
@@ -70,6 +72,12 @@
 //       agree.  Prints client-observed latency percentiles and the
 //       fast/slow decision split.  Exit status 2 on a safety violation,
 //       1 if commands were lost or the mesh never formed.
+//       --trace-dir DIR  give every replica and the client a flight
+//                      recorder (wire-propagated request tracing) and dump
+//                      one <process>.jsonl span file per process into DIR
+//                      after the run — the inputs `tracemerge` consumes.
+//       --stats-interval-ms T  arm each replica's periodic in-node metrics
+//                      snapshotter (see the `stats` command).
 //
 //   twostep_cli chaossoak [-n N] [-e E] [-f F] [--commands K] [--seed S]
 //              [--kill-period-ms P] [--down-ms D] [--soak-ms T] [--think-us T]
@@ -91,11 +99,15 @@
 //       so duplicate commands in the log are tolerated; divergence is not.
 //       Prints throughput, failover/timeout counts and the recover.*
 //       counters proving restarted replicas rejoined from their WAL.
+//       --metrics-out additionally captures the recovery-cycle and
+//       failover-latency histograms (recover.cycle_us,
+//       recover.downtime_us, client.failover_rtt_us).
 //       Exit status 2 on any invariant violation, 1 on lost/rejected
 //       commands or a mesh failure.
 //
 //   twostep_cli serve --id I --peers H:P,H:P,... [--protocol ...]
 //              [--e E] [--f F] [--delta-us D] [--metrics-out FILE]
+//              [--stats-interval-ms T]
 //       Host replica I of a real multi-process cluster.  --peers lists
 //       every replica's listen endpoint in id order (entry I is ours).
 //       Runs until SIGINT/SIGTERM, then shuts down cleanly and optionally
@@ -103,8 +115,29 @@
 //
 //   twostep_cli client --connect H:P [--commands K] [--value V]
 //       Closed-loop client against a running replica: K sequential
-//       commands, RTT percentiles on exit.  Non-zero if any command was
-//       rejected or lost.
+//       commands, RTT percentiles on exit plus one machine-readable
+//       "workload: {...}" JSON line (counters + rtt quantiles).  Non-zero
+//       if any command was rejected or lost.
+//
+//   twostep_cli tracemerge <spans.jsonl>... [--out merged.json]
+//       Merge per-process flight-recorder span dumps (the files a
+//       localcluster --trace-dir run writes) into one Chrome-trace JSON
+//       for chrome://tracing or ui.perfetto.dev, with flow arrows across
+//       process boundaries.  Exit 1 on any malformed input line.
+//
+//   twostep_cli stats <host:port> [--timeout-ms T]
+//       Scrape a running replica: one kStatsRequest frame, print the
+//       node's twostep-stats/1 JSON snapshot (uptime counters, transport
+//       traffic, every metric histogram) to stdout.  Works against any
+//       live node — serve, localcluster or a bench cluster — with no
+//       handshake.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -121,6 +154,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "codec/codec.hpp"
 #include "core/messages.hpp"
 #include "core/two_step.hpp"
 #include "exec/thread_pool.hpp"
@@ -133,6 +167,7 @@
 #include "node/local_cluster.hpp"
 #include "node/runtime.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rsm/rsm.hpp"
@@ -150,12 +185,17 @@ using consensus::Value;
 
 /// Minimal flag parser: `--key value` / `-key value` pairs plus bare flags
 /// (single- and double-dash spellings are equivalent: `-n 5` == `--n 5`).
+/// Tokens that neither start with '-' nor follow a flag are positional
+/// operands, in order (`tracemerge a.jsonl b.jsonl --out m.json`).
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.empty() || key[0] != '-') continue;
+      if (key.empty() || key[0] != '-') {
+        positional_.push_back(std::move(key));
+        continue;
+      }
       key = key.substr(key.rfind("--", 0) == 0 ? 2 : 1);
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         values_[key] = argv[++i];
@@ -174,9 +214,13 @@ class Args {
     return it == values_.end() ? fallback : std::stol(it->second);
   }
   [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
 };
 
 std::vector<int> parse_int_list(const std::string& s) {
@@ -657,7 +701,7 @@ void add_live_rows(util::Table& t, obs::MetricsRegistry& merged) {
   t.add_row({"fast decisions", std::to_string(merged.counter_value("decisions.fast"))});
   t.add_row({"slow decisions", std::to_string(merged.counter_value("decisions.slow"))});
   t.add_row({"learned decisions", std::to_string(merged.counter_value("decisions.learned"))});
-  auto& rtt = merged.histogram("client.rtt_us");
+  auto& rtt = merged.log_histogram("client.rtt_us");
   if (rtt.count() > 0) {
     t.add_row({"client rtt p50", format_us(rtt.percentile(0.5))});
     t.add_row({"client rtt p95", format_us(rtt.percentile(0.95))});
@@ -675,24 +719,83 @@ bool write_metrics_if_requested(const Args& args, obs::MetricsRegistry& metrics)
   return true;
 }
 
+/// Span-id salt for the localcluster driver's client recorder — far above
+/// any replica salt (replica i uses i + 1), so ids never collide.
+constexpr std::uint64_t kClientTraceSalt = 1000;
+
+/// Dumps each recorder as `<dir>/<process>.jsonl` (one span per line; the
+/// inputs `twostep tracemerge` consumes).  Creates `dir` if needed.
+bool write_trace_dir(const std::string& dir,
+                     const std::vector<const obs::FlightRecorder*>& recorders) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "trace-dir: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  for (const obs::FlightRecorder* rec : recorders) {
+    if (!rec) continue;
+    const std::string path = dir + "/" + rec->process() + ".jsonl";
+    if (!write_file(path, [&](std::ostream& os) { obs::write_spans_jsonl(*rec, os); }))
+      return false;
+    std::printf("trace spans (%zu) written to %s\n", rec->size(), path.c_str());
+  }
+  return true;
+}
+
+/// The localcluster knobs shared by the rsm and single-shot paths:
+/// --trace-dir enables per-process flight recorders (dumped via
+/// write_trace_dir after the run), --stats-interval-ms arms the periodic
+/// in-node metrics snapshotter, and --storage-dir gives every replica a
+/// WAL (so traced runs include wal.fsync spans).
+node::ClusterOptions local_cluster_options(const Args& args) {
+  node::ClusterOptions options;
+  options.trace = args.has("trace-dir");
+  options.stats_interval_ms = static_cast<int>(args.get_int("stats-interval-ms", 0));
+  options.storage_dir = args.get("storage-dir");
+  options.fsync = !args.has("no-fsync");
+  return options;
+}
+
+/// Collects every live recorder (replicas, then the client's) and writes
+/// the trace directory when --trace-dir was given.  False only on I/O
+/// failure — tracing off is a silent no-op.
+template <typename P>
+bool dump_traces_if_requested(const Args& args, node::LocalCluster<P>& cluster,
+                              const obs::FlightRecorder* client_flight) {
+  if (!args.has("trace-dir")) return true;
+  std::vector<const obs::FlightRecorder*> recorders;
+  for (int i = 0; i < cluster.size(); ++i) recorders.push_back(cluster.flight(i));
+  recorders.push_back(client_flight);
+  return write_trace_dir(args.get("trace-dir"), recorders);
+}
+
 /// RSM workload: one closed-loop client against replica 0 (its proxy).
 /// Safety = every replica's applied log is prefix-consistent.
 int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Args& args) {
   node::LocalCluster<rsm::RsmProcess> cluster(
-      config.n, [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
-                    consensus::ProcessId) {
+      config.n,
+      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
+          consensus::ProcessId) {
         rsm::Options options;
         options.delta = delta;
         options.leader_of = [] { return ProcessId{0}; };
         options.probe.metrics = &reg;
         return std::make_unique<rsm::RsmProcess>(env, config, options);
-      });
+      },
+      local_cluster_options(args));
   if (!cluster.wait_for_mesh()) {
     std::fprintf(stderr, "localcluster: mesh did not form\n");
     return 1;
   }
+  std::unique_ptr<obs::FlightRecorder> client_flight;
+  if (args.has("trace-dir"))
+    client_flight = std::make_unique<obs::FlightRecorder>("client", kClientTraceSalt);
   obs::MetricsRegistry client_metrics;
-  node::ClientSession client(cluster.endpoints()[0], &client_metrics);
+  node::ClientOptions client_options;
+  client_options.flight = client_flight.get();
+  node::ClientSession client(cluster.endpoints()[0], &client_metrics, client_options);
   if (!client.connect()) {
     std::fprintf(stderr, "localcluster: client could not connect\n");
     return 1;
@@ -737,8 +840,10 @@ int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Arg
   t.add_row({"applied everywhere", std::to_string(applied_min) + "/" + std::to_string(target)});
   add_live_rows(t, merged);
   std::printf("%s", t.to_string().c_str());
+  std::printf("workload: %s\n", result.to_json().c_str());
   std::printf("safety: %s\n", safe ? "ok (applied logs prefix-consistent)" : "VIOLATED");
   if (!write_metrics_if_requested(args, merged)) return 1;
+  if (!dump_traces_if_requested(args, cluster, client_flight.get())) return 1;
   if (!safe) return 2;
   return (result.lost == 0 && result.rejected == 0 && applied_min == target) ? 0 : 1;
 }
@@ -749,18 +854,23 @@ int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Arg
 template <typename P, typename MakeProc>
 int run_local_singleshot(const std::string& protocol, SystemConfig config, MakeProc make,
                          const Args& args) {
-  node::LocalCluster<P> cluster(config.n, std::move(make));
+  node::LocalCluster<P> cluster(config.n, std::move(make), local_cluster_options(args));
   if (!cluster.wait_for_mesh()) {
     std::fprintf(stderr, "localcluster: mesh did not form\n");
     return 1;
   }
+  std::unique_ptr<obs::FlightRecorder> client_flight;
+  if (args.has("trace-dir"))
+    client_flight = std::make_unique<obs::FlightRecorder>("client", kClientTraceSalt);
   const std::int64_t value = args.get_int("value", 42);
   obs::MetricsRegistry client_metrics;
+  node::ClientOptions client_options;
+  client_options.flight = client_flight.get();
   long ok = 0, rejected = 0, lost = 0;
   std::vector<std::int64_t> observed;
   for (int p = 0; p < config.n; ++p) {
     node::ClientSession client(cluster.endpoints()[static_cast<std::size_t>(p)],
-                               &client_metrics);
+                               &client_metrics, client_options);
     if (!client.connect()) {
       ++lost;
       continue;
@@ -795,6 +905,7 @@ int run_local_singleshot(const std::string& protocol, SystemConfig config, MakeP
   std::printf("%s", t.to_string().c_str());
   std::printf("safety: %s\n", safe ? "ok (agreement + validity)" : "VIOLATED");
   if (!write_metrics_if_requested(args, merged)) return 1;
+  if (!dump_traces_if_requested(args, cluster, client_flight.get())) return 1;
   if (!safe) return 2;
   return (lost == 0 && rejected == 0) ? 0 : 1;
 }
@@ -914,10 +1025,18 @@ int cmd_chaossoak(const Args& args) {
   // Crash driver: replays the schedule (kill → down window → restart)
   // until the workload finishes.  Rounds never overlap, so at most
   // round.replicas.size() <= f replicas are down at any instant.
+  // Per-restart latencies land in the driver's registry: recover.cycle_us
+  // times the restart call itself (WAL replay + rebind + loop start) and
+  // recover.downtime_us the whole kill→back-up window.
   std::atomic<bool> done{false};
   std::int64_t kills = 0;
   std::size_t rounds_run = 0;
+  obs::MetricsRegistry driver_metrics;
+  auto& recover_cycle_us = driver_metrics.log_histogram("recover.cycle_us");
+  auto& recover_downtime_us = driver_metrics.log_histogram("recover.downtime_us");
   std::thread driver([&] {
+    using std::chrono::duration_cast;
+    using std::chrono::microseconds;
     const auto t0 = std::chrono::steady_clock::now();
     const auto sleep_until = [&](std::chrono::steady_clock::time_point when) {
       while (!done.load(std::memory_order_relaxed) &&
@@ -927,13 +1046,20 @@ int cmd_chaossoak(const Args& args) {
     };
     for (const node::CrashRound& round : schedule.rounds) {
       if (!sleep_until(t0 + std::chrono::milliseconds(round.at_ms))) break;
+      const auto killed_at = std::chrono::steady_clock::now();
       for (const int r : round.replicas) cluster.kill(r);
       kills += static_cast<std::int64_t>(round.replicas.size());
       ++rounds_run;
       // Always restart what we killed, even when the workload finished
       // mid-window — the invariant sweep needs every replica back up.
       sleep_until(t0 + std::chrono::milliseconds(round.at_ms + round.down_ms));
-      for (const int r : round.replicas) cluster.restart(r);
+      for (const int r : round.replicas) {
+        const auto restart_at = std::chrono::steady_clock::now();
+        cluster.restart(r);
+        const auto up_at = std::chrono::steady_clock::now();
+        recover_cycle_us.record(duration_cast<microseconds>(up_at - restart_at).count());
+        recover_downtime_us.record(duration_cast<microseconds>(up_at - killed_at).count());
+      }
     }
   });
 
@@ -1020,6 +1146,7 @@ int cmd_chaossoak(const Args& args) {
 
   obs::MetricsRegistry merged = cluster.merged_metrics();
   merged.merge(client_metrics);
+  merged.merge(driver_metrics);
   util::Table t({"metric", "value"});
   t.set_title("chaossoak rsm: n=" + std::to_string(n) + " e=" + std::to_string(e) + " f=" +
               std::to_string(f) + ", loopback TCP + WAL + crash schedule");
@@ -1045,10 +1172,19 @@ int cmd_chaossoak(const Args& args) {
   t.add_row(
       {"chaos duplicated", std::to_string(merged.counter_value("transport.chaos_duplicated"))});
   t.add_row({"chaos delayed", std::to_string(merged.counter_value("transport.chaos_delayed"))});
-  auto& rtt = merged.histogram("client.rtt_us");
+  auto& rtt = merged.log_histogram("client.rtt_us");
   if (rtt.count() > 0) {
     t.add_row({"client rtt p50", format_us(rtt.percentile(0.5))});
     t.add_row({"client rtt p95", format_us(rtt.percentile(0.95))});
+  }
+  auto& failover_rtt = merged.log_histogram("client.failover_rtt_us");
+  if (failover_rtt.count() > 0) {
+    t.add_row({"failover rtt p50", format_us(failover_rtt.percentile(0.5))});
+    t.add_row({"failover rtt p99", format_us(failover_rtt.percentile(0.99))});
+  }
+  if (recover_cycle_us.count() > 0) {
+    t.add_row({"recover cycle p50", format_us(recover_cycle_us.percentile(0.5))});
+    t.add_row({"recover cycle p99", format_us(recover_cycle_us.percentile(0.99))});
   }
   std::printf("%s", t.to_string().c_str());
   for (const std::string& v : violations) std::printf("VIOLATION: %s\n", v.c_str());
@@ -1066,8 +1202,11 @@ int cmd_chaossoak(const Args& args) {
 template <typename P, typename MakeProc>
 int serve_until_signal(ProcessId id, const std::vector<transport::Endpoint>& peers,
                        MakeProc make, const Args& args) {
+  node::RuntimeOptions rt_options;
+  rt_options.stats_interval_ms = static_cast<int>(args.get_int("stats-interval-ms", 0));
   node::Runtime<P> runtime(id, static_cast<int>(peers.size()),
-                           peers[static_cast<std::size_t>(id)], std::move(make));
+                           peers[static_cast<std::size_t>(id)], std::move(make),
+                           std::move(rt_options));
   runtime.start(peers);
   std::printf("replica %d serving on %s, %zu-replica cluster (SIGINT to stop)\n", id,
               runtime.endpoint().to_string().c_str(), peers.size());
@@ -1158,7 +1297,9 @@ int cmd_client(const Args& args) {
   t.add_row({"commands ok", std::to_string(result.ok)});
   t.add_row({"commands rejected", std::to_string(result.rejected)});
   t.add_row({"commands lost", std::to_string(result.lost)});
-  auto& rtt = metrics.histogram("client.rtt_us");
+  t.add_row({"timeouts", std::to_string(result.timeouts)});
+  t.add_row({"failovers", std::to_string(result.failovers)});
+  auto& rtt = metrics.log_histogram("client.rtt_us");
   if (rtt.count() > 0) {
     t.add_row({"rtt mean", format_us(rtt.mean())});
     t.add_row({"rtt p50", format_us(rtt.percentile(0.5))});
@@ -1166,13 +1307,126 @@ int cmd_client(const Args& args) {
     t.add_row({"rtt p99", format_us(rtt.percentile(0.99))});
   }
   std::printf("%s", t.to_string().c_str());
+  std::printf("workload: %s\n", result.to_json().c_str());
   return (result.lost == 0 && result.rejected == 0) ? 0 : 1;
+}
+
+/// Merges per-process flight-recorder JSONL dumps into one Chrome-trace
+/// JSON (chrome://tracing / ui.perfetto.dev).  The span ids carry each
+/// process's salt, so concatenating files from any number of processes is
+/// safe; cross-process parent links become flow arrows.
+int cmd_tracemerge(const Args& args) {
+  const std::vector<std::string>& inputs = args.positional();
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "tracemerge: usage: twostep_cli tracemerge <spans.jsonl>... "
+                 "[--out merged.json]\n");
+    return 1;
+  }
+  std::vector<obs::MergedSpan> spans;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "tracemerge: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string error;
+    if (!obs::parse_spans_jsonl(in, spans, &error)) {
+      std::fprintf(stderr, "tracemerge: %s: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+  }
+  const std::string out_path = args.get("out", "trace_merged.json");
+  if (!write_file(out_path, [&](std::ostream& os) { obs::write_chrome_spans(spans, os); }))
+    return 1;
+  std::printf("tracemerge: %zu spans from %zu file(s) -> %s\n", spans.size(), inputs.size(),
+              out_path.c_str());
+  return 0;
+}
+
+/// Scrapes a running replica: dials the endpoint, sends one kStatsRequest
+/// frame and prints the node's JSON snapshot (schema twostep-stats/1).
+/// The request needs no Hello handshake — any process may ask.
+int cmd_stats(const Args& args) {
+  const std::string target =
+      args.positional().empty() ? args.get("connect") : args.positional().front();
+  const auto ep = parse_endpoint(target);
+  if (!ep) {
+    std::fprintf(stderr, "stats: usage: twostep_cli stats <host:port> [--timeout-ms T]\n");
+    return 1;
+  }
+  const long timeout_ms = args.get_int("timeout-ms", 5'000);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep->port);
+  if (::inet_pton(AF_INET, ep->host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "stats: bad address %s\n", ep->host.c_str());
+    return 1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "stats: could not connect to %s\n", ep->to_string().c_str());
+    if (fd >= 0) ::close(fd);
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const std::vector<std::uint8_t> frame = transport::make_frame(
+      transport::FrameKind::kStatsRequest, codec::encode(codec::StatsRequest{1}));
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) {
+      std::fprintf(stderr, "stats: send failed\n");
+      ::close(fd);
+      return 1;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+
+  transport::FrameParser parser;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::uint8_t buf[65536];
+  for (;;) {
+    while (auto f = parser.next()) {
+      if (f->kind != transport::FrameKind::kStatsReply) continue;
+      const auto reply = codec::decode_stats_reply(f->payload);
+      ::close(fd);
+      if (!reply) {
+        std::fprintf(stderr, "stats: malformed reply\n");
+        return 1;
+      }
+      std::printf("%s\n", reply->json.c_str());
+      return 0;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    if (parser.failed() || remaining <= 0) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (!parser.feed({buf, static_cast<std::size_t>(n)})) break;
+  }
+  ::close(fd);
+  std::fprintf(stderr, "stats: no reply from %s within %ld ms\n", ep->to_string().c_str(),
+               timeout_ms);
+  return 1;
 }
 
 void usage() {
   std::fprintf(stderr,
                "usage: twostep_cli "
-               "<bounds|run|attack|fuzz|chaos|sweep|localcluster|chaossoak|serve|client>"
+               "<bounds|run|attack|fuzz|chaos|sweep|localcluster|chaossoak|serve|client"
+               "|tracemerge|stats>"
                " [flags]\n"
                "see the header of tools/twostep_cli.cpp for the full flag list\n");
 }
@@ -1196,6 +1450,8 @@ int main(int argc, char** argv) {
   if (cmd == "chaossoak") return cmd_chaossoak(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "client") return cmd_client(args);
+  if (cmd == "tracemerge") return cmd_tracemerge(args);
+  if (cmd == "stats") return cmd_stats(args);
   usage();
   return 1;
 }
