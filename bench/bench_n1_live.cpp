@@ -96,7 +96,7 @@ LiveResult live_rsm(int n) {
   const SystemConfig config{n, kF, kE};
   LiveResult out;
   node::LocalCluster<rsm::RsmProcess> cluster(
-      n, [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, ProcessId) {
+      n, [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, ProcessId) {
         rsm::Options options;
         options.delta = kLiveDeltaUs;
         options.leader_of = [] { return ProcessId{0}; };

@@ -99,7 +99,7 @@ Row run_config(const Config& config) {
   cluster_options.chaos = config.chaos;
   node::LocalCluster<rsm::RsmProcess> cluster(
       kN,
-      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, ProcessId) {
+      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, ProcessId) {
         rsm::Options options;
         options.delta = kLiveDeltaUs;
         options.leader_of = [] { return ProcessId{0}; };
@@ -283,7 +283,7 @@ void BM_LiveKillRecoverCycle(benchmark::State& state) {
     options.fsync = false;
     node::LocalCluster<rsm::RsmProcess> cluster(
         kN,
-        [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, ProcessId) {
+        [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, ProcessId) {
           rsm::Options rsm_options;
           rsm_options.delta = kLiveDeltaUs;
           rsm_options.leader_of = [] { return ProcessId{0}; };

@@ -1,0 +1,244 @@
+// N3 — Saturating the live RSM: the throughput/latency curve of an n=3
+// loopback cluster under open-loop load, with the full hot-path stack on:
+//
+//   - command batching: many client commands share one consensus slot
+//     (leader-side size/time knob; the slot carries a batch handle, the
+//     contents ride a sidecar frame),
+//   - slot pipelining: the proxy proposes a configurable window of slots
+//     ahead of the decisions,
+//   - group-commit WAL: one fdatasync barrier amortized over every
+//     protocol entry in the window, persist-before-send preserved per
+//     barrier,
+//   - vectored transport writes: every frame queued in one event-loop
+//     round leaves in a single sendmsg flush.
+//
+// The first row is the closed-loop single-client baseline — the shape N1
+// measures, whose throughput is 1/RTT by construction (~800 cmds/s at
+// fsync'd n=3).  The sweep then offers fixed arrival rates through
+// node::OpenLoopLoadgen and reports offered vs achieved cmds/s plus the
+// RTT distribution per point.  The *knee* is the highest offered rate the
+// cluster still serves at >= 90% — the capacity claim under test is that
+// batching + pipelining + group commit buy >= 50x the closed-loop
+// baseline before the knee.
+//
+// Artifact: BENCH_n3_saturation.json (schema twostep-bench/1), one row per
+// curve point plus the baseline and a summary row (kind = "baseline" /
+// "point" / "summary"), validated by scripts/check_obs_artifacts.py.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "node/client.hpp"
+#include "node/loadgen.hpp"
+#include "node/local_cluster.hpp"
+#include "rsm/rsm.hpp"
+
+namespace {
+
+using namespace twostep;
+using consensus::ProcessId;
+using consensus::SystemConfig;
+
+constexpr int kN = 3, kE = 1, kF = 1;
+constexpr sim::Tick kLiveDeltaUs = 100'000;
+constexpr std::int64_t kBaselineCommands = 300;
+
+// Saturation stack knobs (the sweep's cluster configuration).
+constexpr int kBatchMax = 64;
+constexpr sim::Tick kBatchLingerUs = 200;
+constexpr int kPipelineWindow = 64;
+constexpr int kGroupCommitUs = 200;
+
+// Offered rates swept (cmds/s).  The top rates are far past any plausible
+// knee so the curve visibly bends.
+constexpr std::int64_t kRates[] = {2'000, 8'000, 16'000, 32'000, 48'000, 64'000, 96'000};
+constexpr std::int64_t kPointDurationMs = 2'500;
+constexpr std::int64_t kPointDrainMs = 2'000;
+constexpr int kSessions = 512;
+constexpr int kConnections = 8;
+
+struct Point {
+  std::int64_t offered_target = 0;  ///< 0 = closed-loop baseline
+  node::LoadResult result;          ///< loadgen points
+  double closed_loop_rate = 0;      ///< baseline only
+  obs::HistogramSnapshot rtt;
+  double batch_fill_mean = 0;
+  std::uint64_t wal_syncs = 0;
+  std::uint64_t wal_barriers = 0;
+  bool ok = false;
+};
+
+node::LocalCluster<rsm::RsmProcess>::Factory make_factory(const SystemConfig& config,
+                                                          bool saturation_stack) {
+  return [config, saturation_stack](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg,
+                                    ProcessId) {
+    rsm::Options options;
+    options.delta = kLiveDeltaUs;
+    options.leader_of = [] { return ProcessId{0}; };
+    options.probe.metrics = &reg;
+    if (saturation_stack) {
+      options.batch_max = kBatchMax;
+      options.batch_linger = kBatchLingerUs;
+      options.pipeline_window = kPipelineWindow;
+      options.batch_fill = &reg.log_histogram("rsm.batch_fill");
+    }
+    return std::make_unique<rsm::RsmProcess>(env, config, options);
+  };
+}
+
+std::string fresh_storage_dir(const char* tag) {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / (std::string("twostep-n3-") + tag + "-XXXXXX"))
+          .string();
+  if (!::mkdtemp(tmpl.data())) return {};
+  return tmpl;
+}
+
+void fold_cluster_metrics(Point& out, obs::MetricsRegistry& merged) {
+  auto& fill = merged.log_histogram("rsm.batch_fill");
+  if (fill.count() > 0) out.batch_fill_mean = fill.mean();
+  out.wal_syncs = merged.counter_value("wal.syncs");
+  out.wal_barriers = merged.counter_value("wal.barriers");
+}
+
+/// Closed-loop single-client baseline: the N1 shape, fsync'd storage, no
+/// batching/pipelining/group commit.  Throughput here is 1/RTT.
+Point run_baseline() {
+  Point out;
+  const SystemConfig config{kN, kF, kE};
+  const std::string dir = fresh_storage_dir("base");
+  if (dir.empty()) return out;
+  node::ClusterOptions cluster_options;
+  cluster_options.storage_dir = dir;
+  cluster_options.fsync = true;
+  node::LocalCluster<rsm::RsmProcess> cluster(kN, make_factory(config, false),
+                                              cluster_options);
+  if (cluster.wait_for_mesh()) {
+    obs::MetricsRegistry client_metrics;
+    node::ClientSession client(cluster.endpoints()[0], &client_metrics);
+    if (client.connect()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto result = client.run_closed_loop(kBaselineCommands);
+      const double elapsed_us = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      out.ok = result.ok == kBaselineCommands;
+      out.closed_loop_rate = elapsed_us > 0 ? result.ok * 1e6 / elapsed_us : 0;
+      out.rtt = result.rtt;
+    }
+  }
+  cluster.stop();
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  fold_cluster_metrics(out, merged);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return out;
+}
+
+/// One saturation-curve point: fresh cluster with the full stack on, one
+/// open-loop window at `rate` cmds/s.
+Point run_point(std::int64_t rate) {
+  Point out;
+  out.offered_target = rate;
+  const SystemConfig config{kN, kF, kE};
+  const std::string dir = fresh_storage_dir("sat");
+  if (dir.empty()) return out;
+  node::ClusterOptions cluster_options;
+  cluster_options.storage_dir = dir;
+  cluster_options.fsync = true;
+  cluster_options.group_commit_us = kGroupCommitUs;
+  node::LocalCluster<rsm::RsmProcess> cluster(kN, make_factory(config, true), cluster_options);
+  if (cluster.wait_for_mesh()) {
+    node::LoadgenOptions gen_options;
+    gen_options.rate = rate;
+    gen_options.sessions = kSessions;
+    gen_options.connections = kConnections;
+    gen_options.duration_ms = kPointDurationMs;
+    gen_options.drain_ms = kPointDrainMs;
+    gen_options.poisson = true;
+    gen_options.seed = static_cast<std::uint64_t>(rate);
+    node::OpenLoopLoadgen gen(cluster.endpoints(), gen_options);
+    out.result = gen.run();
+    out.rtt = out.result.rtt;
+    out.ok = out.result.rejected == 0;
+  }
+  cluster.stop();
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  fold_cluster_metrics(out, merged);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return out;
+}
+
+void print_tables() {
+  std::printf("N3: open-loop saturation of the live n=%d RSM (batch-max=%d, linger=%lld us, "
+              "pipeline-window=%d, group-commit=%d us, fsync on)\n",
+              kN, kBatchMax, static_cast<long long>(kBatchLingerUs), kPipelineWindow,
+              kGroupCommitUs);
+
+  const Point baseline = run_baseline();
+  bench::BenchArtifact artifact("n3_saturation");
+  artifact.add_row()
+      .str("kind", "baseline")
+      .num("closed_loop_rate", baseline.closed_loop_rate)
+      .flag("ok", baseline.ok)
+      .hist("rtt_us", baseline.rtt);
+
+  util::Table t({"offered cmds/s", "achieved cmds/s", "ok", "lost", "rtt p50", "rtt p99",
+                 "batch fill", "wal syncs"});
+  t.set_title("N3 saturation curve (closed-loop baseline: " +
+              std::to_string(static_cast<long>(baseline.closed_loop_rate)) + " cmds/s)");
+
+  double knee_achieved = 0;
+  std::int64_t knee_offered = 0;
+  for (const std::int64_t rate : kRates) {
+    const Point p = run_point(rate);
+    const double offered = p.result.offered_rate();
+    const double achieved = p.result.achieved_rate();
+    if (offered > 0 && achieved >= 0.9 * offered && achieved > knee_achieved) {
+      knee_achieved = achieved;
+      knee_offered = rate;
+    }
+    char fill[32];
+    std::snprintf(fill, sizeof(fill), "%.1f", p.batch_fill_mean);
+    t.add_row({std::to_string(rate), std::to_string(static_cast<long>(achieved)),
+               std::to_string(p.result.ok), std::to_string(p.result.lost),
+               std::to_string(static_cast<long>(p.rtt.p50)) + " us",
+               std::to_string(static_cast<long>(p.rtt.p99)) + " us", fill,
+               std::to_string(p.wal_syncs)});
+    artifact.add_row()
+        .str("kind", "point")
+        .num("offered_target", rate)
+        .num("offered_rate", offered)
+        .num("achieved_rate", achieved)
+        .num("ok", p.result.ok)
+        .num("lost", p.result.lost)
+        .num("rejected", p.result.rejected)
+        .num("batch_fill_mean", p.batch_fill_mean)
+        .num("wal_syncs", static_cast<std::int64_t>(p.wal_syncs))
+        .num("wal_barriers", static_cast<std::int64_t>(p.wal_barriers))
+        .flag("ok_point", p.ok)
+        .hist("rtt_us", p.rtt);
+  }
+  bench::emit(t);
+
+  const double speedup =
+      baseline.closed_loop_rate > 0 ? knee_achieved / baseline.closed_loop_rate : 0;
+  std::printf("knee: %lld cmds/s offered, %.0f achieved — %.1fx the closed-loop baseline\n",
+              static_cast<long long>(knee_offered), knee_achieved, speedup);
+  artifact.add_row()
+      .str("kind", "summary")
+      .num("knee_offered", knee_offered)
+      .num("knee_achieved", knee_achieved)
+      .num("baseline_rate", baseline.closed_loop_rate)
+      .num("speedup", speedup);
+  artifact.write();
+}
+
+}  // namespace
+
+TWOSTEP_BENCH_MAIN(print_tables)

@@ -17,6 +17,16 @@ malformed artifact:
       schema documented in EXPERIMENTS.md: schema tag, bench name,
       non-empty `rows` of flat objects, and (optionally) required row
       fields such as rtt_p50_us / rtt_p99_us.
+
+  check_obs_artifacts.py n3 FILE.json [--min-speedup X]
+      Validates BENCH_n3_saturation.json (the N3 saturation curve):
+      twostep-bench/1 framing plus the curve's own shape — exactly one
+      `baseline` row with a positive closed-loop rate, at least three
+      `point` rows each carrying offered/achieved rates and an RTT
+      histogram, and one `summary` row whose knee and speedup fields are
+      consistent with the points.  With --min-speedup, additionally
+      require summary.speedup >= X (the >= 50x acceptance gate; leave it
+      off on shared CI runners, whose fsync behavior varies wildly).
 """
 
 import argparse
@@ -115,6 +125,71 @@ def check_bench(path: str, required: list) -> None:
     print(f"{path}: OK — bench {doc['bench']!r}, {len(rows)} rows")
 
 
+def _numeric(path, row, i, field):
+    v = row.get(field)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(f"{path}: row {i} field {field!r} must be numeric, got {v!r}")
+    return v
+
+
+def check_n3(path: str, min_speedup: float) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict) or doc.get("schema") != "twostep-bench/1":
+        fail(f"{path}: schema is {doc.get('schema') if isinstance(doc, dict) else doc!r}, "
+             "expected 'twostep-bench/1'")
+    if doc.get("bench") != "n3_saturation":
+        fail(f"{path}: bench is {doc.get('bench')!r}, expected 'n3_saturation'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: missing or empty rows")
+
+    baselines = [r for r in rows if isinstance(r, dict) and r.get("kind") == "baseline"]
+    points = [r for r in rows if isinstance(r, dict) and r.get("kind") == "point"]
+    summaries = [r for r in rows if isinstance(r, dict) and r.get("kind") == "summary"]
+    if len(baselines) != 1:
+        fail(f"{path}: expected exactly one baseline row, found {len(baselines)}")
+    if len(points) < 3:
+        fail(f"{path}: expected >= 3 curve points, found {len(points)}")
+    if len(summaries) != 1:
+        fail(f"{path}: expected exactly one summary row, found {len(summaries)}")
+
+    base = baselines[0]
+    base_rate = _numeric(path, base, "baseline", "closed_loop_rate")
+    if base_rate <= 0:
+        fail(f"{path}: baseline closed_loop_rate is {base_rate}, must be > 0")
+    if base.get("ok") is not True:
+        fail(f"{path}: baseline run did not complete cleanly (ok={base.get('ok')!r})")
+
+    for i, row in enumerate(points):
+        offered = _numeric(path, row, i, "offered_rate")
+        achieved = _numeric(path, row, i, "achieved_rate")
+        _numeric(path, row, i, "offered_target")
+        _numeric(path, row, i, "lost")
+        if offered <= 0:
+            fail(f"{path}: point {i} offered_rate is {offered}, must be > 0")
+        if achieved < 0 or achieved > offered * 1.5:
+            fail(f"{path}: point {i} achieved_rate {achieved} implausible vs offered {offered}")
+        if "rtt_us_p99" not in row and "rtt_us" not in row:
+            fail(f"{path}: point {i} has no RTT histogram fields")
+
+    summary = summaries[0]
+    knee = _numeric(path, summary, "summary", "knee_achieved")
+    speedup = _numeric(path, summary, "summary", "speedup")
+    _numeric(path, summary, "summary", "knee_offered")
+    best = max(p["achieved_rate"] for p in points)
+    if knee > best * 1.01:
+        fail(f"{path}: summary knee_achieved {knee} exceeds best point {best}")
+    if abs(speedup - knee / base_rate) > 0.1 * max(1.0, speedup):
+        fail(f"{path}: summary speedup {speedup} inconsistent with knee/baseline "
+             f"{knee / base_rate:.2f}")
+    if speedup < min_speedup:
+        fail(f"{path}: speedup {speedup:.1f}x below the required {min_speedup}x")
+    print(
+        f"{path}: OK — baseline {base_rate:.0f} cmds/s, {len(points)} points, "
+        f"knee {knee:.0f} cmds/s ({speedup:.1f}x)"
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -124,9 +199,14 @@ def main() -> None:
     b = sub.add_parser("bench", help="validate a BENCH_*.json artifact")
     b.add_argument("file")
     b.add_argument("--require", nargs="*", default=[])
+    n = sub.add_parser("n3", help="validate the N3 saturation-curve artifact")
+    n.add_argument("file")
+    n.add_argument("--min-speedup", type=float, default=0.0)
     args = parser.parse_args()
     if args.cmd == "trace":
         check_trace(args.file, args.min_processes)
+    elif args.cmd == "n3":
+        check_n3(args.file, args.min_speedup)
     else:
         check_bench(args.file, args.require)
 

@@ -210,6 +210,56 @@ std::optional<rsm::SlotMsg> decode_slot(std::span<const std::uint8_t> data) {
 
 namespace {
 
+// Batch-sidecar tag space (the kBatch frame's own).
+constexpr std::uint8_t kTagBatchContent = 1;
+constexpr std::uint8_t kTagBatchFetch = 2;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_batch(const rsm::Msg& m) {
+  Writer w;
+  if (const auto* c = std::get_if<rsm::BatchContentMsg>(&m)) {
+    w.put_u8(kTagBatchContent);
+    w.put_i64(c->cmd);
+    w.put_i64(static_cast<std::int64_t>(c->payloads.size()));
+    for (const std::int64_t p : c->payloads) w.put_i64(p);
+  } else {
+    w.put_u8(kTagBatchFetch);
+    w.put_i64(std::get<rsm::BatchFetchMsg>(m).cmd);
+  }
+  return std::move(w).take();
+}
+
+std::optional<rsm::Msg> decode_batch(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const std::uint8_t tag = r.get_u8();
+  switch (tag) {
+    case kTagBatchContent: {
+      rsm::BatchContentMsg m;
+      m.cmd = r.get_i64();
+      const std::int64_t count = r.get_i64();
+      // Every payload varint takes at least one byte, so a count beyond the
+      // remaining bytes is malformed — reject before reserving memory.
+      if (!r.ok() || count < 0 || static_cast<std::uint64_t>(count) > data.size())
+        return std::nullopt;
+      m.payloads.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) m.payloads.push_back(r.get_i64());
+      if (!r.ok() || !r.exhausted()) return std::nullopt;
+      return rsm::Msg{std::move(m)};
+    }
+    case kTagBatchFetch: {
+      rsm::BatchFetchMsg m;
+      m.cmd = r.get_i64();
+      if (!r.ok() || !r.exhausted()) return std::nullopt;
+      return rsm::Msg{m};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
 // Fast Paxos tag space (independent of the core protocol's).
 constexpr std::uint8_t kTagFastPropose = 1;
 constexpr std::uint8_t kTagPrepare = 2;

@@ -85,6 +85,15 @@ std::vector<std::uint8_t> encode(const rsm::SlotMsg& m);
 /// Parses one slot-tagged RSM message; nullopt on malformed input.
 std::optional<rsm::SlotMsg> decode_slot(std::span<const std::uint8_t> data);
 
+/// Serializes one batch sidecar message (BatchContentMsg / BatchFetchMsg)
+/// for the kBatch frame: 1-byte tag + handle + (contents only) the payload
+/// list.  Precondition: `m` holds a batch alternative, not a SlotMsg —
+/// slot traffic travels in kSlot frames unchanged.
+std::vector<std::uint8_t> encode_batch(const rsm::Msg& m);
+
+/// Parses one batch sidecar message; nullopt on malformed input.
+std::optional<rsm::Msg> decode_batch(std::span<const std::uint8_t> data);
+
 /// Serializes one Fast Paxos message (its own 1-byte tag space).
 std::vector<std::uint8_t> encode(const fastpaxos::Message& m);
 

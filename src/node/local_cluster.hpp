@@ -46,6 +46,9 @@ struct ClusterOptions {
   bool trace = false;
   /// Forwarded to RuntimeOptions::stats_interval_ms on every replica.
   int stats_interval_ms = 0;
+  /// Forwarded to RuntimeOptions::group_commit_us on every replica
+  /// (> 0: one barrier fdatasync amortized over all entries in the window).
+  int group_commit_us = 0;
 };
 
 /// One round of a crash timeline: at `at_ms` kill `replicas`, keep them
@@ -213,6 +216,7 @@ class LocalCluster {
     rt_options.chaos = options_.chaos;
     if (options_.trace) rt_options.flight = recorders_[static_cast<std::size_t>(p)].get();
     rt_options.stats_interval_ms = options_.stats_interval_ms;
+    rt_options.group_commit_us = options_.group_commit_us;
     Factory& factory = factory_;
     return std::make_unique<Runtime<P>>(
         p, n, std::move(listen),

@@ -89,6 +89,14 @@ struct RuntimeOptions {
   /// period so latest_stats() always has a recent view.  The kStatsRequest
   /// wire scrape works regardless.
   int stats_interval_ms = 0;
+  /// > 0: group-commit the WAL.  Instead of one fdatasync per protocol
+  /// entry, appended records accumulate and a single barrier fsync runs at
+  /// most this many microseconds later (or sooner, when the held-message
+  /// cap is hit); every message and client reply produced while records
+  /// are unsynced is held behind the barrier, so persist-before-send holds
+  /// per barrier exactly as it held per entry.  0 = sync per entry (the
+  /// pre-group-commit behavior, byte for byte).
+  int group_commit_us = 0;
 };
 
 /// True when P is a proxy-style replicated state machine (client commands
@@ -138,6 +146,8 @@ class Runtime {
     deliver_us_ = &metrics_.log_histogram("node.deliver_us");
     wal_sync_us_ = &metrics_.log_histogram("wal.sync_us");
     request_hop_us_ = &metrics_.log_histogram("node.request_hop_us");
+    if (options_.group_commit_us > 0)
+      barrier_records_ = &metrics_.log_histogram("wal.barrier_records");
     stats_.outbox_bytes = &metrics_.log_histogram("link.outbox_bytes");
     stats_.pending_frames = &metrics_.log_histogram("link.pending_frames");
     loop_.set_probe(transport::LoopProbe{
@@ -311,6 +321,26 @@ class Runtime {
     codec::ClientReply reply;  ///< cached answer, valid when done
   };
 
+  /// A protocol message parked behind a group-commit barrier, with the
+  /// trace context of the entry that produced it.
+  struct HeldSend {
+    consensus::ProcessId to;
+    Message msg;
+    obs::TraceContext ctx;
+  };
+
+  /// A client reply parked behind a group-commit barrier: under group
+  /// commit the proxy's own vote may be part of the deciding quorum and
+  /// not yet durable, so acks wait for the barrier too (persist-before-ack).
+  struct HeldReply {
+    OutstandingRequest req;
+    codec::ClientReply msg;
+  };
+
+  /// Held sends + replies beyond this force an immediate barrier, bounding
+  /// both memory and the latency a deep batch can hide behind the timer.
+  static constexpr std::size_t kMaxHeldMessages = 512;
+
   void wire_callbacks() {
     if constexpr (RsmLike<P>) {
       proc_->on_apply = [this](std::int32_t slot, std::int64_t cmd) {
@@ -395,6 +425,13 @@ class Runtime {
   /// replies bypass the buffer deliberately: a reply reports a decision,
   /// and decisions rest on the already-durable votes of a quorum, not on
   /// this node's volatile memory.
+  ///
+  /// Group commit (options_.group_commit_us > 0) relaxes *when* the sync
+  /// happens but not the ordering: the entry's records are appended, its
+  /// messages (and any client replies it produced) are moved to the held
+  /// queues, and a barrier timer fires one fdatasync for every entry
+  /// appended since the last barrier, releasing all held traffic at once.
+  /// No message ever leaves while a record it could reveal is unsynced.
   template <typename Fn>
   void with_wal(Fn&& fn) {
     if (!wal_ || entry_active_) {
@@ -403,6 +440,23 @@ class Runtime {
     }
     entry_active_ = true;
     fn();
+    if (options_.group_commit_us > 0) {
+      durable_.capture(*proc_, *wal_);  // append only; the barrier syncs
+      entry_active_ = false;
+      if (wal_->has_pending()) {
+        for (auto& [to, msg] : buffered_sends_)
+          held_sends_.push_back(HeldSend{to, std::move(msg), out_ctx_});
+        buffered_sends_.clear();
+        arm_barrier();
+        if (held_sends_.size() + held_replies_.size() >= kMaxHeldMessages) run_barrier();
+      } else {
+        // Entry changed nothing durable and nothing older is unsynced:
+        // release immediately, exactly as the per-entry path would.
+        flush_buffered_sends();
+        flush_held_replies();
+      }
+      return;
+    }
     const std::int64_t sync_start_us = obs::FlightRecorder::now_us();
     if (durable_.capture(*proc_, *wal_)) {
       wal_->sync();
@@ -413,9 +467,55 @@ class Runtime {
                          "wal.fsync", sync_start_us, sync_end_us - sync_start_us, 0});
     }
     entry_active_ = false;
+    flush_buffered_sends();
+  }
+
+  void flush_buffered_sends() {
     std::vector<std::pair<consensus::ProcessId, Message>> out;
     out.swap(buffered_sends_);
     for (auto& [to, msg] : out) raw_send(to, msg);
+  }
+
+  void flush_held_replies() {
+    std::vector<HeldReply> replies;
+    replies.swap(held_replies_);
+    for (auto& r : replies) send_reply_now(r.req, r.msg);
+  }
+
+  /// Arms the group-commit barrier timer if none is pending.
+  void arm_barrier() {
+    if (barrier_timer_ != 0) return;
+    barrier_timer_ = loop_.schedule_after(options_.group_commit_us, [this] {
+      barrier_timer_ = 0;
+      run_barrier();
+    });
+  }
+
+  /// The group-commit barrier: one fdatasync covering every record
+  /// appended since the last barrier, then release the held protocol
+  /// messages and, last, the client replies acknowledging them.
+  void run_barrier() {
+    if (barrier_timer_ != 0) {
+      loop_.cancel_timer(barrier_timer_);
+      barrier_timer_ = 0;
+    }
+    if (wal_ && wal_->has_pending()) {
+      if (barrier_records_)
+        barrier_records_->record(static_cast<std::int64_t>(wal_->pending_records()));
+      const std::int64_t sync_start_us = obs::FlightRecorder::now_us();
+      wal_->sync();
+      wal_sync_us_->record(obs::FlightRecorder::now_us() - sync_start_us);
+      metrics_.counter("wal.barriers").add();
+    }
+    std::vector<HeldSend> sends;
+    sends.swap(held_sends_);
+    const obs::TraceContext saved_ctx = out_ctx_;
+    for (auto& h : sends) {
+      out_ctx_ = h.ctx;  // each held send keeps the trace of its entry
+      raw_send(h.to, h.msg);
+    }
+    out_ctx_ = saved_ctx;
+    flush_held_replies();
   }
 
   void send_msg(consensus::ProcessId to, const Message& msg) {
@@ -437,14 +537,15 @@ class Runtime {
     if (to < 0 || to >= n_ || links_.empty()) return;
     auto& link = links_[static_cast<std::size_t>(to)];
     if (!link) return;
+    const transport::FrameKind kind = WireTraits<Message>::kind_of(msg);
     if (out_ctx_.active()) {
       // Wrap the protocol frame so the receiver can parent its handling
       // span on ours; untraced sends keep the bare frame (and its cost).
-      const codec::TracedFrame traced{static_cast<std::uint8_t>(WireTraits<Message>::kKind),
-                                      out_ctx_, WireTraits<Message>::encode(msg)};
+      const codec::TracedFrame traced{static_cast<std::uint8_t>(kind), out_ctx_,
+                                      WireTraits<Message>::encode(msg)};
       link->send_frame(transport::FrameKind::kTraced, codec::encode(traced));
     } else {
-      link->send_frame(WireTraits<Message>::kKind, WireTraits<Message>::encode(msg));
+      link->send_frame(kind, WireTraits<Message>::encode(msg));
     }
   }
 
@@ -531,11 +632,12 @@ class Runtime {
       case transport::FrameKind::kTraced: {
         const auto traced = codec::decode_traced(frame.payload);
         if (!traced) return;
-        if (traced->inner_kind != static_cast<std::uint8_t>(WireTraits<Message>::kKind))
+        const auto inner_kind = static_cast<transport::FrameKind>(traced->inner_kind);
+        if (!WireTraits<Message>::accepts(inner_kind))
           return;  // traced frame for a protocol we don't host
         const auto sender = inbound_peer_.find(conn.get());
         if (sender == inbound_peer_.end()) return;  // same Hello gate as bare frames
-        auto inner = WireTraits<Message>::decode(traced->inner);
+        auto inner = WireTraits<Message>::decode(inner_kind, traced->inner);
         if (!inner) return;
         deliver(sender->second, *inner, traced->trace);
         return;
@@ -543,10 +645,10 @@ class Runtime {
       default:
         break;
     }
-    if (frame.kind != WireTraits<Message>::kKind) return;  // not ours; drop
+    if (!WireTraits<Message>::accepts(frame.kind)) return;  // not ours; drop
     const auto it = inbound_peer_.find(conn.get());
     if (it == inbound_peer_.end()) return;  // protocol frame before Hello
-    auto msg = WireTraits<Message>::decode(frame.payload);
+    auto msg = WireTraits<Message>::decode(frame.kind, frame.payload);
     if (!msg) return;  // malformed payload inside a well-formed frame
     deliver(it->second, *msg);
   }
@@ -610,7 +712,15 @@ class Runtime {
                    : obs::TraceContext{};
     with_wal([&] {
       if constexpr (RsmLike<P>) {
-        if (req.payload < 0 || req.payload >= (std::int64_t{1} << 40)) {
+        // The command encoding packs (proxy, payload) into 64 bits; RSMs
+        // that reserve payload bits (batching handles) shrink the client
+        // space further and advertise it through max_payload().
+        std::int64_t payload_limit = (std::int64_t{1} << 40) - 1;
+        if constexpr (requires(const P& p) {
+                        { p.max_payload() } -> std::convertible_to<std::int64_t>;
+                      })
+          payload_limit = proc_->max_payload();
+        if (req.payload < 0 || req.payload > payload_limit) {
           reply(out, codec::ClientReply{req.id, req.payload, -1, false});
           return;
         }
@@ -638,6 +748,16 @@ class Runtime {
   }
 
   void reply(const OutstandingRequest& req, const codec::ClientReply& msg) {
+    // Under group commit, park the ack behind the pending barrier: the
+    // decision it reports may rest on this node's own not-yet-synced vote.
+    if (options_.group_commit_us > 0 && wal_ && (entry_active_ || wal_->has_pending())) {
+      held_replies_.push_back(HeldReply{req, msg});
+      return;
+    }
+    send_reply_now(req, msg);
+  }
+
+  void send_reply_now(const OutstandingRequest& req, const codec::ClientReply& msg) {
     const auto conn = req.conn.lock();
     if (!conn || conn->closed()) return;
     serve_us_->record(loop_.now_us() - req.received_us);
@@ -759,6 +879,10 @@ class Runtime {
   std::optional<transport::ChaosInjector> chaos_;
   bool entry_active_ = false;  ///< inside with_wal: sends are being buffered
   std::vector<std::pair<consensus::ProcessId, Message>> buffered_sends_;
+  std::vector<HeldSend> held_sends_;      ///< group commit: awaiting the barrier
+  std::vector<HeldReply> held_replies_;   ///< group commit: acks awaiting the barrier
+  std::uint64_t barrier_timer_ = 0;       ///< pending barrier timer (0 = none)
+  obs::LogHistogram* barrier_records_ = nullptr;  ///< records per barrier fsync
   std::atomic<int> inbound_count_{0};
 
   mutable std::mutex state_mu_;

@@ -5,10 +5,16 @@
 // functions serialize it.  Adding a protocol to the live runtime means
 // adding a codec encoding and one specialization here — the runtime and
 // transport stay untouched.
+//
+// A protocol's message type may span several frame kinds (the RSM's slot
+// traffic rides kSlot, its batch sidecar kBatch), so the interface is
+// kind-directed: kind_of(msg) picks the frame for an outgoing message,
+// accepts(kind) gates inbound frames, decode(kind, payload) parses one.
 #pragma once
 
 #include <optional>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "codec/codec.hpp"
@@ -22,28 +28,52 @@ struct WireTraits;  // unspecialized: protocol not wired for live deployment
 template <>
 struct WireTraits<core::Message> {
   static constexpr transport::FrameKind kKind = transport::FrameKind::kCore;
+  static transport::FrameKind kind_of(const core::Message&) { return kKind; }
+  static bool accepts(transport::FrameKind kind) { return kind == kKind; }
   static std::vector<std::uint8_t> encode(const core::Message& m) { return codec::encode(m); }
-  static std::optional<core::Message> decode(std::span<const std::uint8_t> data) {
+  static std::optional<core::Message> decode(transport::FrameKind,
+                                             std::span<const std::uint8_t> data) {
     return codec::decode(data);
   }
 };
 
 template <>
-struct WireTraits<rsm::SlotMsg> {
-  static constexpr transport::FrameKind kKind = transport::FrameKind::kSlot;
-  static std::vector<std::uint8_t> encode(const rsm::SlotMsg& m) { return codec::encode(m); }
-  static std::optional<rsm::SlotMsg> decode(std::span<const std::uint8_t> data) {
-    return codec::decode_slot(data);
+struct WireTraits<rsm::Msg> {
+  /// Slot traffic keeps the kSlot encoding byte-for-byte; only the batch
+  /// sidecar alternatives use the kBatch frame.
+  static transport::FrameKind kind_of(const rsm::Msg& m) {
+    return std::holds_alternative<rsm::SlotMsg>(m) ? transport::FrameKind::kSlot
+                                                   : transport::FrameKind::kBatch;
+  }
+  static bool accepts(transport::FrameKind kind) {
+    return kind == transport::FrameKind::kSlot || kind == transport::FrameKind::kBatch;
+  }
+  static std::vector<std::uint8_t> encode(const rsm::Msg& m) {
+    if (const auto* s = std::get_if<rsm::SlotMsg>(&m)) return codec::encode(*s);
+    return codec::encode_batch(m);
+  }
+  static std::optional<rsm::Msg> decode(transport::FrameKind kind,
+                                        std::span<const std::uint8_t> data) {
+    if (kind == transport::FrameKind::kSlot) {
+      auto slot = codec::decode_slot(data);
+      if (!slot) return std::nullopt;
+      return rsm::Msg{std::move(*slot)};
+    }
+    if (kind == transport::FrameKind::kBatch) return codec::decode_batch(data);
+    return std::nullopt;
   }
 };
 
 template <>
 struct WireTraits<fastpaxos::Message> {
   static constexpr transport::FrameKind kKind = transport::FrameKind::kFastPaxos;
+  static transport::FrameKind kind_of(const fastpaxos::Message&) { return kKind; }
+  static bool accepts(transport::FrameKind kind) { return kind == kKind; }
   static std::vector<std::uint8_t> encode(const fastpaxos::Message& m) {
     return codec::encode(m);
   }
-  static std::optional<fastpaxos::Message> decode(std::span<const std::uint8_t> data) {
+  static std::optional<fastpaxos::Message> decode(transport::FrameKind,
+                                                  std::span<const std::uint8_t> data) {
     return codec::decode_fastpaxos(data);
   }
 };

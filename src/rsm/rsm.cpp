@@ -1,6 +1,8 @@
 #include "rsm/rsm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace twostep::rsm {
 
@@ -40,6 +42,9 @@ RsmProcess::RsmProcess(consensus::Env<Message>& env, consensus::SystemConfig con
                        Options options)
     : env_(env), config_(config), options_(std::move(options)) {
   if (options_.delta <= 0) throw std::invalid_argument("RsmProcess: delta must be > 0");
+  if (options_.batch_max < 1) throw std::invalid_argument("RsmProcess: batch_max must be >= 1");
+  if (options_.pipeline_window < 0)
+    throw std::invalid_argument("RsmProcess: pipeline_window must be >= 0");
 }
 
 RsmProcess::~RsmProcess() = default;
@@ -71,19 +76,79 @@ std::int32_t RsmProcess::next_free_slot() const {
 }
 
 Command RsmProcess::submit(std::int64_t payload) {
-  if (payload < 0 || payload >= (std::int64_t{1} << 40))
-    throw std::invalid_argument("RsmProcess::submit: payload must fit in 40 bits");
+  if (payload < 0 || payload > max_payload())
+    throw std::invalid_argument("RsmProcess::submit: payload out of range");
   // Commands are (proxy, payload); the proxy tag makes commands from
   // different proxies distinct.  Callers must not submit the same payload
   // twice from the same proxy (the workload generators use sequence ids).
   const Command cmd = (static_cast<std::int64_t>(env_.self()) << 40) | payload;
   ++next_local_id_;
+  if (options_.batch_max > 1) {
+    open_batch_.entries.emplace_back(cmd, env_.now());
+    if (static_cast<int>(open_batch_.entries.size()) >= options_.batch_max) {
+      seal_open_batch();
+    } else if (!open_batch_.linger) {
+      open_batch_.linger = env_.set_timer(std::max<sim::Tick>(options_.batch_linger, 0));
+    }
+    return cmd;
+  }
   PendingCommand pending;
   pending.cmd = cmd;
   pending.submitted_at = env_.now();
   pending_.push_back(pending);
-  propose_in_slot(pending_.back(), next_free_slot());
+  propose_pending();
   return cmd;
+}
+
+void RsmProcess::seal_open_batch() {
+  if (open_batch_.linger) {
+    env_.cancel_timer(*open_batch_.linger);
+    open_batch_.linger.reset();
+  }
+  if (open_batch_.entries.empty()) return;
+  OpenBatch batch = std::exchange(open_batch_, {});
+  if (options_.batch_fill)
+    options_.batch_fill->record(static_cast<std::int64_t>(batch.entries.size()));
+
+  PendingCommand pending;
+  pending.submitted_at = batch.entries.front().second;
+  if (batch.entries.size() == 1) {
+    // A batch of one proposes the plain command — no handle indirection.
+    pending.cmd = batch.entries.front().first;
+  } else {
+    const Command handle = (static_cast<std::int64_t>(env_.self()) << 40) |
+                           (std::int64_t{1} << 39) | next_batch_seq_++;
+    std::vector<std::int64_t> payloads;
+    payloads.reserve(batch.entries.size());
+    for (const auto& [cmd, at] : batch.entries) payloads.push_back(command_payload(cmd));
+    batch_contents_.emplace(handle, payloads);
+    dirty_batches_.insert(handle);
+    own_batch_entries_.emplace(handle, std::move(batch.entries));
+    const ProcessId self = env_.self();
+    for (int p = 0; p < env_.cluster_size(); ++p)
+      if (p != self) env_.send(p, BatchContentMsg{handle, payloads});
+    pending.cmd = handle;
+  }
+  pending_.push_back(pending);
+  propose_pending();
+}
+
+int RsmProcess::own_slots_in_flight() const {
+  int n = 0;
+  for (const auto& p : pending_)
+    if (p.slot >= 0 && !decisions_.contains(p.slot)) ++n;
+  return n;
+}
+
+void RsmProcess::propose_pending() {
+  const int window = options_.pipeline_window;
+  int in_flight = window > 0 ? own_slots_in_flight() : 0;
+  for (auto& p : pending_) {
+    if (p.slot >= 0) continue;
+    if (window > 0 && in_flight >= window) break;
+    propose_in_slot(p, next_free_slot());
+    ++in_flight;
+  }
 }
 
 void RsmProcess::propose_in_slot(PendingCommand& pending, std::int32_t slot) {
@@ -94,11 +159,64 @@ void RsmProcess::propose_in_slot(PendingCommand& pending, std::int32_t slot) {
 }
 
 void RsmProcess::on_message(ProcessId from, const Message& m) {
-  dirty_slots_.insert(m.slot);
-  ensure_slot(m.slot).proc->on_message(from, m.inner);
+  if (const auto* s = std::get_if<SlotMsg>(&m)) {
+    dirty_slots_.insert(s->slot);
+    ensure_slot(s->slot).proc->on_message(from, s->inner);
+    return;
+  }
+  if (const auto* b = std::get_if<BatchContentMsg>(&m)) {
+    handle_batch_content(*b);
+    return;
+  }
+  const auto& f = std::get<BatchFetchMsg>(m);
+  const auto it = batch_contents_.find(f.cmd);
+  if (it != batch_contents_.end()) env_.send(from, BatchContentMsg{f.cmd, it->second});
+}
+
+void RsmProcess::handle_batch_content(BatchContentMsg m) {
+  if (batch_contents_.contains(m.cmd)) return;
+  batch_contents_.emplace(m.cmd, std::move(m.payloads));
+  dirty_batches_.insert(m.cmd);
+  const auto wit = fetch_waiting_.find(m.cmd);
+  if (wit != fetch_waiting_.end()) {
+    env_.cancel_timer(wit->second);
+    fetch_timer_cmds_.erase(wit->second.value);
+    fetch_waiting_.erase(wit);
+  }
+  apply_contiguous();
+}
+
+void RsmProcess::request_batch_contents(Command cmd) {
+  if (fetch_waiting_.contains(cmd)) return;  // retry timer already armed
+  const ProcessId proxy = command_proxy(cmd);
+  if (proxy != env_.self()) env_.send(proxy, BatchFetchMsg{cmd});
+  const TimerId id = env_.set_timer(std::max<sim::Tick>(options_.delta * 4, 1));
+  fetch_waiting_.emplace(cmd, id);
+  fetch_timer_cmds_.emplace(id.value, cmd);
 }
 
 void RsmProcess::on_timer(TimerId id) {
+  if (open_batch_.linger && open_batch_.linger->value == id.value) {
+    open_batch_.linger.reset();
+    seal_open_batch();
+    return;
+  }
+  const auto fit = fetch_timer_cmds_.find(id.value);
+  if (fit != fetch_timer_cmds_.end()) {
+    const Command cmd = fit->second;
+    fetch_timer_cmds_.erase(fit);
+    fetch_waiting_.erase(cmd);
+    if (!batch_contents_.contains(cmd)) {
+      // The proxy did not answer in time — widen the fetch to everyone.
+      const ProcessId self = env_.self();
+      for (int p = 0; p < env_.cluster_size(); ++p)
+        if (p != self) env_.send(p, BatchFetchMsg{cmd});
+      const TimerId retry = env_.set_timer(std::max<sim::Tick>(options_.delta * 4, 1));
+      fetch_waiting_.emplace(cmd, retry);
+      fetch_timer_cmds_.emplace(retry.value, cmd);
+    }
+    return;
+  }
   const auto it = timer_routes_.find(id.value);
   if (it == timer_routes_.end()) return;
   const std::int32_t slot = it->second.first;
@@ -113,9 +231,20 @@ std::vector<std::int32_t> RsmProcess::drain_dirty_slots() {
   return slots;
 }
 
+std::vector<Command> RsmProcess::drain_dirty_batches() {
+  std::vector<Command> cmds(dirty_batches_.begin(), dirty_batches_.end());
+  dirty_batches_.clear();
+  return cmds;
+}
+
 const core::TwoStepProcess* RsmProcess::slot_process(std::int32_t slot) const {
   const auto it = slots_.find(slot);
   return it == slots_.end() ? nullptr : it->second.proc.get();
+}
+
+const std::vector<std::int64_t>* RsmProcess::batch_contents(Command cmd) const {
+  const auto it = batch_contents_.find(cmd);
+  return it == batch_contents_.end() ? nullptr : &it->second;
 }
 
 void RsmProcess::restore_slot(std::int32_t slot, const core::TwoStepProcess::AcceptorState& s) {
@@ -127,36 +256,56 @@ void RsmProcess::restore_slot(std::int32_t slot, const core::TwoStepProcess::Acc
   }
 }
 
+void RsmProcess::restore_batch(Command cmd, std::vector<std::int64_t> payloads) {
+  if (batch_contents_.contains(cmd)) return;
+  batch_contents_.emplace(cmd, std::move(payloads));
+  apply_contiguous();
+}
+
 void RsmProcess::slot_decided(std::int32_t slot, Value v) {
   if (decisions_.contains(slot)) return;
   const Command decided = v.get();
   decisions_[slot] = decided;
   if (on_decide_slot) on_decide_slot(slot, decided);
 
-  // Settle our own commands: winners commit, losers move to a later slot.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->slot != slot) {
-      ++it;
-      continue;
-    }
+  // Settle our own command in this slot, if any: a winner commits, a loser
+  // re-queues for a later slot.  Each live pending command occupies a
+  // distinct slot, so at most one entry matches.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->slot != slot) continue;
     if (it->cmd == decided) {
-      ++commits_;
-      if (on_commit) on_commit(it->cmd, it->submitted_at, slot);
-      if (!first_commit_reported_ && on_decide) {
-        first_commit_reported_ = true;
-        on_decide(Value{it->cmd});
-      }
-      it = pending_.erase(it);
+      commit_own(*it, slot);
+      pending_.erase(it);
     } else {
       PendingCommand retry = *it;
-      it = pending_.erase(it);
+      retry.slot = -1;
+      pending_.erase(it);
       pending_.push_back(retry);
-      propose_in_slot(pending_.back(), next_free_slot());
-      // pending_ may have reallocated; restart the scan for this slot.
-      it = pending_.begin();
     }
+    break;
   }
+  propose_pending();  // a decision frees pipeline-window budget
   apply_contiguous();
+}
+
+void RsmProcess::commit_own(const PendingCommand& pending, std::int32_t slot) {
+  if (command_is_batch(pending.cmd)) {
+    const auto it = own_batch_entries_.find(pending.cmd);
+    if (it != own_batch_entries_.end()) {
+      for (const auto& [cmd, submitted_at] : it->second) {
+        ++commits_;
+        if (on_commit) on_commit(cmd, submitted_at, slot);
+      }
+      own_batch_entries_.erase(it);
+    }
+  } else {
+    ++commits_;
+    if (on_commit) on_commit(pending.cmd, pending.submitted_at, slot);
+  }
+  if (!first_commit_reported_ && on_decide) {
+    first_commit_reported_ = true;
+    on_decide(Value{pending.cmd});
+  }
 }
 
 std::optional<Command> RsmProcess::decision(std::int32_t slot) const {
@@ -165,11 +314,18 @@ std::optional<Command> RsmProcess::decision(std::int32_t slot) const {
   return it->second;
 }
 
-std::vector<SlotMsg> RsmProcess::decide_messages() const {
-  std::vector<SlotMsg> out;
+std::vector<Msg> RsmProcess::decide_messages() const {
+  std::vector<Msg> out;
   out.reserve(decisions_.size());
+  // Contents first: a peer must be able to expand every decision it is
+  // about to learn without a fetch round-trip.
+  for (const auto& [slot, cmd] : decisions_) {
+    if (!command_is_batch(cmd)) continue;
+    const auto it = batch_contents_.find(cmd);
+    if (it != batch_contents_.end()) out.push_back(BatchContentMsg{cmd, it->second});
+  }
   for (const auto& [slot, cmd] : decisions_)
-    out.push_back(Message{slot, core::Message{core::DecideMsg{consensus::Value{cmd}}}});
+    out.push_back(SlotMsg{slot, core::Message{core::DecideMsg{consensus::Value{cmd}}}});
   return out;
 }
 
@@ -177,7 +333,21 @@ void RsmProcess::apply_contiguous() {
   while (true) {
     const auto it = decisions_.find(applied_);
     if (it == decisions_.end()) return;
-    if (on_apply) on_apply(applied_, it->second);
+    const Command cmd = it->second;
+    if (command_is_batch(cmd)) {
+      const auto bit = batch_contents_.find(cmd);
+      if (bit == batch_contents_.end()) {
+        // Decided handle with unknown contents: stall the prefix and fetch.
+        request_batch_contents(cmd);
+        return;
+      }
+      if (on_apply) {
+        const std::int64_t proxy_tag = static_cast<std::int64_t>(command_proxy(cmd)) << 40;
+        for (const std::int64_t payload : bit->second) on_apply(applied_, proxy_tag | payload);
+      }
+    } else {
+      if (on_apply) on_apply(applied_, cmd);
+    }
     ++applied_;
   }
 }

@@ -12,6 +12,14 @@
 // proxy proposes its command in the lowest slot it has not used; if the
 // slot decides someone else's command, the proxy re-submits in a later
 // slot.  Commands are applied in slot order once decisions are contiguous.
+//
+// Saturation path (N3): a slot may carry a *batch* of commands.  The value
+// decided by the slot's consensus instance is still one 64-bit command —
+// consensus::Value never widens — but a command with the batch bit set is
+// an opaque handle whose payload list travels beside the protocol as a
+// BatchContentMsg.  Replicas stall contiguous application on a handle whose
+// contents they have not yet seen and fetch them (BatchFetchMsg); contents
+// are immutable once created, so any replica that has them can answer.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +27,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <variant>
 #include <vector>
 
 #include "consensus/env.hpp"
 #include "consensus/types.hpp"
 #include "core/two_step.hpp"
+#include "obs/histogram.hpp"
 
 namespace twostep::rsm {
 
@@ -39,22 +50,59 @@ struct SlotMsg {
   friend bool operator==(const SlotMsg&, const SlotMsg&) = default;
 };
 
+/// Contents of one batch handle: the client payloads it stands for, in
+/// submission order.  Broadcast by the proxy when the batch is sealed and
+/// re-sent on demand (fetch) and on link re-establishment (anti-entropy).
+struct BatchContentMsg {
+  Command cmd = 0;  ///< the batch handle (bit 39 set)
+  std::vector<std::int64_t> payloads;
+  friend bool operator==(const BatchContentMsg&, const BatchContentMsg&) = default;
+};
+
+/// Request for the contents of a batch handle the sender cannot resolve.
+struct BatchFetchMsg {
+  Command cmd = 0;
+  friend bool operator==(const BatchFetchMsg&, const BatchFetchMsg&) = default;
+};
+
+/// RSM wire message: slot-tagged consensus traffic plus the batch sidecar.
+using Msg = std::variant<SlotMsg, BatchContentMsg, BatchFetchMsg>;
+
 struct Options {
   sim::Tick delta = 1;
   std::function<consensus::ProcessId()> leader_of;
   core::SelectionPolicy selection_policy = core::SelectionPolicy::kPaper;
   obs::Probe probe;  ///< forwarded into every slot's protocol instance
+
+  /// Max client commands packed into one slot.  1 (default) disables
+  /// batching entirely: submit() proposes a plain command, byte-for-byte
+  /// the pre-batching behavior.  With batching on, payloads must fit in
+  /// 39 bits (bit 39 marks batch handles).
+  int batch_max = 1;
+  /// How long an open batch waits for more commands before sealing, in
+  /// ticks.  0 seals on the next timer pass — commands arriving in the
+  /// same loop iteration still coalesce.
+  sim::Tick batch_linger = 0;
+  /// Max own undecided slots in flight.  0 = unbounded (the pre-window
+  /// behavior: every submission proposes immediately).
+  int pipeline_window = 0;
+  /// Optional histogram of sealed batch sizes (commands per slot).
+  obs::LogHistogram* batch_fill = nullptr;
 };
 
 /// Static message-type label: delegates to the inner protocol message.
 [[nodiscard]] constexpr const char* message_name(const SlotMsg& m) noexcept {
   return core::message_name(m.inner);
 }
+[[nodiscard]] inline const char* message_name(const Msg& m) noexcept {
+  if (const auto* s = std::get_if<SlotMsg>(&m)) return core::message_name(s->inner);
+  return std::holds_alternative<BatchContentMsg>(m) ? "BatchContent" : "BatchFetch";
+}
 
 /// One replica: proxy + per-slot consensus participants + executor.
 class RsmProcess {
  public:
-  using Message = SlotMsg;
+  using Message = Msg;
 
   RsmProcess(consensus::Env<Message>& env, consensus::SystemConfig config, Options options);
   ~RsmProcess();  // out-of-line: SlotEnv is incomplete here
@@ -62,7 +110,10 @@ class RsmProcess {
   void start() {}
 
   /// Proxy API: submit a client command.  Returns the globally unique
-  /// command actually enqueued (payload packed with the proxy id).
+  /// command actually enqueued (payload packed with the proxy id).  With
+  /// batching enabled the returned command is the caller-visible identity
+  /// (on_commit / on_apply fire with it); the batch handle that actually
+  /// occupies the slot is internal.
   Command submit(std::int64_t payload);
 
   /// Cluster-harness adapter: submits the value's payload as a command.
@@ -74,8 +125,10 @@ class RsmProcess {
   /// Fired when a slot decision is learned, in arbitrary slot order.
   std::function<void(std::int32_t slot, Command cmd)> on_decide_slot;
   /// Fired for every command in log order (contiguous prefix application).
+  /// A batched slot fires once per inner command, in submission order.
   std::function<void(std::int32_t slot, Command cmd)> on_apply;
   /// Fired when one of OUR commands commits: (command, submit time, slot).
+  /// A batched slot fires once per inner command with its own submit time.
   std::function<void(Command cmd, sim::Tick submitted_at, std::int32_t slot)> on_commit;
   /// Cluster-harness adapter: fired on our first committed command.
   std::function<void(consensus::Value)> on_decide;
@@ -87,21 +140,35 @@ class RsmProcess {
   /// point that can touch a slot (message, timer, submit).
   [[nodiscard]] std::vector<std::int32_t> drain_dirty_slots();
 
+  /// Batch handles whose contents became known since the last drain
+  /// (sealed locally or received from a peer).  Contents are immutable,
+  /// so each handle is reported exactly once.
+  [[nodiscard]] std::vector<Command> drain_dirty_batches();
+
   /// The consensus instance of one slot, or null if the slot was never
   /// touched locally.
   [[nodiscard]] const core::TwoStepProcess* slot_process(std::int32_t slot) const;
+
+  /// Contents of a batch handle, or null if unknown here.
+  [[nodiscard]] const std::vector<std::int64_t>* batch_contents(Command cmd) const;
 
   /// Reinstates one slot from its durable record: restores the inner
   /// acceptor state, re-registers a restored decision and re-applies the
   /// contiguous prefix (on_apply fires in log order during replay).
   void restore_slot(std::int32_t slot, const core::TwoStepProcess::AcceptorState& s);
 
+  /// Reinstates one batch's contents from its durable record.
+  void restore_batch(Command cmd, std::vector<std::int64_t> payloads);
+
   /// The Decide retransmission set: one slot-wrapped DecideMsg per decided
-  /// slot, in slot order.  Resent by the live runtime whenever a peer link
-  /// (re)establishes — the transport's disconnected queue is bounded, so a
-  /// replica that was down through many decisions needs this anti-entropy
-  /// pass to fill its log gaps (its own ballot timers cannot: only the Ω
-  /// leader starts ballots, and a decided leader has nothing left to run).
+  /// slot, in slot order, preceded by the contents of every decided batch
+  /// handle we know (a peer that learns a decision it cannot expand would
+  /// otherwise stall until fetch kicks in).  Resent by the live runtime
+  /// whenever a peer link (re)establishes — the transport's disconnected
+  /// queue is bounded, so a replica that was down through many decisions
+  /// needs this anti-entropy pass to fill its log gaps (its own ballot
+  /// timers cannot: only the Ω leader starts ballots, and a decided leader
+  /// has nothing left to run).
   [[nodiscard]] std::vector<Message> decide_messages() const;
 
   // --- introspection ---
@@ -110,6 +177,16 @@ class RsmProcess {
   [[nodiscard]] std::optional<Command> decision(std::int32_t slot) const;
   [[nodiscard]] int pending_own_commands() const noexcept { return static_cast<int>(pending_.size()); }
   [[nodiscard]] std::int64_t commits() const noexcept { return commits_; }
+  /// Commands buffered in the open (unsealed) batch.
+  [[nodiscard]] int open_batch_size() const noexcept {
+    return static_cast<int>(open_batch_.entries.size());
+  }
+
+  /// Largest client payload submit() accepts: 2^39-1 when batching is on
+  /// (bit 39 is the batch-handle flag), 2^40-1 otherwise.
+  [[nodiscard]] std::int64_t max_payload() const noexcept {
+    return (std::int64_t{1} << (options_.batch_max > 1 ? 39 : 40)) - 1;
+  }
 
   /// Unpacks the proxy id from a command.
   static consensus::ProcessId command_proxy(Command cmd) {
@@ -119,6 +196,8 @@ class RsmProcess {
   static std::int64_t command_payload(Command cmd) {
     return cmd & ((std::int64_t{1} << 40) - 1);
   }
+  /// True if the command is a batch handle rather than a client command.
+  static bool command_is_batch(Command cmd) { return (cmd >> 39) & 1; }
 
  private:
   struct SlotEnv;
@@ -131,12 +210,24 @@ class RsmProcess {
   struct PendingCommand {
     Command cmd = 0;
     sim::Tick submitted_at = 0;
-    std::int32_t slot = -1;  ///< slot currently proposed in
+    std::int32_t slot = -1;  ///< slot currently proposed in, -1 = queued
+  };
+
+  /// Commands accumulating toward the next sealed batch.
+  struct OpenBatch {
+    std::vector<std::pair<Command, sim::Tick>> entries;  ///< (caller cmd, submit time)
+    std::optional<consensus::TimerId> linger;
   };
 
   SlotState& ensure_slot(std::int32_t slot);
   void propose_in_slot(PendingCommand& pending, std::int32_t slot);
+  void propose_pending();
+  [[nodiscard]] int own_slots_in_flight() const;
+  void seal_open_batch();
+  void handle_batch_content(BatchContentMsg m);
+  void request_batch_contents(Command cmd);
   void slot_decided(std::int32_t slot, consensus::Value v);
+  void commit_own(const PendingCommand& pending, std::int32_t slot);
   void apply_contiguous();
   [[nodiscard]] std::int32_t next_free_slot() const;
 
@@ -149,9 +240,18 @@ class RsmProcess {
   std::map<std::int32_t, Command> decisions_;
   std::map<std::uint64_t, std::pair<std::int32_t, consensus::TimerId>> timer_routes_;
   std::deque<PendingCommand> pending_;
+  OpenBatch open_batch_;
+  std::map<Command, std::vector<std::int64_t>> batch_contents_;
+  std::set<Command> dirty_batches_;
+  /// Our sealed batches' inner (caller cmd, submit time) entries, kept
+  /// until the batch commits so on_commit can fan out per command.
+  std::map<Command, std::vector<std::pair<Command, sim::Tick>>> own_batch_entries_;
+  std::map<Command, consensus::TimerId> fetch_waiting_;   ///< handle -> retry timer
+  std::map<std::uint64_t, Command> fetch_timer_cmds_;     ///< timer id -> handle
   std::int32_t applied_ = 0;        ///< number of applied (contiguous) slots
   std::int32_t submit_cursor_ = 0;  ///< lowest slot we might still use
   std::int64_t next_local_id_ = 1;
+  std::int64_t next_batch_seq_ = 1;
   std::int64_t commits_ = 0;
   std::uint64_t next_timer_key_ = 1;
   bool first_commit_reported_ = false;

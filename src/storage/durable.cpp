@@ -104,6 +104,21 @@ void Durable<fastpaxos::FastPaxosProcess>::note_recovery(const fastpaxos::FastPa
 
 bool Durable<rsm::RsmProcess>::capture(rsm::RsmProcess& p, Wal& wal) {
   bool appended = false;
+  // Batch contents first: a decided slot record naming a batch handle must
+  // never hit disk ahead of the payloads it stands for, or a replay could
+  // stall on our own proposal.  Contents are immutable, so each handle is
+  // drained (and therefore logged) exactly once.
+  for (const rsm::Command cmd : p.drain_dirty_batches()) {
+    const std::vector<std::int64_t>* payloads = p.batch_contents(cmd);
+    if (payloads == nullptr) continue;
+    codec::Writer w;
+    w.put_i64(kBatchRecordTag);
+    w.put_i64(cmd);
+    w.put_i64(static_cast<std::int64_t>(payloads->size()));
+    for (const std::int64_t payload : *payloads) w.put_i64(payload);
+    wal.append(std::move(w).take());
+    appended = true;
+  }
   for (const std::int32_t slot : p.drain_dirty_slots()) {
     const core::TwoStepProcess* proc = p.slot_process(slot);
     if (proc == nullptr) continue;
@@ -124,6 +139,18 @@ bool Durable<rsm::RsmProcess>::capture(rsm::RsmProcess& p, Wal& wal) {
 void Durable<rsm::RsmProcess>::replay(rsm::RsmProcess& p, std::span<const std::uint8_t> record) {
   codec::Reader r{record};
   const std::int64_t slot = r.get_i64();
+  if (r.ok() && slot == kBatchRecordTag) {
+    const rsm::Command cmd = r.get_i64();
+    const std::int64_t count = r.get_i64();
+    if (!r.ok() || count < 0 || static_cast<std::uint64_t>(count) > record.size()) return;
+    std::vector<std::int64_t> payloads;
+    payloads.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) payloads.push_back(r.get_i64());
+    if (!r.ok() || !r.exhausted()) return;
+    p.restore_batch(cmd, std::move(payloads));
+    ++replayed_batches_;
+    return;
+  }
   core::TwoStepProcess::AcceptorState s;
   if (!decode_core_state(r, s) || !r.exhausted()) return;
   if (!r.ok() || slot < 0 || slot > INT32_MAX) return;
@@ -137,6 +164,7 @@ void Durable<rsm::RsmProcess>::replay(rsm::RsmProcess& p, std::span<const std::u
 void Durable<rsm::RsmProcess>::note_recovery(const rsm::RsmProcess& p,
                                              obs::MetricsRegistry& reg) {
   reg.counter("recover.slots").add(replayed_slots_);
+  reg.counter("recover.batches").add(replayed_batches_);
   reg.counter("recover.decided").add(static_cast<std::uint64_t>(p.decided_slots()));
   reg.counter("recover.applied").add(static_cast<std::uint64_t>(p.applied_prefix()));
   Ballot max_bal = 0;

@@ -96,7 +96,14 @@ struct Durable<fastpaxos::FastPaxosProcess> {
 
 template <>
 struct Durable<rsm::RsmProcess> {
-  /// One record per dirty slot whose encoded state actually changed.
+  /// Record discriminator for batch-content records.  Slot records start
+  /// with a non-negative slot varint; pre-batching replays skip any record
+  /// whose leading varint is negative, so the format stays forward- and
+  /// backward-compatible.
+  static constexpr std::int64_t kBatchRecordTag = -1;
+
+  /// One record per newly-known batch (contents are immutable, logged
+  /// once), then one record per dirty slot whose encoded state changed.
   bool capture(rsm::RsmProcess& p, Wal& wal);
   void replay(rsm::RsmProcess& p, std::span<const std::uint8_t> record);
   void note_recovery(const rsm::RsmProcess& p, obs::MetricsRegistry& reg);
@@ -104,6 +111,7 @@ struct Durable<rsm::RsmProcess> {
  private:
   std::map<std::int32_t, std::vector<std::uint8_t>> last_;  ///< slot -> encoded record
   std::uint64_t replayed_slots_ = 0;
+  std::uint64_t replayed_batches_ = 0;
 };
 
 }  // namespace twostep::storage

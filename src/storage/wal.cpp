@@ -119,6 +119,7 @@ void Wal::append(std::span<const std::uint8_t> record) {
   put_u32_le(buffer_, crc32(record));
   buffer_.insert(buffer_.end(), record.begin(), record.end());
   ++appends_;
+  ++pending_records_;
 }
 
 void Wal::sync() {
@@ -128,6 +129,7 @@ void Wal::sync() {
   }
   if (options_.fsync && ::fdatasync(fd_) < 0) throw_errno("wal fdatasync " + path_);
   ++syncs_;
+  pending_records_ = 0;
 }
 
 }  // namespace twostep::storage

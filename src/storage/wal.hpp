@@ -63,6 +63,13 @@ class Wal {
   /// Buffers one record.  Not durable until sync() returns.
   void append(std::span<const std::uint8_t> record);
 
+  /// True when records are buffered but not yet synced.  Group-commit
+  /// callers use this to skip a barrier that would persist nothing.
+  [[nodiscard]] bool has_pending() const noexcept { return pending_records_ > 0; }
+  /// Records buffered since the last sync (the amortization width of the
+  /// next barrier).
+  [[nodiscard]] std::uint64_t pending_records() const noexcept { return pending_records_; }
+
   /// Writes all buffered records and issues the durability barrier
   /// (fdatasync, unless options.fsync is off).  Throws std::system_error
   /// on I/O failure — a WAL that cannot persist must not ack.
@@ -84,6 +91,7 @@ class Wal {
   std::uint64_t truncated_bytes_ = 0;
   std::uint64_t appends_ = 0;
   std::uint64_t syncs_ = 0;
+  std::uint64_t pending_records_ = 0;  ///< appended since the last sync
 };
 
 }  // namespace twostep::storage

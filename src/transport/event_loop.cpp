@@ -128,9 +128,23 @@ void EventLoop::fire_due_timers() {
   }
 }
 
-int EventLoop::next_timeout_ms() {
+void EventLoop::drain_cancelled_timers() {
   // Skip over lazily-cancelled heap tops so a dead timer never wakes us.
   while (!timer_heap_.empty() && !timers_.contains(timer_heap_.top().id)) timer_heap_.pop();
+}
+
+void EventLoop::at_round_end(Task fn) { round_end_.push_back(std::move(fn)); }
+
+void EventLoop::run_round_end() {
+  // Swap first: a round-end task scheduling another round-end task (it
+  // should not, but defensively) lands in the next round, not this loop.
+  std::vector<Task> batch;
+  batch.swap(round_end_);
+  for (Task& task : batch) task();
+}
+
+int EventLoop::next_timeout_ms() {
+  drain_cancelled_timers();
   if (timer_heap_.empty()) return -1;
   const std::int64_t delta_us = timer_heap_.top().deadline_us - now_us();
   if (delta_us <= 0) return 0;
@@ -149,6 +163,7 @@ void EventLoop::run() {
     run_posted();
     fire_due_timers();
     if (probe_.timer_depth) probe_.timer_depth->record(static_cast<std::int64_t>(timers_.size()));
+    run_round_end();
     if (stop_.load(std::memory_order_relaxed)) break;
     const int timeout = next_timeout_ms();
     std::int64_t poll_start_us = 0;

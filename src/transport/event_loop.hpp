@@ -68,6 +68,19 @@ class EventLoop {
   /// Enqueues `fn` to run on the loop thread.  Thread-safe; wakes the loop.
   void post(Task fn);
 
+  /// Enqueues `fn` to run once at the end of the current dispatch round,
+  /// before the loop blocks in epoll_wait again.  Loop-thread only.  The
+  /// transport uses this to coalesce every frame queued during one round
+  /// into a single vectored flush per connection.
+  void at_round_end(Task fn);
+
+  /// The epoll timeout the loop would use right now, in ms (-1 = no timer).
+  /// Drains lazily-cancelled timer-heap entries first — the same fix the
+  /// simulator's scheduler got in PR 2: a pile of cancelled timers at the
+  /// top of the heap must not manufacture spurious zero-timeout wakeups.
+  /// Exposed for regression tests.
+  [[nodiscard]] int next_timeout_hint_ms() { return next_timeout_ms(); }
+
   /// Dispatches events until request_stop().  Runs posted tasks, due timers
   /// and fd callbacks; blocks in epoll_wait when idle.
   void run();
@@ -96,6 +109,10 @@ class EventLoop {
   void drain_wake_fd();
   void run_posted();
   void fire_due_timers();
+  void run_round_end();
+  /// Pops cancelled entries off the top of the timer heap so they cannot
+  /// influence the epoll timeout.
+  void drain_cancelled_timers();
   /// epoll_wait timeout until the next timer, in ms; -1 when no timer.
   [[nodiscard]] int next_timeout_ms();
 
@@ -113,6 +130,8 @@ class EventLoop {
 
   std::mutex post_mu_;
   std::vector<Task> posted_;
+
+  std::vector<Task> round_end_;  ///< loop-thread only; drained every round
 
   LoopProbe probe_;
 

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -101,16 +102,37 @@ void Connection::start(FrameHandler on_frame, CloseHandler on_close) {
 
 void Connection::send_frame(FrameKind kind, std::span<const std::uint8_t> payload) {
   if (closed()) return;
-  auto self = shared_from_this();  // fail() below may drop the owner's ref
-  append_frame(outbox_, kind, payload);
-  if (stats_) stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
-  if (!flush()) {
-    fail();
-    return;
+  // Pack into the tail chunk; start a new one (recycling the spare) once
+  // the tail reaches the chunk target.  A frame larger than the target
+  // simply grows its chunk — the 1 MiB wire cap bounds the worst case.
+  if (outbox_.empty() || outbox_.back().size() >= kChunkTarget) {
+    spare_.clear();
+    outbox_.push_back(std::move(spare_));
+    spare_ = {};
+    if (outbox_.back().capacity() < kChunkTarget) outbox_.back().reserve(kChunkTarget);
   }
+  const std::size_t before = outbox_.back().size();
+  append_frame(outbox_.back(), kind, payload);
+  unsent_bytes_ += outbox_.back().size() - before;
+  if (stats_) stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
   if (stats_ && stats_->outbox_bytes)
-    stats_->outbox_bytes->record(static_cast<std::int64_t>(outbox_.size() - outbox_sent_));
-  update_interest();
+    stats_->outbox_bytes->record(static_cast<std::int64_t>(unsent_bytes_));
+  schedule_flush();
+}
+
+void Connection::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  auto self = shared_from_this();
+  loop_.at_round_end([self] {
+    self->flush_scheduled_ = false;
+    if (self->closed()) return;
+    if (!self->flush()) {
+      self->fail();
+      return;
+    }
+    self->update_interest();
+  });
 }
 
 void Connection::close() {
@@ -182,32 +204,56 @@ void Connection::handle_readable() {
 }
 
 bool Connection::flush() {
-  while (outbox_sent_ < outbox_.size()) {
-    const ssize_t n = ::send(fd_, outbox_.data() + outbox_sent_, outbox_.size() - outbox_sent_,
-                             MSG_NOSIGNAL);
+  constexpr int kMaxIov = 64;
+  while (unsent_bytes_ > 0) {
+    iovec iov[kMaxIov];
+    int cnt = 0;
+    std::size_t off = head_sent_;
+    for (auto it = outbox_.begin(); it != outbox_.end() && cnt < kMaxIov; ++it) {
+      iov[cnt].iov_base = it->data() + off;
+      iov[cnt].iov_len = it->size() - off;
+      off = 0;
+      ++cnt;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(cnt);
+    const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      outbox_sent_ += static_cast<std::size_t>(n);
       if (stats_) stats_->bytes_sent.fetch_add(static_cast<std::uint64_t>(n),
                                                std::memory_order_relaxed);
+      unsent_bytes_ -= static_cast<std::size_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        auto& front = outbox_.front();
+        const std::size_t avail = front.size() - head_sent_;
+        if (left >= avail) {
+          left -= avail;
+          head_sent_ = 0;
+          // Recycle one fully-drained chunk so the steady state allocates
+          // nothing per round.
+          if (spare_.capacity() == 0) {
+            spare_ = std::move(front);
+            spare_.clear();
+          }
+          outbox_.pop_front();
+        } else {
+          head_sent_ += left;
+          left = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
-  if (outbox_sent_ == outbox_.size()) {
-    outbox_.clear();
-    outbox_sent_ = 0;
-  } else if (outbox_sent_ > 65536) {
-    outbox_.erase(outbox_.begin(), outbox_.begin() + static_cast<std::ptrdiff_t>(outbox_sent_));
-    outbox_sent_ = 0;
-  }
   return true;
 }
 
 void Connection::update_interest() {
   if (closed()) return;
-  const bool want = outbox_sent_ < outbox_.size();
+  const bool want = unsent_bytes_ > 0;
   if (want == want_write_) return;
   want_write_ = want;
   loop_.mod_fd(fd_, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);

@@ -87,8 +87,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// framing violation (not on an explicit local close()).
   void start(FrameHandler on_frame, CloseHandler on_close);
 
-  /// Queues one frame; flushes as much as the socket accepts immediately
-  /// and arms EPOLLOUT for the rest.  No-op after close.
+  /// Queues one frame into the chunked outbox.  The actual write is
+  /// deferred to the end of the current loop round, so every frame queued
+  /// during one dispatch round leaves in a single vectored flush
+  /// (sendmsg over the chunk list) instead of one send() per frame.
+  /// Encoding appends straight into the tail chunk — no per-frame buffer
+  /// allocation on the steady-state path.  No-op after close.
   void send_frame(FrameKind kind, std::span<const std::uint8_t> payload);
 
   /// Deregisters and closes the socket.  Does NOT invoke on_close.
@@ -96,12 +100,20 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   [[nodiscard]] bool closed() const noexcept { return fd_ < 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Bytes queued but not yet written to the socket.
+  [[nodiscard]] std::size_t unsent_bytes() const noexcept { return unsent_bytes_; }
+
+  /// Chunk granularity of the outbox: frames pack back-to-back into a
+  /// chunk until it reaches this size, then a new chunk starts.
+  static constexpr std::size_t kChunkTarget = 64 * 1024;
 
  private:
   void handle_events(std::uint32_t events);
   void handle_readable();
-  /// Writes the backlog; returns false if the connection died.
+  /// Writes the backlog (vectored); returns false if the connection died.
   bool flush();
+  /// Arms a round-end flush if one is not already scheduled.
+  void schedule_flush();
   void update_interest();
   void fail();  ///< close + fire on_close once
 
@@ -111,9 +123,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   FrameHandler on_frame_;
   CloseHandler on_close_;
   FrameParser parser_;
-  std::vector<std::uint8_t> outbox_;     ///< unsent bytes
-  std::size_t outbox_sent_ = 0;          ///< prefix of outbox_ already written
-  bool want_write_ = false;              ///< EPOLLOUT currently armed
+  std::deque<std::vector<std::uint8_t>> outbox_;  ///< unsent chunks, frames packed
+  std::size_t head_sent_ = 0;         ///< bytes of outbox_.front() already written
+  std::size_t unsent_bytes_ = 0;      ///< total queued bytes not yet written
+  std::vector<std::uint8_t> spare_;   ///< recycled chunk (steady-state: no alloc)
+  bool flush_scheduled_ = false;      ///< round-end flush pending
+  bool want_write_ = false;           ///< EPOLLOUT currently armed
 };
 
 /// Self-healing outbound link to one peer replica.  Loop-thread only.

@@ -45,6 +45,7 @@ enum class FrameKind : std::uint8_t {
   kTraced = 7,         ///< codec::encode(codec::TracedFrame): trace-wrapped protocol frame
   kStatsRequest = 8,   ///< codec::encode(codec::StatsRequest): metrics scrape
   kStatsReply = 9,     ///< codec::encode(codec::StatsReply)
+  kBatch = 10,         ///< codec::encode_batch(rsm batch sidecar message)
 };
 
 /// True iff `kind` is one of the FrameKind enumerators.

@@ -244,6 +244,61 @@ TEST(Codec, ClientFrameDecodersRejectTruncationAndGarbage) {
   }
 }
 
+// ---- batch sidecar frames (N3 saturation path) ----
+
+std::vector<rsm::Msg> sample_batch_messages() {
+  const rsm::Command handle = (std::int64_t{2} << 40) | (std::int64_t{1} << 39) | 7;
+  return {
+      rsm::Msg{rsm::BatchContentMsg{handle, {}}},
+      rsm::Msg{rsm::BatchContentMsg{handle, {0}}},
+      rsm::Msg{rsm::BatchContentMsg{handle, {1, 2, 3, 4, 5, 6, 7, 8}}},
+      rsm::Msg{rsm::BatchContentMsg{(std::int64_t{1} << 39) | 1,
+                                    {(std::int64_t{1} << 39) - 1, 0, 42}}},
+      rsm::Msg{rsm::BatchFetchMsg{handle}},
+      rsm::Msg{rsm::BatchFetchMsg{(std::int64_t{1} << 39) | 999}},
+  };
+}
+
+TEST(Codec, BatchMessagesRoundTrip) {
+  for (const auto& m : sample_batch_messages()) {
+    const auto bytes = encode_batch(m);
+    ASSERT_FALSE(bytes.empty());
+    const auto back = decode_batch(bytes);
+    ASSERT_TRUE(back.has_value()) << "variant " << m.index();
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, BatchDecoderRejectsTruncationAndGarbage) {
+  for (const auto& m : sample_batch_messages()) {
+    auto bytes = encode_batch(m);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_batch({bytes.data(), cut}).has_value())
+          << "variant " << m.index() << " cut=" << cut;
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_batch(bytes).has_value()) << "variant " << m.index();
+  }
+  EXPECT_FALSE(decode_batch({}).has_value());
+  EXPECT_FALSE(decode_batch(std::vector<std::uint8_t>{0x7F}).has_value());
+  EXPECT_FALSE(decode_batch(std::vector<std::uint8_t>{0}).has_value());
+  // A payload count pointing past the buffer must fail cleanly, not read it.
+  Writer w;
+  w.put_i64((std::int64_t{1} << 39) | 1);
+  w.put_i64(1'000'000);
+  auto oversize = std::move(w).take();
+  oversize.insert(oversize.begin(), 1);  // BatchContent tag
+  EXPECT_FALSE(decode_batch(oversize).has_value());
+}
+
+TEST(Codec, BatchDecoderSurvivesFuzz) {
+  util::Rng rng{0xBA7C4};
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<std::uint8_t> bytes(rng.next_below(40));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    if (const auto m = decode_batch(bytes)) EXPECT_EQ(*decode_batch(encode_batch(*m)), *m);
+  }
+}
+
 // ---- trace-context propagation and stats scrape frames (PR 6) ----
 
 std::vector<obs::TraceContext> sample_traces() {

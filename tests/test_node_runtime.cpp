@@ -33,6 +33,7 @@
 #include "core/two_step.hpp"
 #include "harness/run_spec.hpp"
 #include "node/client.hpp"
+#include "node/loadgen.hpp"
 #include "node/local_cluster.hpp"
 #include "node/runtime.hpp"
 #include "obs/flight.hpp"
@@ -209,7 +210,7 @@ TEST(LiveConformance, RsmAppliedLogMatchesSimulatorForSameCommandSequence) {
   // Live: a closed-loop client drives replica 0 (its proxy) with the same
   // sequence over a real socket.
   node::LocalCluster<rsm::RsmProcess> cluster(
-      config.n, [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
+      config.n, [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg,
                     consensus::ProcessId) {
         rsm::Options options;
         options.delta = kLiveDeltaUs;
@@ -287,7 +288,7 @@ TEST(LiveRuntime, SingleShotClientGetsTheDecidedValue) {
 TEST(LiveRuntime, RejectsRsmPayloadOutsideCommandRange) {
   const consensus::SystemConfig config(3, 1, 1);
   node::LocalCluster<rsm::RsmProcess> cluster(
-      config.n, [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
+      config.n, [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg,
                     consensus::ProcessId) {
         rsm::Options options;
         options.delta = kLiveDeltaUs;
@@ -301,6 +302,51 @@ TEST(LiveRuntime, RejectsRsmPayloadOutsideCommandRange) {
   const auto reply = client.call(std::int64_t{1} << 41);  // outside the 40-bit range
   ASSERT_TRUE(reply.has_value());
   EXPECT_FALSE(reply->ok);
+  cluster.stop();
+}
+
+TEST(LiveRuntime, RetriedCallKeepsTheOriginalRttClock) {
+  // Regression guard (N3 latency audit): a call that times out against a
+  // silent replica and fails over must report its RTT from the ORIGINAL
+  // issue instant — resetting the clock on retry would hide the outage
+  // from every latency histogram.  The first endpoint is a listener that
+  // completes the TCP handshake (backlog) but never answers; the real
+  // cluster sits behind it.
+  const consensus::SystemConfig config(3, 1, 1);
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n, [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  transport::Endpoint silent_ep{"127.0.0.1", 0};
+  const int silent_fd = transport::bind_listener(silent_ep);  // never accepts
+  ASSERT_GE(silent_fd, 0);
+
+  std::vector<transport::Endpoint> servers{silent_ep};
+  for (const auto& ep : cluster.endpoints()) servers.push_back(ep);
+  node::ClientOptions options;
+  options.attempt_timeout_ms = 100;
+  obs::MetricsRegistry client_metrics;
+  node::ClientSession client(servers, &client_metrics, options);
+  ASSERT_TRUE(client.connect());  // lands on the silent listener
+
+  const auto reply = client.call(42);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+  EXPECT_GE(client_metrics.counter_value("client.failovers"), 1u);
+  // The recorded RTT must include the >= 100 ms spent on the dead attempt.
+  const auto rtt = client_metrics.log_histogram_snapshot("client.rtt_us");
+  ASSERT_EQ(rtt.count, 1u);
+  EXPECT_GE(rtt.min, 100'000.0) << "retry reset the RTT clock";
+  const auto failover_rtt = client_metrics.log_histogram_snapshot("client.failover_rtt_us");
+  EXPECT_EQ(failover_rtt.count, 1u);
+  ::close(silent_fd);
   cluster.stop();
 }
 
@@ -322,6 +368,76 @@ class TempDir {
   std::string dir_;
 };
 
+TEST(LiveRuntime, BatchedPipelinedGroupCommitClusterServesOpenLoopLoad) {
+  // The N3 saturation stack end to end on real sockets: command batching,
+  // slot pipelining and group-commit WAL all on, driven by the open-loop
+  // generator.  Every offered command must be answered (no losses, no
+  // rejections), every acked payload must be applied, and all replicas
+  // must agree on the applied sequence.
+  const consensus::SystemConfig config(3, 1, 1);
+  TempDir tmp;
+  node::ClusterOptions cluster_options;
+  cluster_options.storage_dir = tmp.path();
+  cluster_options.fsync = false;  // discipline under test, not the device
+  cluster_options.group_commit_us = 200;
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      config.n,
+      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = kLiveDeltaUs;
+        options.leader_of = [] { return consensus::ProcessId{0}; };
+        options.probe.metrics = &reg;
+        options.batch_max = 16;
+        options.batch_linger = 200;
+        options.pipeline_window = 16;
+        options.batch_fill = &reg.log_histogram("rsm.batch_fill");
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      },
+      cluster_options);
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  node::LoadgenOptions gen_options;
+  gen_options.rate = 2'000;
+  gen_options.sessions = 64;
+  gen_options.connections = 4;
+  gen_options.duration_ms = 1'000;
+  gen_options.drain_ms = 5'000;
+  node::OpenLoopLoadgen gen(cluster.endpoints(), gen_options);
+  const node::LoadResult result = gen.run();
+  EXPECT_GT(result.ok, 0);
+  EXPECT_EQ(result.rejected, 0);
+  EXPECT_EQ(result.lost, 0) << "commands unanswered after the drain";
+
+  // Every replica applies the identical expanded command sequence...
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    bool all = true;
+    for (int p = 0; p < config.n; ++p)
+      if (cluster.node(p).applied_log().size() <
+          static_cast<std::size_t>(result.ok)) all = false;
+    if (all) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto log0 = cluster.node(0).applied_log();
+  for (int p = 1; p < config.n; ++p) EXPECT_EQ(cluster.node(p).applied_log(), log0);
+
+  // ...containing every acked payload exactly once.
+  std::set<std::int64_t> applied_payloads;
+  for (const auto& [slot, cmd] : log0)
+    applied_payloads.insert(rsm::RsmProcess::command_payload(cmd));
+  EXPECT_EQ(applied_payloads.size(), log0.size()) << "duplicate commands applied";
+  for (const std::int64_t payload : gen.acked_payloads())
+    ASSERT_TRUE(applied_payloads.contains(payload)) << "acked payload " << payload << " missing";
+  cluster.stop();
+
+  // The stack actually engaged: multi-command batches and amortized syncs.
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  EXPECT_GT(merged.log_histogram_snapshot("rsm.batch_fill").max, 1.0)
+      << "no batch ever held more than one command";
+  EXPECT_GT(merged.counter_value("wal.barriers"), 0u);
+}
+
 TEST(LiveTrace, OneClientCommandYieldsACausallyLinkedTreeAcrossProcesses) {
   // The tentpole acceptance criterion: a single traced client command on a
   // storage-backed 3-replica cluster produces spans from >= 3 processes,
@@ -335,7 +451,7 @@ TEST(LiveTrace, OneClientCommandYieldsACausallyLinkedTreeAcrossProcesses) {
   cluster_options.fsync = false;  // throwaway data; the span, not the device
   node::LocalCluster<rsm::RsmProcess> cluster(
       config.n,
-      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
         rsm::Options options;
         options.delta = kLiveDeltaUs;
         options.leader_of = [] { return consensus::ProcessId{0}; };
@@ -397,7 +513,7 @@ TEST(LiveStats, StatsRequestFrameScrapesARunningNode) {
   const consensus::SystemConfig config(3, 1, 1);
   node::LocalCluster<rsm::RsmProcess> cluster(
       config.n,
-      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
         rsm::Options options;
         options.delta = kLiveDeltaUs;
         options.leader_of = [] { return consensus::ProcessId{0}; };

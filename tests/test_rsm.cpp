@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "consensus/scenario.hpp"
@@ -181,6 +182,164 @@ TEST(Rsm, CommandPackingRoundTrips) {
   const Command cmd = (std::int64_t{3} << 40) | 12345;
   EXPECT_EQ(RsmProcess::command_proxy(cmd), 3);
   EXPECT_EQ(RsmProcess::command_payload(cmd), 12345);
+}
+
+// ---- batching (N3 saturation path) ----------------------------------------
+
+std::unique_ptr<Runner> make_batched_rsm(SystemConfig cfg, int batch_max, sim::Tick linger,
+                                         int pipeline_window = 0,
+                                         obs::LogHistogram* fill = nullptr) {
+  Options options;
+  options.delta = kDelta;
+  options.batch_max = batch_max;
+  options.batch_linger = linger;
+  options.pipeline_window = pipeline_window;
+  options.batch_fill = fill;
+  return std::make_unique<Runner>(cfg, std::make_unique<net::SynchronousRounds>(kDelta),
+                                  options, 1);
+}
+
+TEST(Rsm, BatchedCommandsShareOneSlotAndApplyInOrder) {
+  // Eight commands submitted in the same tick coalesce into one sealed
+  // batch: one consensus slot decides, yet every command applies in
+  // submission order and commits individually at the proxy.
+  const SystemConfig cfg{5, 2, 2};
+  obs::LogHistogram fill;
+  auto r = make_batched_rsm(cfg, 8, 0, 0, &fill);
+  std::vector<std::int64_t> applied;
+  std::vector<std::int64_t> committed;
+  r->cluster().process(0).on_apply = [&](std::int32_t, Command cmd) {
+    applied.push_back(RsmProcess::command_payload(cmd));
+  };
+  r->cluster().process(0).on_commit = [&](Command cmd, sim::Tick, std::int32_t) {
+    committed.push_back(RsmProcess::command_payload(cmd));
+  };
+  r->cluster().start_all();
+  for (std::int64_t k = 1; k <= 8; ++k) r->cluster().process(0).submit(k);
+  r->cluster().run();
+  EXPECT_EQ(applied, (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(committed, (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  // All eight rode one slot (the handle), not eight.
+  EXPECT_EQ(r->cluster().process(0).decided_slots(), 1);
+  EXPECT_TRUE(RsmProcess::command_is_batch(*r->cluster().process(0).decision(0)));
+  ASSERT_EQ(fill.count(), 1u);
+  EXPECT_EQ(fill.max(), 8);
+}
+
+TEST(Rsm, BatchedLogsAgreeAcrossReplicasAndProxies) {
+  // Two proxies batching concurrently: every replica applies the same
+  // expanded command sequence, and the union covers every payload.
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_batched_rsm(cfg, 4, 0);
+  std::vector<std::vector<std::int64_t>> applied(static_cast<std::size_t>(cfg.n));
+  for (ProcessId p = 0; p < cfg.n; ++p)
+    r->cluster().process(p).on_apply = [&applied, p](std::int32_t, Command cmd) {
+      applied[static_cast<std::size_t>(p)].push_back(RsmProcess::command_payload(cmd));
+    };
+  r->cluster().start_all();
+  for (std::int64_t k = 1; k <= 6; ++k) {
+    r->cluster().process(0).submit(100 + k);
+    r->cluster().process(1).submit(200 + k);
+  }
+  r->cluster().run();
+  ASSERT_EQ(applied[0].size(), 12u);
+  for (ProcessId p = 1; p < cfg.n; ++p) EXPECT_EQ(applied[static_cast<std::size_t>(p)], applied[0]);
+  std::set<std::int64_t> seen(applied[0].begin(), applied[0].end());
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(Rsm, BatchLingerHoldsTheBatchOpen) {
+  // With a linger window, a lone command waits (up to the linger) for
+  // company before sealing; a second submission inside the window shares
+  // its slot.
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_batched_rsm(cfg, 8, 3 * kDelta);
+  r->cluster().start_all();
+  r->cluster().process(0).submit(1);
+  EXPECT_EQ(r->cluster().process(0).open_batch_size(), 1);
+  r->cluster().process(0).submit(2);
+  EXPECT_EQ(r->cluster().process(0).open_batch_size(), 2);
+  r->cluster().run();
+  EXPECT_EQ(r->cluster().process(0).decided_slots(), 1);
+  EXPECT_EQ(r->cluster().process(0).applied_prefix(), 1);
+  EXPECT_EQ(r->cluster().process(0).open_batch_size(), 0);
+}
+
+TEST(Rsm, BatchingTightensThePayloadLimit) {
+  const SystemConfig cfg{3, 1, 1};
+  auto r = make_batched_rsm(cfg, 8, 0);
+  EXPECT_EQ(r->cluster().process(0).max_payload(), (std::int64_t{1} << 39) - 1);
+  EXPECT_THROW(r->cluster().process(0).submit(std::int64_t{1} << 39), std::invalid_argument);
+  auto plain = make_sync_rsm(cfg);
+  EXPECT_EQ(plain->cluster().process(0).max_payload(), (std::int64_t{1} << 40) - 1);
+}
+
+TEST(Rsm, DecideMessagesCarryBatchContentsBeforeDecides) {
+  // Anti-entropy: a peer that receives a Decide for a batch handle it
+  // cannot expand would stall, so decide_messages() must lead with the
+  // handle's contents.
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_batched_rsm(cfg, 4, 0);
+  r->cluster().start_all();
+  for (std::int64_t k = 1; k <= 3; ++k) r->cluster().process(0).submit(k);
+  r->cluster().run();
+  const auto msgs = r->cluster().process(0).decide_messages();
+  ASSERT_FALSE(msgs.empty());
+  bool seen_slot = false;
+  int contents = 0;
+  for (const auto& m : msgs) {
+    if (std::holds_alternative<BatchContentMsg>(m)) {
+      EXPECT_FALSE(seen_slot) << "batch contents must precede every Decide";
+      ++contents;
+    } else if (std::holds_alternative<SlotMsg>(m)) {
+      seen_slot = true;
+    }
+  }
+  EXPECT_GE(contents, 1);
+  EXPECT_TRUE(seen_slot);
+}
+
+// ---- slot pipelining -------------------------------------------------------
+
+std::vector<std::pair<std::int32_t, std::int64_t>> run_window(const SystemConfig& cfg,
+                                                              int window) {
+  auto r = make_batched_rsm(cfg, 1, 0, window);
+  r->cluster().start_all();
+  for (std::int64_t k = 1; k <= 6; ++k) r->cluster().process(0).submit(k);
+  r->cluster().run();
+  std::vector<std::pair<std::int32_t, std::int64_t>> log;
+  auto& proc = r->cluster().process(0);
+  for (std::int32_t s = 0; s < proc.applied_prefix(); ++s)
+    log.emplace_back(s, RsmProcess::command_payload(*proc.decision(s)));
+  return log;
+}
+
+TEST(Rsm, PipelineWindowOneDegeneratesToUnpipelined) {
+  // window=1 (one own undecided slot at a time) must produce the identical
+  // applied log to window=0 (the unbounded pre-window behavior) for a
+  // single-proxy stream: same slots, same commands, same order.
+  const SystemConfig cfg{5, 2, 2};
+  const auto unbounded = run_window(cfg, 0);
+  const auto serialized = run_window(cfg, 1);
+  ASSERT_EQ(unbounded.size(), 6u);
+  EXPECT_EQ(serialized, unbounded);
+}
+
+TEST(Rsm, PipelineWindowBoundsOwnSlotsInFlight) {
+  // With window=2 and six instantaneous submissions, at most two own slots
+  // are ever proposed-but-undecided; the rest queue and still all commit.
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_batched_rsm(cfg, 1, 0, 2);
+  int committed = 0;
+  r->cluster().process(0).on_commit = [&](Command, sim::Tick, std::int32_t) { ++committed; };
+  r->cluster().start_all();
+  for (std::int64_t k = 1; k <= 6; ++k) r->cluster().process(0).submit(k);
+  // Before anything decides, only the window's worth may occupy slots.
+  EXPECT_EQ(r->cluster().process(0).pending_own_commands(), 6);
+  r->cluster().run();
+  EXPECT_EQ(committed, 6);
+  EXPECT_EQ(r->cluster().process(0).applied_prefix(), 6);
+  EXPECT_EQ(r->cluster().process(0).pending_own_commands(), 0);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // connections with reconnect over loopback.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -276,6 +278,60 @@ TEST(TransportTcp, PeerLinkQueuesWhileServerIsDownThenReconnects) {
   EXPECT_EQ(sink->frames[1].payload, bytes({1}));
   EXPECT_EQ(sink->frames[2].payload, bytes({2}));
   link.shutdown();
+}
+
+TEST(TransportTcp, AcceptedSocketsDisableNagle) {
+  // Regression guard for the N3 latency audit: the Connection ctor must set
+  // TCP_NODELAY on every fd it adopts — dialed AND accepted.  An accepted
+  // server-side socket that kept Nagle on would add up to 40 ms of delayed-
+  // ACK interaction to every reply, invisible in throughput tests.
+  transport::EventLoop loop;
+  FrameSink sink(loop);
+  transport::TransportStats stats;
+  transport::PeerLink link(loop, /*self=*/3, /*peer=*/0, sink.ep, &stats);
+  link.start();
+  link.send_frame(FrameKind::kCore, bytes({1}));
+  loop.schedule_after(2'000'000, [&] { loop.request_stop(); });  // safety net
+  auto check = std::make_shared<std::function<void()>>();
+  *check = [&, check] {
+    if (sink.conn)
+      loop.request_stop();
+    else
+      loop.schedule_after(1'000, *check);
+  };
+  loop.post(*check);
+  loop.run();
+  *check = nullptr;
+  ASSERT_TRUE(sink.conn) << "no inbound connection accepted";
+  int nodelay = 0;
+  socklen_t len = sizeof(nodelay);
+  ASSERT_EQ(::getsockopt(sink.conn->fd(), IPPROTO_TCP, TCP_NODELAY, &nodelay, &len), 0);
+  EXPECT_EQ(nodelay, 1) << "accepted socket still has Nagle enabled";
+  link.shutdown();
+}
+
+TEST(TransportLoop, CancelledTimersDoNotInflateTheEpollTimeout) {
+  // The live mirror of the simulator's lazily-cancelled-timer fix (PR 2):
+  // cancelled heap entries must be drained before computing the epoll
+  // timeout, or a pile of near-deadline cancelled timers makes the loop
+  // spin (hint 0) — and, symmetrically, a cancelled NEAR timer must not
+  // hide a FAR live one.
+  transport::EventLoop loop;
+  const std::uint64_t near = loop.schedule_after(5'000, [] {});
+  loop.schedule_after(3'600'000'000, [] {});  // 1 h, effectively "far"
+  EXPECT_TRUE(loop.cancel_timer(near));
+  // With the near timer cancelled, the hint must reflect the far one, not
+  // the stale heap top.
+  const int hint = loop.next_timeout_hint_ms();
+  EXPECT_GT(hint, 1'000'000) << "cancelled timer still drives the timeout";
+}
+
+TEST(TransportLoop, AllTimersCancelledMeansBlockingWait) {
+  transport::EventLoop loop;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(loop.schedule_after(1'000 + i, [] {}));
+  for (const std::uint64_t id : ids) EXPECT_TRUE(loop.cancel_timer(id));
+  EXPECT_EQ(loop.next_timeout_hint_ms(), -1) << "empty-after-drain heap must block indefinitely";
 }
 
 }  // namespace

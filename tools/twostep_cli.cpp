@@ -105,6 +105,28 @@
 //       Exit status 2 on any invariant violation, 1 on lost/rejected
 //       commands or a mesh failure.
 //
+//   twostep_cli loadgen [-n N] [--rate R] [--sessions S] [--connections C]
+//              [--duration-ms T] [--drain-ms T] [--fixed] [--spread]
+//              [--batch-max B] [--batch-linger-us L] [--pipeline-window W]
+//              [--group-commit-us G] [--delta-us D] [--seed S]
+//              [--storage-dir DIR] [--no-fsync] [--metrics-out FILE]
+//              [--connect H:P,H:P,...]
+//       Open-loop saturation workload (node::OpenLoopLoadgen): S logical
+//       sessions over C shared connections offer R commands/s for T ms —
+//       Poisson arrivals by default, deterministic spacing with --fixed —
+//       and report offered vs achieved rate plus the RTT distribution.
+//       Without --connect the command spawns an n-replica local RSM
+//       cluster first (batching / slot pipelining / group-commit WAL
+//       knobs forwarded to every replica) and, after the drain, audits
+//       the chaossoak invariants over the applied logs: pairwise prefix
+//       agreement, every applied payload drawn from the issued set
+//       (validity), and every acknowledged payload present in the longest
+//       log (durability).  Exit 2 on any invariant violation, 1 on lost
+//       or rejected commands or a mesh failure.  With --connect the
+//       workload drives an already-running cluster and only the loadgen
+//       report is produced (the first endpoint is the proxy; --spread
+//       round-robins connections across all of them).
+//
 //   twostep_cli serve --id I --peers H:P,H:P,... [--protocol ...]
 //              [--e E] [--f F] [--delta-us D] [--metrics-out FILE]
 //              [--stats-interval-ms T]
@@ -164,6 +186,7 @@
 #include "lowerbound/scenarios.hpp"
 #include "modelcheck/explorer.hpp"
 #include "node/client.hpp"
+#include "node/loadgen.hpp"
 #include "node/local_cluster.hpp"
 #include "node/runtime.hpp"
 #include "obs/export.hpp"
@@ -776,7 +799,7 @@ bool dump_traces_if_requested(const Args& args, node::LocalCluster<P>& cluster,
 int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Args& args) {
   node::LocalCluster<rsm::RsmProcess> cluster(
       config.n,
-      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg,
+      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg,
           consensus::ProcessId) {
         rsm::Options options;
         options.delta = delta;
@@ -1009,7 +1032,7 @@ int cmd_chaossoak(const Args& args) {
 
   node::LocalCluster<rsm::RsmProcess> cluster(
       n,
-      [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
         rsm::Options options;
         options.delta = delta;
         options.leader_of = [] { return ProcessId{0}; };
@@ -1199,6 +1222,176 @@ int cmd_chaossoak(const Args& args) {
   return (lost == 0 && rejected == 0) ? 0 : 1;
 }
 
+/// Shared loadgen report rows (both modes).
+void add_loadgen_rows(util::Table& t, const node::LoadResult& result) {
+  char rate[64];
+  std::snprintf(rate, sizeof(rate), "%.0f cmds/s", result.offered_rate());
+  t.add_row({"offered rate", rate});
+  std::snprintf(rate, sizeof(rate), "%.0f cmds/s", result.achieved_rate());
+  t.add_row({"achieved rate", rate});
+  t.add_row({"commands offered", std::to_string(result.offered)});
+  t.add_row({"commands ok", std::to_string(result.ok)});
+  t.add_row({"commands rejected", std::to_string(result.rejected)});
+  t.add_row({"commands lost", std::to_string(result.lost)});
+  t.add_row({"resends", std::to_string(result.resends)});
+  t.add_row({"reconnects", std::to_string(result.reconnects)});
+  if (result.rtt.count > 0) {
+    t.add_row({"rtt p50", format_us(result.rtt.p50)});
+    t.add_row({"rtt p99", format_us(result.rtt.p99)});
+    t.add_row({"rtt max", format_us(static_cast<double>(result.rtt.max))});
+  }
+}
+
+/// Open-loop saturation workload; see the usage comment at the top.  In
+/// local mode the run ends with the chaossoak invariant sweep over every
+/// replica's applied log.
+int cmd_loadgen(const Args& args) {
+  node::LoadgenOptions gen_options;
+  gen_options.rate = args.get_int("rate", 5'000);
+  gen_options.sessions = static_cast<int>(args.get_int("sessions", 256));
+  gen_options.connections = static_cast<int>(args.get_int("connections", 8));
+  gen_options.duration_ms = args.get_int("duration-ms", 5'000);
+  gen_options.drain_ms = args.get_int("drain-ms", 2'000);
+  gen_options.poisson = !args.has("fixed");
+  gen_options.spread = args.has("spread");
+  gen_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // Remote mode: drive a cluster someone else is running.
+  if (args.has("connect")) {
+    const auto endpoints = parse_endpoint_list(args.get("connect"));
+    if (endpoints.empty()) {
+      std::fprintf(stderr, "loadgen: --connect needs H:P[,H:P...]\n");
+      return 1;
+    }
+    node::OpenLoopLoadgen gen(endpoints, gen_options);
+    const auto result = gen.run();
+    util::Table t({"metric", "value"});
+    t.set_title("open-loop loadgen against " + endpoints.front().to_string());
+    add_loadgen_rows(t, result);
+    std::printf("%s", t.to_string().c_str());
+    std::printf("loadgen: %s\n", result.to_json().c_str());
+    return (result.lost == 0 && result.rejected == 0) ? 0 : 1;
+  }
+
+  // Local mode: spawn the cluster, saturate it, audit the invariants.
+  const int e = static_cast<int>(args.get_int("e", 1));
+  const int f = static_cast<int>(args.get_int("f", 1));
+  const int n = static_cast<int>(args.get_int("n", default_cluster_size("rsm", e, f)));
+  const sim::Tick delta = args.get_int("delta-us", 100'000);
+  const int batch_max = static_cast<int>(args.get_int("batch-max", 32));
+  const sim::Tick batch_linger = args.get_int("batch-linger-us", 200);
+  const int pipeline_window = static_cast<int>(args.get_int("pipeline-window", 32));
+  const SystemConfig config(n, f, e);
+
+  node::ClusterOptions cluster_options;
+  cluster_options.storage_dir = args.get("storage-dir");
+  cluster_options.fsync = !args.has("no-fsync");
+  cluster_options.group_commit_us = static_cast<int>(args.get_int("group-commit-us", 0));
+  std::printf(
+      "loadgen: n=%d rsm replicas, rate=%lld cmds/s, %d sessions / %d connections, "
+      "batch-max=%d linger=%lld us, pipeline-window=%d, group-commit=%d us, storage=%s\n",
+      n, static_cast<long long>(gen_options.rate), gen_options.sessions,
+      gen_options.connections, batch_max, static_cast<long long>(batch_linger),
+      pipeline_window, cluster_options.group_commit_us,
+      cluster_options.storage_dir.empty() ? "off" : cluster_options.storage_dir.c_str());
+
+  node::LocalCluster<rsm::RsmProcess> cluster(
+      n,
+      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+        rsm::Options options;
+        options.delta = delta;
+        options.leader_of = [] { return ProcessId{0}; };
+        options.probe.metrics = &reg;
+        options.batch_max = batch_max;
+        options.batch_linger = batch_linger;
+        options.pipeline_window = pipeline_window;
+        options.batch_fill = &reg.log_histogram("rsm.batch_fill");
+        return std::make_unique<rsm::RsmProcess>(env, config, options);
+      },
+      cluster_options);
+  if (!cluster.wait_for_mesh()) {
+    std::fprintf(stderr, "loadgen: mesh did not form\n");
+    return 1;
+  }
+
+  node::OpenLoopLoadgen gen(cluster.endpoints(), gen_options);
+  const auto result = gen.run();
+
+  // Let the trailing Decides propagate, then snapshot every applied log.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  const auto target = static_cast<std::size_t>(result.ok);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (int p = 0; p < n; ++p)
+      if (cluster.node(p).applied_log().size() < target) all = false;
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> logs;
+  for (int p = 0; p < n; ++p) logs.push_back(cluster.node(p).applied_log());
+  cluster.stop();
+
+  // The chaossoak invariants, against the loadgen's id scheme: session i
+  // issued payloads (i << 28 | seq) for seq < issued_per_session[i].
+  constexpr std::int64_t kPayloadMask = (std::int64_t{1} << 40) - 1;
+  constexpr std::int64_t kSeqMask = (std::int64_t{1} << 28) - 1;
+  const auto& issued = gen.issued_per_session();
+  const auto payload_issued = [&](std::int64_t payload) {
+    const std::int64_t session = payload >> 28;
+    return payload >= 0 && session < static_cast<std::int64_t>(issued.size()) &&
+           (payload & kSeqMask) < issued[static_cast<std::size_t>(session)];
+  };
+  std::vector<std::string> violations;
+  std::size_t longest = 0;
+  for (std::size_t p = 1; p < logs.size(); ++p) {
+    if (logs[p].size() > logs[longest].size()) longest = p;
+    const std::size_t m = std::min(logs[0].size(), logs[p].size());
+    for (std::size_t i = 0; i < m; ++i)
+      if (logs[0][i] != logs[p][i]) {
+        violations.push_back("agreement: replica " + std::to_string(p) +
+                             " diverges from replica 0 at applied index " + std::to_string(i));
+        break;
+      }
+  }
+  for (std::size_t p = 0; p < logs.size(); ++p)
+    for (const auto& [slot, cmd] : logs[p])
+      if (!payload_issued(cmd & kPayloadMask)) {
+        violations.push_back("validity: replica " + std::to_string(p) + " applied slot " +
+                             std::to_string(slot) + " with un-issued payload " +
+                             std::to_string(cmd & kPayloadMask));
+        break;
+      }
+  std::unordered_set<std::int64_t> applied_payloads;
+  for (const auto& [slot, cmd] : logs[longest]) applied_payloads.insert(cmd & kPayloadMask);
+  std::int64_t lost_acked = 0;
+  for (const std::int64_t payload : gen.acked_payloads())
+    if (!applied_payloads.contains(payload)) ++lost_acked;
+  if (lost_acked > 0)
+    violations.push_back("durability: " + std::to_string(lost_acked) +
+                         " acknowledged command(s) missing from the longest applied log");
+
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  util::Table t({"metric", "value"});
+  t.set_title("open-loop loadgen: n=" + std::to_string(n) + " rsm, loopback TCP");
+  add_loadgen_rows(t, result);
+  auto& fill = merged.log_histogram("rsm.batch_fill");
+  if (fill.count() > 0) {
+    char mean[64];
+    std::snprintf(mean, sizeof(mean), "%.1f cmds", fill.mean());
+    t.add_row({"batch fill mean", mean});
+  }
+  t.add_row({"wal syncs", std::to_string(merged.counter_value("wal.syncs"))});
+  t.add_row({"wal barriers", std::to_string(merged.counter_value("wal.barriers"))});
+  std::printf("%s", t.to_string().c_str());
+  std::printf("loadgen: %s\n", result.to_json().c_str());
+  for (const std::string& v : violations) std::printf("VIOLATION: %s\n", v.c_str());
+  std::printf("invariants: %s\n",
+              violations.empty() ? "ok (agreement + validity + durability)" : "VIOLATED");
+  if (!write_metrics_if_requested(args, merged)) return 1;
+  if (!violations.empty()) return 2;
+  return (result.lost == 0 && result.rejected == 0) ? 0 : 1;
+}
+
 template <typename P, typename MakeProc>
 int serve_until_signal(ProcessId id, const std::vector<transport::Endpoint>& peers,
                        MakeProc make, const Args& args) {
@@ -1237,7 +1430,7 @@ int cmd_serve(const Args& args) {
   if (protocol == "rsm") {
     return serve_until_signal<rsm::RsmProcess>(
         id, peers,
-        [&](consensus::Env<rsm::SlotMsg>& env, obs::MetricsRegistry& reg) {
+        [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg) {
           rsm::Options options;
           options.delta = delta;
           options.leader_of = [] { return ProcessId{0}; };
@@ -1425,8 +1618,8 @@ int cmd_stats(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: twostep_cli "
-               "<bounds|run|attack|fuzz|chaos|sweep|localcluster|chaossoak|serve|client"
-               "|tracemerge|stats>"
+               "<bounds|run|attack|fuzz|chaos|sweep|localcluster|chaossoak|loadgen|serve"
+               "|client|tracemerge|stats>"
                " [flags]\n"
                "see the header of tools/twostep_cli.cpp for the full flag list\n");
 }
@@ -1448,6 +1641,7 @@ int main(int argc, char** argv) {
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "localcluster") return cmd_localcluster(args);
   if (cmd == "chaossoak") return cmd_chaossoak(args);
+  if (cmd == "loadgen") return cmd_loadgen(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "client") return cmd_client(args);
   if (cmd == "tracemerge") return cmd_tracemerge(args);
