@@ -93,8 +93,8 @@ Row run_config(const Config& config) {
 
   node::ClusterOptions cluster_options;
   if (config.storage) {
-    cluster_options.storage_dir = tmp.path();
-    cluster_options.fsync = false;  // protocol cost of logging, not the device's
+    cluster_options.storage.dir = tmp.path();
+    cluster_options.storage.fsync = false;  // protocol cost of logging, not the device's
   }
   cluster_options.chaos = config.chaos;
   node::LocalCluster<rsm::RsmProcess> cluster(
@@ -279,8 +279,8 @@ void BM_LiveKillRecoverCycle(benchmark::State& state) {
     state.PauseTiming();
     TempDir tmp;
     node::ClusterOptions options;
-    options.storage_dir = tmp.path();
-    options.fsync = false;
+    options.storage.dir = tmp.path();
+    options.storage.fsync = false;
     node::LocalCluster<rsm::RsmProcess> cluster(
         kN,
         [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, ProcessId) {

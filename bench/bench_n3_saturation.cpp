@@ -112,8 +112,8 @@ Point run_baseline() {
   const std::string dir = fresh_storage_dir("base");
   if (dir.empty()) return out;
   node::ClusterOptions cluster_options;
-  cluster_options.storage_dir = dir;
-  cluster_options.fsync = true;
+  cluster_options.storage.dir = dir;
+  cluster_options.storage.fsync = true;
   node::LocalCluster<rsm::RsmProcess> cluster(kN, make_factory(config, false),
                                               cluster_options);
   if (cluster.wait_for_mesh()) {
@@ -148,9 +148,9 @@ Point run_point(std::int64_t rate) {
   const std::string dir = fresh_storage_dir("sat");
   if (dir.empty()) return out;
   node::ClusterOptions cluster_options;
-  cluster_options.storage_dir = dir;
-  cluster_options.fsync = true;
-  cluster_options.group_commit_us = kGroupCommitUs;
+  cluster_options.storage.dir = dir;
+  cluster_options.storage.fsync = true;
+  cluster_options.storage.group_commit_us = kGroupCommitUs;
   node::LocalCluster<rsm::RsmProcess> cluster(kN, make_factory(config, true), cluster_options);
   if (cluster.wait_for_mesh()) {
     node::LoadgenOptions gen_options;

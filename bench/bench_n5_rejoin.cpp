@@ -1,0 +1,271 @@
+// N5 — Rejoin cost of a wiped replica: snapshot state transfer vs genesis
+// replay on a live n=5 loopback cluster.
+//
+// The scenario both runs share: bring up five replicas, kill one, pump a
+// large open-loop workload (~100k commands) through the survivors, wipe
+// the dead replica's storage directory, restart it, and time how long it
+// takes to hold the complete applied log again.
+//
+//   - Genesis baseline (snapshot-every = 0): the survivors retain their
+//     full WAL, and the reborn replica is healed by decide anti-entropy —
+//     every peer re-streams each decided slot from slot 0.  The rejoin
+//     cost is proportional to the entire history.
+//   - Snapshot run (snapshot-every = kSnapshotEvery, small WAL segments):
+//     the survivors checkpoint and truncate while the replica is down, so
+//     on reconnect they cannot replay from genesis even in principle —
+//     they offer their latest snapshot instead.  The reborn replica
+//     installs it over kSnapshotChunk frames and replays only the tail
+//     above the snapshot floor.  The rejoin cost is proportional to the
+//     snapshot size + tail, not the history length.
+//
+// The claim under test (EXPERIMENTS.md "Snapshots & rejoin"): the
+// snapshot rejoin is bounded and strictly faster than genesis replay
+// (rejoin_ratio = snapshot_us / genesis_us < 1), with the applied-log
+// audit clean — the reborn replica's log is byte-identical to a
+// survivor's.
+//
+// Artifact: BENCH_n5_rejoin.json (schema twostep-bench/1), one row per
+// run (kind = "genesis_baseline" / "snapshot_rejoin") plus a "summary"
+// row carrying rejoin_ratio, validated by
+// scripts/check_obs_artifacts.py n5 [--max-rejoin-ratio X].
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "node/loadgen.hpp"
+#include "node/local_cluster.hpp"
+#include "rsm/rsm.hpp"
+
+namespace {
+
+using namespace twostep;
+using consensus::ProcessId;
+using consensus::SystemConfig;
+
+constexpr int kN = 5, kE = 1, kF = 2;
+constexpr int kVictim = 4;  // never the leader (leader_of == 0)
+constexpr sim::Tick kLiveDeltaUs = 100'000;
+
+// Saturation stack, tuned for this scenario: modest batches so the
+// ~100k-command history spans >= ~10k consensus slots — genesis replay
+// must stream (and the reborn replica must re-log) a history that is
+// honestly proportional to the command count, not 1.5k mega-batches.
+constexpr int kBatchMax = 8;
+constexpr sim::Tick kBatchLingerUs = 200;
+constexpr int kPipelineWindow = 64;
+constexpr int kGroupCommitUs = 200;
+
+// Workload: ~100k commands offered while the victim is down.
+constexpr std::int64_t kRate = 20'000;
+constexpr std::int64_t kDurationMs = 5'000;
+constexpr std::int64_t kDrainMs = 2'000;
+constexpr int kSessions = 512;
+constexpr int kConnections = 8;
+
+// Snapshot-run knobs: checkpoint often (the trigger counts WAL records,
+// a few per slot) and roll segments aggressively so the survivors'
+// compaction floor races far past the wiped replica.
+constexpr std::uint64_t kSnapshotEvery = 4'096;
+constexpr std::uint64_t kWalSegmentBytes = 512 * 1024;
+
+constexpr std::int64_t kRejoinTimeoutMs = 120'000;
+
+struct RunResult {
+  bool ok = false;             ///< workload + rejoin + audit all clean
+  bool audit_ok = false;       ///< reborn log == survivor log, exactly
+  std::int64_t commands = 0;   ///< acked commands in the applied log
+  double rejoin_us = 0;        ///< restart() -> full applied log
+  obs::HistogramSnapshot rtt;  ///< workload RTT while the victim is down
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t wal_truncated_records = 0;
+  std::uint64_t transfers_installed = 0;
+  std::uint64_t transfer_bytes = 0;
+  std::uint64_t transfer_chunks = 0;
+};
+
+node::LocalCluster<rsm::RsmProcess>::Factory make_factory(const SystemConfig& config) {
+  return [config](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, ProcessId) {
+    rsm::Options options;
+    options.delta = kLiveDeltaUs;
+    options.leader_of = [] { return ProcessId{0}; };
+    options.probe.metrics = &reg;
+    options.batch_max = kBatchMax;
+    options.batch_linger = kBatchLingerUs;
+    options.pipeline_window = kPipelineWindow;
+    return std::make_unique<rsm::RsmProcess>(env, config, options);
+  };
+}
+
+std::string fresh_storage_dir(const char* tag) {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / (std::string("twostep-n5-") + tag + "-XXXXXX"))
+          .string();
+  if (!::mkdtemp(tmpl.data())) return {};
+  return tmpl;
+}
+
+/// One full kill/load/wipe/restart cycle.  `snapshots` selects the run:
+/// false = genesis baseline, true = checkpoint + truncate while down.
+RunResult run_cycle(bool snapshots) {
+  RunResult out;
+  const SystemConfig config{kN, kF, kE};
+  const std::string dir = fresh_storage_dir(snapshots ? "snap" : "genesis");
+  if (dir.empty()) return out;
+
+  node::ClusterOptions cluster_options;
+  cluster_options.storage.dir = dir;
+  cluster_options.storage.fsync = true;
+  cluster_options.storage.group_commit_us = kGroupCommitUs;
+  if (snapshots) {
+    cluster_options.storage.snapshot_every = kSnapshotEvery;
+    cluster_options.storage.wal_segment_bytes = kWalSegmentBytes;
+  }
+  node::LocalCluster<rsm::RsmProcess> cluster(kN, make_factory(config), cluster_options);
+  if (!cluster.wait_for_mesh()) {
+    cluster.stop();
+    return out;
+  }
+
+  // Down the victim, then pump the workload through the survivors only.
+  cluster.kill(kVictim);
+  std::vector<transport::Endpoint> survivors(cluster.endpoints().begin(),
+                                             cluster.endpoints().end() - 1);
+  node::LoadgenOptions gen_options;
+  gen_options.rate = kRate;
+  gen_options.sessions = kSessions;
+  gen_options.connections = kConnections;
+  gen_options.duration_ms = kDurationMs;
+  gen_options.drain_ms = kDrainMs;
+  gen_options.poisson = true;
+  gen_options.seed = snapshots ? 7 : 11;
+  node::OpenLoopLoadgen gen(survivors, gen_options);
+  const node::LoadResult result = gen.run();
+  out.rtt = result.rtt;
+  out.commands = result.ok;
+  const bool load_ok = result.ok > 0 && result.lost == 0;
+
+  // Let every survivor finish applying, and fix the rejoin target: the
+  // leader's applied log is the history the reborn replica must recover.
+  const auto settle = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::size_t target = 0;
+  for (;;) {
+    bool all = true;
+    target = cluster.node(0).applied_log().size();
+    for (int p = 0; p < kN; ++p)
+      if (p != kVictim && cluster.node(p).applied_log().size() < target) all = false;
+    if ((all && target >= static_cast<std::size_t>(result.ok)) ||
+        std::chrono::steady_clock::now() > settle)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Wipe the victim's storage so both runs rejoin from nothing, then time
+  // the restart until its applied log holds the full history.
+  std::error_code ec;
+  std::filesystem::remove_all(dir + "/r" + std::to_string(kVictim), ec);
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.restart(kVictim);
+  const auto deadline = t0 + std::chrono::milliseconds(kRejoinTimeoutMs);
+  bool rejoined = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cluster.node(kVictim).applied_log().size() >= target) {
+      rejoined = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  out.rejoin_us = static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count());
+
+  // Audit: the reborn replica's applied log must match the leader's
+  // exactly over the rejoin target — prefix agreement with no gaps.
+  const auto log0 = cluster.node(0).applied_log();
+  const auto logv = cluster.node(kVictim).applied_log();
+  out.audit_ok = rejoined && logv.size() >= target && log0.size() >= target;
+  if (out.audit_ok)
+    for (std::size_t k = 0; k < target; ++k)
+      if (log0[k] != logv[k]) {
+        out.audit_ok = false;
+        break;
+      }
+
+  cluster.stop();
+  obs::MetricsRegistry merged = cluster.merged_metrics();
+  out.snapshots_written = merged.counter_value("snapshot.written");
+  out.wal_truncated_records = merged.counter_value("wal.truncated_records");
+  out.transfers_installed = merged.counter_value("transfer.installed");
+  out.transfer_bytes = merged.counter_value("transfer.bytes_sent");
+  out.transfer_chunks = merged.counter_value("transfer.chunks_sent");
+  out.ok = load_ok && rejoined && out.audit_ok;
+  std::filesystem::remove_all(dir, ec);
+  return out;
+}
+
+void add_run_row(bench::BenchArtifact& artifact, const char* kind, const RunResult& r) {
+  artifact.add_row()
+      .str("kind", kind)
+      .num("commands", r.commands)
+      .num("rejoin_us", r.rejoin_us)
+      .num("snapshots_written", static_cast<std::int64_t>(r.snapshots_written))
+      .num("wal_truncated_records", static_cast<std::int64_t>(r.wal_truncated_records))
+      .num("transfers_installed", static_cast<std::int64_t>(r.transfers_installed))
+      .num("transfer_bytes", static_cast<std::int64_t>(r.transfer_bytes))
+      .num("transfer_chunks", static_cast<std::int64_t>(r.transfer_chunks))
+      .flag("ok", r.ok)
+      .flag("audit_ok", r.audit_ok)
+      .hist("rtt_us", r.rtt);
+}
+
+void print_tables() {
+  std::printf("N5: wiped-replica rejoin on the live n=%d RSM — snapshot state transfer "
+              "(every %llu cmds, %llu-byte segments) vs genesis decide replay\n",
+              kN, static_cast<unsigned long long>(kSnapshotEvery),
+              static_cast<unsigned long long>(kWalSegmentBytes));
+
+  const RunResult genesis = run_cycle(false);
+  const RunResult snap = run_cycle(true);
+
+  util::Table t({"run", "commands", "rejoin ms", "snapshots", "truncated recs",
+                 "transfers in", "transfer KiB", "ok", "audit"});
+  t.set_title("N5 rejoin: snapshot transfer vs genesis replay");
+  const auto row = [&](const char* name, const RunResult& r) {
+    t.add_row({name, std::to_string(r.commands),
+               std::to_string(static_cast<long>(r.rejoin_us / 1000.0)),
+               std::to_string(r.snapshots_written), std::to_string(r.wal_truncated_records),
+               std::to_string(r.transfers_installed),
+               std::to_string(r.transfer_bytes / 1024), r.ok ? "yes" : "NO",
+               r.audit_ok ? "clean" : "DIRTY"});
+  };
+  row("genesis replay", genesis);
+  row("snapshot rejoin", snap);
+  bench::emit(t);
+
+  const double ratio = genesis.rejoin_us > 0 ? snap.rejoin_us / genesis.rejoin_us : 0;
+  std::printf("rejoin: genesis %.0f ms, snapshot %.0f ms — ratio %.2f "
+              "(snapshot run wrote %llu snapshots, truncated %llu records)\n",
+              genesis.rejoin_us / 1000.0, snap.rejoin_us / 1000.0, ratio,
+              static_cast<unsigned long long>(snap.snapshots_written),
+              static_cast<unsigned long long>(snap.wal_truncated_records));
+
+  bench::BenchArtifact artifact("n5_rejoin");
+  add_run_row(artifact, "genesis_baseline", genesis);
+  add_run_row(artifact, "snapshot_rejoin", snap);
+  artifact.add_row()
+      .str("kind", "summary")
+      .num("genesis_rejoin_us", genesis.rejoin_us)
+      .num("snapshot_rejoin_us", snap.rejoin_us)
+      .num("rejoin_ratio", ratio)
+      .flag("ok", genesis.ok && snap.ok)
+      .flag("audit_ok", genesis.audit_ok && snap.audit_ok);
+  artifact.write();
+}
+
+}  // namespace
+
+TWOSTEP_BENCH_MAIN(print_tables)

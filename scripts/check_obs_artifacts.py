@@ -27,6 +27,15 @@ malformed artifact:
       consistent with the points.  With --min-speedup, additionally
       require summary.speedup >= X (the >= 50x acceptance gate; leave it
       off on shared CI runners, whose fsync behavior varies wildly).
+
+  check_obs_artifacts.py n5 FILE.json [--max-rejoin-ratio X]
+      Validates BENCH_n5_rejoin.json (wiped-replica rejoin: snapshot
+      state transfer vs genesis decide replay): twostep-bench/1 framing,
+      exactly one genesis_baseline / snapshot_rejoin / summary row, both
+      runs clean with the applied-log audit passing, the snapshot run
+      actually snapshotting + truncating + installing a transfer, and the
+      snapshot rejoin strictly faster than genesis replay.  With
+      --max-rejoin-ratio, additionally require summary.rejoin_ratio <= X.
 """
 
 import argparse
@@ -190,6 +199,71 @@ def check_n3(path: str, min_speedup: float) -> None:
     )
 
 
+def check_n5(path: str, max_rejoin_ratio: float) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict) or doc.get("schema") != "twostep-bench/1":
+        fail(f"{path}: schema is {doc.get('schema') if isinstance(doc, dict) else doc!r}, "
+             "expected 'twostep-bench/1'")
+    if doc.get("bench") != "n5_rejoin":
+        fail(f"{path}: bench is {doc.get('bench')!r}, expected 'n5_rejoin'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: missing or empty rows")
+
+    by_kind = {}
+    for r in rows:
+        if isinstance(r, dict):
+            by_kind.setdefault(r.get("kind"), []).append(r)
+    for kind in ("genesis_baseline", "snapshot_rejoin", "summary"):
+        if len(by_kind.get(kind, [])) != 1:
+            fail(f"{path}: expected exactly one {kind!r} row, "
+                 f"found {len(by_kind.get(kind, []))}")
+
+    genesis = by_kind["genesis_baseline"][0]
+    snap = by_kind["snapshot_rejoin"][0]
+    summary = by_kind["summary"][0]
+    for name, row in (("genesis_baseline", genesis), ("snapshot_rejoin", snap)):
+        if row.get("ok") is not True or row.get("audit_ok") is not True:
+            fail(f"{path}: {name} run not clean (ok={row.get('ok')!r}, "
+                 f"audit_ok={row.get('audit_ok')!r})")
+        if _numeric(path, row, name, "commands") <= 0:
+            fail(f"{path}: {name} applied no commands")
+        if _numeric(path, row, name, "rejoin_us") <= 0:
+            fail(f"{path}: {name} has no rejoin measurement")
+
+    # The snapshot run must actually have exercised the machinery: real
+    # checkpoints, real WAL truncation, and a real state transfer — else
+    # the comparison silently degenerates to two genesis replays.
+    if _numeric(path, snap, "snapshot_rejoin", "snapshots_written") <= 0:
+        fail(f"{path}: snapshot run wrote no snapshots")
+    if _numeric(path, snap, "snapshot_rejoin", "wal_truncated_records") <= 0:
+        fail(f"{path}: snapshot run truncated no WAL records")
+    if _numeric(path, snap, "snapshot_rejoin", "transfers_installed") <= 0:
+        fail(f"{path}: reborn replica never installed a snapshot transfer")
+
+    genesis_us = _numeric(path, summary, "summary", "genesis_rejoin_us")
+    snap_us = _numeric(path, summary, "summary", "snapshot_rejoin_us")
+    ratio = _numeric(path, summary, "summary", "rejoin_ratio")
+    if summary.get("ok") is not True or summary.get("audit_ok") is not True:
+        fail(f"{path}: summary not clean (ok={summary.get('ok')!r}, "
+             f"audit_ok={summary.get('audit_ok')!r})")
+    if genesis_us <= 0 or abs(ratio - snap_us / genesis_us) > 0.01 * max(1.0, ratio):
+        fail(f"{path}: summary rejoin_ratio {ratio} inconsistent with "
+             f"{snap_us}/{genesis_us}")
+    if ratio >= 1.0:
+        fail(f"{path}: snapshot rejoin ({snap_us:.0f} us) is not strictly faster "
+             f"than genesis replay ({genesis_us:.0f} us)")
+    if max_rejoin_ratio > 0 and ratio > max_rejoin_ratio:
+        fail(f"{path}: rejoin_ratio {ratio:.3f} above the required "
+             f"{max_rejoin_ratio}")
+    print(
+        f"{path}: OK — genesis {genesis_us / 1000:.0f} ms, snapshot "
+        f"{snap_us / 1000:.0f} ms (ratio {ratio:.3f}), "
+        f"{snap.get('snapshots_written')} snapshots, "
+        f"{snap.get('transfer_bytes')} transfer bytes, audit clean"
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -202,11 +276,16 @@ def main() -> None:
     n = sub.add_parser("n3", help="validate the N3 saturation-curve artifact")
     n.add_argument("file")
     n.add_argument("--min-speedup", type=float, default=0.0)
+    n5 = sub.add_parser("n5", help="validate the N5 wiped-replica rejoin artifact")
+    n5.add_argument("file")
+    n5.add_argument("--max-rejoin-ratio", type=float, default=0.0)
     args = parser.parse_args()
     if args.cmd == "trace":
         check_trace(args.file, args.min_processes)
     elif args.cmd == "n3":
         check_n3(args.file, args.min_speedup)
+    elif args.cmd == "n5":
+        check_n5(args.file, args.max_rejoin_ratio)
     else:
         check_bench(args.file, args.require)
 

@@ -470,4 +470,64 @@ std::optional<StatsReply> decode_stats_reply(std::span<const std::uint8_t> data)
   return m;
 }
 
+std::vector<std::uint8_t> encode(const SnapshotOffer& m) {
+  Writer w;
+  w.put_i64(m.floor);
+  w.put_i64(m.bytes);
+  return std::move(w).take();
+}
+
+std::optional<SnapshotOffer> decode_snapshot_offer(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  SnapshotOffer m;
+  m.floor = r.get_i64();
+  m.bytes = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (m.floor < 0 || m.bytes < 0) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const SnapshotRequest& m) {
+  Writer w;
+  w.put_i64(m.floor);
+  w.put_i64(m.offset);
+  return std::move(w).take();
+}
+
+std::optional<SnapshotRequest> decode_snapshot_request(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  SnapshotRequest m;
+  m.floor = r.get_i64();
+  m.offset = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (m.floor < 0 || m.offset < 0) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const SnapshotChunk& m) {
+  Writer w;
+  w.put_i64(m.floor);
+  w.put_i64(m.offset);
+  w.put_i64(m.total_bytes);
+  w.put_i64(m.crc);
+  w.put_string({reinterpret_cast<const char*>(m.data.data()), m.data.size()});
+  return std::move(w).take();
+}
+
+std::optional<SnapshotChunk> decode_snapshot_chunk(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  SnapshotChunk m;
+  m.floor = r.get_i64();
+  m.offset = r.get_i64();
+  m.total_bytes = r.get_i64();
+  m.crc = r.get_i64();
+  const std::string bytes = r.get_string();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (m.floor < 0 || m.offset < 0 || m.total_bytes < 0) return std::nullopt;
+  // A chunk must lie inside the payload it claims to be part of.
+  if (m.offset + static_cast<std::int64_t>(bytes.size()) > m.total_bytes) return std::nullopt;
+  m.data.assign(bytes.begin(), bytes.end());
+  return m;
+}
+
 }  // namespace twostep::codec

@@ -181,4 +181,47 @@ std::optional<StatsRequest> decode_stats_request(std::span<const std::uint8_t> d
 std::vector<std::uint8_t> encode(const StatsReply& m);
 std::optional<StatsReply> decode_stats_reply(std::span<const std::uint8_t> data);
 
+// ---- snapshot state transfer (kSnapshotOffer/Request/Chunk frames) ----
+
+/// Announcement that the sender holds a durable snapshot with compaction
+/// floor `floor`, `bytes` payload bytes long.  Broadcast after every new
+/// snapshot and resent on link (re)establishment; a replica whose applied
+/// prefix is below the floor answers with a SnapshotRequest.
+struct SnapshotOffer {
+  std::int64_t floor = 0;
+  std::int64_t bytes = 0;
+  friend bool operator==(const SnapshotOffer&, const SnapshotOffer&) = default;
+};
+
+/// Chunked fetch of the offered snapshot.  `floor` names the snapshot
+/// generation being fetched (a stale request against a newer snapshot is
+/// answered with the newer offer instead); `offset` is the first payload
+/// byte wanted — retries resume from the bytes already received.
+struct SnapshotRequest {
+  std::int64_t floor = 0;
+  std::int64_t offset = 0;
+  friend bool operator==(const SnapshotRequest&, const SnapshotRequest&) = default;
+};
+
+/// One chunk of the snapshot payload.  `total_bytes` and `crc` (CRC-32 of
+/// the *complete* payload) repeat in every chunk so the receiver can
+/// verify the assembled blob no matter which chunk arrives last.
+struct SnapshotChunk {
+  std::int64_t floor = 0;
+  std::int64_t offset = 0;
+  std::int64_t total_bytes = 0;
+  std::int64_t crc = 0;
+  std::vector<std::uint8_t> data;
+  friend bool operator==(const SnapshotChunk&, const SnapshotChunk&) = default;
+};
+
+std::vector<std::uint8_t> encode(const SnapshotOffer& m);
+std::optional<SnapshotOffer> decode_snapshot_offer(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode(const SnapshotRequest& m);
+std::optional<SnapshotRequest> decode_snapshot_request(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode(const SnapshotChunk& m);
+std::optional<SnapshotChunk> decode_snapshot_chunk(std::span<const std::uint8_t> data);
+
 }  // namespace twostep::codec

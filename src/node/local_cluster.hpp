@@ -32,10 +32,13 @@ namespace twostep::node {
 
 /// Cluster-wide knobs, applied per replica at construction and restart.
 struct ClusterOptions {
-  /// Non-empty: every replica logs to `<storage_dir>/r<i>` and recovers
-  /// from it on restart.  Empty: no persistence (kill loses all state).
-  std::string storage_dir;
-  bool fsync = true;  ///< fdatasync per logged transition
+  /// Storage configuration, forwarded to RuntimeOptions::storage on every
+  /// replica with `storage.dir` rewritten per replica: a non-empty dir
+  /// means replica i persists under `<dir>/r<i>` and recovers from it on
+  /// restart (empty: no persistence — kill loses all state).  All other
+  /// fields (fsync, group_commit_us, snapshot_every, wal_segment_bytes)
+  /// apply unchanged.
+  StorageOptions storage;
   /// Chaos stage on every replica's outbound links (seeded per node
   /// inside the runtime).
   transport::ChaosConfig chaos;
@@ -46,9 +49,6 @@ struct ClusterOptions {
   bool trace = false;
   /// Forwarded to RuntimeOptions::stats_interval_ms on every replica.
   int stats_interval_ms = 0;
-  /// Forwarded to RuntimeOptions::group_commit_us on every replica
-  /// (> 0: one barrier fdatasync amortized over all entries in the window).
-  int group_commit_us = 0;
 };
 
 /// One round of a crash timeline: at `at_ms` kill `replicas`, keep them
@@ -210,13 +210,12 @@ class LocalCluster {
   std::unique_ptr<Runtime<P>> build_node(consensus::ProcessId p, int n,
                                          transport::Endpoint listen) {
     RuntimeOptions rt_options;
-    if (!options_.storage_dir.empty())
-      rt_options.storage =
-          StorageOptions{options_.storage_dir + "/r" + std::to_string(p), options_.fsync};
+    rt_options.storage = options_.storage;
+    if (options_.storage.enabled())
+      rt_options.storage.dir = options_.storage.dir + "/r" + std::to_string(p);
     rt_options.chaos = options_.chaos;
     if (options_.trace) rt_options.flight = recorders_[static_cast<std::size_t>(p)].get();
     rt_options.stats_interval_ms = options_.stats_interval_ms;
-    rt_options.group_commit_us = options_.group_commit_us;
     Factory& factory = factory_;
     return std::make_unique<Runtime<P>>(
         p, n, std::move(listen),

@@ -58,6 +58,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "storage/durable.hpp"
+#include "storage/engine.hpp"
 #include "storage/wal.hpp"
 #include "transport/chaos.hpp"
 #include "transport/event_loop.hpp"
@@ -66,19 +67,45 @@
 
 namespace twostep::node {
 
-/// Durable acceptor state: the runtime write-ahead-logs every protocol
-/// state transition into `dir` *before* the messages revealing it leave the
-/// node, and rebuilds the protocol from the log on construction — the
-/// crash-recovery discipline the quorum-intersection arguments assume.
+/// Everything durable about a node, in one nested knob: the runtime
+/// write-ahead-logs every protocol state transition under `dir` *before*
+/// the messages revealing it leave the node, rebuilds the protocol from
+/// snapshot + log tail on construction, and (when snapshot_every > 0)
+/// periodically checkpoints the whole state and compacts the log behind
+/// it.  This struct is THE storage configuration surface — Runtime,
+/// LocalCluster and every CLI command forward it verbatim (LocalCluster
+/// rewrites `dir` to a per-replica subdirectory); there are no parallel
+/// copies of these fields anywhere else.
 struct StorageOptions {
-  std::string dir;    ///< WAL directory, created if absent
-  bool fsync = true;  ///< fdatasync per logged transition (off: bench/tests)
+  /// Storage directory, created if absent; each replica uses the
+  /// `replica-<id>/` subdirectory (WAL segments + snapshot).  Empty
+  /// disables persistence entirely — enabled() gates every other field.
+  std::string dir;
+  bool fsync = true;  ///< fdatasync per barrier (off: bench/tests)
+  /// > 0: group-commit the WAL.  Instead of one fdatasync per protocol
+  /// entry, appended records accumulate and a single barrier fsync runs at
+  /// most this many microseconds later (or sooner, when the held-message
+  /// cap is hit); every message and client reply produced while records
+  /// are unsynced is held behind the barrier, so persist-before-send holds
+  /// per barrier exactly as it held per entry.  0 = sync per entry (the
+  /// pre-group-commit behavior, byte for byte).
+  int group_commit_us = 0;
+  /// WAL segment rotation threshold (storage::WalOptions::segment_bytes).
+  std::uint64_t wal_segment_bytes = 8ull << 20;
+  /// > 0: checkpoint the protocol state after this many WAL records and
+  /// truncate the covered segments (protocols with storage::Snapshotable
+  /// support only; rejected at construction otherwise).  0: log-only, the
+  /// pre-snapshot behavior.
+  std::uint64_t snapshot_every = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
 };
 
 struct RuntimeOptions {
   /// Persist + recover acceptor state (protocols with storage::Durable
-  /// support only; rejected at construction otherwise).
-  std::optional<StorageOptions> storage;
+  /// support only; rejected at construction otherwise).  Disabled unless
+  /// storage.dir is set.
+  StorageOptions storage;
   /// Chaos stage on every outbound peer link (seeded per node).
   transport::ChaosConfig chaos;
   /// Span sink for wire-propagated request tracing (null = tracing off:
@@ -89,14 +116,6 @@ struct RuntimeOptions {
   /// period so latest_stats() always has a recent view.  The kStatsRequest
   /// wire scrape works regardless.
   int stats_interval_ms = 0;
-  /// > 0: group-commit the WAL.  Instead of one fdatasync per protocol
-  /// entry, appended records accumulate and a single barrier fsync runs at
-  /// most this many microseconds later (or sooner, when the held-message
-  /// cap is hit); every message and client reply produced while records
-  /// are unsynced is held behind the barrier, so persist-before-send holds
-  /// per barrier exactly as it held per entry.  0 = sync per entry (the
-  /// pre-group-commit behavior, byte for byte).
-  int group_commit_us = 0;
 };
 
 /// True when P is a proxy-style replicated state machine (client commands
@@ -146,7 +165,7 @@ class Runtime {
     deliver_us_ = &metrics_.log_histogram("node.deliver_us");
     wal_sync_us_ = &metrics_.log_histogram("wal.sync_us");
     request_hop_us_ = &metrics_.log_histogram("node.request_hop_us");
-    if (options_.group_commit_us > 0)
+    if (options_.storage.group_commit_us > 0)
       barrier_records_ = &metrics_.log_histogram("wal.barrier_records");
     stats_.outbox_bytes = &metrics_.log_histogram("link.outbox_bytes");
     stats_.pending_frames = &metrics_.log_histogram("link.pending_frames");
@@ -180,9 +199,14 @@ class Runtime {
       links_[static_cast<std::size_t>(p)] = std::make_unique<transport::PeerLink>(
           loop_, self_, p, peers_[static_cast<std::size_t>(p)], &stats_);
       if (chaos_) links_[static_cast<std::size_t>(p)]->set_chaos(&*chaos_);
-      if constexpr (HasDecideResend<P>)
-        links_[static_cast<std::size_t>(p)]->set_on_connected(
-            [this, p] { resend_decided_to(p); });
+      if constexpr (HasDecideResend<P> || storage::kHasSnapshot<P>)
+        links_[static_cast<std::size_t>(p)]->set_on_connected([this, p] {
+          // Offer before the Decide resend: a peer behind our compaction
+          // floor cannot be healed by Decides alone (slots below the floor
+          // no longer exist here), it needs the snapshot.
+          offer_snapshot_to(p);
+          resend_decided_to(p);
+        });
       links_[static_cast<std::size_t>(p)]->start();
     }
     arm_stats_timer();  // pre-thread timer scheduling is safe: loop not running yet
@@ -390,31 +414,57 @@ class Runtime {
     proc_->start();
   }
 
-  /// Opens and replays the WAL.  Runs in the constructor, after the
+  /// Opens the storage engine and recovers: install the snapshot (if any),
+  /// then replay the WAL tail on top.  Runs in the constructor, after the
   /// protocol is built and its callbacks are wired (so a replayed apply
   /// rebuilds the cross-thread log snapshot) but before any I/O exists —
   /// recovery completes without a single message.
   void init_storage() {
-    if (!options_.storage) return;
-    if constexpr (!storage::kHasDurable<P>)
+    if (!options_.storage.enabled()) return;
+    if constexpr (!storage::kHasDurable<P>) {
       throw std::invalid_argument("Runtime: protocol has no storage::Durable support");
-    std::filesystem::create_directories(options_.storage->dir);
-    wal_.emplace(options_.storage->dir + "/replica-" + std::to_string(self_) + ".wal",
-                 storage::WalOptions{options_.storage->fsync});
-    if (wal_->recovered().empty()) return;
-    for (const auto& record : wal_->recovered()) durable_.replay(*proc_, record);
-    durable_.note_recovery(*proc_, metrics_);
-    metrics_.counter("wal.recovered_records").add(wal_->recovered().size());
-    metrics_.counter("wal.truncated_bytes").add(wal_->truncated_bytes());
-    if constexpr (!RsmLike<P>) {
-      if (proc_->has_decided()) {
-        const std::lock_guard<std::mutex> lock(state_mu_);
-        decided_ = proc_->decided_value();
+    } else {
+      if (options_.storage.snapshot_every > 0 && !storage::kHasSnapshot<P>)
+        throw std::invalid_argument("Runtime: protocol has no storage::Snapshotable support");
+      storage::EngineOptions engine_options;
+      engine_options.fsync = options_.storage.fsync;
+      engine_options.segment_bytes = options_.storage.wal_segment_bytes;
+      engine_options.snapshot_every = options_.storage.snapshot_every;
+      engine_.emplace(options_.storage.dir + "/replica-" + std::to_string(self_),
+                      std::move(engine_options));
+      wal_ = &engine_->wal();
+      bool recovered_snapshot = false;
+      if (engine_->snapshot()) {
+        if (install_snapshot_payload(engine_->snapshot()->payload)) {
+          recovered_snapshot = true;
+          metrics_.counter("snapshot.recovered").add();
+          if constexpr (requires { proc_->compact_floor(); })
+            snapshot_floor_ = proc_->compact_floor();
+        } else {
+          // Undecodable payload behind a valid CRC frame: same fallback as
+          // a corrupt file — the WAL tail is every surviving record.
+          metrics_.counter("snapshot.corrupt").add();
+        }
+      } else if (engine_->snapshot_corrupt()) {
+        metrics_.counter("snapshot.corrupt").add();
       }
+      const auto tail = engine_->tail();
+      if (!recovered_snapshot && tail.empty()) return;
+      for (const auto& record : tail) durable_.replay(*proc_, record.bytes);
+      durable_.note_recovery(*proc_, metrics_);
+      metrics_.counter("wal.recovered_records").add(tail.size());
+      metrics_.counter("wal.truncated_bytes").add(wal_->truncated_bytes());
+      metrics_.counter("wal.truncated_records").add(wal_->truncated_records());
+      if constexpr (!RsmLike<P>) {
+        if (proc_->has_decided()) {
+          const std::lock_guard<std::mutex> lock(state_mu_);
+          decided_ = proc_->decided_value();
+        }
+      }
+      // Resume liveness: re-arm the ballot timers for whatever is undecided.
+      // (Timer scheduling pre-thread is safe — the loop is not running yet.)
+      ensure_started();
     }
-    // Resume liveness: re-arm the ballot timers for whatever is undecided.
-    // (Timer scheduling pre-thread is safe — the loop is not running yet.)
-    ensure_started();
   }
 
   /// Wraps one protocol entry point under the write-ahead discipline:
@@ -440,7 +490,7 @@ class Runtime {
     }
     entry_active_ = true;
     fn();
-    if (options_.group_commit_us > 0) {
+    if (options_.storage.group_commit_us > 0) {
       durable_.capture(*proc_, *wal_);  // append only; the barrier syncs
       entry_active_ = false;
       if (wal_->has_pending()) {
@@ -468,6 +518,7 @@ class Runtime {
     }
     entry_active_ = false;
     flush_buffered_sends();
+    maybe_snapshot();
   }
 
   void flush_buffered_sends() {
@@ -485,7 +536,7 @@ class Runtime {
   /// Arms the group-commit barrier timer if none is pending.
   void arm_barrier() {
     if (barrier_timer_ != 0) return;
-    barrier_timer_ = loop_.schedule_after(options_.group_commit_us, [this] {
+    barrier_timer_ = loop_.schedule_after(options_.storage.group_commit_us, [this] {
       barrier_timer_ = 0;
       run_barrier();
     });
@@ -516,6 +567,7 @@ class Runtime {
     }
     out_ctx_ = saved_ctx;
     flush_held_replies();
+    maybe_snapshot();
   }
 
   void send_msg(consensus::ProcessId to, const Message& msg) {
@@ -642,6 +694,33 @@ class Runtime {
         deliver(sender->second, *inner, traced->trace);
         return;
       }
+      case transport::FrameKind::kSnapshotOffer: {
+        if constexpr (storage::kHasSnapshot<P>) {
+          const auto it = inbound_peer_.find(conn.get());
+          if (it == inbound_peer_.end()) return;  // snapshot frames are peer-only
+          const auto offer = codec::decode_snapshot_offer(frame.payload);
+          if (offer) handle_snapshot_offer(it->second, *offer);
+        }
+        return;
+      }
+      case transport::FrameKind::kSnapshotRequest: {
+        if constexpr (storage::kHasSnapshot<P>) {
+          const auto it = inbound_peer_.find(conn.get());
+          if (it == inbound_peer_.end()) return;
+          const auto req = codec::decode_snapshot_request(frame.payload);
+          if (req) handle_snapshot_request(it->second, *req);
+        }
+        return;
+      }
+      case transport::FrameKind::kSnapshotChunk: {
+        if constexpr (storage::kHasSnapshot<P>) {
+          const auto it = inbound_peer_.find(conn.get());
+          if (it == inbound_peer_.end()) return;
+          auto chunk = codec::decode_snapshot_chunk(frame.payload);
+          if (chunk) handle_snapshot_chunk(it->second, std::move(*chunk));
+        }
+        return;
+      }
       default:
         break;
     }
@@ -750,7 +829,7 @@ class Runtime {
   void reply(const OutstandingRequest& req, const codec::ClientReply& msg) {
     // Under group commit, park the ack behind the pending barrier: the
     // decision it reports may rest on this node's own not-yet-synced vote.
-    if (options_.group_commit_us > 0 && wal_ && (entry_active_ || wal_->has_pending())) {
+    if (options_.storage.group_commit_us > 0 && wal_ && (entry_active_ || wal_->has_pending())) {
       held_replies_.push_back(HeldReply{req, msg});
       return;
     }
@@ -780,6 +859,266 @@ class Runtime {
       const auto msgs = proc_->decide_messages();
       for (const auto& m : msgs) send_msg(peer, m);
       if (!msgs.empty()) metrics_.counter("node.decide_resent").add(msgs.size());
+    }
+  }
+
+  // ---- snapshots & snapshot state transfer (loop thread only) ----
+
+  /// Chunk size for snapshot transfer: comfortably under the 1 MiB frame
+  /// cap, large enough that a multi-megabyte snapshot moves in a handful
+  /// of frames.
+  static constexpr std::size_t kSnapshotChunkBytes = 256 * 1024;
+  /// A laggard re-requests from its received prefix on this period until
+  /// the transfer completes (chunks can be lost to chaos or reconnects).
+  static constexpr std::int64_t kTransferRetryUs = 300'000;
+
+  /// Checkpoint trigger, checked after every durability barrier (both the
+  /// per-entry sync and the group-commit barrier), which is the only time
+  /// the WAL fully covers the in-memory state.
+  void maybe_snapshot() {
+    if constexpr (storage::kHasSnapshot<P>) {
+      if (engine_ && !entry_active_ && engine_->snapshot_due()) take_snapshot();
+    }
+  }
+
+  /// Captures, persists and compacts: build the payload, write it through
+  /// the engine (rotate -> tmp -> rename -> truncate), drop the protocol
+  /// state below the new floor, and offer the fresh snapshot to peers.
+  void take_snapshot() {
+    if constexpr (storage::kHasSnapshot<P>) {
+      if (!engine_) return;
+      const std::int64_t t0 = obs::FlightRecorder::now_us();
+      const std::vector<std::uint8_t> payload = build_snapshot_payload();
+      if constexpr (requires { proc_->applied_prefix(); })
+        snapshot_floor_ = proc_->applied_prefix();
+      const std::uint64_t dropped = engine_->write_snapshot(payload);
+      if constexpr (requires {
+                      proc_->compact_to(std::int32_t{});
+                      durable_.compact(std::int32_t{});
+                    }) {
+        proc_->compact_to(static_cast<std::int32_t>(snapshot_floor_));
+        durable_.compact(proc_->compact_floor());
+      }
+      metrics_.counter("snapshot.written").add();
+      metrics_.counter("snapshot.bytes").add(payload.size());
+      metrics_.counter("snapshot.write_us")
+          .add(static_cast<std::uint64_t>(obs::FlightRecorder::now_us() - t0));
+      metrics_.counter("wal.truncated_records").add(dropped);
+      announce_snapshot();
+    }
+  }
+
+  /// Snapshot payload layout (the opaque blob storage::Engine frames):
+  ///   varint runtime-section version (1),
+  ///   varint dedup count, then per client: client_id, last_id, done(u8),
+  ///     cached reply {id, value, slot, ok(u8)},
+  ///   length-prefixed protocol blob (storage::Snapshotable<P>).
+  /// The dedup table rides along so a rejoining proxy keeps answering
+  /// client retries idempotently instead of re-executing them.
+  [[nodiscard]] std::vector<std::uint8_t> build_snapshot_payload() {
+    codec::Writer w;
+    w.put_i64(1);
+    w.put_i64(static_cast<std::int64_t>(dedup_.size()));
+    for (const auto& [client_id, d] : dedup_) {
+      w.put_i64(client_id);
+      w.put_i64(d.last_id);
+      w.put_u8(d.done ? 1 : 0);
+      w.put_i64(d.reply.id);
+      w.put_i64(d.reply.value);
+      w.put_i64(d.reply.slot);
+      w.put_u8(d.reply.ok ? 1 : 0);
+    }
+    std::vector<std::uint8_t> blob;
+    if constexpr (storage::kHasSnapshot<P>) blob = storage::Snapshotable<P>::capture(*proc_);
+    w.put_string({reinterpret_cast<const char*>(blob.data()), blob.size()});
+    return std::move(w).take();
+  }
+
+  /// Decodes and installs a payload (recovery and state transfer share
+  /// this path).  Returns false — leaving the protocol untouched — on any
+  /// framing/version error.  The dedup table is merged, never overwritten:
+  /// local entries with newer request ids win.
+  bool install_snapshot_payload(std::span<const std::uint8_t> payload) {
+    if constexpr (!storage::kHasSnapshot<P>) {
+      return false;
+    } else {
+      codec::Reader r{payload};
+      if (r.get_i64() != 1 || !r.ok()) return false;
+      const std::int64_t n = r.get_i64();
+      if (!r.ok() || n < 0 || static_cast<std::uint64_t>(n) > payload.size()) return false;
+      std::vector<std::pair<std::int64_t, ClientDedup>> dedup;
+      dedup.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t client_id = r.get_i64();
+        ClientDedup d;
+        d.last_id = r.get_i64();
+        d.done = r.get_u8() != 0;
+        d.reply.id = r.get_i64();
+        d.reply.value = r.get_i64();
+        d.reply.slot = static_cast<std::int32_t>(r.get_i64());
+        d.reply.ok = r.get_u8() != 0;
+        dedup.emplace_back(client_id, d);
+      }
+      const std::string blob = r.get_string();
+      if (!r.ok() || !r.exhausted()) return false;
+      if (!storage::Snapshotable<P>::install(
+              *proc_, {reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()}))
+        return false;
+      for (auto& [client_id, d] : dedup) {
+        const auto it = dedup_.find(client_id);
+        if (it == dedup_.end() || it->second.last_id < d.last_id) dedup_[client_id] = d;
+      }
+      return true;
+    }
+  }
+
+  /// Sends our current snapshot offer to one peer (on link establishment
+  /// and after every new snapshot).  A peer whose applied prefix is below
+  /// the floor cannot be healed by Decide anti-entropy — the slots below
+  /// the floor no longer exist here — so it answers with a request.
+  void offer_snapshot_to(consensus::ProcessId peer) {
+    if constexpr (storage::kHasSnapshot<P>) {
+      if (!engine_ || !engine_->snapshot() || links_.empty()) return;
+      if (peer < 0 || peer >= n_) return;
+      auto& link = links_[static_cast<std::size_t>(peer)];
+      if (!link) return;
+      const codec::SnapshotOffer offer{
+          snapshot_floor_, static_cast<std::int64_t>(engine_->snapshot()->payload.size())};
+      link->send_frame(transport::FrameKind::kSnapshotOffer, codec::encode(offer));
+      metrics_.counter("transfer.offers_sent").add();
+    }
+  }
+
+  void announce_snapshot() {
+    for (consensus::ProcessId p = 0; p < n_; ++p)
+      if (p != self_) offer_snapshot_to(p);
+  }
+
+  void handle_snapshot_offer(consensus::ProcessId from, const codec::SnapshotOffer& offer) {
+    if constexpr (storage::kHasSnapshot<P>) {
+      if (offer.bytes <= 0) return;
+      std::int64_t applied = 0;
+      if constexpr (requires { proc_->applied_prefix(); }) applied = proc_->applied_prefix();
+      if (offer.floor <= applied) return;  // we hold everything it summarizes
+      if (transfer_) {
+        if (offer.floor <= transfer_->floor) return;  // already fetching this or newer
+        if (transfer_->retry_timer != 0) loop_.cancel_timer(transfer_->retry_timer);
+        transfer_.reset();
+      }
+      transfer_.emplace();
+      transfer_->floor = offer.floor;
+      transfer_->total_bytes = offer.bytes;
+      transfer_->from = from;
+      metrics_.counter("transfer.requests").add();
+      send_snapshot_request(from, offer.floor, 0);
+      arm_transfer_retry();
+    }
+  }
+
+  void send_snapshot_request(consensus::ProcessId peer, std::int64_t floor,
+                             std::int64_t offset) {
+    if (peer < 0 || peer >= n_ || links_.empty()) return;
+    auto& link = links_[static_cast<std::size_t>(peer)];
+    if (!link) return;
+    link->send_frame(transport::FrameKind::kSnapshotRequest,
+                     codec::encode(codec::SnapshotRequest{floor, offset}));
+  }
+
+  /// Serves a transfer: streams every chunk from the requested offset.
+  /// Resumability lives on the requester side — it re-requests from the
+  /// prefix it has — so the server can stay stateless.
+  void handle_snapshot_request(consensus::ProcessId from, const codec::SnapshotRequest& req) {
+    if constexpr (storage::kHasSnapshot<P>) {
+      if (!engine_ || !engine_->snapshot() || links_.empty()) return;
+      if (from < 0 || from >= n_) return;
+      auto& link = links_[static_cast<std::size_t>(from)];
+      if (!link) return;
+      if (req.floor != snapshot_floor_) {
+        // Stale generation (we snapshotted again since the offer): answer
+        // with the current offer so the laggard restarts against it.
+        if (snapshot_floor_ > req.floor) offer_snapshot_to(from);
+        return;
+      }
+      const std::vector<std::uint8_t>& payload = engine_->snapshot()->payload;
+      if (req.offset < 0 || req.offset > static_cast<std::int64_t>(payload.size())) return;
+      const auto crc = static_cast<std::int64_t>(storage::crc32(payload));
+      for (std::size_t off = static_cast<std::size_t>(req.offset); off < payload.size();
+           off += kSnapshotChunkBytes) {
+        const std::size_t len = std::min(kSnapshotChunkBytes, payload.size() - off);
+        codec::SnapshotChunk chunk;
+        chunk.floor = snapshot_floor_;
+        chunk.offset = static_cast<std::int64_t>(off);
+        chunk.total_bytes = static_cast<std::int64_t>(payload.size());
+        chunk.crc = crc;
+        chunk.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                          payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+        link->send_frame(transport::FrameKind::kSnapshotChunk, codec::encode(chunk));
+        metrics_.counter("transfer.chunks_sent").add();
+        metrics_.counter("transfer.bytes_sent").add(len);
+      }
+    }
+  }
+
+  void handle_snapshot_chunk(consensus::ProcessId from, codec::SnapshotChunk&& chunk) {
+    if constexpr (storage::kHasSnapshot<P>) {
+      if (!transfer_ || chunk.floor != transfer_->floor ||
+          chunk.total_bytes != transfer_->total_bytes)
+        return;
+      metrics_.counter("transfer.chunks_received").add();
+      // Out-of-order chunk (a loss upstream): drop it; the retry timer
+      // re-requests from the contiguous prefix we actually hold.
+      if (chunk.offset != static_cast<std::int64_t>(transfer_->buf.size())) return;
+      transfer_->buf.insert(transfer_->buf.end(), chunk.data.begin(), chunk.data.end());
+      if (static_cast<std::int64_t>(transfer_->buf.size()) < transfer_->total_bytes) return;
+
+      if (storage::crc32(transfer_->buf) != static_cast<std::uint32_t>(chunk.crc)) {
+        metrics_.counter("transfer.crc_mismatch").add();
+        transfer_->buf.clear();
+        send_snapshot_request(transfer_->from, transfer_->floor, 0);
+        return;
+      }
+      std::vector<std::uint8_t> payload = std::move(transfer_->buf);
+      if (transfer_->retry_timer != 0) loop_.cancel_timer(transfer_->retry_timer);
+      transfer_.reset();
+
+      const std::int64_t t0 = obs::FlightRecorder::now_us();
+      entry_active_ = true;  // hold every send the install provokes
+      const bool installed = install_snapshot_payload(payload);
+      entry_active_ = false;
+      if (installed) {
+        if (engine_) {
+          // Persist BEFORE the held traffic leaves: restored promises must
+          // never be revealed and then lost to a crash.  Re-snapshotting
+          // our post-install state also compacts and re-offers in one step.
+          durable_.capture(*proc_, *wal_);
+          take_snapshot();
+        }
+        metrics_.counter("transfer.installed").add();
+        metrics_.counter("transfer.install_us")
+            .add(static_cast<std::uint64_t>(obs::FlightRecorder::now_us() - t0));
+        if constexpr (requires { proc_->compact_floor(); })
+          snapshot_floor_ =
+              std::max(snapshot_floor_, static_cast<std::int64_t>(proc_->compact_floor()));
+      } else {
+        metrics_.counter("transfer.install_failed").add();
+      }
+      flush_buffered_sends();
+      flush_held_replies();
+      (void)from;
+    }
+  }
+
+  void arm_transfer_retry() {
+    if constexpr (storage::kHasSnapshot<P>) {
+      if (!transfer_) return;
+      transfer_->retry_timer = loop_.schedule_after(kTransferRetryUs, [this] {
+        if (!transfer_) return;
+        transfer_->retry_timer = 0;
+        metrics_.counter("transfer.retries").add();
+        send_snapshot_request(transfer_->from, transfer_->floor,
+                              static_cast<std::int64_t>(transfer_->buf.size()));
+        arm_transfer_retry();
+      });
     }
   }
 
@@ -874,7 +1213,19 @@ class Runtime {
   std::unordered_map<std::int64_t, ClientDedup> dedup_;  ///< client_id -> idempotency record
 
   // --- durability + chaos (loop-thread only, except the atomic) ---
-  std::optional<storage::Wal> wal_;
+  std::optional<storage::Engine> engine_;  ///< WAL + snapshot store (storage on)
+  storage::Wal* wal_ = nullptr;            ///< engine_->wal(); null = storage off
+  std::int64_t snapshot_floor_ = 0;        ///< floor of the durable snapshot, if any
+
+  /// In-progress inbound snapshot transfer (at most one; newest floor wins).
+  struct TransferState {
+    std::int64_t floor = 0;
+    std::int64_t total_bytes = 0;
+    consensus::ProcessId from = -1;
+    std::vector<std::uint8_t> buf;  ///< contiguous prefix received so far
+    std::uint64_t retry_timer = 0;  ///< pending re-request timer (0 = none)
+  };
+  std::optional<TransferState> transfer_;
   std::conditional_t<storage::kHasDurable<P>, storage::Durable<P>, storage::NullDurable> durable_;
   std::optional<transport::ChaosInjector> chaos_;
   bool entry_active_ = false;  ///< inside with_wal: sends are being buffered

@@ -160,6 +160,10 @@ void RsmProcess::propose_in_slot(PendingCommand& pending, std::int32_t slot) {
 
 void RsmProcess::on_message(ProcessId from, const Message& m) {
   if (const auto* s = std::get_if<SlotMsg>(&m)) {
+    // A compacted slot is decided, applied and summarized by a snapshot;
+    // there is nothing left to learn or answer for it (a peer this far
+    // behind needs the snapshot, which the runtime offers separately).
+    if (s->slot < floor_) return;
     dirty_slots_.insert(s->slot);
     ensure_slot(s->slot).proc->on_message(from, s->inner);
     return;
@@ -248,6 +252,10 @@ const std::vector<std::int64_t>* RsmProcess::batch_contents(Command cmd) const {
 }
 
 void RsmProcess::restore_slot(std::int32_t slot, const core::TwoStepProcess::AcceptorState& s) {
+  // A WAL tail can only describe slots at/above the snapshot floor (the
+  // snapshot barrier seals everything logged before capture), but guard
+  // anyway: resurrecting a summarized slot would undo compaction.
+  if (slot < floor_ && !slots_.contains(slot)) return;
   ensure_slot(slot).proc->restore(s);
   if (!s.decided.is_bottom() && !decisions_.contains(slot)) {
     decisions_[slot] = s.decided.get();
@@ -329,6 +337,101 @@ std::vector<Msg> RsmProcess::decide_messages() const {
   return out;
 }
 
+SnapshotState RsmProcess::snapshot_state() const {
+  SnapshotState s;
+  s.floor = applied_;
+  s.applied = applied_entries_;
+  for (const auto& [slot, state] : slots_)
+    if (slot >= s.floor) s.slots.emplace_back(slot, state.proc->acceptor_state());
+  // A handle's contents are covered by the snapshot exactly when its only
+  // decisions sit below the floor (the applied log already expands them).
+  // Handles decided at/above the floor — or not decided anywhere we know,
+  // so their slot is still open — must travel.
+  std::set<Command> covered, live;
+  for (const auto& [slot, cmd] : decisions_)
+    if (command_is_batch(cmd)) (slot < s.floor ? covered : live).insert(cmd);
+  for (const auto& [cmd, payloads] : batch_contents_)
+    if (!covered.contains(cmd) || live.contains(cmd)) s.batches.emplace_back(cmd, payloads);
+  return s;
+}
+
+void RsmProcess::install_snapshot_state(const SnapshotState& s) {
+  // Batch contents first: neither the applied suffix nor a restored
+  // decision may stall on a handle the snapshot itself can expand.
+  for (const auto& [cmd, payloads] : s.batches)
+    if (!batch_contents_.contains(cmd)) batch_contents_.emplace(cmd, payloads);
+
+  // The applied log: ours is a prefix of the snapshot's (agreement — both
+  // expand the same decided slot sequence), so apply exactly the suffix.
+  for (std::size_t i = applied_entries_.size(); i < s.applied.size(); ++i) {
+    applied_entries_.push_back(s.applied[i]);
+    if (on_apply) on_apply(s.applied[i].first, s.applied[i].second);
+  }
+  if (applied_ < s.floor) applied_ = s.floor;
+
+  // Live slots: restore the ones we have no instance for; for slots we
+  // already participate in, adopt the snapshot's decision only — never its
+  // promises (overwriting a live acceptor could roll back a commitment
+  // this replica made to a quorum).
+  for (const auto& [slot, st] : s.slots) {
+    if (slot < s.floor) continue;
+    if (!slots_.contains(slot)) {
+      if (slot >= floor_) restore_slot(slot, st);
+      continue;
+    }
+    if (!st.decided.is_bottom() && !decisions_.contains(slot)) slot_decided(slot, st.decided);
+  }
+
+  // Our commands stranded in summarized slots: those slots decided without
+  // us, and the decision is not individually recoverable — re-queue, the
+  // at-least-once contract client retries already rely on.
+  bool requeued = false;
+  for (auto& p : pending_) {
+    if (p.slot >= 0 && p.slot < s.floor && !decisions_.contains(p.slot)) {
+      p.slot = -1;
+      requeued = true;
+    }
+  }
+
+  compact_to(s.floor);
+  if (requeued) propose_pending();
+  apply_contiguous();
+}
+
+void RsmProcess::compact_to(std::int32_t floor) {
+  floor = std::min(floor, applied_);  // never drop an undecided/unapplied slot
+  if (floor <= floor_) return;        // the floor only rises
+  floor_ = floor;
+  if (submit_cursor_ < floor_) submit_cursor_ = floor_;
+
+  // Timers routed to dropped slots would fire into nothing; cancel them.
+  for (auto it = timer_routes_.begin(); it != timer_routes_.end();) {
+    if (it->second.first < floor_) {
+      env_.cancel_timer(it->second.second);
+      it = timer_routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  slots_.erase(slots_.begin(), slots_.lower_bound(floor_));
+  dirty_slots_.erase(dirty_slots_.begin(), dirty_slots_.lower_bound(floor_));
+
+  // Batch contents fall with their decision unless a surviving decision
+  // still references the handle (at-least-once re-decides are legal).
+  std::set<Command> retained;
+  for (auto it = decisions_.lower_bound(floor_); it != decisions_.end(); ++it)
+    if (command_is_batch(it->second)) retained.insert(it->second);
+  for (auto it = decisions_.begin(); it != decisions_.end() && it->first < floor_;) {
+    const Command cmd = it->second;
+    if (command_is_batch(cmd) && !retained.contains(cmd)) {
+      batch_contents_.erase(cmd);
+      own_batch_entries_.erase(cmd);
+      dirty_batches_.erase(cmd);
+    }
+    it = decisions_.erase(it);
+  }
+}
+
 void RsmProcess::apply_contiguous() {
   while (true) {
     const auto it = decisions_.find(applied_);
@@ -341,11 +444,13 @@ void RsmProcess::apply_contiguous() {
         request_batch_contents(cmd);
         return;
       }
-      if (on_apply) {
-        const std::int64_t proxy_tag = static_cast<std::int64_t>(command_proxy(cmd)) << 40;
-        for (const std::int64_t payload : bit->second) on_apply(applied_, proxy_tag | payload);
+      const std::int64_t proxy_tag = static_cast<std::int64_t>(command_proxy(cmd)) << 40;
+      for (const std::int64_t payload : bit->second) {
+        applied_entries_.emplace_back(applied_, proxy_tag | payload);
+        if (on_apply) on_apply(applied_, proxy_tag | payload);
       }
     } else {
+      applied_entries_.emplace_back(applied_, cmd);
       if (on_apply) on_apply(applied_, cmd);
     }
     ++applied_;

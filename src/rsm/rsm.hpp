@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -88,6 +89,29 @@ struct Options {
   int pipeline_window = 0;
   /// Optional histogram of sealed batch sizes (commands per slot).
   obs::LogHistogram* batch_fill = nullptr;
+};
+
+/// Complete checkpoint of one replica's RSM state, captured by
+/// snapshot_state() and reinstated by install_snapshot_state().  This is
+/// what a storage::Engine snapshot payload carries and what travels over
+/// the wire during snapshot state transfer; storage::Snapshotable owns the
+/// byte encoding, this struct is the in-memory contract.
+struct SnapshotState {
+  /// Compaction floor: every slot < floor is decided and applied, and
+  /// `applied` below is their full expansion.  Equals the capturing
+  /// replica's applied prefix.
+  std::int32_t floor = 0;
+  /// The applied log from genesis: one (slot, command) pair per on_apply
+  /// firing — a batched slot contributes one entry per inner command.
+  /// The log IS the state machine state; installing it replays exactly
+  /// the applications a replica that lived through history performed.
+  std::vector<std::pair<std::int32_t, Command>> applied;
+  /// Acceptor state of every live slot at/above the floor (in-flight
+  /// instances plus decided-but-not-yet-contiguous ones).
+  std::vector<std::pair<std::int32_t, core::TwoStepProcess::AcceptorState>> slots;
+  /// Batch contents still needed at/above the floor, plus any handle not
+  /// yet decided (its slot is unknown, so it must survive the transfer).
+  std::vector<std::pair<Command, std::vector<std::int64_t>>> batches;
 };
 
 /// Static message-type label: delegates to the inner protocol message.
@@ -159,6 +183,41 @@ class RsmProcess {
 
   /// Reinstates one batch's contents from its durable record.
   void restore_batch(Command cmd, std::vector<std::int64_t> payloads);
+
+  // --- snapshots & compaction (consumed by storage::Snapshotable) ---
+
+  /// Captures a complete checkpoint of this replica: the applied log plus
+  /// every live slot and still-needed batch.  Installing the result into a
+  /// fresh replica reproduces this replica's externally visible state.
+  [[nodiscard]] SnapshotState snapshot_state() const;
+
+  /// Reinstates a checkpoint.  Safe on a *running* replica that is behind
+  /// (snapshot state transfer), not just a fresh one: locally absent slots
+  /// are restored wholesale, but for slots this replica already
+  /// participates in only the snapshot's *decisions* are adopted — never
+  /// its promises, which could roll back commitments made to a quorum.
+  /// The local applied log must be a prefix of the snapshot's (guaranteed
+  /// by agreement: both expand the same decided slot sequence); on_apply
+  /// fires for exactly the missing suffix.  Our own commands stranded in
+  /// summarized slots are re-queued (at-least-once, like client retries).
+  /// Finishes with compact_to(s.floor).
+  void install_snapshot_state(const SnapshotState& s);
+
+  /// Drops everything below `floor` (clamped to the applied prefix): slot
+  /// instances and their timers, their decisions, and batch contents no
+  /// surviving decision references.  Called after the snapshot covering
+  /// that state is durable; the floor only ever rises.
+  void compact_to(std::int32_t floor);
+
+  /// Lowest slot whose instance may still exist here (0 = never compacted).
+  [[nodiscard]] std::int32_t compact_floor() const noexcept { return floor_; }
+
+  /// The applied log retained for snapshot capture: every (slot, command)
+  /// pair on_apply has fired with (or would have), from genesis.
+  [[nodiscard]] const std::vector<std::pair<std::int32_t, Command>>& applied_entries()
+      const noexcept {
+    return applied_entries_;
+  }
 
   /// The Decide retransmission set: one slot-wrapped DecideMsg per decided
   /// slot, in slot order, preceded by the contents of every decided batch
@@ -249,6 +308,10 @@ class RsmProcess {
   std::map<Command, consensus::TimerId> fetch_waiting_;   ///< handle -> retry timer
   std::map<std::uint64_t, Command> fetch_timer_cmds_;     ///< timer id -> handle
   std::int32_t applied_ = 0;        ///< number of applied (contiguous) slots
+  std::int32_t floor_ = 0;          ///< compaction floor (slots below are gone)
+  /// The applied log (see applied_entries()); appended by apply_contiguous
+  /// and by snapshot install, captured verbatim into snapshots.
+  std::vector<std::pair<std::int32_t, Command>> applied_entries_;
   std::int32_t submit_cursor_ = 0;  ///< lowest slot we might still use
   std::int64_t next_local_id_ = 1;
   std::int64_t next_batch_seq_ = 1;

@@ -161,6 +161,10 @@ void Durable<rsm::RsmProcess>::replay(rsm::RsmProcess& p, std::span<const std::u
   if (fresh) ++replayed_slots_;
 }
 
+void Durable<rsm::RsmProcess>::compact(std::int32_t floor) {
+  last_.erase(last_.begin(), last_.lower_bound(floor));
+}
+
 void Durable<rsm::RsmProcess>::note_recovery(const rsm::RsmProcess& p,
                                              obs::MetricsRegistry& reg) {
   reg.counter("recover.slots").add(replayed_slots_);
@@ -173,6 +177,86 @@ void Durable<rsm::RsmProcess>::note_recovery(const rsm::RsmProcess& p,
     if (proc != nullptr) max_bal = std::max(max_bal, proc->ballot());
   }
   reg.counter("recover.max_ballot").add(static_cast<std::uint64_t>(max_bal));
+}
+
+// ---- Snapshotable<rsm::RsmProcess> ----------------------------------------
+
+std::vector<std::uint8_t> Snapshotable<rsm::RsmProcess>::capture(const rsm::RsmProcess& p) {
+  const rsm::SnapshotState s = p.snapshot_state();
+  codec::Writer w;
+  w.put_i64(kVersion);
+  w.put_i64(s.floor);
+  w.put_i64(static_cast<std::int64_t>(s.applied.size()));
+  for (const auto& [slot, cmd] : s.applied) {
+    w.put_i64(slot);
+    w.put_i64(cmd);
+  }
+  w.put_i64(static_cast<std::int64_t>(s.slots.size()));
+  for (const auto& [slot, state] : s.slots) {
+    w.put_i64(slot);
+    for (const std::uint8_t byte : encode_core_state(state)) w.put_u8(byte);
+  }
+  w.put_i64(static_cast<std::int64_t>(s.batches.size()));
+  for (const auto& [cmd, payloads] : s.batches) {
+    w.put_i64(cmd);
+    w.put_i64(static_cast<std::int64_t>(payloads.size()));
+    for (const std::int64_t payload : payloads) w.put_i64(payload);
+  }
+  return std::move(w).take();
+}
+
+bool Snapshotable<rsm::RsmProcess>::install(rsm::RsmProcess& p,
+                                            std::span<const std::uint8_t> blob) {
+  codec::Reader r{blob};
+  if (r.get_i64() != kVersion || !r.ok()) return false;
+  rsm::SnapshotState s;
+  const std::int64_t floor = r.get_i64();
+  if (!r.ok() || floor < 0 || floor > INT32_MAX) return false;
+  s.floor = static_cast<std::int32_t>(floor);
+
+  // Counts are sanity-capped against the blob size (every entry costs at
+  // least one byte) so a corrupt count cannot drive a huge allocation.
+  const auto plausible = [&blob](std::int64_t n) {
+    return n >= 0 && static_cast<std::uint64_t>(n) <= blob.size();
+  };
+
+  std::int64_t n = r.get_i64();
+  if (!r.ok() || !plausible(n)) return false;
+  s.applied.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t slot = r.get_i64();
+    const std::int64_t cmd = r.get_i64();
+    if (!r.ok() || slot < 0 || slot > INT32_MAX) return false;
+    s.applied.emplace_back(static_cast<std::int32_t>(slot), cmd);
+  }
+
+  n = r.get_i64();
+  if (!r.ok() || !plausible(n)) return false;
+  s.slots.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t slot = r.get_i64();
+    core::TwoStepProcess::AcceptorState state;
+    if (!r.ok() || slot < 0 || slot > INT32_MAX || !decode_core_state(r, state)) return false;
+    s.slots.emplace_back(static_cast<std::int32_t>(slot), state);
+  }
+
+  n = r.get_i64();
+  if (!r.ok() || !plausible(n)) return false;
+  s.batches.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const rsm::Command cmd = r.get_i64();
+    const std::int64_t count = r.get_i64();
+    if (!r.ok() || !plausible(count)) return false;
+    std::vector<std::int64_t> payloads;
+    payloads.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t j = 0; j < count; ++j) payloads.push_back(r.get_i64());
+    if (!r.ok()) return false;
+    s.batches.emplace_back(cmd, std::move(payloads));
+  }
+  if (!r.exhausted()) return false;
+
+  p.install_snapshot_state(s);
+  return true;
 }
 
 }  // namespace twostep::storage

@@ -24,6 +24,12 @@
 // Leader-side vote tallies (who promised/voted to *us*) are deliberately
 // volatile: losing them delays recovery by one ballot but cannot break
 // agreement, and logging them would double the write volume.
+//
+// storage::Snapshotable<P> is the whole-state companion: where Durable
+// logs *transitions*, Snapshotable checkpoints the *sum*.  Its blob is
+// what storage::Engine frames into the snapshot file and what snapshot
+// state transfer ships to a lagging replica; the two traits together are
+// the complete durability contract of a protocol (see below).
 #pragma once
 
 #include <cstdint>
@@ -67,6 +73,47 @@ struct NullDurable {
   void note_recovery(const P&, obs::MetricsRegistry&) {}
 };
 
+/// Whole-state checkpointing, specialized per snapshot-capable protocol.
+///
+/// The contract — what makes Engine's WAL compaction and snapshot state
+/// transfer safe:
+///   - capture() serializes the instance's COMPLETE state: installed into
+///     a fresh instance, the blob must reproduce exactly the state a full
+///     WAL replay (all records appended so far) would.  This is why the
+///     snapshot barrier can be "rotate, then cover every sealed segment"
+///     with no per-record reasoning.
+///   - install() must also be safe on a RUNNING instance that is behind
+///     (live state transfer): it may only add knowledge — adopt decisions,
+///     fill gaps, extend the applied log — never regress promises the
+///     local instance already made.
+///   - Blobs are versioned: the leading varint is the format version, and
+///     install() returns false on a version (or any framing) it does not
+///     understand rather than guessing.  The caller then falls back to WAL
+///     replay or re-requests the transfer.
+template <typename P>
+struct Snapshotable;
+
+/// True when Snapshotable<P> exists; Runtime uses it to reject snapshot
+/// triggers (StorageOptions::snapshot_every) for protocols that can only
+/// log transitions.
+template <typename P>
+inline constexpr bool kHasSnapshot = false;
+template <>
+inline constexpr bool kHasSnapshot<rsm::RsmProcess> = true;
+
+/// Stand-in mirroring NullDurable, so Runtime<P> compiles for protocols
+/// without snapshot support.
+struct NullSnapshotable {
+  template <typename P>
+  static std::vector<std::uint8_t> capture(const P&) {
+    return {};
+  }
+  template <typename P>
+  static bool install(P&, std::span<const std::uint8_t>) {
+    return false;
+  }
+};
+
 template <>
 struct Durable<core::TwoStepProcess> {
   /// Appends a record iff the acceptor state changed since the last
@@ -108,10 +155,36 @@ struct Durable<rsm::RsmProcess> {
   void replay(rsm::RsmProcess& p, std::span<const std::uint8_t> record);
   void note_recovery(const rsm::RsmProcess& p, obs::MetricsRegistry& reg);
 
+  /// Forgets the change-detector cells of slots below `floor`; called
+  /// alongside RsmProcess::compact_to so the detector does not grow
+  /// without bound once snapshots retire old slots.
+  void compact(std::int32_t floor);
+
  private:
   std::map<std::int32_t, std::vector<std::uint8_t>> last_;  ///< slot -> encoded record
   std::uint64_t replayed_slots_ = 0;
   std::uint64_t replayed_batches_ = 0;
+};
+
+template <>
+struct Snapshotable<rsm::RsmProcess> {
+  /// Blob format version (the leading varint).  v1 layout, all zigzag
+  /// varints:
+  ///   version, floor,
+  ///   applied_count, { slot, command } per applied entry,
+  ///   slot_count, { slot, core acceptor tuple } per live slot,
+  ///   batch_count, { handle, payload_count, payloads... } per batch.
+  static constexpr std::int64_t kVersion = 1;
+
+  /// Encodes RsmProcess::snapshot_state().  Stateless: capture never
+  /// mutates the instance (unlike Durable::capture, which drains dirty
+  /// sets).
+  static std::vector<std::uint8_t> capture(const rsm::RsmProcess& p);
+
+  /// Decodes and installs a blob via install_snapshot_state.  Returns
+  /// false (leaving `p` untouched) on unknown version or any framing
+  /// error.
+  static bool install(rsm::RsmProcess& p, std::span<const std::uint8_t> blob);
 };
 
 }  // namespace twostep::storage

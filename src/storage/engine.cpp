@@ -1,0 +1,166 @@
+#include "storage/engine.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "codec/codec.hpp"
+
+namespace twostep::storage {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t read_u32_le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void fsync_dir(const std::string& dir, bool enabled) {
+  if (!enabled) return;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Engine::Engine(std::string dir, EngineOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  std::filesystem::create_directories(dir_);
+  // An interrupted write_snapshot may leave a temp file; it was never
+  // renamed, so it was never promised — the previous snapshot (if any)
+  // stays authoritative.
+  ::unlink((dir_ + "/snapshot.tmp").c_str());
+  load_snapshot();
+  wal_.emplace(dir_, WalOptions{options_.fsync, options_.segment_bytes});
+  if (snapshot_) {
+    const auto& recovered = wal_->recovered();
+    while (tail_start_ < recovered.size() &&
+           recovered[tail_start_].segment <= snapshot_->covered_segment)
+      ++tail_start_;
+    // Covered segments still on disk mean a crash hit between rename and
+    // truncation; finish the interrupted compaction now.
+    if (tail_start_ > 0) wal_->truncate_through(snapshot_->covered_segment);
+  }
+  appends_at_snapshot_ = -static_cast<std::int64_t>(tail().size());
+}
+
+void Engine::load_snapshot() {
+  const std::string path = snapshot_path();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;  // no snapshot: fresh node or pre-snapshot layout
+  struct stat st{};
+  std::vector<std::uint8_t> bytes;
+  if (::fstat(fd, &st) == 0) {
+    bytes.resize(static_cast<std::size_t>(st.st_size));
+    std::size_t got = 0;
+    while (got < bytes.size()) {
+      const ssize_t n = ::pread(fd, bytes.data() + got, bytes.size() - got,
+                                static_cast<off_t>(got));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    bytes.resize(got);
+  }
+  ::close(fd);
+
+  // Validate the CRC frame, then the body.  Any failure -> corrupt: fall
+  // back to full WAL replay rather than refusing to start.
+  snapshot_corrupt_ = true;
+  if (bytes.size() < 8) return;
+  const std::uint32_t len = read_u32_le(bytes.data());
+  const std::uint32_t crc = read_u32_le(bytes.data() + 4);
+  if (bytes.size() - 8 != len) return;
+  const std::span<const std::uint8_t> body{bytes.data() + 8, len};
+  if (crc32(body) != crc) return;
+  codec::Reader r{body};
+  const std::int64_t covered = r.get_i64();
+  const std::int64_t payload_len = r.get_i64();
+  if (!r.ok() || covered < 0 || payload_len < 0 ||
+      static_cast<std::uint64_t>(payload_len) != body.size() - r.position())
+    return;
+  Snapshot snap;
+  snap.covered_segment = static_cast<std::uint64_t>(covered);
+  snap.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(r.position()), body.end());
+  snapshot_ = std::move(snap);
+  snapshot_corrupt_ = false;
+}
+
+std::uint64_t Engine::write_snapshot(std::span<const std::uint8_t> payload) {
+  // 1. Barrier: everything logged so far lands in sealed segments; the
+  //    payload (captured from state the WAL covers) summarizes all of them.
+  const std::uint64_t barrier = wal_->rotate();
+
+  // 2. Frame + write the temp file.
+  codec::Writer w;
+  w.put_i64(static_cast<std::int64_t>(barrier));
+  w.put_i64(static_cast<std::int64_t>(payload.size()));
+  std::vector<std::uint8_t> body = std::move(w).take();
+  body.insert(body.end(), payload.begin(), payload.end());
+  std::vector<std::uint8_t> framed;
+  framed.reserve(body.size() + 8);
+  put_u32_le(framed, static_cast<std::uint32_t>(body.size()));
+  put_u32_le(framed, crc32(body));
+  framed.insert(framed.end(), body.begin(), body.end());
+
+  const std::string tmp = dir_ + "/snapshot.tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("snapshot open " + tmp);
+  std::size_t done = 0;
+  while (done < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + done, framed.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("snapshot write " + tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (options_.fsync && ::fsync(fd) < 0) {
+    ::close(fd);
+    throw_errno("snapshot fsync " + tmp);
+  }
+  ::close(fd);
+  if (options_.test_hook) options_.test_hook("tmp_written");
+
+  // 3. Atomic replacement; the directory fsync makes the rename durable.
+  if (::rename(tmp.c_str(), snapshot_path().c_str()) < 0)
+    throw_errno("snapshot rename " + tmp);
+  fsync_dir(dir_, options_.fsync);
+  if (options_.test_hook) options_.test_hook("renamed");
+
+  // 4. Only now is the WAL prefix redundant.
+  const std::uint64_t dropped = wal_->truncate_through(barrier);
+
+  Snapshot snap;
+  snap.covered_segment = barrier;
+  snap.payload.assign(payload.begin(), payload.end());
+  snapshot_ = std::move(snap);
+  snapshot_corrupt_ = false;
+  snapshot_bytes_ = payload.size();
+  ++snapshots_written_;
+  appends_at_snapshot_ = static_cast<std::int64_t>(wal_->appends());
+  return dropped;
+}
+
+}  // namespace twostep::storage

@@ -1,0 +1,151 @@
+// storage::Engine — the single handle a node holds on its durable state.
+//
+// PR 6 gave nodes a WAL; PR 8 gave it group commit; this unifies the
+// surface and adds the pieces a *long-lived* node needs: snapshots, WAL
+// compaction behind the snapshot barrier, and the recovery order that makes
+// them safe.  One Engine owns:
+//
+//   <dir>/wal.000001, wal.000002, …   the segmented WAL (storage::Wal)
+//   <dir>/snapshot                    the latest durable checkpoint
+//   <dir>/snapshot.tmp                in-flight checkpoint (never read)
+//
+// Snapshot file format — one CRC-framed record, exactly the WAL's framing:
+//
+//   u32 length (LE) | u32 CRC-32 (LE) | body
+//   body = varint covered_segment | varint payload_len | payload bytes
+//
+// where `payload` is an opaque blob assembled by the node runtime (its own
+// version header, dedup cache and the protocol state captured by
+// storage::Snapshotable<P>), and `covered_segment` is the WAL compaction
+// barrier: every record in segments <= covered_segment is summarized by
+// this snapshot.
+//
+// Write protocol (write_snapshot), in an order that makes
+// truncation-before-durability impossible by construction:
+//   1. sync + rotate the WAL — the freshly sealed segment is the barrier,
+//      and the snapshot payload (captured from in-memory state covered by
+//      the WAL up to that barrier) covers all sealed segments;
+//   2. write the framed snapshot to snapshot.tmp, fsync it;
+//   3. rename(snapshot.tmp -> snapshot) — atomic replacement: a crash
+//      before the rename leaves the previous snapshot authoritative, a
+//      crash after it the new one — then fsync the directory;
+//   4. only now truncate_through(barrier): delete the covered segments.
+// A crash between 3 and 4 leaves covered segments on disk; recovery skips
+// their records (tail() filters by covered_segment), so replay never
+// resurrects state the snapshot already summarizes.
+//
+// Recovery (the constructor): load + CRC-check <dir>/snapshot; a missing
+// or corrupt snapshot degrades to the PR 6 behavior — replay every
+// surviving WAL record from genesis — rather than failing the node (a
+// corrupt snapshot can only happen through disk rot or an interrupted
+// *install*; the WAL is the ground truth whenever it still reaches back
+// far enough).  snapshot.tmp is deleted unread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/wal.hpp"
+
+namespace twostep::storage {
+
+struct EngineOptions {
+  /// Forwarded to the WAL, and applied to snapshot writes (fsync of the
+  /// temp file + directory).
+  bool fsync = true;
+  /// WAL segment rotation threshold (see WalOptions::segment_bytes).
+  std::uint64_t segment_bytes = 8ull << 20;
+  /// Take a snapshot once this many records have been appended since the
+  /// last one (checked by the owner via snapshot_due()).  0 disables the
+  /// trigger; write_snapshot still works when called explicitly.
+  std::uint64_t snapshot_every = 0;
+  /// Test-only crash injection: invoked at named points of write_snapshot
+  /// ("tmp_written" after step 2, "renamed" after step 3).  A hook that
+  /// throws simulates a crash at that point; the torn-snapshot tests use it
+  /// to prove the ordering claims above.  Null in production.
+  std::function<void(const char* stage)> test_hook;
+};
+
+/// The durable checkpoint loaded at open (or written since).
+struct Snapshot {
+  std::uint64_t covered_segment = 0;  ///< WAL records in segments <= this are summarized
+  std::vector<std::uint8_t> payload;  ///< opaque runtime/protocol blob
+};
+
+class Engine {
+ public:
+  /// Opens (or creates) the storage directory: loads the snapshot, scans
+  /// the WAL segments, and computes the replay tail.  Throws
+  /// std::system_error on I/O failure.
+  explicit Engine(std::string dir, EngineOptions options = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The segmented WAL.  Appends/syncs go straight through this handle —
+  /// the Engine only steps in at snapshot boundaries.
+  [[nodiscard]] Wal& wal() noexcept { return *wal_; }
+
+  /// The latest durable snapshot; nullopt when none exists (fresh node,
+  /// or snapshot corrupt — see snapshot_corrupt()).  Install it *before*
+  /// replaying tail().
+  [[nodiscard]] const std::optional<Snapshot>& snapshot() const noexcept { return snapshot_; }
+
+  /// True when a snapshot file existed but failed its CRC/framing check at
+  /// open: recovery fell back to full WAL replay (tail() is every record).
+  [[nodiscard]] bool snapshot_corrupt() const noexcept { return snapshot_corrupt_; }
+
+  /// The WAL records to replay after installing snapshot(): every
+  /// recovered record from segments beyond the snapshot's barrier (all of
+  /// them when there is no snapshot).  Records from covered segments —
+  /// present only when a crash hit between snapshot rename and truncation —
+  /// are excluded by construction.
+  [[nodiscard]] std::span<const Wal::Recovered> tail() const noexcept {
+    return std::span<const Wal::Recovered>(wal_->recovered()).subspan(tail_start_);
+  }
+
+  /// True once snapshot_every (> 0) records have been appended since the
+  /// last snapshot (the recovered tail counts toward the first one).  The
+  /// owner checks this after each sync — when due, it captures its state
+  /// and calls write_snapshot.
+  [[nodiscard]] bool snapshot_due() const noexcept {
+    return options_.snapshot_every > 0 &&
+           static_cast<std::int64_t>(wal_->appends()) - appends_at_snapshot_ >=
+               static_cast<std::int64_t>(options_.snapshot_every);
+  }
+
+  /// Atomically replaces the durable snapshot with `payload` and compacts
+  /// the WAL behind it (the write protocol documented above).  Serves both
+  /// the periodic checkpoint and snapshot *install* during state transfer —
+  /// either way the payload summarizes everything logged so far, so the
+  /// barrier is "rotate now, cover all sealed segments".  Returns the
+  /// number of WAL records truncated.  Throws std::system_error on I/O
+  /// failure (and whatever a test_hook throws).
+  std::uint64_t write_snapshot(std::span<const std::uint8_t> payload);
+
+  // --- lifetime statistics (feeding snapshot.* / wal.* metrics) ---
+  [[nodiscard]] std::uint64_t snapshots_written() const noexcept { return snapshots_written_; }
+  [[nodiscard]] std::uint64_t snapshot_bytes() const noexcept { return snapshot_bytes_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string snapshot_path() const { return dir_ + "/snapshot"; }
+
+ private:
+  void load_snapshot();
+
+  std::string dir_;
+  EngineOptions options_;
+  std::optional<Wal> wal_;
+  std::optional<Snapshot> snapshot_;
+  bool snapshot_corrupt_ = false;
+  std::size_t tail_start_ = 0;  ///< first recovered() index past the barrier
+  /// wal().appends() as of the last snapshot; starts negative so the
+  /// recovered tail counts toward the first trigger.
+  std::int64_t appends_at_snapshot_ = 0;
+  std::uint64_t snapshots_written_ = 0;
+  std::uint64_t snapshot_bytes_ = 0;  ///< size of the latest written snapshot
+};
+
+}  // namespace twostep::storage

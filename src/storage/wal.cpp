@@ -1,12 +1,17 @@
 #include "storage/wal.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <system_error>
 #include <utility>
 
@@ -52,6 +57,35 @@ void write_all(int fd, const std::uint8_t* data, std::size_t size) {
   }
 }
 
+/// Reads the whole file at `path` (empty on a fresh segment).
+std::vector<std::uint8_t> read_file(int fd, const std::string& path) {
+  struct stat st{};
+  if (::fstat(fd, &st) < 0) throw_errno("wal fstat " + path);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n =
+        ::pread(fd, bytes.data() + got, bytes.size() - got, static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("wal read " + path);
+    }
+    if (n == 0) break;  // racing truncation; treat the shortfall as torn
+    got += static_cast<std::size_t>(n);
+  }
+  bytes.resize(got);
+  return bytes;
+}
+
+/// Makes a directory entry durable (segment creation/deletion, renames).
+void fsync_dir(const std::string& dir, bool enabled) {
+  if (!enabled) return;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: the data fsync is the hard guarantee
+  ::fsync(fd);
+  ::close(fd);
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
@@ -61,10 +95,15 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
   return c ^ 0xFFFFFFFFu;
 }
 
-Wal::Wal(std::string path, WalOptions options) : path_(std::move(path)), options_(options) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd_ < 0) throw_errno("wal open " + path_);
-  scan_and_truncate();
+std::string Wal::segment_path(std::uint64_t segment) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "wal.%06" PRIu64, segment);
+  return dir_ + "/" + name;
+}
+
+Wal::Wal(std::string dir, WalOptions options) : dir_(std::move(dir)), options_(options) {
+  std::filesystem::create_directories(dir_);
+  scan_segments();
 }
 
 Wal::~Wal() {
@@ -80,38 +119,74 @@ Wal::~Wal() {
   }
 }
 
-void Wal::scan_and_truncate() {
-  struct stat st{};
-  if (::fstat(fd_, &st) < 0) throw_errno("wal fstat " + path_);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
-  std::size_t got = 0;
-  while (got < bytes.size()) {
-    const ssize_t n = ::pread(fd_, bytes.data() + got, bytes.size() - got,
-                              static_cast<off_t>(got));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("wal read " + path_);
+void Wal::open_active(std::uint64_t segment, std::uint64_t existing_bytes) {
+  if (fd_ >= 0) ::close(fd_);
+  active_segment_ = segment;
+  active_bytes_ = existing_bytes;
+  const std::string path = segment_path(segment);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("wal open " + path);
+  if (::lseek(fd_, static_cast<off_t>(existing_bytes), SEEK_SET) < 0)
+    throw_errno("wal lseek " + path);
+  segment_records_.try_emplace(segment, 0);
+}
+
+void Wal::scan_segments() {
+  // Collect wal.NNNNNN entries.  Compaction deletes a prefix and rotation
+  // appends at the end, so whatever is present is replayed in ascending
+  // order; a fresh directory starts at segment 1.
+  std::vector<std::uint64_t> segments;
+  if (DIR* d = ::opendir(dir_.c_str())) {
+    while (const dirent* e = ::readdir(d)) {
+      std::uint64_t seq = 0;
+      if (std::sscanf(e->d_name, "wal.%06" PRIu64, &seq) == 1 && seq > 0)
+        segments.push_back(seq);
     }
-    if (n == 0) break;  // racing truncation; treat the shortfall as torn
-    got += static_cast<std::size_t>(n);
+    ::closedir(d);
   }
+  std::sort(segments.begin(), segments.end());
 
-  std::size_t pos = 0;
-  while (got - pos >= 8) {
-    const std::uint32_t len = read_u32_le(bytes.data() + pos);
-    const std::uint32_t crc = read_u32_le(bytes.data() + pos + 4);
-    if (len > kMaxRecordBytes || got - pos - 8 < len) break;
-    const std::span<const std::uint8_t> payload{bytes.data() + pos + 8, len};
-    if (crc32(payload) != crc) break;
-    recovered_.emplace_back(payload.begin(), payload.end());
-    pos += 8 + len;
+  bool torn = false;  // first corruption poisons everything after it
+  std::uint64_t last_good_segment = segments.empty() ? 1 : segments.back();
+  std::uint64_t last_good_size = 0;
+  for (const std::uint64_t seg : segments) {
+    const std::string path = segment_path(seg);
+    if (torn) {
+      // Bytes beyond the first corruption are untrustworthy even if they
+      // frame correctly: count and delete the whole segment.
+      struct stat st{};
+      if (::stat(path.c_str(), &st) == 0)
+        truncated_bytes_ += static_cast<std::uint64_t>(st.st_size);
+      ::unlink(path.c_str());
+      continue;
+    }
+    const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd < 0) throw_errno("wal open " + path);
+    std::vector<std::uint8_t> bytes = read_file(fd, path);
+    std::size_t pos = 0;
+    std::uint64_t records = 0;
+    while (bytes.size() - pos >= 8) {
+      const std::uint32_t len = read_u32_le(bytes.data() + pos);
+      const std::uint32_t crc = read_u32_le(bytes.data() + pos + 4);
+      if (len > kMaxRecordBytes || bytes.size() - pos - 8 < len) break;
+      const std::span<const std::uint8_t> payload{bytes.data() + pos + 8, len};
+      if (crc32(payload) != crc) break;
+      recovered_.push_back(Recovered{seg, {payload.begin(), payload.end()}});
+      ++records;
+      pos += 8 + len;
+    }
+    if (pos != bytes.size()) {
+      torn = true;
+      truncated_bytes_ += bytes.size() - pos;
+      if (::ftruncate(fd, static_cast<off_t>(pos)) < 0) throw_errno("wal ftruncate " + path);
+    }
+    segment_records_[seg] = records;
+    last_good_segment = seg;
+    last_good_size = pos;
+    ::close(fd);
   }
-
-  if (pos != got) {
-    truncated_bytes_ = got - pos;
-    if (::ftruncate(fd_, static_cast<off_t>(pos)) < 0) throw_errno("wal ftruncate " + path_);
-  }
-  if (::lseek(fd_, static_cast<off_t>(pos), SEEK_SET) < 0) throw_errno("wal lseek " + path_);
+  open_active(last_good_segment, last_good_size);
+  if (truncated_bytes_ > 0) fsync_dir(dir_, options_.fsync);
 }
 
 void Wal::append(std::span<const std::uint8_t> record) {
@@ -125,11 +200,41 @@ void Wal::append(std::span<const std::uint8_t> record) {
 void Wal::sync() {
   if (!buffer_.empty()) {
     write_all(fd_, buffer_.data(), buffer_.size());
+    active_bytes_ += buffer_.size();
     buffer_.clear();
   }
-  if (options_.fsync && ::fdatasync(fd_) < 0) throw_errno("wal fdatasync " + path_);
+  if (options_.fsync && ::fdatasync(fd_) < 0) throw_errno("wal fdatasync " + segment_path(active_segment_));
   ++syncs_;
+  segment_records_[active_segment_] += pending_records_;
   pending_records_ = 0;
+  maybe_rotate();
+}
+
+void Wal::maybe_rotate() {
+  if (options_.segment_bytes == 0 || active_bytes_ < options_.segment_bytes) return;
+  open_active(active_segment_ + 1, 0);
+  fsync_dir(dir_, options_.fsync);
+}
+
+std::uint64_t Wal::rotate() {
+  if (has_pending() || !buffer_.empty()) sync();
+  const std::uint64_t sealed = active_segment_;
+  open_active(active_segment_ + 1, 0);
+  fsync_dir(dir_, options_.fsync);
+  return sealed;
+}
+
+std::uint64_t Wal::truncate_through(std::uint64_t segment) {
+  std::uint64_t dropped = 0;
+  for (auto it = segment_records_.begin(); it != segment_records_.end();) {
+    if (it->first > segment || it->first == active_segment_) break;
+    ::unlink(segment_path(it->first).c_str());
+    dropped += it->second;
+    it = segment_records_.erase(it);
+  }
+  if (dropped > 0 || segment >= first_segment()) fsync_dir(dir_, options_.fsync);
+  truncated_records_ += dropped;
+  return dropped;
 }
 
 }  // namespace twostep::storage

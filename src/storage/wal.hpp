@@ -1,19 +1,29 @@
-// Append-only write-ahead log for the live node runtime.
+// Segmented append-only write-ahead log for the live node runtime.
 //
-// The durability layer under crash recovery: a Runtime with StorageOptions
+// The durability layer under crash recovery: a Runtime with storage enabled
 // appends one record per acceptor-state transition *before* the messages
 // revealing that state go on the wire, and replays the surviving records on
-// construction.  The file format is deliberately minimal — a stream of
+// construction.  The record format is deliberately minimal — a stream of
 //
 //   u32 length (LE) | u32 CRC-32 of payload (LE) | payload bytes
 //
 // records, where the payload is an opaque codec-encoded blob owned by the
-// per-protocol storage::Durable traits.  Opening scans the file from the
-// start and truncates the *torn tail*: the first record whose header does
-// not fit, whose length is implausible, whose payload is short, or whose
-// CRC mismatches ends the scan, and the file is cut back to the last intact
-// record.  Everything after a bad record is discarded even if it frames
-// correctly — a WAL cannot trust bytes beyond the first corruption.
+// per-protocol storage::Durable traits.
+//
+// The log is a *directory* of segment files, `wal.000001`, `wal.000002`, …
+// Appends go to the highest-numbered (active) segment; once a sync leaves
+// the active segment at or past `segment_bytes`, the segment is sealed and
+// a fresh one opened.  Sealed segments are immutable, which is what makes
+// compaction safe: once a snapshot covering every record up to segment K is
+// durable (storage::Engine's job), segments <= K can be deleted without
+// rewriting anything — truncate_through(K).
+//
+// Opening scans the segments in order and truncates the *torn tail*: the
+// first record whose header does not fit, whose length is implausible,
+// whose payload is short, or whose CRC mismatches ends the scan; that
+// segment is cut back to its last intact record and any later segments are
+// deleted outright.  Everything after a bad record is discarded even if it
+// frames correctly — a WAL cannot trust bytes beyond the first corruption.
 //
 // Writes are buffered; sync() flushes the buffer and (by default) issues
 // fdatasync, so a caller batching several appends per state transition pays
@@ -21,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,7 +39,7 @@
 namespace twostep::storage {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
-/// Exposed for the corruption tests.
+/// Exposed for the corruption tests and the snapshot chunk checksums.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
 
 struct WalOptions {
@@ -36,6 +47,11 @@ struct WalOptions {
   /// for benchmarks measuring the protocol cost of logging without the
   /// device cost, and for tests on throwaway data.
   bool fsync = true;
+  /// Segment rotation threshold: a sync that leaves the active segment at
+  /// or past this many bytes seals it and opens the next one.  Small values
+  /// make compaction fine-grained; the floor of one record per segment
+  /// always holds (a record is never split across segments).
+  std::uint64_t segment_bytes = 8ull << 20;
 };
 
 class Wal {
@@ -44,20 +60,26 @@ class Wal {
   /// treated as corruption (matches the transport's frame-size sanity cap).
   static constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
 
-  /// Opens (or creates) the log at `path`, scans and validates the existing
-  /// records, and truncates any torn tail.  Throws std::system_error on
-  /// I/O failure.
-  explicit Wal(std::string path, WalOptions options = {});
+  /// One record that survived the open-time scan, tagged with the segment
+  /// it was read from so storage::Engine can drop records a snapshot
+  /// already covers.
+  struct Recovered {
+    std::uint64_t segment = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  /// Opens (or creates) the log directory at `dir`, scans and validates the
+  /// existing segments in order, and truncates any torn tail.  Throws
+  /// std::system_error on I/O failure.
+  explicit Wal(std::string dir, WalOptions options = {});
   ~Wal();
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
   /// The records that survived the open-time scan, in append order.
-  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& recovered() const noexcept {
-    return recovered_;
-  }
+  [[nodiscard]] const std::vector<Recovered>& recovered() const noexcept { return recovered_; }
 
-  /// Bytes cut off the tail at open (0 for a clean file).
+  /// Bytes cut off the torn tail at open (0 for a clean log).
   [[nodiscard]] std::uint64_t truncated_bytes() const noexcept { return truncated_bytes_; }
 
   /// Buffers one record.  Not durable until sync() returns.
@@ -71,24 +93,57 @@ class Wal {
   [[nodiscard]] std::uint64_t pending_records() const noexcept { return pending_records_; }
 
   /// Writes all buffered records and issues the durability barrier
-  /// (fdatasync, unless options.fsync is off).  Throws std::system_error
-  /// on I/O failure — a WAL that cannot persist must not ack.
+  /// (fdatasync, unless options.fsync is off), then rotates the active
+  /// segment if it grew past options.segment_bytes.  Throws
+  /// std::system_error on I/O failure — a WAL that cannot persist must
+  /// not ack.
   void sync();
+
+  /// Seals the active segment (syncing any pending records first) and
+  /// opens the next one, regardless of size.  Returns the sealed segment's
+  /// number — the compaction barrier: a snapshot taken now covers every
+  /// record in segments <= that number.  The caller (storage::Engine) must
+  /// only truncate_through() a barrier whose snapshot is durable.
+  std::uint64_t rotate();
+
+  /// Deletes every sealed segment with number <= `segment`.  The active
+  /// segment is never deleted (rotate() first).  Returns the number of
+  /// records dropped (recovered-at-open counts plus records appended this
+  /// process), feeding the wal.truncated_records metric.
+  std::uint64_t truncate_through(std::uint64_t segment);
 
   // --- lifetime statistics ---
   [[nodiscard]] std::uint64_t appends() const noexcept { return appends_; }
   [[nodiscard]] std::uint64_t syncs() const noexcept { return syncs_; }
-  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Records deleted by truncate_through over this Wal's lifetime.
+  [[nodiscard]] std::uint64_t truncated_records() const noexcept { return truncated_records_; }
+  [[nodiscard]] std::uint64_t active_segment() const noexcept { return active_segment_; }
+  /// Lowest segment still on disk (== active_segment() when fully compacted).
+  [[nodiscard]] std::uint64_t first_segment() const noexcept {
+    return segment_records_.empty() ? active_segment_ : segment_records_.begin()->first;
+  }
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segment_records_.size(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  /// Path of a segment file (exposed for the corruption tests).
+  [[nodiscard]] std::string segment_path(std::uint64_t segment) const;
 
  private:
-  void scan_and_truncate();
+  void open_active(std::uint64_t segment, std::uint64_t existing_bytes);
+  void scan_segments();
+  void maybe_rotate();
 
-  std::string path_;
+  std::string dir_;
   WalOptions options_;
-  int fd_ = -1;
+  int fd_ = -1;  ///< active segment
+  std::uint64_t active_segment_ = 1;
+  std::uint64_t active_bytes_ = 0;  ///< durable size of the active segment
   std::vector<std::uint8_t> buffer_;  ///< appended but not yet written
-  std::vector<std::vector<std::uint8_t>> recovered_;
+  std::vector<Recovered> recovered_;
+  /// Record count per on-disk segment (recovered + appended), so
+  /// truncate_through can report how many records compaction dropped.
+  std::map<std::uint64_t, std::uint64_t> segment_records_;
   std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t truncated_records_ = 0;
   std::uint64_t appends_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint64_t pending_records_ = 0;  ///< appended since the last sync

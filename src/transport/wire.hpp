@@ -46,6 +46,9 @@ enum class FrameKind : std::uint8_t {
   kStatsRequest = 8,   ///< codec::encode(codec::StatsRequest): metrics scrape
   kStatsReply = 9,     ///< codec::encode(codec::StatsReply)
   kBatch = 10,         ///< codec::encode_batch(rsm batch sidecar message)
+  kSnapshotOffer = 11,    ///< codec::encode(codec::SnapshotOffer): "I hold a snapshot"
+  kSnapshotRequest = 12,  ///< codec::encode(codec::SnapshotRequest): chunked fetch
+  kSnapshotChunk = 13,    ///< codec::encode(codec::SnapshotChunk)
 };
 
 /// True iff `kind` is one of the FrameKind enumerators.

@@ -439,6 +439,76 @@ TEST(Codec, StatsDecodersRejectTruncationAndGarbage) {
   }
 }
 
+TEST(Codec, SnapshotFramesRoundTrip) {
+  const auto offer = decode_snapshot_offer(encode(SnapshotOffer{1234, 987654}));
+  ASSERT_TRUE(offer.has_value());
+  EXPECT_EQ(*offer, (SnapshotOffer{1234, 987654}));
+
+  const auto req = decode_snapshot_request(encode(SnapshotRequest{1234, 262144}));
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(*req, (SnapshotRequest{1234, 262144}));
+
+  SnapshotChunk chunk;
+  chunk.floor = 1234;
+  chunk.offset = 512;
+  chunk.total_bytes = 515;
+  chunk.crc = 0xCBF43926;
+  chunk.data = {1, 2, 3};
+  const auto back = decode_snapshot_chunk(encode(chunk));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, chunk);
+
+  SnapshotChunk empty;  // a zero-byte chunk frames too (total 0, no data)
+  const auto empty_back = decode_snapshot_chunk(encode(empty));
+  ASSERT_TRUE(empty_back.has_value());
+  EXPECT_EQ(*empty_back, empty);
+}
+
+TEST(Codec, SnapshotDecodersRejectTruncationGarbageAndBadGeometry) {
+  {
+    auto bytes = encode(SnapshotOffer{9, 100});
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_snapshot_offer({bytes.data(), cut}).has_value());
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_snapshot_offer(bytes).has_value());
+  }
+  {
+    auto bytes = encode(SnapshotRequest{9, 100});
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_snapshot_request({bytes.data(), cut}).has_value());
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_snapshot_request(bytes).has_value());
+  }
+  {
+    SnapshotChunk chunk;
+    chunk.floor = 9;
+    chunk.offset = 4;
+    chunk.total_bytes = 8;
+    chunk.data = {1, 2, 3, 4};
+    auto bytes = encode(chunk);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_snapshot_chunk({bytes.data(), cut}).has_value()) << "cut=" << cut;
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_snapshot_chunk(bytes).has_value());
+    // A chunk whose bytes spill past its own total_bytes is nonsense the
+    // transfer logic must never see.
+    chunk.total_bytes = 5;  // offset 4 + 4 data bytes > 5
+    EXPECT_FALSE(decode_snapshot_chunk(encode(chunk)).has_value());
+    // Negative geometry is rejected wholesale.
+    chunk.total_bytes = 8;
+    chunk.offset = -1;
+    EXPECT_FALSE(decode_snapshot_chunk(encode(chunk)).has_value());
+    // A data length pointing past the buffer must fail cleanly.
+    Writer w;
+    w.put_i64(1);   // floor
+    w.put_i64(0);   // offset
+    w.put_i64(10);  // total
+    w.put_i64(0);   // crc
+    w.put_i64(1'000'000);
+    EXPECT_FALSE(decode_snapshot_chunk(std::move(w).take()).has_value());
+  }
+}
+
 TEST(Codec, AllDecodersSurviveTheSameFuzzStream) {
   // Malformed input must yield nullopt for every decoder, never UB; anything
   // accepted must round-trip through its own encoder (run under ASan/UBSan
@@ -453,6 +523,12 @@ TEST(Codec, AllDecodersSurviveTheSameFuzzStream) {
       EXPECT_EQ(*decode_client_request(encode(*m)), *m);
     if (const auto m = decode_client_reply(bytes))
       EXPECT_EQ(*decode_client_reply(encode(*m)), *m);
+    if (const auto m = decode_snapshot_offer(bytes))
+      EXPECT_EQ(*decode_snapshot_offer(encode(*m)), *m);
+    if (const auto m = decode_snapshot_request(bytes))
+      EXPECT_EQ(*decode_snapshot_request(encode(*m)), *m);
+    if (const auto m = decode_snapshot_chunk(bytes))
+      EXPECT_EQ(*decode_snapshot_chunk(encode(*m)), *m);
   }
 }
 

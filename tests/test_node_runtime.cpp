@@ -377,9 +377,9 @@ TEST(LiveRuntime, BatchedPipelinedGroupCommitClusterServesOpenLoopLoad) {
   const consensus::SystemConfig config(3, 1, 1);
   TempDir tmp;
   node::ClusterOptions cluster_options;
-  cluster_options.storage_dir = tmp.path();
-  cluster_options.fsync = false;  // discipline under test, not the device
-  cluster_options.group_commit_us = 200;
+  cluster_options.storage.dir = tmp.path();
+  cluster_options.storage.fsync = false;  // discipline under test, not the device
+  cluster_options.storage.group_commit_us = 200;
   node::LocalCluster<rsm::RsmProcess> cluster(
       config.n,
       [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
@@ -447,8 +447,8 @@ TEST(LiveTrace, OneClientCommandYieldsACausallyLinkedTreeAcrossProcesses) {
   TempDir tmp;
   node::ClusterOptions cluster_options;
   cluster_options.trace = true;
-  cluster_options.storage_dir = tmp.path();
-  cluster_options.fsync = false;  // throwaway data; the span, not the device
+  cluster_options.storage.dir = tmp.path();
+  cluster_options.storage.fsync = false;  // throwaway data; the span, not the device
   node::LocalCluster<rsm::RsmProcess> cluster(
       config.n,
       [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {

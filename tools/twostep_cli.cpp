@@ -61,7 +61,8 @@
 //              [--protocol rsm|task|object|fastpaxos] [--commands K]
 //              [--delta-us D] [--value V] [--metrics-out FILE]
 //              [--trace-dir DIR] [--stats-interval-ms T]
-//              [--storage-dir DIR] [--no-fsync]
+//              [--storage-dir DIR] [--no-fsync] [--group-commit-us G]
+//              [--snapshot-every K] [--wal-segment-bytes B]
 //       Spawn an n-replica live cluster on loopback (real TCP, one event
 //       loop thread per replica — the same node::Runtime a multi-process
 //       deployment uses), drive it with a client workload and check
@@ -83,7 +84,8 @@
 //              [--kill-period-ms P] [--down-ms D] [--soak-ms T] [--think-us T]
 //              [--drop R] [--dup R] [--delay R] [--delay-max-us U]
 //              [--delta-us D] [--storage-dir DIR] [--no-fsync]
-//              [--metrics-out FILE]
+//              [--group-commit-us G] [--snapshot-every K]
+//              [--wal-segment-bytes B] [--metrics-out FILE]
 //       Crash-recovery soak: an n-replica RSM cluster with per-replica
 //       write-ahead logs, a failover client driving K closed-loop commands
 //       across the whole replica list, a seeded crash schedule killing and
@@ -109,7 +111,8 @@
 //              [--duration-ms T] [--drain-ms T] [--fixed] [--spread]
 //              [--batch-max B] [--batch-linger-us L] [--pipeline-window W]
 //              [--group-commit-us G] [--delta-us D] [--seed S]
-//              [--storage-dir DIR] [--no-fsync] [--metrics-out FILE]
+//              [--storage-dir DIR] [--no-fsync] [--snapshot-every K]
+//              [--wal-segment-bytes B] [--metrics-out FILE]
 //              [--connect H:P,H:P,...]
 //       Open-loop saturation workload (node::OpenLoopLoadgen): S logical
 //       sessions over C shared connections offer R commands/s for T ms —
@@ -129,9 +132,14 @@
 //
 //   twostep_cli serve --id I --peers H:P,H:P,... [--protocol ...]
 //              [--e E] [--f F] [--delta-us D] [--metrics-out FILE]
-//              [--stats-interval-ms T]
+//              [--stats-interval-ms T] [--storage-dir DIR] [--no-fsync]
+//              [--group-commit-us G] [--snapshot-every K]
+//              [--wal-segment-bytes B]
 //       Host replica I of a real multi-process cluster.  --peers lists
 //       every replica's listen endpoint in id order (entry I is ours).
+//       --storage-dir persists the replica's WAL + snapshots under
+//       DIR/replica-I (recovered on restart); --snapshot-every K arms
+//       checkpoint-and-truncate every K logged records (rsm only).
 //       Runs until SIGINT/SIGTERM, then shuts down cleanly and optionally
 //       writes the node's metrics.
 //
@@ -767,17 +775,36 @@ bool write_trace_dir(const std::string& dir,
   return true;
 }
 
+/// The one place the storage flag family is parsed — every subcommand
+/// that persists (serve, localcluster, chaossoak, loadgen) builds its
+/// node::StorageOptions here, so the flags mean the same thing everywhere:
+///   --storage-dir DIR        root of the per-replica storage directories
+///   --no-fsync               skip fdatasync (discipline tests, not devices)
+///   --group-commit-us G      > 0: one barrier fsync per G-us window
+///   --snapshot-every K       > 0: snapshot + truncate the WAL every K records
+///   --wal-segment-bytes B    WAL segment rotation threshold
+node::StorageOptions storage_options(const Args& args) {
+  node::StorageOptions storage;
+  storage.dir = args.get("storage-dir");
+  storage.fsync = !args.has("no-fsync");
+  storage.group_commit_us = static_cast<int>(args.get_int("group-commit-us", 0));
+  storage.snapshot_every =
+      static_cast<std::uint64_t>(args.get_int("snapshot-every", 0));
+  storage.wal_segment_bytes = static_cast<std::uint64_t>(
+      args.get_int("wal-segment-bytes", static_cast<long>(storage.wal_segment_bytes)));
+  return storage;
+}
+
 /// The localcluster knobs shared by the rsm and single-shot paths:
 /// --trace-dir enables per-process flight recorders (dumped via
 /// write_trace_dir after the run), --stats-interval-ms arms the periodic
-/// in-node metrics snapshotter, and --storage-dir gives every replica a
-/// WAL (so traced runs include wal.fsync spans).
+/// in-node metrics snapshotter, and the storage flag family (see
+/// storage_options) gives every replica a WAL + snapshot store.
 node::ClusterOptions local_cluster_options(const Args& args) {
   node::ClusterOptions options;
   options.trace = args.has("trace-dir");
   options.stats_interval_ms = static_cast<int>(args.get_int("stats-interval-ms", 0));
-  options.storage_dir = args.get("storage-dir");
-  options.fsync = !args.has("no-fsync");
+  options.storage = storage_options(args);
   return options;
 }
 
@@ -1013,8 +1040,8 @@ int cmd_chaossoak(const Args& args) {
   }
 
   node::ClusterOptions cluster_options;
-  cluster_options.storage_dir = storage_dir;
-  cluster_options.fsync = !args.has("no-fsync");
+  cluster_options.storage = storage_options(args);
+  cluster_options.storage.dir = storage_dir;  // may be the mkdtemp fallback
   cluster_options.chaos.drop_rate = std::stod(args.get("drop", "0"));
   cluster_options.chaos.duplicate_rate = std::stod(args.get("dup", "0"));
   cluster_options.chaos.delay_rate = std::stod(args.get("delay", "0"));
@@ -1186,6 +1213,13 @@ int cmd_chaossoak(const Args& args) {
   t.add_row({"wal syncs", std::to_string(merged.counter_value("wal.syncs"))});
   t.add_row({"wal recovered records",
              std::to_string(merged.counter_value("wal.recovered_records"))});
+  t.add_row({"wal truncated records",
+             std::to_string(merged.counter_value("wal.truncated_records"))});
+  t.add_row({"snapshots written", std::to_string(merged.counter_value("snapshot.written"))});
+  t.add_row(
+      {"snapshots recovered", std::to_string(merged.counter_value("snapshot.recovered"))});
+  t.add_row(
+      {"snapshot transfers in", std::to_string(merged.counter_value("transfer.installed"))});
   t.add_row({"recovered slots", std::to_string(merged.counter_value("recover.slots"))});
   t.add_row(
       {"recovered decided slots", std::to_string(merged.counter_value("recover.decided"))});
@@ -1284,16 +1318,14 @@ int cmd_loadgen(const Args& args) {
   const SystemConfig config(n, f, e);
 
   node::ClusterOptions cluster_options;
-  cluster_options.storage_dir = args.get("storage-dir");
-  cluster_options.fsync = !args.has("no-fsync");
-  cluster_options.group_commit_us = static_cast<int>(args.get_int("group-commit-us", 0));
+  cluster_options.storage = storage_options(args);
   std::printf(
       "loadgen: n=%d rsm replicas, rate=%lld cmds/s, %d sessions / %d connections, "
       "batch-max=%d linger=%lld us, pipeline-window=%d, group-commit=%d us, storage=%s\n",
       n, static_cast<long long>(gen_options.rate), gen_options.sessions,
       gen_options.connections, batch_max, static_cast<long long>(batch_linger),
-      pipeline_window, cluster_options.group_commit_us,
-      cluster_options.storage_dir.empty() ? "off" : cluster_options.storage_dir.c_str());
+      pipeline_window, cluster_options.storage.group_commit_us,
+      cluster_options.storage.dir.empty() ? "off" : cluster_options.storage.dir.c_str());
 
   node::LocalCluster<rsm::RsmProcess> cluster(
       n,
@@ -1397,6 +1429,9 @@ int serve_until_signal(ProcessId id, const std::vector<transport::Endpoint>& pee
                        MakeProc make, const Args& args) {
   node::RuntimeOptions rt_options;
   rt_options.stats_interval_ms = static_cast<int>(args.get_int("stats-interval-ms", 0));
+  // A multi-process replica persists under <storage-dir>/replica-<id>; the
+  // same flag family as the local-cluster commands (see storage_options).
+  rt_options.storage = storage_options(args);
   node::Runtime<P> runtime(id, static_cast<int>(peers.size()),
                            peers[static_cast<std::size_t>(id)], std::move(make),
                            std::move(rt_options));
