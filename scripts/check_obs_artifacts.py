@@ -28,6 +28,15 @@ malformed artifact:
       require summary.speedup >= X (the >= 50x acceptance gate; leave it
       off on shared CI runners, whose fsync behavior varies wildly).
 
+  check_obs_artifacts.py n4 FILE.json [--min-placements N]
+      Validates BENCH_n4_geo.json (per-region commit latency under
+      emulated WAN links): twostep-bench/1 framing, rows for all four
+      protocols (task/object/fastpaxos/epaxos) across at least N geo
+      placements, each measured both with and without conflicts, every
+      decided row carrying ordered rtt_p50/p90/p99 quantiles, and every
+      (protocol, placement, conflict) cell deciding in at least one
+      region.
+
   check_obs_artifacts.py n5 FILE.json [--max-rejoin-ratio X]
       Validates BENCH_n5_rejoin.json (wiped-replica rejoin: snapshot
       state transfer vs genesis decide replay): twostep-bench/1 framing,
@@ -199,6 +208,68 @@ def check_n3(path: str, min_speedup: float) -> None:
     )
 
 
+def check_n4(path: str, min_placements: int) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict) or doc.get("schema") != "twostep-bench/1":
+        fail(f"{path}: schema is {doc.get('schema') if isinstance(doc, dict) else doc!r}, "
+             "expected 'twostep-bench/1'")
+    if doc.get("bench") != "n4_geo":
+        fail(f"{path}: bench is {doc.get('bench')!r}, expected 'n4_geo'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: missing or empty rows")
+
+    protocols = {"task", "object", "fastpaxos", "epaxos"}
+    cells = {}  # (protocol, placement, conflict) -> decided sample count
+    placements = set()
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(f"{path}: row {i} is not an object")
+        protocol = row.get("protocol")
+        placement = row.get("placement")
+        conflict = row.get("conflict")
+        if protocol not in protocols:
+            fail(f"{path}: row {i} has unknown protocol {protocol!r}")
+        if not isinstance(placement, str) or not placement:
+            fail(f"{path}: row {i} missing placement")
+        if not isinstance(conflict, bool):
+            fail(f"{path}: row {i} conflict must be a boolean, got {conflict!r}")
+        if not isinstance(row.get("region"), str) or not row["region"]:
+            fail(f"{path}: row {i} missing region")
+        if _numeric(path, row, i, "n") < 3:
+            fail(f"{path}: row {i} cluster size {row['n']} too small")
+        _numeric(path, row, i, "undecided")
+        samples = _numeric(path, row, i, "samples")
+        if samples > 0:
+            p50 = _numeric(path, row, i, "rtt_p50_us")
+            p90 = _numeric(path, row, i, "rtt_p90_us")
+            p99 = _numeric(path, row, i, "rtt_p99_us")
+            if not 0 < p50 <= p90 <= p99:
+                fail(f"{path}: row {i} quantiles not ordered: "
+                     f"p50={p50} p90={p90} p99={p99}")
+        placements.add(placement)
+        key = (protocol, placement, conflict)
+        cells[key] = cells.get(key, 0) + (1 if samples > 0 else 0)
+
+    if len(placements) < min_placements:
+        fail(f"{path}: found {len(placements)} placement(s) {sorted(placements)}, "
+             f"need >= {min_placements}")
+    for protocol in sorted(protocols):
+        for placement in sorted(placements):
+            for conflict in (False, True):
+                key = (protocol, placement, conflict)
+                if key not in cells:
+                    fail(f"{path}: missing cell protocol={protocol} "
+                         f"placement={placement} conflict={conflict}")
+                if cells[key] == 0:
+                    fail(f"{path}: cell protocol={protocol} placement={placement} "
+                         f"conflict={conflict} decided nothing in any region")
+    print(
+        f"{path}: OK — {len(rows)} rows, {len(placements)} placements, "
+        f"all {len(protocols)} protocols measured with and without conflicts"
+    )
+
+
 def check_n5(path: str, max_rejoin_ratio: float) -> None:
     doc = load(path)
     if not isinstance(doc, dict) or doc.get("schema") != "twostep-bench/1":
@@ -276,6 +347,9 @@ def main() -> None:
     n = sub.add_parser("n3", help="validate the N3 saturation-curve artifact")
     n.add_argument("file")
     n.add_argument("--min-speedup", type=float, default=0.0)
+    n4 = sub.add_parser("n4", help="validate the N4 per-region geo-latency artifact")
+    n4.add_argument("file")
+    n4.add_argument("--min-placements", type=int, default=2)
     n5 = sub.add_parser("n5", help="validate the N5 wiped-replica rejoin artifact")
     n5.add_argument("file")
     n5.add_argument("--max-rejoin-ratio", type=float, default=0.0)
@@ -284,6 +358,8 @@ def main() -> None:
         check_trace(args.file, args.min_processes)
     elif args.cmd == "n3":
         check_n3(args.file, args.min_speedup)
+    elif args.cmd == "n4":
+        check_n4(args.file, args.min_placements)
     elif args.cmd == "n5":
         check_n5(args.file, args.max_rejoin_ratio)
     else:

@@ -347,6 +347,202 @@ std::optional<fastpaxos::Message> decode_fastpaxos(std::span<const std::uint8_t>
   return out;
 }
 
+namespace {
+
+constexpr std::uint8_t kTagEpPreAccept = 1;
+constexpr std::uint8_t kTagEpPreAcceptReply = 2;
+constexpr std::uint8_t kTagEpAccept = 3;
+constexpr std::uint8_t kTagEpAcceptReply = 4;
+constexpr std::uint8_t kTagEpCommit = 5;
+constexpr std::uint8_t kTagEpPrepare = 6;
+constexpr std::uint8_t kTagEpPrepareReply = 7;
+
+void put_ep_instance(Writer& w, const epaxos::InstanceId& id) {
+  w.put_i64(id.replica);
+  w.put_i64(id.index);
+}
+
+epaxos::InstanceId get_ep_instance(Reader& r) {
+  epaxos::InstanceId id;
+  const std::int64_t replica = r.get_i64();
+  const std::int64_t index = r.get_i64();
+  // A negative or oversize id cannot name a real instance; leave the
+  // default (invalid) id, which the caller's validity check rejects.
+  if (!r.ok() || replica < 0 || replica > std::numeric_limits<consensus::ProcessId>::max() ||
+      index < 0 || index > std::numeric_limits<std::int32_t>::max())
+    return id;
+  id.replica = static_cast<consensus::ProcessId>(replica);
+  id.index = static_cast<std::int32_t>(index);
+  return id;
+}
+
+void put_ep_deps(Writer& w, const epaxos::DepSet& deps) {
+  w.put_i64(static_cast<std::int64_t>(deps.size()));
+  for (const epaxos::InstanceId& dep : deps) put_ep_instance(w, dep);
+}
+
+bool get_ep_deps(Reader& r, std::span<const std::uint8_t> data, epaxos::DepSet& out) {
+  const std::int64_t count = r.get_i64();
+  // Each dependency costs at least two bytes, so any plausible count is
+  // bounded by the buffer size — rejects huge counts before allocating.
+  if (!r.ok() || count < 0 || static_cast<std::uint64_t>(count) > data.size()) return false;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const epaxos::InstanceId dep = get_ep_instance(r);
+    if (!r.ok() || !dep.valid()) return false;
+    out.insert(dep);
+  }
+  return r.ok();
+}
+
+void put_ep_command(Writer& w, const epaxos::Command& cmd) {
+  w.put_i64(cmd.key);
+  w.put_i64(cmd.payload);
+}
+
+epaxos::Command get_ep_command(Reader& r) {
+  epaxos::Command cmd;
+  cmd.key = r.get_i64();
+  cmd.payload = r.get_i64();
+  return cmd;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const epaxos::Message& m) {
+  Writer w;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, epaxos::PreAcceptMsg>) {
+          w.put_u8(kTagEpPreAccept);
+          put_ep_instance(w, msg.instance);
+          w.put_i64(msg.ballot);
+          put_ep_command(w, msg.cmd);
+          put_ep_deps(w, msg.deps);
+          w.put_i64(msg.seq);
+        } else if constexpr (std::is_same_v<T, epaxos::PreAcceptReplyMsg>) {
+          w.put_u8(kTagEpPreAcceptReply);
+          put_ep_instance(w, msg.instance);
+          w.put_i64(msg.ballot);
+          put_ep_deps(w, msg.deps);
+          w.put_i64(msg.seq);
+          w.put_u8(msg.changed ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, epaxos::AcceptMsg>) {
+          w.put_u8(kTagEpAccept);
+          put_ep_instance(w, msg.instance);
+          w.put_i64(msg.ballot);
+          put_ep_command(w, msg.cmd);
+          put_ep_deps(w, msg.deps);
+          w.put_i64(msg.seq);
+        } else if constexpr (std::is_same_v<T, epaxos::AcceptReplyMsg>) {
+          w.put_u8(kTagEpAcceptReply);
+          put_ep_instance(w, msg.instance);
+          w.put_i64(msg.ballot);
+        } else if constexpr (std::is_same_v<T, epaxos::CommitMsg>) {
+          w.put_u8(kTagEpCommit);
+          put_ep_instance(w, msg.instance);
+          put_ep_command(w, msg.cmd);
+          put_ep_deps(w, msg.deps);
+          w.put_i64(msg.seq);
+        } else if constexpr (std::is_same_v<T, epaxos::PrepareMsg>) {
+          w.put_u8(kTagEpPrepare);
+          put_ep_instance(w, msg.instance);
+          w.put_i64(msg.ballot);
+        } else {
+          w.put_u8(kTagEpPrepareReply);
+          put_ep_instance(w, msg.instance);
+          w.put_i64(msg.ballot);
+          w.put_u8(static_cast<std::uint8_t>(msg.status));
+          put_ep_command(w, msg.cmd);
+          put_ep_deps(w, msg.deps);
+          w.put_i64(msg.seq);
+        }
+      },
+      m);
+  return std::move(w).take();
+}
+
+std::optional<epaxos::Message> decode_epaxos(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const std::uint8_t tag = r.get_u8();
+  std::optional<epaxos::Message> out;
+  switch (tag) {
+    case kTagEpPreAccept: {
+      epaxos::PreAcceptMsg m;
+      m.instance = get_ep_instance(r);
+      m.ballot = r.get_i64();
+      m.cmd = get_ep_command(r);
+      if (!get_ep_deps(r, data, m.deps)) return std::nullopt;
+      m.seq = r.get_i64();
+      out = epaxos::Message{m};
+      break;
+    }
+    case kTagEpPreAcceptReply: {
+      epaxos::PreAcceptReplyMsg m;
+      m.instance = get_ep_instance(r);
+      m.ballot = r.get_i64();
+      if (!get_ep_deps(r, data, m.deps)) return std::nullopt;
+      m.seq = r.get_i64();
+      const std::uint8_t changed = r.get_u8();
+      if (changed > 1) return std::nullopt;
+      m.changed = changed == 1;
+      out = epaxos::Message{m};
+      break;
+    }
+    case kTagEpAccept: {
+      epaxos::AcceptMsg m;
+      m.instance = get_ep_instance(r);
+      m.ballot = r.get_i64();
+      m.cmd = get_ep_command(r);
+      if (!get_ep_deps(r, data, m.deps)) return std::nullopt;
+      m.seq = r.get_i64();
+      out = epaxos::Message{m};
+      break;
+    }
+    case kTagEpAcceptReply: {
+      epaxos::AcceptReplyMsg m;
+      m.instance = get_ep_instance(r);
+      m.ballot = r.get_i64();
+      out = epaxos::Message{m};
+      break;
+    }
+    case kTagEpCommit: {
+      epaxos::CommitMsg m;
+      m.instance = get_ep_instance(r);
+      m.cmd = get_ep_command(r);
+      if (!get_ep_deps(r, data, m.deps)) return std::nullopt;
+      m.seq = r.get_i64();
+      out = epaxos::Message{m};
+      break;
+    }
+    case kTagEpPrepare: {
+      epaxos::PrepareMsg m;
+      m.instance = get_ep_instance(r);
+      m.ballot = r.get_i64();
+      out = epaxos::Message{m};
+      break;
+    }
+    case kTagEpPrepareReply: {
+      epaxos::PrepareReplyMsg m;
+      m.instance = get_ep_instance(r);
+      m.ballot = r.get_i64();
+      const std::uint8_t status = r.get_u8();
+      if (status > static_cast<std::uint8_t>(epaxos::Status::kExecuted)) return std::nullopt;
+      m.status = static_cast<epaxos::Status>(status);
+      m.cmd = get_ep_command(r);
+      if (!get_ep_deps(r, data, m.deps)) return std::nullopt;
+      m.seq = r.get_i64();
+      out = epaxos::Message{m};
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  const bool instance_ok = std::visit([](const auto& msg) { return msg.instance.valid(); }, *out);
+  if (!r.ok() || !r.exhausted() || !instance_ok) return std::nullopt;
+  return out;
+}
+
 std::vector<std::uint8_t> encode(const ClientRequest& m) {
   Writer w;
   w.put_i64(m.id);

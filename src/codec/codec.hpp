@@ -19,6 +19,7 @@
 
 #include "consensus/types.hpp"
 #include "core/messages.hpp"
+#include "epaxos/epaxos.hpp"
 #include "fastpaxos/fast_paxos.hpp"
 #include "obs/flight.hpp"
 #include "rsm/rsm.hpp"
@@ -99,6 +100,15 @@ std::vector<std::uint8_t> encode(const fastpaxos::Message& m);
 
 /// Parses one Fast Paxos message; nullopt on malformed input.
 std::optional<fastpaxos::Message> decode_fastpaxos(std::span<const std::uint8_t> data);
+
+/// Serializes one EPaxos message (its own 1-byte tag space; instance ids
+/// are (replica, index) varint pairs, dependency sets a count + pairs).
+std::vector<std::uint8_t> encode(const epaxos::Message& m);
+
+/// Parses one EPaxos message; nullopt on malformed input (unknown tag,
+/// truncation, invalid instance id, implausible dependency count, unknown
+/// status byte, trailing bytes).
+std::optional<epaxos::Message> decode_epaxos(std::span<const std::uint8_t> data);
 
 // ---- client frames (the request/reply path of the live node runtime) ----
 

@@ -59,6 +59,57 @@ bool EPaxosReplica::used_fast_path(InstanceId id) const {
   return inst && inst->fast_committed;
 }
 
+std::optional<EPaxosReplica::InstanceState> EPaxosReplica::instance_state(InstanceId id) const {
+  const Instance* inst = find(id);
+  if (inst == nullptr || inst->status == Status::kNone) return std::nullopt;
+  InstanceState s{inst->cmd, inst->deps, inst->seq, inst->status, inst->ballot};
+  // Execution is re-derived from the committed graph on replay, so the
+  // durable status never exceeds kCommitted — an instance that merely
+  // executes does not owe the WAL another record.
+  if (s.status == Status::kExecuted) s.status = Status::kCommitted;
+  return s;
+}
+
+void EPaxosReplica::restore_instance(InstanceId id, const InstanceState& s) {
+  // Bypass instance(): a restore comes *from* storage and must not be
+  // re-marked dirty (the Durable change detector is seeded separately).
+  Instance& inst = instances_[id];
+  const bool was_committed = inst.status >= Status::kCommitted;
+  inst.cmd = s.cmd;
+  inst.deps = s.deps;
+  inst.seq = s.seq;
+  inst.ballot = s.ballot;
+  // Never downgrade: replaying an earlier committed record can execute this
+  // instance (try_execute cascades), and a later record for the same
+  // instance — captured as kCommitted at most, e.g. after a recovery
+  // Prepare bumped its ballot — must not move an already-executed instance
+  // back to kCommitted, or the next try_execute sweep re-executes it.
+  const Status restored = s.status == Status::kExecuted ? Status::kCommitted : s.status;
+  inst.status = std::max(inst.status, restored);
+  if (id.replica == env_.self()) {
+    next_index_ = std::max(next_index_, id.index + 1);
+    if (inst.status >= Status::kCommitted) own_commit_reported_ = true;
+  }
+  if (!was_committed && inst.status >= Status::kCommitted) {
+    ++committed_count_;
+    if (on_commit) on_commit(id, inst.cmd);
+    try_execute();
+  }
+}
+
+std::vector<InstanceId> EPaxosReplica::drain_dirty_instances() {
+  std::vector<InstanceId> out(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  return out;
+}
+
+std::vector<CommitMsg> EPaxosReplica::committed_commits() const {
+  std::vector<CommitMsg> out;
+  for (const auto& [id, inst] : instances_)
+    if (inst.status >= Status::kCommitted) out.push_back(CommitMsg{id, inst.cmd, inst.deps, inst.seq});
+  return out;
+}
+
 void EPaxosReplica::assign_attributes(const Command& cmd, InstanceId self_id, DepSet& deps,
                                       std::int64_t& seq) const {
   seq = 1;
@@ -83,7 +134,7 @@ InstanceId EPaxosReplica::submit(Command cmd) {
     commit(id, inst.cmd, inst.deps, inst.seq, /*broadcast=*/false);
     return id;
   }
-  env_.broadcast_others(PreAcceptMsg{id, cmd, inst.deps, inst.seq});
+  env_.broadcast_others(PreAcceptMsg{id, /*ballot=*/0, cmd, inst.deps, inst.seq});
   return id;
 }
 
@@ -93,8 +144,13 @@ void EPaxosReplica::on_message(ProcessId from, const Message& m) {
 
 void EPaxosReplica::handle(ProcessId from, const PreAcceptMsg& m) {
   Instance& inst = instance(m.instance);
-  // A later phase supersedes PreAccept.
-  if (inst.status >= Status::kAccepted || inst.ballot > 0) return;
+  // A commit is final, a higher ballot owns the instance, and within one
+  // ballot a later phase supersedes PreAccept.  A recovery re-proposal at a
+  // higher ballot overrides a lower ballot's Accept: the re-proposer's
+  // Prepare quorum saw no accepted state, so no lower-ballot round can
+  // still reach a commit quorum past ours.
+  if (inst.status >= Status::kCommitted || m.ballot < inst.ballot) return;
+  if (m.ballot == inst.ballot && inst.status >= Status::kAccepted) return;
 
   DepSet deps = m.deps;
   std::int64_t seq = m.seq;
@@ -108,28 +164,42 @@ void EPaxosReplica::handle(ProcessId from, const PreAcceptMsg& m) {
   inst.cmd = m.cmd;
   inst.deps = deps;
   inst.seq = seq;
+  inst.ballot = m.ballot;
   inst.status = Status::kPreAccepted;
-  env_.send(from, PreAcceptReplyMsg{m.instance, deps, seq, changed});
+  env_.send(from, PreAcceptReplyMsg{m.instance, m.ballot, deps, seq, changed});
 }
 
 void EPaxosReplica::handle(ProcessId, const PreAcceptReplyMsg& m) {
   Instance& inst = instance(m.instance);
-  if (!inst.leading || inst.status != Status::kPreAccepted) return;
+  // The ballot check also retires the owner's round the moment a recoverer's
+  // Prepare bumps the instance: a late tally must not fast-commit original
+  // attributes the recovery may be re-deciding.
+  if (inst.status != Status::kPreAccepted || m.ballot != inst.ballot) return;
+  if (inst.ballot == 0) {
+    if (!inst.leading) return;
+    ++inst.preaccept_replies;
+    inst.merged_deps.insert(m.deps.begin(), m.deps.end());
+    inst.merged_seq = std::max(inst.merged_seq, m.seq);
+    if (m.changed) inst.fast_eligible = false;
+
+    if (inst.fast_eligible && inst.preaccept_replies >= fast_quorum_ - 1) {
+      // All fast-quorum replies agreed with our attributes: commit in two
+      // message delays.
+      inst.fast_committed = true;
+      commit(m.instance, inst.cmd, inst.deps, inst.seq, /*broadcast=*/true);
+      return;
+    }
+    if (!inst.fast_eligible && inst.preaccept_replies >= classic_quorum_ - 1) {
+      begin_accept_round(m.instance);
+    }
+    return;
+  }
+  // Recovery re-proposal round: no fast path — always finish through Accept.
+  if (!inst.recovering) return;
   ++inst.preaccept_replies;
   inst.merged_deps.insert(m.deps.begin(), m.deps.end());
   inst.merged_seq = std::max(inst.merged_seq, m.seq);
-  if (m.changed) inst.fast_eligible = false;
-
-  if (inst.fast_eligible && inst.preaccept_replies >= fast_quorum_ - 1) {
-    // All fast-quorum replies agreed with our attributes: commit in two
-    // message delays.
-    inst.fast_committed = true;
-    commit(m.instance, inst.cmd, inst.deps, inst.seq, /*broadcast=*/true);
-    return;
-  }
-  if (!inst.fast_eligible && inst.preaccept_replies >= classic_quorum_ - 1) {
-    begin_accept_round(m.instance);
-  }
+  if (inst.preaccept_replies >= classic_quorum_ - 1) begin_accept_round(m.instance);
 }
 
 void EPaxosReplica::begin_accept_round(InstanceId id) {
@@ -208,6 +278,12 @@ void EPaxosReplica::recover(InstanceId id) {
   if (b == 0) b += n;  // ballot 0 belongs to the instance owner
   inst.recovering = true;
   inst.prepare_replies.clear();
+  inst.owner_preaccept = false;
+  inst.stall_ticks = 0;
+  // Recovering our own instance means the leader tallies are stale (lost
+  // in a restart, or the round is stuck); abandon the leader role so a
+  // late PreAcceptReply cannot race this recovery into a second commit.
+  if (id.replica == env_.self()) inst.leading = false;
   inst.ballot = b;
   env_.broadcast_all(PrepareMsg{id, b});
 }
@@ -227,7 +303,7 @@ void EPaxosReplica::handle(ProcessId from, const PrepareMsg& m) {
             PrepareReplyMsg{m.instance, m.ballot, inst.status, inst.cmd, inst.deps, inst.seq});
 }
 
-void EPaxosReplica::handle(ProcessId, const PrepareReplyMsg& m) {
+void EPaxosReplica::handle(ProcessId from, const PrepareReplyMsg& m) {
   Instance& inst = instance(m.instance);
   if (!inst.recovering || inst.status >= Status::kCommitted) return;
   if (m.status >= Status::kCommitted) {
@@ -235,38 +311,93 @@ void EPaxosReplica::handle(ProcessId, const PrepareReplyMsg& m) {
     commit(m.instance, m.cmd, m.deps, m.seq, /*broadcast=*/true);
     return;
   }
+  if (m.ballot != inst.ballot) return;  // stale recovery round
+  if (m.status == Status::kPreAccepted && from == m.instance.replica)
+    inst.owner_preaccept = true;
   inst.prepare_replies.push_back(m);
   if (static_cast<int>(inst.prepare_replies.size()) < classic_quorum_) return;
 
-  // Quorum of answers without a commit: pick the strongest evidence.
+  // Quorum of answers without a commit: pick the strongest evidence.  Move
+  // the replies out so a straggler at this ballot cannot re-trigger the
+  // decision mid-round.
+  const std::vector<PrepareReplyMsg> replies = std::move(inst.prepare_replies);
+  inst.prepare_replies.clear();
   const PrepareReplyMsg* accepted = nullptr;
-  const PrepareReplyMsg* preaccepted = nullptr;
-  for (const auto& reply : inst.prepare_replies) {
+  std::vector<const PrepareReplyMsg*> preaccepted;
+  for (const auto& reply : replies) {
     if (reply.status == Status::kAccepted &&
         (!accepted || reply.ballot > accepted->ballot)) {
       accepted = &reply;
     }
-    if (reply.status == Status::kPreAccepted) {
-      if (!preaccepted) {
-        preaccepted = &reply;
-      } else {
-        // Conservative union of pre-accepted evidence (see header note).
-        inst.merged_deps.insert(reply.deps.begin(), reply.deps.end());
-        inst.merged_seq = std::max(inst.merged_seq, reply.seq);
-      }
-    }
+    if (reply.status == Status::kPreAccepted) preaccepted.push_back(&reply);
   }
   inst.recovering = false;
+  if (!accepted && inst.owner_preaccept) {
+    // The owner itself answered pre-accepted (or we are the owner,
+    // recovering our own restored instance).  The owner would have answered
+    // committed if it ever committed — the runtime persists state before
+    // releasing frames — so no fast commit happened and the attributes are
+    // still free.  A union of the stale replies could miss instances
+    // committed while the owner was down, so run Phase 1 anew at this
+    // ballot: a live quorum folds its current knowledge into the
+    // attributes, and the round finishes on the slow path.
+    inst.cmd = preaccepted.front()->cmd;
+    DepSet deps;
+    std::int64_t seq = 0;
+    assign_attributes(inst.cmd, m.instance, deps, seq);
+    inst.deps = deps;
+    inst.seq = seq;
+    inst.status = Status::kPreAccepted;
+    inst.recovering = true;
+    inst.leading = false;
+    inst.preaccept_replies = 0;
+    inst.merged_deps = std::move(deps);
+    inst.merged_seq = seq;
+    env_.broadcast_others(PreAcceptMsg{m.instance, inst.ballot, inst.cmd, inst.deps, inst.seq});
+    return;
+  }
   if (accepted) {
     inst.cmd = accepted->cmd;
     inst.deps = accepted->deps;
     inst.seq = accepted->seq;
-  } else if (preaccepted) {
-    inst.cmd = preaccepted->cmd;
-    inst.merged_deps.insert(preaccepted->deps.begin(), preaccepted->deps.end());
-    inst.merged_seq = std::max(inst.merged_seq, preaccepted->seq);
-    inst.deps = inst.merged_deps;
-    inst.seq = std::max(inst.seq, inst.merged_seq);
+  } else if (!preaccepted.empty()) {
+    // The crashed leader may have fast-committed its original attributes.
+    // Acceptors only ever add deps / raise seq, so any fast-committed
+    // original is <= every pre-accept reply and — because every classic
+    // quorum intersects the fast quorum in a non-leader acceptor — appears
+    // among these replies.  If one reply is <= all others, it is the only
+    // attribute set a fast commit could have used: re-commit exactly it.
+    // Otherwise no fast commit was possible and the union is safe (see
+    // header note).
+    const PrepareReplyMsg* base = nullptr;
+    for (const PrepareReplyMsg* a : preaccepted) {
+      bool le_all = true;
+      for (const PrepareReplyMsg* b : preaccepted) {
+        if (a->seq > b->seq ||
+            !std::includes(b->deps.begin(), b->deps.end(), a->deps.begin(), a->deps.end())) {
+          le_all = false;
+          break;
+        }
+      }
+      if (le_all) {
+        base = a;
+        break;
+      }
+    }
+    inst.cmd = preaccepted.front()->cmd;
+    if (base != nullptr) {
+      inst.deps = base->deps;
+      inst.seq = base->seq;
+    } else {
+      DepSet deps;
+      std::int64_t seq = 0;
+      for (const PrepareReplyMsg* r : preaccepted) {
+        deps.insert(r->deps.begin(), r->deps.end());
+        seq = std::max(seq, r->seq);
+      }
+      inst.deps = std::move(deps);
+      inst.seq = seq;
+    }
   } else {
     // Nobody saw the command: commit a no-op so dependent instances can
     // execute.
@@ -283,11 +414,45 @@ void EPaxosReplica::handle(ProcessId, const PrepareReplyMsg& m) {
 void EPaxosReplica::on_timer(TimerId) {
   if (options_.recovery_timeout <= 0) return;
   env_.set_timer(options_.recovery_timeout);
-  for (auto& [id, inst] : instances_) {
-    if (id.replica == env_.self()) continue;
-    if (inst.status == Status::kPreAccepted || inst.status == Status::kAccepted) {
-      if (!inst.recovering) recover(id);
+  // A committed instance can be blocked on a dependency this replica has
+  // never heard of (its Commit frame was dropped and nothing retransmits
+  // it).  Materialize such deps so the stall scan below drives them to a
+  // commit; recovery is safe from kNone — a Prepare quorum either surfaces
+  // the command or proves nobody durably saw it, in which case no commit
+  // can exist (state persists before frames leave a node) and a no-op is
+  // correct.
+  std::set<InstanceId> blocked;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.status != Status::kCommitted) continue;
+    for (const InstanceId dep : inst.deps) {
+      const Instance* d = find(dep);
+      if (d == nullptr || d->status == Status::kNone) blocked.insert(dep);
     }
+  }
+  for (const InstanceId dep : blocked) instance(dep);
+  for (auto& [id, inst] : instances_) {
+    const bool unseen_dep = inst.status == Status::kNone && blocked.contains(id);
+    if (inst.status != Status::kPreAccepted && inst.status != Status::kAccepted && !unseen_dep) {
+      inst.stall_ticks = 0;
+      continue;
+    }
+    ++inst.stall_ticks;
+    if (unseen_dep) {
+      // Give an in-flight Commit a grace tick before recovering; an
+      // unanswered recovery gets the usual three-tick retry cadence.
+      if (inst.stall_ticks >= (inst.recovering ? 3 : 2)) recover(id);
+      continue;
+    }
+    // An instance we are actively leading gets a grace tick — replies may
+    // be in flight — then is re-driven as a recovery (its frames may have
+    // been lost; nothing retransmits them).  A restored own instance has
+    // leading == false (leader tallies are volatile), and peers that never
+    // saw it cannot recover it — the owner must, or every later
+    // interfering instance stalls behind it forever.  A recovery whose
+    // Prepare round itself got lost is retried with a fresh ballot.
+    if (id.replica == env_.self() && inst.leading && inst.stall_ticks < 2) continue;
+    if (inst.recovering && inst.stall_ticks < 3) continue;
+    recover(id);
   }
 }
 

@@ -20,10 +20,29 @@
 // Simplification documented in DESIGN.md: explicit recovery of instances
 // whose leader crashed mid-protocol (EPaxos's ExplicitPrepare) is
 // implemented for the common cases (seen-as-PreAccepted / seen-as-Accepted /
-// not-seen => no-op) but does not implement the optimized-quorum
-// TryPreAccept corner; recovery therefore conservatively falls back to the
-// Accept round, which is always safe with the simple (non-thrifty) quorums
-// used here.
+// not-seen => no-op) and falls back to an Accept round.  The PreAccepted
+// case must respect a possible fast-path commit: the crashed leader may
+// already have committed its *original* attributes.  Two sub-cases:
+//
+//  - The owner's own pre-accept is among the replies (the owner answered a
+//    Prepare, or the owner itself is recovering a restored instance).  A
+//    pre-accepted answer proves the owner never committed — the node
+//    runtime makes every commit durable before any frame leaves the node —
+//    so no fast commit ever happened and the attributes are still free.
+//    Stale pre-accept unions can miss instances committed while the owner
+//    was down, so recovery re-runs Phase 1 at its ballot: a live quorum
+//    re-assigns the attributes and the round finishes on the slow path.
+//
+//  - The owner is silent.  Acceptors only ever add to the attributes, so
+//    any fast-committed original is a subset of every pre-accept reply —
+//    when one reply's attributes are <= all others', recovery re-commits
+//    exactly those (for n = 3 that reply also carries an edge to every
+//    instance committed without one, because both non-owner replicas are
+//    in every such instance's quorum); only when no such reply exists (no
+//    fast commit was possible) does it take the conservative union.
+//
+// The optimized-quorum TryPreAccept corner (n > 3 with a silent owner and
+// divergent pre-accepts) is not implemented.
 #pragma once
 
 #include <cstdint>
@@ -79,6 +98,7 @@ enum class Status : std::uint8_t {
 
 struct PreAcceptMsg {
   InstanceId instance;
+  consensus::Ballot ballot = 0;  ///< 0 = owner's round; >0 = recovery re-proposal
   Command cmd;
   DepSet deps;
   std::int64_t seq = 0;
@@ -86,6 +106,7 @@ struct PreAcceptMsg {
 };
 struct PreAcceptReplyMsg {
   InstanceId instance;
+  consensus::Ballot ballot = 0;
   DepSet deps;          ///< possibly extended by the replier
   std::int64_t seq = 0; ///< possibly increased by the replier
   bool changed = false; ///< deps/seq differ from the leader's proposal
@@ -191,6 +212,50 @@ class EPaxosReplica {
   /// Starts explicit recovery of a (possibly foreign) instance.
   void recover(InstanceId id);
 
+  // --- durability (storage::Durable<epaxos host>) ---
+
+  /// The acceptor-critical slice of one instance: what a restarted replica
+  /// must still know to keep its PreAccept/Accept promises and re-derive
+  /// execution.  Leader-side tallies are deliberately volatile (losing
+  /// them delays an in-flight instance until recovery, never breaks
+  /// agreement), and kExecuted is captured as kCommitted — execution order
+  /// is a pure function of the committed dependency graph.
+  struct InstanceState {
+    Command cmd;
+    DepSet deps;
+    std::int64_t seq = 0;
+    Status status = Status::kNone;
+    consensus::Ballot ballot = 0;
+    friend bool operator==(const InstanceState&, const InstanceState&) = default;
+  };
+
+  /// Durable view of an instance (kExecuted reads as kCommitted); nullopt
+  /// for instances this replica has never touched.
+  [[nodiscard]] std::optional<InstanceState> instance_state(InstanceId id) const;
+
+  /// Reinstates one instance from its durable record: no messages are
+  /// sent, own indices advance next_index_, and a committed restore fires
+  /// on_commit and re-runs execution (on_execute fires in dependency order
+  /// as the committed graph fills back in).
+  void restore_instance(InstanceId id, const InstanceState& s);
+
+  /// Instances whose state may have changed since the last drain.  Cleared
+  /// by the call; maintained by every mutating entry point (submit,
+  /// message, timer, recovery).
+  [[nodiscard]] std::vector<InstanceId> drain_dirty_instances();
+
+  /// Commit retransmissions for anti-entropy: one CommitMsg per committed
+  /// (or executed) instance, in instance-id order.
+  [[nodiscard]] std::vector<CommitMsg> committed_commits() const;
+
+  /// Debug/audit introspection: visits every instance this replica knows,
+  /// in instance-id order, with its raw (un-clamped) status.
+  template <class Fn>
+  void for_each_instance(Fn&& fn) const {
+    for (const auto& [id, inst] : instances_)
+      fn(id, InstanceState{inst.cmd, inst.deps, inst.seq, inst.status, inst.ballot});
+  }
+
  private:
   struct Instance {
     Command cmd;
@@ -210,7 +275,9 @@ class EPaxosReplica {
 
     // Recovery bookkeeping.
     std::vector<PrepareReplyMsg> prepare_replies;
+    bool owner_preaccept = false;  ///< a PrepareReply from the instance owner said kPreAccepted
     bool recovering = false;
+    int stall_ticks = 0;  ///< consecutive timer scans spent un-committed
   };
 
   void handle(consensus::ProcessId from, const PreAcceptMsg& m);
@@ -231,7 +298,12 @@ class EPaxosReplica {
   void try_execute();
   bool execute_instance(InstanceId id, std::set<InstanceId>& visiting);
 
-  Instance& instance(InstanceId id) { return instances_[id]; }
+  /// The one mutable access path to an instance; every caller may change
+  /// state, so the instance is marked dirty for the next durability drain.
+  Instance& instance(InstanceId id) {
+    dirty_.insert(id);
+    return instances_[id];
+  }
   [[nodiscard]] const Instance* find(InstanceId id) const;
 
   consensus::Env<Message>& env_;
@@ -251,6 +323,7 @@ class EPaxosReplica {
   } stats_;
 
   std::map<InstanceId, Instance> instances_;
+  std::set<InstanceId> dirty_;  ///< touched since the last durability drain
   std::int32_t next_index_ = 0;
   int committed_count_ = 0;
   int executed_count_ = 0;

@@ -1,0 +1,43 @@
+#include "epaxos/host.hpp"
+
+namespace twostep::epaxos {
+
+EPaxosRsm::EPaxosRsm(consensus::Env<Message>& env, consensus::SystemConfig config,
+                     HostOptions options)
+    : env_(env), options_(options), replica_(env, config, options.protocol) {
+  if (options_.key_mod < 0)
+    throw std::invalid_argument("EPaxosRsm: key_mod must be >= 0");
+  replica_.on_commit = [this](InstanceId id, const Command& cmd) {
+    if (id.replica != env_.self()) return;
+    const auto it = own_submitted_.find(id);
+    if (it == own_submitted_.end()) return;  // learned or restored, not in flight
+    const sim::Tick submitted_at = it->second;
+    own_submitted_.erase(it);
+    if (on_commit) on_commit(token(id.replica, cmd.payload), submitted_at, id.index);
+  };
+  replica_.on_execute = [this](InstanceId id, const Command& cmd) {
+    if (cmd.payload == kNoOpPayload) return;  // recovery filler, not client state
+    const std::int32_t slot = next_exec_slot_++;
+    if (on_apply) on_apply(slot, token(id.replica, cmd.payload));
+  };
+}
+
+std::int64_t EPaxosRsm::submit(std::int64_t payload) {
+  if (payload < 0 || payload > max_payload())
+    throw std::invalid_argument("EPaxosRsm::submit: payload out of range");
+  const std::int64_t key = options_.key_mod > 0 ? payload % options_.key_mod : 0;
+  const sim::Tick now = env_.now();
+  const InstanceId id = replica_.submit(Command{key, payload});
+  own_submitted_.emplace(id, now);
+  return token(env_.self(), payload);
+}
+
+std::vector<EPaxosRsm::Message> EPaxosRsm::decide_messages() const {
+  std::vector<CommitMsg> commits = replica_.committed_commits();
+  std::vector<Message> out;
+  out.reserve(commits.size());
+  for (CommitMsg& m : commits) out.push_back(Message{std::move(m)});
+  return out;
+}
+
+}  // namespace twostep::epaxos

@@ -1,0 +1,108 @@
+// EPaxos behind the live node runtime.
+//
+// node::Runtime hosts RSM-style protocols through a small proxy surface
+// (submit / on_commit / on_apply).  EPaxosRsm adapts EPaxosReplica to that
+// surface so the leaderless protocol runs on the same TCP/epoll/WAL stack
+// as the slot RSM:
+//
+//   - submit(payload) opens an instance owned by this replica and returns
+//     the same (proxy << 40) | payload command token the slot RSM uses, so
+//     the CLI's agreement/validity/durability audits read both protocols'
+//     applied logs identically.
+//   - on_commit fires when one of OUR instances commits (fast or slow
+//     path) — the client-reply signal.
+//   - on_apply fires per *executed* command in this replica's execution
+//     order, with the execution index as the slot.  With the default key
+//     policy every command interferes with every other, which makes the
+//     EPaxos execution order a total order identical on every replica —
+//     exactly the property the cross-replica applied-log prefix audit
+//     checks.  A positive key_mod shards commands across keys (payload %
+//     key_mod), dialing conflict probability down for the geo benches; the
+//     prefix audit is only sound in the total-interference configuration.
+//
+// Recovery-timeout note: live clusters should set
+// HostOptions::protocol.recovery_timeout > 0 — it is what commits
+// instances stranded by a killed command leader (the restarted leader does
+// not resume leadership; its peers' explicit-prepare does).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "consensus/env.hpp"
+#include "consensus/types.hpp"
+#include "epaxos/epaxos.hpp"
+
+namespace twostep::epaxos {
+
+struct HostOptions {
+  Options protocol;
+  /// Command-interference policy: 0 (default) keys every command to 0 so
+  /// all commands interfere (total execution order, audit-safe); k > 0
+  /// keys a command to payload % k (conflict dial for benches).
+  std::int64_t key_mod = 0;
+};
+
+class EPaxosRsm {
+ public:
+  using Message = epaxos::Message;
+
+  EPaxosRsm(consensus::Env<Message>& env, consensus::SystemConfig config, HostOptions options);
+
+  void start() { replica_.start(); }
+
+  /// Proxy API: submits a client command with this replica as command
+  /// leader.  Returns the globally unique command token ((proxy << 40) |
+  /// payload); on_commit later fires with the same token.  Callers must
+  /// not submit the same payload twice from the same proxy (the workload
+  /// generators use sequence ids), mirroring rsm::RsmProcess::submit.
+  std::int64_t submit(std::int64_t payload);
+
+  /// Cluster-harness adapter: submits the value's payload as a command.
+  void propose(consensus::Value v) { submit(v.get()); }
+
+  void on_message(consensus::ProcessId from, const Message& m) { replica_.on_message(from, m); }
+  void on_timer(consensus::TimerId id) { replica_.on_timer(id); }
+
+  /// Fired per executed command in execution order: (execution index,
+  /// command token).  Recovery no-ops are invisible here.
+  std::function<void(std::int32_t slot, std::int64_t cmd)> on_apply;
+  /// Fired when one of OUR commands commits: (token, submit time, own
+  /// instance index).
+  std::function<void(std::int64_t cmd, sim::Tick submitted_at, std::int32_t slot)> on_commit;
+
+  /// Largest client payload submit() accepts (the token packs the proxy id
+  /// above bit 40, like the slot RSM).
+  [[nodiscard]] std::int64_t max_payload() const noexcept {
+    return (std::int64_t{1} << 40) - 1;
+  }
+
+  /// Anti-entropy: Commit retransmissions for every committed instance;
+  /// the runtime resends them whenever an outbound link (re)establishes.
+  [[nodiscard]] std::vector<Message> decide_messages() const;
+
+  /// The hosted replica, for storage::Durable and test introspection.
+  [[nodiscard]] EPaxosReplica& replica() noexcept { return replica_; }
+  [[nodiscard]] const EPaxosReplica& replica() const noexcept { return replica_; }
+
+  [[nodiscard]] std::int32_t executed_entries() const noexcept { return next_exec_slot_; }
+
+ private:
+  [[nodiscard]] std::int64_t token(consensus::ProcessId proxy, std::int64_t payload) const {
+    return (static_cast<std::int64_t>(proxy) << 40) | payload;
+  }
+
+  consensus::Env<Message>& env_;
+  HostOptions options_;
+  EPaxosReplica replica_;
+  /// Our in-flight instances: submit time per own instance, erased when
+  /// the commit is reported.  Volatile across restarts — a client whose
+  /// command was in flight fails over and retries (at-least-once).
+  std::map<InstanceId, sim::Tick> own_submitted_;
+  std::int32_t next_exec_slot_ = 0;
+};
+
+}  // namespace twostep::epaxos

@@ -128,6 +128,14 @@ class WanMatrix final : public LatencyModel {
   /// Restriction of this matrix to the given subset of sites.
   [[nodiscard]] WanMatrix restrict(const std::vector<int>& sites) const;
 
+  /// The raw one-way table (ticks = milliseconds) and jitter bound; the geo
+  /// subsystem converts these into live-link delay matrices so the emulated
+  /// WAN and the simulated F2 runs share one set of numbers.
+  [[nodiscard]] const std::vector<std::vector<sim::Tick>>& one_way() const noexcept {
+    return one_way_;
+  }
+  [[nodiscard]] sim::Tick jitter() const noexcept { return jitter_; }
+
  private:
   std::vector<std::vector<sim::Tick>> one_way_;
   sim::Tick jitter_;

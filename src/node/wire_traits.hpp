@@ -65,6 +65,18 @@ struct WireTraits<rsm::Msg> {
 };
 
 template <>
+struct WireTraits<epaxos::Message> {
+  static constexpr transport::FrameKind kKind = transport::FrameKind::kEPaxos;
+  static transport::FrameKind kind_of(const epaxos::Message&) { return kKind; }
+  static bool accepts(transport::FrameKind kind) { return kind == kKind; }
+  static std::vector<std::uint8_t> encode(const epaxos::Message& m) { return codec::encode(m); }
+  static std::optional<epaxos::Message> decode(transport::FrameKind,
+                                               std::span<const std::uint8_t> data) {
+    return codec::decode_epaxos(data);
+  }
+};
+
+template <>
 struct WireTraits<fastpaxos::Message> {
   static constexpr transport::FrameKind kKind = transport::FrameKind::kFastPaxos;
   static transport::FrameKind kind_of(const fastpaxos::Message&) { return kKind; }

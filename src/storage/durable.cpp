@@ -179,6 +179,92 @@ void Durable<rsm::RsmProcess>::note_recovery(const rsm::RsmProcess& p,
   reg.counter("recover.max_ballot").add(static_cast<std::uint64_t>(max_bal));
 }
 
+// ---- epaxos::EPaxosRsm ----------------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> encode_epaxos_instance(const epaxos::InstanceId& id,
+                                                 const epaxos::EPaxosReplica::InstanceState& s) {
+  codec::Writer w;
+  w.put_i64(id.replica);
+  w.put_i64(id.index);
+  w.put_i64(static_cast<std::int64_t>(s.status));
+  w.put_i64(s.ballot);
+  w.put_i64(s.cmd.key);
+  w.put_i64(s.cmd.payload);
+  w.put_i64(s.seq);
+  w.put_i64(static_cast<std::int64_t>(s.deps.size()));
+  for (const epaxos::InstanceId& dep : s.deps) {
+    w.put_i64(dep.replica);
+    w.put_i64(dep.index);
+  }
+  return std::move(w).take();
+}
+
+}  // namespace
+
+bool Durable<epaxos::EPaxosRsm>::capture(epaxos::EPaxosRsm& p, Wal& wal) {
+  bool appended = false;
+  for (const epaxos::InstanceId id : p.replica().drain_dirty_instances()) {
+    const auto state = p.replica().instance_state(id);
+    if (!state) continue;
+    std::vector<std::uint8_t> record = encode_epaxos_instance(id, *state);
+    auto& cell = last_[id];
+    if (record == cell) continue;
+    wal.append(record);
+    cell = std::move(record);
+    appended = true;
+  }
+  return appended;
+}
+
+void Durable<epaxos::EPaxosRsm>::replay(epaxos::EPaxosRsm& p,
+                                        std::span<const std::uint8_t> record) {
+  codec::Reader r{record};
+  epaxos::InstanceId id;
+  id.replica = static_cast<ProcessId>(r.get_i64());
+  const std::int64_t index = r.get_i64();
+  const std::int64_t status = r.get_i64();
+  epaxos::EPaxosReplica::InstanceState s;
+  s.ballot = r.get_i64();
+  s.cmd.key = r.get_i64();
+  s.cmd.payload = r.get_i64();
+  s.seq = r.get_i64();
+  const std::int64_t dep_count = r.get_i64();
+  if (!r.ok() || index < 0 || index > INT32_MAX || dep_count < 0 ||
+      static_cast<std::uint64_t>(dep_count) > record.size())
+    return;
+  id.index = static_cast<std::int32_t>(index);
+  if (!id.valid() || status < 0 ||
+      status > static_cast<std::int64_t>(epaxos::Status::kExecuted))
+    return;
+  s.status = static_cast<epaxos::Status>(status);
+  for (std::int64_t i = 0; i < dep_count; ++i) {
+    epaxos::InstanceId dep;
+    dep.replica = static_cast<ProcessId>(r.get_i64());
+    const std::int64_t dep_index = r.get_i64();
+    if (!r.ok() || dep_index < 0 || dep_index > INT32_MAX) return;
+    dep.index = static_cast<std::int32_t>(dep_index);
+    if (!dep.valid()) return;
+    s.deps.insert(dep);
+  }
+  if (!r.ok() || !r.exhausted()) return;
+  p.replica().restore_instance(id, s);
+  auto& cell = last_[id];
+  const bool fresh = cell.empty();
+  cell.assign(record.begin(), record.end());
+  if (fresh) ++replayed_instances_;
+}
+
+void Durable<epaxos::EPaxosRsm>::note_recovery(const epaxos::EPaxosRsm& p,
+                                               obs::MetricsRegistry& reg) {
+  reg.counter("recover.instances").add(replayed_instances_);
+  reg.counter("recover.decided")
+      .add(static_cast<std::uint64_t>(std::max(0, p.replica().committed_count())));
+  reg.counter("recover.applied")
+      .add(static_cast<std::uint64_t>(std::max<std::int32_t>(0, p.executed_entries())));
+}
+
 // ---- Snapshotable<rsm::RsmProcess> ----------------------------------------
 
 std::vector<std::uint8_t> Snapshotable<rsm::RsmProcess>::capture(const rsm::RsmProcess& p) {

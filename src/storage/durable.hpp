@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/two_step.hpp"
+#include "epaxos/host.hpp"
 #include "fastpaxos/fast_paxos.hpp"
 #include "obs/metrics.hpp"
 #include "rsm/rsm.hpp"
@@ -59,6 +60,8 @@ template <>
 inline constexpr bool kHasDurable<fastpaxos::FastPaxosProcess> = true;
 template <>
 inline constexpr bool kHasDurable<rsm::RsmProcess> = true;
+template <>
+inline constexpr bool kHasDurable<epaxos::EPaxosRsm> = true;
 
 /// Stand-in for protocols without durability support, so Runtime<P> still
 /// compiles for them (storage is rejected at runtime before it is reached).
@@ -164,6 +167,23 @@ struct Durable<rsm::RsmProcess> {
   std::map<std::int32_t, std::vector<std::uint8_t>> last_;  ///< slot -> encoded record
   std::uint64_t replayed_slots_ = 0;
   std::uint64_t replayed_batches_ = 0;
+};
+
+template <>
+struct Durable<epaxos::EPaxosRsm> {
+  /// One record per dirty instance whose durable slice changed: the
+  /// EPaxosReplica::InstanceState tuple keyed by (replica, index).  Leader
+  /// tallies stay volatile (same rationale as the other protocols) and
+  /// execution is re-derived from the committed graph on replay, so an
+  /// instance's record changes at most a handful of times over its life
+  /// (pre-accept, accept, commit).
+  bool capture(epaxos::EPaxosRsm& p, Wal& wal);
+  void replay(epaxos::EPaxosRsm& p, std::span<const std::uint8_t> record);
+  void note_recovery(const epaxos::EPaxosRsm& p, obs::MetricsRegistry& reg);
+
+ private:
+  std::map<epaxos::InstanceId, std::vector<std::uint8_t>> last_;  ///< id -> encoded record
+  std::uint64_t replayed_instances_ = 0;
 };
 
 template <>

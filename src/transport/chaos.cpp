@@ -1,22 +1,60 @@
 #include "transport/chaos.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/rng.hpp"
 
 namespace twostep::transport {
 
 ChaosInjector::ChaosInjector(const ChaosConfig& config, consensus::ProcessId self)
-    : plan_(util::splitmix64(config.seed, static_cast<std::uint64_t>(self))), self_(self) {
+    : plan_(util::splitmix64(config.seed, static_cast<std::uint64_t>(self))),
+      self_(self),
+      geo_(config.geo),
+      geo_regions_(config.geo_regions),
+      geo_seed_(util::splitmix64(config.seed, static_cast<std::uint64_t>(self))) {
   if (config.drop_rate > 0) plan_.drop(config.drop_rate);
   if (config.duplicate_rate > 0) plan_.duplicate(config.duplicate_rate);
-  if (config.delay_rate > 0 && config.delay_max_us > 0)
+  if (config.delay_rate > 0) {
+    // A positive delay rate with no delay budget used to silently disable
+    // the rule — reject it so a mistyped config cannot masquerade as chaos.
+    if (config.delay_max_us <= 0)
+      throw std::invalid_argument(
+          "ChaosConfig: delay_rate > 0 requires delay_max_us > 0 (got delay_max_us=" +
+          std::to_string(config.delay_max_us) + ")");
     plan_.reorder(config.delay_rate, config.delay_max_us);
+  }
   for (const ChaosConfig::Partition& p : config.partitions)
     plan_.partition_cut(p.island, p.since_us, p.heal_us);
+  if (geo_ != nullptr && (self < 0 || static_cast<std::size_t>(self) >= geo_regions_.size()))
+    throw std::invalid_argument("ChaosConfig: geo region map does not cover replica " +
+                                std::to_string(self));
+}
+
+std::int64_t ChaosInjector::geo_base_delay_us(consensus::ProcessId to) const {
+  if (geo_ == nullptr) return 0;
+  if (to < 0 || static_cast<std::size_t>(to) >= geo_regions_.size())
+    throw std::invalid_argument("ChaosConfig: geo region map does not cover replica " +
+                                std::to_string(to));
+  return geo_->one_way_us(geo_regions_[static_cast<std::size_t>(self_)],
+                          geo_regions_[static_cast<std::size_t>(to)]);
 }
 
 faults::FaultPlan::Decision ChaosInjector::decide(std::int64_t now_us,
                                                   consensus::ProcessId to) {
-  return plan_.on_send(now_us, self_, to, nullptr);
+  faults::FaultPlan::Decision d = plan_.on_send(now_us, self_, to, nullptr);
+  if (geo_ == nullptr || d.dropped()) return d;
+  std::int64_t delay = geo_base_delay_us(to);
+  if (const std::int64_t jitter = geo_->jitter_us(); jitter > 0) {
+    auto it = geo_jitter_.find(to);
+    if (it == geo_jitter_.end())
+      it = geo_jitter_
+               .emplace(to, util::Rng{util::splitmix64(geo_seed_, static_cast<std::uint64_t>(to))})
+               .first;
+    delay += it->second.next_in(0, jitter);
+  }
+  d.extra_delay += delay;
+  return d;
 }
 
 }  // namespace twostep::transport

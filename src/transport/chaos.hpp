@@ -20,10 +20,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "consensus/types.hpp"
 #include "faults/fault_plan.hpp"
+#include "geo/latency_matrix.hpp"
+#include "util/rng.hpp"
 
 namespace twostep::transport {
 
@@ -45,10 +49,19 @@ struct ChaosConfig {
   };
   std::vector<Partition> partitions;
 
+  /// WAN emulation: every non-dropped frame from p to q gains the matrix's
+  /// one-way delay geo->one_way_us(geo_regions[p], geo_regions[q]) plus a
+  /// per-directed-link uniform jitter in [0, geo->jitter_us()].  The delay
+  /// stacks on top of the probabilistic delay_rate rule.  geo_regions maps
+  /// replica index -> region index and must cover every replica.
+  std::shared_ptr<const geo::LatencyMatrix> geo;
+  std::vector<int> geo_regions;
+
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return drop_rate > 0 || duplicate_rate > 0 || delay_rate > 0 || !partitions.empty();
+    return drop_rate > 0 || duplicate_rate > 0 || delay_rate > 0 || !partitions.empty() ||
+           geo != nullptr;
   }
 };
 
@@ -57,15 +70,28 @@ struct ChaosConfig {
 class ChaosInjector {
  public:
   /// `self` salts the seed so each node draws an independent stream from
-  /// the same ChaosConfig.
+  /// the same ChaosConfig.  Throws std::invalid_argument for configs that
+  /// would silently do nothing (delay_rate > 0 with delay_max_us <= 0) or
+  /// a geo matrix whose region map does not cover `self`.
   ChaosInjector(const ChaosConfig& config, consensus::ProcessId self);
 
   /// The fate of one frame sent now from `self` to `to`.
   faults::FaultPlan::Decision decide(std::int64_t now_us, consensus::ProcessId to);
 
+  /// The base (jitter-free) geo delay self -> to, 0 without a matrix.
+  /// Throws std::invalid_argument if `to` is outside the region map.
+  [[nodiscard]] std::int64_t geo_base_delay_us(consensus::ProcessId to) const;
+
  private:
   faults::FaultPlan plan_;
   consensus::ProcessId self_;
+  std::shared_ptr<const geo::LatencyMatrix> geo_;
+  std::vector<int> geo_regions_;
+  std::uint64_t geo_seed_ = 0;  ///< splitmix64(seed, self): root of per-link jitter streams
+  /// One jitter stream per destination, seeded splitmix64(geo_seed_, to):
+  /// the delay sequence on a directed link is a pure function of
+  /// (config, self, to), however traffic to other peers interleaves.
+  std::unordered_map<consensus::ProcessId, util::Rng> geo_jitter_;
 };
 
 }  // namespace twostep::transport

@@ -49,6 +49,7 @@ enum class FrameKind : std::uint8_t {
   kSnapshotOffer = 11,    ///< codec::encode(codec::SnapshotOffer): "I hold a snapshot"
   kSnapshotRequest = 12,  ///< codec::encode(codec::SnapshotRequest): chunked fetch
   kSnapshotChunk = 13,    ///< codec::encode(codec::SnapshotChunk)
+  kEPaxos = 14,           ///< codec::encode(epaxos::Message)
 };
 
 /// True iff `kind` is one of the FrameKind enumerators.

@@ -244,6 +244,104 @@ TEST(Codec, ClientFrameDecodersRejectTruncationAndGarbage) {
   }
 }
 
+// ---- EPaxos wire frames (geo / leaderless path) ----
+
+std::vector<epaxos::Message> sample_epaxos_messages() {
+  const epaxos::InstanceId a{0, 0};
+  const epaxos::InstanceId b{2, 7};
+  const epaxos::DepSet deps{a, b, epaxos::InstanceId{1, 1'000'000}};
+  return {
+      epaxos::Message{epaxos::PreAcceptMsg{a, 0, {5, 42}, {}, 0}},
+      epaxos::Message{epaxos::PreAcceptMsg{
+          b, 4, {-9, std::numeric_limits<std::int64_t>::min()}, deps, 77}},
+      epaxos::Message{epaxos::PreAcceptReplyMsg{a, 0, {}, 0, false}},
+      epaxos::Message{epaxos::PreAcceptReplyMsg{b, 7, deps, 123456789, true}},
+      epaxos::Message{epaxos::AcceptMsg{a, 0, {1, 2}, {}, 3}},
+      epaxos::Message{epaxos::AcceptMsg{b, 1'000'000'007, {0, epaxos::kNoOpPayload}, deps, 9}},
+      epaxos::Message{epaxos::AcceptReplyMsg{a, 0}},
+      epaxos::Message{epaxos::AcceptReplyMsg{b, 42}},
+      epaxos::Message{epaxos::CommitMsg{a, {7, 8}, deps, 2}},
+      epaxos::Message{epaxos::CommitMsg{
+          epaxos::InstanceId{4, std::numeric_limits<std::int32_t>::max()}, {0, 0}, {}, 0}},
+      epaxos::Message{epaxos::PrepareMsg{a, 1}},
+      epaxos::Message{epaxos::PrepareMsg{b, 1'000'000'007}},
+      epaxos::Message{epaxos::PrepareReplyMsg{a, 0, epaxos::Status::kNone, {}, {}, 0}},
+      epaxos::Message{epaxos::PrepareReplyMsg{b, 5, epaxos::Status::kCommitted, {3, 4},
+                                              deps, 11}},
+      epaxos::Message{epaxos::PrepareReplyMsg{a, 2, epaxos::Status::kExecuted,
+                                              {0, epaxos::kNoOpPayload}, {b}, 1}},
+  };
+}
+
+TEST(Codec, EPaxosMessagesRoundTrip) {
+  for (const auto& m : sample_epaxos_messages()) {
+    const auto bytes = encode(m);
+    const auto back = decode_epaxos(bytes);
+    ASSERT_TRUE(back.has_value()) << "variant index " << m.index();
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, EPaxosDecoderRejectsTruncationAndGarbage) {
+  for (const auto& m : sample_epaxos_messages()) {
+    auto bytes = encode(m);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_epaxos({bytes.data(), cut}).has_value())
+          << "variant " << m.index() << " cut=" << cut;
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_epaxos(bytes).has_value()) << "variant " << m.index();
+  }
+  EXPECT_FALSE(decode_epaxos(std::vector<std::uint8_t>{0x7F}).has_value());
+  EXPECT_FALSE(decode_epaxos(std::vector<std::uint8_t>{0}).has_value());
+}
+
+TEST(Codec, EPaxosDecoderRejectsSemanticGarbage) {
+  // The encoder will happily serialise an invalid instance id; the decoder
+  // must not let one back in — neither as the subject nor as a dependency.
+  EXPECT_FALSE(decode_epaxos(encode(epaxos::Message{
+                                 epaxos::PrepareMsg{{consensus::kNoProcess, 0}, 1}}))
+                   .has_value());
+  EXPECT_FALSE(decode_epaxos(encode(epaxos::Message{epaxos::PrepareMsg{{0, -1}, 1}}))
+                   .has_value());
+  EXPECT_FALSE(decode_epaxos(encode(epaxos::Message{epaxos::PreAcceptMsg{
+                                 {0, 0}, 0, {1, 2}, {epaxos::InstanceId{-1, 3}}, 0}}))
+                   .has_value());
+  // A `changed` byte other than 0/1 is not a valid pre-accept reply.  The
+  // flag is the frame's last byte.
+  {
+    auto bytes = encode(epaxos::Message{epaxos::PreAcceptReplyMsg{{0, 0}, 0, {}, 0, true}});
+    ASSERT_EQ(bytes.back(), 1);
+    bytes.back() = 2;
+    EXPECT_FALSE(decode_epaxos(bytes).has_value());
+  }
+  // A status byte beyond kExecuted is not a valid prepare reply.  With a
+  // zero instance and ballot the status lands at a fixed offset: tag,
+  // replica, index, ballot, then status.
+  {
+    auto bytes = encode(epaxos::Message{epaxos::PrepareReplyMsg{
+        {0, 0}, 0, epaxos::Status::kExecuted, {0, 0}, {}, 0}});
+    ASSERT_EQ(bytes[4], static_cast<std::uint8_t>(epaxos::Status::kExecuted));
+    bytes[4] = static_cast<std::uint8_t>(epaxos::Status::kExecuted) + 1;
+    EXPECT_FALSE(decode_epaxos(bytes).has_value());
+  }
+}
+
+TEST(Codec, EPaxosDecoderSurvivesBitFlips) {
+  // Single-bit corruption of a valid frame either decodes to *some* message
+  // (which must then round-trip) or is rejected — never UB.
+  for (const auto& m : sample_epaxos_messages()) {
+    const auto bytes = encode(m);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto flipped = bytes;
+        flipped[i] = static_cast<std::uint8_t>(flipped[i] ^ (1u << bit));
+        if (const auto back = decode_epaxos(flipped))
+          EXPECT_EQ(*decode_epaxos(encode(*back)), *back);
+      }
+    }
+  }
+}
+
 // ---- batch sidecar frames (N3 saturation path) ----
 
 std::vector<rsm::Msg> sample_batch_messages() {
@@ -519,6 +617,7 @@ TEST(Codec, AllDecodersSurviveTheSameFuzzStream) {
     for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
     if (const auto m = decode_slot(bytes)) EXPECT_EQ(*decode_slot(encode(*m)), *m);
     if (const auto m = decode_fastpaxos(bytes)) EXPECT_EQ(*decode_fastpaxos(encode(*m)), *m);
+    if (const auto m = decode_epaxos(bytes)) EXPECT_EQ(*decode_epaxos(encode(*m)), *m);
     if (const auto m = decode_client_request(bytes))
       EXPECT_EQ(*decode_client_request(encode(*m)), *m);
     if (const auto m = decode_client_reply(bytes))

@@ -3,6 +3,7 @@
 // Accept round, dependency-ordered execution, and explicit recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "consensus/cluster.hpp"
@@ -182,6 +183,85 @@ TEST(EPaxos, RecoveryOfUnseenInstanceCommitsNoOp) {
   }
 }
 
+TEST(EPaxos, RecoveryPrefersPossiblyFastCommittedAttributes) {
+  // n=3: the fast quorum is the leader plus one acceptor, so a crashed
+  // leader may have fast-committed its *original* attributes on the
+  // strength of one unchanged reply.  Recovery that sees that unchanged
+  // reply (deps/seq <= every other reply) must re-commit exactly those
+  // attributes — unioning in another acceptor's extra dep would commit
+  // attributes the leader never saw, and execution orders would diverge.
+  const SystemConfig cfg{3, 1, 1};
+  auto fleet = make_fleet(cfg);
+  const InstanceId a{0, 0};
+  const InstanceId extra{1, 77};
+  fleet->crash(0);
+  fleet->process(1).restore_instance(
+      a, {Command{7, 10}, /*deps=*/{}, /*seq=*/1, Status::kPreAccepted, /*ballot=*/0});
+  fleet->process(2).restore_instance(
+      a, {Command{7, 10}, /*deps=*/{extra}, /*seq=*/2, Status::kPreAccepted, /*ballot=*/0});
+  fleet->process(1).recover(a);
+  fleet->run();
+  for (ProcessId p = 1; p < cfg.n; ++p) {
+    ASSERT_GE(fleet->process(p).status(a), Status::kCommitted) << "p" << p;
+    EXPECT_EQ(fleet->process(p).committed_command(a), (Command{7, 10})) << "p" << p;
+    EXPECT_TRUE(fleet->process(p).committed_deps(a).empty()) << "p" << p;
+  }
+}
+
+TEST(EPaxos, RecoveryUnionsIncomparablePreAccepts) {
+  // Incomparable pre-accept replies mean no single original could have
+  // produced both, so no fast commit was possible — recovery is free to
+  // choose and takes the conservative union, which sequences everything.
+  const SystemConfig cfg{3, 1, 1};
+  auto fleet = make_fleet(cfg);
+  const InstanceId a{0, 0};
+  const InstanceId x{1, 77};
+  const InstanceId y{2, 88};
+  fleet->crash(0);
+  fleet->process(1).restore_instance(
+      a, {Command{7, 10}, /*deps=*/{x}, /*seq=*/1, Status::kPreAccepted, /*ballot=*/0});
+  fleet->process(2).restore_instance(
+      a, {Command{7, 10}, /*deps=*/{y}, /*seq=*/1, Status::kPreAccepted, /*ballot=*/0});
+  fleet->process(1).recover(a);
+  fleet->run();
+  for (ProcessId p = 1; p < cfg.n; ++p) {
+    ASSERT_GE(fleet->process(p).status(a), Status::kCommitted) << "p" << p;
+    EXPECT_EQ(fleet->process(p).committed_deps(a), (DepSet{x, y})) << "p" << p;
+  }
+}
+
+TEST(EPaxos, OwnerRecoveryReassignsAttributesAtALiveQuorum) {
+  // A restarted owner recovering its own pre-accepted instance proves no
+  // fast commit ever happened (a commit would have been restored as
+  // committed — state is durable before any frame leaves the node), so
+  // recovery re-runs Phase 1: the live quorum folds in instances committed
+  // while the owner was down.  Re-committing the owner's stale original
+  // attributes instead would leave two interfering committed instances
+  // with no dependency edge either way, and replicas would be free to
+  // execute them in different orders.
+  const SystemConfig cfg{3, 1, 1};
+  auto fleet = make_fleet(cfg);
+  const InstanceId gamma{2, 0};
+  const InstanceId own{1, 5};
+  // (2,0) committed at the two live replicas while replica 1 was down; its
+  // deps do not mention (1,5).
+  fleet->process(0).restore_instance(
+      gamma, {Command{7, 9}, /*deps=*/{}, /*seq=*/3, Status::kCommitted, /*ballot=*/0});
+  fleet->process(2).restore_instance(
+      gamma, {Command{7, 9}, /*deps=*/{}, /*seq=*/3, Status::kCommitted, /*ballot=*/0});
+  // Replica 1 restarts with only its own stale pre-accept; nobody else
+  // ever saw its PreAccept round.
+  fleet->process(1).restore_instance(
+      own, {Command{7, 42}, /*deps=*/{}, /*seq=*/1, Status::kPreAccepted, /*ballot=*/0});
+  fleet->process(1).recover(own);
+  fleet->run();
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    ASSERT_GE(fleet->process(p).status(own), Status::kCommitted) << "p" << p;
+    EXPECT_EQ(fleet->process(p).committed_command(own), (Command{7, 42})) << "p" << p;
+    EXPECT_TRUE(fleet->process(p).committed_deps(own).contains(gamma)) << "p" << p;
+  }
+}
+
 TEST(EPaxos, AutomaticRecoveryViaTimeout) {
   const SystemConfig cfg{5, 2, 2};
   auto fleet = make_fleet(SystemConfig{5, 2, 2}, kDelta, /*recovery_timeout=*/10 * kDelta);
@@ -194,6 +274,22 @@ TEST(EPaxos, AutomaticRecoveryViaTimeout) {
   fleet->run_until(60 * kDelta);
   for (ProcessId p = 1; p < cfg.n; ++p)
     EXPECT_GE(fleet->process(p).status(a), Status::kCommitted) << "p" << p;
+}
+
+TEST(EPaxos, TimerRecoversUnseenDependencyOfCommittedInstance) {
+  const SystemConfig cfg{3, 1, 1};
+  auto fleet = make_fleet(cfg, kDelta, /*recovery_timeout=*/10 * kDelta);
+  for (ProcessId p = 0; p < cfg.n; ++p) fleet->process(p).start();
+  const InstanceId dep{0, 7};
+  const InstanceId own{2, 3};
+  // Replica 2 restored a committed instance whose dependency's Commit frame
+  // it never received, and no replica has any record of the dependency (so
+  // nobody else will ever recover it).  The timer scan must drive the
+  // unseen dependency to a commit so execution can pass it.
+  fleet->process(2).restore_instance(own, {Command{7, 55}, {dep}, 9, Status::kCommitted, 0});
+  fleet->run_until(60 * kDelta);
+  EXPECT_EQ(fleet->process(2).status(own), Status::kExecuted);
+  EXPECT_GE(fleet->process(2).status(dep), Status::kCommitted);
 }
 
 TEST(EPaxos, MutualInterferenceCycleExecutesConsistently) {
@@ -212,6 +308,133 @@ TEST(EPaxos, MutualInterferenceCycleExecutesConsistently) {
     ASSERT_EQ(orders[static_cast<std::size_t>(p)].size(), 2u) << "p" << p;
     EXPECT_EQ(orders[static_cast<std::size_t>(p)], orders[0]);
   }
+}
+
+// ---- durability surface (what storage::Durable captures and replays) ----
+
+TEST(EPaxos, InstanceStateClampsExecutedToCommitted) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  const InstanceId id = fleet->process(0).submit(Command{7, 100});
+  fleet->run();
+  ASSERT_EQ(fleet->process(0).status(id), Status::kExecuted);
+  const auto state = fleet->process(0).instance_state(id);
+  ASSERT_TRUE(state.has_value());
+  // Execution is a pure function of the committed graph, so the durable
+  // record never claims more than kCommitted.
+  EXPECT_EQ(state->status, Status::kCommitted);
+  EXPECT_EQ(state->cmd, (Command{7, 100}));
+  EXPECT_EQ(state->deps, fleet->process(0).committed_deps(id));
+  EXPECT_FALSE(fleet->process(0).instance_state(InstanceId{3, 99}).has_value());
+}
+
+TEST(EPaxos, DrainDirtyInstancesTracksMutationsAndClears) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  auto& p0 = fleet->process(0);
+  const InstanceId id = p0.submit(Command{1, 1});
+  auto dirty = p0.drain_dirty_instances();
+  EXPECT_NE(std::find(dirty.begin(), dirty.end(), id), dirty.end());
+  EXPECT_TRUE(p0.drain_dirty_instances().empty());
+  // Running the protocol (replies, commit, execution) dirties it again.
+  fleet->run();
+  dirty = p0.drain_dirty_instances();
+  EXPECT_NE(std::find(dirty.begin(), dirty.end(), id), dirty.end());
+  EXPECT_TRUE(p0.drain_dirty_instances().empty());
+}
+
+TEST(EPaxos, RestoreInstanceRebuildsCommitAndExecution) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  const InstanceId a = fleet->process(0).submit(Command{7, 1});
+  const InstanceId b = fleet->process(1).submit(Command{7, 2});
+  fleet->run();
+  auto& src = fleet->process(2);
+  const auto sa = src.instance_state(a);
+  const auto sb = src.instance_state(b);
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+
+  // Restore into a replica that has seen nothing; both restore orders must
+  // yield the same execution sequence a live replica derived.
+  std::vector<std::vector<InstanceId>> executed(2);
+  for (int order = 0; order < 2; ++order) {
+    auto fresh = make_fleet(cfg);
+    auto& dst = fresh->process(2);
+    std::vector<InstanceId> committed;
+    dst.on_commit = [&](InstanceId id, const Command&) { committed.push_back(id); };
+    dst.on_execute = [&executed, order](InstanceId id, const Command&) {
+      executed[static_cast<std::size_t>(order)].push_back(id);
+    };
+    if (order == 0) {
+      dst.restore_instance(a, *sa);
+      dst.restore_instance(b, *sb);
+    } else {
+      dst.restore_instance(b, *sb);
+      dst.restore_instance(a, *sa);
+    }
+    EXPECT_EQ(committed.size(), 2u);
+    EXPECT_EQ(dst.status(a), Status::kExecuted);
+    EXPECT_EQ(dst.status(b), Status::kExecuted);
+    EXPECT_EQ(dst.committed_command(a), (Command{7, 1}));
+    EXPECT_EQ(dst.committed_deps(b), src.committed_deps(b));
+  }
+  ASSERT_EQ(executed[0].size(), 2u);
+  EXPECT_EQ(executed[0], executed[1]);
+}
+
+TEST(EPaxos, RestoreNeverDowngradesAnExecutedInstance) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  const InstanceId a = fleet->process(0).submit(Command{7, 1});
+  fleet->run();  // a commits with no deps before b enters
+  const InstanceId b = fleet->process(1).submit(Command{7, 2});
+  fleet->run();
+  auto& src = fleet->process(2);
+  const auto sa = src.instance_state(a);
+  const auto sb = src.instance_state(b);
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+  ASSERT_TRUE(src.committed_deps(b).contains(a));
+
+  // A WAL can hold several records for one instance: a commit, then e.g. a
+  // ballot bump from a recovery Prepare, re-captured as kCommitted.  Once
+  // replaying the first record has executed the instance, replaying the
+  // later record must not move it back to kCommitted — a following
+  // try_execute sweep would apply the command a second time.
+  auto fresh = make_fleet(cfg);
+  auto& dst = fresh->process(2);
+  std::vector<InstanceId> executed;
+  dst.on_execute = [&executed](InstanceId id, const Command&) { executed.push_back(id); };
+  dst.restore_instance(a, *sa);
+  ASSERT_EQ(dst.status(a), Status::kExecuted);
+  auto bumped = *sa;
+  bumped.ballot = sa->ballot + 2;
+  dst.restore_instance(a, bumped);
+  EXPECT_EQ(dst.status(a), Status::kExecuted);
+  // The next record commits b (deps include a) and sweeps try_execute; a
+  // must not run again.
+  dst.restore_instance(b, *sb);
+  const auto count_a = std::count(executed.begin(), executed.end(), a);
+  EXPECT_EQ(count_a, 1);
+  EXPECT_EQ(executed.size(), 2u);
+}
+
+TEST(EPaxos, RestoreAdvancesOwnNextIndex) {
+  const SystemConfig cfg{5, 2, 2};
+  auto fleet = make_fleet(cfg);
+  const InstanceId b = fleet->process(1).submit(Command{3, 4});
+  fleet->run();
+  const auto state = fleet->process(1).instance_state(b);
+  ASSERT_TRUE(state.has_value());
+
+  // A restarted replica must not reuse an instance index it already owns.
+  auto fresh = make_fleet(cfg);
+  auto& dst = fresh->process(1);
+  dst.restore_instance(b, *state);
+  const InstanceId next = dst.submit(Command{9, 9});
+  EXPECT_EQ(next.replica, 1);
+  EXPECT_EQ(next.index, b.index + 1);
 }
 
 }  // namespace

@@ -29,9 +29,12 @@
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "consensus/cluster.hpp"
 #include "consensus/types.hpp"
 #include "core/two_step.hpp"
+#include "epaxos/host.hpp"
 #include "harness/run_spec.hpp"
+#include "net/latency.hpp"
 #include "node/client.hpp"
 #include "node/loadgen.hpp"
 #include "node/local_cluster.hpp"
@@ -253,6 +256,79 @@ TEST(LiveConformance, RsmAppliedLogMatchesSimulatorForSameCommandSequence) {
   // Per-request latency was captured (in the client's log histogram).
   EXPECT_EQ(client_metrics.counter_value("client.requests"), payloads.size());
   EXPECT_EQ(client_metrics.log_histogram_snapshot("client.rtt_us").count, payloads.size());
+}
+
+TEST(LiveConformance, EPaxosExecutionOrderMatchesSimulatorForSameCommandSequence) {
+  const consensus::SystemConfig config(5, 2, 2);
+  const std::vector<std::int64_t> payloads = {5, 17, 3, 29, 11, 2};
+
+  // Simulated: replica 0 submits the payloads as a closed loop (each
+  // command committed and quiesced before the next), with key 0 so every
+  // command interferes — the execution order is a total order.
+  consensus::Cluster<epaxos::EPaxosReplica> sim_fleet(
+      config, std::make_unique<net::SynchronousRounds>(100),
+      [&](consensus::Env<epaxos::Message>& env, consensus::ProcessId) {
+        epaxos::Options options;
+        options.delta = 100;
+        return std::make_unique<epaxos::EPaxosReplica>(env, config, options);
+      });
+  std::vector<std::vector<std::int64_t>> sim_orders(static_cast<std::size_t>(config.n));
+  for (consensus::ProcessId p = 0; p < config.n; ++p) {
+    sim_fleet.process(p).on_execute =
+        [&sim_orders, p](epaxos::InstanceId, const epaxos::Command& c) {
+          sim_orders[static_cast<std::size_t>(p)].push_back(c.payload);
+        };
+  }
+  for (const std::int64_t payload : payloads) {
+    sim_fleet.process(0).submit(epaxos::Command{0, payload});
+    sim_fleet.run();
+  }
+  for (consensus::ProcessId p = 0; p < config.n; ++p) {
+    ASSERT_EQ(sim_orders[static_cast<std::size_t>(p)].size(), payloads.size()) << "p" << p;
+    EXPECT_EQ(sim_orders[static_cast<std::size_t>(p)], sim_orders[0]) << "p" << p;
+  }
+
+  // Live: a closed-loop client drives replica 0 with the same sequence over
+  // a real socket; the hosted adapter's default key policy is the same
+  // total-interference key 0.
+  node::LocalCluster<epaxos::EPaxosRsm> cluster(
+      config.n, [&](consensus::Env<epaxos::Message>& env, obs::MetricsRegistry& reg,
+                    consensus::ProcessId) {
+        epaxos::HostOptions host;
+        host.protocol.delta = kLiveDeltaUs;
+        host.protocol.probe.metrics = &reg;
+        return std::make_unique<epaxos::EPaxosRsm>(env, config, host);
+      });
+  ASSERT_TRUE(cluster.wait_for_mesh());
+
+  obs::MetricsRegistry client_metrics;
+  node::ClientSession client(cluster.endpoints()[0], &client_metrics);
+  ASSERT_TRUE(client.connect());
+  for (const std::int64_t payload : payloads) {
+    const auto reply = client.call(payload);
+    ASSERT_TRUE(reply.has_value()) << "command " << payload << " got no reply";
+    EXPECT_TRUE(reply->ok);
+  }
+
+  // Wait for every replica to execute the full sequence.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    bool all = true;
+    for (int p = 0; p < config.n; ++p)
+      if (cluster.node(p).applied_log().size() < payloads.size()) all = false;
+    if (all) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto live_log0 = cluster.node(0).applied_log();
+  for (int p = 1; p < config.n; ++p) EXPECT_EQ(cluster.node(p).applied_log(), live_log0);
+  cluster.stop();
+
+  // The live applied log carries (execution index, token); proxy 0's token
+  // is the raw payload, so the two worlds' execution orders compare 1:1.
+  std::vector<std::int64_t> live_order;
+  for (const auto& [slot, cmd] : live_log0) live_order.push_back(cmd);
+  EXPECT_EQ(live_order, sim_orders[0]);
 }
 
 TEST(LiveRuntime, SingleShotClientGetsTheDecidedValue) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/two_step.hpp"
+#include "epaxos/host.hpp"
 #include "fastpaxos/fast_paxos.hpp"
 #include "mock_env.hpp"
 #include "obs/metrics.hpp"
@@ -524,6 +525,50 @@ TEST(DurableTest, FastPaxosRoundTripsPromiseAndVote) {
   for (const auto& record : wal.recovered()) durable.replay(proc, record.bytes);
   EXPECT_EQ(proc.acceptor_state(), expected);
   EXPECT_FALSE(durable.capture(proc, wal));
+}
+
+TEST(DurableTest, EPaxosRoundTripsCommittedInstances) {
+  TempDir tmp;
+  const consensus::SystemConfig config(5, 2, 2);
+  const std::string dir = tmp.file("wal");
+  epaxos::HostOptions host;
+  host.protocol.delta = 100;
+  const epaxos::InstanceId id{0, 0};
+  const epaxos::Command cmd{0, 7};
+  {
+    Wal wal(dir, WalOptions{false});
+    testing::MockEnv<epaxos::Message> env(2, config.n);
+    epaxos::EPaxosRsm proc(env, config, host);
+    proc.start();
+    storage::Durable<epaxos::EPaxosRsm> durable;
+    durable.capture(proc, wal);  // drain whatever start() dirtied
+    // A peer's Commit lands the instance (committed, then executed).
+    proc.on_message(0, epaxos::Message{epaxos::CommitMsg{id, cmd, {}, 1}});
+    ASSERT_TRUE(durable.capture(proc, wal));
+    EXPECT_FALSE(durable.capture(proc, wal));  // unchanged: no append
+    wal.sync();
+  }
+  Wal wal(dir, WalOptions{false});
+  testing::MockEnv<epaxos::Message> env(2, config.n);
+  epaxos::EPaxosRsm proc(env, config, host);
+  storage::Durable<epaxos::EPaxosRsm> durable;
+  std::vector<std::int64_t> applied;
+  proc.on_apply = [&](std::int32_t, std::int64_t c) { applied.push_back(c); };
+  for (const auto& record : wal.recovered()) durable.replay(proc, record.bytes);
+  // Replay re-commits and re-executes from the durable graph.
+  EXPECT_EQ(proc.replica().status(id), epaxos::Status::kExecuted);
+  EXPECT_EQ(proc.replica().committed_command(id), cmd);
+  EXPECT_EQ(applied.size(), 1u);
+  // Replay primed the change detector: nothing is re-logged.
+  EXPECT_FALSE(durable.capture(proc, wal));
+  obs::MetricsRegistry reg;
+  durable.note_recovery(proc, reg);
+  EXPECT_GE(reg.counter_value("recover.instances"), 1u);
+  EXPECT_GE(reg.counter_value("recover.decided"), 1u);
+  // Malformed records are ignored, never applied.
+  durable.replay(proc, bytes({0xFF, 0xFF, 0xFF}));
+  durable.replay(proc, bytes({}));
+  EXPECT_EQ(proc.replica().status(id), epaxos::Status::kExecuted);
 }
 
 TEST(DurableTest, ReplayIgnoresMalformedRecords) {

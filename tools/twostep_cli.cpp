@@ -58,11 +58,13 @@
 //       the grid with deterministic, order-stable output.
 //
 //   twostep_cli localcluster [-n N] [-e E] [-f F]
-//              [--protocol rsm|task|object|fastpaxos] [--commands K]
+//              [--protocol rsm|epaxos|task|object|fastpaxos] [--commands K]
 //              [--delta-us D] [--value V] [--metrics-out FILE]
 //              [--trace-dir DIR] [--stats-interval-ms T]
 //              [--storage-dir DIR] [--no-fsync] [--group-commit-us G]
 //              [--snapshot-every K] [--wal-segment-bytes B]
+//              [--geo SPEC] [--geo-scale S] [--geo-placement P]
+//              [--recovery-timeout-us T]
 //       Spawn an n-replica live cluster on loopback (real TCP, one event
 //       loop thread per replica — the same node::Runtime a multi-process
 //       deployment uses), drive it with a client workload and check
@@ -79,14 +81,32 @@
 //                      after the run — the inputs `tracemerge` consumes.
 //       --stats-interval-ms T  arm each replica's periodic in-node metrics
 //                      snapshotter (see the `stats` command).
+//       --protocol epaxos  host the leaderless EPaxos RSM behind the same
+//                      runtime: the closed-loop client proxies through
+//                      replica 0, commands all interfere (total execution
+//                      order), and the same prefix-consistency audit runs
+//                      over the execution logs.  --recovery-timeout-us T
+//                      (default 5x delta) arms explicit-prepare recovery of
+//                      instances stranded by a crashed command leader.
+//       --geo SPEC     emulate a multi-region deployment on the peer links:
+//                      SPEC is a preset (nine-regions, us-eu, global) or a
+//                      matrix file (see src/geo/latency_matrix.hpp).  Every
+//                      non-dropped peer frame from replica p to q gains the
+//                      matrix's one-way delay between their regions plus
+//                      seeded per-link jitter.  --geo-scale S multiplies
+//                      all delays (0.01 for smoke runs); --geo-placement
+//                      maps replicas to regions (default round-robin).
 //
-//   twostep_cli chaossoak [-n N] [-e E] [-f F] [--commands K] [--seed S]
+//   twostep_cli chaossoak [-n N] [-e E] [-f F] [--protocol rsm|epaxos]
+//              [--commands K] [--seed S]
 //              [--kill-period-ms P] [--down-ms D] [--soak-ms T] [--think-us T]
 //              [--drop R] [--dup R] [--delay R] [--delay-max-us U]
 //              [--delta-us D] [--storage-dir DIR] [--no-fsync]
 //              [--group-commit-us G] [--snapshot-every K]
 //              [--wal-segment-bytes B] [--metrics-out FILE]
-//       Crash-recovery soak: an n-replica RSM cluster with per-replica
+//              [--geo SPEC] [--geo-scale S] [--geo-placement P]
+//       Crash-recovery soak: an n-replica RSM (or EPaxos, with
+//       --protocol epaxos) cluster with per-replica
 //       write-ahead logs, a failover client driving K closed-loop commands
 //       across the whole replica list, a seeded crash schedule killing and
 //       restarting up to f replicas at a time (same port, same WAL — every
@@ -187,8 +207,10 @@
 #include "codec/codec.hpp"
 #include "core/messages.hpp"
 #include "core/two_step.hpp"
+#include "epaxos/host.hpp"
 #include "exec/thread_pool.hpp"
 #include "fastpaxos/fast_paxos.hpp"
+#include "geo/latency_matrix.hpp"
 #include "faults/fault_plan.hpp"
 #include "harness/run_spec.hpp"
 #include "lowerbound/scenarios.hpp"
@@ -719,6 +741,7 @@ std::vector<transport::Endpoint> parse_endpoint_list(const std::string& s) {
 int default_cluster_size(const std::string& protocol, int e, int f) {
   if (protocol == "task") return SystemConfig::min_processes_task(e, f);
   if (protocol == "fastpaxos") return SystemConfig::min_processes_fast_paxos(e, f);
+  if (protocol == "epaxos") return 2 * f + 1;  // classic quorums; fast path needs more live
   return SystemConfig::min_processes_object(e, f);
 }
 
@@ -795,16 +818,68 @@ node::StorageOptions storage_options(const Args& args) {
   return storage;
 }
 
+/// The one place the geo flag family is parsed — every subcommand that
+/// spawns a local cluster can turn it into an emulated multi-region
+/// deployment:
+///   --geo SPEC           preset name (nine-regions, us-eu, global) or a
+///                        matrix file (see geo::LatencyMatrix::from_file)
+///   --geo-scale S        multiply every delay and the jitter by S
+///                        (0.01 compresses 75 ms links to 750 us for smoke
+///                        runs without changing the topology's shape)
+///   --geo-placement P    replica -> region map: comma list of region names
+///                        or indices, one per replica (default: replica i
+///                        in region i mod R, the F2 site layout)
+/// Returns false (after printing why) on a bad spec; without --geo the
+/// chaos config is left untouched.
+bool apply_geo_options(const Args& args, int n, transport::ChaosConfig& chaos) {
+  if (!args.has("geo")) return true;
+  try {
+    const double scale = std::stod(args.get("geo-scale", "1"));
+    auto matrix = std::make_shared<const geo::LatencyMatrix>(
+        geo::LatencyMatrix::from_spec(args.get("geo"), scale));
+    chaos.geo_regions = args.has("geo-placement")
+                            ? geo::parse_placement(args.get("geo-placement"), *matrix)
+                            : geo::round_robin_placement(n, *matrix);
+    if (static_cast<int>(chaos.geo_regions.size()) != n) {
+      std::fprintf(stderr, "geo: placement covers %zu replica(s) but the cluster has %d\n",
+                   chaos.geo_regions.size(), n);
+      return false;
+    }
+    chaos.geo = std::move(matrix);
+    chaos.seed = static_cast<std::uint64_t>(args.get_int("seed", chaos.seed));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "geo: %s\n", ex.what());
+    return false;
+  }
+  return true;
+}
+
+/// One line describing the active geo emulation, for run banners.
+std::string geo_banner(const transport::ChaosConfig& chaos) {
+  if (!chaos.geo) return "off";
+  std::string out = std::to_string(chaos.geo->size()) + " regions (";
+  for (std::size_t i = 0; i < chaos.geo_regions.size(); ++i) {
+    if (i > 0) out += ",";
+    out += chaos.geo->regions()[static_cast<std::size_t>(chaos.geo_regions[i])];
+  }
+  out += "), max one-way " + std::to_string(chaos.geo->max_one_way_us()) + " us, jitter " +
+         std::to_string(chaos.geo->jitter_us()) + " us";
+  return out;
+}
+
 /// The localcluster knobs shared by the rsm and single-shot paths:
 /// --trace-dir enables per-process flight recorders (dumped via
 /// write_trace_dir after the run), --stats-interval-ms arms the periodic
-/// in-node metrics snapshotter, and the storage flag family (see
-/// storage_options) gives every replica a WAL + snapshot store.
-node::ClusterOptions local_cluster_options(const Args& args) {
+/// in-node metrics snapshotter, the storage flag family (see
+/// storage_options) gives every replica a WAL + snapshot store, and the
+/// geo flag family (see apply_geo_options) emulates a multi-region
+/// deployment on the peer links.  nullopt on a bad geo spec.
+std::optional<node::ClusterOptions> local_cluster_options(const Args& args, int n) {
   node::ClusterOptions options;
   options.trace = args.has("trace-dir");
   options.stats_interval_ms = static_cast<int>(args.get_int("stats-interval-ms", 0));
   options.storage = storage_options(args);
+  if (!apply_geo_options(args, n, options.chaos)) return std::nullopt;
   return options;
 }
 
@@ -821,20 +896,18 @@ bool dump_traces_if_requested(const Args& args, node::LocalCluster<P>& cluster,
   return write_trace_dir(args.get("trace-dir"), recorders);
 }
 
-/// RSM workload: one closed-loop client against replica 0 (its proxy).
-/// Safety = every replica's applied log is prefix-consistent.
-int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Args& args) {
-  node::LocalCluster<rsm::RsmProcess> cluster(
-      config.n,
-      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg,
-          consensus::ProcessId) {
-        rsm::Options options;
-        options.delta = delta;
-        options.leader_of = [] { return ProcessId{0}; };
-        options.probe.metrics = &reg;
-        return std::make_unique<rsm::RsmProcess>(env, config, options);
-      },
-      local_cluster_options(args));
+/// RSM-style workload (rsm and epaxos): one closed-loop client against
+/// replica 0 (its proxy).  Safety = every replica's applied log is
+/// prefix-consistent — for epaxos this relies on the host's default
+/// total-interference key policy (see epaxos::HostOptions::key_mod).
+template <typename P, typename MakeProc>
+int run_local_rsm(const std::string& protocol, SystemConfig config, long commands,
+                  MakeProc make, const Args& args) {
+  const auto cluster_options = local_cluster_options(args, config.n);
+  if (!cluster_options) return 1;
+  if (cluster_options->chaos.geo)
+    std::printf("geo emulation: %s\n", geo_banner(cluster_options->chaos).c_str());
+  node::LocalCluster<P> cluster(config.n, std::move(make), *cluster_options);
   if (!cluster.wait_for_mesh()) {
     std::fprintf(stderr, "localcluster: mesh did not form\n");
     return 1;
@@ -882,7 +955,7 @@ int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Arg
   obs::MetricsRegistry merged = cluster.merged_metrics();
   merged.merge(client_metrics);
   util::Table t({"metric", "value"});
-  t.set_title("localcluster rsm: n=" + std::to_string(config.n) + " e=" +
+  t.set_title("localcluster " + protocol + ": n=" + std::to_string(config.n) + " e=" +
               std::to_string(config.e) + " f=" + std::to_string(config.f) + ", loopback TCP");
   t.add_row({"commands ok", std::to_string(result.ok)});
   t.add_row({"commands rejected", std::to_string(result.rejected)});
@@ -904,7 +977,11 @@ int run_local_rsm(SystemConfig config, long commands, sim::Tick delta, const Arg
 template <typename P, typename MakeProc>
 int run_local_singleshot(const std::string& protocol, SystemConfig config, MakeProc make,
                          const Args& args) {
-  node::LocalCluster<P> cluster(config.n, std::move(make), local_cluster_options(args));
+  const auto cluster_options = local_cluster_options(args, config.n);
+  if (!cluster_options) return 1;
+  if (cluster_options->chaos.geo)
+    std::printf("geo emulation: %s\n", geo_banner(cluster_options->chaos).c_str());
+  node::LocalCluster<P> cluster(config.n, std::move(make), *cluster_options);
   if (!cluster.wait_for_mesh()) {
     std::fprintf(stderr, "localcluster: mesh did not form\n");
     return 1;
@@ -974,7 +1051,34 @@ int cmd_localcluster(const Args& args) {
   std::printf("spawning %d %s replicas on loopback (delta = %lld us)\n", n, protocol.c_str(),
               static_cast<long long>(delta));
 
-  if (protocol == "rsm") return run_local_rsm(config, commands, delta, args);
+  if (protocol == "rsm") {
+    return run_local_rsm<rsm::RsmProcess>(
+        protocol, config, commands,
+        [=](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, ProcessId) {
+          rsm::Options options;
+          options.delta = delta;
+          options.leader_of = [] { return ProcessId{0}; };
+          options.probe.metrics = &reg;
+          return std::make_unique<rsm::RsmProcess>(env, config, options);
+        },
+        args);
+  }
+  if (protocol == "epaxos") {
+    // Leaderless: every replica could proxy, but the audit workload keeps
+    // the single closed-loop client on replica 0.  recovery_timeout is what
+    // commits instances stranded by a killed command leader.
+    const sim::Tick recovery = args.get_int("recovery-timeout-us", 5 * delta);
+    return run_local_rsm<epaxos::EPaxosRsm>(
+        protocol, config, commands,
+        [=](consensus::Env<epaxos::Message>& env, obs::MetricsRegistry& reg, ProcessId) {
+          epaxos::HostOptions options;
+          options.protocol.delta = delta;
+          options.protocol.recovery_timeout = recovery;
+          options.protocol.probe.metrics = &reg;
+          return std::make_unique<epaxos::EPaxosRsm>(env, config, options);
+        },
+        args);
+  }
   if (protocol == "task" || protocol == "object") {
     const core::Mode mode = protocol == "task" ? core::Mode::kTask : core::Mode::kObject;
     return run_local_singleshot<core::TwoStepProcess>(
@@ -1005,15 +1109,18 @@ int cmd_localcluster(const Args& args) {
   return 1;
 }
 
-/// Crash-recovery soak: RSM cluster with WALs + failover client + seeded
-/// kill/restart schedule + optional link chaos.  See the header comment.
-int cmd_chaossoak(const Args& args) {
-  const int e = static_cast<int>(args.get_int("e", 1));
-  const int f = static_cast<int>(args.get_int("f", 1));
-  const int n = static_cast<int>(args.get_int("n", default_cluster_size("rsm", e, f)));
+/// Crash-recovery soak body, generic over the hosted RSM-style protocol
+/// (rsm and epaxos): cluster with WALs + failover client + seeded
+/// kill/restart schedule + optional link chaos (including --geo).  See the
+/// header comment.
+template <typename P, typename MakeProc>
+int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc make,
+                  const Args& args) {
+  const int n = config.n;
+  const int e = config.e;
+  const int f = config.f;
   const long commands = args.get_int("commands", 1000);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const sim::Tick delta = args.get_int("delta-us", 100'000);
   const long period_ms = args.get_int("kill-period-ms", 500);
   const long down_ms = args.get_int("down-ms", 150);
   const long soak_ms = args.get_int("soak-ms", 60'000);
@@ -1021,7 +1128,6 @@ int cmd_chaossoak(const Args& args) {
   // an unpaced workload can outrun the first crash round entirely; pacing
   // stretches the run across the schedule.
   const long think_us = args.get_int("think-us", 0);
-  const SystemConfig config(n, f, e);
 
   // Storage: per-replica WAL directories under --storage-dir, or a
   // throwaway temp directory (removed on a clean exit, kept on failure so
@@ -1047,26 +1153,24 @@ int cmd_chaossoak(const Args& args) {
   cluster_options.chaos.delay_rate = std::stod(args.get("delay", "0"));
   cluster_options.chaos.delay_max_us = args.get_int("delay-max-us", 20'000);
   cluster_options.chaos.seed = seed;
+  if (cluster_options.chaos.delay_rate > 0 && cluster_options.chaos.delay_max_us <= 0) {
+    std::fprintf(stderr, "chaossoak: --delay > 0 requires --delay-max-us > 0\n");
+    return 1;
+  }
+  if (!apply_geo_options(args, n, cluster_options.chaos)) return 1;
+  if (cluster_options.chaos.geo)
+    std::printf("geo emulation: %s\n", geo_banner(cluster_options.chaos).c_str());
 
   const node::CrashSchedule schedule =
       node::CrashSchedule::generate(seed, n, f, soak_ms, period_ms, down_ms);
   std::printf(
-      "chaossoak: n=%d e=%d f=%d, %ld commands, %zu crash rounds "
+      "chaossoak %s: n=%d e=%d f=%d, %ld commands, %zu crash rounds "
       "(period %ld ms, down %ld ms), chaos drop=%.2f dup=%.2f delay=%.2f, wal dir %s\n",
-      n, e, f, commands, schedule.rounds.size(), period_ms, down_ms,
+      protocol.c_str(), n, e, f, commands, schedule.rounds.size(), period_ms, down_ms,
       cluster_options.chaos.drop_rate, cluster_options.chaos.duplicate_rate,
       cluster_options.chaos.delay_rate, storage_dir.c_str());
 
-  node::LocalCluster<rsm::RsmProcess> cluster(
-      n,
-      [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
-        rsm::Options options;
-        options.delta = delta;
-        options.leader_of = [] { return ProcessId{0}; };
-        options.probe.metrics = &reg;
-        return std::make_unique<rsm::RsmProcess>(env, config, options);
-      },
-      cluster_options);
+  node::LocalCluster<P> cluster(n, std::move(make), cluster_options);
   if (!cluster.wait_for_mesh()) {
     std::fprintf(stderr, "chaossoak: mesh did not form\n");
     return 1;
@@ -1144,12 +1248,28 @@ int cmd_chaossoak(const Args& args) {
   driver.join();
 
   // Let the trailing Decides propagate, then snapshot every applied log.
+  // Drain until every alive node has *applied every acked payload* — a raw
+  // size >= ok check is satisfiable by at-least-once duplicates while the
+  // final commands are still mid-recovery, which stops the cluster early
+  // and shows up as a phantom durability violation.
+  constexpr std::int64_t kPayloadMask = (std::int64_t{1} << 40) - 1;
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  const std::size_t target = static_cast<std::size_t>(ok);
   while (std::chrono::steady_clock::now() < deadline) {
     bool all = true;
-    for (int p = 0; p < n; ++p)
-      if (!cluster.alive(p) || cluster.node(p).applied_log().size() < target) all = false;
+    for (int p = 0; p < n && all; ++p) {
+      if (!cluster.alive(p)) {
+        all = false;
+        break;
+      }
+      std::set<std::int64_t> applied;
+      for (const auto& [slot, cmd] : cluster.node(p).applied_log())
+        applied.insert(cmd & kPayloadMask);
+      for (const std::int64_t payload : acked)
+        if (!applied.contains(payload)) {
+          all = false;
+          break;
+        }
+    }
     if (all) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
@@ -1162,7 +1282,46 @@ int cmd_chaossoak(const Args& args) {
 
   // Invariants.  Duplicates are legal (at-least-once across a proxy
   // crash); divergence, foreign commands and lost acked commands are not.
-  constexpr std::int64_t kPayloadMask = (std::int64_t{1} << 40) - 1;
+  // Post-mortem state dump (TWOSTEP_SOAK_DUMP=<dir>): the full applied log
+  // of every replica, plus — for protocols exposing a replica() — every
+  // instance this replica knows with its raw status, attributes and ballot.
+  const auto dump_soak_state = [&] {
+    const char* dump_dir = std::getenv("TWOSTEP_SOAK_DUMP");
+    if (dump_dir == nullptr) return;
+    for (std::size_t q = 0; q < logs.size(); ++q) {
+      const std::string path = std::string(dump_dir) + "/soaklog_" + std::to_string(q);
+      if (FILE* f = std::fopen(path.c_str(), "w")) {
+        for (const auto& [slot, cmd] : logs[q])
+          std::fprintf(f, "%d %lld\n", slot, static_cast<long long>(cmd));
+        std::fclose(f);
+      }
+    }
+    {
+      const std::string path = std::string(dump_dir) + "/soakacked";
+      if (FILE* f = std::fopen(path.c_str(), "w")) {
+        for (const auto a : acked) std::fprintf(f, "%lld\n", static_cast<long long>(a));
+        std::fclose(f);
+      }
+    }
+    if constexpr (requires(P& h) { h.replica(); }) {
+      for (int q = 0; q < n; ++q) {
+        if (!cluster.alive(q)) continue;
+        const std::string path = std::string(dump_dir) + "/soakinst_" + std::to_string(q);
+        FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) continue;
+        cluster.node(q).unsafe_process().replica().for_each_instance(
+            [&](epaxos::InstanceId iid, const auto& s) {
+              std::fprintf(f, "(%d,%d) st=%d seq=%lld ballot=%lld payload=%lld deps:",
+                           iid.replica, iid.index, static_cast<int>(s.status),
+                           static_cast<long long>(s.seq), static_cast<long long>(s.ballot),
+                           static_cast<long long>(s.cmd.payload));
+              for (const auto d : s.deps) std::fprintf(f, " (%d,%d)", d.replica, d.index);
+              std::fprintf(f, "\n");
+            });
+        std::fclose(f);
+      }
+    }
+  };
   std::vector<std::string> violations;
   std::size_t longest = 0;
   for (std::size_t p = 1; p < logs.size(); ++p) {
@@ -1172,6 +1331,7 @@ int cmd_chaossoak(const Args& args) {
       if (logs[0][i] != logs[p][i]) {
         violations.push_back("agreement: replica " + std::to_string(p) +
                              " diverges from replica 0 at applied index " + std::to_string(i));
+        dump_soak_state();
         break;
       }
   }
@@ -1190,16 +1350,18 @@ int cmd_chaossoak(const Args& args) {
   std::int64_t lost_acked = 0;
   for (const std::int64_t payload : acked)
     if (!applied_payloads.contains(payload)) ++lost_acked;
-  if (lost_acked > 0)
+  if (lost_acked > 0) {
     violations.push_back("durability: " + std::to_string(lost_acked) +
                          " acknowledged command(s) missing from the longest applied log");
+    dump_soak_state();
+  }
 
   obs::MetricsRegistry merged = cluster.merged_metrics();
   merged.merge(client_metrics);
   merged.merge(driver_metrics);
   util::Table t({"metric", "value"});
-  t.set_title("chaossoak rsm: n=" + std::to_string(n) + " e=" + std::to_string(e) + " f=" +
-              std::to_string(f) + ", loopback TCP + WAL + crash schedule");
+  t.set_title("chaossoak " + protocol + ": n=" + std::to_string(n) + " e=" + std::to_string(e) +
+              " f=" + std::to_string(f) + ", loopback TCP + WAL + crash schedule");
   t.add_row({"commands ok", std::to_string(ok)});
   t.add_row({"commands rejected", std::to_string(rejected)});
   t.add_row({"commands lost", std::to_string(lost)});
@@ -1254,6 +1416,46 @@ int cmd_chaossoak(const Args& args) {
     std::filesystem::remove_all(storage_dir, ec);
   }
   return (lost == 0 && rejected == 0) ? 0 : 1;
+}
+
+int cmd_chaossoak(const Args& args) {
+  const std::string protocol = args.get("protocol", "rsm");
+  const int e = static_cast<int>(args.get_int("e", 1));
+  const int f = static_cast<int>(args.get_int("f", 1));
+  const int n = static_cast<int>(args.get_int(
+      "n", default_cluster_size(protocol == "epaxos" ? "epaxos" : "rsm", e, f)));
+  const sim::Tick delta = args.get_int("delta-us", 100'000);
+  const SystemConfig config(n, f, e);
+
+  if (protocol == "rsm") {
+    return run_chaossoak<rsm::RsmProcess>(
+        protocol, config,
+        [=](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg, consensus::ProcessId) {
+          rsm::Options options;
+          options.delta = delta;
+          options.leader_of = [] { return ProcessId{0}; };
+          options.probe.metrics = &reg;
+          return std::make_unique<rsm::RsmProcess>(env, config, options);
+        },
+        args);
+  }
+  if (protocol == "epaxos") {
+    const sim::Tick recovery = args.get_int("recovery-timeout-us", 5 * delta);
+    return run_chaossoak<epaxos::EPaxosRsm>(
+        protocol, config,
+        [=](consensus::Env<epaxos::Message>& env, obs::MetricsRegistry& reg,
+            consensus::ProcessId) {
+          epaxos::HostOptions options;
+          options.protocol.delta = delta;
+          options.protocol.recovery_timeout = recovery;
+          options.protocol.probe.metrics = &reg;
+          return std::make_unique<epaxos::EPaxosRsm>(env, config, options);
+        },
+        args);
+  }
+  std::fprintf(stderr, "chaossoak: unknown --protocol '%s' (rsm or epaxos)\n",
+               protocol.c_str());
+  return 1;
 }
 
 /// Shared loadgen report rows (both modes).
@@ -1471,6 +1673,19 @@ int cmd_serve(const Args& args) {
           options.leader_of = [] { return ProcessId{0}; };
           options.probe.metrics = &reg;
           return std::make_unique<rsm::RsmProcess>(env, config, options);
+        },
+        args);
+  }
+  if (protocol == "epaxos") {
+    const sim::Tick recovery = args.get_int("recovery-timeout-us", 5 * delta);
+    return serve_until_signal<epaxos::EPaxosRsm>(
+        id, peers,
+        [&](consensus::Env<epaxos::Message>& env, obs::MetricsRegistry& reg) {
+          epaxos::HostOptions options;
+          options.protocol.delta = delta;
+          options.protocol.recovery_timeout = recovery;
+          options.protocol.probe.metrics = &reg;
+          return std::make_unique<epaxos::EPaxosRsm>(env, config, options);
         },
         args);
   }
