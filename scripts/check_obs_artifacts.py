@@ -45,6 +45,16 @@ malformed artifact:
       actually snapshotting + truncating + installing a transfer, and the
       snapshot rejoin strictly faster than genesis replay.  With
       --max-rejoin-ratio, additionally require summary.rejoin_ratio <= X.
+
+  check_obs_artifacts.py n6 FILE.json [--max-unavailability-us U]
+      Validates BENCH_n6_reconfig.json (live membership reconfiguration
+      + leader failover under a closed-loop client): twostep-bench/1
+      framing, exactly one steady / join / remove / leader_kill / summary
+      row, every phase committing at least one command, the summary
+      clean (ok, joiner_healed, audit_ok all true, client_lost == 0),
+      and summary.unavailability_us consistent with the phase gaps.
+      With --max-unavailability-us, additionally require the worst
+      change-induced gap to stay under U microseconds.
 """
 
 import argparse
@@ -335,6 +345,60 @@ def check_n5(path: str, max_rejoin_ratio: float) -> None:
     )
 
 
+def check_n6(path: str, max_unavailability_us: float) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict) or doc.get("schema") != "twostep-bench/1":
+        fail(f"{path}: schema is {doc.get('schema') if isinstance(doc, dict) else doc!r}, "
+             "expected 'twostep-bench/1'")
+    if doc.get("bench") != "n6_reconfig":
+        fail(f"{path}: bench is {doc.get('bench')!r}, expected 'n6_reconfig'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: missing or empty rows")
+
+    by_kind = {}
+    for r in rows:
+        if isinstance(r, dict):
+            by_kind.setdefault(r.get("kind"), []).append(r)
+    phases = ("steady", "join", "remove", "leader_kill")
+    for kind in phases + ("summary",):
+        if len(by_kind.get(kind, [])) != 1:
+            fail(f"{path}: expected exactly one {kind!r} row, "
+                 f"found {len(by_kind.get(kind, []))}")
+
+    # Every phase must have seen real traffic — a silent client (crashed,
+    # never connected) would otherwise report a perfect zero-gap run.
+    for kind in phases:
+        row = by_kind[kind][0]
+        if _numeric(path, row, kind, "commits") <= 0:
+            fail(f"{path}: phase {kind!r} committed nothing")
+        _numeric(path, row, kind, "max_gap_us")
+
+    summary = by_kind["summary"][0]
+    for flag in ("ok", "joiner_healed", "audit_ok"):
+        if summary.get(flag) is not True:
+            fail(f"{path}: summary.{flag} is {summary.get(flag)!r}, expected true")
+    if _numeric(path, summary, "summary", "client_lost") != 0:
+        fail(f"{path}: client lost {summary.get('client_lost')} request(s)")
+
+    unavailability_us = _numeric(path, summary, "summary", "unavailability_us")
+    worst_change_gap = max(
+        _numeric(path, by_kind[k][0], k, "max_gap_us")
+        for k in ("join", "remove", "leader_kill"))
+    if unavailability_us != worst_change_gap:
+        fail(f"{path}: summary.unavailability_us {unavailability_us} inconsistent "
+             f"with worst phase gap {worst_change_gap}")
+    if max_unavailability_us > 0 and unavailability_us > max_unavailability_us:
+        fail(f"{path}: unavailability {unavailability_us:.0f} us above the required "
+             f"{max_unavailability_us:.0f} us")
+    print(
+        f"{path}: OK — join gap {by_kind['join'][0].get('max_gap_us') / 1000:.0f} ms, "
+        f"remove gap {by_kind['remove'][0].get('max_gap_us') / 1000:.0f} ms, "
+        f"leader kill gap {by_kind['leader_kill'][0].get('max_gap_us') / 1000:.0f} ms, "
+        f"joiner healed, audit clean"
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -353,6 +417,9 @@ def main() -> None:
     n5 = sub.add_parser("n5", help="validate the N5 wiped-replica rejoin artifact")
     n5.add_argument("file")
     n5.add_argument("--max-rejoin-ratio", type=float, default=0.0)
+    n6 = sub.add_parser("n6", help="validate the N6 reconfig + failover artifact")
+    n6.add_argument("file")
+    n6.add_argument("--max-unavailability-us", type=float, default=0.0)
     args = parser.parse_args()
     if args.cmd == "trace":
         check_trace(args.file, args.min_processes)
@@ -362,6 +429,8 @@ def main() -> None:
         check_n4(args.file, args.min_placements)
     elif args.cmd == "n5":
         check_n5(args.file, args.max_rejoin_ratio)
+    elif args.cmd == "n6":
+        check_n6(args.file, args.max_unavailability_us)
     else:
         check_bench(args.file, args.require)
 

@@ -189,6 +189,7 @@ std::optional<core::Message> decode(std::span<const std::uint8_t> data) {
 std::vector<std::uint8_t> encode(const rsm::SlotMsg& m) {
   Writer w;
   w.put_i64(m.slot);
+  w.put_i64(m.cfg);
   std::vector<std::uint8_t> out = std::move(w).take();
   const std::vector<std::uint8_t> inner = encode(m.inner);
   out.insert(out.end(), inner.begin(), inner.end());
@@ -198,14 +199,17 @@ std::vector<std::uint8_t> encode(const rsm::SlotMsg& m) {
 std::optional<rsm::SlotMsg> decode_slot(std::span<const std::uint8_t> data) {
   Reader r{data};
   const std::int64_t slot = r.get_i64();
+  const std::int64_t cfg = r.get_i64();
   if (!r.ok()) return std::nullopt;
   if (slot < std::numeric_limits<std::int32_t>::min() ||
       slot > std::numeric_limits<std::int32_t>::max())
     return std::nullopt;
+  if (cfg < 0 || cfg > std::numeric_limits<std::int32_t>::max()) return std::nullopt;
   // The inner decoder consumes the remainder and enforces exhaustion.
   auto inner = decode(data.subspan(r.position()));
   if (!inner) return std::nullopt;
-  return rsm::SlotMsg{static_cast<std::int32_t>(slot), std::move(*inner)};
+  return rsm::SlotMsg{static_cast<std::int32_t>(slot), static_cast<std::int32_t>(cfg),
+                      std::move(*inner)};
 }
 
 namespace {
@@ -256,6 +260,154 @@ std::optional<rsm::Msg> decode_batch(std::span<const std::uint8_t> data) {
     default:
       return std::nullopt;
   }
+}
+
+namespace {
+
+// Config-sidecar tag space (the kConfig frame's own).
+constexpr std::uint8_t kTagConfigChange = 1;
+constexpr std::uint8_t kTagConfigFetch = 2;
+
+/// Shared by the sidecar and the admin verb: op byte + replica + endpoint.
+void put_config_change(Writer& w, const rsm::ConfigChange& c) {
+  w.put_u8(static_cast<std::uint8_t>(c.op));
+  w.put_i64(c.replica);
+  w.put_string(c.host);
+  w.put_i64(c.port);
+}
+
+std::optional<rsm::ConfigChange> get_config_change(Reader& r) {
+  const std::uint8_t op = r.get_u8();
+  const std::int64_t replica = r.get_i64();
+  std::string host = r.get_string();
+  const std::int64_t port = r.get_i64();
+  if (!r.ok()) return std::nullopt;
+  if (op > static_cast<std::uint8_t>(rsm::ConfigChange::Op::kRemove)) return std::nullopt;
+  if (replica < 0 || replica > std::numeric_limits<consensus::ProcessId>::max())
+    return std::nullopt;
+  if (port < 0 || port > 65535) return std::nullopt;
+  rsm::ConfigChange c;
+  c.op = static_cast<rsm::ConfigChange::Op>(op);
+  c.replica = static_cast<consensus::ProcessId>(replica);
+  c.host = std::move(host);
+  c.port = static_cast<std::uint16_t>(port);
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_config(const rsm::Msg& m) {
+  Writer w;
+  if (const auto* c = std::get_if<rsm::ConfigChangeMsg>(&m)) {
+    w.put_u8(kTagConfigChange);
+    w.put_i64(c->cmd);
+    put_config_change(w, c->change);
+  } else {
+    w.put_u8(kTagConfigFetch);
+    w.put_i64(std::get<rsm::ConfigFetchMsg>(m).cmd);
+  }
+  return std::move(w).take();
+}
+
+std::optional<rsm::Msg> decode_config(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const std::uint8_t tag = r.get_u8();
+  switch (tag) {
+    case kTagConfigChange: {
+      rsm::ConfigChangeMsg m;
+      m.cmd = r.get_i64();
+      auto change = get_config_change(r);
+      if (!change || !r.exhausted()) return std::nullopt;
+      m.change = std::move(*change);
+      return rsm::Msg{std::move(m)};
+    }
+    case kTagConfigFetch: {
+      rsm::ConfigFetchMsg m;
+      m.cmd = r.get_i64();
+      if (!r.ok() || !r.exhausted()) return std::nullopt;
+      return rsm::Msg{m};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode(const Heartbeat& m) {
+  Writer w;
+  w.put_i64(m.from);
+  w.put_i64(m.version);
+  return std::move(w).take();
+}
+
+std::optional<Heartbeat> decode_heartbeat(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  Heartbeat m;
+  const std::int64_t from = r.get_i64();
+  const std::int64_t version = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (from < 0 || from > std::numeric_limits<consensus::ProcessId>::max()) return std::nullopt;
+  if (version < 0 || version > std::numeric_limits<std::int32_t>::max()) return std::nullopt;
+  m.from = static_cast<consensus::ProcessId>(from);
+  m.version = static_cast<std::int32_t>(version);
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Catchup& m) {
+  Writer w;
+  w.put_i64(m.from);
+  w.put_i64(m.applied);
+  return std::move(w).take();
+}
+
+std::optional<Catchup> decode_catchup(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  Catchup m;
+  const std::int64_t from = r.get_i64();
+  const std::int64_t applied = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (from < 0 || from > std::numeric_limits<consensus::ProcessId>::max()) return std::nullopt;
+  if (applied < 0) return std::nullopt;
+  m.from = static_cast<consensus::ProcessId>(from);
+  m.applied = applied;
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Handover& m) {
+  Writer w;
+  w.put_i64(m.from);
+  w.put_i64(m.version);
+  return std::move(w).take();
+}
+
+std::optional<Handover> decode_handover(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  Handover m;
+  const std::int64_t from = r.get_i64();
+  const std::int64_t version = r.get_i64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (from < 0 || from > std::numeric_limits<consensus::ProcessId>::max()) return std::nullopt;
+  if (version < 0 || version > std::numeric_limits<std::int32_t>::max()) return std::nullopt;
+  m.from = static_cast<consensus::ProcessId>(from);
+  m.version = static_cast<std::int32_t>(version);
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ConfigCommand& m) {
+  Writer w;
+  w.put_i64(m.id);
+  put_config_change(w, m.change);
+  return std::move(w).take();
+}
+
+std::optional<ConfigCommand> decode_config_command(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  ConfigCommand m;
+  m.id = r.get_i64();
+  auto change = get_config_change(r);
+  if (!change || !r.exhausted()) return std::nullopt;
+  if (m.id < 0) return std::nullopt;
+  m.change = std::move(*change);
+  return m;
 }
 
 namespace {

@@ -95,6 +95,14 @@ std::vector<std::uint8_t> encode_batch(const rsm::Msg& m);
 /// Parses one batch sidecar message; nullopt on malformed input.
 std::optional<rsm::Msg> decode_batch(std::span<const std::uint8_t> data);
 
+/// Serializes one config sidecar message (ConfigChangeMsg / ConfigFetchMsg)
+/// for the kConfig frame: 1-byte tag + handle + (contents only) the change.
+/// Precondition: `m` holds a config alternative.
+std::vector<std::uint8_t> encode_config(const rsm::Msg& m);
+
+/// Parses one config sidecar message; nullopt on malformed input.
+std::optional<rsm::Msg> decode_config(std::span<const std::uint8_t> data);
+
 /// Serializes one Fast Paxos message (its own 1-byte tag space).
 std::vector<std::uint8_t> encode(const fastpaxos::Message& m);
 
@@ -233,5 +241,59 @@ std::optional<SnapshotRequest> decode_snapshot_request(std::span<const std::uint
 
 std::vector<std::uint8_t> encode(const SnapshotChunk& m);
 std::optional<SnapshotChunk> decode_snapshot_chunk(std::span<const std::uint8_t> data);
+
+// ---- failure-detector frames (live Ω hosting) ----
+
+/// Periodic liveness beacon.  `from` is the sender (the frame can arrive
+/// before the Hello handshake names the inbound side) and `version` its
+/// current config version — a peer that sees a higher version than its own
+/// knows it is behind.
+struct Heartbeat {
+  consensus::ProcessId from = 0;
+  std::int32_t version = 0;
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// Leadership announcement: `from` considers itself the Ω leader (lowest
+/// unsuspected member) under config `version`.  Receivers adopt the claim
+/// when it is consistent with their own suspicions.
+struct Handover {
+  consensus::ProcessId from = 0;
+  std::int32_t version = 0;
+  friend bool operator==(const Handover&, const Handover&) = default;
+};
+
+std::vector<std::uint8_t> encode(const Heartbeat& m);
+std::optional<Heartbeat> decode_heartbeat(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode(const Handover& m);
+std::optional<Handover> decode_handover(std::span<const std::uint8_t> data);
+
+/// Applied-prefix gossip, sent on a slow timer.  A peer whose own applied
+/// prefix is ahead answers with its snapshot offer plus a Decide resend —
+/// the periodic arm of anti-entropy, for holes punched by frame loss on a
+/// connection that never re-establishes (reconnect anti-entropy never
+/// fires) after the last checkpoint (no fresh snapshot offer either).
+struct Catchup {
+  consensus::ProcessId from = 0;
+  std::int64_t applied = 0;
+  friend bool operator==(const Catchup&, const Catchup&) = default;
+};
+
+std::vector<std::uint8_t> encode(const Catchup& m);
+std::optional<Catchup> decode_catchup(std::span<const std::uint8_t> data);
+
+// ---- admin frames (`twostep join` / `twostep leave`) ----
+
+/// Asks the receiving node to drive a membership change through the log;
+/// `id` correlates the ClientReply-style acknowledgement.
+struct ConfigCommand {
+  std::int64_t id = 0;
+  rsm::ConfigChange change;
+  friend bool operator==(const ConfigCommand&, const ConfigCommand&) = default;
+};
+
+std::vector<std::uint8_t> encode(const ConfigCommand& m);
+std::optional<ConfigCommand> decode_config_command(std::span<const std::uint8_t> data);
 
 }  // namespace twostep::codec

@@ -114,6 +114,14 @@ class TwoStepProcess {
     return {Message{DecideMsg{decided_}}};
   }
 
+  /// Replaces the Ω leader hint.  Takes effect on the next timer firing:
+  /// a new ballot is started only when the hint names this process, so a
+  /// live failure detector can be installed mid-flight without touching
+  /// any acceptor state.
+  void set_leader_of(std::function<consensus::ProcessId()> leader_of) {
+    options_.leader_of = std::move(leader_of);
+  }
+
   // --- observable state (for tests, monitors and 1B snapshots) ---
   [[nodiscard]] bool has_decided() const noexcept { return !decided_.is_bottom(); }
   [[nodiscard]] consensus::Value decided_value() const noexcept { return decided_; }

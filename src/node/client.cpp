@@ -49,7 +49,8 @@ ClientSession::ClientSession(std::vector<transport::Endpoint> servers,
       options_(options),
       metrics_(metrics),
       client_id_(options.client_id != 0 ? options.client_id : make_client_id()),
-      rng_(util::splitmix64(options.seed, static_cast<std::uint64_t>(client_id_))) {
+      redial_backoff_(options.backoff_min_ms * 1000, options.backoff_max_ms * 1000,
+                      util::splitmix64(options.seed, static_cast<std::uint64_t>(client_id_))) {
   if (metrics_) {
     rtt_us_ = &metrics_->log_histogram("client.rtt_us");
     failover_rtt_us_ = &metrics_->log_histogram("client.failover_rtt_us");
@@ -103,24 +104,21 @@ bool ClientSession::dial_current() {
 }
 
 bool ClientSession::reconnect(std::int64_t deadline) {
-  std::int64_t backoff_us = options_.backoff_min_ms * 1000;
   for (;;) {
     // One pass over the replica list per backoff round: a crashed proxy
     // costs one refused connect, then the next replica answers.
     for (std::size_t tried = 0; tried < servers_.size(); ++tried) {
-      if (dial_current()) return true;
+      if (dial_current()) {
+        redial_backoff_.reset();
+        return true;
+      }
       current_ = (current_ + 1) % servers_.size();
     }
     if (now_us() >= deadline) return false;
     // Whole cluster unreachable right now — back off with jitter so a herd
-    // of clients does not redial in lockstep.
-    const std::int64_t low = backoff_us / 2;
-    std::int64_t sleep_us =
-        low + static_cast<std::int64_t>(
-                  rng_.next_below(static_cast<std::uint64_t>(backoff_us - low + 1)));
-    sleep_us = std::min(sleep_us, deadline - now_us());
+    // of clients does not redial in lockstep (see util::Backoff).
+    const std::int64_t sleep_us = std::min(redial_backoff_.next(), deadline - now_us());
     if (sleep_us > 0) ::usleep(static_cast<useconds_t>(sleep_us));
-    backoff_us = std::min(backoff_us * 2, options_.backoff_max_ms * 1000);
   }
 }
 

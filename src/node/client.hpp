@@ -33,7 +33,7 @@
 #include "obs/metrics.hpp"
 #include "transport/tcp.hpp"
 #include "transport/wire.hpp"
-#include "util/rng.hpp"
+#include "util/backoff.hpp"
 
 namespace twostep::node {
 
@@ -139,7 +139,10 @@ class ClientSession {
   transport::FrameParser parser_;
   std::int64_t next_id_ = 1;
   std::int64_t client_id_ = 0;
-  util::Rng rng_;
+  /// Redial cadence after a full cluster pass fails: jittered exponential
+  /// (util::Backoff, shared with the runtime's transfer-retry loop), reset
+  /// to the minimum by every successful dial.
+  util::Backoff redial_backoff_;
   std::int64_t timeouts_ = 0;
   std::int64_t conn_lost_ = 0;
   std::int64_t failovers_ = 0;

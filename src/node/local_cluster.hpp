@@ -23,9 +23,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "node/runtime.hpp"
+#include "rsm/rsm.hpp"
 #include "util/rng.hpp"
 
 namespace twostep::node {
@@ -49,6 +51,12 @@ struct ClusterOptions {
   bool trace = false;
   /// Forwarded to RuntimeOptions::stats_interval_ms on every replica.
   int stats_interval_ms = 0;
+  /// Forwarded to RuntimeOptions::failover on every replica (heartbeat
+  /// failure detection + leader election).
+  FailoverOptions failover;
+  /// Forwarded to RuntimeOptions::anti_entropy_period_us on every replica
+  /// (applied-prefix gossip; <= 0 disables).
+  std::int64_t anti_entropy_period_us = 1'000'000;
 };
 
 /// One round of a crash timeline: at `at_ms` kill `replicas`, keep them
@@ -114,6 +122,7 @@ class LocalCluster {
     nodes_.reserve(static_cast<std::size_t>(n));
     for (consensus::ProcessId p = 0; p < n; ++p) {
       nodes_.push_back(build_node(p, n, transport::Endpoint{"127.0.0.1", 0}));
+      initial_n_.push_back(n);
       endpoints_.push_back(nodes_.back()->endpoint());
     }
     for (auto& node : nodes_) node->start(endpoints_);
@@ -153,21 +162,84 @@ class LocalCluster {
   }
 
   /// Rebuilds replica i on its ORIGINAL port, recovering from its WAL
-  /// directory when the cluster has storage.  No-op if alive.
+  /// directory when the cluster has storage.  No-op if alive.  The replica
+  /// is rebuilt with the cluster size it was FOUNDED with (a joiner's
+  /// genesis universe predates it); any later membership changes are
+  /// re-derived from its WAL / snapshot or re-learned from peers.
   void restart(int i) {
     const std::lock_guard<std::mutex> lock(nodes_mu_);
     auto& node = nodes_[static_cast<std::size_t>(i)];
     if (node) return;
-    node = build_node(i, size(), endpoints_[static_cast<std::size_t>(i)]);
+    node = build_node(i, initial_n_[static_cast<std::size_t>(i)],
+                      endpoints_[static_cast<std::size_t>(i)]);
     node->start(endpoints_);
   }
 
-  /// Blocks until every live replica's outbound links reach all live peers
-  /// AND every live replica has an identified inbound connection from each
-  /// of them, or the timeout expires.  Returns whether the mesh formed.
-  /// Checking both directions matters: our dials may succeed while the
-  /// peers' dials to us are still down, and a half-open mesh stalls every
-  /// quorum that needs the missing direction.
+  /// Membership change, replicated through the log (Reconfigurable
+  /// protocols only): binds a brand-new replica with the NEXT id, starts
+  /// it as a silent non-member of the current universe, and submits the
+  /// kAdd command through a live node.  Once the change decides, every
+  /// member dials the joiner and heals it by snapshot state transfer.
+  /// Returns the new replica's id, or -1 if no live node could propose.
+  int add_replica() {
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
+    const int id = static_cast<int>(nodes_.size());
+    if (options_.trace)
+      recorders_.push_back(std::make_unique<obs::FlightRecorder>(
+          "node-" + std::to_string(id), static_cast<std::uint64_t>(id) + 1));
+    // The joiner's genesis universe is the PRE-change universe: its config
+    // log must match the cluster's so the snapshot's epoch suffix applies.
+    nodes_.push_back(build_node(id, id, transport::Endpoint{"127.0.0.1", 0}));
+    initial_n_.push_back(id);
+    endpoints_.push_back(nodes_.back()->endpoint());
+    nodes_.back()->start(
+        {endpoints_.begin(), endpoints_.begin() + static_cast<std::ptrdiff_t>(id)});
+    rsm::ConfigChange change;
+    change.op = rsm::ConfigChange::Op::kAdd;
+    change.replica = id;
+    change.host = endpoints_.back().host;
+    change.port = endpoints_.back().port;
+    for (auto& node : nodes_) {
+      if (!node || node->self() == id) continue;
+      node->propose_config(change);
+      return id;
+    }
+    return -1;
+  }
+
+  /// Submits the kRemove command for replica i through a live peer (the
+  /// removed replica is treated as crashed by the survivors; the caller
+  /// decides when to actually kill() it).  Returns whether a live node
+  /// accepted the proposal.
+  bool remove_replica(int i) {
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
+    rsm::ConfigChange change;
+    change.op = rsm::ConfigChange::Op::kRemove;
+    change.replica = i;
+    for (auto& node : nodes_) {
+      if (!node || node->self() == i) continue;
+      node->propose_config(change);
+      removed_.insert(i);
+      return true;
+    }
+    return false;
+  }
+
+  /// Replica ids removed via remove_replica (excluded from mesh waits).
+  [[nodiscard]] bool removed(int i) const {
+    const std::lock_guard<std::mutex> lock(nodes_mu_);
+    return removed_.contains(i);
+  }
+
+  /// Blocks until every live member replica's outbound links reach all
+  /// live member peers AND every live member has an identified inbound
+  /// connection from each of them, or the timeout expires.  Returns
+  /// whether the mesh formed.  Checking both directions matters: our dials
+  /// may succeed while the peers' dials to us are still down, and a
+  /// half-open mesh stalls every quorum that needs the missing direction.
+  /// Replicas removed via remove_replica are excluded (survivors retired
+  /// their links); a replica added via add_replica is counted, so the wait
+  /// also covers the join's config change reaching every member.
   bool wait_for_mesh(std::int64_t timeout_ms = 5'000) {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -176,10 +248,11 @@ class LocalCluster {
       bool full = true;
       {
         const std::lock_guard<std::mutex> lock(nodes_mu_);
-        for (const auto& node : nodes_)
-          if (node) ++live;
-        for (const auto& node : nodes_) {
-          if (!node) continue;
+        for (std::size_t i = 0; i < nodes_.size(); ++i)
+          if (nodes_[i] && !removed_.contains(static_cast<int>(i))) ++live;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          const auto& node = nodes_[i];
+          if (!node || removed_.contains(static_cast<int>(i))) continue;
           if (node->connected_out() < live - 1 || node->connected_in() < live - 1) full = false;
         }
       }
@@ -216,6 +289,8 @@ class LocalCluster {
     rt_options.chaos = options_.chaos;
     if (options_.trace) rt_options.flight = recorders_[static_cast<std::size_t>(p)].get();
     rt_options.stats_interval_ms = options_.stats_interval_ms;
+    rt_options.failover = options_.failover;
+    rt_options.anti_entropy_period_us = options_.anti_entropy_period_us;
     Factory& factory = factory_;
     return std::make_unique<Runtime<P>>(
         p, n, std::move(listen),
@@ -231,9 +306,11 @@ class LocalCluster {
   /// runtimes and never destroyed until the cluster is, so restart() can
   /// hand the same recorder to a replica's next incarnation.
   std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
-  mutable std::mutex nodes_mu_;  ///< guards nodes_ slots + graveyard_
+  mutable std::mutex nodes_mu_;  ///< guards nodes_ slots, membership + graveyard_
   std::vector<std::unique_ptr<Runtime<P>>> nodes_;
+  std::vector<int> initial_n_;  ///< founding cluster size per replica (restart)
   std::vector<transport::Endpoint> endpoints_;
+  std::unordered_set<int> removed_;  ///< ids retired via remove_replica
   obs::MetricsRegistry graveyard_;
 };
 

@@ -64,6 +64,7 @@
 #include "transport/event_loop.hpp"
 #include "transport/tcp.hpp"
 #include "transport/wire.hpp"
+#include "util/backoff.hpp"
 
 namespace twostep::node {
 
@@ -97,8 +98,35 @@ struct StorageOptions {
   /// support only; rejected at construction otherwise).  0: log-only, the
   /// pre-snapshot behavior.
   std::uint64_t snapshot_every = 0;
+  /// Snapshot state-transfer re-request backoff: the first retry fires
+  /// within transfer_retry_min_us, then the delay doubles (jittered, see
+  /// util::Backoff) up to transfer_retry_max_us.  Chunks lost to chaos or
+  /// a reconnect are recovered by these re-requests, so the floor bounds
+  /// how fast a laggard heals and the cap bounds retry traffic.
+  std::int64_t transfer_retry_min_us = 300'000;
+  std::int64_t transfer_retry_max_us = 2'000'000;
 
   [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+};
+
+/// Ω-style failure detection and leader failover, run on the loop thread.
+/// Every period each node heartbeats its peers; a peer unheard for its
+/// (jittered, exponentially widening) suspicion timeout is suspected, and
+/// the elected leader is the lowest-id unsuspected member of the current
+/// configuration.  The protocol's ballot-ownership hook (set_leader_of)
+/// reads the elected leader, so when a leader dies the next timer firing
+/// on the new leader re-proposes every undecided slot at a ballot it owns
+/// — a bounded unavailability window instead of a stuck log.
+struct FailoverOptions {
+  bool enabled = false;
+  /// Heartbeat broadcast + suspicion check period.
+  std::int64_t period_us = 50'000;
+  /// Initial suspicion timeout (upper bound of the first jittered draw).
+  /// Each false suspicion of a peer doubles that peer's timeout, up to
+  /// timeout_max_us, so a slow-but-alive peer stops flapping the leader.
+  std::int64_t timeout_min_us = 250'000;
+  std::int64_t timeout_max_us = 2'000'000;
+  std::uint64_t seed = 1;
 };
 
 struct RuntimeOptions {
@@ -116,6 +144,16 @@ struct RuntimeOptions {
   /// period so latest_stats() always has a recent view.  The kStatsRequest
   /// wire scrape works regardless.
   int stats_interval_ms = 0;
+  /// Heartbeat failure detector + leader election (protocols exposing
+  /// set_leader_of; silently inert otherwise).
+  FailoverOptions failover;
+  /// Applied-prefix gossip cadence (protocols exposing applied_prefix();
+  /// silently inert otherwise).  Reconnect-triggered anti-entropy cannot
+  /// heal a hole punched by frame loss on a connection that stays up, so
+  /// every replica also tells its peers how far it has applied on this
+  /// period; a peer that is ahead answers with its snapshot offer plus a
+  /// Decide resend.  <= 0 disables.
+  std::int64_t anti_entropy_period_us = 1'000'000;
 };
 
 /// True when P is a proxy-style replicated state machine (client commands
@@ -134,6 +172,24 @@ concept RsmLike = requires(P p) {
 template <typename P>
 concept HasDecideResend = requires(const P p) {
   { p.decide_messages() } -> std::same_as<std::vector<typename P::Message>>;
+};
+
+/// True when P hosts a reconfigurable log: membership changes are commands
+/// in the replicated log (rsm::RsmProcess::submit_config) and the applied
+/// configuration is observable.  The runtime then accepts kConfigCmd admin
+/// frames and reacts to applied changes by dialing/retiring peer links.
+template <typename P>
+concept Reconfigurable = requires(P p) {
+  p.submit_config(rsm::ConfigChange{});
+  p.on_config;
+  { p.config_version() } -> std::convertible_to<std::int32_t>;
+};
+
+/// True when P's ballot-ownership hook can be rebound at runtime (the
+/// failure detector's elected leader feeds it).
+template <typename P>
+concept HasLeaderOf = requires(P p) {
+  p.set_leader_of(std::function<consensus::ProcessId()>{});
 };
 
 template <typename P>
@@ -177,7 +233,22 @@ class Runtime {
     flight_ = options_.flight;
     proc_ = factory(env_, metrics_);
     wire_callbacks();
+    if constexpr (HasLeaderOf<P>) {
+      if (options_.failover.enabled) {
+        // The detector's elected leader overrides the factory's static
+        // leader_of: ballot ownership follows the lowest live member.
+        proc_->set_leader_of(
+            [this] { return leader_.load(std::memory_order_relaxed); });
+      }
+    }
     init_storage();
+    if constexpr (Reconfigurable<P>) {
+      // Recovery may have replayed config changes; publish the recovered
+      // membership for cross-thread readers before any I/O exists.
+      const std::lock_guard<std::mutex> lock(state_mu_);
+      members_ = proc_->members();
+      config_version_ = proc_->config_version();
+    }
     if (options_.chaos.enabled()) chaos_.emplace(options_.chaos, self_);
   }
 
@@ -190,26 +261,25 @@ class Runtime {
   [[nodiscard]] consensus::ProcessId self() const noexcept { return self_; }
 
   /// Dials every peer and spawns the loop thread.  `peers[i]` is replica
-  /// i's listen endpoint; `peers[self]` is ignored.
+  /// i's listen endpoint; `peers[self]` is ignored.  `peers` may be
+  /// shorter than the recovered cluster size: endpoints of replicas that
+  /// joined via a logged config change were learned during recovery and
+  /// fill the tail.
   void start(std::vector<transport::Endpoint> peers) {
     peers_ = std::move(peers);
+    if (static_cast<int>(peers_.size()) < n_) peers_.resize(static_cast<std::size_t>(n_));
+    for (const auto& [id, ep] : learned_endpoints_)
+      if (id >= 0 && id < n_ && peers_[static_cast<std::size_t>(id)].port == 0)
+        peers_[static_cast<std::size_t>(id)] = ep;
     links_.resize(static_cast<std::size_t>(n_));
     for (consensus::ProcessId p = 0; p < n_; ++p) {
-      if (p == self_) continue;
-      links_[static_cast<std::size_t>(p)] = std::make_unique<transport::PeerLink>(
-          loop_, self_, p, peers_[static_cast<std::size_t>(p)], &stats_);
-      if (chaos_) links_[static_cast<std::size_t>(p)]->set_chaos(&*chaos_);
-      if constexpr (HasDecideResend<P> || storage::kHasSnapshot<P>)
-        links_[static_cast<std::size_t>(p)]->set_on_connected([this, p] {
-          // Offer before the Decide resend: a peer behind our compaction
-          // floor cannot be healed by Decides alone (slots below the floor
-          // no longer exist here), it needs the snapshot.
-          offer_snapshot_to(p);
-          resend_decided_to(p);
-        });
-      links_[static_cast<std::size_t>(p)]->start();
+      if (p == self_ || removed_.contains(p)) continue;
+      if (peers_[static_cast<std::size_t>(p)].port == 0) continue;  // endpoint unknown
+      dial_peer(p);
     }
     arm_stats_timer();  // pre-thread timer scheduling is safe: loop not running yet
+    arm_failover_timer();
+    arm_catchup_timer();
     thread_ = std::thread([this] { loop_.run(); });
   }
 
@@ -248,6 +318,42 @@ class Runtime {
         }
       });
     });
+  }
+
+  /// Submits a membership change into the replicated log (Reconfigurable
+  /// protocols only).  Fire-and-forget: the change is decided like any
+  /// command and observable through members()/config_version() once
+  /// applied.  Thread-safe (hops onto the loop thread).
+  void propose_config(rsm::ConfigChange change) {
+    if constexpr (Reconfigurable<P>) {
+      loop_.post([this, change = std::move(change)] {
+        with_wal([&] {
+          ensure_started();
+          proc_->submit_config(change);
+        });
+      });
+    }
+  }
+
+  /// Members of the last applied configuration (Reconfigurable protocols;
+  /// 0..n-1 otherwise).  Thread-safe.
+  [[nodiscard]] std::vector<consensus::ProcessId> members() const {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    if (!members_.empty()) return members_;
+    std::vector<consensus::ProcessId> all;
+    for (consensus::ProcessId p = 0; p < n_; ++p) all.push_back(p);
+    return all;
+  }
+
+  /// Version of the last applied configuration (0 = genesis).  Thread-safe.
+  [[nodiscard]] std::int32_t config_version() const {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    return config_version_;
+  }
+
+  /// The failure detector's elected leader (0 until the detector runs).
+  [[nodiscard]] consensus::ProcessId leader() const noexcept {
+    return leader_.load(std::memory_order_relaxed);
   }
 
   // --- cross-thread snapshots ---
@@ -386,6 +492,12 @@ class Runtime {
         outstanding_rsm_.erase(it);
         (void)submitted_at;
       };
+      if constexpr (Reconfigurable<P>) {
+        proc_->on_config = [this](std::int32_t slot, const rsm::ConfigChange& change,
+                                  const rsm::ConfigEpoch& epoch) {
+          handle_config_applied(slot, change, epoch);
+        };
+      }
     } else {
       proc_->on_decide = [this](consensus::Value v) {
         {
@@ -412,6 +524,219 @@ class Runtime {
     if (proto_started_) return;
     proto_started_ = true;
     proc_->start();
+  }
+
+  /// Creates, wires and starts the outbound link to `p` (loop thread, or
+  /// pre-thread from start()).  Idempotent: an existing link is kept.
+  void dial_peer(consensus::ProcessId p) {
+    const auto idx = static_cast<std::size_t>(p);
+    if (p == self_ || p < 0 || idx >= links_.size() || links_[idx]) return;
+    links_[idx] = std::make_unique<transport::PeerLink>(loop_, self_, p, peers_[idx], &stats_);
+    if (chaos_) links_[idx]->set_chaos(&*chaos_);
+    if constexpr (HasDecideResend<P> || storage::kHasSnapshot<P>)
+      links_[idx]->set_on_connected([this, p] {
+        // Offer before the Decide resend: a peer behind our compaction
+        // floor cannot be healed by Decides alone (slots below the floor
+        // no longer exist here), it needs the snapshot.
+        offer_snapshot_to(p);
+        resend_decided_to(p);
+      });
+    links_[idx]->start();
+  }
+
+  // ---- membership reconfiguration (loop thread; also pre-thread during
+  // WAL replay / snapshot recovery in the constructor) ----
+
+  /// Reaction to an applied config change, fired by the protocol's
+  /// on_config hook: adopt the new membership, dial a joiner / retire a
+  /// removed replica's link, and re-checkpoint so the next snapshot offer
+  /// carries the config-bearing state a joiner needs.
+  void handle_config_applied(std::int32_t slot, const rsm::ConfigChange& change,
+                             const rsm::ConfigEpoch& epoch) {
+    {
+      const std::lock_guard<std::mutex> lock(state_mu_);
+      members_ = epoch.members;
+      config_version_ = epoch.version;
+    }
+    if (change.op == rsm::ConfigChange::Op::kAdd) {
+      metrics_.counter("config.adds_applied").add();
+      removed_.erase(change.replica);
+      learned_endpoints_[change.replica] =
+          transport::Endpoint{change.host, change.port};
+      if (epoch.universe > n_) n_ = epoch.universe;
+      if (!links_.empty()) {  // start() already ran: grow + dial at runtime
+        links_.resize(static_cast<std::size_t>(n_));
+        peers_.resize(static_cast<std::size_t>(n_));
+        if (change.replica != self_) {
+          peers_[static_cast<std::size_t>(change.replica)] =
+              transport::Endpoint{change.host, change.port};
+          dial_peer(change.replica);
+        }
+        // Checkpoint as soon as the current protocol entry unwinds: the
+        // joiner is healed by snapshot state transfer, and only a snapshot
+        // taken from post-change state carries the epoch it must adopt.
+        if (engine_) loop_.post([this] {
+          if (engine_) take_snapshot();
+        });
+      }
+    } else {
+      metrics_.counter("config.removes_applied").add();
+      removed_.insert(change.replica);
+      const auto idx = static_cast<std::size_t>(change.replica);
+      if (change.replica != self_ && idx < links_.size() && links_[idx]) {
+        links_[idx]->shutdown();  // treat-as-crashed: stop talking to it
+        links_[idx].reset();
+      }
+      peer_health_.erase(change.replica);
+    }
+    recompute_leader();
+    (void)slot;
+  }
+
+  // ---- failure detection & leader election (loop thread only) ----
+
+  /// Per-peer liveness record.  The suspicion timeout is drawn jittered
+  /// from a per-peer Backoff; every FALSE suspicion (peer heard again
+  /// after we suspected it) widens the next draw, so a slow-but-alive
+  /// peer stops flapping the leadership.
+  struct PeerHealth {
+    std::int64_t last_heard_us = 0;
+    std::int64_t timeout_us = 0;
+    bool suspected = false;
+    util::Backoff backoff;
+    PeerHealth(std::int64_t now_us, util::Backoff b)
+        : last_heard_us(now_us), backoff(std::move(b)) {
+      timeout_us = backoff.next();
+    }
+  };
+
+  [[nodiscard]] bool failover_on() const noexcept { return options_.failover.enabled; }
+
+  PeerHealth& health_of(consensus::ProcessId p) {
+    auto it = peer_health_.find(p);
+    if (it == peer_health_.end()) {
+      it = peer_health_
+               .emplace(p, PeerHealth{loop_.now_us(),
+                                      util::Backoff{options_.failover.timeout_min_us,
+                                                    options_.failover.timeout_max_us,
+                                                    util::splitmix64(options_.failover.seed,
+                                                                     static_cast<std::uint64_t>(
+                                                                         (self_ << 16) ^ p))}})
+               .first;
+    }
+    return it->second;
+  }
+
+  /// Any authenticated inbound traffic from `p` counts as life, not just
+  /// heartbeats — a peer pushing slot traffic is evidently up.
+  void note_alive(consensus::ProcessId p) {
+    if (!failover_on() || p == self_) return;
+    PeerHealth& h = health_of(p);
+    h.last_heard_us = loop_.now_us();
+    if (h.suspected) {
+      h.suspected = false;
+      h.timeout_us = h.backoff.next();  // false suspicion: widen the next one
+      metrics_.counter("failover.false_suspicions").add();
+      recompute_leader();
+    }
+  }
+
+  /// The current member universe as the detector sees it: the applied
+  /// configuration's members for Reconfigurable protocols, 0..n-1 minus
+  /// removed otherwise.
+  [[nodiscard]] std::vector<consensus::ProcessId> detector_members() const {
+    if constexpr (Reconfigurable<P>) {
+      return proc_->members();
+    } else {
+      std::vector<consensus::ProcessId> all;
+      for (consensus::ProcessId p = 0; p < n_; ++p)
+        if (!removed_.contains(p)) all.push_back(p);
+      return all;
+    }
+  }
+
+  void arm_failover_timer() {
+    if (!failover_on()) return;
+    loop_.schedule_after(options_.failover.period_us, [this] {
+      failover_tick();
+      arm_failover_timer();
+    });
+  }
+
+  void failover_tick() {
+    const std::int64_t now = loop_.now_us();
+    const std::vector<consensus::ProcessId> members = detector_members();
+    std::int32_t version = 0;
+    if constexpr (Reconfigurable<P>) version = proc_->config_version();
+    const std::vector<std::uint8_t> hb =
+        codec::encode(codec::Heartbeat{self_, version});
+    for (const consensus::ProcessId m : members) {
+      if (m == self_) continue;
+      const auto idx = static_cast<std::size_t>(m);
+      if (idx < links_.size() && links_[idx])
+        links_[idx]->send_frame(transport::FrameKind::kHeartbeat, hb);
+      PeerHealth& h = health_of(m);
+      if (!h.suspected && now - h.last_heard_us > h.timeout_us) {
+        h.suspected = true;
+        metrics_.counter("failover.suspicions").add();
+      }
+    }
+    recompute_leader();
+  }
+
+  /// Elects the lowest unsuspected member and rebinds ballot ownership
+  /// through the leader_ atomic.  On winning the election ourselves,
+  /// broadcast a Handover so followers converge without waiting out their
+  /// own timeouts; the undecided slots are re-proposed by the protocol's
+  /// ballot timers once leader_of reports us.
+  void recompute_leader() {
+    if (!failover_on()) return;
+    consensus::ProcessId elected = -1;
+    for (const consensus::ProcessId m : detector_members()) {
+      // A member never heard from at all gets its entry (and grace period)
+      // on the next tick; only an explicit suspicion disqualifies it here.
+      const auto it = peer_health_.find(m);
+      const bool suspected = m != self_ && it != peer_health_.end() && it->second.suspected;
+      if (!suspected && (elected < 0 || m < elected)) elected = m;
+    }
+    if (elected < 0) elected = self_;  // everyone suspected: claim it ourselves
+    const consensus::ProcessId previous = leader_.load(std::memory_order_relaxed);
+    if (elected == previous) return;
+    leader_.store(elected, std::memory_order_relaxed);
+    metrics_.counter("failover.leader_changes").add();
+    if (elected == self_) {
+      metrics_.counter("failover.handovers_sent").add();
+      std::int32_t version = 0;
+      if constexpr (Reconfigurable<P>) version = proc_->config_version();
+      const std::vector<std::uint8_t> frame =
+          codec::encode(codec::Handover{self_, version});
+      for (const consensus::ProcessId m : detector_members()) {
+        if (m == self_) continue;
+        const auto idx = static_cast<std::size_t>(m);
+        if (idx < links_.size() && links_[idx])
+          links_[idx]->send_frame(transport::FrameKind::kHandover, frame);
+      }
+    }
+  }
+
+  /// A Handover from `from` claims every member below it is gone.  Adopt
+  /// the claim for members we cannot vouch for ourselves (not heard within
+  /// their timeout's recent past): this converges followers onto the new
+  /// leader in one message instead of one timeout each.  A wrong claim
+  /// self-heals — the live lower member's next heartbeat unsuspects it.
+  void handle_handover(consensus::ProcessId from) {
+    if (!failover_on() || from == self_) return;
+    note_alive(from);
+    const std::int64_t now = loop_.now_us();
+    for (const consensus::ProcessId m : detector_members()) {
+      if (m >= from || m == self_) continue;
+      PeerHealth& h = health_of(m);
+      if (!h.suspected && now - h.last_heard_us > options_.failover.period_us) {
+        h.suspected = true;
+        metrics_.counter("failover.suspicions_by_handover").add();
+      }
+    }
+    recompute_leader();
   }
 
   /// Opens the storage engine and recovers: install the snapshot (if any),
@@ -656,7 +981,12 @@ class Runtime {
     switch (frame.kind) {
       case transport::FrameKind::kHello: {
         const auto peer = transport::decode_hello(frame.payload);
-        if (!peer || *peer < 0 || *peer >= n_) {
+        // Ids beyond n_ are accepted (bounded): a joining replica dials
+        // the existing cluster before the config change admitting it is
+        // applied here, and closing its connection would force it into a
+        // redial loop for no safety gain — its protocol frames are gated
+        // by the per-slot config stamp regardless.
+        if (!peer || *peer < 0 || *peer >= kMaxPeerId) {
           conn->close();
           inbound_peer_.erase(conn.get());
           inbound_.erase(conn);
@@ -665,6 +995,36 @@ class Runtime {
         }
         inbound_peer_[conn.get()] = *peer;
         refresh_inbound_count();
+        return;
+      }
+      case transport::FrameKind::kHeartbeat: {
+        const auto it = inbound_peer_.find(conn.get());
+        if (it == inbound_peer_.end()) return;  // failure detection is peer-only
+        const auto hb = codec::decode_heartbeat(frame.payload);
+        if (hb) note_alive(it->second);
+        return;
+      }
+      case transport::FrameKind::kHandover: {
+        const auto it = inbound_peer_.find(conn.get());
+        if (it == inbound_peer_.end()) return;
+        const auto ho = codec::decode_handover(frame.payload);
+        if (ho) handle_handover(it->second);
+        return;
+      }
+      case transport::FrameKind::kCatchup: {
+        const auto it = inbound_peer_.find(conn.get());
+        if (it == inbound_peer_.end()) return;  // anti-entropy is peer-only
+        const auto cu = codec::decode_catchup(frame.payload);
+        if (cu) handle_catchup(it->second, cu->applied);
+        return;
+      }
+      case transport::FrameKind::kConfigCmd: {
+        // Membership administration: Hello-less like kStatsRequest (the
+        // CLI's join/leave verbs connect as clients), acknowledged through
+        // the same on_commit path as client commands once the change
+        // decides.
+        const auto cmd = codec::decode_config_command(frame.payload);
+        if (cmd) handle_config_command(conn, *cmd);
         return;
       }
       case transport::FrameKind::kClientRequest: {
@@ -689,6 +1049,7 @@ class Runtime {
           return;  // traced frame for a protocol we don't host
         const auto sender = inbound_peer_.find(conn.get());
         if (sender == inbound_peer_.end()) return;  // same Hello gate as bare frames
+        note_alive(sender->second);
         auto inner = WireTraits<Message>::decode(inner_kind, traced->inner);
         if (!inner) return;
         deliver(sender->second, *inner, traced->trace);
@@ -727,6 +1088,7 @@ class Runtime {
     if (!WireTraits<Message>::accepts(frame.kind)) return;  // not ours; drop
     const auto it = inbound_peer_.find(conn.get());
     if (it == inbound_peer_.end()) return;  // protocol frame before Hello
+    note_alive(it->second);
     auto msg = WireTraits<Message>::decode(frame.kind, frame.payload);
     if (!msg) return;  // malformed payload inside a well-formed frame
     deliver(it->second, *msg);
@@ -826,6 +1188,40 @@ class Runtime {
     out_ctx_ = saved_ctx;
   }
 
+  /// Sane ceiling on Hello-announced peer ids: large enough for any
+  /// realistic reconfiguration history, small enough that a garbage Hello
+  /// cannot make inbound_peer_ index bookkeeping pathological.
+  static constexpr consensus::ProcessId kMaxPeerId = 1 << 16;
+
+  /// A join/leave admin command: submit the change into the log and ack
+  /// the requester when it decides, riding the client-reply machinery
+  /// (reply.slot is the deciding slot, reply.value the internal command).
+  void handle_config_command(const std::shared_ptr<transport::Connection>& conn,
+                             const codec::ConfigCommand& cmd) {
+    if constexpr (Reconfigurable<P>) {
+      OutstandingRequest out;
+      out.conn = conn;
+      out.request_id = cmd.id;
+      out.received_us = loop_.now_us();
+      if (cmd.change.replica < 0 || cmd.change.replica >= kMaxPeerId) {
+        reply(out, codec::ClientReply{cmd.id, 0, -1, false});
+        return;
+      }
+      metrics_.counter("config.commands").add();
+      with_wal([&] {
+        ensure_started();
+        const std::int64_t handle = proc_->submit_config(cmd.change);
+        outstanding_rsm_.insert_or_assign(handle, std::move(out));
+      });
+    } else {
+      OutstandingRequest out;
+      out.conn = conn;
+      out.request_id = cmd.id;
+      out.received_us = loop_.now_us();
+      reply(out, codec::ClientReply{cmd.id, 0, -1, false});  // not reconfigurable
+    }
+  }
+
   void reply(const OutstandingRequest& req, const codec::ClientReply& msg) {
     // Under group commit, park the ack behind the pending barrier: the
     // decision it reports may rest on this node's own not-yet-synced vote.
@@ -862,15 +1258,60 @@ class Runtime {
     }
   }
 
+  /// True when P exposes the applied prefix the catch-up gossip compares.
+  static constexpr bool kHasAppliedPrefix = requires(const P p) { p.applied_prefix(); };
+
+  /// Periodic arm of anti-entropy.  Reconnect-triggered resends miss one
+  /// failure shape: a Decide dropped by the network (chaos, or a real
+  /// lossy path) on a connection that never re-establishes, after the
+  /// sender's last checkpoint — no reconnect resend, no fresh snapshot
+  /// offer, and a non-leader receiver has no ballot of its own to recover
+  /// the slot with.  So each replica also gossips its applied prefix on a
+  /// slow timer; any peer that is ahead answers with the same offer +
+  /// resend pair the reconnect path uses.  First tick is skewed per
+  /// replica so a cluster doesn't gossip in lockstep.
+  void arm_catchup_timer() {
+    if constexpr (kHasAppliedPrefix && (HasDecideResend<P> || storage::kHasSnapshot<P>)) {
+      const std::int64_t period = options_.anti_entropy_period_us;
+      if (period <= 0) return;
+      const std::int64_t skew = static_cast<std::int64_t>(
+          util::splitmix64(static_cast<std::uint64_t>(self_), 0x05e1f) %
+          static_cast<std::uint64_t>(period));
+      loop_.schedule_after(period + skew, [this] { catchup_tick(); });
+    }
+  }
+
+  void catchup_tick() {
+    if constexpr (kHasAppliedPrefix) {
+      const std::int64_t applied = proc_->applied_prefix();
+      const std::vector<std::uint8_t> frame =
+          codec::encode(codec::Catchup{self_, applied < 0 ? 0 : applied});
+      for (auto& link : links_)
+        if (link) link->send_frame(transport::FrameKind::kCatchup, frame);
+      metrics_.counter("node.catchup_sent").add();
+      loop_.schedule_after(options_.anti_entropy_period_us, [this] { catchup_tick(); });
+    }
+  }
+
+  void handle_catchup(consensus::ProcessId from, std::int64_t peer_applied) {
+    if constexpr (kHasAppliedPrefix) {
+      if (peer_applied >= static_cast<std::int64_t>(proc_->applied_prefix())) return;
+      offer_snapshot_to(from);  // heals a laggard below our compaction floor
+      resend_decided_to(from);  // heals the tail above it
+      metrics_.counter("node.catchup_served").add();
+    }
+  }
+
   // ---- snapshots & snapshot state transfer (loop thread only) ----
 
   /// Chunk size for snapshot transfer: comfortably under the 1 MiB frame
   /// cap, large enough that a multi-megabyte snapshot moves in a handful
   /// of frames.
   static constexpr std::size_t kSnapshotChunkBytes = 256 * 1024;
-  /// A laggard re-requests from its received prefix on this period until
-  /// the transfer completes (chunks can be lost to chaos or reconnects).
-  static constexpr std::int64_t kTransferRetryUs = 300'000;
+  // A laggard re-requests from its received prefix until the transfer
+  // completes (chunks can be lost to chaos or reconnects); the retry
+  // cadence is the jittered exponential backoff configured by
+  // StorageOptions::transfer_retry_{min,max}_us.
 
   /// Checkpoint trigger, checked after every durability barrier (both the
   /// per-entry sync and the group-commit barrier), which is the only time
@@ -1009,6 +1450,10 @@ class Runtime {
       transfer_->floor = offer.floor;
       transfer_->total_bytes = offer.bytes;
       transfer_->from = from;
+      transfer_->backoff.emplace(options_.storage.transfer_retry_min_us,
+                                 options_.storage.transfer_retry_max_us,
+                                 util::splitmix64(static_cast<std::uint64_t>(offer.floor),
+                                                  static_cast<std::uint64_t>(self_)));
       metrics_.counter("transfer.requests").add();
       send_snapshot_request(from, offer.floor, 0);
       arm_transfer_retry();
@@ -1111,7 +1556,9 @@ class Runtime {
   void arm_transfer_retry() {
     if constexpr (storage::kHasSnapshot<P>) {
       if (!transfer_) return;
-      transfer_->retry_timer = loop_.schedule_after(kTransferRetryUs, [this] {
+      const std::int64_t delay =
+          transfer_->backoff ? transfer_->backoff->next() : options_.storage.transfer_retry_min_us;
+      transfer_->retry_timer = loop_.schedule_after(delay, [this] {
         if (!transfer_) return;
         transfer_->retry_timer = 0;
         metrics_.counter("transfer.retries").add();
@@ -1136,9 +1583,13 @@ class Runtime {
   /// thread, for kStatsRequest scrapes and the periodic snapshot timer.
   [[nodiscard]] std::string build_stats_json() {
     std::ostringstream os;
+    std::int32_t config_version = 0;
+    if constexpr (Reconfigurable<P>) config_version = proc_->config_version();
     os << "{\"schema\":\"twostep-stats/1\",\"node\":" << self_
        << ",\"now_us\":" << loop_.now_us() << ",\"connected_out\":" << connected_out()
        << ",\"connected_in\":" << connected_in()
+       << ",\"leader\":" << leader_.load(std::memory_order_relaxed)
+       << ",\"config_version\":" << config_version
        << ",\"transport\":{\"bytes_sent\":" << stats_.bytes_sent.load(std::memory_order_relaxed)
        << ",\"bytes_received\":" << stats_.bytes_received.load(std::memory_order_relaxed)
        << ",\"frames_sent\":" << stats_.frames_sent.load(std::memory_order_relaxed)
@@ -1224,6 +1675,7 @@ class Runtime {
     consensus::ProcessId from = -1;
     std::vector<std::uint8_t> buf;  ///< contiguous prefix received so far
     std::uint64_t retry_timer = 0;  ///< pending re-request timer (0 = none)
+    std::optional<util::Backoff> backoff;  ///< jittered re-request cadence
   };
   std::optional<TransferState> transfer_;
   std::conditional_t<storage::kHasDurable<P>, storage::Durable<P>, storage::NullDurable> durable_;
@@ -1236,9 +1688,17 @@ class Runtime {
   obs::LogHistogram* barrier_records_ = nullptr;  ///< records per barrier fsync
   std::atomic<int> inbound_count_{0};
 
+  // --- membership & failover (loop thread, except the noted snapshots) ---
+  std::map<consensus::ProcessId, transport::Endpoint> learned_endpoints_;  ///< from config log
+  std::unordered_set<consensus::ProcessId> removed_;  ///< treat-as-crashed members
+  std::unordered_map<consensus::ProcessId, PeerHealth> peer_health_;
+  std::atomic<consensus::ProcessId> leader_{0};  ///< elected leader (cross-thread)
+
   mutable std::mutex state_mu_;
   consensus::Value decided_;
   std::vector<std::pair<std::int32_t, std::int64_t>> applied_;
+  std::vector<consensus::ProcessId> members_;  ///< applied config members (state_mu_)
+  std::int32_t config_version_ = 0;            ///< applied config version (state_mu_)
 
   mutable std::mutex stats_json_mu_;
   std::string latest_stats_json_;  ///< written by the snapshot timer

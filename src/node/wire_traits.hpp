@@ -39,17 +39,22 @@ struct WireTraits<core::Message> {
 
 template <>
 struct WireTraits<rsm::Msg> {
-  /// Slot traffic keeps the kSlot encoding byte-for-byte; only the batch
-  /// sidecar alternatives use the kBatch frame.
+  /// Slot traffic rides kSlot; the batch sidecar alternatives ride kBatch
+  /// and the config sidecar alternatives kConfig.
   static transport::FrameKind kind_of(const rsm::Msg& m) {
-    return std::holds_alternative<rsm::SlotMsg>(m) ? transport::FrameKind::kSlot
-                                                   : transport::FrameKind::kBatch;
+    if (std::holds_alternative<rsm::SlotMsg>(m)) return transport::FrameKind::kSlot;
+    if (std::holds_alternative<rsm::ConfigChangeMsg>(m) ||
+        std::holds_alternative<rsm::ConfigFetchMsg>(m))
+      return transport::FrameKind::kConfig;
+    return transport::FrameKind::kBatch;
   }
   static bool accepts(transport::FrameKind kind) {
-    return kind == transport::FrameKind::kSlot || kind == transport::FrameKind::kBatch;
+    return kind == transport::FrameKind::kSlot || kind == transport::FrameKind::kBatch ||
+           kind == transport::FrameKind::kConfig;
   }
   static std::vector<std::uint8_t> encode(const rsm::Msg& m) {
     if (const auto* s = std::get_if<rsm::SlotMsg>(&m)) return codec::encode(*s);
+    if (kind_of(m) == transport::FrameKind::kConfig) return codec::encode_config(m);
     return codec::encode_batch(m);
   }
   static std::optional<rsm::Msg> decode(transport::FrameKind kind,
@@ -60,6 +65,7 @@ struct WireTraits<rsm::Msg> {
       return rsm::Msg{std::move(*slot)};
     }
     if (kind == transport::FrameKind::kBatch) return codec::decode_batch(data);
+    if (kind == transport::FrameKind::kConfig) return codec::decode_config(data);
     return std::nullopt;
   }
 };

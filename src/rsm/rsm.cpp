@@ -16,11 +16,15 @@ struct RsmProcess::SlotEnv final : consensus::Env<core::Message> {
   SlotEnv(RsmProcess& host, std::int32_t slot) : host_(host), slot_(slot) {}
 
   [[nodiscard]] ProcessId self() const override { return host_.env_.self(); }
-  [[nodiscard]] int cluster_size() const override { return host_.env_.cluster_size(); }
+  [[nodiscard]] int cluster_size() const override {
+    // The slot's broadcast set is its governing epoch's quorum universe —
+    // never the host env's (possibly larger, post-reconfiguration) size.
+    return host_.governing_epoch(slot_).universe;
+  }
   [[nodiscard]] sim::Tick now() const override { return host_.env_.now(); }
 
   void send(ProcessId to, const core::Message& msg) override {
-    host_.env_.send(to, SlotMsg{slot_, msg});
+    host_.env_.send(to, SlotMsg{slot_, host_.governing_version(slot_), msg});
   }
 
   TimerId set_timer(sim::Tick delay) override {
@@ -45,6 +49,34 @@ RsmProcess::RsmProcess(consensus::Env<Message>& env, consensus::SystemConfig con
   if (options_.batch_max < 1) throw std::invalid_argument("RsmProcess: batch_max must be >= 1");
   if (options_.pipeline_window < 0)
     throw std::invalid_argument("RsmProcess: pipeline_window must be >= 0");
+  ConfigEpoch genesis;
+  genesis.universe = config_.n;
+  genesis.members.reserve(static_cast<std::size_t>(config_.n));
+  for (ProcessId p = 0; p < config_.n; ++p) genesis.members.push_back(p);
+  epochs_.push_back(std::move(genesis));
+}
+
+const ConfigEpoch& RsmProcess::governing_epoch(std::int32_t slot) const {
+  // Epochs are appended in boundary order; the last with boundary <= slot
+  // governs.  The log is short (one entry per membership change), so a
+  // reverse scan beats anything cleverer.
+  for (auto it = epochs_.rbegin(); it != epochs_.rend(); ++it)
+    if (it->boundary <= slot) return *it;
+  return epochs_.front();
+}
+
+std::int32_t RsmProcess::governing_version(std::int32_t slot) const {
+  return governing_epoch(slot).version;
+}
+
+bool RsmProcess::has_member(ProcessId p) const {
+  const auto& m = epochs_.back().members;
+  return std::find(m.begin(), m.end(), p) != m.end();
+}
+
+void RsmProcess::set_leader_of(std::function<ProcessId()> leader_of) {
+  options_.leader_of = leader_of;
+  for (auto& [slot, state] : slots_) state.proc->set_leader_of(leader_of);
 }
 
 RsmProcess::~RsmProcess() = default;
@@ -61,8 +93,13 @@ RsmProcess::SlotState& RsmProcess::ensure_slot(std::int32_t slot) {
   proto_options.leader_of = options_.leader_of;
   proto_options.selection_policy = options_.selection_policy;
   proto_options.probe = options_.probe;
+  // The instance lives in the slot's governing epoch: its quorum universe
+  // may be larger than genesis (f and e never change — adds only widen the
+  // universe, so old quorums keep intersecting new ones).
+  consensus::SystemConfig slot_config = config_;
+  slot_config.n = governing_epoch(slot).universe;
   state.proc =
-      std::make_unique<core::TwoStepProcess>(*state.env, config_, std::move(proto_options));
+      std::make_unique<core::TwoStepProcess>(*state.env, slot_config, std::move(proto_options));
   state.proc->on_decide = [this, slot](Value v) { slot_decided(slot, v); };
   state.proc->start();  // arms the slot's ballot timer
   it = slots_.emplace(slot, std::move(state)).first;
@@ -133,6 +170,27 @@ void RsmProcess::seal_open_batch() {
   propose_pending();
 }
 
+Command RsmProcess::submit_config(const ConfigChange& change) {
+  if (change.replica < 0)
+    throw std::invalid_argument("RsmProcess::submit_config: replica must be >= 0");
+  // Flush buffered commands first so the change cannot jump ahead of
+  // commands accepted before it.
+  if (options_.batch_max > 1) seal_open_batch();
+  const Command handle = (static_cast<std::int64_t>(env_.self()) << 40) |
+                         (std::int64_t{3} << 38) | next_config_seq_++;
+  config_contents_.emplace(handle, change);
+  dirty_configs_.insert(handle);
+  const ProcessId self = env_.self();
+  for (int p = 0; p < env_.cluster_size(); ++p)
+    if (p != self) env_.send(p, ConfigChangeMsg{handle, change});
+  PendingCommand pending;
+  pending.cmd = handle;
+  pending.submitted_at = env_.now();
+  pending_.push_back(pending);
+  propose_pending();
+  return handle;
+}
+
 int RsmProcess::own_slots_in_flight() const {
   int n = 0;
   for (const auto& p : pending_)
@@ -142,9 +200,21 @@ int RsmProcess::own_slots_in_flight() const {
 
 void RsmProcess::propose_pending() {
   const int window = options_.pipeline_window;
-  int in_flight = window > 0 ? own_slots_in_flight() : 0;
+  int in_flight = own_slots_in_flight();
   for (auto& p : pending_) {
-    if (p.slot >= 0) continue;
+    if (p.slot >= 0) {
+      // Nothing of ours goes past an in-flight config change: slots after
+      // it are governed by a version we cannot know until it decides.
+      if (command_is_config(p.cmd) && !decisions_.contains(p.slot)) break;
+      continue;
+    }
+    if (command_is_config(p.cmd)) {
+      // Stop-the-world single-server change: the handle waits for our own
+      // slots to drain, then flies alone.
+      if (in_flight > 0) break;
+      propose_in_slot(p, next_free_slot());
+      break;
+    }
     if (window > 0 && in_flight >= window) break;
     propose_in_slot(p, next_free_slot());
     ++in_flight;
@@ -164,12 +234,26 @@ void RsmProcess::on_message(ProcessId from, const Message& m) {
     // there is nothing left to learn or answer for it (a peer this far
     // behind needs the snapshot, which the runtime offers separately).
     if (s->slot < floor_) return;
+    // Cross-epoch traffic is dropped before it can touch the instance: a
+    // quorum for a slot must count only voters governed by the same
+    // configuration version.  A replica behind on config catches up via
+    // Decide anti-entropy or snapshot transfer, never by mixing epochs.
+    if (s->cfg != governing_version(s->slot)) return;
     dirty_slots_.insert(s->slot);
     ensure_slot(s->slot).proc->on_message(from, s->inner);
     return;
   }
   if (const auto* b = std::get_if<BatchContentMsg>(&m)) {
     handle_batch_content(*b);
+    return;
+  }
+  if (const auto* c = std::get_if<ConfigChangeMsg>(&m)) {
+    handle_config_content(*c);
+    return;
+  }
+  if (const auto* cf = std::get_if<ConfigFetchMsg>(&m)) {
+    const auto it = config_contents_.find(cf->cmd);
+    if (it != config_contents_.end()) env_.send(from, ConfigChangeMsg{cf->cmd, it->second});
     return;
   }
   const auto& f = std::get<BatchFetchMsg>(m);
@@ -199,6 +283,28 @@ void RsmProcess::request_batch_contents(Command cmd) {
   fetch_timer_cmds_.emplace(id.value, cmd);
 }
 
+void RsmProcess::handle_config_content(const ConfigChangeMsg& m) {
+  if (config_contents_.contains(m.cmd)) return;
+  config_contents_.emplace(m.cmd, m.change);
+  dirty_configs_.insert(m.cmd);
+  const auto wit = fetch_waiting_.find(m.cmd);
+  if (wit != fetch_waiting_.end()) {
+    env_.cancel_timer(wit->second);
+    fetch_timer_cmds_.erase(wit->second.value);
+    fetch_waiting_.erase(wit);
+  }
+  apply_contiguous();
+}
+
+void RsmProcess::request_config_contents(Command cmd) {
+  if (fetch_waiting_.contains(cmd)) return;  // retry timer already armed
+  const ProcessId proxy = command_proxy(cmd);
+  if (proxy != env_.self()) env_.send(proxy, ConfigFetchMsg{cmd});
+  const TimerId id = env_.set_timer(std::max<sim::Tick>(options_.delta * 4, 1));
+  fetch_waiting_.emplace(cmd, id);
+  fetch_timer_cmds_.emplace(id.value, cmd);
+}
+
 void RsmProcess::on_timer(TimerId id) {
   if (open_batch_.linger && open_batch_.linger->value == id.value) {
     open_batch_.linger.reset();
@@ -210,11 +316,19 @@ void RsmProcess::on_timer(TimerId id) {
     const Command cmd = fit->second;
     fetch_timer_cmds_.erase(fit);
     fetch_waiting_.erase(cmd);
-    if (!batch_contents_.contains(cmd)) {
+    const bool resolved = command_is_config(cmd) ? config_contents_.contains(cmd)
+                                                 : batch_contents_.contains(cmd);
+    if (!resolved) {
       // The proxy did not answer in time — widen the fetch to everyone.
       const ProcessId self = env_.self();
-      for (int p = 0; p < env_.cluster_size(); ++p)
-        if (p != self) env_.send(p, BatchFetchMsg{cmd});
+      for (int p = 0; p < env_.cluster_size(); ++p) {
+        if (p == self) continue;
+        if (command_is_config(cmd)) {
+          env_.send(p, ConfigFetchMsg{cmd});
+        } else {
+          env_.send(p, BatchFetchMsg{cmd});
+        }
+      }
       const TimerId retry = env_.set_timer(std::max<sim::Tick>(options_.delta * 4, 1));
       fetch_waiting_.emplace(cmd, retry);
       fetch_timer_cmds_.emplace(retry.value, cmd);
@@ -241,6 +355,12 @@ std::vector<Command> RsmProcess::drain_dirty_batches() {
   return cmds;
 }
 
+std::vector<Command> RsmProcess::drain_dirty_configs() {
+  std::vector<Command> cmds(dirty_configs_.begin(), dirty_configs_.end());
+  dirty_configs_.clear();
+  return cmds;
+}
+
 const core::TwoStepProcess* RsmProcess::slot_process(std::int32_t slot) const {
   const auto it = slots_.find(slot);
   return it == slots_.end() ? nullptr : it->second.proc.get();
@@ -249,6 +369,11 @@ const core::TwoStepProcess* RsmProcess::slot_process(std::int32_t slot) const {
 const std::vector<std::int64_t>* RsmProcess::batch_contents(Command cmd) const {
   const auto it = batch_contents_.find(cmd);
   return it == batch_contents_.end() ? nullptr : &it->second;
+}
+
+const ConfigChange* RsmProcess::config_contents(Command cmd) const {
+  const auto it = config_contents_.find(cmd);
+  return it == config_contents_.end() ? nullptr : &it->second;
 }
 
 void RsmProcess::restore_slot(std::int32_t slot, const core::TwoStepProcess::AcceptorState& s) {
@@ -267,6 +392,12 @@ void RsmProcess::restore_slot(std::int32_t slot, const core::TwoStepProcess::Acc
 void RsmProcess::restore_batch(Command cmd, std::vector<std::int64_t> payloads) {
   if (batch_contents_.contains(cmd)) return;
   batch_contents_.emplace(cmd, std::move(payloads));
+  apply_contiguous();
+}
+
+void RsmProcess::restore_config(Command cmd, const ConfigChange& change) {
+  if (config_contents_.contains(cmd)) return;
+  config_contents_.emplace(cmd, change);
   apply_contiguous();
 }
 
@@ -292,8 +423,13 @@ void RsmProcess::slot_decided(std::int32_t slot, Value v) {
     }
     break;
   }
-  propose_pending();  // a decision frees pipeline-window budget
+  // Apply BEFORE re-proposing: if this very decision was a config change,
+  // a loser's retry lands in a slot the new epoch governs and must be
+  // stamped with the post-apply version — stamping it pre-apply makes
+  // every receiver drop the frames as cross-epoch and strands the command
+  // (an object-mode proposer has no ballot of its own to retry with).
   apply_contiguous();
+  propose_pending();  // a decision frees pipeline-window budget
 }
 
 void RsmProcess::commit_own(const PendingCommand& pending, std::int32_t slot) {
@@ -328,12 +464,18 @@ std::vector<Msg> RsmProcess::decide_messages() const {
   // Contents first: a peer must be able to expand every decision it is
   // about to learn without a fetch round-trip.
   for (const auto& [slot, cmd] : decisions_) {
+    if (command_is_config(cmd)) {
+      const auto it = config_contents_.find(cmd);
+      if (it != config_contents_.end()) out.push_back(ConfigChangeMsg{cmd, it->second});
+      continue;
+    }
     if (!command_is_batch(cmd)) continue;
     const auto it = batch_contents_.find(cmd);
     if (it != batch_contents_.end()) out.push_back(BatchContentMsg{cmd, it->second});
   }
   for (const auto& [slot, cmd] : decisions_)
-    out.push_back(SlotMsg{slot, core::Message{core::DecideMsg{consensus::Value{cmd}}}});
+    out.push_back(
+        SlotMsg{slot, governing_version(slot), core::Message{core::DecideMsg{consensus::Value{cmd}}}});
   return out;
 }
 
@@ -352,11 +494,36 @@ SnapshotState RsmProcess::snapshot_state() const {
     if (command_is_batch(cmd)) (slot < s.floor ? covered : live).insert(cmd);
   for (const auto& [cmd, payloads] : batch_contents_)
     if (!covered.contains(cmd) || live.contains(cmd)) s.batches.emplace_back(cmd, payloads);
+  // Same liveness rule for config contents; changes decided below the
+  // floor are already folded into the epoch log.
+  std::set<Command> ccovered, clive;
+  for (const auto& [slot, cmd] : decisions_)
+    if (command_is_config(cmd)) (slot < s.floor ? ccovered : clive).insert(cmd);
+  for (const auto& [cmd, change] : config_contents_)
+    if (!ccovered.contains(cmd) || clive.contains(cmd)) s.configs.emplace_back(cmd, change);
+  s.epochs = epochs_;
   return s;
 }
 
 void RsmProcess::install_snapshot_state(const SnapshotState& s) {
-  // Batch contents first: neither the applied suffix nor a restored
+  // The configuration first: everything below — restoring slots, adopting
+  // decisions, replaying the applied suffix — depends on the governing
+  // epoch.  Our epoch log is a prefix of the snapshot's (agreement: both
+  // expand the same decided config sequence); adopt the missing suffix and
+  // announce each adopted epoch so the host can dial/retire links.
+  for (const auto& [cmd, change] : s.configs)
+    if (!config_contents_.contains(cmd)) config_contents_.emplace(cmd, change);
+  if (s.epochs.size() > epochs_.size()) {
+    const std::size_t had = epochs_.size();
+    for (std::size_t i = had; i < s.epochs.size(); ++i) epochs_.push_back(s.epochs[i]);
+    rebuild_slots_from(epochs_[had].boundary);
+    if (on_config) {
+      for (std::size_t i = had; i < epochs_.size(); ++i)
+        on_config(epochs_[i].boundary - 1, epochs_[i].change, epochs_[i]);
+    }
+  }
+
+  // Batch contents next: neither the applied suffix nor a restored
   // decision may stall on a handle the snapshot itself can expand.
   for (const auto& [cmd, payloads] : s.batches)
     if (!batch_contents_.contains(cmd)) batch_contents_.emplace(cmd, payloads);
@@ -416,20 +583,78 @@ void RsmProcess::compact_to(std::int32_t floor) {
   slots_.erase(slots_.begin(), slots_.lower_bound(floor_));
   dirty_slots_.erase(dirty_slots_.begin(), dirty_slots_.lower_bound(floor_));
 
-  // Batch contents fall with their decision unless a surviving decision
-  // still references the handle (at-least-once re-decides are legal).
+  // Batch and config contents fall with their decision unless a surviving
+  // decision still references the handle (at-least-once re-decides are
+  // legal).  Folded-in config changes live on in the epoch log.
   std::set<Command> retained;
   for (auto it = decisions_.lower_bound(floor_); it != decisions_.end(); ++it)
-    if (command_is_batch(it->second)) retained.insert(it->second);
+    if (command_is_batch(it->second) || command_is_config(it->second))
+      retained.insert(it->second);
   for (auto it = decisions_.begin(); it != decisions_.end() && it->first < floor_;) {
     const Command cmd = it->second;
-    if (command_is_batch(cmd) && !retained.contains(cmd)) {
+    if (retained.contains(cmd)) {
+      it = decisions_.erase(it);
+      continue;
+    }
+    if (command_is_batch(cmd)) {
       batch_contents_.erase(cmd);
       own_batch_entries_.erase(cmd);
       dirty_batches_.erase(cmd);
+    } else if (command_is_config(cmd)) {
+      config_contents_.erase(cmd);
+      dirty_configs_.erase(cmd);
     }
     it = decisions_.erase(it);
   }
+}
+
+void RsmProcess::rebuild_slots_from(std::int32_t boundary) {
+  // Instances at/above the boundary were built under a smaller quorum
+  // universe; recreate them under the new governing epoch, carrying their
+  // acceptor state.  Promises and votes survive the rebuild, so a quorum
+  // formed before the change still intersects every quorum after it (the
+  // universe only grows and f/e are fixed: n0-2f >= 1 and n0-2e >= 1
+  // common voters are guaranteed, and each votes identically).
+  std::vector<std::pair<std::int32_t, core::TwoStepProcess::AcceptorState>> carry;
+  for (auto it = slots_.lower_bound(boundary); it != slots_.end(); ++it)
+    carry.emplace_back(it->first, it->second.proc->acceptor_state());
+  for (const auto& [slot, state] : carry) {
+    for (auto tit = timer_routes_.begin(); tit != timer_routes_.end();) {
+      if (tit->second.first == slot) {
+        env_.cancel_timer(tit->second.second);
+        tit = timer_routes_.erase(tit);
+      } else {
+        ++tit;
+      }
+    }
+    slots_.erase(slot);
+    ensure_slot(slot).proc->restore(state);
+    dirty_slots_.insert(slot);
+  }
+}
+
+void RsmProcess::apply_config_change(std::int32_t slot, const ConfigChange& change) {
+  {
+    ConfigEpoch next = epochs_.back();
+    next.version += 1;
+    next.boundary = slot + 1;
+    next.change = change;
+    const auto mit = std::find(next.members.begin(), next.members.end(), change.replica);
+    if (change.op == ConfigChange::Op::kAdd) {
+      if (mit == next.members.end()) next.members.push_back(change.replica);
+      next.universe = std::max(next.universe, change.replica + 1);
+    } else {
+      if (mit != next.members.end()) next.members.erase(mit);
+      // The universe never shrinks: a removed replica is treated as
+      // permanently crashed, which the resilience budget already covers.
+    }
+    std::sort(next.members.begin(), next.members.end());
+    epochs_.push_back(std::move(next));
+  }
+  const ConfigEpoch& epoch = epochs_.back();
+  if (epoch.universe != epochs_[epochs_.size() - 2].universe)
+    rebuild_slots_from(epoch.boundary);
+  if (on_config) on_config(slot, change, epoch);
 }
 
 void RsmProcess::apply_contiguous() {
@@ -437,6 +662,23 @@ void RsmProcess::apply_contiguous() {
     const auto it = decisions_.find(applied_);
     if (it == decisions_.end()) return;
     const Command cmd = it->second;
+    if (command_is_config(cmd)) {
+      const auto cit = config_contents_.find(cmd);
+      if (cit == config_contents_.end()) {
+        // Decided config handle with unknown contents: stall and fetch,
+        // exactly like a batch.
+        request_config_contents(cmd);
+        return;
+      }
+      // Config entries do not enter the applied (executor) log and fire
+      // on_config instead of on_apply: the state machine the audit checks
+      // carries client commands only.
+      const ConfigChange change = cit->second;
+      const std::int32_t slot = applied_;
+      ++applied_;
+      apply_config_change(slot, change);
+      continue;
+    }
     if (command_is_batch(cmd)) {
       const auto bit = batch_contents_.find(cmd);
       if (bit == batch_contents_.end()) {

@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -45,8 +46,12 @@ namespace twostep::rsm {
 using Command = std::int64_t;
 
 /// Wire message: a slot-tagged message of the underlying consensus object.
+/// `cfg` is the sender's governing configuration version for the slot
+/// (see ConfigEpoch): a receiver whose governing version for the slot
+/// differs drops the message, so quorums never mix configuration epochs.
 struct SlotMsg {
   std::int32_t slot = 0;
+  std::int32_t cfg = 0;
   core::Message inner;
   friend bool operator==(const SlotMsg&, const SlotMsg&) = default;
 };
@@ -66,8 +71,52 @@ struct BatchFetchMsg {
   friend bool operator==(const BatchFetchMsg&, const BatchFetchMsg&) = default;
 };
 
-/// RSM wire message: slot-tagged consensus traffic plus the batch sidecar.
-using Msg = std::variant<SlotMsg, BatchContentMsg, BatchFetchMsg>;
+/// One membership change: add or remove a single replica.  `host`/`port`
+/// are the joiner's listen endpoint (meaningful for kAdd only) so existing
+/// members learn where to dial.
+struct ConfigChange {
+  enum class Op : std::uint8_t { kAdd = 0, kRemove = 1 };
+  Op op = Op::kAdd;
+  consensus::ProcessId replica = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  friend bool operator==(const ConfigChange&, const ConfigChange&) = default;
+};
+
+/// Contents of one config handle — the reconfiguration analogue of
+/// BatchContentMsg.  The value decided in the slot is still one 64-bit
+/// command (a handle with bits 39+38 set); the change itself travels
+/// beside the protocol and is fetched on demand, exactly like a batch.
+struct ConfigChangeMsg {
+  Command cmd = 0;  ///< the config handle (bits 39 and 38 set)
+  ConfigChange change;
+  friend bool operator==(const ConfigChangeMsg&, const ConfigChangeMsg&) = default;
+};
+
+/// Request for the contents of a config handle the sender cannot resolve.
+struct ConfigFetchMsg {
+  Command cmd = 0;
+  friend bool operator==(const ConfigFetchMsg&, const ConfigFetchMsg&) = default;
+};
+
+/// RSM wire message: slot-tagged consensus traffic plus the batch and
+/// config sidecars.
+using Msg = std::variant<SlotMsg, BatchContentMsg, BatchFetchMsg, ConfigChangeMsg, ConfigFetchMsg>;
+
+/// One epoch of the configuration log.  `version` governs every slot in
+/// [boundary, next epoch's boundary): a config change decided in slot k
+/// takes effect at slot k+1 (stop-the-world, single-server change).
+/// `universe` is the quorum universe the per-slot SystemConfig uses — it
+/// only ever grows (a removed replica is treated as permanently crashed,
+/// which the protocol already tolerates, rather than shrinking quorums).
+struct ConfigEpoch {
+  std::int32_t version = 0;
+  std::int32_t boundary = 0;  ///< first slot this epoch governs
+  std::int32_t universe = 0;  ///< SystemConfig n for governed slots
+  std::vector<consensus::ProcessId> members;  ///< live membership
+  ConfigChange change;  ///< the change that created this epoch (empty at genesis)
+  friend bool operator==(const ConfigEpoch&, const ConfigEpoch&) = default;
+};
 
 struct Options {
   sim::Tick delta = 1;
@@ -112,6 +161,13 @@ struct SnapshotState {
   /// Batch contents still needed at/above the floor, plus any handle not
   /// yet decided (its slot is unknown, so it must survive the transfer).
   std::vector<std::pair<Command, std::vector<std::int64_t>>> batches;
+  /// The full configuration log, genesis epoch included.  A joiner adopts
+  /// the whole log (it starts with only genesis), which is how it learns
+  /// the membership it is entering.
+  std::vector<ConfigEpoch> epochs;
+  /// Config-handle contents not yet folded into an epoch (undecided or
+  /// decided-above-floor handles), by the same liveness rule as batches.
+  std::vector<std::pair<Command, ConfigChange>> configs;
 };
 
 /// Static message-type label: delegates to the inner protocol message.
@@ -120,7 +176,9 @@ struct SnapshotState {
 }
 [[nodiscard]] inline const char* message_name(const Msg& m) noexcept {
   if (const auto* s = std::get_if<SlotMsg>(&m)) return core::message_name(s->inner);
-  return std::holds_alternative<BatchContentMsg>(m) ? "BatchContent" : "BatchFetch";
+  if (std::holds_alternative<BatchContentMsg>(m)) return "BatchContent";
+  if (std::holds_alternative<BatchFetchMsg>(m)) return "BatchFetch";
+  return std::holds_alternative<ConfigChangeMsg>(m) ? "ConfigChange" : "ConfigFetch";
 }
 
 /// One replica: proxy + per-slot consensus participants + executor.
@@ -140,6 +198,13 @@ class RsmProcess {
   /// occupies the slot is internal.
   Command submit(std::int64_t payload);
 
+  /// Submits a membership change through the log.  Returns the config
+  /// handle that will occupy a slot (on_commit fires with it when the
+  /// change is chosen).  Stop-the-world: the handle is proposed only once
+  /// our own in-flight slots have drained, and nothing else of ours is
+  /// proposed past an undecided config handle.
+  Command submit_config(const ConfigChange& change);
+
   /// Cluster-harness adapter: submits the value's payload as a command.
   void propose(consensus::Value v) { submit(v.get()); }
 
@@ -156,6 +221,12 @@ class RsmProcess {
   std::function<void(Command cmd, sim::Tick submitted_at, std::int32_t slot)> on_commit;
   /// Cluster-harness adapter: fired on our first committed command.
   std::function<void(consensus::Value)> on_decide;
+  /// Fired when a config change is applied in log order (the slot it was
+  /// decided in, the change, and the epoch it created).  Config entries do
+  /// NOT fire on_apply — the executor log carries client commands only.
+  /// Also fired during snapshot install for each epoch adopted wholesale.
+  std::function<void(std::int32_t slot, const ConfigChange& change, const ConfigEpoch& epoch)>
+      on_config;
 
   // --- crash recovery (consumed by storage::Durable<RsmProcess>) ---
 
@@ -169,12 +240,19 @@ class RsmProcess {
   /// so each handle is reported exactly once.
   [[nodiscard]] std::vector<Command> drain_dirty_batches();
 
+  /// Config handles whose contents became known since the last drain —
+  /// same contract as drain_dirty_batches().
+  [[nodiscard]] std::vector<Command> drain_dirty_configs();
+
   /// The consensus instance of one slot, or null if the slot was never
   /// touched locally.
   [[nodiscard]] const core::TwoStepProcess* slot_process(std::int32_t slot) const;
 
   /// Contents of a batch handle, or null if unknown here.
   [[nodiscard]] const std::vector<std::int64_t>* batch_contents(Command cmd) const;
+
+  /// Contents of a config handle, or null if unknown here.
+  [[nodiscard]] const ConfigChange* config_contents(Command cmd) const;
 
   /// Reinstates one slot from its durable record: restores the inner
   /// acceptor state, re-registers a restored decision and re-applies the
@@ -183,6 +261,12 @@ class RsmProcess {
 
   /// Reinstates one batch's contents from its durable record.
   void restore_batch(Command cmd, std::vector<std::int64_t> payloads);
+
+  /// Reinstates one config handle's contents from its durable record.
+  /// Epochs themselves are not restored directly: replaying slot records
+  /// re-derives them through apply_contiguous (config records precede slot
+  /// records in the WAL, so the contents are present when needed).
+  void restore_config(Command cmd, const ConfigChange& change);
 
   // --- snapshots & compaction (consumed by storage::Snapshotable) ---
 
@@ -230,6 +314,29 @@ class RsmProcess {
   /// has nothing left to run).
   [[nodiscard]] std::vector<Message> decide_messages() const;
 
+  // --- configuration ---
+
+  /// The configuration log (genesis first).  Never empty.
+  [[nodiscard]] const std::vector<ConfigEpoch>& config_epochs() const noexcept { return epochs_; }
+
+  /// The latest epoch's version / membership.
+  [[nodiscard]] std::int32_t config_version() const noexcept { return epochs_.back().version; }
+  [[nodiscard]] const std::vector<consensus::ProcessId>& members() const noexcept {
+    return epochs_.back().members;
+  }
+  [[nodiscard]] bool has_member(consensus::ProcessId p) const;
+
+  /// The config version governing `slot` (the last epoch whose boundary
+  /// is <= slot).  Stamped on every outgoing SlotMsg and checked on every
+  /// incoming one.
+  [[nodiscard]] std::int32_t governing_version(std::int32_t slot) const;
+
+  /// Replaces the Ω leader hint for this replica and every live slot
+  /// instance, present and future.  The live runtime installs its failure
+  /// detector's output here; new ballots started by slot timers then race
+  /// only from the current leader.
+  void set_leader_of(std::function<consensus::ProcessId()> leader_of);
+
   // --- introspection ---
   [[nodiscard]] std::int32_t applied_prefix() const noexcept { return applied_; }
   [[nodiscard]] int decided_slots() const noexcept { return static_cast<int>(decisions_.size()); }
@@ -241,10 +348,11 @@ class RsmProcess {
     return static_cast<int>(open_batch_.entries.size());
   }
 
-  /// Largest client payload submit() accepts: 2^39-1 when batching is on
-  /// (bit 39 is the batch-handle flag), 2^40-1 otherwise.
+  /// Largest client payload submit() accepts: 2^39-1.  Bit 39 flags
+  /// batch/config handles, so it is reserved unconditionally (config
+  /// handles can occupy a slot even with batching off).
   [[nodiscard]] std::int64_t max_payload() const noexcept {
-    return (std::int64_t{1} << (options_.batch_max > 1 ? 39 : 40)) - 1;
+    return (std::int64_t{1} << 39) - 1;
   }
 
   /// Unpacks the proxy id from a command.
@@ -255,8 +363,11 @@ class RsmProcess {
   static std::int64_t command_payload(Command cmd) {
     return cmd & ((std::int64_t{1} << 40) - 1);
   }
-  /// True if the command is a batch handle rather than a client command.
-  static bool command_is_batch(Command cmd) { return (cmd >> 39) & 1; }
+  /// True if the command is a batch handle (bit 39 set, bit 38 clear)
+  /// rather than a client command.
+  static bool command_is_batch(Command cmd) { return ((cmd >> 38) & 3) == 2; }
+  /// True if the command is a config handle (bits 39 and 38 both set).
+  static bool command_is_config(Command cmd) { return ((cmd >> 38) & 3) == 3; }
 
  private:
   struct SlotEnv;
@@ -285,6 +396,11 @@ class RsmProcess {
   void seal_open_batch();
   void handle_batch_content(BatchContentMsg m);
   void request_batch_contents(Command cmd);
+  void handle_config_content(const ConfigChangeMsg& m);
+  void request_config_contents(Command cmd);
+  void apply_config_change(std::int32_t slot, const ConfigChange& change);
+  void rebuild_slots_from(std::int32_t boundary);
+  [[nodiscard]] const ConfigEpoch& governing_epoch(std::int32_t slot) const;
   void slot_decided(std::int32_t slot, consensus::Value v);
   void commit_own(const PendingCommand& pending, std::int32_t slot);
   void apply_contiguous();
@@ -302,6 +418,12 @@ class RsmProcess {
   OpenBatch open_batch_;
   std::map<Command, std::vector<std::int64_t>> batch_contents_;
   std::set<Command> dirty_batches_;
+  std::map<Command, ConfigChange> config_contents_;
+  std::set<Command> dirty_configs_;
+  /// The configuration log; epochs_[0] is genesis ({version 0, boundary 0,
+  /// the constructor-time SystemConfig}).  Appended only by
+  /// apply_config_change and snapshot install, in version order.
+  std::vector<ConfigEpoch> epochs_;
   /// Our sealed batches' inner (caller cmd, submit time) entries, kept
   /// until the batch commits so on_commit can fan out per command.
   std::map<Command, std::vector<std::pair<Command, sim::Tick>>> own_batch_entries_;
@@ -315,6 +437,7 @@ class RsmProcess {
   std::int32_t submit_cursor_ = 0;  ///< lowest slot we might still use
   std::int64_t next_local_id_ = 1;
   std::int64_t next_batch_seq_ = 1;
+  std::int64_t next_config_seq_ = 1;
   std::int64_t commits_ = 0;
   std::uint64_t next_timer_key_ = 1;
   bool first_commit_reported_ = false;

@@ -1,6 +1,7 @@
 #include "storage/durable.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "codec/codec.hpp"
 
@@ -31,6 +32,29 @@ bool decode_core_state(codec::Reader& r, core::TwoStepProcess::AcceptorState& ou
   out.initial = r.get_value();
   out.decided = r.get_value();
   return r.ok();
+}
+
+void put_config_change(codec::Writer& w, const rsm::ConfigChange& c) {
+  w.put_i64(static_cast<std::int64_t>(c.op));
+  w.put_i64(c.replica);
+  w.put_string(c.host);
+  w.put_i64(c.port);
+}
+
+bool get_config_change(codec::Reader& r, rsm::ConfigChange& out) {
+  const std::int64_t op = r.get_i64();
+  const std::int64_t replica = r.get_i64();
+  std::string host = r.get_string();
+  const std::int64_t port = r.get_i64();
+  if (!r.ok()) return false;
+  if (op < 0 || op > static_cast<std::int64_t>(rsm::ConfigChange::Op::kRemove)) return false;
+  if (replica < 0 || replica > std::numeric_limits<ProcessId>::max()) return false;
+  if (port < 0 || port > 65535) return false;
+  out.op = static_cast<rsm::ConfigChange::Op>(op);
+  out.replica = static_cast<ProcessId>(replica);
+  out.host = std::move(host);
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
 }
 
 }  // namespace
@@ -119,6 +143,19 @@ bool Durable<rsm::RsmProcess>::capture(rsm::RsmProcess& p, Wal& wal) {
     wal.append(std::move(w).take());
     appended = true;
   }
+  // Config-change contents, same ordering rule as batches: replaying a
+  // decided config slot re-derives the epoch via apply_contiguous, which
+  // needs the change on hand.
+  for (const rsm::Command cmd : p.drain_dirty_configs()) {
+    const rsm::ConfigChange* change = p.config_contents(cmd);
+    if (change == nullptr) continue;
+    codec::Writer w;
+    w.put_i64(kConfigRecordTag);
+    w.put_i64(cmd);
+    put_config_change(w, *change);
+    wal.append(std::move(w).take());
+    appended = true;
+  }
   for (const std::int32_t slot : p.drain_dirty_slots()) {
     const core::TwoStepProcess* proc = p.slot_process(slot);
     if (proc == nullptr) continue;
@@ -151,6 +188,14 @@ void Durable<rsm::RsmProcess>::replay(rsm::RsmProcess& p, std::span<const std::u
     ++replayed_batches_;
     return;
   }
+  if (r.ok() && slot == kConfigRecordTag) {
+    const rsm::Command cmd = r.get_i64();
+    rsm::ConfigChange change;
+    if (!r.ok() || !get_config_change(r, change) || !r.exhausted()) return;
+    p.restore_config(cmd, change);
+    ++replayed_configs_;
+    return;
+  }
   core::TwoStepProcess::AcceptorState s;
   if (!decode_core_state(r, s) || !r.exhausted()) return;
   if (!r.ok() || slot < 0 || slot > INT32_MAX) return;
@@ -169,6 +214,7 @@ void Durable<rsm::RsmProcess>::note_recovery(const rsm::RsmProcess& p,
                                              obs::MetricsRegistry& reg) {
   reg.counter("recover.slots").add(replayed_slots_);
   reg.counter("recover.batches").add(replayed_batches_);
+  reg.counter("recover.configs").add(replayed_configs_);
   reg.counter("recover.decided").add(static_cast<std::uint64_t>(p.decided_slots()));
   reg.counter("recover.applied").add(static_cast<std::uint64_t>(p.applied_prefix()));
   Ballot max_bal = 0;
@@ -288,6 +334,20 @@ std::vector<std::uint8_t> Snapshotable<rsm::RsmProcess>::capture(const rsm::RsmP
     w.put_i64(static_cast<std::int64_t>(payloads.size()));
     for (const std::int64_t payload : payloads) w.put_i64(payload);
   }
+  w.put_i64(static_cast<std::int64_t>(s.epochs.size()));
+  for (const rsm::ConfigEpoch& e : s.epochs) {
+    w.put_i64(e.version);
+    w.put_i64(e.boundary);
+    w.put_i64(e.universe);
+    w.put_i64(static_cast<std::int64_t>(e.members.size()));
+    for (const ProcessId m : e.members) w.put_i64(m);
+    put_config_change(w, e.change);
+  }
+  w.put_i64(static_cast<std::int64_t>(s.configs.size()));
+  for (const auto& [cmd, change] : s.configs) {
+    w.put_i64(cmd);
+    put_config_change(w, change);
+  }
   return std::move(w).take();
 }
 
@@ -338,6 +398,41 @@ bool Snapshotable<rsm::RsmProcess>::install(rsm::RsmProcess& p,
     for (std::int64_t j = 0; j < count; ++j) payloads.push_back(r.get_i64());
     if (!r.ok()) return false;
     s.batches.emplace_back(cmd, std::move(payloads));
+  }
+
+  n = r.get_i64();
+  if (!r.ok() || n < 1 || !plausible(n)) return false;  // genesis always present
+  s.epochs.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    rsm::ConfigEpoch e;
+    const std::int64_t version = r.get_i64();
+    const std::int64_t boundary = r.get_i64();
+    const std::int64_t universe = r.get_i64();
+    const std::int64_t members = r.get_i64();
+    if (!r.ok() || version < 0 || version > INT32_MAX || boundary < 0 || boundary > INT32_MAX ||
+        universe < 1 || universe > INT32_MAX || !plausible(members))
+      return false;
+    e.version = static_cast<std::int32_t>(version);
+    e.boundary = static_cast<std::int32_t>(boundary);
+    e.universe = static_cast<std::int32_t>(universe);
+    e.members.reserve(static_cast<std::size_t>(members));
+    for (std::int64_t j = 0; j < members; ++j) {
+      const std::int64_t m = r.get_i64();
+      if (!r.ok() || m < 0 || m > std::numeric_limits<ProcessId>::max()) return false;
+      e.members.push_back(static_cast<ProcessId>(m));
+    }
+    if (!get_config_change(r, e.change)) return false;
+    s.epochs.push_back(std::move(e));
+  }
+
+  n = r.get_i64();
+  if (!r.ok() || !plausible(n)) return false;
+  s.configs.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const rsm::Command cmd = r.get_i64();
+    rsm::ConfigChange change;
+    if (!r.ok() || !get_config_change(r, change)) return false;
+    s.configs.emplace_back(cmd, std::move(change));
   }
   if (!r.exhausted()) return false;
 

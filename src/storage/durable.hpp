@@ -151,9 +151,14 @@ struct Durable<rsm::RsmProcess> {
   /// whose leading varint is negative, so the format stays forward- and
   /// backward-compatible.
   static constexpr std::int64_t kBatchRecordTag = -1;
+  /// Record discriminator for config-change content records (same negative
+  /// tag space as batches).
+  static constexpr std::int64_t kConfigRecordTag = -2;
 
-  /// One record per newly-known batch (contents are immutable, logged
-  /// once), then one record per dirty slot whose encoded state changed.
+  /// One record per newly-known batch and config change (contents are
+  /// immutable, logged once), then one record per dirty slot whose encoded
+  /// state changed.  Sidecar contents precede slot records so a replayed
+  /// decision can always be expanded.
   bool capture(rsm::RsmProcess& p, Wal& wal);
   void replay(rsm::RsmProcess& p, std::span<const std::uint8_t> record);
   void note_recovery(const rsm::RsmProcess& p, obs::MetricsRegistry& reg);
@@ -167,6 +172,7 @@ struct Durable<rsm::RsmProcess> {
   std::map<std::int32_t, std::vector<std::uint8_t>> last_;  ///< slot -> encoded record
   std::uint64_t replayed_slots_ = 0;
   std::uint64_t replayed_batches_ = 0;
+  std::uint64_t replayed_configs_ = 0;
 };
 
 template <>
@@ -188,13 +194,16 @@ struct Durable<epaxos::EPaxosRsm> {
 
 template <>
 struct Snapshotable<rsm::RsmProcess> {
-  /// Blob format version (the leading varint).  v1 layout, all zigzag
-  /// varints:
+  /// Blob format version (the leading varint).  v2 layout, all zigzag
+  /// varints (strings length-prefixed):
   ///   version, floor,
   ///   applied_count, { slot, command } per applied entry,
   ///   slot_count, { slot, core acceptor tuple } per live slot,
-  ///   batch_count, { handle, payload_count, payloads... } per batch.
-  static constexpr std::int64_t kVersion = 1;
+  ///   batch_count, { handle, payload_count, payloads... } per batch,
+  ///   epoch_count, { version, boundary, universe, member_count, members...,
+  ///                  op, replica, host, port } per config epoch,
+  ///   config_count, { handle, op, replica, host, port } per pending change.
+  static constexpr std::int64_t kVersion = 2;
 
   /// Encodes RsmProcess::snapshot_state().  Stateless: capture never
   /// mutates the instance (unlike Durable::capture, which drains dirty

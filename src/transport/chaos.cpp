@@ -26,6 +26,14 @@ ChaosInjector::ChaosInjector(const ChaosConfig& config, consensus::ProcessId sel
   }
   for (const ChaosConfig::Partition& p : config.partitions)
     plan_.partition_cut(p.island, p.since_us, p.heal_us);
+  // Only the sender side injects chaos, so a blackhole whose `from` is not
+  // this node lives in some other node's injector — skip it here.
+  for (const ChaosConfig::Blackhole& b : config.blackholes) {
+    if (b.from != self) continue;
+    plan_.drop_if([b](sim::Tick now, consensus::ProcessId, consensus::ProcessId to) {
+      return to == b.to && now >= b.since_us && (b.heal_us < 0 || now < b.heal_us);
+    });
+  }
   if (geo_ != nullptr && (self < 0 || static_cast<std::size_t>(self) >= geo_regions_.size()))
     throw std::invalid_argument("ChaosConfig: geo region map does not cover replica " +
                                 std::to_string(self));

@@ -49,6 +49,19 @@ struct ChaosConfig {
   };
   std::vector<Partition> partitions;
 
+  /// Timed blackhole on ONE directed link: every frame from `from` to `to`
+  /// is dropped during [since_us, heal_us) of the sender's loop clock;
+  /// heal_us < 0 never heals.  The asymmetric sibling of Partition —
+  /// `from` still hears `to`, so a suspicion raised through the dead
+  /// direction must survive live traffic the other way.
+  struct Blackhole {
+    consensus::ProcessId from = 0;
+    consensus::ProcessId to = 0;
+    std::int64_t since_us = 0;
+    std::int64_t heal_us = -1;
+  };
+  std::vector<Blackhole> blackholes;
+
   /// WAN emulation: every non-dropped frame from p to q gains the matrix's
   /// one-way delay geo->one_way_us(geo_regions[p], geo_regions[q]) plus a
   /// per-directed-link uniform jitter in [0, geo->jitter_us()].  The delay
@@ -61,7 +74,7 @@ struct ChaosConfig {
 
   [[nodiscard]] bool enabled() const noexcept {
     return drop_rate > 0 || duplicate_rate > 0 || delay_rate > 0 || !partitions.empty() ||
-           geo != nullptr;
+           !blackholes.empty() || geo != nullptr;
   }
 };
 

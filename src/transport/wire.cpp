@@ -8,7 +8,7 @@ namespace twostep::transport {
 
 bool frame_kind_valid(std::uint8_t kind) noexcept {
   return kind >= static_cast<std::uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<std::uint8_t>(FrameKind::kEPaxos);
+         kind <= static_cast<std::uint8_t>(FrameKind::kCatchup);
 }
 
 void append_frame(std::vector<std::uint8_t>& out, FrameKind kind,

@@ -50,6 +50,11 @@ enum class FrameKind : std::uint8_t {
   kSnapshotRequest = 12,  ///< codec::encode(codec::SnapshotRequest): chunked fetch
   kSnapshotChunk = 13,    ///< codec::encode(codec::SnapshotChunk)
   kEPaxos = 14,           ///< codec::encode(epaxos::Message)
+  kConfig = 15,           ///< codec::encode_config(rsm config sidecar message)
+  kHeartbeat = 16,        ///< codec::encode(codec::Heartbeat): failure-detector ping
+  kHandover = 17,         ///< codec::encode(codec::Handover): leadership announcement
+  kConfigCmd = 18,        ///< codec::encode(codec::ConfigCommand): admin join/leave verb
+  kCatchup = 19,          ///< codec::encode(codec::Catchup): applied-prefix gossip
 };
 
 /// True iff `kind` is one of the FrameKind enumerators.

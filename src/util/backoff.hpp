@@ -1,0 +1,56 @@
+// Jittered exponential backoff, shared by every retry loop in the system.
+//
+// One policy, three users today: the snapshot state-transfer re-request
+// timer (node::Runtime), the client's cluster-redial loop (ClientSession)
+// and the failure detector's suspicion-timeout widening.  next() returns a
+// delay drawn uniformly from [current/2, current] — the half-open jitter
+// that keeps a herd of retriers from synchronizing — then doubles the
+// current value up to the cap.  reset() snaps back to the minimum (call it
+// after a success).  Deterministic for a fixed seed and call sequence,
+// like every other randomized component in the repo.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace twostep::util {
+
+class Backoff {
+ public:
+  /// `min_us` is the first delay's upper bound, `max_us` the exponential
+  /// cap; both are clamped to >= 1 so a zeroed config cannot spin-loop.
+  Backoff(std::int64_t min_us, std::int64_t max_us, std::uint64_t seed = 1)
+      : min_us_(std::max<std::int64_t>(1, min_us)),
+        max_us_(std::max(std::max<std::int64_t>(1, max_us), std::max<std::int64_t>(1, min_us))),
+        current_us_(min_us_),
+        rng_(seed) {}
+
+  /// The next delay: uniform in [current/2, current], then current doubles
+  /// (capped).  Always >= 1.
+  [[nodiscard]] std::int64_t next() {
+    const std::int64_t low = std::max<std::int64_t>(1, current_us_ / 2);
+    const std::int64_t span = current_us_ - low + 1;
+    const std::int64_t delay =
+        low + static_cast<std::int64_t>(rng_.next_below(static_cast<std::uint64_t>(span)));
+    current_us_ = std::min(current_us_ * 2, max_us_);
+    return delay;
+  }
+
+  /// Snaps the exponential state back to the minimum (after a success).
+  void reset() noexcept { current_us_ = min_us_; }
+
+  /// The undoubled delay the next call will draw from (for tests/metrics).
+  [[nodiscard]] std::int64_t current() const noexcept { return current_us_; }
+  [[nodiscard]] std::int64_t min() const noexcept { return min_us_; }
+  [[nodiscard]] std::int64_t max() const noexcept { return max_us_; }
+
+ private:
+  std::int64_t min_us_;
+  std::int64_t max_us_;
+  std::int64_t current_us_;
+  Rng rng_;
+};
+
+}  // namespace twostep::util

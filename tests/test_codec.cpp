@@ -124,8 +124,9 @@ TEST(Codec, EncodeIsDeterministic) {
 std::vector<rsm::SlotMsg> sample_slot_messages() {
   std::vector<rsm::SlotMsg> out;
   const std::int32_t slots[] = {0, 1, 7, 1'000'000, std::numeric_limits<std::int32_t>::max()};
+  std::int32_t cfg = 0;
   for (const std::int32_t slot : slots)
-    for (const auto& inner : sample_messages()) out.push_back({slot, inner});
+    for (const auto& inner : sample_messages()) out.push_back({slot, cfg++ % 3, inner});
   return out;
 }
 
@@ -191,8 +192,8 @@ TEST(Codec, ClientFramesRoundTrip) {
 
 TEST(Codec, SlotDecoderRejectsTruncationAndGarbage) {
   // A representative sample (the full cross-product is slow under ASan).
-  const rsm::SlotMsg m{42, core::Message{core::OneBMsg{5, 0, Value{9}, 3, Value::bottom(),
-                                                       Value{1}}}};
+  const rsm::SlotMsg m{42, 2, core::Message{core::OneBMsg{5, 0, Value{9}, 3, Value::bottom(),
+                                                          Value{1}}}};
   auto bytes = encode(m);
   for (std::size_t cut = 0; cut < bytes.size(); ++cut)
     EXPECT_FALSE(decode_slot({bytes.data(), cut}).has_value()) << "cut=" << cut;
@@ -201,10 +202,18 @@ TEST(Codec, SlotDecoderRejectsTruncationAndGarbage) {
   // Slot outside int32 must be rejected even when the varint itself parses.
   Writer w;
   w.put_i64(std::int64_t{1} << 40);
+  w.put_i64(0);
   auto oversize = std::move(w).take();
   const auto inner = encode(m.inner);
   oversize.insert(oversize.end(), inner.begin(), inner.end());
   EXPECT_FALSE(decode_slot(oversize).has_value());
+  // Negative config version is rejected the same way.
+  Writer w2;
+  w2.put_i64(3);
+  w2.put_i64(-1);
+  auto badcfg = std::move(w2).take();
+  badcfg.insert(badcfg.end(), inner.begin(), inner.end());
+  EXPECT_FALSE(decode_slot(badcfg).has_value());
 }
 
 TEST(Codec, FastPaxosDecoderRejectsTruncationAndGarbage) {
@@ -397,6 +406,197 @@ TEST(Codec, BatchDecoderSurvivesFuzz) {
   }
 }
 
+// ---- reconfiguration + failure-detector frames ----
+
+std::vector<rsm::Msg> sample_config_messages() {
+  const rsm::Command handle = (std::int64_t{3} << 38) | 7;  // bits 39+38 set
+  return {
+      rsm::Msg{rsm::ConfigChangeMsg{
+          handle, {rsm::ConfigChange::Op::kAdd, 5, "replica5.example.com", 7105}}},
+      rsm::Msg{rsm::ConfigChangeMsg{handle, {rsm::ConfigChange::Op::kAdd, 0, "", 0}}},
+      rsm::Msg{rsm::ConfigChangeMsg{
+          (std::int64_t{3} << 38) | 9999, {rsm::ConfigChange::Op::kRemove, 4, "", 0}}},
+      rsm::Msg{rsm::ConfigFetchMsg{handle}},
+      rsm::Msg{rsm::ConfigFetchMsg{(std::int64_t{3} << 38) | 1}},
+  };
+}
+
+TEST(Codec, ConfigMessagesRoundTrip) {
+  for (const auto& m : sample_config_messages()) {
+    const auto bytes = encode_config(m);
+    ASSERT_FALSE(bytes.empty());
+    const auto back = decode_config(bytes);
+    ASSERT_TRUE(back.has_value()) << "variant " << m.index();
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, ConfigDecoderRejectsTruncationAndGarbage) {
+  for (const auto& m : sample_config_messages()) {
+    auto bytes = encode_config(m);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_config({bytes.data(), cut}).has_value())
+          << "variant " << m.index() << " cut=" << cut;
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_config(bytes).has_value()) << "variant " << m.index();
+  }
+  EXPECT_FALSE(decode_config({}).has_value());
+  EXPECT_FALSE(decode_config(std::vector<std::uint8_t>{0x7F}).has_value());
+  EXPECT_FALSE(decode_config(std::vector<std::uint8_t>{0}).has_value());
+  // An op byte outside the enum must fail, not reinterpret.
+  {
+    Writer w;
+    w.put_u8(1);  // ConfigChange tag
+    w.put_i64((std::int64_t{3} << 38) | 7);
+    w.put_u8(2);  // op: kRemove is 1, 2 is garbage
+    w.put_i64(5);
+    w.put_string("h");
+    w.put_i64(80);
+    EXPECT_FALSE(decode_config(std::move(w).take()).has_value());
+  }
+  // A host length pointing past the buffer must fail cleanly, not read it.
+  {
+    Writer w;
+    w.put_u8(1);
+    w.put_i64((std::int64_t{3} << 38) | 7);
+    w.put_u8(0);
+    w.put_i64(5);
+    w.put_i64(1'000'000);  // string length
+    EXPECT_FALSE(decode_config(std::move(w).take()).has_value());
+  }
+}
+
+TEST(Codec, HeartbeatAndHandoverRoundTrip) {
+  for (const auto& m : {Heartbeat{0, 0}, Heartbeat{5, 3},
+                        Heartbeat{std::numeric_limits<consensus::ProcessId>::max(),
+                                  std::numeric_limits<std::int32_t>::max()}}) {
+    const auto back = decode_heartbeat(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+  for (const auto& m : {Handover{0, 0}, Handover{2, 1},
+                        Handover{std::numeric_limits<consensus::ProcessId>::max(),
+                                 std::numeric_limits<std::int32_t>::max()}}) {
+    const auto back = decode_handover(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, CatchupRoundTrip) {
+  for (const auto& m : {Catchup{0, 0}, Catchup{5, 1234567},
+                        Catchup{std::numeric_limits<consensus::ProcessId>::max(),
+                                std::numeric_limits<std::int64_t>::max()}}) {
+    const auto back = decode_catchup(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, CatchupRejectsTruncationAndGarbage) {
+  auto bytes = encode(Catchup{3, 98765});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+    EXPECT_FALSE(decode_catchup({bytes.data(), cut}).has_value()) << "cut=" << cut;
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_catchup(bytes).has_value());
+  // Negative sender or applied prefix: the writer would never produce them.
+  for (const auto& [from, applied] :
+       {std::pair<std::int64_t, std::int64_t>{-1, 0},
+        {std::int64_t{1} << 40, 0},
+        {0, -1}}) {
+    Writer w;
+    w.put_i64(from);
+    w.put_i64(applied);
+    EXPECT_FALSE(decode_catchup(std::move(w).take()).has_value())
+        << from << " " << applied;
+  }
+}
+
+TEST(Codec, HeartbeatAndHandoverRejectTruncationAndGarbage) {
+  {
+    auto bytes = encode(Heartbeat{3, 12345});
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_heartbeat({bytes.data(), cut}).has_value()) << "cut=" << cut;
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_heartbeat(bytes).has_value());
+  }
+  {
+    auto bytes = encode(Handover{3, 12345});
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+      EXPECT_FALSE(decode_handover({bytes.data(), cut}).has_value()) << "cut=" << cut;
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_handover(bytes).has_value());
+  }
+  // Negative sender or version: a varint the writer would never produce.
+  for (const std::int64_t from : {std::int64_t{-1}, std::int64_t{1} << 40}) {
+    Writer w;
+    w.put_i64(from);
+    w.put_i64(0);
+    const auto bytes = std::move(w).take();
+    EXPECT_FALSE(decode_heartbeat(bytes).has_value()) << from;
+    EXPECT_FALSE(decode_handover(bytes).has_value()) << from;
+  }
+  {
+    Writer w;
+    w.put_i64(1);
+    w.put_i64(-3);
+    const auto bytes = std::move(w).take();
+    EXPECT_FALSE(decode_heartbeat(bytes).has_value());
+    EXPECT_FALSE(decode_handover(bytes).has_value());
+  }
+}
+
+TEST(Codec, ConfigCommandRoundTrip) {
+  const std::vector<ConfigCommand> samples = {
+      {0, {rsm::ConfigChange::Op::kAdd, 3, "127.0.0.1", 7103}},
+      {1, {rsm::ConfigChange::Op::kRemove, 4, "", 0}},
+      {std::numeric_limits<std::int64_t>::max(),
+       {rsm::ConfigChange::Op::kAdd, std::numeric_limits<consensus::ProcessId>::max(),
+        std::string(300, 'h'), 65535}},
+  };
+  for (const auto& m : samples) {
+    const auto back = decode_config_command(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, ConfigCommandRejectsTruncationAndGarbage) {
+  auto bytes = encode(ConfigCommand{7, {rsm::ConfigChange::Op::kAdd, 5, "host", 9000}});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+    EXPECT_FALSE(decode_config_command({bytes.data(), cut}).has_value()) << "cut=" << cut;
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_config_command(bytes).has_value());
+  // Negative correlation id, out-of-range port, bad op byte.
+  {
+    Writer w;
+    w.put_i64(-1);
+    w.put_u8(0);
+    w.put_i64(5);
+    w.put_string("h");
+    w.put_i64(80);
+    EXPECT_FALSE(decode_config_command(std::move(w).take()).has_value());
+  }
+  {
+    Writer w;
+    w.put_i64(1);
+    w.put_u8(0);
+    w.put_i64(5);
+    w.put_string("h");
+    w.put_i64(70'000);
+    EXPECT_FALSE(decode_config_command(std::move(w).take()).has_value());
+  }
+  {
+    Writer w;
+    w.put_i64(1);
+    w.put_u8(9);
+    w.put_i64(5);
+    w.put_string("h");
+    w.put_i64(80);
+    EXPECT_FALSE(decode_config_command(std::move(w).take()).has_value());
+  }
+}
+
 // ---- trace-context propagation and stats scrape frames (PR 6) ----
 
 std::vector<obs::TraceContext> sample_traces() {
@@ -411,7 +611,8 @@ std::vector<obs::TraceContext> sample_traces() {
 std::vector<TracedFrame> sample_traced_frames() {
   std::vector<TracedFrame> out;
   for (const auto& trace : sample_traces()) {
-    out.push_back({4, trace, encode(rsm::SlotMsg{3, core::Message{core::TwoBMsg{0, Value{8}}}})});
+    out.push_back(
+        {4, trace, encode(rsm::SlotMsg{3, 0, core::Message{core::TwoBMsg{0, Value{8}}}})});
     out.push_back({5, trace, encode(ClientRequest{1, 42, 0, trace})});
     out.push_back({9, trace, {}});  // empty inner payload is legal
   }
@@ -628,6 +829,12 @@ TEST(Codec, AllDecodersSurviveTheSameFuzzStream) {
       EXPECT_EQ(*decode_snapshot_request(encode(*m)), *m);
     if (const auto m = decode_snapshot_chunk(bytes))
       EXPECT_EQ(*decode_snapshot_chunk(encode(*m)), *m);
+    if (const auto m = decode_config(bytes)) EXPECT_EQ(*decode_config(encode_config(*m)), *m);
+    if (const auto m = decode_heartbeat(bytes)) EXPECT_EQ(*decode_heartbeat(encode(*m)), *m);
+    if (const auto m = decode_handover(bytes)) EXPECT_EQ(*decode_handover(encode(*m)), *m);
+    if (const auto m = decode_catchup(bytes)) EXPECT_EQ(*decode_catchup(encode(*m)), *m);
+    if (const auto m = decode_config_command(bytes))
+      EXPECT_EQ(*decode_config_command(encode(*m)), *m);
   }
 }
 

@@ -3,11 +3,13 @@
 // and identical logs under randomized partial synchrony.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "consensus/scenario.hpp"
+#include "mock_env.hpp"
 #include "net/latency.hpp"
 #include "rsm/rsm.hpp"
 
@@ -266,12 +268,14 @@ TEST(Rsm, BatchLingerHoldsTheBatchOpen) {
 }
 
 TEST(Rsm, BatchingTightensThePayloadLimit) {
+  // Bit 39 flags batch/config handles, so the payload cap is 2^39-1 with
+  // or without batching (config handles can occupy a slot either way).
   const SystemConfig cfg{3, 1, 1};
   auto r = make_batched_rsm(cfg, 8, 0);
   EXPECT_EQ(r->cluster().process(0).max_payload(), (std::int64_t{1} << 39) - 1);
   EXPECT_THROW(r->cluster().process(0).submit(std::int64_t{1} << 39), std::invalid_argument);
   auto plain = make_sync_rsm(cfg);
-  EXPECT_EQ(plain->cluster().process(0).max_payload(), (std::int64_t{1} << 40) - 1);
+  EXPECT_EQ(plain->cluster().process(0).max_payload(), (std::int64_t{1} << 39) - 1);
 }
 
 TEST(Rsm, DecideMessagesCarryBatchContentsBeforeDecides) {
@@ -340,6 +344,126 @@ TEST(Rsm, PipelineWindowBoundsOwnSlotsInFlight) {
   EXPECT_EQ(committed, 6);
   EXPECT_EQ(r->cluster().process(0).applied_prefix(), 6);
   EXPECT_EQ(r->cluster().process(0).pending_own_commands(), 0);
+}
+
+// ---- membership reconfiguration through the log ----
+
+TEST(Rsm, ConfigChangeCreatesTheSameEpochOnEveryReplica) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  std::int32_t config_slot = -1;
+  r->cluster().process(0).on_config = [&](std::int32_t slot, const ConfigChange& change,
+                                          const ConfigEpoch& epoch) {
+    config_slot = slot;
+    EXPECT_EQ(change.op, ConfigChange::Op::kAdd);
+    EXPECT_EQ(change.replica, 5);
+    EXPECT_EQ(epoch.version, 1);
+  };
+  r->cluster().start_all();
+  r->cluster().process(0).submit(7);
+  // NB: the sim cluster cannot physically grow, so nothing is proposed
+  // after the add (a post-boundary slot would broadcast to the absent
+  // replica 5); the live LiveReconfig tests drive traffic across an add.
+  r->cluster().process(0).submit_config({ConfigChange::Op::kAdd, 5, "replica5", 7105});
+  r->cluster().run();
+  ASSERT_GE(config_slot, 0);
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    auto& proc = r->cluster().process(p);
+    const auto& epochs = proc.config_epochs();
+    ASSERT_EQ(epochs.size(), 2u) << "p" << p;
+    EXPECT_EQ(epochs[0].version, 0) << "p" << p;
+    EXPECT_EQ(epochs[0].universe, cfg.n) << "p" << p;
+    EXPECT_EQ(epochs[1].version, 1) << "p" << p;
+    EXPECT_EQ(epochs[1].universe, cfg.n + 1) << "p" << p;
+    // A change decided in slot k governs from slot k+1.
+    EXPECT_EQ(epochs[1].boundary, config_slot + 1) << "p" << p;
+    EXPECT_EQ(proc.governing_version(config_slot), 0) << "p" << p;
+    EXPECT_EQ(proc.governing_version(config_slot + 1), 1) << "p" << p;
+    EXPECT_TRUE(std::find(epochs[1].members.begin(), epochs[1].members.end(), 5) !=
+                epochs[1].members.end())
+        << "p" << p;
+    // The client command applied; the config handle itself never enters
+    // the executor log.
+    EXPECT_EQ(proc.applied_entries().size(), 1u) << "p" << p;
+    for (const auto& [slot, cmd] : proc.applied_entries())
+      EXPECT_FALSE(RsmProcess::command_is_config(cmd)) << "p" << p;
+  }
+}
+
+TEST(Rsm, RemovalKeepsTheUniverseAndShrinksMembership) {
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  r->cluster().start_all();
+  r->cluster().process(0).submit_config({ConfigChange::Op::kRemove, 4, "", 0});
+  r->cluster().process(1).submit(11);  // post-change traffic still commits
+  r->cluster().run();
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    auto& proc = r->cluster().process(p);
+    const auto& epochs = proc.config_epochs();
+    ASSERT_EQ(epochs.size(), 2u) << "p" << p;
+    EXPECT_EQ(proc.config_version(), 1) << "p" << p;
+    // The universe only grows: the removed replica is treated as crashed,
+    // not erased from the quorum arithmetic.
+    EXPECT_EQ(epochs[1].universe, cfg.n) << "p" << p;
+    EXPECT_TRUE(std::find(epochs[1].members.begin(), epochs[1].members.end(), 4) ==
+                epochs[1].members.end())
+        << "p" << p;
+    EXPECT_EQ(epochs[1].members.size(), static_cast<std::size_t>(cfg.n - 1)) << "p" << p;
+  }
+  // The log still serves client commands after the change.
+  EXPECT_EQ(r->cluster().process(0).applied_entries().size(), 1u);
+}
+
+TEST(Rsm, CrossEpochSlotFramesAreDropped) {
+  // A frame stamped with the wrong governing version for its slot must be
+  // ignored outright — a quorum may only count voters of the same epoch.
+  testing::MockEnv<Msg> env(1, 5);
+  Options options;
+  options.delta = kDelta;
+  RsmProcess proc(env, SystemConfig{5, 2, 2}, options);
+  proc.start();
+  env.clear_sent();
+  // Governing version of slot 0 at genesis is 0: a stale/future stamp is
+  // dropped without a reply, the correct stamp draws the 1B answer.
+  proc.on_message(0, Msg{SlotMsg{0, 1, core::Message{core::OneAMsg{10}}}});
+  EXPECT_TRUE(env.sent().empty());
+  proc.on_message(0, Msg{SlotMsg{0, 0, core::Message{core::OneAMsg{10}}}});
+  EXPECT_FALSE(env.sent().empty());
+}
+
+TEST(Rsm, SnapshotStateCarriesTheConfigLog) {
+  // A joiner installs a snapshot and must come out knowing the membership:
+  // the full epoch log travels and on_config fires for each adopted epoch.
+  const SystemConfig cfg{5, 2, 2};
+  auto r = make_sync_rsm(cfg);
+  r->cluster().start_all();
+  r->cluster().process(0).submit(1);
+  // No traffic after the add: the sim cluster cannot grow (see above).
+  r->cluster().process(0).submit_config({ConfigChange::Op::kAdd, 5, "replica5", 7105});
+  r->cluster().run();
+  const SnapshotState s = r->cluster().process(0).snapshot_state();
+  ASSERT_EQ(s.epochs.size(), 2u);
+  EXPECT_EQ(s.epochs[1].version, 1);
+  EXPECT_EQ(s.epochs[1].change.replica, 5);
+  EXPECT_EQ(s.epochs[1].change.host, "replica5");
+  EXPECT_EQ(s.epochs[1].change.port, 7105);
+
+  testing::MockEnv<Msg> env(5, 5);
+  Options options;
+  options.delta = kDelta;
+  RsmProcess joiner(env, cfg, options);
+  joiner.start();
+  std::vector<std::int32_t> adopted_versions;
+  joiner.on_config = [&](std::int32_t, const ConfigChange&, const ConfigEpoch& epoch) {
+    adopted_versions.push_back(epoch.version);
+  };
+  joiner.install_snapshot_state(s);
+  EXPECT_EQ(adopted_versions, (std::vector<std::int32_t>{1}));
+  ASSERT_EQ(joiner.config_epochs().size(), 2u);
+  EXPECT_EQ(joiner.config_version(), 1);
+  EXPECT_EQ(joiner.config_epochs()[1].universe, cfg.n + 1);
+  // The applied log came with it, slot-aligned with the donor's.
+  EXPECT_EQ(joiner.applied_entries(), r->cluster().process(0).applied_entries());
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "transport/chaos.hpp"
 #include "transport/event_loop.hpp"
 #include "transport/tcp.hpp"
 #include "transport/wire.hpp"
@@ -332,6 +333,34 @@ TEST(TransportLoop, AllTimersCancelledMeansBlockingWait) {
   for (int i = 0; i < 64; ++i) ids.push_back(loop.schedule_after(1'000 + i, [] {}));
   for (const std::uint64_t id : ids) EXPECT_TRUE(loop.cancel_timer(id));
   EXPECT_EQ(loop.next_timeout_hint_ms(), -1) << "empty-after-drain heap must block indefinitely";
+}
+
+// ---- directed-link blackholes (chaos) -------------------------------------
+
+TEST(ChaosBlackhole, DropsExactlyTheConfiguredDirectionAndWindow) {
+  transport::ChaosConfig config;
+  config.blackholes.push_back({/*from=*/0, /*to=*/1, /*since_us=*/100, /*heal_us=*/200});
+  transport::ChaosInjector at_sender(config, /*self=*/0);
+  // Inside the window, 0 -> 1 is dead; 0 -> 2 is untouched.
+  EXPECT_TRUE(at_sender.decide(150, 1).dropped());
+  EXPECT_FALSE(at_sender.decide(150, 2).dropped());
+  // Outside the window the link is healthy in both temporal directions.
+  EXPECT_FALSE(at_sender.decide(99, 1).dropped());
+  EXPECT_FALSE(at_sender.decide(200, 1).dropped());
+  // The reverse direction lives in 1's injector and is NOT configured:
+  // asymmetric by construction, unlike a partition.
+  transport::ChaosInjector at_receiver(config, /*self=*/1);
+  EXPECT_FALSE(at_receiver.decide(150, 0).dropped());
+}
+
+TEST(ChaosBlackhole, NegativeHealNeverHeals) {
+  transport::ChaosConfig config;
+  config.blackholes.push_back({/*from=*/2, /*to=*/0, /*since_us=*/0, /*heal_us=*/-1});
+  EXPECT_TRUE(config.enabled());
+  transport::ChaosInjector inj(config, /*self=*/2);
+  EXPECT_TRUE(inj.decide(0, 0).dropped());
+  EXPECT_TRUE(inj.decide(10'000'000, 0).dropped());
+  EXPECT_FALSE(inj.decide(10'000'000, 1).dropped());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "util/backoff.hpp"
 #include "util/combinatorics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -234,6 +235,56 @@ TEST(Combinations, LexicographicOrder) {
   const std::vector<std::vector<int>> expected = {{0, 1}, {0, 2}, {0, 3},
                                                   {1, 2}, {1, 3}, {2, 3}};
   EXPECT_EQ(cs, expected);
+}
+
+TEST(Backoff, DelaysStayJitteredAndDoubleToTheCap) {
+  Backoff b(1'000, 8'000, 42);
+  // Draw k: uniform in [current/2, current] with current = min * 2^k,
+  // saturating at the cap.
+  std::int64_t expected_current = 1'000;
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(b.current(), expected_current) << "k" << k;
+    const std::int64_t d = b.next();
+    EXPECT_GE(d, expected_current / 2) << "k" << k;
+    EXPECT_LE(d, expected_current) << "k" << k;
+    expected_current = std::min<std::int64_t>(expected_current * 2, 8'000);
+  }
+  EXPECT_EQ(b.current(), 8'000);
+}
+
+TEST(Backoff, ResetSnapsBackToTheMinimum) {
+  Backoff b(500, 64'000, 7);
+  for (int k = 0; k < 5; ++k) (void)b.next();
+  EXPECT_GT(b.current(), 500);
+  b.reset();
+  EXPECT_EQ(b.current(), 500);
+  const std::int64_t d = b.next();
+  EXPECT_GE(d, 250);
+  EXPECT_LE(d, 500);
+}
+
+TEST(Backoff, DeterministicForAFixedSeed) {
+  Backoff a(1'000, 32'000, 99), b(1'000, 32'000, 99), c(1'000, 32'000, 100);
+  bool diverged = false;
+  for (int k = 0; k < 8; ++k) {
+    const std::int64_t da = a.next();
+    EXPECT_EQ(da, b.next()) << "k" << k;
+    if (da != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // different seed, different jitter stream
+}
+
+TEST(Backoff, ZeroedConfigCannotSpinLoop) {
+  Backoff b(0, 0, 1);
+  EXPECT_EQ(b.min(), 1);
+  EXPECT_EQ(b.max(), 1);
+  for (int k = 0; k < 4; ++k) EXPECT_GE(b.next(), 1);
+  // An inverted range is repaired, not UB: the cap rises to the minimum.
+  Backoff inverted(10'000, 100, 1);
+  EXPECT_EQ(inverted.max(), 10'000);
+  const std::int64_t d = inverted.next();
+  EXPECT_GE(d, 5'000);
+  EXPECT_LE(d, 10'000);
 }
 
 }  // namespace

@@ -101,6 +101,7 @@
 //              [--commands K] [--seed S]
 //              [--kill-period-ms P] [--down-ms D] [--soak-ms T] [--think-us T]
 //              [--drop R] [--dup R] [--delay R] [--delay-max-us U]
+//              [--partition K] [--partition-ms D] [--failover] [--reconfig]
 //              [--delta-us D] [--storage-dir DIR] [--no-fsync]
 //              [--group-commit-us G] [--snapshot-every K]
 //              [--wal-segment-bytes B] [--metrics-out FILE]
@@ -124,8 +125,26 @@
 //       --metrics-out additionally captures the recovery-cycle and
 //       failover-latency histograms (recover.cycle_us,
 //       recover.downtime_us, client.failover_rtt_us).
+//       --partition K  inject K seeded blackhole windows, each severing one
+//                      random DIRECTED link for --partition-ms (default
+//                      max(down-ms, 200)) somewhere inside the soak —
+//                      asymmetric loss, the case a symmetric partition
+//                      never exercises.
+//       --failover     arm the Ω failure detector on every replica
+//                      (heartbeats + jittered suspicion + handover; see
+//                      `serve`), so a killed leader costs one bounded
+//                      suspicion window instead of a 5Δ ballot race.
+//       --reconfig     (rsm only) replace a replica mid-soak: at soak/3 a
+//                      brand-new joiner (id n) is added through the config
+//                      log and healed by snapshot state transfer; at
+//                      2*soak/3 replica n-1 is removed.  The same audit
+//                      runs across the change (the joiner must catch up to
+//                      the founders' applied head; the removed replica's
+//                      frozen log must stay a consistent prefix).  Pace
+//                      with --think-us so the workload spans both windows.
 //       Exit status 2 on any invariant violation, 1 on lost/rejected
-//       commands or a mesh failure.
+//       commands, a mesh failure, or a --reconfig run whose join/remove
+//       windows never fired or whose joiner never healed.
 //
 //   twostep_cli loadgen [-n N] [--rate R] [--sessions S] [--connections C]
 //              [--duration-ms T] [--drain-ms T] [--fixed] [--spread]
@@ -154,7 +173,10 @@
 //              [--e E] [--f F] [--delta-us D] [--metrics-out FILE]
 //              [--stats-interval-ms T] [--storage-dir DIR] [--no-fsync]
 //              [--group-commit-us G] [--snapshot-every K]
-//              [--wal-segment-bytes B]
+//              [--wal-segment-bytes B] [--listen H:P] [--failover]
+//              [--failover-period-us P] [--failover-timeout-min-us T]
+//              [--failover-timeout-max-us T] [--transfer-retry-min-us T]
+//              [--transfer-retry-max-us T]
 //       Host replica I of a real multi-process cluster.  --peers lists
 //       every replica's listen endpoint in id order (entry I is ours).
 //       --storage-dir persists the replica's WAL + snapshots under
@@ -162,6 +184,34 @@
 //       checkpoint-and-truncate every K logged records (rsm only).
 //       Runs until SIGINT/SIGTERM, then shuts down cleanly and optionally
 //       writes the node's metrics.
+//       --id N --listen H:P  (N == the peer count) start as a JOINER: a
+//                      brand-new replica outside the listed universe that
+//                      dials the members and waits for a `join` command to
+//                      admit it, at which point the members dial back and
+//                      heal it by snapshot state transfer (rsm only).
+//       --failover     arm the Ω failure detector: every replica heartbeats
+//                      every --failover-period-us (default 50 ms), suspects
+//                      a peer unheard for a jittered timeout drawn from
+//                      [--failover-timeout-min-us, --failover-timeout-max-us]
+//                      (defaults 250 ms / 2 s; doubled per false suspicion),
+//                      and elects the lowest unsuspected member, which
+//                      announces itself with a handover frame.  The elected
+//                      leader drives new ballots for stranded slots, so a
+//                      killed leader costs one bounded suspicion window.
+//       --transfer-retry-min-us / --transfer-retry-max-us  snapshot state
+//                      transfer redial backoff bounds (jittered exponential;
+//                      defaults 300 ms / 2 s).
+//
+//   twostep_cli join <host:port> --replica I --address H:P [--timeout-ms T]
+//       Admit replica I (serving as a joiner at H:P) into the cluster:
+//       submits a kAdd config command through the live member <host:port>
+//       and waits for the change to COMMIT in the replicated log.  Exit 0
+//       only on commit; nonzero on timeout, rejection, or connect failure.
+//
+//   twostep_cli leave <host:port> --replica I [--timeout-ms T]
+//       Retire replica I: submits the kRemove config command through
+//       <host:port> and waits for the commit.  The survivors treat I as
+//       permanently crashed (its slot in the universe is never reused).
 //
 //   twostep_cli client --connect H:P [--commands K] [--value V]
 //       Closed-loop client against a running replica: K sequential
@@ -180,8 +230,10 @@
 //       node's twostep-stats/1 JSON snapshot (uptime counters, transport
 //       traffic, every metric histogram) to stdout.  Works against any
 //       live node — serve, localcluster or a bench cluster — with no
-//       handshake.
+//       handshake.  --timeout-ms (default 5000) bounds the dial AND the
+//       reply wait; both paths exit nonzero on expiry.
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -815,7 +867,30 @@ node::StorageOptions storage_options(const Args& args) {
       static_cast<std::uint64_t>(args.get_int("snapshot-every", 0));
   storage.wal_segment_bytes = static_cast<std::uint64_t>(
       args.get_int("wal-segment-bytes", static_cast<long>(storage.wal_segment_bytes)));
+  storage.transfer_retry_min_us = args.get_int(
+      "transfer-retry-min-us", static_cast<long>(storage.transfer_retry_min_us));
+  storage.transfer_retry_max_us = args.get_int(
+      "transfer-retry-max-us", static_cast<long>(storage.transfer_retry_max_us));
   return storage;
+}
+
+/// The failure-detector flag family, forwarded by every subcommand that
+/// hosts a runtime:
+///   --failover                  heartbeats + Ω leader election on the loop
+///   --failover-period-us P      heartbeat cadence (default 50 ms)
+///   --failover-timeout-min-us / --failover-timeout-max-us
+///                               suspicion window bounds; jittered, and
+///                               doubled per false suspicion up to the max
+node::FailoverOptions failover_options(const Args& args) {
+  node::FailoverOptions failover;
+  failover.enabled = args.has("failover");
+  failover.period_us = args.get_int("failover-period-us", static_cast<long>(failover.period_us));
+  failover.timeout_min_us =
+      args.get_int("failover-timeout-min-us", static_cast<long>(failover.timeout_min_us));
+  failover.timeout_max_us =
+      args.get_int("failover-timeout-max-us", static_cast<long>(failover.timeout_max_us));
+  failover.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return failover;
 }
 
 /// The one place the geo flag family is parsed — every subcommand that
@@ -879,6 +954,7 @@ std::optional<node::ClusterOptions> local_cluster_options(const Args& args, int 
   options.trace = args.has("trace-dir");
   options.stats_interval_ms = static_cast<int>(args.get_int("stats-interval-ms", 0));
   options.storage = storage_options(args);
+  options.failover = failover_options(args);
   if (!apply_geo_options(args, n, options.chaos)) return std::nullopt;
   return options;
 }
@@ -1160,6 +1236,37 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
   if (!apply_geo_options(args, n, cluster_options.chaos)) return 1;
   if (cluster_options.chaos.geo)
     std::printf("geo emulation: %s\n", geo_banner(cluster_options.chaos).c_str());
+  cluster_options.failover = failover_options(args);
+
+  // --partition K: K seeded blackhole windows, each severing one random
+  // directed link for --partition-ms somewhere inside the soak.  Asymmetric
+  // on purpose — the victim still hears the blinded sender, so the failure
+  // detector's suspicion/backoff logic faces one-way loss, the case a
+  // symmetric partition never exercises.
+  const long partition_count = args.get_int("partition", 0);
+  const long partition_ms = args.get_int("partition-ms", std::max<long>(down_ms, 200));
+  if (partition_count > 0 && n > 1) {
+    util::Rng prng{util::splitmix64(seed, 0xB1ACB01EULL)};
+    for (long i = 0; i < partition_count; ++i) {
+      transport::ChaosConfig::Blackhole hole;
+      hole.from =
+          static_cast<consensus::ProcessId>(prng.next_below(static_cast<std::uint64_t>(n)));
+      hole.to =
+          static_cast<consensus::ProcessId>(prng.next_below(static_cast<std::uint64_t>(n - 1)));
+      if (hole.to >= hole.from) ++hole.to;
+      const std::int64_t span = std::max<std::int64_t>(soak_ms - partition_ms, 1);
+      hole.since_us =
+          static_cast<std::int64_t>(prng.next_below(static_cast<std::uint64_t>(span))) * 1000;
+      hole.heal_us = hole.since_us + partition_ms * 1000;
+      cluster_options.chaos.blackholes.push_back(hole);
+    }
+  }
+
+  // --reconfig: replace one replica mid-soak — a brand-new joiner healed by
+  // snapshot state transfer at soak/3, the highest founder retired at
+  // 2*soak/3 — while the crash schedule keeps firing.  rsm only (the config
+  // log lives in the slot RSM).
+  const bool do_reconfig = args.has("reconfig");
 
   const node::CrashSchedule schedule =
       node::CrashSchedule::generate(seed, n, f, soak_ms, period_ms, down_ms);
@@ -1169,6 +1276,17 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
       protocol.c_str(), n, e, f, commands, schedule.rounds.size(), period_ms, down_ms,
       cluster_options.chaos.drop_rate, cluster_options.chaos.duplicate_rate,
       cluster_options.chaos.delay_rate, storage_dir.c_str());
+  if (cluster_options.failover.enabled)
+    std::printf("failure detector: on (period %lld us, suspicion %lld-%lld us)\n",
+                static_cast<long long>(cluster_options.failover.period_us),
+                static_cast<long long>(cluster_options.failover.timeout_min_us),
+                static_cast<long long>(cluster_options.failover.timeout_max_us));
+  if (partition_count > 0)
+    std::printf("link blackholes: %ld window(s) of %ld ms on random directed links\n",
+                partition_count, partition_ms);
+  if (do_reconfig)
+    std::printf("reconfig: add replica %d at %ld ms, remove replica %d at %ld ms\n", n,
+                soak_ms / 3, n - 1, 2 * soak_ms / 3);
 
   node::LocalCluster<P> cluster(n, std::move(make), cluster_options);
   if (!cluster.wait_for_mesh()) {
@@ -1217,6 +1335,29 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
     }
   });
 
+  // Reconfig driver: one replica replacement mid-soak, racing the crash
+  // schedule.  The joiner (id n) is outside the schedule's kill pool; the
+  // victim may still be killed/restarted after removal, which is exactly
+  // the treat-as-crashed semantics the audit must survive.
+  std::atomic<int> joiner_id{-1};
+  std::atomic<int> removed_id{-1};
+  std::thread reconfig_driver;
+  if (do_reconfig) {
+    reconfig_driver = std::thread([&] {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto sleep_until = [&](std::chrono::steady_clock::time_point when) {
+        while (!done.load(std::memory_order_relaxed) &&
+               std::chrono::steady_clock::now() < when)
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return !done.load(std::memory_order_relaxed);
+      };
+      if (!sleep_until(t0 + std::chrono::milliseconds(soak_ms / 3))) return;
+      joiner_id.store(cluster.add_replica(), std::memory_order_relaxed);
+      if (!sleep_until(t0 + std::chrono::milliseconds(2 * soak_ms / 3))) return;
+      if (cluster.remove_replica(n - 1)) removed_id.store(n - 1, std::memory_order_relaxed);
+    });
+  }
+
   // Closed-loop failover workload over the full replica list, recording
   // which payloads were acknowledged (the durability invariant's input).
   obs::MetricsRegistry client_metrics;
@@ -1226,6 +1367,7 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
   if (!client.connect()) {
     done.store(true);
     driver.join();
+    if (reconfig_driver.joinable()) reconfig_driver.join();
     std::fprintf(stderr, "chaossoak: client could not connect\n");
     return 1;
   }
@@ -1246,35 +1388,53 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
   }
   done.store(true);
   driver.join();
+  if (reconfig_driver.joinable()) reconfig_driver.join();
 
   // Let the trailing Decides propagate, then snapshot every applied log.
   // Drain until every alive node has *applied every acked payload* — a raw
   // size >= ok check is satisfiable by at-least-once duplicates while the
   // final commands are still mid-recovery, which stops the cluster early
   // and shows up as a phantom durability violation.
+  // A removed replica's log is a frozen prefix (it stopped hearing Decides
+  // the moment the survivors retired its links), so it is excluded here and
+  // audited as-is below.  The joiner instead must catch up to the founders'
+  // applied head: its log starts at its snapshot floor, so the acked-set
+  // test would never hold for payloads compacted below the floor.
   constexpr std::int64_t kPayloadMask = (std::int64_t{1} << 40) - 1;
+  const int total = cluster.size();
+  const int joiner = joiner_id.load(std::memory_order_relaxed);
+  bool joiner_healed = true;
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (std::chrono::steady_clock::now() < deadline) {
     bool all = true;
-    for (int p = 0; p < n && all; ++p) {
+    std::int32_t founder_head = -1;
+    std::int32_t joiner_head = -1;
+    for (int p = 0; p < total && all; ++p) {
+      if (cluster.removed(p)) continue;
       if (!cluster.alive(p)) {
         all = false;
         break;
       }
+      const auto log = cluster.node(p).applied_log();
+      if (p == joiner) {
+        joiner_head = log.empty() ? -1 : log.back().first;
+        continue;
+      }
+      founder_head = std::max(founder_head, log.empty() ? -1 : log.back().first);
       std::set<std::int64_t> applied;
-      for (const auto& [slot, cmd] : cluster.node(p).applied_log())
-        applied.insert(cmd & kPayloadMask);
+      for (const auto& [slot, cmd] : log) applied.insert(cmd & kPayloadMask);
       for (const std::int64_t payload : acked)
         if (!applied.contains(payload)) {
           all = false;
           break;
         }
     }
-    if (all) break;
+    joiner_healed = joiner < 0 || (joiner_head >= 0 && joiner_head >= founder_head);
+    if (all && joiner_healed) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> logs;
-  for (int p = 0; p < n; ++p)
+  for (int p = 0; p < total; ++p)
     logs.push_back(cluster.alive(p)
                        ? cluster.node(p).applied_log()
                        : std::vector<std::pair<std::int32_t, std::int64_t>>{});
@@ -1324,13 +1484,28 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
   };
   std::vector<std::string> violations;
   std::size_t longest = 0;
-  for (std::size_t p = 1; p < logs.size(); ++p) {
+  for (std::size_t p = 1; p < logs.size(); ++p)
     if (logs[p].size() > logs[longest].size()) longest = p;
-    const std::size_t m = std::min(logs[0].size(), logs[p].size());
-    for (std::size_t i = 0; i < m; ++i)
-      if (logs[0][i] != logs[p][i]) {
+  // Pairwise prefix agreement, aligned by slot: a joiner healed by snapshot
+  // state transfer (or a founder restarted past a compaction) applies only
+  // from its snapshot floor, so its log is a slot-offset suffix rather than
+  // sharing index 0 with replica 0.  Both logs apply in log order, so after
+  // skipping to the common first slot the overlap must match entrywise.
+  for (std::size_t p = 1; p < logs.size(); ++p) {
+    const auto& a = logs[0];
+    const auto& b = logs[p];
+    if (a.empty() || b.empty()) continue;
+    std::size_t i = 0, j = 0;
+    if (a.front().first < b.front().first)
+      while (i < a.size() && a[i].first < b.front().first) ++i;
+    else
+      while (j < b.size() && b[j].first < a.front().first) ++j;
+    const std::size_t m = std::min(a.size() - i, b.size() - j);
+    for (std::size_t k = 0; k < m; ++k)
+      if (a[i + k] != b[j + k]) {
         violations.push_back("agreement: replica " + std::to_string(p) +
-                             " diverges from replica 0 at applied index " + std::to_string(i));
+                             " diverges from replica 0 at applied index " +
+                             std::to_string(j + k));
         dump_soak_state();
         break;
       }
@@ -1387,6 +1562,19 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
       {"recovered decided slots", std::to_string(merged.counter_value("recover.decided"))});
   t.add_row(
       {"recovered applied prefix", std::to_string(merged.counter_value("recover.applied"))});
+  if (cluster_options.failover.enabled) {
+    t.add_row({"suspicions", std::to_string(merged.counter_value("failover.suspicions"))});
+    t.add_row({"false suspicions",
+               std::to_string(merged.counter_value("failover.false_suspicions"))});
+    t.add_row({"leader changes",
+               std::to_string(merged.counter_value("failover.leader_changes"))});
+  }
+  if (do_reconfig) {
+    t.add_row({"config adds applied",
+               std::to_string(merged.counter_value("config.adds_applied"))});
+    t.add_row({"config removes applied",
+               std::to_string(merged.counter_value("config.removes_applied"))});
+  }
   t.add_row({"chaos dropped", std::to_string(merged.counter_value("transport.chaos_dropped"))});
   t.add_row(
       {"chaos duplicated", std::to_string(merged.counter_value("transport.chaos_duplicated"))});
@@ -1415,6 +1603,27 @@ int run_chaossoak(const std::string& protocol, SystemConfig config, MakeProc mak
     std::error_code ec;
     std::filesystem::remove_all(storage_dir, ec);
   }
+  // A --reconfig run that never reached its windows (workload drained too
+  // fast) or whose joiner never healed did not test what was asked — fail
+  // it like a lost command, not like a safety violation.
+  if (do_reconfig && joiner < 0) {
+    std::fprintf(stderr,
+                 "chaossoak: workload finished before the reconfig window; raise "
+                 "--think-us or --commands so the soak spans %ld ms\n",
+                 soak_ms);
+    return 1;
+  }
+  if (do_reconfig && !joiner_healed) {
+    std::fprintf(stderr, "chaossoak: joiner %d never caught up to the founders' applied head\n",
+                 joiner);
+    return 1;
+  }
+  if (do_reconfig && removed_id.load(std::memory_order_relaxed) < 0) {
+    std::fprintf(stderr, "chaossoak: the remove window never fired; raise --think-us or "
+                         "--commands so the soak spans %ld ms\n",
+                 soak_ms);
+    return 1;
+  }
   return (lost == 0 && rejected == 0) ? 0 : 1;
 }
 
@@ -1427,6 +1636,12 @@ int cmd_chaossoak(const Args& args) {
   const sim::Tick delta = args.get_int("delta-us", 100'000);
   const SystemConfig config(n, f, e);
 
+  if (args.has("reconfig") && protocol != "rsm") {
+    std::fprintf(stderr,
+                 "chaossoak: --reconfig needs --protocol rsm (the config log lives in the "
+                 "slot RSM)\n");
+    return 1;
+  }
   if (protocol == "rsm") {
     return run_chaossoak<rsm::RsmProcess>(
         protocol, config,
@@ -1628,18 +1843,24 @@ int cmd_loadgen(const Args& args) {
 
 template <typename P, typename MakeProc>
 int serve_until_signal(ProcessId id, const std::vector<transport::Endpoint>& peers,
-                       MakeProc make, const Args& args) {
+                       const transport::Endpoint& self, MakeProc make, const Args& args) {
   node::RuntimeOptions rt_options;
   rt_options.stats_interval_ms = static_cast<int>(args.get_int("stats-interval-ms", 0));
   // A multi-process replica persists under <storage-dir>/replica-<id>; the
   // same flag family as the local-cluster commands (see storage_options).
   rt_options.storage = storage_options(args);
-  node::Runtime<P> runtime(id, static_cast<int>(peers.size()),
-                           peers[static_cast<std::size_t>(id)], std::move(make),
+  rt_options.failover = failover_options(args);
+  // A joiner (id == peers.size()) starts as a silent non-member of the
+  // listed universe: it dials the members but proposes nothing until a
+  // `twostep_cli join` commits its kAdd, at which point the members dial
+  // back and heal it by snapshot state transfer.
+  const bool joiner = id >= static_cast<int>(peers.size());
+  node::Runtime<P> runtime(id, static_cast<int>(peers.size()), self, std::move(make),
                            std::move(rt_options));
   runtime.start(peers);
-  std::printf("replica %d serving on %s, %zu-replica cluster (SIGINT to stop)\n", id,
-              runtime.endpoint().to_string().c_str(), peers.size());
+  std::printf("replica %d serving on %s, %zu-replica cluster%s (SIGINT to stop)\n", id,
+              runtime.endpoint().to_string().c_str(), peers.size(),
+              joiner ? " (joiner; awaiting `join`)" : "");
   std::signal(SIGINT, [](int) { g_stop_requested = 1; });
   std::signal(SIGTERM, [](int) { g_stop_requested = 1; });
   while (!g_stop_requested) std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -1652,10 +1873,20 @@ int serve_until_signal(ProcessId id, const std::vector<transport::Endpoint>& pee
 int cmd_serve(const Args& args) {
   const auto peers = parse_endpoint_list(args.get("peers"));
   const int id = static_cast<int>(args.get_int("id", 0));
-  if (peers.size() < 2 || id < 0 || id >= static_cast<int>(peers.size())) {
+  // --id == peers.size() is the joiner spelling: a brand-new replica whose
+  // genesis universe is the listed cluster, with its own --listen endpoint
+  // (it has no slot in the peer list yet).
+  const bool joiner = id == static_cast<int>(peers.size());
+  if (peers.size() < 2 || id < 0 || id > static_cast<int>(peers.size())) {
     std::fprintf(stderr,
                  "serve: need --peers H:P,H:P,... (>= 2 endpoints, in replica-id order) "
-                 "and --id I within it\n");
+                 "and --id I within it (or I == the list size to join: see --listen)\n");
+    return 1;
+  }
+  std::optional<transport::Endpoint> self =
+      joiner ? parse_endpoint(args.get("listen")) : std::optional(peers[static_cast<std::size_t>(id)]);
+  if (!self) {
+    std::fprintf(stderr, "serve: a joiner (--id == the peer count) needs --listen H:P\n");
     return 1;
   }
   const std::string protocol = args.get("protocol", "rsm");
@@ -1666,7 +1897,7 @@ int cmd_serve(const Args& args) {
 
   if (protocol == "rsm") {
     return serve_until_signal<rsm::RsmProcess>(
-        id, peers,
+        id, peers, *self,
         [&](consensus::Env<rsm::Msg>& env, obs::MetricsRegistry& reg) {
           rsm::Options options;
           options.delta = delta;
@@ -1679,7 +1910,7 @@ int cmd_serve(const Args& args) {
   if (protocol == "epaxos") {
     const sim::Tick recovery = args.get_int("recovery-timeout-us", 5 * delta);
     return serve_until_signal<epaxos::EPaxosRsm>(
-        id, peers,
+        id, peers, *self,
         [&](consensus::Env<epaxos::Message>& env, obs::MetricsRegistry& reg) {
           epaxos::HostOptions options;
           options.protocol.delta = delta;
@@ -1692,7 +1923,7 @@ int cmd_serve(const Args& args) {
   if (protocol == "task" || protocol == "object") {
     const core::Mode mode = protocol == "task" ? core::Mode::kTask : core::Mode::kObject;
     return serve_until_signal<core::TwoStepProcess>(
-        id, peers,
+        id, peers, *self,
         [&](consensus::Env<core::Message>& env, obs::MetricsRegistry& reg) {
           core::Options options;
           options.mode = mode;
@@ -1705,7 +1936,7 @@ int cmd_serve(const Args& args) {
   }
   if (protocol == "fastpaxos") {
     return serve_until_signal<fastpaxos::FastPaxosProcess>(
-        id, peers,
+        id, peers, *self,
         [&](consensus::Env<fastpaxos::Message>& env, obs::MetricsRegistry& reg) {
           fastpaxos::Options options;
           options.delta = delta;
@@ -1787,9 +2018,102 @@ int cmd_tracemerge(const Args& args) {
   return 0;
 }
 
+/// Deadline-bounded dial shared by the admin verbs (stats / join / leave):
+/// nonblocking connect + poll, restored to blocking mode on success so the
+/// caller's poll/recv loop reads as before.  A hung or blackholed target
+/// fails within the deadline instead of parking in a blocking ::connect.
+/// Returns the fd, or -1 after printing a `who`-prefixed diagnosis.
+int dial_deadline(const char* who, const transport::Endpoint& ep,
+                  std::chrono::steady_clock::time_point deadline) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "%s: bad address %s\n", who, ep.host.c_str());
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "%s: socket: %s\n", who, std::strerror(errno));
+    return -1;
+  }
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "%s: %s %s: %s\n", who, what, ep.to_string().c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  };
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return fail("could not connect to");
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline - std::chrono::steady_clock::now())
+                                 .count();
+      if (remaining <= 0) {
+        errno = ETIMEDOUT;
+        return fail("timed out connecting to");
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return fail("could not connect to");
+      if (ready == 0) {
+        errno = ETIMEDOUT;
+        return fail("timed out connecting to");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      if (err != 0) errno = err;
+      return fail("could not connect to");
+    }
+  }
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Sends one frame, then pumps replies into `consume` until it returns
+/// true, the deadline passes, or the connection dies.  Returns whether
+/// `consume` accepted a frame.  The caller owns (and closes) the fd.
+template <typename Consume>
+bool send_and_await(int fd, const std::vector<std::uint8_t>& frame,
+                    std::chrono::steady_clock::time_point deadline, Consume&& consume) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  transport::FrameParser parser;
+  std::uint8_t buf[65536];
+  for (;;) {
+    while (auto f = parser.next())
+      if (consume(*f)) return true;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    if (parser.failed() || remaining <= 0) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    if (!parser.feed({buf, static_cast<std::size_t>(n)})) return false;
+  }
+}
+
 /// Scrapes a running replica: dials the endpoint, sends one kStatsRequest
 /// frame and prints the node's JSON snapshot (schema twostep-stats/1).
-/// The request needs no Hello handshake — any process may ask.
+/// The request needs no Hello handshake — any process may ask.  The
+/// --timeout-ms budget covers the dial AND the reply; both paths exit
+/// nonzero on expiry.
 int cmd_stats(const Args& args) {
   const std::string target =
       args.positional().empty() ? args.get("connect") : args.positional().front();
@@ -1799,77 +2123,118 @@ int cmd_stats(const Args& args) {
     return 1;
   }
   const long timeout_ms = args.get_int("timeout-ms", 5'000);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(ep->port);
-  if (::inet_pton(AF_INET, ep->host.c_str(), &addr.sin_addr) != 1) {
-    std::fprintf(stderr, "stats: bad address %s\n", ep->host.c_str());
-    return 1;
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::fprintf(stderr, "stats: could not connect to %s\n", ep->to_string().c_str());
-    if (fd >= 0) ::close(fd);
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const int fd = dial_deadline("stats", *ep, deadline);
+  if (fd < 0) return 1;
 
   const std::vector<std::uint8_t> frame = transport::make_frame(
       transport::FrameKind::kStatsRequest, codec::encode(codec::StatsRequest{1}));
-  std::size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t w = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    if (w < 0 && errno == EINTR) continue;
-    if (w <= 0) {
-      std::fprintf(stderr, "stats: send failed\n");
-      ::close(fd);
-      return 1;
+  int rc = 1;
+  const bool got = send_and_await(fd, frame, deadline, [&](const auto& f) {
+    if (f.kind != transport::FrameKind::kStatsReply) return false;
+    if (const auto reply = codec::decode_stats_reply(f.payload)) {
+      std::printf("%s\n", reply->json.c_str());
+      rc = 0;
+    } else {
+      std::fprintf(stderr, "stats: malformed reply\n");
     }
-    sent += static_cast<std::size_t>(w);
-  }
+    return true;
+  });
+  ::close(fd);
+  if (!got)
+    std::fprintf(stderr, "stats: no reply from %s within %ld ms\n", ep->to_string().c_str(),
+                 timeout_ms);
+  return got ? rc : 1;
+}
 
-  transport::FrameParser parser;
+/// Shared body of `join` and `leave`: dials a live member, sends one
+/// kConfigCmd frame, and blocks until the node acknowledges the change
+/// *committed* (the ClientReply fires when the config handle's slot
+/// decides) or the deadline passes.
+int run_config_change(const char* who, const rsm::ConfigChange& change, const Args& args) {
+  const std::string target =
+      args.positional().empty() ? args.get("connect") : args.positional().front();
+  const auto ep = parse_endpoint(target);
+  if (!ep) {
+    std::fprintf(stderr, "%s: need a live member to submit through: %s <host:port> ...\n",
+                 who, who);
+    return 1;
+  }
+  const long timeout_ms = args.get_int("timeout-ms", 10'000);
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-  std::uint8_t buf[65536];
-  for (;;) {
-    while (auto f = parser.next()) {
-      if (f->kind != transport::FrameKind::kStatsReply) continue;
-      const auto reply = codec::decode_stats_reply(f->payload);
-      ::close(fd);
-      if (!reply) {
-        std::fprintf(stderr, "stats: malformed reply\n");
-        return 1;
-      }
-      std::printf("%s\n", reply->json.c_str());
-      return 0;
-    }
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-                               deadline - std::chrono::steady_clock::now())
-                               .count();
-    if (parser.failed() || remaining <= 0) break;
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
-    if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0) break;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    if (!parser.feed({buf, static_cast<std::size_t>(n)})) break;
-  }
+  const int fd = dial_deadline(who, *ep, deadline);
+  if (fd < 0) return 1;
+
+  const std::int64_t id = 1;  // one command per connection; any nonzero id correlates
+  const std::vector<std::uint8_t> frame = transport::make_frame(
+      transport::FrameKind::kConfigCmd, codec::encode(codec::ConfigCommand{id, change}));
+  bool ok = false;
+  std::int32_t slot = -1;
+  const bool got = send_and_await(fd, frame, deadline, [&](const auto& f) {
+    if (f.kind != transport::FrameKind::kClientReply) return false;
+    const auto reply = codec::decode_client_reply(f.payload);
+    if (!reply || reply->id != id) return false;
+    ok = reply->ok;
+    slot = reply->slot;
+    return true;
+  });
   ::close(fd);
-  std::fprintf(stderr, "stats: no reply from %s within %ld ms\n", ep->to_string().c_str(),
-               timeout_ms);
-  return 1;
+  if (!got) {
+    std::fprintf(stderr, "%s: no commit acknowledgement from %s within %ld ms\n", who,
+                 ep->to_string().c_str(), timeout_ms);
+    return 1;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "%s: %s rejected the change (protocol not reconfigurable, or bad replica "
+                 "id)\n",
+                 who, ep->to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: replica %d %s, config change committed at slot %d\n", who, change.replica,
+              change.op == rsm::ConfigChange::Op::kAdd ? "added" : "removed", slot);
+  return 0;
+}
+
+int cmd_join(const Args& args) {
+  const int replica = static_cast<int>(args.get_int("replica", -1));
+  const auto addr = parse_endpoint(args.get("address"));
+  if (replica < 0 || !addr) {
+    std::fprintf(stderr,
+                 "join: usage: twostep_cli join <host:port> --replica I --address H:P "
+                 "[--timeout-ms T]\n"
+                 "      <host:port> is any live member; --address is the joiner's listen "
+                 "endpoint (a `serve` started with --id N --listen H:P)\n");
+    return 1;
+  }
+  rsm::ConfigChange change;
+  change.op = rsm::ConfigChange::Op::kAdd;
+  change.replica = replica;
+  change.host = addr->host;
+  change.port = addr->port;
+  return run_config_change("join", change, args);
+}
+
+int cmd_leave(const Args& args) {
+  const int replica = static_cast<int>(args.get_int("replica", -1));
+  if (replica < 0) {
+    std::fprintf(stderr,
+                 "leave: usage: twostep_cli leave <host:port> --replica I [--timeout-ms T]\n");
+    return 1;
+  }
+  rsm::ConfigChange change;
+  change.op = rsm::ConfigChange::Op::kRemove;
+  change.replica = replica;
+  return run_config_change("leave", change, args);
 }
 
 void usage() {
   std::fprintf(stderr,
                "usage: twostep_cli "
                "<bounds|run|attack|fuzz|chaos|sweep|localcluster|chaossoak|loadgen|serve"
-               "|client|tracemerge|stats>"
+               "|client|tracemerge|stats|join|leave>"
                " [flags]\n"
                "see the header of tools/twostep_cli.cpp for the full flag list\n");
 }
@@ -1896,6 +2261,8 @@ int main(int argc, char** argv) {
   if (cmd == "client") return cmd_client(args);
   if (cmd == "tracemerge") return cmd_tracemerge(args);
   if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "join") return cmd_join(args);
+  if (cmd == "leave") return cmd_leave(args);
   usage();
   return 1;
 }
